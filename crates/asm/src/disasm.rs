@@ -1,0 +1,166 @@
+//! Program disassembly: human-readable listings of scheduled programs and
+//! their encoded images.
+//!
+//! Useful for inspecting what the scheduler produced — which slot each
+//! operation landed in, where the jump delay slots are, how big each
+//! encoded instruction is — in a format close to TriMedia listing files.
+
+use std::fmt::Write as _;
+use tm3270_encode::{encode_program, EncodedProgram};
+use tm3270_isa::{Instr, Program, Slot};
+
+/// Options for [`disassemble`].
+#[derive(Debug, Clone, Copy)]
+pub struct DisasmOptions {
+    /// Include byte offsets and per-instruction encoded sizes (requires
+    /// encoding the program).
+    pub with_encoding: bool,
+    /// Mark jump targets with a label line.
+    pub with_labels: bool,
+}
+
+impl Default for DisasmOptions {
+    fn default() -> Self {
+        DisasmOptions {
+            with_encoding: true,
+            with_labels: true,
+        }
+    }
+}
+
+/// Renders one instruction as a single listing line (without address).
+pub fn format_instr(instr: &Instr) -> String {
+    if instr.is_nop() {
+        return "nop".to_string();
+    }
+    let mut parts = Vec::new();
+    for (i, slot) in instr.slots.iter().enumerate() {
+        match slot {
+            Slot::Empty | Slot::SuperSecond => {}
+            Slot::Single(op) => parts.push(format!("[{}] {}", i + 1, op)),
+            Slot::SuperFirst(op) => parts.push(format!("[{}+{}] {}", i + 1, i + 2, op)),
+        }
+    }
+    parts.join(" , ")
+}
+
+/// Disassembles a program into a listing.
+///
+/// # Examples
+///
+/// ```
+/// use tm3270_asm::{disassemble, DisasmOptions, ProgramBuilder};
+/// use tm3270_isa::{IssueModel, Op, Opcode, Reg};
+///
+/// let mut b = ProgramBuilder::new(IssueModel::tm3270());
+/// b.op(Op::imm(Reg::new(2), 7));
+/// let program = b.build()?;
+/// let listing = disassemble(&program, DisasmOptions::default());
+/// assert!(listing.contains("iimm"));
+/// # Ok::<(), tm3270_asm::BuildError>(())
+/// ```
+pub fn disassemble(program: &Program, options: DisasmOptions) -> String {
+    let image: Option<EncodedProgram> = if options.with_encoding {
+        encode_program(program).ok()
+    } else {
+        None
+    };
+    let mut out = String::new();
+    for (i, instr) in program.instrs.iter().enumerate() {
+        if options.with_labels && program.is_jump_target(i) {
+            let _ = writeln!(out, "L{i}:");
+        }
+        match &image {
+            Some(img) => {
+                let _ = writeln!(
+                    out,
+                    "{i:>5}  {:#07x} ({:>2}B)  {}",
+                    img.offsets[i],
+                    img.instr_size(i),
+                    format_instr(instr)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{i:>5}  {}", format_instr(instr));
+            }
+        }
+    }
+    if let Some(img) = &image {
+        let stats = img.stats();
+        let _ = writeln!(
+            out,
+            "; {} instructions, {} bytes ({:.2} bytes/instr, {:.2}x vs uncompressed)",
+            stats.instr_count,
+            stats.byte_size,
+            stats.bytes_per_instr(),
+            1.0 / stats.compression_ratio()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+    use tm3270_isa::{IssueModel, Op, Opcode, Reg};
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new(IssueModel::tm3270());
+        let r = Reg::new;
+        b.op(Op::imm(r(2), 3));
+        let top = b.bind_here();
+        b.op(Op::rri(Opcode::Iaddi, r(2), r(2), -1));
+        b.op(Op::rri(Opcode::Igtri, r(3), r(2), 0));
+        b.op(Op::new(
+            Opcode::SuperLd32r,
+            Reg::ONE,
+            &[r(2), r(3)],
+            &[r(4), r(5)],
+            0,
+        ));
+        b.jump_if(r(3), top);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn listing_contains_all_operations_and_labels() {
+        let p = sample();
+        let listing = disassemble(&p, DisasmOptions::default());
+        assert!(listing.contains("iimm"), "{listing}");
+        assert!(listing.contains("iaddi"), "{listing}");
+        assert!(listing.contains("jmpt"), "{listing}");
+        assert!(listing.contains("super_ld32r"), "{listing}");
+        assert!(listing.contains("L1:") || listing.contains("L2:"), "{listing}");
+        assert!(listing.contains("bytes/instr"), "{listing}");
+    }
+
+    #[test]
+    fn listing_without_encoding_has_no_offsets() {
+        let p = sample();
+        let listing = disassemble(
+            &p,
+            DisasmOptions {
+                with_encoding: false,
+                with_labels: false,
+            },
+        );
+        assert!(!listing.contains("0x"), "{listing}");
+        assert!(!listing.contains("L1:"), "{listing}");
+    }
+
+    #[test]
+    fn two_slot_ops_show_slot_pairs() {
+        let p = sample();
+        let listing = disassemble(&p, DisasmOptions::default());
+        assert!(
+            listing.contains("[4+5] IF r1 super_ld32r"),
+            "two-slot anchor rendering: {listing}"
+        );
+    }
+
+    #[test]
+    fn nop_renders_as_nop() {
+        assert_eq!(format_instr(&Instr::nop()), "nop");
+    }
+}

@@ -1,0 +1,130 @@
+//! A simple architectural-register allocator for hand-written kernels.
+//!
+//! The TM3270's unified 128-register file is large enough that the
+//! evaluation kernels in this repository never spill; the allocator just
+//! hands out registers (`r2`..`r127`) and panics on exhaustion, which is
+//! the honest failure mode for a hand-scheduled kernel.
+
+use tm3270_isa::{Reg, NUM_REGS};
+
+/// Hands out architectural registers, starting at `r2` (`r0`/`r1` are the
+/// hard-wired constants).
+///
+/// # Examples
+///
+/// ```
+/// use tm3270_asm::RegAlloc;
+/// let mut ra = RegAlloc::new();
+/// let a = ra.alloc();
+/// let b = ra.alloc();
+/// assert_ne!(a, b);
+/// ra.free(a);
+/// assert_eq!(ra.alloc(), a, "freed registers are reused");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegAlloc {
+    free: Vec<Reg>,
+    live: usize,
+    high_water: usize,
+}
+
+impl RegAlloc {
+    /// Creates an allocator over `r2`..`r127`.
+    pub fn new() -> RegAlloc {
+        RegAlloc {
+            // LIFO: most recently freed first; initialize descending so
+            // allocation order starts at r2.
+            free: (2..NUM_REGS as u8).rev().map(Reg::new).collect(),
+            live: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Allocates one register.
+    ///
+    /// # Panics
+    ///
+    /// Panics when all 126 general registers are live.
+    pub fn alloc(&mut self) -> Reg {
+        let r = self
+            .free
+            .pop()
+            .expect("register file exhausted (126 live registers)");
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        r
+    }
+
+    /// Allocates `n` registers.
+    pub fn alloc_n<const N: usize>(&mut self) -> [Reg; N] {
+        std::array::from_fn(|_| self.alloc())
+    }
+
+    /// Returns a register to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is a constant register.
+    pub fn free(&mut self, r: Reg) {
+        assert!(!r.is_constant(), "cannot free {r}");
+        debug_assert!(!self.free.contains(&r), "double free of {r}");
+        self.free.push(r);
+        self.live -= 1;
+    }
+
+    /// Number of registers currently live.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Maximum simultaneous live registers seen.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+impl Default for RegAlloc {
+    fn default() -> Self {
+        RegAlloc::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_from_r2() {
+        let mut ra = RegAlloc::new();
+        assert_eq!(ra.alloc(), Reg::new(2));
+        assert_eq!(ra.alloc(), Reg::new(3));
+    }
+
+    #[test]
+    fn tracks_high_water() {
+        let mut ra = RegAlloc::new();
+        let a = ra.alloc();
+        let b = ra.alloc();
+        ra.free(a);
+        ra.free(b);
+        ra.alloc();
+        assert_eq!(ra.high_water(), 2);
+        assert_eq!(ra.live(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut ra = RegAlloc::new();
+        for _ in 0..127 {
+            ra.alloc();
+        }
+    }
+
+    #[test]
+    fn alloc_n_returns_distinct() {
+        let mut ra = RegAlloc::new();
+        let [a, b, c] = ra.alloc_n::<3>();
+        assert!(a != b && b != c && a != c);
+    }
+}

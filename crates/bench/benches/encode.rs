@@ -1,0 +1,25 @@
+//! Criterion micro-benchmarks of the VLIW instruction compression
+//! (encode/decode throughput on a real kernel program).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tm3270_encode::{decode_program, encode_program};
+use tm3270_isa::IssueModel;
+use tm3270_kernels::memops::Memcpy;
+use tm3270_kernels::Kernel;
+
+fn bench_encode(c: &mut Criterion) {
+    let program = Memcpy::table5().build(&IssueModel::tm3270()).unwrap();
+    let image = encode_program(&program).unwrap();
+    let mut g = c.benchmark_group("encode");
+    g.throughput(Throughput::Elements(program.instrs.len() as u64));
+    g.bench_function("encode_program", |b| {
+        b.iter(|| encode_program(std::hint::black_box(&program)).unwrap())
+    });
+    g.bench_function("decode_program", |b| {
+        b.iter(|| decode_program(std::hint::black_box(&image)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the memory hierarchy model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tm3270_isa::DataMemory;
+use tm3270_mem::{MemConfig, MemorySystem, Region};
+
+fn bench_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("dcache_hit_loads", |b| {
+        let mut cfg = MemConfig::tm3270();
+        cfg.mem_size = 1 << 20;
+        let mut m = MemorySystem::new(cfg);
+        m.begin_instr(0);
+        let mut buf = [0u8; 4];
+        // Warm 16 KB.
+        for i in 0..4096u32 {
+            m.load_bytes(i * 4, &mut buf);
+        }
+        b.iter(|| {
+            m.begin_instr(1_000_000);
+            for i in 0..4096u32 {
+                m.load_bytes(std::hint::black_box(i * 4), &mut buf);
+            }
+            m.take_stall()
+        })
+    });
+    g.bench_function("streaming_misses_with_prefetch", |b| {
+        b.iter(|| {
+            let mut cfg = MemConfig::tm3270();
+            cfg.mem_size = 1 << 21;
+            let mut m = MemorySystem::new(cfg);
+            m.set_prefetch_region(
+                0,
+                Region {
+                    start: 0,
+                    end: 1 << 20,
+                    stride: 128,
+                },
+            );
+            let mut buf = [0u8; 4];
+            let mut cycle = 0u64;
+            for i in 0..4096u32 {
+                m.begin_instr(cycle);
+                m.load_bytes(i * 128, &mut buf);
+                cycle += 20 + m.take_stall();
+            }
+            cycle
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_memory);
+criterion_main!(benches);

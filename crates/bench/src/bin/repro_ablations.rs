@@ -1,0 +1,9 @@
+//! Ablation studies of the TM3270 design choices (line size, capacity,
+//! write-miss policy, prefetch stride).
+
+fn main() {
+    println!("{}", tm3270_bench::line_size_ablation());
+    println!("{}", tm3270_bench::capacity_ablation());
+    println!("{}", tm3270_bench::write_policy_ablation());
+    println!("{}", tm3270_bench::prefetch_stride_ablation());
+}

@@ -1,0 +1,21 @@
+//! Regenerates every table and figure in one run.
+
+fn main() {
+    println!("{}", tm3270_bench::table1());
+    println!("{}", tm3270_bench::table6());
+    println!("{}", tm3270_bench::table2_demo());
+    println!("{}", tm3270_bench::figure1());
+    let rows = tm3270_bench::table3(tm3270_bench::table3_scale());
+    println!("{}", tm3270_bench::table3_report(&rows));
+    println!("{}", tm3270_bench::table4());
+    println!("{}", tm3270_bench::prefetch_experiment());
+    println!("{}", tm3270_bench::motion_est_experiment());
+    println!("{}", tm3270_bench::upconversion_experiment());
+    println!("{}", tm3270_bench::power_survey());
+    println!("{}", tm3270_bench::line_size_ablation());
+    println!("{}", tm3270_bench::capacity_ablation());
+    println!("{}", tm3270_bench::write_policy_ablation());
+    println!("{}", tm3270_bench::prefetch_stride_ablation());
+    let rows = tm3270_bench::figure7();
+    println!("{}", tm3270_bench::figure7_report(&rows));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Figure 1 / §2.1 instruction-compression experiment.
+
+fn main() {
+    println!("{}", tm3270_bench::figure1());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7: relative performance of configurations A-D on
+//! the eleven Table 5 workloads (all runs verified against golden
+//! references).
+
+fn main() {
+    let rows = tm3270_bench::figure7();
+    println!("{}", tm3270_bench::figure7_report(&rows));
+}

@@ -1,0 +1,35 @@
+//! Prints the ISA reference manual: every operation with its unit, issue
+//! slots, latency (TM3270 and TM3260) and semantics.
+
+use tm3270_isa::{IssueModel, Opcode};
+
+fn main() {
+    let m70 = IssueModel::tm3270();
+    let m60 = IssueModel::tm3260();
+    println!("TM3270 ISA reference ({} operations)", Opcode::all().len());
+    println!(
+        "{:<16} {:<10} {:<12} {:>5} {:>5}  semantics",
+        "mnemonic", "unit", "slots(3270)", "lat70", "lat60"
+    );
+    for &op in Opcode::all() {
+        let slots: Vec<String> = m70
+            .allowed_slots(op)
+            .iter()
+            .map(|s| (s + 1).to_string())
+            .collect();
+        let lat60 = if m60.allowed_slots(op).is_empty() {
+            "-".to_string()
+        } else {
+            m60.latency(op).to_string()
+        };
+        println!(
+            "{:<16} {:<10} {:<12} {:>5} {:>5}  {}",
+            op.mnemonic(),
+            format!("{:?}", op.unit()),
+            slots.join(","),
+            m70.latency(op),
+            lat60,
+            op.describe()
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §6 / \[12\] motion-estimation experiment (LD_FRAC8).
+
+fn main() {
+    println!("{}", tm3270_bench::motion_est_experiment());
+}

@@ -1,0 +1,5 @@
+//! The §5.2 power survey: mW/MHz tracks OPI/CPI across workloads.
+
+fn main() {
+    println!("{}", tm3270_bench::power_survey());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Figure 3 / §2.3 region-prefetch experiment.
+
+fn main() {
+    println!("{}", tm3270_bench::prefetch_experiment());
+}

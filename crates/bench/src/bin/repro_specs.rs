@@ -1,0 +1,7 @@
+//! Regenerates Table 1, Table 6 and the Table 2 operation demonstrations.
+
+fn main() {
+    println!("{}", tm3270_bench::table1());
+    println!("{}", tm3270_bench::table6());
+    println!("{}", tm3270_bench::table2_demo());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 3: CABAC decoding with and without the TM3270
+//! SUPER_CABAC operations. Set TM3270_FULL=1 for full paper-size streams.
+
+fn main() {
+    let scale = tm3270_bench::table3_scale();
+    if scale != 1 {
+        println!("(streams scaled down by {scale}; set TM3270_FULL=1 for paper-size streams)");
+    }
+    let rows = tm3270_bench::table3(scale);
+    println!("{}", tm3270_bench::table3_report(&rows));
+}

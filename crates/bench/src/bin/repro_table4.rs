@@ -1,0 +1,5 @@
+//! Regenerates Table 4: area and power breakdown (runs the MP3 proxy).
+
+fn main() {
+    println!("{}", tm3270_bench::table4());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §6 / \[14\] temporal up-conversion experiment.
+
+fn main() {
+    println!("{}", tm3270_bench::upconversion_experiment());
+}

@@ -1,0 +1,621 @@
+//! The per-table / per-figure experiment drivers.
+
+use crate::{geomean, run_suite, Cell};
+use tm3270_core::MachineConfig;
+use tm3270_encode::encode_program;
+use tm3270_isa::{execute, DataMemory, FlatMemory, IssueModel, Op, Opcode, Reg, RegFile};
+use tm3270_kernels::cabac_kernel::CabacDecode;
+use tm3270_kernels::motion::MotionEst;
+use tm3270_kernels::synth::{BlockFilter, Mp3Proxy};
+use tm3270_kernels::{evaluation_kernels, run_kernel};
+use tm3270_power::{AreaModel, PowerModel};
+
+/// Reads the experiment scale factor: 1 = full paper scale, larger =
+/// proportionally smaller streams (set `TM3270_FULL=1` for full scale;
+/// the default divides the Table 3 streams by 20).
+pub fn table3_scale() -> u64 {
+    match std::env::var("TM3270_FULL").as_deref() {
+        Ok("1") => 1,
+        _ => 20,
+    }
+}
+
+/// Renders Table 1 (the TM3270 architecture spec sheet).
+pub fn table1() -> String {
+    let d = MachineConfig::tm3270();
+    let i = d.issue;
+    let mut s = String::from("Table 1. TM3270 Architecture\n");
+    let rows = [
+        ("Architecture".to_string(), "5 issue slot VLIW, guarded RISC-like operations".to_string()),
+        ("Pipeline depth".into(), "7-12 stages".into()),
+        ("Address width".into(), "32 bits".into()),
+        ("Data width".into(), "32 bits".into()),
+        ("Register-file".into(), "Unified, 128 32-bit registers".into()),
+        ("SIMD capabilities".into(), "1 x 32-bit, 2 x 16-bit, 4 x 8-bit".into()),
+        ("Jump delay slots".into(), format!("{}", i.jump_delay_slots)),
+        ("Load latency".into(), format!("{} cycles", i.load_latency)),
+        (
+            "Instruction cache".into(),
+            format!(
+                "{} Kbyte, {}-byte lines, {} way set-associative, LRU",
+                d.mem.icache.size / 1024,
+                d.mem.icache.line,
+                d.mem.icache.ways
+            ),
+        ),
+        (
+            "Data cache".into(),
+            format!(
+                "{} Kbyte, {}-byte lines, {} way set-associative, LRU, allocate-on-write-miss",
+                d.mem.dcache.size / 1024,
+                d.mem.dcache.line,
+                d.mem.dcache.ways
+            ),
+        ),
+    ];
+    for (k, v) in rows {
+        s.push_str(&format!("  {k:<22} {v}\n"));
+    }
+    s
+}
+
+/// Renders Table 6 (TM3260 vs TM3270 characteristics).
+pub fn table6() -> String {
+    let a = MachineConfig::tm3260();
+    let d = MachineConfig::tm3270();
+    let mut s = String::from("Table 6. TM3260 and TM3270 characteristics\n");
+    let row = |name: &str, fa: String, fd: String| {
+        format!("  {name:<22} {fa:<32} {fd}\n")
+    };
+    s.push_str(&row("Feature", "TM3260".into(), "TM3270".into()));
+    s.push_str(&row(
+        "Operating frequency",
+        format!("{} MHz", a.freq_mhz()),
+        format!("{} MHz", d.freq_mhz()),
+    ));
+    s.push_str(&row(
+        "Instruction cache",
+        format!("{} KB, {}-B lines", a.mem.icache.size / 1024, a.mem.icache.line),
+        format!("{} KB, {}-B lines", d.mem.icache.size / 1024, d.mem.icache.line),
+    ));
+    s.push_str(&row(
+        "Jump delay slots",
+        format!("{}", a.issue.jump_delay_slots),
+        format!("{}", d.issue.jump_delay_slots),
+    ));
+    s.push_str(&row(
+        "Data cache",
+        format!(
+            "{} KB, {}-B lines, {}-way",
+            a.mem.dcache.size / 1024,
+            a.mem.dcache.line,
+            a.mem.dcache.ways
+        ),
+        format!(
+            "{} KB, {}-B lines, {}-way",
+            d.mem.dcache.size / 1024,
+            d.mem.dcache.line,
+            d.mem.dcache.ways
+        ),
+    ));
+    s.push_str(&row(
+        "Write-miss policy",
+        "fetch-on-write-miss".into(),
+        "allocate-on-write-miss".into(),
+    ));
+    s.push_str(&row(
+        "Load latency",
+        format!("{}-cycle", a.issue.load_latency),
+        format!("{}-cycle", d.issue.load_latency),
+    ));
+    s.push_str(&row(
+        "Loads / VLIW instr.",
+        format!("{}", a.issue.loads_per_instr),
+        format!("{}", d.issue.loads_per_instr),
+    ));
+    s
+}
+
+/// The Figure 1 / §2.1 experiment: encodes the paper's example
+/// instruction shapes and reports code-size statistics over all Table 5
+/// kernel programs.
+pub fn figure1() -> String {
+    let mut s = String::from("Figure 1 / §2.1: VLIW instruction encoding\n");
+    use tm3270_isa::{Instr, Program};
+    // The paper's size examples.
+    let mut p = Program::new();
+    p.instrs.push(Instr::nop()); // entry (uncompressed)
+    p.instrs.push(Instr::nop()); // empty instruction
+    let mut full = Instr::nop();
+    for slot in 0..5 {
+        full.place(
+            Op::rrr(Opcode::Iadd, Reg::new(100), Reg::new(64), Reg::new(65)).with_guard(Reg::new(9)),
+            slot,
+        );
+    }
+    p.instrs.push(full); // maximum-size instruction
+    p.instrs.push(Instr::nop());
+    let image = encode_program(&p).expect("encodable");
+    s.push_str(&format!(
+        "  empty VLIW instruction:        {} bytes (paper: 2)\n",
+        image.instr_size(1)
+    ));
+    s.push_str(&format!(
+        "  5 x 42-bit operations:         {} bytes (paper: 28)\n",
+        image.instr_size(2)
+    ));
+
+    // Paper's Figure 1 example: three operations in slots 2, 3 and 5.
+    let mut ex = Instr::nop();
+    ex.place(Op::rrr(Opcode::Iadd, Reg::new(4), Reg::new(2), Reg::new(3)), 1);
+    ex.place(Op::rrr(Opcode::Quadavg, Reg::new(5), Reg::new(2), Reg::new(3)), 2);
+    ex.place(Op::rri(Opcode::Ld32d, Reg::new(6), Reg::new(2), 0), 4);
+    let mut p2 = Program::new();
+    p2.instrs.push(Instr::nop());
+    p2.instrs.push(ex);
+    p2.instrs.push(Instr::nop());
+    let image2 = encode_program(&p2).expect("encodable");
+    s.push_str(&format!(
+        "  example (ops in slots 2,3,5):  {} bytes (template 11:00:00:11:01)\n",
+        image2.instr_size(1)
+    ));
+
+    s.push_str("\n  Code size over the Table 5 kernels (TM3270 schedules):\n");
+    s.push_str("  kernel        instrs    bytes  bytes/instr  vs uncompressed\n");
+    for kernel in evaluation_kernels() {
+        let program = kernel
+            .build(&IssueModel::tm3270())
+            .expect("kernels build for the TM3270");
+        let image = encode_program(&program).expect("encodable");
+        let stats = image.stats();
+        s.push_str(&format!(
+            "  {:<12} {:>7} {:>8} {:>12.2} {:>15.2}x\n",
+            kernel.name(),
+            stats.instr_count,
+            stats.byte_size,
+            stats.bytes_per_instr(),
+            1.0 / stats.compression_ratio(),
+        ));
+    }
+    s
+}
+
+/// The Table 2 demonstration: executes each new operation on concrete
+/// operands and prints the results.
+pub fn table2_demo() -> String {
+    let mut s = String::from("Table 2: TM3270 new-operation semantics\n");
+    let mut rf = RegFile::new();
+    let mut mem = FlatMemory::new(1 << 16);
+    let r = Reg::new;
+
+    // SUPER_DUALIMIX: pairwise 2-tap filter on 16-bit values.
+    rf.write(r(2), (100u32 << 16) | 7);
+    rf.write(r(3), (200u32 << 16) | 9);
+    rf.write(r(4), (300u32 << 16) | 11);
+    rf.write(r(5), (400u32 << 16) | 13);
+    let mix = Op::new(
+        Opcode::SuperDualimix,
+        Reg::ONE,
+        &[r(2), r(3), r(4), r(5)],
+        &[r(10), r(11)],
+        0,
+    );
+    let res = execute(&mix, &rf, &mut mem);
+    s.push_str(&format!(
+        "  super_dualimix (100,7)x(200,9)+(300,11)x(400,13) -> hi {} lo {}\n",
+        res.writes[0].unwrap().1 as i32,
+        res.writes[1].unwrap().1 as i32
+    ));
+
+    // SUPER_LD32R: two consecutive big-endian words.
+    mem.store_bytes(0x100, &[1, 2, 3, 4, 5, 6, 7, 8]);
+    rf.write(r(2), 0x100);
+    rf.write(r(3), 0);
+    let ld2 = Op::new(
+        Opcode::SuperLd32r,
+        Reg::ONE,
+        &[r(2), r(3)],
+        &[r(10), r(11)],
+        0,
+    );
+    let res = execute(&ld2, &rf, &mut mem);
+    s.push_str(&format!(
+        "  super_ld32r   Mem[0x100..8] = 01..08 -> {:#010x} {:#010x}\n",
+        res.writes[0].unwrap().1,
+        res.writes[1].unwrap().1
+    ));
+
+    // LD_FRAC8: collapsed load with two-tap interpolation.
+    mem.store_bytes(0x200, &[16, 32, 48, 64, 80]);
+    rf.write(r(2), 0x200);
+    rf.write(r(3), 8); // halfway
+    let frac = Op::rrr(Opcode::LdFrac8, r(10), r(2), r(3));
+    let res = execute(&frac, &rf, &mut mem);
+    s.push_str(&format!(
+        "  ld_frac8      Mem[0x200..5] = 16,32,48,64,80 frac 8/16 -> {:#010x}\n",
+        res.writes[0].unwrap().1
+    ));
+
+    // SUPER_CABAC_STR / SUPER_CABAC_CTX on a concrete coding state.
+    rf.write(r(2), (120u32 << 16) | 400); // DUAL16(value, range)
+    rf.write(r(3), 5); // stream_bit_position
+    rf.write(r(4), 0xcafe_babe); // stream_data
+    rf.write(r(5), (17u32 << 16) | 1); // DUAL16(state, mps)
+    let cstr = Op::new(
+        Opcode::SuperCabacStr,
+        Reg::ONE,
+        &[r(2), r(3), r(5)],
+        &[r(10), r(11)],
+        0,
+    );
+    let res = execute(&cstr, &rf, &mut mem);
+    s.push_str(&format!(
+        "  super_cabac_str  (value 120, range 400, state 17) -> bit_pos {} bit {}\n",
+        res.writes[0].unwrap().1,
+        res.writes[1].unwrap().1
+    ));
+    let cctx = Op::new(
+        Opcode::SuperCabacCtx,
+        Reg::ONE,
+        &[r(2), r(3), r(4), r(5)],
+        &[r(10), r(11)],
+        0,
+    );
+    let res = execute(&cctx, &rf, &mut mem);
+    let vr = res.writes[0].unwrap().1;
+    let sm = res.writes[1].unwrap().1;
+    s.push_str(&format!(
+        "  super_cabac_ctx  -> value {} range {} state {} mps {}\n",
+        vr >> 16,
+        vr & 0xffff,
+        sm >> 16,
+        sm & 1
+    ));
+    s
+}
+
+/// One row of the Table 3 report.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Field type name.
+    pub field: &'static str,
+    /// Paper's average bits per field.
+    pub paper_bits: u64,
+    /// Simulated bits per field (scaled).
+    pub bits: u64,
+    /// Non-optimized VLIW instructions and instructions/bit.
+    pub base_instrs: u64,
+    /// Non-optimized instructions per bit.
+    pub base_ipb: f64,
+    /// Optimized VLIW instructions.
+    pub opt_instrs: u64,
+    /// Optimized instructions per bit.
+    pub opt_ipb: f64,
+    /// Speedup (paper: 1.5 - 1.7).
+    pub speedup: f64,
+}
+
+/// Runs the Table 3 experiment at `1/scale` of the paper's field sizes.
+///
+/// # Panics
+///
+/// Panics if a kernel fails to verify.
+pub fn table3(scale: u64) -> Vec<Table3Row> {
+    use tm3270_cabac::FieldType;
+    let cfg = MachineConfig::tm3270();
+    FieldType::all()
+        .iter()
+        .map(|&field| {
+            let bits = field.paper_bits_per_field() / scale.max(1);
+            let base_kernel = CabacDecode::table3(field, false, bits);
+            let opt_kernel = CabacDecode::table3(field, true, bits);
+            let base = run_kernel(&base_kernel, &cfg).expect("non-optimized CABAC verifies");
+            let opt = run_kernel(&opt_kernel, &cfg).expect("optimized CABAC verifies");
+            Table3Row {
+                field: field.name(),
+                paper_bits: field.paper_bits_per_field(),
+                bits,
+                base_instrs: base.instrs,
+                base_ipb: base.instrs as f64 / bits as f64,
+                opt_instrs: opt.instrs,
+                opt_ipb: opt.instrs as f64 / bits as f64,
+                speedup: base.instrs as f64 / opt.instrs as f64,
+            }
+        })
+        .collect()
+}
+
+/// Formats the Table 3 report.
+pub fn table3_report(rows: &[Table3Row]) -> String {
+    let mut s = String::from(
+        "Table 3. CABAC decoding (VLIW instructions, with and without the\n\
+         SUPER_CABAC operations)\n\
+  field  bits/field  non-opt instr  instr/bit  opt instr  instr/bit  speedup\n",
+    );
+    for row in rows {
+        s.push_str(&format!(
+            "  {:<5} {:>11} {:>14} {:>10.1} {:>10} {:>10.1} {:>8.2}\n",
+            row.field, row.bits, row.base_instrs, row.base_ipb, row.opt_instrs, row.opt_ipb,
+            row.speedup
+        ));
+    }
+    s.push_str("  (paper speedups: I 1.7, P 1.6, B 1.5; instr/bit 21.1/28.0/33.8 -> 12.5/17.4/22.3)\n");
+    s
+}
+
+/// The Table 4 experiment: area breakdown plus the MP3-proxy power
+/// breakdown at 1.2 V and 0.8 V.
+///
+/// # Panics
+///
+/// Panics if the MP3 proxy fails to verify.
+pub fn table4() -> String {
+    let cfg = MachineConfig::tm3270();
+    let mp3 = Mp3Proxy::paper();
+    let stats = run_kernel(&mp3, &cfg).expect("mp3 proxy verifies");
+    let area = AreaModel::nm90();
+    let power = PowerModel::calibrated(&stats);
+
+    let mut s = String::from("Table 4. TM3270 area/power breakdown\n");
+    s.push_str("  module    area (mm^2)   MP3 power (mW/MHz at 1.2 V)\n");
+    let areas = area.breakdown(&cfg);
+    let powers = power.breakdown(&stats, 1.2);
+    for (a, p) in areas.iter().zip(&powers) {
+        s.push_str(&format!(
+            "  {:<9} {:>10.2} {:>20.3}\n",
+            a.module.name(),
+            a.value,
+            p.value
+        ));
+    }
+    s.push_str(&format!(
+        "  {:<9} {:>10.2} {:>20.3}\n",
+        "Total",
+        area.total(&cfg),
+        power.total_mw_per_mhz(&stats, 1.2)
+    ));
+    s.push_str(&format!(
+        "  cache SRAM fraction of area: {:.0}% (paper: ~50%)\n",
+        area.sram_fraction(&cfg) * 100.0
+    ));
+    s.push_str(&format!(
+        "  MP3 proxy: OPI {:.2} (paper ~4.5), CPI {:.2} (paper ~1.0)\n",
+        stats.opi(),
+        stats.cpi()
+    ));
+    s.push_str(&format!(
+        "  at 0.8 V: {:.3} mW/MHz; 8 MHz real-time MP3 = {:.2} mW (paper: 0.415 / 3.32 from its 0.935 total)\n",
+        power.total_mw_per_mhz(&stats, 0.8),
+        power.power_mw(&stats, 0.8, 8.0)
+    ));
+    s
+}
+
+/// One kernel row of Figure 7: relative performance of configurations
+/// A-D (A = 1.0).
+#[derive(Debug, Clone)]
+pub struct Figure7Row {
+    /// Kernel name.
+    pub kernel: String,
+    /// Relative performance of A, B, C, D (time_A / time_X).
+    pub relative: [f64; 4],
+}
+
+/// Runs the Figure 7 experiment: the full suite over A-D, normalized to
+/// configuration A.
+///
+/// # Panics
+///
+/// Panics if any kernel fails to verify on any configuration.
+pub fn figure7() -> Vec<Figure7Row> {
+    let cells = run_suite();
+    figure7_from_cells(&cells)
+}
+
+/// Groups raw cells into Figure 7 rows.
+pub fn figure7_from_cells(cells: &[Cell]) -> Vec<Figure7Row> {
+    let mut rows: Vec<Figure7Row> = Vec::new();
+    let mut i = 0;
+    while i < cells.len() {
+        let chunk = &cells[i..i + 4];
+        let t_a = chunk[0].time_us();
+        rows.push(Figure7Row {
+            kernel: chunk[0].kernel.clone(),
+            relative: [
+                1.0,
+                t_a / chunk[1].time_us(),
+                t_a / chunk[2].time_us(),
+                t_a / chunk[3].time_us(),
+            ],
+        });
+        i += 4;
+    }
+    rows
+}
+
+/// Formats the Figure 7 report.
+pub fn figure7_report(rows: &[Figure7Row]) -> String {
+    let mut s = String::from(
+        "Figure 7. Relative performance (configuration A = TM3260 = 1.0)\n\
+  kernel             A       B       C       D\n",
+    );
+    for row in rows {
+        s.push_str(&format!(
+            "  {:<14} {:>6.2} {:>7.2} {:>7.2} {:>7.2}\n",
+            row.kernel, row.relative[0], row.relative[1], row.relative[2], row.relative[3]
+        ));
+    }
+    let d_gains: Vec<f64> = rows.iter().map(|r| r.relative[3]).collect();
+    s.push_str(&format!(
+        "  geometric-mean D/A gain: {:.2} (paper: average 2.29)\n",
+        geomean(&d_gains)
+    ));
+    s
+}
+
+/// The §5.2 power survey: per-workload OPI, CPI and modelled mW/MHz —
+/// the paper's claim that power tracks OPI/CPI rather than the specific
+/// application.
+///
+/// # Panics
+///
+/// Panics if a kernel fails to verify.
+pub fn power_survey() -> String {
+    use tm3270_power::PowerModel;
+    let cfg = MachineConfig::tm3270();
+    let mp3 = run_kernel(&Mp3Proxy::paper(), &cfg).expect("mp3 proxy verifies");
+    let model = PowerModel::calibrated(&mp3);
+    let mut s = String::from(
+        "§5.2 power survey (TM3270 @ 1.2 V; model calibrated to the MP3 proxy)
+  kernel          OPI    CPI   mW/MHz
+",
+    );
+    s.push_str(&format!(
+        "  {:<14} {:>4.2} {:>6.2} {:>8.3}
+",
+        "mp3_proxy",
+        mp3.opi(),
+        mp3.cpi(),
+        model.total_mw_per_mhz(&mp3, 1.2)
+    ));
+    for kernel in evaluation_kernels() {
+        let stats = run_kernel(kernel.as_ref(), &cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+        s.push_str(&format!(
+            "  {:<14} {:>4.2} {:>6.2} {:>8.3}
+",
+            kernel.name(),
+            stats.opi(),
+            stats.cpi(),
+            model.total_mw_per_mhz(&stats, 1.2)
+        ));
+    }
+    s.push_str("  (higher OPI/lower CPI -> higher mW/MHz; stalled cycles are clock-gated)
+");
+    s
+}
+
+/// The Figure 3 / §2.3 prefetch experiment.
+///
+/// # Panics
+///
+/// Panics if the block filter fails to verify.
+pub fn prefetch_experiment() -> String {
+    let cfg = MachineConfig::tm3270();
+    let base = run_kernel(&BlockFilter::figure3(false), &cfg).expect("verifies");
+    let pf = run_kernel(&BlockFilter::figure3(true), &cfg).expect("verifies");
+    let mut s = String::from("Figure 3 / §2.3: region-based prefetching, 4x4 block processing\n");
+    s.push_str(&format!(
+        "  without prefetch: {:>9} cycles, {:>7} data-stall cycles, CPI {:.2}\n",
+        base.cycles,
+        base.data_stall_cycles,
+        base.cpi()
+    ));
+    s.push_str(&format!(
+        "  with prefetch:    {:>9} cycles, {:>7} data-stall cycles, CPI {:.2}\n",
+        pf.cycles,
+        pf.data_stall_cycles,
+        pf.cpi()
+    ));
+    s.push_str(&format!(
+        "  prefetches issued {}, useful {}, stall reduction {:.0}%\n",
+        pf.mem.prefetch.issued,
+        pf.mem.dcache.prefetch_hits,
+        (1.0 - pf.data_stall_cycles as f64 / base.data_stall_cycles.max(1) as f64) * 100.0
+    ));
+    s
+}
+
+/// The §6 / \[14\] temporal up-conversion experiment: gains from the new
+/// operations and from data prefetching.
+///
+/// # Panics
+///
+/// Panics if a kernel fails to verify.
+pub fn upconversion_experiment() -> String {
+    use tm3270_kernels::upconv::Upconv;
+    use tm3270_kernels::Kernel as _;
+    let cfg = MachineConfig::tm3270();
+    let mut s = String::from("§6 / [14]: temporal up-conversion (720x240 field)
+");
+    let mut cycles = std::collections::HashMap::new();
+    for optimized in [false, true] {
+        for prefetch in [false, true] {
+            let k = Upconv::evaluation(optimized, prefetch);
+            let stats = run_kernel(&k, &cfg).expect("verifies");
+            s.push_str(&format!(
+                "  {:<14} {:>9} cycles  CPI {:.2}  data stalls {:>7}
+",
+                k.name(),
+                stats.cycles,
+                stats.cpi(),
+                stats.data_stall_cycles
+            ));
+            cycles.insert((optimized, prefetch), stats.cycles as f64);
+        }
+    }
+    s.push_str(&format!(
+        "  new operations: {:.0}% faster (paper [14]: 40%)
+",
+        (cycles[&(false, true)] / cycles[&(true, true)] - 1.0) * 100.0
+    ));
+    s.push_str(&format!(
+        "  prefetching:    {:.0}% faster (paper [14]: more than 20%)
+",
+        (cycles[&(true, false)] / cycles[&(true, true)] - 1.0) * 100.0
+    ));
+    s
+}
+
+/// The §6 / \[12\] motion-estimation experiment.
+///
+/// # Panics
+///
+/// Panics if a kernel fails to verify.
+pub fn motion_est_experiment() -> String {
+    let cfg = MachineConfig::tm3270();
+    let base = run_kernel(&MotionEst::evaluation(false), &cfg).expect("verifies");
+    let opt = run_kernel(&MotionEst::evaluation(true), &cfg).expect("verifies");
+    let mut s =
+        String::from("§6 / [12]: motion estimation with LD_FRAC8 collapsed loads\n");
+    s.push_str(&format!(
+        "  software interpolation: {:>9} cycles, {:>8} instrs, OPI {:.2}\n",
+        base.cycles,
+        base.instrs,
+        base.opi()
+    ));
+    s.push_str(&format!(
+        "  LD_FRAC8 (TM3270):      {:>9} cycles, {:>8} instrs, OPI {:.2}\n",
+        opt.cycles,
+        opt.instrs,
+        opt.opi()
+    ));
+    s.push_str(&format!(
+        "  speedup: {:.2}x (paper: more than a factor two)\n",
+        base.cycles as f64 / opt.cycles as f64
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_tables_render() {
+        let t1 = table1();
+        assert!(t1.contains("128 32-bit registers"));
+        assert!(t1.contains("128 Kbyte"));
+        let t6 = table6();
+        assert!(t6.contains("240 MHz"));
+        assert!(t6.contains("350 MHz"));
+        assert!(t6.contains("fetch-on-write-miss"));
+    }
+
+    #[test]
+    fn figure1_reports_paper_sizes() {
+        let f = figure1();
+        assert!(f.contains("2 bytes (paper: 2)"), "{f}");
+        assert!(f.contains("28 bytes (paper: 28)"), "{f}");
+    }
+}

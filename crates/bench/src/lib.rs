@@ -1,0 +1,115 @@
+//! # tm3270-bench
+//!
+//! Experiment drivers that regenerate every table and figure of the
+//! paper's evaluation (see `DESIGN.md`'s experiment index):
+//!
+//! * [`table1`] / [`table6`] — the architecture spec sheets;
+//! * [`figure1`] — VLIW instruction-compression sizes and code-size
+//!   statistics on the real kernels (§2.1);
+//! * [`table2_demo`] — the new-operation semantics on concrete operands;
+//! * [`table3`] — CABAC decoding: VLIW instructions per bit for I/P/B
+//!   fields, optimized vs non-optimized, and the speedup;
+//! * [`table4`] — area and power breakdowns (§5);
+//! * [`figure7`] — relative performance of configurations A–D on the
+//!   eleven Table 5 workloads;
+//! * [`prefetch_experiment`] — the Figure 3 block-processing prefetch
+//!   demonstration (§2.3);
+//! * [`motion_est_experiment`] — the §6/\[12\] motion-estimation gain from
+//!   `LD_FRAC8` and non-aligned access.
+//!
+//! Each driver returns plain data plus a formatted report; the
+//! `repro_*` binaries print the reports, and `cargo bench` runs them all
+//! (plus Criterion micro-benchmarks of the simulator substrate).
+
+#![warn(missing_docs)]
+
+use tm3270_core::{MachineConfig, RunStats};
+use tm3270_kernels::{evaluation_kernels, run_kernel, Kernel};
+
+pub mod ablations;
+pub mod experiments;
+
+pub use ablations::*;
+pub use experiments::*;
+
+/// Result of one (kernel, configuration) cell of Figure 7.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Kernel name.
+    pub kernel: String,
+    /// Configuration name.
+    pub config: &'static str,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+impl Cell {
+    /// Wall-clock execution time in microseconds.
+    pub fn time_us(&self) -> f64 {
+        self.stats.time_us()
+    }
+}
+
+/// Runs the full Table 5 workload suite over configurations A–D.
+///
+/// # Panics
+///
+/// Panics if any kernel fails to build, run, or verify — the kernels are
+/// self-checking against their golden references.
+pub fn run_suite() -> Vec<Cell> {
+    let configs = MachineConfig::evaluation_suite();
+    let kernels = evaluation_kernels();
+    let mut cells = Vec::new();
+    for kernel in &kernels {
+        for config in &configs {
+            let stats = run_kernel(kernel.as_ref(), config)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name(), config.name));
+            cells.push(Cell {
+                kernel: kernel.name().to_string(),
+                config: config.name,
+                stats,
+            });
+        }
+    }
+    cells
+}
+
+/// Runs a single kernel across the A–D suite.
+///
+/// # Panics
+///
+/// Panics if the kernel fails to build, run, or verify.
+pub fn run_kernel_suite(kernel: &dyn Kernel) -> Vec<Cell> {
+    MachineConfig::evaluation_suite()
+        .iter()
+        .map(|config| {
+            let stats = run_kernel(kernel, config)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name(), config.name));
+            Cell {
+                kernel: kernel.name().to_string(),
+                config: config.name,
+                stats,
+            }
+        })
+        .collect()
+}
+
+/// Geometric mean of a slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

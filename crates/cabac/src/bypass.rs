@@ -1,0 +1,129 @@
+//! H.264 CABAC bypass and termination coding modes (spec §9.3.3.2.3/4,
+//! §9.3.4.4/5).
+//!
+//! Real H.264 streams mix three coding modes: context-coded bins (the
+//! adaptive path the TM3270's `SUPER_CABAC_*` operations accelerate),
+//! *bypass* bins for near-equiprobable data (sign bits, suffixes — no
+//! context, no range subdivision table), and the *end-of-slice
+//! termination* bin with its fixed 2-wide LPS sub-range. This module
+//! completes the substrate so full syntax-element streams round-trip.
+
+use crate::decoder::Decoder;
+use crate::encoder::Encoder;
+
+impl Encoder {
+    /// Encodes one bypass (equiprobable) bin — spec `EncodeBypass`.
+    pub fn encode_bypass(&mut self, bit: bool) {
+        self.bypass_encode(bit);
+    }
+
+    /// Encodes the end-of-slice termination bin — spec `EncodeTerminate`.
+    /// `end` = true signals termination.
+    pub fn encode_terminate(&mut self, end: bool) {
+        self.terminate_encode(end);
+    }
+}
+
+impl Decoder<'_> {
+    /// Decodes one bypass bin — spec `DecodeBypass` (Figure 2's engine
+    /// without a context model: the offset is doubled against the full
+    /// range).
+    pub fn decode_bypass(&mut self) -> bool {
+        self.bypass_decode()
+    }
+
+    /// Decodes the termination bin — spec `DecodeTerminate`.
+    pub fn decode_terminate(&mut self) -> bool {
+        self.terminate_decode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Context;
+
+    #[test]
+    fn bypass_round_trips() {
+        let mut enc = Encoder::new();
+        let bits: Vec<bool> = (0..500).map(|i| (i * 7) % 3 == 0).collect();
+        for &b in &bits {
+            enc.encode_bypass(b);
+        }
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(dec.decode_bypass(), b, "bypass bin {i}");
+        }
+    }
+
+    #[test]
+    fn bypass_costs_one_bit_per_bin() {
+        let mut enc = Encoder::new();
+        let mut x = 0x1357_9bdfu32;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            enc.encode_bypass((x >> 17) & 1 == 1);
+        }
+        let bits = enc.bits_emitted();
+        assert!(
+            (1990..2020).contains(&bits),
+            "bypass is exactly ~1 bit/bin, got {bits}"
+        );
+    }
+
+    #[test]
+    fn mixed_context_bypass_terminate_round_trips() {
+        // The realistic decoder pattern: context bins interleaved with
+        // bypass suffixes, ended by a terminate bin.
+        let mut enc = Encoder::new();
+        let mut ctx = [Context::new(12, true), Context::new(40, false)];
+        let mut trace = Vec::new();
+        let mut x = 0xfeed_f00du32;
+        for i in 0..800 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            match x % 3 {
+                0 => {
+                    let b = (x >> 20) & 3 != 0;
+                    enc.encode(&mut ctx[i % 2], b);
+                    trace.push((0u8, b, i % 2));
+                }
+                1 => {
+                    let b = (x >> 21) & 1 == 1;
+                    enc.encode_bypass(b);
+                    trace.push((1, b, 0));
+                }
+                _ => {
+                    enc.encode_terminate(false);
+                    trace.push((2, false, 0));
+                }
+            }
+        }
+        enc.encode_terminate(true);
+        let bytes = enc.finish();
+
+        let mut dec = Decoder::new(&bytes);
+        let mut dctx = [Context::new(12, true), Context::new(40, false)];
+        for (i, &(kind, b, c)) in trace.iter().enumerate() {
+            let got = match kind {
+                0 => dec.decode(&mut dctx[c]),
+                1 => dec.decode_bypass(),
+                _ => dec.decode_terminate(),
+            };
+            assert_eq!(got, b, "bin {i} (kind {kind})");
+        }
+        assert!(dec.decode_terminate(), "final terminate decodes as end");
+        assert_eq!(dctx, ctx, "contexts agree after the mixed stream");
+    }
+
+    #[test]
+    fn terminate_false_is_cheap() {
+        // A non-terminating end-of-slice check costs well under a bit.
+        let mut enc = Encoder::new();
+        for _ in 0..1000 {
+            enc.encode_terminate(false);
+        }
+        let bits = enc.bits_emitted();
+        assert!(bits < 100, "1000 non-terminations in {bits} bits");
+    }
+}

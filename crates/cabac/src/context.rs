@@ -1,0 +1,125 @@
+//! CABAC context models: the per-context probability state the paper
+//! packs into a `DUAL16 (state, mps)` register operand (§2.2.3).
+
+/// One adaptive binary context: a 6-bit probability state and the
+/// most-probable-symbol bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub struct Context {
+    /// Probability state (`0..64`).
+    pub state: u8,
+    /// Most probable symbol.
+    pub mps: bool,
+}
+
+impl Context {
+    /// Creates a context with the given initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= 64`.
+    pub fn new(state: u8, mps: bool) -> Context {
+        assert!(state < 64, "CABAC state must be < 64");
+        Context { state, mps }
+    }
+
+    /// The `DUAL16 (state, mps)` register representation used by the
+    /// TM3270 CABAC operations (paper, Table 2).
+    pub fn to_dual16(self) -> u32 {
+        (u32::from(self.state) << 16) | u32::from(self.mps)
+    }
+
+    /// Reconstructs a context from its `DUAL16 (state, mps)`
+    /// representation.
+    pub fn from_dual16(v: u32) -> Context {
+        Context {
+            state: ((v >> 16) & 0x3f) as u8,
+            mps: v & 1 == 1,
+        }
+    }
+}
+
+
+/// A bank of contexts, as kept by a real syntax-element decoder.
+#[derive(Debug, Clone)]
+pub struct ContextBank {
+    contexts: Vec<Context>,
+}
+
+impl ContextBank {
+    /// Creates `n` contexts, deterministically initialized with a spread
+    /// of probability states (stand-in for the slice-QP-dependent H.264
+    /// context initialization).
+    pub fn new(n: usize) -> ContextBank {
+        ContextBank {
+            contexts: (0..n)
+                .map(|i| Context::new(((i * 13 + 7) % 63) as u8, i % 3 != 0))
+                .collect(),
+        }
+    }
+
+    /// Number of contexts.
+    pub fn len(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Whether the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.contexts.is_empty()
+    }
+
+    /// Borrows context `i`.
+    pub fn get_mut(&mut self, i: usize) -> &mut Context {
+        &mut self.contexts[i]
+    }
+
+    /// Read-only access to context `i`.
+    pub fn get(&self, i: usize) -> Context {
+        self.contexts[i]
+    }
+
+    /// Serializes the bank into its `DUAL16` memory image (one 32-bit
+    /// word per context), as the TM3270 kernels lay it out.
+    pub fn to_words(&self) -> Vec<u32> {
+        self.contexts.iter().map(|c| c.to_dual16()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual16_round_trip() {
+        for state in 0..64u8 {
+            for mps in [false, true] {
+                let c = Context::new(state, mps);
+                assert_eq!(Context::from_dual16(c.to_dual16()), c);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be < 64")]
+    fn bad_state_panics() {
+        let _ = Context::new(64, true);
+    }
+
+    #[test]
+    fn bank_is_deterministic() {
+        let a = ContextBank::new(16);
+        let b = ContextBank::new(16);
+        assert_eq!(a.to_words(), b.to_words());
+        assert_eq!(a.len(), 16);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn bank_words_match_contexts() {
+        let bank = ContextBank::new(4);
+        let words = bank.to_words();
+        for (i, &w) in words.iter().enumerate() {
+            assert_eq!(Context::from_dual16(w), bank.get(i));
+        }
+    }
+}

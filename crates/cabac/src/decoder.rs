@@ -1,0 +1,237 @@
+//! H.264/AVC CABAC binary arithmetic **decoder**, built directly on the
+//! `biari_decode_symbol` step of the paper's Figure 2 (shared with the
+//! TM3270 `SUPER_CABAC_*` operations via `tm3270_isa::cabac`).
+
+use crate::context::Context;
+use tm3270_isa::cabac::{cabac_decode_step, CabacState};
+
+/// A CABAC decoder over a byte stream.
+///
+/// It maintains the same state the TM3270 kernels keep in registers: a
+/// 32-bit big-endian `stream_data` window, the `stream_bit_position`
+/// within it, and the `(value, range)` coding state (paper, §2.2.3).
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    /// Byte offset of the current 32-bit window.
+    byte_pos: usize,
+    stream_data: u32,
+    stream_bit_position: u32,
+    value: u16,
+    range: u16,
+    /// Total bits consumed from the stream.
+    bits_consumed: u64,
+    symbols: u64,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `data`, performing the 9-bit offset
+    /// initialization of the H.264 arithmetic decoding engine.
+    pub fn new(data: &'a [u8]) -> Decoder<'a> {
+        let stream_data = Self::window(data, 0);
+        let value = (stream_data >> 23) as u16; // first 9 bits
+        Decoder {
+            data,
+            byte_pos: 0,
+            stream_data,
+            stream_bit_position: 9,
+            value,
+            range: 510,
+            bits_consumed: 9,
+            symbols: 0,
+        }
+    }
+
+    fn window(data: &[u8], byte_pos: usize) -> u32 {
+        let b = |i: usize| -> u32 { data.get(byte_pos + i).copied().unwrap_or(0).into() };
+        (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3)
+    }
+
+    /// Decodes one binary symbol with context `ctx` (Figure 2,
+    /// `biari_decode_symbol`).
+    pub fn decode(&mut self, ctx: &mut Context) -> bool {
+        let step = cabac_decode_step(
+            CabacState {
+                value: self.value,
+                range: self.range,
+                state: ctx.state,
+                mps: ctx.mps,
+            },
+            self.stream_data,
+            self.stream_bit_position,
+        );
+        self.bits_consumed += u64::from(step.stream_bit_position - self.stream_bit_position);
+        self.value = step.next.value;
+        self.range = step.next.range;
+        ctx.state = step.next.state;
+        ctx.mps = step.next.mps;
+        self.stream_bit_position = step.stream_bit_position;
+        self.symbols += 1;
+
+        // Window refill: keep at least 8 decodable bits ahead, exactly
+        // like the register-resident kernel does.
+        while self.stream_bit_position >= 8 {
+            self.byte_pos += 1;
+            self.stream_bit_position -= 8;
+            self.stream_data = Self::window(self.data, self.byte_pos);
+        }
+        step.bit
+    }
+
+    /// Pulls one bit from the window and refills it.
+    fn pull_bit(&mut self) -> u16 {
+        let bit = ((self.stream_data << self.stream_bit_position) >> 31) as u16;
+        self.stream_bit_position += 1;
+        self.bits_consumed += 1;
+        while self.stream_bit_position >= 8 {
+            self.byte_pos += 1;
+            self.stream_bit_position -= 8;
+            self.stream_data = Self::window(self.data, self.byte_pos);
+        }
+        bit
+    }
+
+    /// Spec `DecodeBypass`: the offset doubles against the untouched
+    /// range.
+    pub(crate) fn bypass_decode(&mut self) -> bool {
+        self.symbols += 1;
+        self.value = (self.value << 1) | self.pull_bit();
+        if self.value >= self.range {
+            self.value -= self.range;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Spec `DecodeTerminate`: fixed 2-wide LPS sub-range for the
+    /// end-of-slice bin.
+    pub(crate) fn terminate_decode(&mut self) -> bool {
+        self.symbols += 1;
+        self.range -= 2;
+        if self.value >= self.range {
+            return true;
+        }
+        while self.range < 256 {
+            self.range <<= 1;
+            self.value = (self.value << 1) | self.pull_bit();
+        }
+        false
+    }
+
+    /// Total bits consumed from the stream so far (including the 9-bit
+    /// initialization).
+    pub fn bits_consumed(&self) -> u64 {
+        self.bits_consumed
+    }
+
+    /// Symbols decoded so far.
+    pub fn symbols(&self) -> u64 {
+        self.symbols
+    }
+
+    /// The current `(value, range)` coding state (for cross-checking
+    /// against the register-level kernels).
+    pub fn coding_state(&self) -> (u16, u16) {
+        (self.value, self.range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Encoder;
+
+    fn round_trip(symbols: &[bool], init_state: u8, init_mps: bool) {
+        let mut enc = Encoder::new();
+        let mut ectx = Context::new(init_state, init_mps);
+        for &b in symbols {
+            enc.encode(&mut ectx, b);
+        }
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        let mut dctx = Context::new(init_state, init_mps);
+        for (i, &b) in symbols.iter().enumerate() {
+            assert_eq!(dec.decode(&mut dctx), b, "symbol {i}");
+        }
+    }
+
+    #[test]
+    fn round_trip_all_ones() {
+        round_trip(&vec![true; 500], 10, true);
+    }
+
+    #[test]
+    fn round_trip_all_zeros() {
+        round_trip(&vec![false; 500], 10, true);
+    }
+
+    #[test]
+    fn round_trip_alternating() {
+        let sym: Vec<bool> = (0..1000).map(|i| i % 2 == 0).collect();
+        round_trip(&sym, 0, false);
+    }
+
+    #[test]
+    fn round_trip_pseudo_random_many_states() {
+        for init_state in [0u8, 5, 20, 40, 62, 63] {
+            let mut x = 0xdead_beefu32;
+            let sym: Vec<bool> = (0..2000)
+                .map(|_| {
+                    x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (x >> 13) & 1 == 1
+                })
+                .collect();
+            round_trip(&sym, init_state, init_state % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn round_trip_multiple_contexts() {
+        // Interleave three contexts with different statistics, as a real
+        // syntax-element decoder does.
+        let mut enc = Encoder::new();
+        let mut ectx = [
+            Context::new(0, true),
+            Context::new(30, false),
+            Context::new(62, true),
+        ];
+        let mut x = 42u32;
+        let mut record = Vec::new();
+        for i in 0..3000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let c = i % 3;
+            let b = (x >> 20) & 7 != 0; // skewed
+            enc.encode(&mut ectx[c], b);
+            record.push((c, b));
+        }
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        let mut dctx = [
+            Context::new(0, true),
+            Context::new(30, false),
+            Context::new(62, true),
+        ];
+        for (i, &(c, b)) in record.iter().enumerate() {
+            assert_eq!(dec.decode(&mut dctx[c]), b, "symbol {i}");
+        }
+    }
+
+    #[test]
+    fn bits_consumed_tracks_stream() {
+        let mut enc = Encoder::new();
+        let mut ctx = Context::new(0, true);
+        for _ in 0..100 {
+            enc.encode(&mut ctx, true);
+        }
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        let mut dctx = Context::new(0, true);
+        for _ in 0..100 {
+            dec.decode(&mut dctx);
+        }
+        assert!(dec.bits_consumed() >= 9);
+        assert!(dec.bits_consumed() <= (bytes.len() as u64) * 8);
+        assert_eq!(dec.symbols(), 100);
+    }
+}

@@ -1,0 +1,46 @@
+//! # tm3270-cabac
+//!
+//! H.264/AVC Context-Based Adaptive Binary Arithmetic Coding (CABAC)
+//! substrate for the TM3270 reproduction (paper §2.2.3; Marpe et al.
+//! \[18\]).
+//!
+//! Provides a reference arithmetic [`Encoder`] and [`Decoder`] built on
+//! the same `biari_decode_symbol` step and H.264 probability tables that
+//! the TM3270's `SUPER_CABAC_CTX` / `SUPER_CABAC_STR` operations use, so
+//! the hardware operations can be verified bit-for-bit against real coded
+//! streams — plus a workload generator reproducing the symbol statistics
+//! of the paper's Table 3 I/P/B fields.
+//!
+//! # Examples
+//!
+//! ```
+//! use tm3270_cabac::{Context, Decoder, Encoder};
+//!
+//! let mut enc = Encoder::new();
+//! let mut ctx = Context::new(20, true);
+//! let message = [true, false, true, true, false];
+//! for &b in &message {
+//!     enc.encode(&mut ctx, b);
+//! }
+//! let bytes = enc.finish();
+//!
+//! let mut dec = Decoder::new(&bytes);
+//! let mut ctx = Context::new(20, true);
+//! for &b in &message {
+//!     assert_eq!(dec.decode(&mut ctx), b);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bypass;
+mod context;
+mod decoder;
+mod encoder;
+mod workload;
+
+pub use context::{Context, ContextBank};
+pub use decoder::Decoder;
+pub use encoder::Encoder;
+pub use workload::{generate_field, FieldType, GeneratedField};

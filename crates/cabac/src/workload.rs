@@ -1,0 +1,186 @@
+//! CABAC workload generation for the Table 3 experiment.
+//!
+//! The paper measures the complete CABAC decoding process on I, P and
+//! B fields of a 4.5 Mbit/s standard-resolution bitstream (60 720x240
+//! fields/s), reporting average bits per field and VLIW instructions per
+//! bit. We do not have the original bitstream; instead we generate CABAC
+//! streams whose *symbol statistics* match each field type's
+//! instructions-per-bit signature: I fields carry many near-equiprobable
+//! symbols (residual data), while B fields are dominated by highly skewed
+//! symbols (skip/coded-block flags), which compress well — more decoded
+//! symbols, and therefore more decode work, per bit.
+
+use crate::context::{Context, ContextBank};
+use crate::encoder::Encoder;
+
+/// H.264 field types of the Table 3 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// Intra-coded field.
+    I,
+    /// Predicted field.
+    P,
+    /// Bi-predicted field.
+    B,
+}
+
+impl FieldType {
+    /// The three field types in Table 3 order.
+    pub fn all() -> [FieldType; 3] {
+        [FieldType::I, FieldType::P, FieldType::B]
+    }
+
+    /// Average bits per field reported in Table 3.
+    pub fn paper_bits_per_field(self) -> u64 {
+        match self {
+            FieldType::I => 215_408,
+            FieldType::P => 103_544,
+            FieldType::B => 153_035,
+        }
+    }
+
+    /// The MPS probability of the synthetic symbol source for this field
+    /// type (see module docs).
+    pub fn mps_probability(self) -> f64 {
+        match self {
+            FieldType::I => 0.72,
+            FieldType::P => 0.82,
+            FieldType::B => 0.88,
+        }
+    }
+
+    /// Table 3 name ("I", "P", "B").
+    pub fn name(self) -> &'static str {
+        match self {
+            FieldType::I => "I",
+            FieldType::P => "P",
+            FieldType::B => "B",
+        }
+    }
+}
+
+/// A generated CABAC field: the coded bytes plus the reference symbol
+/// trace for validation.
+#[derive(Debug, Clone)]
+pub struct GeneratedField {
+    /// Field type.
+    pub field: FieldType,
+    /// The CABAC-coded bytes (with flush and window padding).
+    pub bytes: Vec<u8>,
+    /// The symbol trace: `(context index, symbol)` in decode order.
+    pub symbols: Vec<(u16, bool)>,
+    /// Payload bits emitted by the encoder (excludes flush/padding).
+    pub payload_bits: u64,
+    /// Number of contexts used.
+    pub n_contexts: usize,
+}
+
+#[derive(Debug)]
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u32(&mut self) -> u32 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 32) as u32
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        f64::from(self.next_u32()) / f64::from(u32::MAX) < p
+    }
+}
+
+/// Generates a CABAC field of roughly `target_bits` payload bits with the
+/// symbol statistics of `field`, using `n_contexts` adaptive contexts.
+///
+/// The context-selection sequence is a deterministic pseudo-random walk,
+/// standing in for H.264's syntax-driven context computation.
+pub fn generate_field(
+    field: FieldType,
+    target_bits: u64,
+    n_contexts: usize,
+    seed: u64,
+) -> GeneratedField {
+    assert!(n_contexts > 0 && n_contexts < u16::MAX as usize);
+    let mut rng = Lcg(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut enc = Encoder::new();
+    let bank = ContextBank::new(n_contexts);
+    let mut contexts: Vec<Context> = (0..n_contexts).map(|i| bank.get(i)).collect();
+    let p = field.mps_probability();
+    let mut symbols = Vec::new();
+    while (enc.bits_emitted() as u64) < target_bits {
+        let ctx_idx = (rng.next_u32() as usize) % n_contexts;
+        // Decide the *symbol value* with probability `p` of matching the
+        // context's current MPS, so adaptation keeps the source skewed.
+        let bit = if rng.chance(p) {
+            contexts[ctx_idx].mps
+        } else {
+            !contexts[ctx_idx].mps
+        };
+        enc.encode(&mut contexts[ctx_idx], bit);
+        symbols.push((ctx_idx as u16, bit));
+    }
+    let payload_bits = enc.bits_emitted() as u64;
+    GeneratedField {
+        field,
+        bytes: enc.finish(),
+        symbols,
+        payload_bits,
+        n_contexts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Decoder;
+
+    #[test]
+    fn generated_fields_round_trip() {
+        for field in FieldType::all() {
+            let g = generate_field(field, 4_000, 16, 7);
+            let bank = ContextBank::new(g.n_contexts);
+            let mut contexts: Vec<Context> = (0..g.n_contexts).map(|i| bank.get(i)).collect();
+            let mut dec = Decoder::new(&g.bytes);
+            for &(ctx, bit) in &g.symbols {
+                assert_eq!(dec.decode(&mut contexts[ctx as usize]), bit);
+            }
+        }
+    }
+
+    #[test]
+    fn b_fields_pack_more_symbols_per_bit_than_i_fields() {
+        let i = generate_field(FieldType::I, 20_000, 16, 1);
+        let b = generate_field(FieldType::B, 20_000, 16, 1);
+        let spb_i = i.symbols.len() as f64 / i.payload_bits as f64;
+        let spb_b = b.symbols.len() as f64 / b.payload_bits as f64;
+        assert!(
+            spb_b > spb_i * 1.3,
+            "B: {spb_b:.2} symbols/bit vs I: {spb_i:.2}"
+        );
+    }
+
+    #[test]
+    fn target_bits_respected() {
+        let g = generate_field(FieldType::P, 10_000, 8, 3);
+        assert!(g.payload_bits >= 10_000);
+        assert!(g.payload_bits < 10_200, "overshoot is bounded");
+    }
+
+    #[test]
+    fn paper_field_sizes_recorded() {
+        assert_eq!(FieldType::I.paper_bits_per_field(), 215_408);
+        assert_eq!(FieldType::P.paper_bits_per_field(), 103_544);
+        assert_eq!(FieldType::B.paper_bits_per_field(), 153_035);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_field(FieldType::I, 2_000, 8, 42);
+        let b = generate_field(FieldType::I, 2_000, 8, 42);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.symbols, b.symbols);
+    }
+}

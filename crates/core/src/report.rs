@@ -1,0 +1,98 @@
+//! Human-readable run reports.
+
+use crate::pipeline::RunStats;
+use std::fmt::Write as _;
+
+impl RunStats {
+    /// Formats a multi-line report of the run: issue statistics, stall
+    /// breakdown, cache and prefetch behaviour, DRAM traffic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use tm3270_asm::ProgramBuilder;
+    /// # use tm3270_core::{Machine, MachineConfig};
+    /// # use tm3270_isa::{Op, Reg};
+    /// # let config = MachineConfig::tm3270();
+    /// # let mut b = ProgramBuilder::new(config.issue);
+    /// # b.op(Op::imm(Reg::new(2), 1));
+    /// # let mut m = Machine::new(config, b.build().unwrap()).unwrap();
+    /// let stats = m.run(1_000_000)?;
+    /// println!("{}", stats.report());
+    /// # Ok::<(), tm3270_core::SimError>(())
+    /// ```
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "cycles {:>12}   instrs {:>12}   time {:>10.1} us @ {} MHz",
+            self.cycles,
+            self.instrs,
+            self.time_us(),
+            self.freq_mhz
+        );
+        let _ = writeln!(
+            s,
+            "CPI {:>8.3}   OPI {:>8.3}   ops {} ({} executed)",
+            self.cpi(),
+            self.opi(),
+            self.ops,
+            self.exec_ops
+        );
+        let _ = writeln!(
+            s,
+            "branches {} ({} taken)   stalls: ifetch {} / data {}",
+            self.branches, self.taken_branches, self.ifetch_stall_cycles, self.data_stall_cycles
+        );
+        let d = &self.mem.dcache;
+        let _ = writeln!(
+            s,
+            "dcache: {} hits, {} partial, {} misses, {} fills, {} allocs, {} copybacks ({} B)",
+            d.hits, d.partial_hits, d.misses, d.fills, d.allocations, d.copybacks, d.copyback_bytes
+        );
+        let i = &self.mem.icache;
+        let _ = writeln!(
+            s,
+            "icache: {} hits, {} misses ({} chunk fetches)",
+            i.hits, i.misses, self.mem.mem.ifetches
+        );
+        let p = &self.mem.prefetch;
+        if p.issued > 0 {
+            let _ = writeln!(
+                s,
+                "prefetch: {} issued, {} hits, {} filtered, {} dropped",
+                p.issued, d.prefetch_hits, p.filtered, p.dropped
+            );
+        }
+        let _ = writeln!(
+            s,
+            "dram: {} transfers ({} demand), {} bytes, {:.0} busy cycles",
+            self.mem.dram.transfers,
+            self.mem.dram.demand_transfers,
+            self.mem.dram.bytes,
+            self.mem.dram.busy_cpu_cycles
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Machine, MachineConfig};
+    use tm3270_asm::ProgramBuilder;
+    use tm3270_isa::{Op, Opcode, Reg};
+
+    #[test]
+    fn report_mentions_all_sections() {
+        let config = MachineConfig::tm3270();
+        let mut b = ProgramBuilder::new(config.issue);
+        b.op(Op::imm(Reg::new(2), 0x1000));
+        b.op(Op::rri(Opcode::Ld32d, Reg::new(3), Reg::new(2), 0));
+        let mut m = Machine::new(config, b.build().unwrap()).unwrap();
+        let stats = m.run(1_000_000).unwrap();
+        let report = stats.report();
+        for needle in ["cycles", "CPI", "dcache", "icache", "dram"] {
+            assert!(report.contains(needle), "missing {needle}: {report}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! LSB-first bit-level writer and reader used by the VLIW instruction
+//! compression.
+
+/// Writes bit fields LSB-first into a growing byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the buffer.
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Appends the low `width` bits of `value` (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 32`, or if `value` has bits set above `width`.
+    pub fn put(&mut self, value: u32, width: usize) {
+        assert!(width <= 32, "field width {width} too large");
+        assert!(
+            width == 32 || value < (1u32 << width),
+            "value {value:#x} does not fit in {width} bits"
+        );
+        for i in 0..width {
+            let bit = (value >> i) & 1;
+            let byte_idx = self.bit_len / 8;
+            if byte_idx == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            self.bytes[byte_idx] |= (bit as u8) << (self.bit_len % 8);
+            self.bit_len += 1;
+        }
+    }
+
+    /// Pads with zero bits up to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        while !self.bit_len.is_multiple_of(8) {
+            self.put(0, 1);
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Consumes the writer and returns the byte buffer (zero-padded to a
+    /// whole number of bytes).
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.bytes
+    }
+}
+
+/// Reads bit fields LSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes` starting at bit 0.
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Creates a reader positioned at a byte offset.
+    pub fn at_byte(bytes: &'a [u8], byte_offset: usize) -> BitReader<'a> {
+        BitReader {
+            bytes,
+            pos: byte_offset * 8,
+        }
+    }
+
+    /// Reads `width` bits (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read runs past the end of the buffer.
+    pub fn get(&mut self, width: usize) -> u32 {
+        assert!(width <= 32);
+        let mut v = 0u32;
+        for i in 0..width {
+            let byte = self.bytes[self.pos / 8];
+            let bit = (byte >> (self.pos % 8)) & 1;
+            v |= u32::from(bit) << i;
+            self.pos += 1;
+        }
+        v
+    }
+
+    /// Skips to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// Current position in bits.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bits remaining in the buffer.
+    pub fn remaining(&self) -> usize {
+        (self.bytes.len() * 8).saturating_sub(self.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0x3ff, 10);
+        w.put(0, 1);
+        w.put(0xdead_beef, 32);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get(3), 0b101);
+        assert_eq!(r.get(10), 0x3ff);
+        assert_eq!(r.get(1), 0);
+        assert_eq!(r.get(32), 0xdead_beef);
+    }
+
+    #[test]
+    fn align_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.put(1, 1);
+        w.align_byte();
+        assert_eq!(w.bit_len(), 8);
+        w.put(0xab, 8);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x01, 0xab]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get(1), 1);
+        r.align_byte();
+        assert_eq!(r.get(8), 0xab);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        let mut w = BitWriter::new();
+        w.put(8, 3);
+    }
+
+    #[test]
+    fn empty_writer_produces_no_bytes() {
+        assert!(BitWriter::new().into_bytes().is_empty());
+    }
+}

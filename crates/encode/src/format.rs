@@ -1,0 +1,531 @@
+//! Bit-level operation field formats.
+//!
+//! A VLIW instruction's template field holds one 2-bit compression code per
+//! issue slot (paper, §2.1 and Figure 1):
+//!
+//! | code | meaning                      |
+//! |------|------------------------------|
+//! | `00` | 26-bit operation field       |
+//! | `01` | 34-bit operation field       |
+//! | `10` | 42-bit operation field       |
+//! | `11` | issue slot unused            |
+//!
+//! The paper fixes the sizes (26/34/42 bits, 42 maximum) but not the field
+//! layouts; the layouts below are this reproduction's design:
+//!
+//! * **26-bit** — `opcode:7 src1:6 src2:6 dst:6 pad:1`; guard `r1`,
+//!   registers below `r64`, no immediate.
+//! * **34-bit** — `opcode:7 src1:7 b:7 imm:13` (signed immediate); guard
+//!   `r1`; `b` is the destination when one exists, otherwise the second
+//!   source (stores).
+//! * **42-bit** — a 2-bit sub-format tag, then:
+//!   * `00` reg: `opcode:7 guard:7 src1:7 src2:7 dst:7 pad:5`
+//!   * `01` mem/imm: `opcode:7 guard:7 src1:7 b:7 imm:12` (signed)
+//!   * `10` jump: `opcode:7 guard:7 target:24 pad:2`
+//!   * `11` long immediate: `opcode:7 dst:7 imm:26` (signed; `iimm` only)
+//!
+//! Two-slot operations use two 42-bit fields: the anchor field (reg tag,
+//! carrying guard, `src1`, `src2` and `dst1`) and a continuation field in
+//! the next slot (`src3:7 src4:7 dst2:7 pad:21`, no tag — the decoder
+//! knows the previous slot held a two-slot anchor).
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::EncodeError;
+use tm3270_isa::{Op, Opcode, Reg};
+
+/// A per-slot compression code from the 10-bit template field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotCode {
+    /// 26-bit operation field.
+    S26,
+    /// 34-bit operation field.
+    S34,
+    /// 42-bit operation field.
+    S42,
+    /// Unused issue slot.
+    Unused,
+}
+
+impl SlotCode {
+    /// The 2-bit template encoding of this code.
+    pub fn bits(self) -> u32 {
+        match self {
+            SlotCode::S26 => 0b00,
+            SlotCode::S34 => 0b01,
+            SlotCode::S42 => 0b10,
+            SlotCode::Unused => 0b11,
+        }
+    }
+
+    /// Decodes a 2-bit template code.
+    pub fn from_bits(bits: u32) -> SlotCode {
+        match bits & 3 {
+            0b00 => SlotCode::S26,
+            0b01 => SlotCode::S34,
+            0b10 => SlotCode::S42,
+            _ => SlotCode::Unused,
+        }
+    }
+
+    /// The operation field width in bits (0 for an unused slot).
+    pub fn width(self) -> usize {
+        match self {
+            SlotCode::S26 => 26,
+            SlotCode::S34 => 34,
+            SlotCode::S42 => 42,
+            SlotCode::Unused => 0,
+        }
+    }
+}
+
+fn fits_signed(v: i32, bits: u32) -> bool {
+    let lo = -(1i64 << (bits - 1));
+    let hi = (1i64 << (bits - 1)) - 1;
+    i64::from(v) >= lo && i64::from(v) <= hi
+}
+
+/// Picks the smallest field format that can represent `op`.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::ImmOutOfRange`] if the immediate does not fit
+/// any format (this indicates an assembler bug).
+pub fn preferred_code(op: &Op) -> Result<SlotCode, EncodeError> {
+    let sig = op.opcode.signature();
+    if op.opcode.is_two_slot() {
+        return Ok(SlotCode::S42);
+    }
+    let guard_one = op.guard == Reg::ONE;
+    if !sig.imm {
+        if guard_one
+            && op.sources().iter().all(|r| r.index() < 64)
+            && op.dests().iter().all(|r| r.index() < 64)
+        {
+            return Ok(SlotCode::S26);
+        }
+        return Ok(SlotCode::S42);
+    }
+    // Immediate-carrying operations.
+    if op.opcode == Opcode::Iimm {
+        if guard_one && fits_signed(op.imm, 13) {
+            return Ok(SlotCode::S34);
+        }
+        if fits_signed(op.imm, 26) {
+            return Ok(SlotCode::S42);
+        }
+        return Err(EncodeError::ImmOutOfRange {
+            mnemonic: op.opcode.mnemonic(),
+            imm: op.imm,
+        });
+    }
+    if op.opcode.is_jump() {
+        if op.imm >= 0 && op.imm < (1 << 24) {
+            return Ok(SlotCode::S42);
+        }
+        return Err(EncodeError::ImmOutOfRange {
+            mnemonic: op.opcode.mnemonic(),
+            imm: op.imm,
+        });
+    }
+    if guard_one && fits_signed(op.imm, 13) {
+        return Ok(SlotCode::S34);
+    }
+    if fits_signed(op.imm, 12) {
+        return Ok(SlotCode::S42);
+    }
+    Err(EncodeError::ImmOutOfRange {
+        mnemonic: op.opcode.mnemonic(),
+        imm: op.imm,
+    })
+}
+
+fn reg_bits(r: Reg, width: usize) -> u32 {
+    let v = r.index() as u32;
+    debug_assert!(v < (1 << width));
+    v
+}
+
+/// Encodes `op` into `w` using field format `code`.
+///
+/// # Panics
+///
+/// Panics if `code` cannot represent `op`; call [`preferred_code`] first.
+pub fn encode_field(w: &mut BitWriter, op: &Op, code: SlotCode) {
+    let sig = op.opcode.signature();
+    let opc = u32::from(op.opcode.code());
+    let src = |i: usize| -> Reg {
+        if (i) < sig.srcs as usize {
+            op.srcs[i]
+        } else {
+            Reg::ZERO
+        }
+    };
+    let dst0 = if sig.dsts >= 1 { op.dsts[0] } else { Reg::ZERO };
+    match code {
+        SlotCode::S26 => {
+            w.put(opc, 7);
+            w.put(reg_bits(src(0), 6), 6);
+            w.put(reg_bits(src(1), 6), 6);
+            w.put(reg_bits(dst0, 6), 6);
+            w.put(0, 1);
+        }
+        SlotCode::S34 => {
+            let b = if sig.dsts >= 1 { dst0 } else { src(1) };
+            w.put(opc, 7);
+            w.put(reg_bits(src(0), 7), 7);
+            w.put(reg_bits(b, 7), 7);
+            w.put(op.imm as u32 & 0x1fff, 13);
+        }
+        SlotCode::S42 => {
+            if op.opcode == Opcode::Iimm {
+                w.put(0b11, 2);
+                w.put(opc, 7);
+                w.put(reg_bits(dst0, 7), 7);
+                w.put(op.imm as u32 & 0x3ff_ffff, 26);
+            } else if op.opcode.is_jump() && sig.imm {
+                w.put(0b10, 2);
+                w.put(opc, 7);
+                w.put(reg_bits(op.guard, 7), 7);
+                w.put(op.imm as u32 & 0xff_ffff, 24);
+                w.put(0, 2);
+            } else if sig.imm {
+                let b = if sig.dsts >= 1 { dst0 } else { src(1) };
+                w.put(0b01, 2);
+                w.put(opc, 7);
+                w.put(reg_bits(op.guard, 7), 7);
+                w.put(reg_bits(src(0), 7), 7);
+                w.put(reg_bits(b, 7), 7);
+                w.put(op.imm as u32 & 0xfff, 12);
+            } else {
+                // reg tag; also the anchor field of two-slot operations.
+                w.put(0b00, 2);
+                w.put(opc, 7);
+                w.put(reg_bits(op.guard, 7), 7);
+                w.put(reg_bits(src(0), 7), 7);
+                w.put(reg_bits(src(1), 7), 7);
+                w.put(reg_bits(dst0, 7), 7);
+                w.put(0, 5);
+            }
+        }
+        SlotCode::Unused => unreachable!("cannot encode into an unused slot"),
+    }
+}
+
+/// Encodes the continuation field (second slot) of a two-slot operation.
+pub fn encode_continuation(w: &mut BitWriter, op: &Op) {
+    debug_assert!(op.opcode.is_two_slot());
+    let sig = op.opcode.signature();
+    let src = |i: usize| -> Reg {
+        if i < sig.srcs as usize {
+            op.srcs[i]
+        } else {
+            Reg::ZERO
+        }
+    };
+    let dst1 = if sig.dsts >= 2 { op.dsts[1] } else { Reg::ZERO };
+    w.put(reg_bits(src(2), 7), 7);
+    w.put(reg_bits(src(3), 7), 7);
+    w.put(reg_bits(dst1, 7), 7);
+    w.put(0, 21);
+}
+
+fn sext(v: u32, bits: u32) -> i32 {
+    tm3270_isa::value::sign_extend(v, bits) as i32
+}
+
+fn reg_or_err(v: u32) -> Result<Reg, EncodeError> {
+    Reg::try_new(v as u8).ok_or(EncodeError::Corrupt("register index out of range"))
+}
+
+/// Decodes one operation field of size `code`. Returns the partially
+/// reconstructed operation; for a two-slot opcode the caller must follow up
+/// with [`decode_continuation`].
+///
+/// # Errors
+///
+/// Returns [`EncodeError::Corrupt`] on invalid opcode or register fields.
+pub fn decode_field(r: &mut BitReader<'_>, code: SlotCode) -> Result<Op, EncodeError> {
+    match code {
+        SlotCode::S26 => {
+            let opc = Opcode::from_code(r.get(7) as u16)
+                .ok_or(EncodeError::Corrupt("unknown opcode"))?;
+            if opc.is_two_slot() {
+                return Err(EncodeError::Corrupt("two-slot opcode in short format"));
+            }
+            let a = reg_or_err(r.get(6))?;
+            let b = reg_or_err(r.get(6))?;
+            let c = reg_or_err(r.get(6))?;
+            r.get(1);
+            build_op(opc, Reg::ONE, a, b, c, 0)
+        }
+        SlotCode::S34 => {
+            let opc = Opcode::from_code(r.get(7) as u16)
+                .ok_or(EncodeError::Corrupt("unknown opcode"))?;
+            if opc.is_two_slot() {
+                return Err(EncodeError::Corrupt("two-slot opcode in short format"));
+            }
+            let a = reg_or_err(r.get(7))?;
+            let b = reg_or_err(r.get(7))?;
+            let imm = sext(r.get(13), 13);
+            build_op(opc, Reg::ONE, a, b, b, imm)
+        }
+        SlotCode::S42 => {
+            let tag = r.get(2);
+            match tag {
+                0b11 => {
+                    let opc = Opcode::from_code(r.get(7) as u16)
+                        .ok_or(EncodeError::Corrupt("unknown opcode"))?;
+                    if opc != Opcode::Iimm {
+                        return Err(EncodeError::Corrupt("long-immediate tag on non-iimm"));
+                    }
+                    let d = reg_or_err(r.get(7))?;
+                    if d.is_constant() {
+                        return Err(EncodeError::Corrupt("constant-register destination"));
+                    }
+                    let imm = sext(r.get(26), 26);
+                    Ok(Op::new(opc, Reg::ONE, &[], &[d], imm))
+                }
+                0b10 => {
+                    let opc = Opcode::from_code(r.get(7) as u16)
+                        .ok_or(EncodeError::Corrupt("unknown opcode"))?;
+                    let g = reg_or_err(r.get(7))?;
+                    let target = r.get(24) as i32;
+                    r.get(2);
+                    if !opc.is_jump() || !opc.signature().imm {
+                        return Err(EncodeError::Corrupt("jump tag on non-jump"));
+                    }
+                    Ok(Op::new(opc, g, &[], &[], target))
+                }
+                0b01 => {
+                    let opc = Opcode::from_code(r.get(7) as u16)
+                        .ok_or(EncodeError::Corrupt("unknown opcode"))?;
+                    if opc.is_two_slot() {
+                        return Err(EncodeError::Corrupt("two-slot opcode in imm format"));
+                    }
+                    let g = reg_or_err(r.get(7))?;
+                    let a = reg_or_err(r.get(7))?;
+                    let b = reg_or_err(r.get(7))?;
+                    let imm = sext(r.get(12), 12);
+                    build_op(opc, g, a, b, b, imm)
+                }
+                _ => {
+                    let opc = Opcode::from_code(r.get(7) as u16)
+                        .ok_or(EncodeError::Corrupt("unknown opcode"))?;
+                    let g = reg_or_err(r.get(7))?;
+                    let a = reg_or_err(r.get(7))?;
+                    let b = reg_or_err(r.get(7))?;
+                    let c = reg_or_err(r.get(7))?;
+                    r.get(5);
+                    if opc.is_two_slot() {
+                        // Partially built: sources 3/4 and dst2 come from
+                        // the continuation field.
+                        if c.is_constant() {
+                            return Err(EncodeError::Corrupt("constant-register destination"));
+                        }
+                        let sig = opc.signature();
+                        let mut srcs = vec![a, b, Reg::ZERO, Reg::ZERO];
+                        srcs.truncate(sig.srcs as usize);
+                        let mut dsts = vec![c, c];
+                        dsts.truncate(sig.dsts as usize);
+                        return Ok(Op::new(opc, g, &srcs, &dsts, 0));
+                    }
+                    build_op(opc, g, a, b, c, 0)
+                }
+            }
+        }
+        SlotCode::Unused => Err(EncodeError::Corrupt("decode of unused slot")),
+    }
+}
+
+/// Decodes the continuation field of a two-slot operation and completes
+/// `anchor`.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::Corrupt`] on out-of-range register fields.
+pub fn decode_continuation(r: &mut BitReader<'_>, anchor: &Op) -> Result<Op, EncodeError> {
+    let s3 = reg_or_err(r.get(7))?;
+    let s4 = reg_or_err(r.get(7))?;
+    let d2 = reg_or_err(r.get(7))?;
+    if anchor.opcode.signature().dsts >= 2 && d2.is_constant() {
+        return Err(EncodeError::Corrupt("constant-register destination"));
+    }
+    r.get(21);
+    let sig = anchor.opcode.signature();
+    let mut srcs = [anchor.srcs[0], anchor.srcs[1], s3, s4];
+    let mut dsts = [anchor.dsts[0], d2];
+    let srcs = &mut srcs[..sig.srcs as usize];
+    let dsts = &mut dsts[..sig.dsts as usize];
+    Ok(Op::new(anchor.opcode, anchor.guard, srcs, dsts, 0))
+}
+
+/// Reconstructs an operation from decoded fields according to its
+/// signature. `a` is the first source; `b` is the second source or the
+/// destination depending on the signature; `c` is the destination for
+/// three-register forms.
+fn build_op(
+    opc: Opcode,
+    guard: Reg,
+    a: Reg,
+    b: Reg,
+    c: Reg,
+    imm: i32,
+) -> Result<Op, EncodeError> {
+    let sig = opc.signature();
+    let srcs: Vec<Reg> = match sig.srcs {
+        0 => vec![],
+        1 => vec![a],
+        _ => vec![a, b],
+    };
+    let dsts: Vec<Reg> = if sig.dsts >= 1 {
+        if sig.imm {
+            // a=src1, b=dst layouts (34-bit / 42-bit mem-imm).
+            if sig.srcs >= 2 {
+                vec![c]
+            } else {
+                vec![b]
+            }
+        } else if sig.srcs >= 2 {
+            vec![c]
+        } else {
+            // Unary reg form in 26-bit/42-bit layouts: dst is the third
+            // field.
+            vec![c]
+        }
+    } else {
+        vec![]
+    };
+    if dsts.iter().any(|d| d.is_constant()) {
+        return Err(EncodeError::Corrupt("constant-register destination"));
+    }
+    let imm = if sig.imm { imm } else { 0 };
+    Ok(Op::new(opc, guard, &srcs, &dsts, imm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn round_trip(op: Op) -> Op {
+        let code = preferred_code(&op).expect("encodable");
+        let mut w = BitWriter::new();
+        encode_field(&mut w, &op, code);
+        if op.opcode.is_two_slot() {
+            encode_continuation(&mut w, &op);
+        }
+        let bytes = w.into_bytes();
+        let mut rd = BitReader::new(&bytes);
+        let got = decode_field(&mut rd, code).expect("decodable");
+        if op.opcode.is_two_slot() {
+            decode_continuation(&mut rd, &got).expect("continuation")
+        } else {
+            got
+        }
+    }
+
+    #[test]
+    fn compact_26_bit_for_plain_ops() {
+        let op = Op::rrr(Opcode::Iadd, r(4), r(2), r(3));
+        assert_eq!(preferred_code(&op).unwrap(), SlotCode::S26);
+        assert_eq!(round_trip(op), op);
+    }
+
+    #[test]
+    fn high_registers_force_42_bit() {
+        let op = Op::rrr(Opcode::Iadd, r(100), r(64), r(3));
+        assert_eq!(preferred_code(&op).unwrap(), SlotCode::S42);
+        assert_eq!(round_trip(op), op);
+    }
+
+    #[test]
+    fn guarded_ops_force_42_bit() {
+        let op = Op::rrr(Opcode::Iadd, r(4), r(2), r(3)).with_guard(r(9));
+        assert_eq!(preferred_code(&op).unwrap(), SlotCode::S42);
+        assert_eq!(round_trip(op), op);
+    }
+
+    #[test]
+    fn small_imm_uses_34_bit() {
+        let op = Op::rri(Opcode::Ld32d, r(4), r(2), 100);
+        assert_eq!(preferred_code(&op).unwrap(), SlotCode::S34);
+        assert_eq!(round_trip(op), op);
+    }
+
+    #[test]
+    fn store_round_trips() {
+        let op = Op::new(Opcode::St32d, Reg::ONE, &[r(2), r(3)], &[], -8);
+        assert_eq!(round_trip(op), op);
+        let guarded = op.with_guard(r(7));
+        assert_eq!(preferred_code(&guarded).unwrap(), SlotCode::S42);
+        assert_eq!(round_trip(guarded), guarded);
+    }
+
+    #[test]
+    fn iimm_formats() {
+        let small = Op::imm(r(4), 1000);
+        assert_eq!(preferred_code(&small).unwrap(), SlotCode::S34);
+        assert_eq!(round_trip(small), small);
+        let large = Op::imm(r(4), 1 << 20);
+        assert_eq!(preferred_code(&large).unwrap(), SlotCode::S42);
+        assert_eq!(round_trip(large), large);
+        let negative = Op::imm(r(4), -(1 << 20));
+        assert_eq!(round_trip(negative), negative);
+        let too_large = Op::imm(r(4), 1 << 26);
+        assert!(preferred_code(&too_large).is_err());
+    }
+
+    #[test]
+    fn jumps_round_trip() {
+        let op = Op::new(Opcode::Jmpt, r(9), &[], &[], 123_456);
+        assert_eq!(preferred_code(&op).unwrap(), SlotCode::S42);
+        assert_eq!(round_trip(op), op);
+    }
+
+    #[test]
+    fn two_slot_round_trips() {
+        let op = Op::new(
+            Opcode::SuperDualimix,
+            r(9),
+            &[r(2), r(3), r(64), r(127)],
+            &[r(10), r(11)],
+            0,
+        );
+        assert_eq!(round_trip(op), op);
+        let ld = Op::new(
+            Opcode::SuperLd32r,
+            Reg::ONE,
+            &[r(2), r(3)],
+            &[r(10), r(11)],
+            0,
+        );
+        assert_eq!(round_trip(ld), ld);
+        let cab = Op::new(
+            Opcode::SuperCabacStr,
+            Reg::ONE,
+            &[r(2), r(3), r(4)],
+            &[r(10), r(11)],
+            0,
+        );
+        assert_eq!(round_trip(cab), cab);
+    }
+
+    #[test]
+    fn unary_ops_round_trip() {
+        let op = Op::rr(Opcode::Sex8, r(4), r(2));
+        assert_eq!(preferred_code(&op).unwrap(), SlotCode::S26);
+        assert_eq!(round_trip(op), op);
+    }
+
+    #[test]
+    fn displacement_out_of_range_errors() {
+        let op = Op::rri(Opcode::Ld32d, r(4), r(2), 1 << 14);
+        assert!(matches!(
+            preferred_code(&op),
+            Err(EncodeError::ImmOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,413 @@
+//! Whole-program encoding: template chaining, jump-target handling and
+//! byte layout.
+//!
+//! Every VLIW instruction starts with a 10-bit template field that
+//! specifies the compression of the *next* VLIW instruction, making the
+//! sizes available one cycle before the operations themselves (paper,
+//! §2.1). Jump-target instructions are not compressed (all operation
+//! fields use the maximum 42-bit format) and the preceding instruction
+//! carries no template for them; instead a target instruction starts with
+//! its own 10-bit template marking which slots are occupied.
+//!
+//! With this layout the paper's size examples hold: an empty VLIW
+//! instruction occupies 2 bytes (`11:11:11:11:11` template only) and a
+//! full five-operation instruction with 42-bit fields occupies 28 bytes
+//! (10 + 5 x 42 = 220 bits).
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::format::{
+    decode_continuation, decode_field, encode_continuation, encode_field, preferred_code,
+    SlotCode,
+};
+use crate::EncodeError;
+use tm3270_isa::{Instr, Program, Slot, NUM_SLOTS};
+
+/// The binary image of an encoded program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedProgram {
+    /// The instruction bytes.
+    pub bytes: Vec<u8>,
+    /// Byte offset of each VLIW instruction.
+    pub offsets: Vec<u32>,
+    /// Whether each instruction is a jump target (stored uncompressed).
+    pub targets: Vec<bool>,
+}
+
+impl EncodedProgram {
+    /// Size in bytes of instruction `i`.
+    pub fn instr_size(&self, i: usize) -> u32 {
+        let end = self
+            .offsets
+            .get(i + 1)
+            .copied()
+            .unwrap_or(self.bytes.len() as u32);
+        end - self.offsets[i]
+    }
+
+    /// Code-size statistics for the image.
+    pub fn stats(&self) -> CodeStats {
+        CodeStats {
+            instr_count: self.offsets.len(),
+            byte_size: self.bytes.len(),
+            max_instr_bytes: (0..self.offsets.len())
+                .map(|i| self.instr_size(i))
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Code-size statistics produced by [`EncodedProgram::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeStats {
+    /// Number of VLIW instructions.
+    pub instr_count: usize,
+    /// Total image size in bytes.
+    pub byte_size: usize,
+    /// Largest single instruction in bytes.
+    pub max_instr_bytes: u32,
+}
+
+impl CodeStats {
+    /// Average bytes per VLIW instruction.
+    pub fn bytes_per_instr(&self) -> f64 {
+        if self.instr_count == 0 {
+            0.0
+        } else {
+            self.byte_size as f64 / self.instr_count as f64
+        }
+    }
+
+    /// Size of the same program without compression (every instruction
+    /// with a full template and five 42-bit fields: 28 bytes).
+    pub fn uncompressed_size(&self) -> usize {
+        self.instr_count * 28
+    }
+
+    /// Compression ratio relative to the uncompressed layout
+    /// (smaller is better).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.instr_count == 0 {
+            return 1.0;
+        }
+        self.byte_size as f64 / self.uncompressed_size() as f64
+    }
+}
+
+/// Computes the per-slot compression codes for one instruction.
+fn slot_codes(instr: &Instr, uncompressed: bool) -> Result<[SlotCode; NUM_SLOTS], EncodeError> {
+    let mut codes = [SlotCode::Unused; NUM_SLOTS];
+    for (i, slot) in instr.slots.iter().enumerate() {
+        match slot {
+            Slot::Empty => {}
+            Slot::Single(op) => {
+                codes[i] = if uncompressed {
+                    SlotCode::S42
+                } else {
+                    preferred_code(op)?
+                };
+            }
+            Slot::SuperFirst(op) => {
+                let c = preferred_code(op)?;
+                debug_assert_eq!(c, SlotCode::S42);
+                codes[i] = c;
+            }
+            Slot::SuperSecond => codes[i] = SlotCode::S42,
+        }
+    }
+    Ok(codes)
+}
+
+fn write_template(w: &mut BitWriter, codes: &[SlotCode; NUM_SLOTS]) {
+    // Slot 1 (index 0) occupies the least-significant 2 bits.
+    for code in codes {
+        w.put(code.bits(), 2);
+    }
+}
+
+fn read_template(r: &mut BitReader<'_>) -> [SlotCode; NUM_SLOTS] {
+    let mut codes = [SlotCode::Unused; NUM_SLOTS];
+    for code in &mut codes {
+        *code = SlotCode::from_bits(r.get(2));
+    }
+    codes
+}
+
+/// Encodes a program into its compressed binary image.
+///
+/// # Errors
+///
+/// Returns an error if an operation's immediate exceeds the encodable
+/// range (assembler bug) or if a jump target index is out of bounds.
+pub fn encode_program(program: &Program) -> Result<EncodedProgram, EncodeError> {
+    let n = program.instrs.len();
+    let mut targets = vec![false; n];
+    if n > 0 {
+        targets[0] = true;
+    }
+    for &t in &program.jump_targets {
+        if t >= n {
+            return Err(EncodeError::BadTarget { index: t });
+        }
+        targets[t] = true;
+    }
+
+    let mut w = BitWriter::new();
+    let mut offsets = Vec::with_capacity(n);
+    for (i, instr) in program.instrs.iter().enumerate() {
+        debug_assert_eq!(w.bit_len() % 8, 0);
+        offsets.push((w.bit_len() / 8) as u32);
+        let own = slot_codes(instr, targets[i])?;
+        if targets[i] {
+            write_template(&mut w, &own);
+        }
+        if i + 1 < n && !targets[i + 1] {
+            let next = slot_codes(&program.instrs[i + 1], false)?;
+            write_template(&mut w, &next);
+        }
+        // Operation fields, slot 1 first.
+        let mut s = 0;
+        while s < NUM_SLOTS {
+            match &instr.slots[s] {
+                Slot::Empty => s += 1,
+                Slot::Single(op) => {
+                    encode_field(&mut w, op, own[s]);
+                    s += 1;
+                }
+                Slot::SuperFirst(op) => {
+                    encode_field(&mut w, op, SlotCode::S42);
+                    encode_continuation(&mut w, op);
+                    s += 2;
+                }
+                Slot::SuperSecond => unreachable!("continuation without anchor"),
+            }
+        }
+        w.align_byte();
+    }
+    Ok(EncodedProgram {
+        bytes: w.into_bytes(),
+        offsets,
+        targets,
+    })
+}
+
+/// Decodes a binary image back into a [`Program`].
+///
+/// The jump-target set is taken from the image metadata (a loader knows
+/// it, just as the hardware learns targets from the jumps themselves).
+///
+/// # Errors
+///
+/// Returns [`EncodeError::Corrupt`] if the byte stream is inconsistent.
+pub fn decode_program(image: &EncodedProgram) -> Result<Program, EncodeError> {
+    let n = image.targets.len();
+    let mut instrs = Vec::with_capacity(n);
+    let mut r = BitReader::new(&image.bytes);
+    let mut next_codes: Option<[SlotCode; NUM_SLOTS]> = None;
+    for i in 0..n {
+        r.align_byte();
+        if r.bit_pos() / 8 != image.offsets[i] as usize {
+            return Err(EncodeError::Corrupt("instruction offset mismatch"));
+        }
+        let own = if image.targets[i] {
+            if r.remaining() < 10 {
+                return Err(EncodeError::Corrupt("image truncated at own template"));
+            }
+            read_template(&mut r)
+        } else {
+            next_codes
+                .take()
+                .ok_or(EncodeError::Corrupt("missing template for instruction"))?
+        };
+        if i + 1 < n && !image.targets[i + 1] {
+            if r.remaining() < 10 {
+                return Err(EncodeError::Corrupt("image truncated at next template"));
+            }
+            next_codes = Some(read_template(&mut r));
+        }
+        let mut instr = Instr::nop();
+        let mut s = 0;
+        while s < NUM_SLOTS {
+            if own[s] == SlotCode::Unused {
+                s += 1;
+                continue;
+            }
+            if r.remaining() < own[s].width() {
+                return Err(EncodeError::Corrupt("image truncated in operation field"));
+            }
+            let op = decode_field(&mut r, own[s])?;
+            if op.opcode.is_two_slot() {
+                if s + 1 >= NUM_SLOTS || own[s + 1] != SlotCode::S42 {
+                    return Err(EncodeError::Corrupt("two-slot op without continuation"));
+                }
+                if r.remaining() < 42 {
+                    return Err(EncodeError::Corrupt("image truncated in continuation"));
+                }
+                let full = decode_continuation(&mut r, &op)?;
+                instr.place(full, s);
+                s += 2;
+            } else {
+                instr.place(op, s);
+                s += 1;
+            }
+        }
+        instrs.push(instr);
+    }
+    let jump_targets = image
+        .targets
+        .iter()
+        .enumerate()
+        .filter(|&(i, &t)| t && i != 0)
+        .map(|(i, _)| i)
+        .collect();
+    Ok(Program {
+        instrs,
+        jump_targets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm3270_isa::{Op, Opcode, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn sample_program() -> Program {
+        let mut p = Program::new();
+        // Instr 0 (entry, target): two ops.
+        let mut i0 = Instr::nop();
+        i0.place(Op::imm(r(2), 0x1234), 0);
+        i0.place(Op::rrr(Opcode::Iadd, r(4), r(2), r(3)), 2);
+        p.instrs.push(i0);
+        // Instr 1: empty.
+        p.instrs.push(Instr::nop());
+        // Instr 2: full 5 ops.
+        let mut i2 = Instr::nop();
+        i2.place(Op::rrr(Opcode::Iadd, r(5), r(2), r(3)), 0);
+        i2.place(Op::rrr(Opcode::Isub, r(6), r(2), r(3)), 1);
+        i2.place(Op::rrr(Opcode::Quadavg, r(7), r(2), r(3)), 2);
+        i2.place(Op::new(Opcode::St32d, Reg::ONE, &[r(2), r(3)], &[], 0), 3);
+        i2.place(Op::rri(Opcode::Ld32d, r(8), r(2), 4), 4);
+        p.instrs.push(i2);
+        // Instr 3: two-slot op + jump back to 0.
+        let mut i3 = Instr::nop();
+        i3.place(
+            Op::new(
+                Opcode::SuperDualimix,
+                Reg::ONE,
+                &[r(2), r(3), r(4), r(5)],
+                &[r(10), r(11)],
+                0,
+            ),
+            1,
+        );
+        i3.place(Op::new(Opcode::Jmpt, r(9), &[], &[], 0), 3);
+        p.instrs.push(i3);
+        // Instr 4 is a jump target.
+        let mut i4 = Instr::nop();
+        i4.place(Op::rrr(Opcode::Iadd, r(12), r(2), r(3)), 4);
+        p.instrs.push(i4);
+        p.jump_targets = vec![4];
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_program() {
+        let p = sample_program();
+        let image = encode_program(&p).unwrap();
+        let decoded = decode_program(&image).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn empty_instruction_is_two_bytes() {
+        // Paper §2.1: an empty VLIW instruction is encoded in 2 bytes.
+        let mut p = Program::new();
+        let mut i0 = Instr::nop();
+        i0.place(Op::rrr(Opcode::Iadd, r(4), r(2), r(3)), 0);
+        p.instrs.push(i0); // target (entry): own template
+        p.instrs.push(Instr::nop()); // empty, non-target
+        p.instrs.push(Instr::nop()); // empty, non-target
+        let image = encode_program(&p).unwrap();
+        assert_eq!(image.instr_size(1), 2);
+        // The last instruction has no next-template: its 10-bit (empty)
+        // content came from instruction 1, so it occupies 0 bytes... but it
+        // must still be addressable; it holds nothing and the image simply
+        // ends.
+        assert_eq!(image.instr_size(2), 0);
+    }
+
+    #[test]
+    fn full_instruction_is_28_bytes() {
+        // Paper §2.1: 10-bit template + 5 * 42-bit operations = 28 bytes.
+        let mut p = Program::new();
+        p.instrs.push(Instr::nop()); // entry target: 10-bit own + 10-bit next
+        let mut full = Instr::nop();
+        for s in 0..5 {
+            full.place(
+                Op::rrr(Opcode::Iadd, r(100), r(64), r(65)).with_guard(r(9)),
+                s,
+            );
+        }
+        p.instrs.push(full);
+        p.instrs.push(Instr::nop());
+        let image = encode_program(&p).unwrap();
+        // Instruction 1 carries its own 5x42-bit fields plus the 10-bit
+        // template of instruction 2.
+        assert_eq!(image.instr_size(1), 28);
+    }
+
+    #[test]
+    fn jump_target_is_uncompressed() {
+        let mut p = Program::new();
+        p.instrs.push(Instr::nop());
+        let mut small = Instr::nop();
+        small.place(Op::rrr(Opcode::Iadd, r(4), r(2), r(3)), 0);
+        p.instrs.push(small.clone());
+        p.instrs.push(small);
+        p.jump_targets = vec![2];
+        let image = encode_program(&p).unwrap();
+        // Instruction 1 (compressed): 26-bit op + no next template
+        // (next is a target) = 4 bytes.
+        assert_eq!(image.instr_size(1), 4);
+        // Instruction 2 (target): own template + 42-bit op = 7 bytes.
+        assert_eq!(image.instr_size(2), 7);
+        let decoded = decode_program(&image).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn bad_target_rejected() {
+        let mut p = Program::new();
+        p.instrs.push(Instr::nop());
+        p.jump_targets = vec![3];
+        assert!(matches!(
+            encode_program(&p),
+            Err(EncodeError::BadTarget { index: 3 })
+        ));
+    }
+
+    #[test]
+    fn stats_report_compression() {
+        let p = sample_program();
+        let image = encode_program(&p).unwrap();
+        let stats = image.stats();
+        assert_eq!(stats.instr_count, 5);
+        assert!(stats.compression_ratio() < 1.0);
+        assert!(stats.bytes_per_instr() < 28.0);
+        assert_eq!(stats.uncompressed_size(), 5 * 28);
+    }
+
+    #[test]
+    fn offsets_are_monotonic_and_byte_aligned() {
+        let p = sample_program();
+        let image = encode_program(&p).unwrap();
+        for w in image.offsets.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(image.offsets[0], 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! One-line semantic descriptions of every opcode — the ISA reference
+//! manual (printed by the `repro_isa` binary of `tm3270-bench`).
+
+use crate::opcode::Opcode;
+
+impl Opcode {
+    /// A one-line description of the operation's semantics, in the style
+    /// of the TriMedia data book.
+    pub fn describe(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Iimm => "rdest = sign-extended immediate",
+            Iaddi => "rdest = rsrc1 + imm",
+            Isubi => "rdest = rsrc1 - imm",
+            Iori => "rdest = rsrc1 | zero-extended 12-bit imm (constant synthesis)",
+            Iadd => "rdest = rsrc1 + rsrc2 (wrapping)",
+            Isub => "rdest = rsrc1 - rsrc2 (wrapping)",
+            Ineg => "rdest = -rsrc1 (wrapping)",
+            Iabs => "rdest = |rsrc1| (wrapping)",
+            Iand => "rdest = rsrc1 & rsrc2",
+            Ior => "rdest = rsrc1 | rsrc2",
+            Ixor => "rdest = rsrc1 ^ rsrc2",
+            Bitinv => "rdest = ~rsrc1",
+            Bitandinv => "rdest = rsrc1 & ~rsrc2",
+            Sex8 => "rdest = sign-extend rsrc1[7:0]",
+            Sex16 => "rdest = sign-extend rsrc1[15:0]",
+            Zex8 => "rdest = zero-extend rsrc1[7:0]",
+            Zex16 => "rdest = zero-extend rsrc1[15:0]",
+            Imin => "rdest = signed min(rsrc1, rsrc2)",
+            Imax => "rdest = signed max(rsrc1, rsrc2)",
+            Umin => "rdest = unsigned min(rsrc1, rsrc2)",
+            Umax => "rdest = unsigned max(rsrc1, rsrc2)",
+            Ieql => "rdest = (rsrc1 == rsrc2)",
+            Ineq => "rdest = (rsrc1 != rsrc2)",
+            Igtr => "rdest = signed (rsrc1 > rsrc2)",
+            Igeq => "rdest = signed (rsrc1 >= rsrc2)",
+            Iles => "rdest = signed (rsrc1 < rsrc2)",
+            Ileq => "rdest = signed (rsrc1 <= rsrc2)",
+            Ugtr => "rdest = unsigned (rsrc1 > rsrc2)",
+            Ugeq => "rdest = unsigned (rsrc1 >= rsrc2)",
+            Ules => "rdest = unsigned (rsrc1 < rsrc2)",
+            Uleq => "rdest = unsigned (rsrc1 <= rsrc2)",
+            Ieqli => "rdest = (rsrc1 == imm)",
+            Igtri => "rdest = signed (rsrc1 > imm)",
+            Ilesi => "rdest = signed (rsrc1 < imm)",
+            Inonzero => "rdest = (rsrc1 != 0)",
+            Izero => "rdest = (rsrc1 == 0)",
+            Pack16Lsb => "rdest = rsrc1[15:0] : rsrc2[15:0]",
+            Pack16Msb => "rdest = rsrc1[31:16] : rsrc2[31:16]",
+            PackBytes => "rdest = rsrc1[7:0] : rsrc2[7:0] (low halfword)",
+            MergeLsb => "interleave the two low bytes of each source",
+            MergeMsb => "interleave the two high bytes of each source",
+            Ubytesel => "rdest = byte rsrc2[1:0] of rsrc1, zero-extended",
+            MergeDual16Lsb => "pack the low byte of each halfword of both sources",
+            Asl => "rdest = rsrc1 << rsrc2[4:0] (arithmetic)",
+            Asr => "rdest = rsrc1 >> rsrc2[4:0] (arithmetic)",
+            Lsr => "rdest = rsrc1 >> rsrc2[4:0] (logical)",
+            Rol => "rdest = rotate-left(rsrc1, rsrc2[4:0])",
+            Asli => "rdest = rsrc1 << imm",
+            Asri => "rdest = rsrc1 >> imm (arithmetic)",
+            Lsri => "rdest = rsrc1 >> imm (logical)",
+            Roli => "rdest = rotate-left(rsrc1, imm)",
+            Funshift1 => "rdest = bytes 1..5 of the rsrc1:rsrc2 concatenation",
+            Funshift2 => "rdest = bytes 2..6 of the rsrc1:rsrc2 concatenation",
+            Funshift3 => "rdest = bytes 3..7 of the rsrc1:rsrc2 concatenation",
+            Dspiadd => "rdest = signed saturating rsrc1 + rsrc2",
+            Dspisub => "rdest = signed saturating rsrc1 - rsrc2",
+            Dspiabs => "rdest = signed saturating |rsrc1|",
+            Dspidualadd => "per-halfword signed saturating add",
+            Dspidualsub => "per-halfword signed saturating subtract",
+            Dspidualabs => "per-halfword signed saturating absolute value",
+            Quadavg => "per-byte unsigned average with rounding",
+            Quadumin => "per-byte unsigned minimum",
+            Quadumax => "per-byte unsigned maximum",
+            Dualiclipi => "per-halfword clip to [-2^imm, 2^imm - 1]",
+            Iclipi => "clip rsrc1 to [-2^imm, 2^imm - 1]",
+            Uclipi => "clip rsrc1 to [0, 2^imm - 1]",
+            Ume8uu => "sum of absolute differences of the four unsigned byte pairs",
+            Ume8ii => "sum of absolute differences of the four signed byte pairs",
+            Imul => "rdest = rsrc1 * rsrc2 (wrapping, signed)",
+            Umul => "rdest = rsrc1 * rsrc2 (wrapping, unsigned)",
+            Imulm => "rdest = (rsrc1 * rsrc2) >> 32 (signed)",
+            Umulm => "rdest = (rsrc1 * rsrc2) >> 32 (unsigned)",
+            Dspimul => "rdest = signed saturating rsrc1 * rsrc2",
+            Dspidualmul => "per-halfword signed saturating multiply",
+            Ifir16 => "dot product of the two signed halfword pairs",
+            Ufir16 => "dot product of the two unsigned halfword pairs",
+            Ifir8ii => "dot product of the four signed byte pairs",
+            Ifir8ui => "dot product: unsigned rsrc1 bytes x signed rsrc2 bytes",
+            Ufir8uu => "dot product of the four unsigned byte pairs",
+            Quadumulmsb => "per-byte (rsrc1 * rsrc2) >> 8",
+            Fmul => "rdest = rsrc1 * rsrc2 (IEEE-754 single)",
+            Fadd => "rdest = rsrc1 + rsrc2 (IEEE-754 single)",
+            Fsub => "rdest = rsrc1 - rsrc2 (IEEE-754 single)",
+            Fabsval => "rdest = |rsrc1| (IEEE-754 single)",
+            Ifloat => "rdest = float(signed rsrc1)",
+            Ufloat => "rdest = float(unsigned rsrc1)",
+            Ifixrz => "rdest = signed int(rsrc1), round toward zero, saturating",
+            Ufixrz => "rdest = unsigned int(rsrc1), round toward zero, saturating",
+            Fgtr => "rdest = (rsrc1 > rsrc2), IEEE compare",
+            Fgeq => "rdest = (rsrc1 >= rsrc2), IEEE compare",
+            Feql => "rdest = (rsrc1 == rsrc2), IEEE compare",
+            Fneq => "rdest = (rsrc1 != rsrc2), IEEE compare",
+            Fleq => "rdest = (rsrc1 <= rsrc2), IEEE compare",
+            Fles => "rdest = (rsrc1 < rsrc2), IEEE compare",
+            Fsign => "rdest = sign(rsrc1) as -1.0 / 0.0 / +1.0",
+            Fdiv => "rdest = rsrc1 / rsrc2 (IEEE-754 single, iterative)",
+            Fsqrt => "rdest = sqrt(rsrc1) (IEEE-754 single, iterative)",
+            Jmpt => "jump to imm when the guard is true (delay slots apply)",
+            Jmpf => "jump to imm when the guard is FALSE (delay slots apply)",
+            Jmpi => "unconditional jump to imm (delay slots apply)",
+            Ijmpt => "indirect jump to rsrc1 when the guard is true",
+            Ijmpi => "unconditional indirect jump to rsrc1 (returns)",
+            Ld8d => "rdest = sign-extended byte at rsrc1 + imm",
+            Uld8d => "rdest = zero-extended byte at rsrc1 + imm",
+            Ld16d => "rdest = sign-extended halfword at rsrc1 + imm (non-aligned ok)",
+            Uld16d => "rdest = zero-extended halfword at rsrc1 + imm (non-aligned ok)",
+            Ld32d => "rdest = word at rsrc1 + imm (non-aligned ok)",
+            Ld8r => "rdest = sign-extended byte at rsrc1 + rsrc2",
+            Uld8r => "rdest = zero-extended byte at rsrc1 + rsrc2",
+            Ld16r => "rdest = sign-extended halfword at rsrc1 + rsrc2",
+            Uld16r => "rdest = zero-extended halfword at rsrc1 + rsrc2",
+            Ld32r => "rdest = word at rsrc1 + rsrc2 (non-aligned ok)",
+            St8d => "byte at rsrc1 + imm = rsrc2[7:0]",
+            St16d => "halfword at rsrc1 + imm = rsrc2[15:0] (non-aligned ok)",
+            St32d => "word at rsrc1 + imm = rsrc2 (non-aligned ok)",
+            Allocd => "allocate the cache line at rsrc1 + imm without fetching",
+            Prefd => "software-prefetch the cache line at rsrc1 + imm",
+            Dinvalid => "invalidate the cache line at rsrc1 + imm (no copy-back)",
+            Dflush => "copy back and invalidate the cache line at rsrc1 + imm",
+            StPfStart => "PF[imm].START_ADDR = rsrc1 (prefetch region MMIO)",
+            StPfEnd => "PF[imm].END_ADDR = rsrc1 (prefetch region MMIO)",
+            StPfStride => "PF[imm].STRIDE = rsrc1 (prefetch region MMIO)",
+            LdFrac8 => {
+                "load 5 bytes at rsrc1 and return 4 two-tap interpolations at \
+                 fraction rsrc2[3:0] (Table 2)"
+            }
+            SuperDualimix => {
+                "two-slot: pairwise 16-bit 2-tap filter, both results clipped \
+                 to signed 32-bit (Table 2)"
+            }
+            SuperLd32r => {
+                "two-slot: load two consecutive big-endian words at rsrc1 + \
+                 rsrc2 (Table 2)"
+            }
+            SuperCabacCtx => {
+                "two-slot: CABAC biari_decode_symbol context half: new \
+                 (value, range) and (state, mps) (Table 2)"
+            }
+            SuperCabacStr => {
+                "two-slot: CABAC biari_decode_symbol stream half: new \
+                 stream_bit_position and the decoded bit (Table 2)"
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_opcode_is_described() {
+        for &op in Opcode::all() {
+            let d = op.describe();
+            assert!(!d.is_empty(), "{op}");
+            assert!(d.len() > 10, "{op}: description too terse");
+        }
+    }
+
+    #[test]
+    fn new_operations_reference_table2() {
+        for op in [
+            Opcode::LdFrac8,
+            Opcode::SuperDualimix,
+            Opcode::SuperLd32r,
+            Opcode::SuperCabacCtx,
+            Opcode::SuperCabacStr,
+        ] {
+            assert!(op.describe().contains("Table 2"), "{op}");
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Operations and VLIW instructions.
+//!
+//! A VLIW instruction contains up to five operations, one per issue slot
+//! (paper, §2.1). Two-slot operations occupy two neighbouring slots.
+
+use crate::opcode::Opcode;
+use crate::reg::Reg;
+use std::fmt;
+
+/// Maximum number of issue slots in a VLIW instruction.
+pub const NUM_SLOTS: usize = 5;
+
+/// A single guarded operation.
+///
+/// Every operation carries a guard register: it only takes architectural
+/// effect when bit 0 of the guard register is 1. `Reg::ONE` is the
+/// always-true guard.
+///
+/// # Examples
+///
+/// ```
+/// use tm3270_isa::{Op, Opcode, Reg};
+/// let op = Op::rrr(Opcode::Iadd, Reg::new(4), Reg::new(2), Reg::new(3));
+/// assert_eq!(op.to_string(), "IF r1 iadd r2 r3 -> r4");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Op {
+    /// The opcode.
+    pub opcode: Opcode,
+    /// The guard register; the operation has effect iff its bit 0 is set.
+    pub guard: Reg,
+    /// Source registers; only the first `opcode.signature().srcs` are used.
+    pub srcs: [Reg; 4],
+    /// Destination registers; only the first `opcode.signature().dsts` are
+    /// used.
+    pub dsts: [Reg; 2],
+    /// Immediate operand (displacement, constant, or jump target),
+    /// meaningful iff `opcode.signature().imm`.
+    pub imm: i32,
+}
+
+impl Op {
+    /// Builds an operation, validating operand counts against the opcode
+    /// signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand counts do not match the opcode signature or a
+    /// destination is a constant register (`r0`/`r1`).
+    pub fn new(opcode: Opcode, guard: Reg, srcs: &[Reg], dsts: &[Reg], imm: i32) -> Op {
+        let sig = opcode.signature();
+        assert_eq!(
+            srcs.len(),
+            sig.srcs as usize,
+            "{opcode}: expected {} sources, got {}",
+            sig.srcs,
+            srcs.len()
+        );
+        assert_eq!(
+            dsts.len(),
+            sig.dsts as usize,
+            "{opcode}: expected {} destinations, got {}",
+            sig.dsts,
+            dsts.len()
+        );
+        assert!(
+            sig.imm || imm == 0,
+            "{opcode}: opcode does not take an immediate"
+        );
+        for d in dsts {
+            assert!(!d.is_constant(), "{opcode}: cannot write {d}");
+        }
+        let mut s = [Reg::ZERO; 4];
+        s[..srcs.len()].copy_from_slice(srcs);
+        let mut d = [Reg::ZERO; 2];
+        d[..dsts.len()].copy_from_slice(dsts);
+        Op {
+            opcode,
+            guard,
+            srcs: s,
+            dsts: d,
+            imm,
+        }
+    }
+
+    /// Convenience constructor: two sources, one destination, always-true
+    /// guard (the most common operation shape).
+    pub fn rrr(opcode: Opcode, dst: Reg, src1: Reg, src2: Reg) -> Op {
+        Op::new(opcode, Reg::ONE, &[src1, src2], &[dst], 0)
+    }
+
+    /// Convenience constructor: one source, one destination.
+    pub fn rr(opcode: Opcode, dst: Reg, src: Reg) -> Op {
+        Op::new(opcode, Reg::ONE, &[src], &[dst], 0)
+    }
+
+    /// Convenience constructor: one source + immediate, one destination
+    /// (e.g. `iaddi`, displacement loads).
+    pub fn rri(opcode: Opcode, dst: Reg, src: Reg, imm: i32) -> Op {
+        Op::new(opcode, Reg::ONE, &[src], &[dst], imm)
+    }
+
+    /// Convenience constructor: `iimm dst, imm`.
+    pub fn imm(dst: Reg, value: i32) -> Op {
+        Op::new(Opcode::Iimm, Reg::ONE, &[], &[dst], value)
+    }
+
+    /// Returns the same operation with a different guard register.
+    pub fn with_guard(mut self, guard: Reg) -> Op {
+        self.guard = guard;
+        self
+    }
+
+    /// Active source registers (slice of length `signature().srcs`).
+    pub fn sources(&self) -> &[Reg] {
+        &self.srcs[..self.opcode.signature().srcs as usize]
+    }
+
+    /// Active destination registers (slice of length `signature().dsts`).
+    pub fn dests(&self) -> &[Reg] {
+        &self.dsts[..self.opcode.signature().dsts as usize]
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IF {} {}", self.guard, self.opcode)?;
+        for s in self.sources() {
+            write!(f, " {s}")?;
+        }
+        if self.opcode.signature().imm {
+            write!(f, " #{}", self.imm)?;
+        }
+        if !self.dests().is_empty() {
+            write!(f, " ->")?;
+            for d in self.dests() {
+                write!(f, " {d}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One issue slot of a VLIW instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Slot {
+    /// No operation issued in this slot.
+    #[default]
+    Empty,
+    /// A single-slot operation.
+    Single(Op),
+    /// First slot of a two-slot operation (carries the full operation).
+    SuperFirst(Op),
+    /// Second slot of a two-slot operation (placeholder; the operation
+    /// lives in the preceding slot).
+    SuperSecond,
+}
+
+impl Slot {
+    /// The operation anchored in this slot, if any.
+    pub fn op(&self) -> Option<&Op> {
+        match self {
+            Slot::Single(op) | Slot::SuperFirst(op) => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Whether the slot is occupied (including the tail of a two-slot op).
+    pub fn is_used(&self) -> bool {
+        !matches!(self, Slot::Empty)
+    }
+}
+
+/// A VLIW instruction: up to five operations across five issue slots.
+///
+/// Issue slots are numbered 1..=5 in the paper; indices 0..5 here.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Instr {
+    /// The five issue slots.
+    pub slots: [Slot; NUM_SLOTS],
+}
+
+impl Instr {
+    /// An instruction with all slots empty (a VLIW no-op).
+    pub fn nop() -> Instr {
+        Instr::default()
+    }
+
+    /// Builds an instruction by placing `op` in `slot` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Instr::place`].
+    pub fn single(op: Op, slot: usize) -> Instr {
+        let mut i = Instr::nop();
+        i.place(op, slot);
+        i
+    }
+
+    /// Places an operation in a slot (0-based). Two-slot operations occupy
+    /// `slot` and `slot + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot (or the neighbour for a two-slot operation) is
+    /// already occupied or out of range.
+    pub fn place(&mut self, op: Op, slot: usize) {
+        assert!(slot < NUM_SLOTS, "slot {slot} out of range");
+        assert!(
+            !self.slots[slot].is_used(),
+            "slot {slot} is already occupied"
+        );
+        if op.opcode.is_two_slot() {
+            assert!(
+                slot + 1 < NUM_SLOTS,
+                "two-slot operation cannot start in the last slot"
+            );
+            assert!(
+                !self.slots[slot + 1].is_used(),
+                "slot {} is already occupied",
+                slot + 1
+            );
+            self.slots[slot] = Slot::SuperFirst(op);
+            self.slots[slot + 1] = Slot::SuperSecond;
+        } else {
+            self.slots[slot] = Slot::Single(op);
+        }
+    }
+
+    /// Iterates over the operations in this instruction with their anchor
+    /// slot index.
+    pub fn ops(&self) -> impl Iterator<Item = (usize, &Op)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.op().map(|op| (i, op)))
+    }
+
+    /// The number of operations in this instruction (a two-slot operation
+    /// counts once).
+    pub fn op_count(&self) -> usize {
+        self.ops().count()
+    }
+
+    /// Whether the instruction has no operations at all.
+    pub fn is_nop(&self) -> bool {
+        self.op_count() == 0
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_nop() {
+            return write!(f, "( nop )");
+        }
+        write!(f, "(")?;
+        for (i, slot) in self.slots.iter().enumerate() {
+            match slot {
+                Slot::Empty => write!(f, " [{}] -", i + 1)?,
+                Slot::Single(op) => write!(f, " [{}] {}", i + 1, op)?,
+                Slot::SuperFirst(op) => write!(f, " [{}+{}] {}", i + 1, i + 2, op)?,
+                Slot::SuperSecond => {}
+            }
+        }
+        write!(f, " )")
+    }
+}
+
+/// A program: a sequence of VLIW instructions plus the set of jump-target
+/// instruction indices (jump targets are stored uncompressed, §2.1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The instruction sequence.
+    pub instrs: Vec<Instr>,
+    /// Indices into `instrs` that are jump targets (function entry is
+    /// implicitly a target).
+    pub jump_targets: Vec<usize>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Number of VLIW instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Total operation count across all instructions.
+    pub fn total_ops(&self) -> usize {
+        self.instrs.iter().map(Instr::op_count).sum()
+    }
+
+    /// Whether instruction `index` is a jump target.
+    pub fn is_jump_target(&self, index: usize) -> bool {
+        index == 0 || self.jump_targets.contains(&index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn place_two_slot_occupies_pair() {
+        let op = Op::new(
+            Opcode::SuperLd32r,
+            Reg::ONE,
+            &[r(2), r(3)],
+            &[r(4), r(5)],
+            0,
+        );
+        let mut i = Instr::nop();
+        i.place(op, 3);
+        assert!(i.slots[3].is_used());
+        assert!(i.slots[4].is_used());
+        assert_eq!(i.op_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_placement_panics() {
+        let mut i = Instr::nop();
+        i.place(Op::rrr(Opcode::Iadd, r(4), r(2), r(3)), 0);
+        i.place(Op::rrr(Opcode::Isub, r(5), r(2), r(3)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "last slot")]
+    fn two_slot_in_last_slot_panics() {
+        let op = Op::new(
+            Opcode::SuperLd32r,
+            Reg::ONE,
+            &[r(2), r(3)],
+            &[r(4), r(5)],
+            0,
+        );
+        let mut i = Instr::nop();
+        i.place(op, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot write")]
+    fn writing_constant_register_panics() {
+        let _ = Op::rrr(Opcode::Iadd, Reg::ZERO, r(2), r(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 sources")]
+    fn wrong_arity_panics() {
+        let _ = Op::new(Opcode::Iadd, Reg::ONE, &[r(2)], &[r(3)], 0);
+    }
+
+    #[test]
+    fn nop_has_no_ops() {
+        assert!(Instr::nop().is_nop());
+        assert_eq!(Instr::nop().op_count(), 0);
+    }
+
+    #[test]
+    fn display_shows_slots() {
+        let mut i = Instr::nop();
+        i.place(Op::rrr(Opcode::Iadd, r(4), r(2), r(3)), 1);
+        let s = i.to_string();
+        assert!(s.contains("[2] IF r1 iadd r2 r3 -> r4"), "{s}");
+    }
+
+    #[test]
+    fn program_counts_ops() {
+        let mut p = Program::new();
+        let mut i = Instr::nop();
+        i.place(Op::rrr(Opcode::Iadd, r(4), r(2), r(3)), 0);
+        i.place(Op::rrr(Opcode::Isub, r(5), r(2), r(3)), 1);
+        p.instrs.push(i);
+        p.instrs.push(Instr::nop());
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.total_ops(), 2);
+        assert!(p.is_jump_target(0));
+        assert!(!p.is_jump_target(1));
+    }
+}

@@ -1,0 +1,673 @@
+//! Operation opcodes and their static properties.
+//!
+//! The TM3270 ISA contains guarded RISC-like operations executed by 31
+//! functional units spread over 5 issue slots (paper, Table 1). This module
+//! enumerates the operation set modelled by this reproduction: the classic
+//! TriMedia operation repertoire plus the TM3270 additions of §2.2 —
+//! two-slot operations, the collapsed `LD_FRAC8` load, and the CABAC
+//! operations.
+
+use std::fmt;
+
+/// The functional-unit class executing an operation.
+///
+/// Unit-to-slot binding and latency are machine-configuration dependent
+/// (e.g. load latency is 3 cycles on the TM3260 and 4 on the TM3270,
+/// paper Table 6); see [`crate::IssueModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// Integer ALU; present in all five issue slots.
+    Alu,
+    /// Barrel shifter / funnel shifter.
+    Shifter,
+    /// Saturating SIMD ALU (`dsp` add/sub/avg/clip/SAD).
+    DspAlu,
+    /// Multiplier (integer, SIMD and single-precision FP multiply).
+    DspMul,
+    /// Floating-point adder / converter.
+    FAlu,
+    /// Floating-point comparator.
+    FComp,
+    /// Iterative floating-point unit (divide, square root).
+    FTough,
+    /// Branch unit.
+    Branch,
+    /// Data-cache load port.
+    Load,
+    /// Data-cache store port (also carries cache-control operations).
+    Store,
+    /// Two-slot arithmetic unit spanning issue slots 2 and 3 (§2.2.1).
+    SuperArith,
+    /// Two-slot load unit spanning issue slots 4 and 5 (`SUPER_LD32R`).
+    SuperLoad,
+    /// Collapsed load-with-interpolation unit in slot 5 (`LD_FRAC8`).
+    FracLoad,
+}
+
+/// An operation opcode.
+///
+/// Naming follows TriMedia conventions: `i` = signed integer, `u` =
+/// unsigned, `dsp` = saturating, `d`-suffixed memory operations take a
+/// displacement immediate, `r`-suffixed take a register offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // each variant is documented by `describe`
+pub enum Opcode {
+    // --- constants / immediate arithmetic (ALU) ---
+    Iimm,
+    Iaddi,
+    Isubi,
+    Iori,
+    // --- integer ALU ---
+    Iadd,
+    Isub,
+    Ineg,
+    Iabs,
+    Iand,
+    Ior,
+    Ixor,
+    Bitinv,
+    Bitandinv,
+    Sex8,
+    Sex16,
+    Zex8,
+    Zex16,
+    Imin,
+    Imax,
+    Umin,
+    Umax,
+    Ieql,
+    Ineq,
+    Igtr,
+    Igeq,
+    Iles,
+    Ileq,
+    Ugtr,
+    Ugeq,
+    Ules,
+    Uleq,
+    Ieqli,
+    Igtri,
+    Ilesi,
+    Inonzero,
+    Izero,
+    Pack16Lsb,
+    Pack16Msb,
+    PackBytes,
+    MergeLsb,
+    MergeMsb,
+    Ubytesel,
+    MergeDual16Lsb,
+    // --- shifter ---
+    Asl,
+    Asr,
+    Lsr,
+    Rol,
+    Asli,
+    Asri,
+    Lsri,
+    Roli,
+    Funshift1,
+    Funshift2,
+    Funshift3,
+    // --- saturating SIMD ALU ---
+    Dspiadd,
+    Dspisub,
+    Dspiabs,
+    Dspidualadd,
+    Dspidualsub,
+    Dspidualabs,
+    Quadavg,
+    Quadumin,
+    Quadumax,
+    Dualiclipi,
+    Iclipi,
+    Uclipi,
+    Ume8uu,
+    Ume8ii,
+    // --- multiplier ---
+    Imul,
+    Umul,
+    Imulm,
+    Umulm,
+    Dspimul,
+    Dspidualmul,
+    Ifir16,
+    Ufir16,
+    Ifir8ii,
+    Ifir8ui,
+    Ufir8uu,
+    Quadumulmsb,
+    Fmul,
+    // --- floating point ---
+    Fadd,
+    Fsub,
+    Fabsval,
+    Ifloat,
+    Ufloat,
+    Ifixrz,
+    Ufixrz,
+    Fgtr,
+    Fgeq,
+    Feql,
+    Fneq,
+    Fleq,
+    Fles,
+    Fsign,
+    Fdiv,
+    Fsqrt,
+    // --- branches ---
+    Jmpt,
+    Jmpf,
+    Jmpi,
+    Ijmpt,
+    Ijmpi,
+    // --- loads ---
+    Ld8d,
+    Uld8d,
+    Ld16d,
+    Uld16d,
+    Ld32d,
+    Ld8r,
+    Uld8r,
+    Ld16r,
+    Uld16r,
+    Ld32r,
+    // --- stores and cache control ---
+    St8d,
+    St16d,
+    St32d,
+    Allocd,
+    Prefd,
+    Dinvalid,
+    Dflush,
+    StPfStart,
+    StPfEnd,
+    StPfStride,
+    // --- TM3270 collapsed load with interpolation (§2.2.2) ---
+    LdFrac8,
+    // --- TM3270 two-slot operations (§2.2.1, §2.2.3) ---
+    SuperDualimix,
+    SuperLd32r,
+    SuperCabacCtx,
+    SuperCabacStr,
+}
+
+/// The operand signature of an opcode: how many register sources and
+/// destinations it has, and whether it carries an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// Number of register source operands (0..=4).
+    pub srcs: u8,
+    /// Number of register destination operands (0..=2).
+    pub dsts: u8,
+    /// Whether the operation encoding carries an immediate field.
+    pub imm: bool,
+}
+
+impl Opcode {
+    /// The functional unit class that executes this opcode.
+    pub fn unit(self) -> Unit {
+        use Opcode::*;
+        match self {
+            Iimm | Iaddi | Isubi | Iori | Iadd | Isub | Ineg | Iabs | Iand | Ior | Ixor | Bitinv
+            | Bitandinv | Sex8 | Sex16 | Zex8 | Zex16 | Imin | Imax | Umin | Umax | Ieql | Ineq
+            | Igtr | Igeq | Iles | Ileq | Ugtr | Ugeq | Ules | Uleq | Ieqli | Igtri | Ilesi
+            | Inonzero | Izero | Pack16Lsb | Pack16Msb | PackBytes | MergeLsb | MergeMsb
+            | Ubytesel | MergeDual16Lsb => Unit::Alu,
+            Asl | Asr | Lsr | Rol | Asli | Asri | Lsri | Roli | Funshift1 | Funshift2
+            | Funshift3 => Unit::Shifter,
+            Dspiadd | Dspisub | Dspiabs | Dspidualadd | Dspidualsub | Dspidualabs | Quadavg
+            | Quadumin | Quadumax | Dualiclipi | Iclipi | Uclipi | Ume8uu | Ume8ii => Unit::DspAlu,
+            Imul | Umul | Imulm | Umulm | Dspimul | Dspidualmul | Ifir16 | Ufir16 | Ifir8ii
+            | Ifir8ui | Ufir8uu | Quadumulmsb | Fmul => Unit::DspMul,
+            Fadd | Fsub | Fabsval | Ifloat | Ufloat | Ifixrz | Ufixrz => Unit::FAlu,
+            Fgtr | Fgeq | Feql | Fneq | Fleq | Fles | Fsign => Unit::FComp,
+            Fdiv | Fsqrt => Unit::FTough,
+            Jmpt | Jmpf | Jmpi | Ijmpt | Ijmpi => Unit::Branch,
+            Ld8d | Uld8d | Ld16d | Uld16d | Ld32d | Ld8r | Uld8r | Ld16r | Uld16r | Ld32r => {
+                Unit::Load
+            }
+            St8d | St16d | St32d | Allocd | Prefd | Dinvalid | Dflush | StPfStart | StPfEnd
+            | StPfStride => Unit::Store,
+            LdFrac8 => Unit::FracLoad,
+            SuperDualimix | SuperCabacCtx | SuperCabacStr => Unit::SuperArith,
+            SuperLd32r => Unit::SuperLoad,
+        }
+    }
+
+    /// The operand signature of this opcode.
+    pub fn signature(self) -> Signature {
+        use Opcode::*;
+        let (srcs, dsts, imm) = match self {
+            Iimm => (0, 1, true),
+            Iaddi | Isubi | Iori | Asli | Asri | Lsri | Roli | Ieqli | Igtri | Ilesi | Dualiclipi
+            | Iclipi | Uclipi => (1, 1, true),
+            Ineg | Iabs | Bitinv | Sex8 | Sex16 | Zex8 | Zex16 | Inonzero | Izero | Dspiabs
+            | Dspidualabs | Fabsval | Ifloat | Ufloat | Ifixrz | Ufixrz | Fsign | Fsqrt => {
+                (1, 1, false)
+            }
+            Iadd | Isub | Iand | Ior | Ixor | Bitandinv | Imin | Imax | Umin | Umax | Ieql
+            | Ineq | Igtr | Igeq | Iles | Ileq | Ugtr | Ugeq | Ules | Uleq | Pack16Lsb
+            | Pack16Msb | PackBytes | MergeLsb | MergeMsb | Ubytesel | MergeDual16Lsb | Asl
+            | Asr | Lsr | Rol | Funshift1 | Funshift2 | Funshift3 | Dspiadd | Dspisub
+            | Dspidualadd | Dspidualsub | Quadavg | Quadumin | Quadumax | Ume8uu | Ume8ii
+            | Imul | Umul | Imulm | Umulm | Dspimul | Dspidualmul | Ifir16 | Ufir16 | Ifir8ii
+            | Ifir8ui | Ufir8uu | Quadumulmsb | Fmul | Fadd | Fsub | Fgtr | Fgeq | Feql | Fneq
+            | Fleq | Fles | Fdiv => (2, 1, false),
+            Jmpt | Jmpf | Jmpi => (0, 0, true),
+            Ijmpt | Ijmpi => (1, 0, false),
+            Ld8d | Uld8d | Ld16d | Uld16d | Ld32d => (1, 1, true),
+            Ld8r | Uld8r | Ld16r | Uld16r | Ld32r => (2, 1, false),
+            St8d | St16d | St32d => (2, 0, true),
+            Allocd | Prefd | Dinvalid | Dflush => (1, 0, true),
+            StPfStart | StPfEnd | StPfStride => (1, 0, true),
+            LdFrac8 => (2, 1, false),
+            SuperDualimix | SuperCabacCtx => (4, 2, false),
+            SuperCabacStr => (3, 2, false),
+            SuperLd32r => (2, 2, false),
+        };
+        Signature { srcs, dsts, imm }
+    }
+
+    /// Whether this operation reads data memory.
+    pub fn is_load(self) -> bool {
+        matches!(self.unit(), Unit::Load | Unit::FracLoad | Unit::SuperLoad)
+    }
+
+    /// Whether this operation writes data memory.
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::St8d | Opcode::St16d | Opcode::St32d)
+    }
+
+    /// Whether this operation accesses the data cache at all (loads, stores
+    /// and cache-control operations).
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.unit() == Unit::Store
+    }
+
+    /// Whether this is a control-flow operation.
+    pub fn is_jump(self) -> bool {
+        self.unit() == Unit::Branch
+    }
+
+    /// Whether this operation occupies two neighbouring issue slots
+    /// (the TM3270 "super operations", §2.2.1).
+    pub fn is_two_slot(self) -> bool {
+        matches!(self.unit(), Unit::SuperArith | Unit::SuperLoad)
+    }
+
+    /// Whether this opcode is a TM3270 ISA extension that does not exist on
+    /// the TM3260 predecessor (§2.2: roughly 40 new operations).
+    pub fn is_tm3270_only(self) -> bool {
+        matches!(
+            self,
+            Opcode::SuperDualimix
+                | Opcode::SuperLd32r
+                | Opcode::SuperCabacCtx
+                | Opcode::SuperCabacStr
+                | Opcode::LdFrac8
+        )
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Iimm => "iimm",
+            Iaddi => "iaddi",
+            Isubi => "isubi",
+            Iori => "iori",
+            Iadd => "iadd",
+            Isub => "isub",
+            Ineg => "ineg",
+            Iabs => "iabs",
+            Iand => "iand",
+            Ior => "ior",
+            Ixor => "ixor",
+            Bitinv => "bitinv",
+            Bitandinv => "bitandinv",
+            Sex8 => "sex8",
+            Sex16 => "sex16",
+            Zex8 => "zex8",
+            Zex16 => "zex16",
+            Imin => "imin",
+            Imax => "imax",
+            Umin => "umin",
+            Umax => "umax",
+            Ieql => "ieql",
+            Ineq => "ineq",
+            Igtr => "igtr",
+            Igeq => "igeq",
+            Iles => "iles",
+            Ileq => "ileq",
+            Ugtr => "ugtr",
+            Ugeq => "ugeq",
+            Ules => "ules",
+            Uleq => "uleq",
+            Ieqli => "ieqli",
+            Igtri => "igtri",
+            Ilesi => "ilesi",
+            Inonzero => "inonzero",
+            Izero => "izero",
+            Pack16Lsb => "pack16lsb",
+            Pack16Msb => "pack16msb",
+            PackBytes => "packbytes",
+            MergeLsb => "mergelsb",
+            MergeMsb => "mergemsb",
+            Ubytesel => "ubytesel",
+            MergeDual16Lsb => "mergedual16lsb",
+            Asl => "asl",
+            Asr => "asr",
+            Lsr => "lsr",
+            Rol => "rol",
+            Asli => "asli",
+            Asri => "asri",
+            Lsri => "lsri",
+            Roli => "roli",
+            Funshift1 => "funshift1",
+            Funshift2 => "funshift2",
+            Funshift3 => "funshift3",
+            Dspiadd => "dspiadd",
+            Dspisub => "dspisub",
+            Dspiabs => "dspiabs",
+            Dspidualadd => "dspidualadd",
+            Dspidualsub => "dspidualsub",
+            Dspidualabs => "dspidualabs",
+            Quadavg => "quadavg",
+            Quadumin => "quadumin",
+            Quadumax => "quadumax",
+            Dualiclipi => "dualiclipi",
+            Iclipi => "iclipi",
+            Uclipi => "uclipi",
+            Ume8uu => "ume8uu",
+            Ume8ii => "ume8ii",
+            Imul => "imul",
+            Umul => "umul",
+            Imulm => "imulm",
+            Umulm => "umulm",
+            Dspimul => "dspimul",
+            Dspidualmul => "dspidualmul",
+            Ifir16 => "ifir16",
+            Ufir16 => "ufir16",
+            Ifir8ii => "ifir8ii",
+            Ifir8ui => "ifir8ui",
+            Ufir8uu => "ufir8uu",
+            Quadumulmsb => "quadumulmsb",
+            Fmul => "fmul",
+            Fadd => "fadd",
+            Fsub => "fsub",
+            Fabsval => "fabsval",
+            Ifloat => "ifloat",
+            Ufloat => "ufloat",
+            Ifixrz => "ifixrz",
+            Ufixrz => "ufixrz",
+            Fgtr => "fgtr",
+            Fgeq => "fgeq",
+            Feql => "feql",
+            Fneq => "fneq",
+            Fleq => "fleq",
+            Fles => "fles",
+            Fsign => "fsign",
+            Fdiv => "fdiv",
+            Fsqrt => "fsqrt",
+            Jmpt => "jmpt",
+            Jmpf => "jmpf",
+            Jmpi => "jmpi",
+            Ijmpt => "ijmpt",
+            Ijmpi => "ijmpi",
+            Ld8d => "ld8d",
+            Uld8d => "uld8d",
+            Ld16d => "ld16d",
+            Uld16d => "uld16d",
+            Ld32d => "ld32d",
+            Ld8r => "ld8r",
+            Uld8r => "uld8r",
+            Ld16r => "ld16r",
+            Uld16r => "uld16r",
+            Ld32r => "ld32r",
+            St8d => "st8d",
+            St16d => "st16d",
+            St32d => "st32d",
+            Allocd => "allocd",
+            Prefd => "prefd",
+            Dinvalid => "dinvalid",
+            Dflush => "dflush",
+            StPfStart => "stpfstart",
+            StPfEnd => "stpfend",
+            StPfStride => "stpfstride",
+            LdFrac8 => "ld_frac8",
+            SuperDualimix => "super_dualimix",
+            SuperLd32r => "super_ld32r",
+            SuperCabacCtx => "super_cabac_ctx",
+            SuperCabacStr => "super_cabac_str",
+        }
+    }
+
+    /// All opcodes, in a fixed canonical order (also the numeric encoding
+    /// order used by [`tm3270-encode`](https://docs.rs)).
+    pub fn all() -> &'static [Opcode] {
+        use Opcode::*;
+        const ALL: &[Opcode] = &[
+            Iimm,
+            Iaddi,
+            Isubi,
+            Iori,
+            Iadd,
+            Isub,
+            Ineg,
+            Iabs,
+            Iand,
+            Ior,
+            Ixor,
+            Bitinv,
+            Bitandinv,
+            Sex8,
+            Sex16,
+            Zex8,
+            Zex16,
+            Imin,
+            Imax,
+            Umin,
+            Umax,
+            Ieql,
+            Ineq,
+            Igtr,
+            Igeq,
+            Iles,
+            Ileq,
+            Ugtr,
+            Ugeq,
+            Ules,
+            Uleq,
+            Ieqli,
+            Igtri,
+            Ilesi,
+            Inonzero,
+            Izero,
+            Pack16Lsb,
+            Pack16Msb,
+            PackBytes,
+            MergeLsb,
+            MergeMsb,
+            Ubytesel,
+            MergeDual16Lsb,
+            Asl,
+            Asr,
+            Lsr,
+            Rol,
+            Asli,
+            Asri,
+            Lsri,
+            Roli,
+            Funshift1,
+            Funshift2,
+            Funshift3,
+            Dspiadd,
+            Dspisub,
+            Dspiabs,
+            Dspidualadd,
+            Dspidualsub,
+            Dspidualabs,
+            Quadavg,
+            Quadumin,
+            Quadumax,
+            Dualiclipi,
+            Iclipi,
+            Uclipi,
+            Ume8uu,
+            Ume8ii,
+            Imul,
+            Umul,
+            Imulm,
+            Umulm,
+            Dspimul,
+            Dspidualmul,
+            Ifir16,
+            Ufir16,
+            Ifir8ii,
+            Ifir8ui,
+            Ufir8uu,
+            Quadumulmsb,
+            Fmul,
+            Fadd,
+            Fsub,
+            Fabsval,
+            Ifloat,
+            Ufloat,
+            Ifixrz,
+            Ufixrz,
+            Fgtr,
+            Fgeq,
+            Feql,
+            Fneq,
+            Fleq,
+            Fles,
+            Fsign,
+            Fdiv,
+            Fsqrt,
+            Jmpt,
+            Jmpf,
+            Jmpi,
+            Ijmpt,
+            Ijmpi,
+            Ld8d,
+            Uld8d,
+            Ld16d,
+            Uld16d,
+            Ld32d,
+            Ld8r,
+            Uld8r,
+            Ld16r,
+            Uld16r,
+            Ld32r,
+            St8d,
+            St16d,
+            St32d,
+            Allocd,
+            Prefd,
+            Dinvalid,
+            Dflush,
+            StPfStart,
+            StPfEnd,
+            StPfStride,
+            LdFrac8,
+            SuperDualimix,
+            SuperLd32r,
+            SuperCabacCtx,
+            SuperCabacStr,
+        ];
+        ALL
+    }
+
+    /// The opcode's canonical index (stable across runs; used by the binary
+    /// encoding).
+    pub fn code(self) -> u16 {
+        Opcode::all()
+            .iter()
+            .position(|&o| o == self)
+            .expect("opcode present in canonical table") as u16
+    }
+
+    /// Looks up an opcode from its canonical index.
+    pub fn from_code(code: u16) -> Option<Opcode> {
+        Opcode::all().get(code as usize).copied()
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_round_trips_for_all_opcodes() {
+        for &op in Opcode::all() {
+            assert_eq!(Opcode::from_code(op.code()), Some(op), "{op}");
+        }
+        assert!(Opcode::from_code(Opcode::all().len() as u16).is_none());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Opcode::all() {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {op}");
+        }
+    }
+
+    #[test]
+    fn two_slot_ops_have_super_units() {
+        assert!(Opcode::SuperDualimix.is_two_slot());
+        assert!(Opcode::SuperLd32r.is_two_slot());
+        assert!(Opcode::SuperCabacCtx.is_two_slot());
+        assert!(Opcode::SuperCabacStr.is_two_slot());
+        assert!(!Opcode::Iadd.is_two_slot());
+    }
+
+    #[test]
+    fn tm3270_extensions_flagged() {
+        let ext: Vec<_> = Opcode::all()
+            .iter()
+            .filter(|o| o.is_tm3270_only())
+            .collect();
+        assert_eq!(ext.len(), 5);
+    }
+
+    #[test]
+    fn load_store_classification() {
+        assert!(Opcode::Ld32d.is_load());
+        assert!(Opcode::LdFrac8.is_load());
+        assert!(Opcode::SuperLd32r.is_load());
+        assert!(Opcode::St32d.is_store());
+        assert!(!Opcode::St32d.is_load());
+        assert!(Opcode::Prefd.is_mem());
+        assert!(!Opcode::Prefd.is_store());
+        assert!(!Opcode::Iadd.is_mem());
+    }
+
+    #[test]
+    fn signatures_are_in_range() {
+        for &op in Opcode::all() {
+            let sig = op.signature();
+            assert!(sig.srcs <= 4, "{op}");
+            assert!(sig.dsts <= 2, "{op}");
+            // Only two-slot operations may exceed 2 sources / 1 destination.
+            if !op.is_two_slot() {
+                assert!(sig.srcs <= 2, "{op}");
+                assert!(sig.dsts <= 1, "{op}");
+            }
+        }
+    }
+
+    #[test]
+    fn opcode_count_is_stable() {
+        // The encoding reserves 7 bits for the opcode field; guard that we
+        // stay within it.
+        assert!(Opcode::all().len() <= 128);
+    }
+}

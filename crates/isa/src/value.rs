@@ -1,0 +1,148 @@
+//! SIMD lane arithmetic helpers.
+//!
+//! The TM3270 treats its 32-bit registers as `1 x 32-bit`, `2 x 16-bit` or
+//! `4 x 8-bit` SIMD containers (paper, Table 1). These helpers implement the
+//! lane-wise saturation, averaging and packing used by the operation
+//! semantics in [`crate::execute`].
+
+/// Clips `v` to the inclusive signed range `[lo, hi]`.
+#[inline]
+pub fn clip_i64(v: i64, lo: i64, hi: i64) -> i64 {
+    v.max(lo).min(hi)
+}
+
+/// Clips a 64-bit intermediate to the signed 32-bit range, as used by the
+/// `SUPER_DUALIMIX` semantics (paper, Table 2).
+#[inline]
+pub fn clip_to_i32(v: i64) -> i32 {
+    clip_i64(v, i64::from(i32::MIN), i64::from(i32::MAX)) as i32
+}
+
+/// Clips a 32-bit intermediate to the signed 16-bit range.
+#[inline]
+pub fn clip_to_i16(v: i32) -> i16 {
+    v.max(i32::from(i16::MIN)).min(i32::from(i16::MAX)) as i16
+}
+
+/// Clips a 32-bit intermediate to the unsigned 8-bit range.
+#[inline]
+pub fn clip_to_u8(v: i32) -> u8 {
+    v.clamp(0, 255) as u8
+}
+
+/// Splits a register into its two 16-bit lanes `(hi, lo)`.
+#[inline]
+pub fn dual16(v: u32) -> (u16, u16) {
+    ((v >> 16) as u16, v as u16)
+}
+
+/// Packs two 16-bit lanes `(hi, lo)` into a register value.
+///
+/// This is the `DUAL16(a, b)` notation of the paper's Table 2:
+/// `DUAL16(a, b) = (a << 16) | (b & 0xffff)`.
+#[inline]
+pub fn pack_dual16(hi: u16, lo: u16) -> u32 {
+    (u32::from(hi) << 16) | u32::from(lo)
+}
+
+/// Splits a register into its four 8-bit lanes, most-significant first.
+#[inline]
+pub fn quad8(v: u32) -> [u8; 4] {
+    [(v >> 24) as u8, (v >> 16) as u8, (v >> 8) as u8, v as u8]
+}
+
+/// Packs four 8-bit lanes (most-significant first) into a register value.
+#[inline]
+pub fn pack_quad8(b: [u8; 4]) -> u32 {
+    (u32::from(b[0]) << 24) | (u32::from(b[1]) << 16) | (u32::from(b[2]) << 8) | u32::from(b[3])
+}
+
+/// Unsigned byte average with upward rounding: `(a + b + 1) / 2`.
+#[inline]
+pub fn avg_u8(a: u8, b: u8) -> u8 {
+    (u16::from(a) + u16::from(b)).div_ceil(2) as u8
+}
+
+/// Two-tap linear interpolation between bytes with a 4-bit fractional
+/// position, as used by `LD_FRAC8` (paper, Table 2):
+/// `(a*(16-frac) + b*frac + 8) / 16`.
+#[inline]
+pub fn interp_frac16(a: u8, b: u8, frac: u32) -> u8 {
+    let frac = frac & 0xf;
+    ((u32::from(a) * (16 - frac) + u32::from(b) * frac + 8) / 16) as u8
+}
+
+/// Sign-extends the low `bits` bits of `v`.
+#[inline]
+pub fn sign_extend(v: u32, bits: u32) -> u32 {
+    debug_assert!((1..=32).contains(&bits));
+    if bits == 32 {
+        return v;
+    }
+    let shift = 32 - bits;
+    (((v << shift) as i32) >> shift) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_i32_saturates_both_ends() {
+        assert_eq!(clip_to_i32(i64::from(i32::MAX) + 5), i32::MAX);
+        assert_eq!(clip_to_i32(i64::from(i32::MIN) - 5), i32::MIN);
+        assert_eq!(clip_to_i32(1234), 1234);
+    }
+
+    #[test]
+    fn dual16_round_trip() {
+        let v = 0xdead_beef;
+        let (hi, lo) = dual16(v);
+        assert_eq!(hi, 0xdead);
+        assert_eq!(lo, 0xbeef);
+        assert_eq!(pack_dual16(hi, lo), v);
+    }
+
+    #[test]
+    fn quad8_round_trip() {
+        let v = 0x0102_03ff;
+        assert_eq!(quad8(v), [1, 2, 3, 255]);
+        assert_eq!(pack_quad8(quad8(v)), v);
+    }
+
+    #[test]
+    fn avg_rounds_up() {
+        assert_eq!(avg_u8(0, 1), 1);
+        assert_eq!(avg_u8(2, 4), 3);
+        assert_eq!(avg_u8(255, 255), 255);
+    }
+
+    #[test]
+    fn interp_endpoints() {
+        // frac = 0 selects the first byte exactly.
+        assert_eq!(interp_frac16(10, 200, 0), 10);
+        // frac = 8 is the rounded midpoint.
+        assert_eq!(interp_frac16(10, 20, 8), 15);
+        // Matches the Table 2 formula on an arbitrary case.
+        assert_eq!(
+            interp_frac16(100, 40, 5),
+            ((100u32 * 11 + 40 * 5 + 8) / 16) as u8
+        );
+    }
+
+    #[test]
+    fn sign_extend_small_fields() {
+        assert_eq!(sign_extend(0xff, 8), 0xffff_ffff);
+        assert_eq!(sign_extend(0x7f, 8), 0x7f);
+        assert_eq!(sign_extend(0x8000, 16), 0xffff_8000);
+        assert_eq!(sign_extend(0x1_0000, 32), 0x1_0000);
+    }
+
+    #[test]
+    fn clip16_and_clipu8() {
+        assert_eq!(clip_to_i16(40000), i16::MAX);
+        assert_eq!(clip_to_i16(-40000), i16::MIN);
+        assert_eq!(clip_to_u8(-3), 0);
+        assert_eq!(clip_to_u8(300), 255);
+    }
+}

@@ -1,0 +1,334 @@
+//! Exhaustive table-driven semantics tests: every opcode with
+//! hand-computed vectors, including edge cases (saturation boundaries,
+//! shift-amount masking, NaN handling, wrap-around).
+
+use tm3270_isa::{execute, DataMemory, FlatMemory, Op, Opcode, Reg, RegFile};
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Runs a 2-source operation with the given inputs, returns the result.
+fn bin(op: Opcode, a: u32, b: u32) -> u32 {
+    let mut rf = RegFile::new();
+    rf.write(r(2), a);
+    rf.write(r(3), b);
+    let mut mem = FlatMemory::new(4096);
+    execute(&Op::rrr(op, r(4), r(2), r(3)), &rf, &mut mem).writes[0]
+        .expect("result")
+        .1
+}
+
+/// Runs a 1-source operation.
+fn un(op: Opcode, a: u32) -> u32 {
+    let mut rf = RegFile::new();
+    rf.write(r(2), a);
+    let mut mem = FlatMemory::new(4096);
+    execute(&Op::rr(op, r(4), r(2)), &rf, &mut mem).writes[0]
+        .expect("result")
+        .1
+}
+
+/// Runs a source+immediate operation.
+fn immop(op: Opcode, a: u32, imm: i32) -> u32 {
+    let mut rf = RegFile::new();
+    rf.write(r(2), a);
+    let mut mem = FlatMemory::new(4096);
+    execute(&Op::rri(op, r(4), r(2), imm), &rf, &mut mem).writes[0]
+        .expect("result")
+        .1
+}
+
+const NEG1: u32 = u32::MAX;
+
+#[test]
+fn integer_alu_vectors() {
+    // (opcode, a, b, expected)
+    let cases: &[(Opcode, u32, u32, u32)] = &[
+        (Opcode::Iadd, 0xffff_ffff, 1, 0),
+        (Opcode::Iadd, 0x7fff_ffff, 1, 0x8000_0000),
+        (Opcode::Isub, 0, 1, NEG1),
+        (Opcode::Iand, 0xf0f0_f0f0, 0xff00_ff00, 0xf000_f000),
+        (Opcode::Ior, 0xf0f0_f0f0, 0x0f0f_0f0f, NEG1),
+        (Opcode::Ixor, 0xaaaa_aaaa, 0xffff_ffff, 0x5555_5555),
+        (Opcode::Bitandinv, 0xff, 0x0f, 0xf0),
+        (Opcode::Imin, NEG1, 1, NEG1), // -1 < 1 signed
+        (Opcode::Imax, NEG1, 1, 1),
+        (Opcode::Umin, NEG1, 1, 1),
+        (Opcode::Umax, NEG1, 1, NEG1),
+        (Opcode::Ieql, 5, 5, 1),
+        (Opcode::Ieql, 5, 6, 0),
+        (Opcode::Ineq, 5, 6, 1),
+        (Opcode::Igtr, 0x8000_0000, 0, 0), // INT_MIN > 0 is false
+        (Opcode::Igeq, 7, 7, 1),
+        (Opcode::Iles, 0x8000_0000, 0, 1),
+        (Opcode::Ileq, 8, 7, 0),
+        (Opcode::Ugtr, 0x8000_0000, 0, 1), // unsigned
+        (Opcode::Ugeq, 0, 0, 1),
+        (Opcode::Ules, 1, 2, 1),
+        (Opcode::Uleq, 3, 2, 0),
+        (Opcode::Pack16Lsb, 0xaaaa_1111, 0xbbbb_2222, 0x1111_2222),
+        (Opcode::Pack16Msb, 0x1111_aaaa, 0x2222_bbbb, 0x1111_2222),
+        (Opcode::PackBytes, 0x0000_00aa, 0x0000_00bb, 0x0000_aabb),
+        (Opcode::MergeMsb, 0xa1a2_0000, 0xb1b2_0000, 0xa1b1_a2b2),
+        (Opcode::MergeLsb, 0x0000_a3a4, 0x0000_b3b4, 0xa3b3_a4b4),
+        (Opcode::Ubytesel, 0x4433_2211, 0, 0x11),
+        (Opcode::Ubytesel, 0x4433_2211, 3, 0x44),
+        (Opcode::Ubytesel, 0x4433_2211, 7, 0x44), // index masked to 2 bits
+    ];
+    for &(op, a, b, want) in cases {
+        assert_eq!(bin(op, a, b), want, "{op} {a:#x} {b:#x}");
+    }
+}
+
+#[test]
+fn unary_vectors() {
+    let cases: &[(Opcode, u32, u32)] = &[
+        (Opcode::Ineg, 5, (-5i32) as u32),
+        (Opcode::Ineg, 0x8000_0000, 0x8000_0000), // INT_MIN wraps
+        (Opcode::Iabs, (-7i32) as u32, 7),
+        (Opcode::Iabs, 0x8000_0000, 0x8000_0000), // INT_MIN wraps
+        (Opcode::Bitinv, 0, NEG1),
+        (Opcode::Sex8, 0x80, 0xffff_ff80),
+        (Opcode::Sex8, 0x7f, 0x7f),
+        (Opcode::Sex16, 0x8000, 0xffff_8000),
+        (Opcode::Zex8, 0xffff_ffff, 0xff),
+        (Opcode::Zex16, 0xffff_ffff, 0xffff),
+        (Opcode::Inonzero, 0, 0),
+        (Opcode::Inonzero, 9, 1),
+        (Opcode::Izero, 0, 1),
+        (Opcode::Izero, 9, 0),
+        (Opcode::Dspiabs, 0x8000_0000, 0x7fff_ffff), // saturating abs
+        (Opcode::Dspidualabs, 0x8000_8000, 0x7fff_7fff),
+    ];
+    for &(op, a, want) in cases {
+        assert_eq!(un(op, a), want, "{op} {a:#x}");
+    }
+}
+
+#[test]
+fn shifter_vectors() {
+    let cases: &[(Opcode, u32, u32, u32)] = &[
+        (Opcode::Asl, 1, 31, 0x8000_0000),
+        (Opcode::Asl, 1, 32, 1),  // shift amount masked to 5 bits
+        (Opcode::Asl, 1, 33, 2),
+        (Opcode::Asr, 0x8000_0000, 31, NEG1),
+        (Opcode::Lsr, 0x8000_0000, 31, 1),
+        (Opcode::Rol, 0x8000_0001, 1, 3),
+        (Opcode::Funshift1, 0x1122_3344, 0xaabb_ccdd, 0x2233_44aa),
+        (Opcode::Funshift2, 0x1122_3344, 0xaabb_ccdd, 0x3344_aabb),
+        (Opcode::Funshift3, 0x1122_3344, 0xaabb_ccdd, 0x44aa_bbcc),
+    ];
+    for &(op, a, b, want) in cases {
+        assert_eq!(bin(op, a, b), want, "{op} {a:#x} {b:#x}");
+    }
+    assert_eq!(immop(Opcode::Asli, 3, 2), 12);
+    assert_eq!(immop(Opcode::Asri, 0x8000_0000, 4), 0xf800_0000);
+    assert_eq!(immop(Opcode::Lsri, 0x8000_0000, 4), 0x0800_0000);
+    assert_eq!(immop(Opcode::Roli, 0x8000_0001, 1), 3);
+}
+
+#[test]
+fn saturating_simd_vectors() {
+    let cases: &[(Opcode, u32, u32, u32)] = &[
+        // 32-bit saturating.
+        (Opcode::Dspiadd, 0x7fff_ffff, 1, 0x7fff_ffff),
+        (Opcode::Dspiadd, 0x8000_0000, NEG1, 0x8000_0000),
+        (Opcode::Dspisub, 0x8000_0000, 1, 0x8000_0000),
+        (Opcode::Dspimul, 0x0001_0000, 0x0001_0000, 0x7fff_ffff),
+        // 2 x 16 saturating.
+        (Opcode::Dspidualadd, 0x7fff_8000, 0x0001_ffff, 0x7fff_8000),
+        (Opcode::Dspidualsub, 0x8000_7fff, 0x0001_ffff, 0x8000_7fff),
+        (Opcode::Dspidualmul, 0x0100_ff00, 0x0100_0100, 0x7fff_8000),
+        // 4 x 8 unsigned.
+        (Opcode::Quadavg, 0xff00_ff00, 0x0100_0100, 0x8000_8000),
+        (Opcode::Quadumin, 0x1080_30ff, 0x2070_4080, 0x1070_3080),
+        (Opcode::Quadumax, 0x1080_30ff, 0x2070_4080, 0x2080_40ff),
+        (Opcode::Ume8uu, 0x0000_0000, 0xffff_ffff, 4 * 255),
+        (Opcode::Ume8ii, 0x7f7f_7f7f, 0x8080_8080, 4 * 255),
+        (Opcode::Quadumulmsb, 0xff00_8002, 0xff00_ff03, 0xfe00_7f00),
+    ];
+    for &(op, a, b, want) in cases {
+        assert_eq!(bin(op, a, b), want, "{op} {a:#x} {b:#x}");
+    }
+    // Clip immediates.
+    assert_eq!(immop(Opcode::Iclipi, 1000, 7), 127);
+    assert_eq!(immop(Opcode::Iclipi, (-1000i32) as u32, 7), (-128i32) as u32);
+    assert_eq!(immop(Opcode::Uclipi, (-5i32) as u32, 8), 0);
+    assert_eq!(immop(Opcode::Uclipi, 300, 8), 255);
+    assert_eq!(immop(Opcode::Dualiclipi, 0x7fff_8000, 7), 0x007f_ff80);
+}
+
+#[test]
+fn multiplier_vectors() {
+    let cases: &[(Opcode, u32, u32, u32)] = &[
+        (Opcode::Imul, 0x0001_0000, 0x0001_0000, 0), // wraps
+        (Opcode::Imul, NEG1, NEG1, 1),
+        (Opcode::Umul, 0x0001_0000, 0x0001_0000, 0),
+        (Opcode::Imulm, NEG1, NEG1, 0), // (-1 * -1) >> 32
+        (Opcode::Imulm, 0x8000_0000, 0x8000_0000, 0x4000_0000),
+        (Opcode::Umulm, NEG1, NEG1, 0xffff_fffe),
+        // ifir16: 2*3 + 4*5 = 26
+        (Opcode::Ifir16, 0x0002_0004, 0x0003_0005, 26),
+        // ifir16 with negative lane: (-2)*3 + 4*5 = 14
+        (Opcode::Ifir16, 0xfffe_0004, 0x0003_0005, 14),
+        (Opcode::Ufir16, 0xffff_0001, 0x0002_0002, 0xffff * 2 + 2),
+        // ifir8ii: 1*1 + (-1)*1 + 2*2 + (-2)*2 = 0
+        (Opcode::Ifir8ii, 0x01ff_02fe, 0x0101_0202, 0),
+        // ufir8uu: 255*255 * 4
+        (Opcode::Ufir8uu, 0xffff_ffff, 0xffff_ffff, 255 * 255 * 4),
+        // ifir8ui: unsigned 255 * signed -1, 4 lanes
+        (Opcode::Ifir8ui, 0xffff_ffff, 0xffff_ffff, (-(255i32) * 4) as u32),
+    ];
+    for &(op, a, b, want) in cases {
+        assert_eq!(bin(op, a, b), want, "{op} {a:#x} {b:#x}");
+    }
+}
+
+#[test]
+fn float_vectors() {
+    let f = |v: f32| v.to_bits();
+    assert_eq!(bin(Opcode::Fadd, f(1.5), f(2.5)), f(4.0));
+    assert_eq!(bin(Opcode::Fsub, f(1.0), f(3.0)), f(-2.0));
+    assert_eq!(bin(Opcode::Fmul, f(-2.0), f(3.0)), f(-6.0));
+    assert_eq!(bin(Opcode::Fdiv, f(7.0), f(2.0)), f(3.5));
+    assert_eq!(un(Opcode::Fsqrt, f(9.0)), f(3.0));
+    assert_eq!(un(Opcode::Fabsval, f(-2.25)), f(2.25));
+    assert_eq!(un(Opcode::Ifloat, (-3i32) as u32), f(-3.0));
+    assert_eq!(un(Opcode::Ufloat, 0x8000_0000), f(2_147_483_648.0));
+    assert_eq!(un(Opcode::Ifixrz, f(-2.99)), (-2i32) as u32);
+    assert_eq!(un(Opcode::Ifixrz, f(2.99)), 2);
+    assert_eq!(un(Opcode::Ufixrz, f(-1.0)), 0, "negative clamps to 0");
+    assert_eq!(un(Opcode::Ifixrz, f32::NAN.to_bits()), 0, "NaN to 0");
+    assert_eq!(un(Opcode::Ufixrz, f(1e20)), u32::MAX, "saturates");
+    assert_eq!(bin(Opcode::Fgtr, f(2.0), f(1.0)), 1);
+    assert_eq!(bin(Opcode::Fgtr, f32::NAN.to_bits(), f(1.0)), 0);
+    assert_eq!(bin(Opcode::Feql, f(0.0), f(-0.0)), 1, "IEEE -0 == +0");
+    assert_eq!(bin(Opcode::Fneq, f32::NAN.to_bits(), f32::NAN.to_bits()), 1);
+    assert_eq!(bin(Opcode::Fleq, f(1.0), f(1.0)), 1);
+    assert_eq!(bin(Opcode::Fles, f(1.0), f(1.0)), 0);
+    assert_eq!(bin(Opcode::Fgeq, f(1.0), f(2.0)), 0);
+    assert_eq!(un(Opcode::Fsign, f(-7.0)), f(-1.0));
+    assert_eq!(un(Opcode::Fsign, f(0.0)), f(0.0));
+    assert_eq!(un(Opcode::Fsign, f(42.0)), f(1.0));
+}
+
+#[test]
+fn memory_width_and_extension_vectors() {
+    let mut rf = RegFile::new();
+    rf.write(r(2), 0x100);
+    let mut mem = FlatMemory::new(1 << 12);
+    mem.store_bytes(0xfe, &[0xaa, 0xbb, 0x80, 0x7f, 0xff, 0x01, 0x02, 0x03, 0x04, 0x05]);
+    let run = |op: Op, rf: &RegFile, mem: &mut FlatMemory| {
+        execute(&op, rf, mem).writes[0].map(|w| w.1)
+    };
+    // Displacement forms (base 0x100 points at the 0x80 byte).
+    assert_eq!(run(Op::rri(Opcode::Uld8d, r(4), r(2), 0), &rf, &mut mem), Some(0x80));
+    assert_eq!(
+        run(Op::rri(Opcode::Ld8d, r(4), r(2), 0), &rf, &mut mem),
+        Some(0xffff_ff80)
+    );
+    assert_eq!(
+        run(Op::rri(Opcode::Ld16d, r(4), r(2), -2), &rf, &mut mem),
+        Some(0xffff_bbaa)
+    );
+    assert_eq!(
+        run(Op::rri(Opcode::Uld16d, r(4), r(2), -2), &rf, &mut mem),
+        Some(0xbbaa)
+    );
+    assert_eq!(
+        run(Op::rri(Opcode::Ld32d, r(4), r(2), 1), &rf, &mut mem),
+        Some(0x0201_ff7f)
+    );
+    // Register-offset forms.
+    rf.write(r(3), 3);
+    assert_eq!(
+        run(Op::rrr(Opcode::Ld32r, r(4), r(2), r(3)), &rf, &mut mem),
+        Some(0x0403_0201)
+    );
+    assert_eq!(
+        run(Op::rrr(Opcode::Uld8r, r(4), r(2), r(3)), &rf, &mut mem),
+        Some(0x01)
+    );
+    assert_eq!(
+        run(Op::rrr(Opcode::Ld16r, r(4), r(2), r(3)), &rf, &mut mem),
+        Some(0x0201)
+    );
+    // Store widths.
+    rf.write(r(5), 0xdead_beef);
+    execute(&Op::new(Opcode::St8d, Reg::ONE, &[r(2), r(5)], &[], 0x10), &rf, &mut mem);
+    execute(&Op::new(Opcode::St16d, Reg::ONE, &[r(2), r(5)], &[], 0x12), &rf, &mut mem);
+    execute(&Op::new(Opcode::St32d, Reg::ONE, &[r(2), r(5)], &[], 0x14), &rf, &mut mem);
+    let mut buf = [0u8; 8];
+    mem.load_bytes(0x110, &mut buf);
+    assert_eq!(buf, [0xef, 0, 0xef, 0xbe, 0xef, 0xbe, 0xad, 0xde]);
+}
+
+#[test]
+fn iimm_and_const_helpers() {
+    let mut rf = RegFile::new();
+    let mut mem = FlatMemory::new(4096);
+    let res = execute(&Op::imm(r(4), -1), &rf, &mut mem);
+    assert_eq!(res.writes[0], Some((r(4), NEG1)));
+    rf.write(r(2), 0xfff0_0000);
+    assert_eq!(immop(Opcode::Iaddi, 10, -3), 7);
+    assert_eq!(immop(Opcode::Isubi, 10, 3), 7);
+    assert_eq!(immop(Opcode::Iori, 0xf000_0000, 0xff), 0xf000_00ff);
+    assert_eq!(
+        immop(Opcode::Iori, 0, -1),
+        0xfff,
+        "iori masks the immediate to 12 bits"
+    );
+    assert_eq!(immop(Opcode::Ieqli, 7, 7), 1);
+    assert_eq!(immop(Opcode::Igtri, 7, 7), 0);
+    assert_eq!(immop(Opcode::Ilesi, (-1i32) as u32, 0), 1);
+}
+
+#[test]
+fn branch_vectors() {
+    let mut rf = RegFile::new();
+    let mut mem = FlatMemory::new(4096);
+    rf.write(r(9), 0); // false guard
+    rf.write(r(10), 3); // odd = true guard
+    rf.write(r(11), 1234); // indirect target
+
+    let t = |op: Op, rf: &RegFile, mem: &mut FlatMemory| execute(&op, rf, mem).branch_target;
+    assert_eq!(t(Op::new(Opcode::Jmpi, Reg::ONE, &[], &[], 77), &rf, &mut mem), Some(77));
+    assert_eq!(t(Op::new(Opcode::Jmpt, r(10), &[], &[], 77), &rf, &mut mem), Some(77));
+    assert_eq!(t(Op::new(Opcode::Jmpt, r(9), &[], &[], 77), &rf, &mut mem), None);
+    assert_eq!(t(Op::new(Opcode::Jmpf, r(9), &[], &[], 77), &rf, &mut mem), Some(77));
+    assert_eq!(t(Op::new(Opcode::Jmpf, r(10), &[], &[], 77), &rf, &mut mem), None);
+    assert_eq!(
+        t(Op::new(Opcode::Ijmpt, r(10), &[r(11)], &[], 0), &rf, &mut mem),
+        Some(1234)
+    );
+    assert_eq!(
+        t(Op::new(Opcode::Ijmpi, Reg::ONE, &[r(11)], &[], 0), &rf, &mut mem),
+        Some(1234)
+    );
+}
+
+#[test]
+fn every_opcode_executes_without_panicking() {
+    // Smoke: every opcode, arbitrary-ish operands, guard true and false.
+    let mut rf = RegFile::new();
+    for i in 2..12u8 {
+        rf.write(r(i), 0x1234_5678u32.wrapping_mul(u32::from(i)));
+    }
+    rf.write(r(2), 0x100); // keep addresses in range
+    let mut mem = FlatMemory::new(1 << 16);
+    for &opcode in Opcode::all() {
+        let sig = opcode.signature();
+        let srcs: Vec<Reg> = (0..sig.srcs).map(|k| r(2 + k)).collect();
+        let dsts: Vec<Reg> = (0..sig.dsts).map(|k| r(20 + k)).collect();
+        let imm = if sig.imm { 4 } else { 0 };
+        for guard in [Reg::ONE, Reg::ZERO] {
+            let op = Op::new(opcode, guard, &srcs, &dsts, imm);
+            let res = execute(&op, &rf, &mut mem);
+            if guard == Reg::ZERO && opcode != Opcode::Jmpf {
+                assert!(!res.executed, "{opcode} executed with a false guard");
+                assert_eq!(res.writes, [None, None], "{opcode}");
+            }
+        }
+    }
+}

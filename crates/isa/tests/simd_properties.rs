@@ -1,0 +1,173 @@
+//! Property tests: every SIMD operation agrees with an independent
+//! lane-wise scalar model, and structural invariants (guards, constant
+//! registers, write counts) hold for arbitrary operands.
+
+use proptest::prelude::*;
+use tm3270_isa::{execute, FlatMemory, Op, Opcode, Reg, RegFile};
+
+fn bin(op: Opcode, a: u32, b: u32) -> u32 {
+    let mut rf = RegFile::new();
+    rf.write(Reg::new(2), a);
+    rf.write(Reg::new(3), b);
+    let mut mem = FlatMemory::new(4096);
+    execute(&Op::rrr(op, Reg::new(4), Reg::new(2), Reg::new(3)), &rf, &mut mem).writes[0]
+        .expect("result")
+        .1
+}
+
+fn bytes(v: u32) -> [u8; 4] {
+    v.to_le_bytes()
+}
+
+fn halves(v: u32) -> [i16; 2] {
+    [(v & 0xffff) as u16 as i16, (v >> 16) as u16 as i16]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn quadavg_matches_scalar_model(a in any::<u32>(), b in any::<u32>()) {
+        let got = bytes(bin(Opcode::Quadavg, a, b));
+        for (i, &lane) in got.iter().enumerate() {
+            let expect = (u16::from(bytes(a)[i]) + u16::from(bytes(b)[i])).div_ceil(2) as u8;
+            prop_assert_eq!(lane, expect, "lane {}", i);
+        }
+    }
+
+    #[test]
+    fn quad_minmax_match_scalar_model(a in any::<u32>(), b in any::<u32>()) {
+        let min = bytes(bin(Opcode::Quadumin, a, b));
+        let max = bytes(bin(Opcode::Quadumax, a, b));
+        for i in 0..4 {
+            prop_assert_eq!(min[i], bytes(a)[i].min(bytes(b)[i]));
+            prop_assert_eq!(max[i], bytes(a)[i].max(bytes(b)[i]));
+        }
+    }
+
+    #[test]
+    fn ume8uu_is_l1_distance(a in any::<u32>(), b in any::<u32>()) {
+        let got = bin(Opcode::Ume8uu, a, b);
+        let expect: u32 = (0..4)
+            .map(|i| (i32::from(bytes(a)[i]) - i32::from(bytes(b)[i])).unsigned_abs())
+            .sum();
+        prop_assert_eq!(got, expect);
+        // Metric properties.
+        prop_assert_eq!(bin(Opcode::Ume8uu, a, a), 0);
+        prop_assert_eq!(bin(Opcode::Ume8uu, b, a), got, "symmetry");
+    }
+
+    #[test]
+    fn dual_saturating_ops_match_scalar_model(a in any::<u32>(), b in any::<u32>()) {
+        let add = halves(bin(Opcode::Dspidualadd, a, b));
+        let sub = halves(bin(Opcode::Dspidualsub, a, b));
+        let mul = halves(bin(Opcode::Dspidualmul, a, b));
+        for i in 0..2 {
+            let (x, y) = (i32::from(halves(a)[i]), i32::from(halves(b)[i]));
+            prop_assert_eq!(i32::from(add[i]), (x + y).clamp(-32768, 32767));
+            prop_assert_eq!(i32::from(sub[i]), (x - y).clamp(-32768, 32767));
+            prop_assert_eq!(i32::from(mul[i]), (x * y).clamp(-32768, 32767));
+        }
+    }
+
+    #[test]
+    fn fir_ops_match_scalar_model(a in any::<u32>(), b in any::<u32>()) {
+        let ifir16 = bin(Opcode::Ifir16, a, b) as i32;
+        let expect16: i64 = (0..2)
+            .map(|i| i64::from(halves(a)[i]) * i64::from(halves(b)[i]))
+            .sum();
+        prop_assert_eq!(i64::from(ifir16), (expect16 as i32).into());
+
+        let ufir8 = bin(Opcode::Ufir8uu, a, b);
+        let expect8: u32 = (0..4)
+            .map(|i| u32::from(bytes(a)[i]) * u32::from(bytes(b)[i]))
+            .sum();
+        prop_assert_eq!(ufir8, expect8);
+
+        let ifir8ui = bin(Opcode::Ifir8ui, a, b) as i32;
+        let expect_ui: i32 = (0..4)
+            .map(|i| i32::from(bytes(a)[i]) * i32::from(bytes(b)[i] as i8))
+            .sum();
+        prop_assert_eq!(ifir8ui, expect_ui);
+    }
+
+    #[test]
+    fn saturating_add_is_monotone_and_bounded(a in any::<u32>(), b in any::<u32>()) {
+        let r = bin(Opcode::Dspiadd, a, b) as i32;
+        let wide = i64::from(a as i32) + i64::from(b as i32);
+        prop_assert_eq!(i64::from(r), wide.clamp(i64::from(i32::MIN), i64::from(i32::MAX)));
+    }
+
+    #[test]
+    fn funnel_shifts_are_concatenation_windows(a in any::<u32>(), b in any::<u32>()) {
+        let cat = (u64::from(a) << 32) | u64::from(b);
+        prop_assert_eq!(bin(Opcode::Funshift1, a, b), (cat >> 24) as u32);
+        prop_assert_eq!(bin(Opcode::Funshift2, a, b), (cat >> 16) as u32);
+        prop_assert_eq!(bin(Opcode::Funshift3, a, b), (cat >> 8) as u32);
+    }
+
+    #[test]
+    fn merge_then_select_recovers_lanes(a in any::<u32>(), b in any::<u32>()) {
+        // mergemsb interleaves the two high bytes of each source; every
+        // output lane must be an input byte.
+        let out = bytes(bin(Opcode::MergeMsb, a, b));
+        prop_assert_eq!(out[3], bytes(a)[3]);
+        prop_assert_eq!(out[2], bytes(b)[3]);
+        prop_assert_eq!(out[1], bytes(a)[2]);
+        prop_assert_eq!(out[0], bytes(b)[2]);
+    }
+
+    #[test]
+    fn guard_false_means_no_effect(
+        code in 0u16..127,
+        a in any::<u32>(),
+        b in any::<u32>(),
+    ) {
+        let opcode = Opcode::from_code(code).unwrap();
+        if opcode == Opcode::Jmpf {
+            return Ok(()); // jmpf architecturally fires on a false guard
+        }
+        let sig = opcode.signature();
+        let mut rf = RegFile::new();
+        rf.write(Reg::new(2), 0x100);
+        rf.write(Reg::new(3), a);
+        rf.write(Reg::new(4), b);
+        rf.write(Reg::new(9), 0xfffe); // guard false (bit 0 clear)
+        let mut mem = FlatMemory::new(1 << 16);
+        let before = mem.as_slice().to_vec();
+        let srcs: Vec<Reg> = (0..sig.srcs).map(|k| Reg::new(2 + k)).collect();
+        let dsts: Vec<Reg> = (0..sig.dsts).map(|k| Reg::new(20 + k)).collect();
+        let imm = i32::from(sig.imm) * 4;
+        let op = Op::new(opcode, Reg::new(9), &srcs, &dsts, imm);
+        let res = execute(&op, &rf, &mut mem);
+        prop_assert!(!res.executed);
+        prop_assert_eq!(res.writes, [None, None]);
+        prop_assert_eq!(res.branch_target, None);
+        prop_assert_eq!(mem.as_slice(), &before[..], "memory untouched");
+    }
+
+    #[test]
+    fn results_never_target_constant_registers(
+        code in 0u16..127,
+        a in any::<u32>(),
+    ) {
+        // Whatever executes, r0 and r1 stay architectural constants.
+        let opcode = Opcode::from_code(code).unwrap();
+        let sig = opcode.signature();
+        let mut rf = RegFile::new();
+        rf.write(Reg::new(2), 0x200);
+        rf.write(Reg::new(3), a);
+        let mut mem = FlatMemory::new(1 << 16);
+        let srcs: Vec<Reg> = (0..sig.srcs).map(|k| Reg::new(2 + k)).collect();
+        let dsts: Vec<Reg> = (0..sig.dsts).map(|k| Reg::new(30 + k)).collect();
+        let imm = i32::from(sig.imm) * 8;
+        let op = Op::new(opcode, Reg::ONE, &srcs, &dsts, imm);
+        let res = execute(&op, &rf, &mut mem);
+        for (r, v) in res.write_iter() {
+            prop_assert!(!r.is_constant());
+            rf.write(r, v);
+        }
+        prop_assert_eq!(rf.read(Reg::ZERO), 0);
+        prop_assert_eq!(rf.read(Reg::ONE), 1);
+    }
+}

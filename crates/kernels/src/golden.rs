@@ -1,0 +1,368 @@
+//! Golden (plain-Rust) reference implementations of every evaluation
+//! kernel. The simulated TM programs must reproduce these results
+//! byte-for-byte.
+
+/// 3x3 high-pass filter (sharpen kernel `[-1 -1 -1; -1 8 -1; -1 -1 -1]`),
+/// clamped to `0..=255`. Border pixels are left untouched (zero in the
+/// output buffer). Only the pixel region the TM kernel covers is written:
+/// rows `1..h-1`, columns `4..w-4`.
+pub fn highpass3x3(src: &[u8], w: usize, h: usize) -> Vec<u8> {
+    let mut out = vec![0u8; w * h];
+    for y in 1..h - 1 {
+        for x in 4..w - 4 {
+            let px = |dy: isize, dx: isize| -> i32 {
+                i32::from(src[(y as isize + dy) as usize * w + (x as isize + dx) as usize])
+            };
+            let sum = 8 * px(0, 0)
+                - px(-1, -1)
+                - px(-1, 0)
+                - px(-1, 1)
+                - px(0, -1)
+                - px(0, 1)
+                - px(1, -1)
+                - px(1, 0)
+                - px(1, 1);
+            out[y * w + x] = sum.clamp(0, 255) as u8;
+        }
+    }
+    out
+}
+
+/// RGBX (4 bytes/pixel, X ignored) to planar YUV (BT.601-shaped integer
+/// coefficients scaled to fit signed bytes; see `pixels.rs`).
+pub fn rgb2yuv(rgbx: &[u8]) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let n = rgbx.len() / 4;
+    let mut y = vec![0u8; n];
+    let mut u = vec![0u8; n];
+    let mut v = vec![0u8; n];
+    for i in 0..n {
+        let r = i32::from(rgbx[i * 4]);
+        let g = i32::from(rgbx[i * 4 + 1]);
+        let b = i32::from(rgbx[i * 4 + 2]);
+        y[i] = (((33 * r + 65 * g + 12 * b + 64) >> 7) + 16).clamp(0, 255) as u8;
+        u[i] = (((-19 * r - 37 * g + 56 * b + 64) >> 7) + 128).clamp(0, 255) as u8;
+        v[i] = (((56 * r - 47 * g - 9 * b + 64) >> 7) + 128).clamp(0, 255) as u8;
+    }
+    (y, u, v)
+}
+
+/// RGBX to planar CMYK (simple complement + under-colour removal).
+pub fn rgb2cmyk(rgbx: &[u8]) -> (Vec<u8>, Vec<u8>, Vec<u8>, Vec<u8>) {
+    let n = rgbx.len() / 4;
+    let (mut c, mut m, mut y, mut k) = (vec![0u8; n], vec![0u8; n], vec![0u8; n], vec![0u8; n]);
+    for i in 0..n {
+        let ci = 255 - rgbx[i * 4];
+        let mi = 255 - rgbx[i * 4 + 1];
+        let yi = 255 - rgbx[i * 4 + 2];
+        let ki = ci.min(mi).min(yi);
+        c[i] = ci - ki;
+        m[i] = mi - ki;
+        y[i] = yi - ki;
+        k[i] = ki;
+    }
+    (c, m, y, k)
+}
+
+/// RGBX to Y (bytes) and I/Q (signed 16-bit), NTSC-shaped integer
+/// coefficients scaled to fit signed bytes.
+pub fn rgb2yiq(rgbx: &[u8]) -> (Vec<u8>, Vec<i16>, Vec<i16>) {
+    let n = rgbx.len() / 4;
+    let mut y = vec![0u8; n];
+    let mut iq = vec![0i16; n];
+    let mut q = vec![0i16; n];
+    for i in 0..n {
+        let r = i32::from(rgbx[i * 4]);
+        let g = i32::from(rgbx[i * 4 + 1]);
+        let b = i32::from(rgbx[i * 4 + 2]);
+        y[i] = ((38 * r + 75 * g + 15 * b + 64) >> 7).clamp(0, 255) as u8;
+        iq[i] = ((76 * r - 35 * g - 41 * b + 64) >> 7) as i16;
+        q[i] = ((27 * r - 67 * g + 40 * b + 64) >> 7) as i16;
+    }
+    (y, iq, q)
+}
+
+/// Per-column residual byte of the MPEG2 texture proxy.
+pub fn mpeg2_residual(col: usize) -> u8 {
+    ((col * 37 + 11) & 0xff) as u8
+}
+
+/// IDCT-proxy checksum coefficient bytes (signed, address order).
+pub const MPEG2_FIR_COEF: [i8; 4] = [1, -2, 3, -1];
+
+/// Motion-compensation proxy for the MPEG2 decoder loop: for each 16x16
+/// macroblock, copy the motion-shifted reference block and apply the
+/// texture compute (rounded average with a per-column residual, clamped
+/// to `[8, 248]` — all expressible with the TM3270 quad-byte SIMD
+/// operations). Also returns the IDCT-proxy checksum: the wrapping sum of
+/// `ifir8ui(source word, [1,-2,3,-1])` over every fetched word.
+pub fn mpeg2_frame(
+    reference: &[u8],
+    width: usize,
+    height: usize,
+    motion_vectors: &[(i16, i16)],
+) -> (Vec<u8>, u32) {
+    let mbs_x = width / 16;
+    let mbs_y = height / 16;
+    assert_eq!(motion_vectors.len(), mbs_x * mbs_y);
+    let mut out = vec![0u8; width * height];
+    let mut checksum = 0u32;
+    for mby in 0..mbs_y {
+        for mbx in 0..mbs_x {
+            let (dx, dy) = motion_vectors[mby * mbs_x + mbx];
+            for row in 0..16 {
+                let sy = (mby * 16 + row) as isize + dy as isize;
+                for word in 0..4 {
+                    let mut fir = 0i32;
+                    for sub in 0..4 {
+                        let col = word * 4 + sub;
+                        let sx = (mbx * 16 + col) as isize + dx as isize;
+                        let s = reference[sy as usize * width + sx as usize];
+                        let avg = (u32::from(s) + u32::from(mpeg2_residual(col))).div_ceil(2);
+                        out[(mby * 16 + row) * width + mbx * 16 + col] =
+                            avg.clamp(8, 248) as u8;
+                        fir += i32::from(s) * i32::from(MPEG2_FIR_COEF[sub]);
+                    }
+                    checksum = checksum.wrapping_add(fir as u32);
+                }
+            }
+        }
+    }
+    (out, checksum)
+}
+
+/// Film-detection analysis: per 4-byte word, the byte SAD, a saturating
+/// per-halfword difference-energy accumulation (mirroring the TM
+/// `dspidualsub`/`dspidualabs`/`dspidualadd` chain on little-endian
+/// words), and the count of words whose SAD exceeds 64.
+pub fn filmdet(a: &[u8], b: &[u8]) -> (u32, u32, u32) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len() % 4, 0);
+    let mut sad_total = 0u32;
+    let mut energy = 0u32;
+    let mut count = 0u32;
+    let sat16 = |v: i32| v.clamp(-32768, 32767) as i16;
+    for (ca, cb) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
+        let wa = u32::from_le_bytes(ca.try_into().unwrap());
+        let wb = u32::from_le_bytes(cb.try_into().unwrap());
+        let sad: u32 = (0..4)
+            .map(|i| (i32::from(ca[i]) - i32::from(cb[i])).unsigned_abs())
+            .sum();
+        sad_total += sad;
+        // dspidualsub -> dspidualabs -> dspidualadd into the accumulator.
+        let lanes = |w: u32| ((w >> 16) as u16 as i16, w as u16 as i16);
+        let (ah, al) = lanes(wa);
+        let (bh, bl) = lanes(wb);
+        let dh = sat16(i32::from(ah) - i32::from(bh));
+        let dl = sat16(i32::from(al) - i32::from(bl));
+        let absh = sat16(i32::from(dh).abs());
+        let absl = sat16(i32::from(dl).abs());
+        let (eh, el) = lanes(energy);
+        let nh = sat16(i32::from(eh) + i32::from(absh));
+        let nl = sat16(i32::from(el) + i32::from(absl));
+        energy = ((nh as u16 as u32) << 16) | (nl as u16 as u32);
+        if sad > 64 {
+            count += 1;
+        }
+    }
+    (sad_total, energy, count)
+}
+
+/// Film-detection proxy: sum of absolute differences between two fields.
+pub fn field_sad(a: &[u8], b: &[u8]) -> u32 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (i32::from(x) - i32::from(y)).unsigned_abs())
+        .sum()
+}
+
+/// Majority-select de-interlacer with protection blend: per-pixel
+/// `avg(median(a,b,c), b)` plus the total deviation of the output from
+/// field `b`.
+pub fn majority_select_blend(a: &[u8], b: &[u8], c: &[u8]) -> (Vec<u8>, u32) {
+    let med = majority_select(a, b, c);
+    let mut out = Vec::with_capacity(med.len());
+    let mut dev = 0u32;
+    for (&m, &y) in med.iter().zip(b) {
+        let v = (u16::from(m) + u16::from(y)).div_ceil(2) as u8;
+        dev += (i32::from(v) - i32::from(y)).unsigned_abs();
+        out.push(v);
+    }
+    (out, dev)
+}
+
+/// Majority-select de-interlacer: per-pixel median of three fields.
+pub fn majority_select(a: &[u8], b: &[u8], c: &[u8]) -> Vec<u8> {
+    a.iter()
+        .zip(b)
+        .zip(c)
+        .map(|((&x, &y), &z)| {
+            // median(x, y, z) = max(min(x,y), min(max(x,y), z))
+            x.min(y).max(x.max(y).min(z))
+        })
+        .collect()
+}
+
+/// Two-tap fractional interpolation (the `LD_FRAC8` filter function) over
+/// a row: `out[i] = (src[i]*(16-frac) + src[i+1]*frac + 8) / 16`.
+pub fn interp_row(src: &[u8], frac: u32, n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|i| {
+            ((u32::from(src[i]) * (16 - frac) + u32::from(src[i + 1]) * frac + 8) / 16) as u8
+        })
+        .collect()
+}
+
+/// SAD between a block and a fractionally interpolated reference row
+/// window, over `rows` rows of `width` pixels with the given strides.
+pub fn frac_sad(
+    cur: &[u8],
+    cur_stride: usize,
+    refr: &[u8],
+    ref_stride: usize,
+    rows: usize,
+    width: usize,
+    frac: u32,
+) -> u32 {
+    let mut sad = 0u32;
+    for r in 0..rows {
+        let interp = interp_row(&refr[r * ref_stride..], frac, width);
+        for c in 0..width {
+            sad += (i32::from(cur[r * cur_stride + c]) - i32::from(interp[c])).unsigned_abs();
+        }
+    }
+    sad
+}
+
+/// Deterministic pseudo-random byte pattern used to fill input buffers.
+pub fn pattern(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 56) as u8
+        })
+        .collect()
+}
+
+/// Deterministic motion-vector field with bounded magnitude, clamped so
+/// all references stay inside the frame.
+pub fn motion_field(
+    mbs_x: usize,
+    mbs_y: usize,
+    magnitude: i16,
+    width: usize,
+    height: usize,
+    seed: u64,
+) -> Vec<(i16, i16)> {
+    let mut x = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+    let mut out = Vec::with_capacity(mbs_x * mbs_y);
+    for mby in 0..mbs_y {
+        for mbx in 0..mbs_x {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let span = 2 * magnitude as u16 + 1;
+            let raw_dx = if magnitude == 0 {
+                0
+            } else {
+                ((x >> 40) as u16 % span) as i16 - magnitude
+            };
+            let raw_dy = if magnitude == 0 {
+                0
+            } else {
+                ((x >> 20) as u16 % span) as i16 - magnitude
+            };
+            // Clamp so [mb*16 + d, mb*16 + d + 16) stays in the frame.
+            let dx = raw_dx
+                .max(-((mbx * 16) as i16))
+                .min((width - (mbx + 1) * 16) as i16);
+            let dy = raw_dy
+                .max(-((mby * 16) as i16))
+                .min((height - (mby + 1) * 16) as i16);
+            out.push((dx, dy));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_is_deterministic_and_varied() {
+        let a = pattern(1024, 7);
+        let b = pattern(1024, 7);
+        assert_eq!(a, b);
+        let distinct: std::collections::HashSet<u8> = a.iter().copied().collect();
+        assert!(distinct.len() > 100, "pattern covers the byte range");
+    }
+
+    #[test]
+    fn majority_select_is_median() {
+        assert_eq!(majority_select(&[5], &[1], &[3]), vec![3]);
+        assert_eq!(majority_select(&[1], &[5], &[3]), vec![3]);
+        assert_eq!(majority_select(&[3], &[1], &[5]), vec![3]);
+        assert_eq!(majority_select(&[7], &[7], &[0]), vec![7]);
+    }
+
+    #[test]
+    fn field_sad_basics() {
+        assert_eq!(field_sad(&[10, 20], &[15, 10]), 15);
+        assert_eq!(field_sad(&[0; 8], &[0; 8]), 0);
+    }
+
+    #[test]
+    fn motion_field_stays_in_frame() {
+        let mvs = motion_field(45, 30, 64, 720, 480, 3);
+        for (i, &(dx, dy)) in mvs.iter().enumerate() {
+            let mbx = i % 45;
+            let mby = i / 45;
+            let x0 = mbx as isize * 16 + dx as isize;
+            let y0 = mby as isize * 16 + dy as isize;
+            assert!(x0 >= 0 && x0 + 16 <= 720, "mv {i}: dx={dx}");
+            assert!(y0 >= 0 && y0 + 16 <= 480, "mv {i}: dy={dy}");
+        }
+    }
+
+    #[test]
+    fn zero_motion_field_is_zero() {
+        assert!(motion_field(4, 4, 0, 64, 64, 1).iter().all(|&v| v == (0, 0)));
+    }
+
+    #[test]
+    fn interp_row_frac_zero_is_identity() {
+        let src = [1u8, 2, 3, 4, 5];
+        assert_eq!(interp_row(&src, 0, 4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn highpass_flat_image_is_zero() {
+        let src = vec![100u8; 32 * 16];
+        let out = highpass3x3(&src, 32, 16);
+        for y in 1..15 {
+            for x in 4..28 {
+                assert_eq!(out[y * 32 + x], 0, "8*100 - 8*100 = 0");
+            }
+        }
+    }
+
+    #[test]
+    fn rgb2cmyk_pure_colors() {
+        // Pure red RGBX.
+        let (c, m, y, k) = rgb2cmyk(&[255, 0, 0, 0]);
+        assert_eq!((c[0], m[0], y[0], k[0]), (0, 255, 255, 0));
+        // White.
+        let (c, m, y, k) = rgb2cmyk(&[255, 255, 255, 0]);
+        assert_eq!((c[0], m[0], y[0], k[0]), (0, 0, 0, 0));
+        // Black.
+        let (c, m, y, k) = rgb2cmyk(&[0, 0, 0, 0]);
+        assert_eq!((c[0], m[0], y[0], k[0]), (0, 0, 0, 255));
+    }
+
+    #[test]
+    fn rgb2yuv_grey_axis() {
+        let (y, u, v) = rgb2yuv(&[128, 128, 128, 0]);
+        assert!((i32::from(y[0]) - 126).abs() <= 4, "y = {}", y[0]);
+        assert!((i32::from(u[0]) - 128).abs() <= 2);
+        assert!((i32::from(v[0]) - 128).abs() <= 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! # tm3270-kernels
+//!
+//! The evaluation workloads of the TM3270 paper (Table 5, §6), written as
+//! real TM programs via the `tm3270-asm` builder and validated
+//! byte-for-byte against golden Rust implementations:
+//!
+//! * `memset`, `memcpy` — 64 KB memory kernels;
+//! * `filter`, `rgb2yuv`, `rgb2cmyk`, `rgb2yiq` — EEMBC-consumer-style
+//!   pixel kernels;
+//! * `mpeg2_a/b/c` — an MPEG2 decoder motion-compensation proxy driven by
+//!   motion-vector fields of varying disruptiveness;
+//! * `filmdet`, `majority_sel` — TV film-detection and de-interlacing;
+//! * CABAC entropy decoding with and without the TM3270 `SUPER_CABAC_*`
+//!   operations (Table 3);
+//! * motion estimation with and without `LD_FRAC8` collapsed loads
+//!   (§2.2.2, \[12\]);
+//! * an MP3-decoder power proxy and the Figure 3 block-processing
+//!   prefetch demonstration.
+//!
+//! Each kernel implements [`Kernel`]: it *builds* per target machine (the
+//! paper's re-compilation methodology), *sets up* its input data, and
+//! *verifies* the simulated results.
+
+#![warn(missing_docs)]
+// Kernel emitters index by lane/word/row on purpose: the indices mirror
+// the displacement arithmetic of the generated operations.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_debug_implementations)]
+
+pub mod cabac_kernel;
+pub mod filter;
+pub mod golden;
+pub mod memops;
+pub mod motion;
+pub mod pixels;
+pub mod synth;
+pub mod tv;
+pub mod upconv;
+pub mod util;
+pub mod video;
+
+use tm3270_asm::BuildError;
+use tm3270_core::{Machine, MachineConfig, RunStats, SimError};
+use tm3270_isa::{IssueModel, Program};
+
+/// A runnable, verifiable evaluation workload.
+pub trait Kernel {
+    /// The workload name (Table 5 naming).
+    fn name(&self) -> &'static str;
+    /// Builds (schedules) the program for a target machine — the paper's
+    /// "re-compilation" step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when the kernel uses operations the target
+    /// machine does not have.
+    fn build(&self, model: &IssueModel) -> Result<Program, BuildError>;
+    /// Writes the input data into the machine's memory.
+    fn setup(&self, m: &mut Machine);
+    /// Checks the simulated output against the golden reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first mismatch.
+    fn verify(&self, m: &Machine) -> Result<(), String>;
+    /// A cycle budget large enough for the slowest configuration.
+    fn cycle_budget(&self) -> u64 {
+        200_000_000
+    }
+}
+
+/// Errors from [`run_kernel`].
+#[derive(Debug)]
+pub enum KernelError {
+    /// The kernel does not build for this machine.
+    Build(BuildError),
+    /// The simulation failed.
+    Sim(SimError),
+    /// The simulated output did not match the golden reference.
+    Verify(String),
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::Build(e) => write!(f, "build failed: {e}"),
+            KernelError::Sim(e) => write!(f, "simulation failed: {e}"),
+            KernelError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<BuildError> for KernelError {
+    fn from(e: BuildError) -> Self {
+        KernelError::Build(e)
+    }
+}
+impl From<SimError> for KernelError {
+    fn from(e: SimError) -> Self {
+        KernelError::Sim(e)
+    }
+}
+
+/// Builds, runs and verifies `kernel` on `config`, returning the run
+/// statistics.
+///
+/// # Errors
+///
+/// See [`KernelError`].
+pub fn run_kernel(kernel: &dyn Kernel, config: &MachineConfig) -> Result<RunStats, KernelError> {
+    let program = kernel.build(&config.issue)?;
+    let mut m = Machine::new(config.clone(), program)?;
+    kernel.setup(&mut m);
+    let stats = m.run(kernel.cycle_budget())?;
+    kernel.verify(&m).map_err(KernelError::Verify)?;
+    Ok(stats)
+}
+
+/// The eleven Table 5 evaluation workloads, in the paper's order.
+pub fn evaluation_kernels() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(memops::Memset::table5()),
+        Box::new(memops::Memcpy::table5()),
+        Box::new(filter::HighPass::table5()),
+        Box::new(pixels::Rgb2Yuv::table5()),
+        Box::new(pixels::Rgb2Cmyk::table5()),
+        Box::new(pixels::Rgb2Yiq::table5()),
+        Box::new(video::Mpeg2::stream_a()),
+        Box::new(video::Mpeg2::stream_b()),
+        Box::new(video::Mpeg2::stream_c()),
+        Box::new(tv::FilmDetect::table5()),
+        Box::new(tv::MajoritySelect::table5()),
+    ]
+}

@@ -1,0 +1,425 @@
+//! The EEMBC-consumer-style colour-conversion kernels (Table 5):
+//! `rgb2yuv`, `rgb2cmyk` and `rgb2yiq`.
+//!
+//! Input is interleaved RGBX (four bytes per pixel, X ignored); outputs
+//! are planar. The per-pixel dot products use `ifir8ui` (unsigned pixels
+//! x signed coefficients), so the colour matrices are scaled to fit
+//! signed bytes (a `>> 7` normalization instead of the usual `>> 8`); the
+//! golden references use the identical integer arithmetic.
+
+use crate::golden;
+use crate::util::{counted_loop, emit_const, streams, DST, SRC};
+use crate::Kernel;
+use tm3270_asm::{BuildError, ProgramBuilder, RegAlloc};
+use tm3270_core::Machine;
+use tm3270_isa::{IssueModel, Op, Opcode, Program, Reg};
+
+fn coeff_word(c: [i8; 3]) -> u32 {
+    u32::from(c[0] as u8) | (u32::from(c[1] as u8) << 8) | (u32::from(c[2] as u8) << 16)
+}
+
+/// Emits `dst = clip((fir + 64) >> 7 + bias, 0..255)` given the raw fir
+/// sum in `acc` (in place).
+fn emit_norm(b: &mut ProgramBuilder, dst: Reg, acc: Reg, bias: i32, clip: bool) {
+    b.op(Op::rri(Opcode::Iaddi, acc, acc, 64));
+    b.op(Op::rri(Opcode::Asri, acc, acc, 7));
+    if bias != 0 {
+        b.op(Op::rri(Opcode::Iaddi, acc, acc, bias));
+    }
+    if clip {
+        b.op(Op::rri(Opcode::Uclipi, dst, acc, 8));
+    } else {
+        b.op(Op::rrr(Opcode::Iadd, dst, acc, Reg::ZERO));
+    }
+}
+
+/// Shared pixel-count plumbing.
+#[derive(Debug, Clone, Copy)]
+struct Geometry {
+    pixels: u32,
+    seed: u64,
+}
+
+impl Geometry {
+    fn rgbx(&self) -> Vec<u8> {
+        golden::pattern(self.pixels as usize * 4, self.seed)
+    }
+}
+
+/// `rgb2yuv` (Table 5): RGBX to planar YUV.
+#[derive(Debug, Clone, Copy)]
+pub struct Rgb2Yuv {
+    geo: Geometry,
+}
+
+impl Rgb2Yuv {
+    /// The Table 5 configuration: a 320x240 image.
+    pub fn table5() -> Rgb2Yuv {
+        Rgb2Yuv {
+            geo: Geometry {
+                pixels: 320 * 240,
+                seed: 0x2b1,
+            },
+        }
+    }
+
+    /// A custom pixel count (multiple of 4).
+    pub fn with_pixels(pixels: u32, seed: u64) -> Rgb2Yuv {
+        Rgb2Yuv {
+            geo: Geometry { pixels, seed },
+        }
+    }
+}
+
+/// Plane base addresses for three-plane outputs.
+const PLANE: [u32; 4] = [DST, DST + 0x4_0000, DST + 0x8_0000, DST + 0xc_0000];
+
+fn build_three_plane(
+    model: &IssueModel,
+    pixels: u32,
+    coeffs: [[i8; 3]; 3],
+    biases: [i32; 3],
+) -> Result<Program, BuildError> {
+    assert_eq!(pixels % 4, 0);
+    let mut b = ProgramBuilder::new(*model);
+    let mut ra = RegAlloc::new();
+    let src = ra.alloc();
+    emit_const(&mut b, src, SRC);
+    let planes: [Reg; 3] = ra.alloc_n();
+    for (i, &p) in planes.iter().enumerate() {
+        emit_const(&mut b, p, PLANE[i]);
+    }
+    let coefr: [Reg; 3] = ra.alloc_n();
+    for (i, &c) in coefr.iter().enumerate() {
+        emit_const(&mut b, c, coeff_word(coeffs[i]));
+    }
+    let px: [Reg; 4] = ra.alloc_n();
+    // Per-plane, per-pixel accumulators and packed outputs.
+    let accs: Vec<Reg> = (0..12).map(|_| ra.alloc()).collect();
+    let outs: Vec<Reg> = (0..12).map(|_| ra.alloc()).collect();
+    let packs: [Reg; 2] = ra.alloc_n();
+
+    counted_loop(&mut b, &mut ra, pixels / 4, |b, _| {
+        for (j, &p) in px.iter().enumerate() {
+            b.op_in_stream(Op::rri(Opcode::Ld32d, p, src, j as i32 * 4), streams::SRC);
+        }
+        for plane in 0..3 {
+            for j in 0..4 {
+                let acc = accs[plane * 4 + j];
+                b.op(Op::rrr(Opcode::Ifir8ui, acc, px[j], coefr[plane]));
+                emit_norm(b, outs[plane * 4 + j], acc, biases[plane], true);
+            }
+            let o = &outs[plane * 4..plane * 4 + 4];
+            b.op(Op::rrr(Opcode::PackBytes, packs[0], o[1], o[0]));
+            b.op(Op::rrr(Opcode::PackBytes, packs[1], o[3], o[2]));
+            b.op(Op::rrr(Opcode::Pack16Lsb, packs[0], packs[1], packs[0]));
+            b.op_in_stream(
+                Op::new(Opcode::St32d, Reg::ONE, &[planes[plane], packs[0]], &[], 0),
+                streams::DST,
+            );
+            b.op(Op::rri(Opcode::Iaddi, planes[plane], planes[plane], 4));
+        }
+        b.op(Op::rri(Opcode::Iaddi, src, src, 16));
+    });
+    b.build()
+}
+
+impl Kernel for Rgb2Yuv {
+    fn name(&self) -> &'static str {
+        "rgb2yuv"
+    }
+
+    fn build(&self, model: &IssueModel) -> Result<Program, BuildError> {
+        build_three_plane(
+            model,
+            self.geo.pixels,
+            [[33, 65, 12], [-19, -37, 56], [56, -47, -9]],
+            [16, 128, 128],
+        )
+    }
+
+    fn setup(&self, m: &mut Machine) {
+        m.load_data(SRC, &self.geo.rgbx());
+    }
+
+    fn verify(&self, m: &Machine) -> Result<(), String> {
+        let (y, u, v) = golden::rgb2yuv(&self.geo.rgbx());
+        for (name, plane, expect) in [("Y", PLANE[0], &y), ("U", PLANE[1], &u), ("V", PLANE[2], &v)]
+        {
+            let got = m.read_data(plane, expect.len());
+            if let Some(i) = expect.iter().zip(&got).position(|(a, b)| a != b) {
+                return Err(format!(
+                    "{name}[{i}]: got {}, expected {}",
+                    got[i], expect[i]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `rgb2cmyk` (Table 5): RGBX to planar CMYK.
+#[derive(Debug, Clone, Copy)]
+pub struct Rgb2Cmyk {
+    geo: Geometry,
+}
+
+impl Rgb2Cmyk {
+    /// The Table 5 configuration: a 320x240 image.
+    pub fn table5() -> Rgb2Cmyk {
+        Rgb2Cmyk {
+            geo: Geometry {
+                pixels: 320 * 240,
+                seed: 0x31c,
+            },
+        }
+    }
+
+    /// A custom pixel count (multiple of 4).
+    pub fn with_pixels(pixels: u32, seed: u64) -> Rgb2Cmyk {
+        Rgb2Cmyk {
+            geo: Geometry { pixels, seed },
+        }
+    }
+}
+
+impl Kernel for Rgb2Cmyk {
+    fn name(&self) -> &'static str {
+        "rgb2cmyk"
+    }
+
+    fn build(&self, model: &IssueModel) -> Result<Program, BuildError> {
+        let pixels = self.geo.pixels;
+        assert_eq!(pixels % 4, 0);
+        let mut b = ProgramBuilder::new(*model);
+        let mut ra = RegAlloc::new();
+        let src = ra.alloc();
+        emit_const(&mut b, src, SRC);
+        let planes: [Reg; 4] = ra.alloc_n();
+        for (i, &p) in planes.iter().enumerate() {
+            emit_const(&mut b, p, PLANE[i]);
+        }
+        let one = ra.alloc();
+        let two = ra.alloc();
+        emit_const(&mut b, one, 1);
+        emit_const(&mut b, two, 2);
+        let px: [Reg; 4] = ra.alloc_n();
+        let inv: [Reg; 4] = ra.alloc_n();
+        // Per-pixel c/m/y/k registers.
+        let ch: Vec<Reg> = (0..16).map(|_| ra.alloc()).collect();
+        let packs: [Reg; 2] = ra.alloc_n();
+
+        counted_loop(&mut b, &mut ra, pixels / 4, |b, _| {
+            for (j, &p) in px.iter().enumerate() {
+                b.op_in_stream(Op::rri(Opcode::Ld32d, p, src, j as i32 * 4), streams::SRC);
+            }
+            for j in 0..4 {
+                b.op(Op::rr(Opcode::Bitinv, inv[j], px[j]));
+            }
+            for j in 0..4 {
+                let (c, m, y, k) = (ch[j], ch[4 + j], ch[8 + j], ch[12 + j]);
+                b.op(Op::rrr(Opcode::Ubytesel, c, inv[j], Reg::ZERO));
+                b.op(Op::rrr(Opcode::Ubytesel, m, inv[j], one));
+                b.op(Op::rrr(Opcode::Ubytesel, y, inv[j], two));
+                b.op(Op::rrr(Opcode::Umin, k, c, m));
+                b.op(Op::rrr(Opcode::Umin, k, k, y));
+                b.op(Op::rrr(Opcode::Isub, c, c, k));
+                b.op(Op::rrr(Opcode::Isub, m, m, k));
+                b.op(Op::rrr(Opcode::Isub, y, y, k));
+            }
+            for plane in 0..4 {
+                let o = &ch[plane * 4..plane * 4 + 4];
+                b.op(Op::rrr(Opcode::PackBytes, packs[0], o[1], o[0]));
+                b.op(Op::rrr(Opcode::PackBytes, packs[1], o[3], o[2]));
+                b.op(Op::rrr(Opcode::Pack16Lsb, packs[0], packs[1], packs[0]));
+                b.op_in_stream(
+                    Op::new(Opcode::St32d, Reg::ONE, &[planes[plane], packs[0]], &[], 0),
+                    streams::DST,
+                );
+                b.op(Op::rri(Opcode::Iaddi, planes[plane], planes[plane], 4));
+            }
+            b.op(Op::rri(Opcode::Iaddi, src, src, 16));
+        });
+        b.build()
+    }
+
+    fn setup(&self, m: &mut Machine) {
+        m.load_data(SRC, &self.geo.rgbx());
+    }
+
+    fn verify(&self, m: &Machine) -> Result<(), String> {
+        let (c, mm, y, k) = golden::rgb2cmyk(&self.geo.rgbx());
+        for (name, plane, expect) in [
+            ("C", PLANE[0], &c),
+            ("M", PLANE[1], &mm),
+            ("Y", PLANE[2], &y),
+            ("K", PLANE[3], &k),
+        ] {
+            let got = m.read_data(plane, expect.len());
+            if let Some(i) = expect.iter().zip(&got).position(|(a, b)| a != b) {
+                return Err(format!(
+                    "{name}[{i}]: got {}, expected {}",
+                    got[i], expect[i]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `rgb2yiq` (Table 5): RGBX to Y bytes plus signed 16-bit I/Q planes.
+#[derive(Debug, Clone, Copy)]
+pub struct Rgb2Yiq {
+    geo: Geometry,
+}
+
+impl Rgb2Yiq {
+    /// The Table 5 configuration: a 320x240 image.
+    pub fn table5() -> Rgb2Yiq {
+        Rgb2Yiq {
+            geo: Geometry {
+                pixels: 320 * 240,
+                seed: 0x71a,
+            },
+        }
+    }
+
+    /// A custom pixel count (multiple of 4).
+    pub fn with_pixels(pixels: u32, seed: u64) -> Rgb2Yiq {
+        Rgb2Yiq {
+            geo: Geometry { pixels, seed },
+        }
+    }
+}
+
+impl Kernel for Rgb2Yiq {
+    fn name(&self) -> &'static str {
+        "rgb2yiq"
+    }
+
+    fn build(&self, model: &IssueModel) -> Result<Program, BuildError> {
+        let pixels = self.geo.pixels;
+        assert_eq!(pixels % 4, 0);
+        let mut b = ProgramBuilder::new(*model);
+        let mut ra = RegAlloc::new();
+        let src = ra.alloc();
+        emit_const(&mut b, src, SRC);
+        let planes: [Reg; 3] = ra.alloc_n();
+        for (i, &p) in planes.iter().enumerate() {
+            emit_const(&mut b, p, PLANE[i]);
+        }
+        let coefr: [Reg; 3] = ra.alloc_n();
+        let coeffs: [[i8; 3]; 3] = [[38, 75, 15], [76, -35, -41], [27, -67, 40]];
+        for (i, &c) in coefr.iter().enumerate() {
+            emit_const(&mut b, c, coeff_word(coeffs[i]));
+        }
+        let px: [Reg; 4] = ra.alloc_n();
+        let accs: Vec<Reg> = (0..12).map(|_| ra.alloc()).collect();
+        let outs: Vec<Reg> = (0..4).map(|_| ra.alloc()).collect();
+        let packs: [Reg; 2] = ra.alloc_n();
+
+        counted_loop(&mut b, &mut ra, pixels / 4, |b, _| {
+            for (j, &p) in px.iter().enumerate() {
+                b.op_in_stream(Op::rri(Opcode::Ld32d, p, src, j as i32 * 4), streams::SRC);
+            }
+            // Y plane: bytes, clipped.
+            for j in 0..4 {
+                let acc = accs[j];
+                b.op(Op::rrr(Opcode::Ifir8ui, acc, px[j], coefr[0]));
+                emit_norm(b, outs[j], acc, 0, true);
+            }
+            b.op(Op::rrr(Opcode::PackBytes, packs[0], outs[1], outs[0]));
+            b.op(Op::rrr(Opcode::PackBytes, packs[1], outs[3], outs[2]));
+            b.op(Op::rrr(Opcode::Pack16Lsb, packs[0], packs[1], packs[0]));
+            b.op_in_stream(
+                Op::new(Opcode::St32d, Reg::ONE, &[planes[0], packs[0]], &[], 0),
+                streams::DST,
+            );
+            // I and Q planes: signed 16-bit stores.
+            for (plane, coef) in [(1usize, coefr[1]), (2, coefr[2])] {
+                for j in 0..4 {
+                    let acc = accs[4 * plane + j];
+                    b.op(Op::rrr(Opcode::Ifir8ui, acc, px[j], coef));
+                    b.op(Op::rri(Opcode::Iaddi, acc, acc, 64));
+                    b.op(Op::rri(Opcode::Asri, acc, acc, 7));
+                    b.op_in_stream(
+                        Op::new(
+                            Opcode::St16d,
+                            Reg::ONE,
+                            &[planes[plane], acc],
+                            &[],
+                            j as i32 * 2,
+                        ),
+                        streams::DST,
+                    );
+                }
+            }
+            b.op(Op::rri(Opcode::Iaddi, planes[0], planes[0], 4));
+            b.op(Op::rri(Opcode::Iaddi, planes[1], planes[1], 8));
+            b.op(Op::rri(Opcode::Iaddi, planes[2], planes[2], 8));
+            b.op(Op::rri(Opcode::Iaddi, src, src, 16));
+        });
+        b.build()
+    }
+
+    fn setup(&self, m: &mut Machine) {
+        m.load_data(SRC, &self.geo.rgbx());
+    }
+
+    fn verify(&self, m: &Machine) -> Result<(), String> {
+        let (y, iq, q) = golden::rgb2yiq(&self.geo.rgbx());
+        let got_y = m.read_data(PLANE[0], y.len());
+        if let Some(i) = y.iter().zip(&got_y).position(|(a, b)| a != b) {
+            return Err(format!("Y[{i}]: got {}, expected {}", got_y[i], y[i]));
+        }
+        for (name, plane, expect) in [("I", PLANE[1], &iq), ("Q", PLANE[2], &q)] {
+            let got = m.read_data(plane, expect.len() * 2);
+            for (i, &e) in expect.iter().enumerate() {
+                let g = i16::from_le_bytes([got[i * 2], got[i * 2 + 1]]);
+                if g != e {
+                    return Err(format!("{name}[{i}]: got {g}, expected {e}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_kernel;
+    use tm3270_core::MachineConfig;
+
+    #[test]
+    fn rgb2yuv_small_verifies_everywhere() {
+        let k = Rgb2Yuv::with_pixels(256, 3);
+        for config in MachineConfig::evaluation_suite() {
+            run_kernel(&k, &config).unwrap_or_else(|e| panic!("{}: {e}", config.name));
+        }
+    }
+
+    #[test]
+    fn rgb2cmyk_small_verifies_everywhere() {
+        let k = Rgb2Cmyk::with_pixels(256, 4);
+        for config in MachineConfig::evaluation_suite() {
+            run_kernel(&k, &config).unwrap_or_else(|e| panic!("{}: {e}", config.name));
+        }
+    }
+
+    #[test]
+    fn rgb2yiq_small_verifies_everywhere() {
+        let k = Rgb2Yiq::with_pixels(256, 5);
+        for config in MachineConfig::evaluation_suite() {
+            run_kernel(&k, &config).unwrap_or_else(|e| panic!("{}: {e}", config.name));
+        }
+    }
+
+    #[test]
+    fn pixel_kernels_have_high_opi() {
+        // Dense SIMD arithmetic should pack well: OPI comfortably > 2.
+        let k = Rgb2Yuv::with_pixels(2048, 6);
+        let stats = run_kernel(&k, &MachineConfig::tm3270()).unwrap();
+        assert!(stats.opi() > 2.0, "OPI = {}", stats.opi());
+    }
+}

@@ -1,0 +1,252 @@
+//! The TV-set workloads of Table 5: `filmdet` (film detection) and
+//! `majority_sel` (de-interlacing).
+
+use crate::golden;
+use crate::util::{counted_loop, emit_const, streams, AUX, DST, RESULT, SRC};
+use crate::Kernel;
+use tm3270_asm::{BuildError, ProgramBuilder, RegAlloc};
+use tm3270_core::Machine;
+use tm3270_isa::{IssueModel, Op, Opcode, Program, Reg};
+
+/// Third field buffer for the de-interlacer.
+const AUX2: u32 = AUX + 0x8_0000;
+
+/// `filmdet`: film-detection field-difference analysis (Table 5) — per
+/// word pair: the byte-wise SAD (`ume8uu`), a saturating per-halfword
+/// difference-energy accumulation (`dspidualsub`/`dspidualabs`/
+/// `dspidualadd`), and a motion-classification count (words whose SAD
+/// exceeds a threshold), as a real 3:2-pulldown detector computes. The
+/// kernel is compute-bound, so it "benefits most from the higher
+/// operating frequency" (§6).
+#[derive(Debug, Clone, Copy)]
+pub struct FilmDetect {
+    /// Field size in bytes (multiple of 16).
+    pub size: u32,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl FilmDetect {
+    /// The Table 5 configuration: 720x240 fields.
+    pub fn table5() -> FilmDetect {
+        FilmDetect {
+            size: 720 * 240,
+            seed: 0xf11d,
+        }
+    }
+
+    fn fields(&self) -> (Vec<u8>, Vec<u8>) {
+        (
+            golden::pattern(self.size as usize, self.seed),
+            golden::pattern(self.size as usize, self.seed ^ 0xffff),
+        )
+    }
+}
+
+impl Kernel for FilmDetect {
+    fn name(&self) -> &'static str {
+        "filmdet"
+    }
+
+    fn build(&self, model: &IssueModel) -> Result<Program, BuildError> {
+        assert_eq!(self.size % 16, 0);
+        let mut b = ProgramBuilder::new(*model);
+        let mut ra = RegAlloc::new();
+        let pa = ra.alloc();
+        let pb = ra.alloc();
+        emit_const(&mut b, pa, SRC);
+        emit_const(&mut b, pb, AUX);
+        let acc = ra.alloc();
+        let energy = ra.alloc();
+        let count = ra.alloc();
+        b.op(Op::imm(acc, 0));
+        b.op(Op::imm(energy, 0));
+        b.op(Op::imm(count, 0));
+        let wa: [Reg; 4] = ra.alloc_n();
+        let wb: [Reg; 4] = ra.alloc_n();
+        let sad: [Reg; 4] = ra.alloc_n();
+        let h: [Reg; 4] = ra.alloc_n();
+        let big: [Reg; 4] = ra.alloc_n();
+        counted_loop(&mut b, &mut ra, self.size / 16, |b, _| {
+            for i in 0..4usize {
+                b.op_in_stream(Op::rri(Opcode::Ld32d, wa[i], pa, i as i32 * 4), streams::SRC);
+                b.op_in_stream(Op::rri(Opcode::Ld32d, wb[i], pb, i as i32 * 4), streams::AUX);
+                // Byte-wise SAD.
+                b.op(Op::rrr(Opcode::Ume8uu, sad[i], wa[i], wb[i]));
+                b.op(Op::rrr(Opcode::Iadd, acc, acc, sad[i]));
+                // Saturating per-halfword difference energy.
+                b.op(Op::rrr(Opcode::Dspidualsub, h[i], wa[i], wb[i]));
+                b.op(Op::rr(Opcode::Dspidualabs, h[i], h[i]));
+                b.op(Op::rrr(Opcode::Dspidualadd, energy, energy, h[i]));
+                // Motion classification: words with a large SAD.
+                b.op(Op::rri(Opcode::Igtri, big[i], sad[i], 64));
+                b.op(Op::rrr(Opcode::Iadd, count, count, big[i]));
+            }
+            b.op(Op::rri(Opcode::Iaddi, pa, pa, 16));
+            b.op(Op::rri(Opcode::Iaddi, pb, pb, 16));
+        });
+        let rp = ra.alloc();
+        emit_const(&mut b, rp, RESULT);
+        b.op(Op::new(Opcode::St32d, Reg::ONE, &[rp, acc], &[], 0));
+        b.op(Op::new(Opcode::St32d, Reg::ONE, &[rp, energy], &[], 4));
+        b.op(Op::new(Opcode::St32d, Reg::ONE, &[rp, count], &[], 8));
+        b.build()
+    }
+
+    fn setup(&self, m: &mut Machine) {
+        let (a, b) = self.fields();
+        m.load_data(SRC, &a);
+        m.load_data(AUX, &b);
+    }
+
+    fn verify(&self, m: &Machine) -> Result<(), String> {
+        let (a, b) = self.fields();
+        let (sad, energy, count) = golden::filmdet(&a, &b);
+        let got = m.read_data(RESULT, 12);
+        let g = |i: usize| u32::from_le_bytes(got[i * 4..i * 4 + 4].try_into().unwrap());
+        if g(0) != sad {
+            return Err(format!("SAD: got {}, expected {sad}", g(0)));
+        }
+        if g(1) != energy {
+            return Err(format!("energy: got {:#x}, expected {energy:#x}", g(1)));
+        }
+        if g(2) != count {
+            return Err(format!("count: got {}, expected {count}", g(2)));
+        }
+        Ok(())
+    }
+}
+
+/// `majority_sel`: majority-select de-interlacing (Table 5) — the
+/// per-pixel median of three fields (four pixels at a time with
+/// `quadumin`/`quadumax`), a protection blend of the median with the
+/// temporally closest field, and a deviation accumulation used for the
+/// film/video decision. Compute-bound, like `filmdet`.
+#[derive(Debug, Clone, Copy)]
+pub struct MajoritySelect {
+    /// Field size in bytes (multiple of 16).
+    pub size: u32,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl MajoritySelect {
+    /// The Table 5 configuration: 720x240 fields.
+    pub fn table5() -> MajoritySelect {
+        MajoritySelect {
+            size: 720 * 240,
+            seed: 0x3e1d,
+        }
+    }
+
+    fn fields(&self) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+        (
+            golden::pattern(self.size as usize, self.seed),
+            golden::pattern(self.size as usize, self.seed ^ 0xaaaa),
+            golden::pattern(self.size as usize, self.seed ^ 0x5555),
+        )
+    }
+}
+
+impl Kernel for MajoritySelect {
+    fn name(&self) -> &'static str {
+        "majority_sel"
+    }
+
+    fn build(&self, model: &IssueModel) -> Result<Program, BuildError> {
+        assert_eq!(self.size % 16, 0);
+        let mut b = ProgramBuilder::new(*model);
+        let mut ra = RegAlloc::new();
+        let (pa, pb, pc, pd) = (ra.alloc(), ra.alloc(), ra.alloc(), ra.alloc());
+        emit_const(&mut b, pa, SRC);
+        emit_const(&mut b, pb, AUX);
+        emit_const(&mut b, pc, AUX2);
+        emit_const(&mut b, pd, DST);
+        let wa: [Reg; 4] = ra.alloc_n();
+        let wb: [Reg; 4] = ra.alloc_n();
+        let wc: [Reg; 4] = ra.alloc_n();
+        let lo: [Reg; 4] = ra.alloc_n();
+        let hi: [Reg; 4] = ra.alloc_n();
+        let dev: [Reg; 4] = ra.alloc_n();
+        let acc = ra.alloc();
+        b.op(Op::imm(acc, 0));
+        counted_loop(&mut b, &mut ra, self.size / 16, |b, _| {
+            for i in 0..4usize {
+                let d = i as i32 * 4;
+                b.op_in_stream(Op::rri(Opcode::Ld32d, wa[i], pa, d), streams::SRC);
+                b.op_in_stream(Op::rri(Opcode::Ld32d, wb[i], pb, d), streams::AUX);
+                b.op_in_stream(Op::rri(Opcode::Ld32d, wc[i], pc, d), streams::TAB);
+                // median(a,b,c) = max(min(a,b), min(max(a,b), c))
+                b.op(Op::rrr(Opcode::Quadumin, lo[i], wa[i], wb[i]));
+                b.op(Op::rrr(Opcode::Quadumax, hi[i], wa[i], wb[i]));
+                b.op(Op::rrr(Opcode::Quadumin, hi[i], hi[i], wc[i]));
+                b.op(Op::rrr(Opcode::Quadumax, lo[i], lo[i], hi[i]));
+                // Protection blend with the temporally closest field.
+                b.op(Op::rrr(Opcode::Quadavg, lo[i], lo[i], wb[i]));
+                // Deviation of the output from the current field, for the
+                // film/video decision.
+                b.op(Op::rrr(Opcode::Ume8uu, dev[i], lo[i], wb[i]));
+                b.op(Op::rrr(Opcode::Iadd, acc, acc, dev[i]));
+                b.op_in_stream(
+                    Op::new(Opcode::St32d, Reg::ONE, &[pd, lo[i]], &[], d),
+                    streams::DST,
+                );
+            }
+            b.op(Op::rri(Opcode::Iaddi, pa, pa, 16));
+            b.op(Op::rri(Opcode::Iaddi, pb, pb, 16));
+            b.op(Op::rri(Opcode::Iaddi, pc, pc, 16));
+            b.op(Op::rri(Opcode::Iaddi, pd, pd, 16));
+        });
+        let rp = ra.alloc();
+        emit_const(&mut b, rp, RESULT);
+        b.op(Op::new(Opcode::St32d, Reg::ONE, &[rp, acc], &[], 0));
+        b.build()
+    }
+
+    fn setup(&self, m: &mut Machine) {
+        let (a, b, c) = self.fields();
+        m.load_data(SRC, &a);
+        m.load_data(AUX, &b);
+        m.load_data(AUX2, &c);
+    }
+
+    fn verify(&self, m: &Machine) -> Result<(), String> {
+        let (a, b, c) = self.fields();
+        let (expect, dev) = golden::majority_select_blend(&a, &b, &c);
+        let got = m.read_data(DST, expect.len());
+        if let Some(i) = expect.iter().zip(&got).position(|(x, y)| x != y) {
+            return Err(format!(
+                "pixel {i}: got {}, expected {}",
+                got[i], expect[i]
+            ));
+        }
+        let got_dev = u32::from_le_bytes(m.read_data(RESULT, 4).try_into().unwrap());
+        if got_dev != dev {
+            return Err(format!("deviation: got {got_dev}, expected {dev}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_kernel;
+    use tm3270_core::MachineConfig;
+
+    #[test]
+    fn filmdet_verifies_on_all_configs() {
+        let k = FilmDetect { size: 4096, seed: 1 };
+        for config in MachineConfig::evaluation_suite() {
+            run_kernel(&k, &config).unwrap_or_else(|e| panic!("{}: {e}", config.name));
+        }
+    }
+
+    #[test]
+    fn majority_sel_verifies_on_all_configs() {
+        let k = MajoritySelect { size: 4096, seed: 2 };
+        for config in MachineConfig::evaluation_suite() {
+            run_kernel(&k, &config).unwrap_or_else(|e| panic!("{}: {e}", config.name));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared kernel-construction helpers: memory layout, constants and loop
+//! emission.
+
+use tm3270_asm::{const32, ProgramBuilder, RegAlloc};
+use tm3270_isa::{Op, Opcode, Reg};
+
+/// Base address of the primary input buffer.
+pub const SRC: u32 = 0x10_0000;
+/// Base address of the primary output buffer.
+pub const DST: u32 = 0x20_0000;
+/// Base address of the secondary input buffer.
+pub const AUX: u32 = 0x30_0000;
+/// Base address of table data (motion vectors, contexts, coefficients).
+pub const TAB: u32 = 0x38_0000;
+/// Address where kernels store their scalar result (checksums, SAD
+/// minima).
+pub const RESULT: u32 = 0x3f_0000;
+
+/// Memory-stream tags used for the scheduler's alias promises.
+pub mod streams {
+    /// Loads from the primary input.
+    pub const SRC: u32 = 1;
+    /// Stores to the primary output.
+    pub const DST: u32 = 2;
+    /// Accesses to the secondary input.
+    pub const AUX: u32 = 3;
+    /// Table accesses.
+    pub const TAB: u32 = 4;
+}
+
+/// Emits the operations materializing `value` into `dst`.
+pub fn emit_const(b: &mut ProgramBuilder, dst: Reg, value: u32) {
+    for op in const32(dst, value) {
+        b.op(op);
+    }
+}
+
+/// Emits a counted loop: `count` iterations of `body`.
+///
+/// The loop counter and condition are computed at the top of the body (so
+/// the branch guard is ready early — standard TriMedia scheduling
+/// practice), then the body operations, then the backward branch.
+///
+/// # Panics
+///
+/// Panics if `count` is zero.
+pub fn counted_loop(
+    b: &mut ProgramBuilder,
+    ra: &mut RegAlloc,
+    count: u32,
+    mut body: impl FnMut(&mut ProgramBuilder, &mut RegAlloc),
+) {
+    assert!(count > 0, "loop must iterate at least once");
+    let counter = ra.alloc();
+    let cond = ra.alloc();
+    emit_const(b, counter, count);
+    let top = b.bind_here();
+    b.op(Op::rri(Opcode::Iaddi, counter, counter, -1));
+    b.op(Op::rri(Opcode::Igtri, cond, counter, 0));
+    body(b, ra);
+    b.jump_if(cond, top);
+    ra.free(counter);
+    ra.free(cond);
+}
+
+/// Packs four bytes held in registers (`b0` = lowest address / least
+/// significant) into `dst` as a little-endian word. Emits 5 operations
+/// and uses one scratch register.
+pub fn emit_pack4(
+    b: &mut ProgramBuilder,
+    ra: &mut RegAlloc,
+    dst: Reg,
+    bytes: [Reg; 4],
+) {
+    let t = ra.alloc();
+    // dst = b1:b0 (16 bits), t = b3:b2, dst |= t << 16.
+    b.op(Op::rrr(Opcode::PackBytes, dst, bytes[1], bytes[0]));
+    b.op(Op::rrr(Opcode::PackBytes, t, bytes[3], bytes[2]));
+    b.op(Op::rrr(Opcode::Pack16Lsb, dst, t, dst));
+    ra.free(t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm3270_core::{Machine, MachineConfig};
+    use tm3270_isa::IssueModel;
+
+    #[test]
+    fn counted_loop_iterates_exactly() {
+        let config = MachineConfig::tm3270();
+        let mut b = ProgramBuilder::new(IssueModel::tm3270());
+        let mut ra = RegAlloc::new();
+        let acc = ra.alloc();
+        b.op(Op::imm(acc, 0));
+        counted_loop(&mut b, &mut ra, 13, |b, _| {
+            b.op(Op::rri(Opcode::Iaddi, acc, acc, 1));
+        });
+        let p = b.build().unwrap();
+        let mut m = Machine::new(config, p).unwrap();
+        m.run(1_000_000).unwrap();
+        assert_eq!(m.reg(acc), 13);
+    }
+
+    #[test]
+    fn pack4_packs_little_endian() {
+        let config = MachineConfig::tm3270();
+        let mut b = ProgramBuilder::new(IssueModel::tm3270());
+        let mut ra = RegAlloc::new();
+        let bytes: [Reg; 4] = ra.alloc_n();
+        let dst = ra.alloc();
+        for (i, r) in bytes.iter().enumerate() {
+            b.op(Op::imm(*r, 0x10 + i as i32));
+        }
+        emit_pack4(&mut b, &mut ra, dst, bytes);
+        let p = b.build().unwrap();
+        let mut m = Machine::new(config, p).unwrap();
+        m.run(1_000_000).unwrap();
+        assert_eq!(m.reg(dst), 0x1312_1110);
+    }
+
+    #[test]
+    fn emit_const_handles_large_values() {
+        let config = MachineConfig::tm3270();
+        let mut b = ProgramBuilder::new(IssueModel::tm3270());
+        let mut ra = RegAlloc::new();
+        let dst = ra.alloc();
+        emit_const(&mut b, dst, 0xdead_beef);
+        let p = b.build().unwrap();
+        let mut m = Machine::new(config, p).unwrap();
+        m.run(1_000_000).unwrap();
+        assert_eq!(m.reg(dst), 0xdead_beef);
+    }
+}

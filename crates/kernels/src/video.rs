@@ -1,0 +1,380 @@
+//! The `mpeg2_a/b/c` workloads (Table 5): an MPEG2-decoder
+//! motion-compensation proxy.
+//!
+//! The paper attributes the MPEG2 results entirely to data-cache
+//! behaviour: stream `a` has "a highly disruptive motion vector field",
+//! which defeats spatial reuse; the TM3270's doubled 128-byte lines then
+//! cause extra capacity misses in a 16 KB cache (configurations B/C lose
+//! to the TM3260's 64-byte lines in configuration A), while the 128 KB
+//! cache of configuration D captures the working set (§6). The proxy
+//! reproduces exactly that access pattern: per 16x16 macroblock, a
+//! *bi-directionally predicted* pair of motion-vector-offset (generally
+//! non-aligned) block fetches from a 720x480 reference frame, SIMD
+//! prediction averaging and texture compute, an IDCT-proxy `ifir8ui`
+//! checksum, and an aligned block store.
+
+use crate::golden::{self, MPEG2_FIR_COEF};
+use crate::util::{counted_loop, emit_const, streams, DST, RESULT, SRC, TAB};
+use crate::Kernel;
+use tm3270_asm::{BuildError, ProgramBuilder, RegAlloc};
+use tm3270_core::Machine;
+use tm3270_isa::{IssueModel, Op, Opcode, Program, Reg};
+
+/// Frame width in pixels.
+const WIDTH: u32 = 720;
+/// Frame height in pixels.
+const HEIGHT: u32 = 480;
+
+/// The MPEG2 decoder proxy, parameterized by its motion-vector field.
+#[derive(Debug, Clone, Copy)]
+pub struct Mpeg2 {
+    name: &'static str,
+    /// Maximum motion-vector magnitude (disruptiveness).
+    pub mv_magnitude: i16,
+    /// Seed for the reference frame and motion field.
+    pub seed: u64,
+    /// Macroblock columns/rows actually processed (the full frame is
+    /// 45 x 30; tests use fewer).
+    pub mbs_x: u32,
+    /// Macroblock rows processed.
+    pub mbs_y: u32,
+}
+
+impl Mpeg2 {
+    /// `mpeg2_a`: highly disruptive motion-vector field (Table 5).
+    pub fn stream_a() -> Mpeg2 {
+        Mpeg2 {
+            name: "mpeg2_a",
+            mv_magnitude: 80,
+            seed: 0xa,
+            mbs_x: 45,
+            mbs_y: 30,
+        }
+    }
+
+    /// `mpeg2_b`: well-behaved motion.
+    pub fn stream_b() -> Mpeg2 {
+        Mpeg2 {
+            name: "mpeg2_b",
+            mv_magnitude: 8,
+            seed: 0xb,
+            mbs_x: 45,
+            mbs_y: 30,
+        }
+    }
+
+    /// `mpeg2_c`: moderate motion.
+    pub fn stream_c() -> Mpeg2 {
+        Mpeg2 {
+            name: "mpeg2_c",
+            mv_magnitude: 24,
+            seed: 0xc,
+            mbs_x: 45,
+            mbs_y: 30,
+        }
+    }
+
+    /// A reduced-size variant for tests.
+    pub fn small(magnitude: i16, seed: u64) -> Mpeg2 {
+        Mpeg2 {
+            name: "mpeg2_small",
+            mv_magnitude: magnitude,
+            seed,
+            mbs_x: 6,
+            mbs_y: 4,
+        }
+    }
+
+    fn motion_field(&self) -> Vec<(i16, i16)> {
+        golden::motion_field(
+            self.mbs_x as usize,
+            self.mbs_y as usize,
+            self.mv_magnitude,
+            WIDTH as usize,
+            HEIGHT as usize,
+            self.seed,
+        )
+    }
+
+    /// The backward-prediction motion field (bi-directional prediction).
+    fn motion_field2(&self) -> Vec<(i16, i16)> {
+        golden::motion_field(
+            self.mbs_x as usize,
+            self.mbs_y as usize,
+            self.mv_magnitude,
+            WIDTH as usize,
+            HEIGHT as usize,
+            self.seed ^ 0x1234_5678,
+        )
+    }
+
+    fn reference(&self) -> Vec<u8> {
+        golden::pattern((WIDTH * HEIGHT) as usize, self.seed ^ 0x5eed)
+    }
+}
+
+impl Kernel for Mpeg2 {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn build(&self, model: &IssueModel) -> Result<Program, BuildError> {
+        let mut b = ProgramBuilder::new(*model);
+        let mut ra = RegAlloc::new();
+
+        let stride_r = ra.alloc();
+        emit_const(&mut b, stride_r, WIDTH);
+        let mv_ptr = ra.alloc();
+        emit_const(&mut b, mv_ptr, TAB);
+        let row_origin = ra.alloc(); // SRC + mby*16*stride (current MB row)
+        let out_row_base = ra.alloc();
+        emit_const(&mut b, row_origin, SRC);
+        emit_const(&mut b, out_row_base, DST);
+        // Loop-invariant texture constants.
+        let res_w: [Reg; 4] = ra.alloc_n();
+        for w in 0..4 {
+            let bytes: Vec<u32> = (0..4)
+                .map(|s| u32::from(golden::mpeg2_residual(w * 4 + s)))
+                .collect();
+            let word = bytes[0] | (bytes[1] << 8) | (bytes[2] << 16) | (bytes[3] << 24);
+            emit_const(&mut b, res_w[w], word);
+        }
+        let floor_w = ra.alloc();
+        let ceil_w = ra.alloc();
+        emit_const(&mut b, floor_w, 0x0808_0808);
+        emit_const(&mut b, ceil_w, 0xf8f8_f8f8);
+        let fir_coef = ra.alloc();
+        let coef_word = MPEG2_FIR_COEF
+            .iter()
+            .enumerate()
+            .fold(0u32, |acc, (i, &c)| acc | (u32::from(c as u8) << (8 * i)));
+        emit_const(&mut b, fir_coef, coef_word);
+        let checksum = ra.alloc();
+        b.op(Op::imm(checksum, 0));
+        // 16 rows x 720 bytes: too large for an immediate displacement.
+        let stride16 = ra.alloc();
+        emit_const(&mut b, stride16, 16 * WIDTH);
+
+        // Per-MB registers.
+        let mb_origin = ra.alloc();
+        let out_ptr = ra.alloc();
+        let (mv, dx, dy, off, src) = (ra.alloc(), ra.alloc(), ra.alloc(), ra.alloc(), ra.alloc());
+        let (mv2, src2) = (ra.alloc(), ra.alloc());
+        let src_row = ra.alloc();
+        let src2_row = ra.alloc();
+        let out_row = ra.alloc();
+        // Rotating row register sets to keep rows independent.
+        let wsets: [[Reg; 4]; 4] = [ra.alloc_n(), ra.alloc_n(), ra.alloc_n(), ra.alloc_n()];
+        let w2sets: [[Reg; 4]; 4] = [ra.alloc_n(), ra.alloc_n(), ra.alloc_n(), ra.alloc_n()];
+        let tsets: [[Reg; 4]; 4] = [ra.alloc_n(), ra.alloc_n(), ra.alloc_n(), ra.alloc_n()];
+        let fsets: [[Reg; 4]; 4] = [ra.alloc_n(), ra.alloc_n(), ra.alloc_n(), ra.alloc_n()];
+
+        counted_loop(&mut b, &mut ra, self.mbs_y, |b, ra| {
+            b.op(Op::rri(Opcode::Iaddi, mb_origin, row_origin, 0));
+            b.op(Op::rri(Opcode::Iaddi, out_ptr, out_row_base, 0));
+            counted_loop(b, ra, self.mbs_x, |b, _| {
+                // Motion vectors: (dy << 16) | (dx & 0xffff), forward and
+                // backward prediction.
+                b.op_in_stream(Op::rri(Opcode::Ld32d, mv, mv_ptr, 0), streams::TAB);
+                b.op_in_stream(Op::rri(Opcode::Ld32d, mv2, mv_ptr, 4), streams::TAB);
+                b.op(Op::rri(Opcode::Iaddi, mv_ptr, mv_ptr, 8));
+                b.op(Op::rri(Opcode::Asri, dy, mv, 16));
+                b.op(Op::rr(Opcode::Sex16, dx, mv));
+                b.op(Op::rrr(Opcode::Imul, off, dy, stride_r));
+                b.op(Op::rrr(Opcode::Iadd, off, off, dx));
+                b.op(Op::rrr(Opcode::Iadd, src, mb_origin, off));
+                b.op(Op::rri(Opcode::Asri, dy, mv2, 16));
+                b.op(Op::rr(Opcode::Sex16, dx, mv2));
+                b.op(Op::rrr(Opcode::Imul, off, dy, stride_r));
+                b.op(Op::rrr(Opcode::Iadd, off, off, dx));
+                b.op(Op::rrr(Opcode::Iadd, src2, mb_origin, off));
+                b.op(Op::rri(Opcode::Iaddi, src_row, src, 0));
+                b.op(Op::rri(Opcode::Iaddi, src2_row, src2, 0));
+                b.op(Op::rri(Opcode::Iaddi, out_row, out_ptr, 0));
+                for row in 0..16usize {
+                    let ws = wsets[row % 4];
+                    let w2s = w2sets[row % 4];
+                    let ts = tsets[row % 4];
+                    let fs = fsets[row % 4];
+                    for w in 0..4usize {
+                        // Generally non-aligned bi-directional reference
+                        // fetches.
+                        b.op_in_stream(
+                            Op::rri(Opcode::Ld32d, ws[w], src_row, w as i32 * 4),
+                            streams::SRC,
+                        );
+                        b.op_in_stream(
+                            Op::rri(Opcode::Ld32d, w2s[w], src2_row, w as i32 * 4),
+                            streams::SRC,
+                        );
+                        // Prediction average, then texture compute:
+                        // rounded average with the residual, clamped to
+                        // [8, 248].
+                        b.op(Op::rrr(Opcode::Quadavg, ts[w], ws[w], w2s[w]));
+                        b.op(Op::rrr(Opcode::Quadavg, ts[w], ts[w], res_w[w]));
+                        b.op(Op::rrr(Opcode::Quadumax, ts[w], ts[w], floor_w));
+                        b.op(Op::rrr(Opcode::Quadumin, ts[w], ts[w], ceil_w));
+                        b.op_in_stream(
+                            Op::new(
+                                Opcode::St32d,
+                                Reg::ONE,
+                                &[out_row, ts[w]],
+                                &[],
+                                w as i32 * 4,
+                            ),
+                            streams::DST,
+                        );
+                        // IDCT-proxy checksum (forward reference only).
+                        b.op(Op::rrr(Opcode::Ifir8ui, fs[w], ws[w], fir_coef));
+                        b.op(Op::rrr(Opcode::Iadd, checksum, checksum, fs[w]));
+                    }
+                    if row != 15 {
+                        b.op(Op::rrr(Opcode::Iadd, src_row, src_row, stride_r));
+                        b.op(Op::rrr(Opcode::Iadd, src2_row, src2_row, stride_r));
+                        b.op(Op::rrr(Opcode::Iadd, out_row, out_row, stride_r));
+                    }
+                }
+                b.op(Op::rri(Opcode::Iaddi, mb_origin, mb_origin, 16));
+                b.op(Op::rri(Opcode::Iaddi, out_ptr, out_ptr, 16));
+            });
+            b.op(Op::rrr(Opcode::Iadd, row_origin, row_origin, stride16));
+            b.op(Op::rrr(Opcode::Iadd, out_row_base, out_row_base, stride16));
+        });
+        // Store the checksum for verification.
+        let res_ptr = ra.alloc();
+        emit_const(&mut b, res_ptr, RESULT);
+        b.op(Op::new(Opcode::St32d, Reg::ONE, &[res_ptr, checksum], &[], 0));
+        b.build()
+    }
+
+    fn setup(&self, m: &mut Machine) {
+        m.load_data(SRC, &self.reference());
+        let mv1 = self.motion_field();
+        let mv2 = self.motion_field2();
+        let words: Vec<u8> = mv1
+            .iter()
+            .zip(&mv2)
+            .flat_map(|(&(dx1, dy1), &(dx2, dy2))| {
+                let w1 = ((dy1 as u16 as u32) << 16) | (dx1 as u16 as u32);
+                let w2 = ((dy2 as u16 as u32) << 16) | (dx2 as u16 as u32);
+                let mut b = w1.to_le_bytes().to_vec();
+                b.extend_from_slice(&w2.to_le_bytes());
+                b
+            })
+            .collect();
+        m.load_data(TAB, &words);
+        m.load_data(DST, &vec![0u8; (WIDTH * HEIGHT) as usize]);
+    }
+
+    fn verify(&self, m: &Machine) -> Result<(), String> {
+        let reference = self.reference();
+        let mv1 = self.motion_field();
+        let mv2 = self.motion_field2();
+        // Golden computation over the processed sub-grid.
+        let mbs_x = self.mbs_x as usize;
+        let mbs_y = self.mbs_y as usize;
+        let (expect_full, checksum) = golden_subgrid(&reference, mbs_x, mbs_y, &mv1, &mv2);
+        let got = m.read_data(DST, (WIDTH * HEIGHT) as usize);
+        for mby in 0..mbs_y {
+            for row in 0..16 {
+                let y = mby * 16 + row;
+                let off = y * WIDTH as usize;
+                let n = mbs_x * 16;
+                if got[off..off + n] != expect_full[off..off + n] {
+                    let i = (0..n)
+                        .find(|&i| got[off + i] != expect_full[off + i])
+                        .unwrap();
+                    return Err(format!(
+                        "pixel ({}, {y}): got {}, expected {}",
+                        i,
+                        got[off + i],
+                        expect_full[off + i]
+                    ));
+                }
+            }
+        }
+        let got_sum = u32::from_le_bytes(m.read_data(RESULT, 4).try_into().unwrap());
+        if got_sum != checksum {
+            return Err(format!(
+                "checksum: got {got_sum:#x}, expected {checksum:#x}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Golden model over a sub-grid of macroblocks (the kernel's `mbs_x` x
+/// `mbs_y` region of the full 720x480 frame).
+fn golden_subgrid(
+    reference: &[u8],
+    mbs_x: usize,
+    mbs_y: usize,
+    mv1: &[(i16, i16)],
+    mv2: &[(i16, i16)],
+) -> (Vec<u8>, u32) {
+    let width = WIDTH as usize;
+    let mut out = vec![0u8; width * HEIGHT as usize];
+    let mut checksum = 0u32;
+    for mby in 0..mbs_y {
+        for mbx in 0..mbs_x {
+            let (dx1, dy1) = mv1[mby * mbs_x + mbx];
+            let (dx2, dy2) = mv2[mby * mbs_x + mbx];
+            for row in 0..16 {
+                let sy1 = (mby * 16 + row) as isize + dy1 as isize;
+                let sy2 = (mby * 16 + row) as isize + dy2 as isize;
+                for word in 0..4 {
+                    let mut fir = 0i32;
+                    for sub in 0..4 {
+                        let col = word * 4 + sub;
+                        let sx1 = (mbx * 16 + col) as isize + dx1 as isize;
+                        let sx2 = (mbx * 16 + col) as isize + dx2 as isize;
+                        let s1 = reference[sy1 as usize * width + sx1 as usize];
+                        let s2 = reference[sy2 as usize * width + sx2 as usize];
+                        let pred = (u32::from(s1) + u32::from(s2)).div_ceil(2);
+                        let avg = (pred + u32::from(golden::mpeg2_residual(col))).div_ceil(2);
+                        out[(mby * 16 + row) * width + mbx * 16 + col] = avg.clamp(8, 248) as u8;
+                        fir += i32::from(s1) * i32::from(MPEG2_FIR_COEF[sub]);
+                    }
+                    checksum = checksum.wrapping_add(fir as u32);
+                }
+            }
+        }
+    }
+    (out, checksum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_kernel;
+    use tm3270_core::MachineConfig;
+
+    #[test]
+    fn small_mpeg2_verifies_on_all_configs() {
+        let k = Mpeg2::small(8, 77);
+        for config in MachineConfig::evaluation_suite() {
+            run_kernel(&k, &config).unwrap_or_else(|e| panic!("{}: {e}", config.name));
+        }
+    }
+
+    #[test]
+    fn zero_motion_verifies() {
+        let k = Mpeg2::small(0, 3);
+        run_kernel(&k, &MachineConfig::tm3270()).unwrap();
+    }
+
+    #[test]
+    fn disruptive_motion_misses_more_than_smooth() {
+        let smooth = Mpeg2::small(2, 5);
+        let disruptive = Mpeg2::small(60, 5);
+        let cfg = MachineConfig::config_b(); // 16 KB cache
+        let s = run_kernel(&smooth, &cfg).unwrap();
+        let d = run_kernel(&disruptive, &cfg).unwrap();
+        assert!(
+            d.mem.dcache.misses > s.mem.dcache.misses,
+            "disruptive {} vs smooth {}",
+            d.mem.dcache.misses,
+            s.mem.dcache.misses
+        );
+    }
+}

@@ -1,0 +1,490 @@
+//! Set-associative cache tag/state array with LRU replacement and
+//! per-byte validity.
+//!
+//! Used for both the 64 KB 8-way instruction cache and the 128 KB 4-way
+//! data cache (paper, Table 1). Data values live in the flat backing
+//! memory of the simulator; the cache array tracks presence, dirtiness,
+//! byte validity (§4.1) and recency, which is what drives timing and
+//! memory traffic.
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size: u32,
+    /// Line size in bytes.
+    pub line: u32,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl CacheGeometry {
+    /// The TM3270 data cache: 128 KB, 4-way, 128-byte lines (Table 1).
+    pub fn tm3270_dcache() -> CacheGeometry {
+        CacheGeometry {
+            size: 128 * 1024,
+            line: 128,
+            ways: 4,
+        }
+    }
+
+    /// The TM3270 instruction cache: 64 KB, 8-way, 128-byte lines.
+    pub fn tm3270_icache() -> CacheGeometry {
+        CacheGeometry {
+            size: 64 * 1024,
+            line: 128,
+            ways: 8,
+        }
+    }
+
+    /// The TM3260 data cache: 16 KB, 8-way, 64-byte lines (Table 6).
+    pub fn tm3260_dcache() -> CacheGeometry {
+        CacheGeometry {
+            size: 16 * 1024,
+            line: 64,
+            ways: 8,
+        }
+    }
+
+    /// The TM3260 instruction cache: 64 KB, 8-way, 64-byte lines (Table 6).
+    pub fn tm3260_icache() -> CacheGeometry {
+        CacheGeometry {
+            size: 64 * 1024,
+            line: 64,
+            ways: 8,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.size / self.line / self.ways
+    }
+
+    /// The set index of an address.
+    pub fn set_of(&self, addr: u32) -> u32 {
+        (addr / self.line) % self.sets()
+    }
+
+    /// The line-aligned base address.
+    pub fn line_base(&self, addr: u32) -> u32 {
+        addr & !(self.line - 1)
+    }
+
+    /// Validates the geometry (power-of-two fields, consistent sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent geometry.
+    pub fn validate(&self) {
+        assert!(self.line.is_power_of_two(), "line size not a power of two");
+        assert!(self.size.is_multiple_of(self.line * self.ways), "size not divisible");
+        assert!(self.sets().is_power_of_two(), "set count not a power of two");
+    }
+}
+
+/// State of one cache line.
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u32,
+    valid: bool,
+    dirty: bool,
+    /// Per-byte validity (allocate-on-write-miss, §4.1). `None` until the
+    /// line is (partially) valid.
+    valid_bytes: Vec<bool>,
+    /// LRU counter: larger = more recently used.
+    lru: u64,
+    /// Set when the line was brought in by the prefetch unit and not yet
+    /// referenced by a demand access (prefetch usefulness accounting).
+    prefetched: bool,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Line present and all requested bytes valid.
+    Hit,
+    /// Line present but some requested bytes invalid (possible under
+    /// allocate-on-write-miss, §4.2).
+    PartialHit,
+    /// Line absent.
+    Miss,
+}
+
+/// A victim line evicted by a fill or allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// Line base address of the victim.
+    pub base: u32,
+    /// Number of dirty-valid bytes that must be copied back (§4.1: only
+    /// validated bytes are copied back).
+    pub copyback_bytes: u32,
+}
+
+/// The tag/state array of a set-associative cache.
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    geometry: CacheGeometry,
+    lines: Vec<Line>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// Aggregate cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that hit with all bytes valid.
+    pub hits: u64,
+    /// Lookups that found the line but missed on byte validity.
+    pub partial_hits: u64,
+    /// Lookups that missed entirely.
+    pub misses: u64,
+    /// Lines filled from memory.
+    pub fills: u64,
+    /// Lines allocated without a fill (allocate-on-write-miss).
+    pub allocations: u64,
+    /// Victims copied back.
+    pub copybacks: u64,
+    /// Bytes copied back (valid bytes only).
+    pub copyback_bytes: u64,
+    /// Demand hits on prefetched lines (prefetch usefulness).
+    pub prefetch_hits: u64,
+}
+
+impl CacheArray {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid geometry.
+    pub fn new(geometry: CacheGeometry) -> CacheArray {
+        geometry.validate();
+        let n = (geometry.sets() * geometry.ways) as usize;
+        CacheArray {
+            geometry,
+            lines: (0..n)
+                .map(|_| Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    valid_bytes: vec![false; geometry.line as usize],
+                    lru: 0,
+                    prefetched: false,
+                })
+                .collect(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    fn set_range(&self, addr: u32) -> std::ops::Range<usize> {
+        let set = self.geometry.set_of(addr) as usize;
+        let ways = self.geometry.ways as usize;
+        set * ways..(set + 1) * ways
+    }
+
+    fn tag_of(&self, addr: u32) -> u32 {
+        addr / self.geometry.line / self.geometry.sets()
+    }
+
+    fn find(&self, addr: u32) -> Option<usize> {
+        let tag = self.tag_of(addr);
+        self.set_range(addr)
+            .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+    }
+
+    /// Whether the line containing `addr` is present (no LRU update, no
+    /// stats; used by the prefetch unit's filter).
+    pub fn contains(&self, addr: u32) -> bool {
+        self.find(addr).is_some()
+    }
+
+    /// Looks up the byte range `[addr, addr + len)`, which must not cross a
+    /// line boundary. Updates LRU and statistics.
+    pub fn lookup(&mut self, addr: u32, len: u32) -> Lookup {
+        debug_assert!(
+            self.geometry.line_base(addr)
+                == self.geometry.line_base(addr.wrapping_add(len - 1)),
+            "lookup crosses a line boundary"
+        );
+        self.tick += 1;
+        match self.find(addr) {
+            Some(i) => {
+                self.lines[i].lru = self.tick;
+                if self.lines[i].prefetched {
+                    self.lines[i].prefetched = false;
+                    self.stats.prefetch_hits += 1;
+                }
+                let off = (addr % self.geometry.line) as usize;
+                let all_valid = self.lines[i].valid_bytes[off..off + len as usize]
+                    .iter()
+                    .all(|&v| v);
+                if all_valid {
+                    self.stats.hits += 1;
+                    Lookup::Hit
+                } else {
+                    self.stats.partial_hits += 1;
+                    Lookup::PartialHit
+                }
+            }
+            None => {
+                self.stats.misses += 1;
+                Lookup::Miss
+            }
+        }
+    }
+
+    fn evict_slot(&mut self, addr: u32) -> (usize, Option<Victim>) {
+        let range = self.set_range(addr);
+        // Prefer an invalid way; otherwise evict the LRU way.
+        let slot = range
+            .clone()
+            .find(|&i| !self.lines[i].valid)
+            .unwrap_or_else(|| {
+                range
+                    .min_by_key(|&i| self.lines[i].lru)
+                    .expect("non-empty set")
+            });
+        let victim = if self.lines[slot].valid && self.lines[slot].dirty {
+            let vb = self.lines[slot]
+                .valid_bytes
+                .iter()
+                .filter(|&&v| v)
+                .count() as u32;
+            self.stats.copybacks += 1;
+            self.stats.copyback_bytes += u64::from(vb);
+            Some(Victim {
+                base: (self.lines[slot].tag * self.geometry.sets()
+                    + self.geometry.set_of(addr))
+                    * self.geometry.line,
+                copyback_bytes: vb,
+            })
+        } else {
+            None
+        };
+        (slot, victim)
+    }
+
+    /// Fills the line containing `addr` from memory (refill or prefetch
+    /// completion). All bytes become valid; returns the victim if a dirty
+    /// line had to be evicted.
+    pub fn fill(&mut self, addr: u32, prefetched: bool) -> Option<Victim> {
+        if let Some(i) = self.find(addr) {
+            // Refill merge into a partially valid (allocated) line.
+            self.lines[i].valid_bytes.fill(true);
+            return None;
+        }
+        let tag = self.tag_of(addr);
+        let (slot, victim) = self.evict_slot(addr);
+        self.tick += 1;
+        let line = &mut self.lines[slot];
+        line.tag = tag;
+        line.valid = true;
+        line.dirty = false;
+        line.valid_bytes.fill(true);
+        line.lru = self.tick;
+        line.prefetched = prefetched;
+        self.stats.fills += 1;
+        victim
+    }
+
+    /// Allocates the line containing `addr` without fetching
+    /// (allocate-on-write-miss, §4.1). No byte becomes valid; returns the
+    /// victim if a dirty line had to be evicted.
+    pub fn allocate(&mut self, addr: u32) -> Option<Victim> {
+        if self.find(addr).is_some() {
+            return None;
+        }
+        let tag = self.tag_of(addr);
+        let (slot, victim) = self.evict_slot(addr);
+        self.tick += 1;
+        let line = &mut self.lines[slot];
+        line.tag = tag;
+        line.valid = true;
+        line.dirty = false;
+        line.valid_bytes.fill(false);
+        line.lru = self.tick;
+        line.prefetched = false;
+        self.stats.allocations += 1;
+        victim
+    }
+
+    /// Records a store of `len` bytes at `addr` into a present line,
+    /// marking the bytes valid and the line dirty. The range must not
+    /// cross a line boundary and the line must be present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is absent.
+    pub fn write(&mut self, addr: u32, len: u32) {
+        let i = self.find(addr).expect("store into absent line");
+        self.tick += 1;
+        self.lines[i].lru = self.tick;
+        self.lines[i].dirty = true;
+        if self.lines[i].prefetched {
+            self.lines[i].prefetched = false;
+            self.stats.prefetch_hits += 1;
+        }
+        let off = (addr % self.geometry.line) as usize;
+        for v in &mut self.lines[i].valid_bytes[off..off + len as usize] {
+            *v = true;
+        }
+    }
+
+    /// Invalidates the line containing `addr` without copy-back
+    /// (`dinvalid`). Returns whether a line was invalidated.
+    pub fn invalidate(&mut self, addr: u32) -> bool {
+        if let Some(i) = self.find(addr) {
+            self.lines[i].valid = false;
+            self.lines[i].dirty = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flushes the line containing `addr` (`dflush`): returns the number of
+    /// valid dirty bytes to copy back, and invalidates the line.
+    pub fn flush(&mut self, addr: u32) -> u32 {
+        if let Some(i) = self.find(addr) {
+            let bytes = if self.lines[i].dirty {
+                self.lines[i].valid_bytes.iter().filter(|&&v| v).count() as u32
+            } else {
+                0
+            };
+            if bytes > 0 {
+                self.stats.copybacks += 1;
+                self.stats.copyback_bytes += u64::from(bytes);
+            }
+            self.lines[i].valid = false;
+            self.lines[i].dirty = false;
+            bytes
+        } else {
+            0
+        }
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheArray {
+        // 4 sets x 2 ways x 64-byte lines = 512 bytes.
+        CacheArray::new(CacheGeometry {
+            size: 512,
+            line: 64,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn geometry_of_paper_caches() {
+        assert_eq!(CacheGeometry::tm3270_dcache().sets(), 256);
+        assert_eq!(CacheGeometry::tm3270_icache().sets(), 64);
+        assert_eq!(CacheGeometry::tm3260_dcache().sets(), 32);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        assert_eq!(c.lookup(0x100, 4), Lookup::Miss);
+        assert!(c.fill(0x100, false).is_none());
+        assert_eq!(c.lookup(0x100, 4), Lookup::Hit);
+        assert_eq!(c.lookup(0x13c, 4), Lookup::Hit, "same line");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Set 0 holds lines with addr % 256 == 0 (4 sets x 64B).
+        c.fill(0x000, false);
+        c.fill(0x100, false);
+        // Touch 0x000 so 0x100 is LRU.
+        c.lookup(0x000, 4);
+        c.fill(0x200, false);
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x100), "LRU way evicted");
+        assert!(c.contains(0x200));
+    }
+
+    #[test]
+    fn allocate_on_write_miss_has_no_valid_bytes() {
+        let mut c = small();
+        c.allocate(0x40);
+        assert_eq!(c.lookup(0x40, 4), Lookup::PartialHit);
+        c.write(0x40, 4);
+        assert_eq!(c.lookup(0x40, 4), Lookup::Hit);
+        assert_eq!(c.lookup(0x48, 4), Lookup::PartialHit, "unwritten bytes");
+    }
+
+    #[test]
+    fn copyback_counts_only_valid_bytes() {
+        let mut c = small();
+        c.allocate(0x000);
+        c.write(0x000, 16); // 16 valid dirty bytes
+        c.fill(0x100, false);
+        c.lookup(0x100, 4); // make 0x000 LRU
+        let victim = c.fill(0x200, false).expect("dirty victim");
+        assert_eq!(victim.copyback_bytes, 16);
+        assert_eq!(victim.base, 0x000);
+        assert_eq!(c.stats().copyback_bytes, 16);
+    }
+
+    #[test]
+    fn fill_merges_into_allocated_line() {
+        let mut c = small();
+        c.allocate(0x40);
+        c.write(0x40, 4);
+        assert!(c.fill(0x40, false).is_none());
+        assert_eq!(c.lookup(0x60, 4), Lookup::Hit, "refill validated all bytes");
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = small();
+        c.fill(0x80, false);
+        c.write(0x80, 8);
+        assert_eq!(c.flush(0x80), 64, "refilled line: all bytes valid+dirty");
+        assert!(!c.contains(0x80));
+
+        c.allocate(0x80);
+        c.write(0x80, 8);
+        assert_eq!(c.flush(0x80), 8, "allocated line: only written bytes");
+
+        c.fill(0xc0, false);
+        assert!(c.invalidate(0xc0));
+        assert!(!c.contains(0xc0));
+        assert!(!c.invalidate(0xc0));
+    }
+
+    #[test]
+    fn prefetch_usefulness_tracked() {
+        let mut c = small();
+        c.fill(0x40, true);
+        assert_eq!(c.stats().prefetch_hits, 0);
+        c.lookup(0x40, 4);
+        assert_eq!(c.stats().prefetch_hits, 1);
+        // Second touch does not double count.
+        c.lookup(0x44, 4);
+        assert_eq!(c.stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses a line boundary")]
+    fn cross_line_lookup_panics() {
+        let mut c = small();
+        c.lookup(0x3e, 4);
+    }
+}

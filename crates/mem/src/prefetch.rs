@@ -1,0 +1,276 @@
+//! Region-based hardware prefetch unit (paper, §2.3).
+//!
+//! The TM3270 supports four software-configured memory regions, each
+//! described by `PFn_START_ADDR`, `PFn_END_ADDR` and `PFn_STRIDE`. When
+//! the hardware detects a load from an address `A` inside region `n`, it
+//! issues a prefetch request for `A + PFn_STRIDE` — if that address is
+//! still inside the region and its line is not already present in the data
+//! cache. Prefetched data goes directly into the data cache; there are no
+//! stream buffers (§2.3).
+
+use tm3270_isa::PfParam;
+
+/// Number of prefetch regions (paper: four).
+pub const NUM_REGIONS: usize = 4;
+
+/// One software-configured prefetch region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Region {
+    /// `PFn_START_ADDR`: first byte of the region.
+    pub start: u32,
+    /// `PFn_END_ADDR`: first byte past the region.
+    pub end: u32,
+    /// `PFn_STRIDE`: distance of the prefetch candidate from the load.
+    pub stride: u32,
+}
+
+impl Region {
+    /// Whether the region is active (non-empty with a non-zero stride).
+    pub fn is_active(&self) -> bool {
+        self.end > self.start && self.stride != 0
+    }
+
+    /// Whether `addr` falls inside the region.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.start && addr < self.end
+    }
+}
+
+/// Prefetch-unit statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Load addresses that matched an active region.
+    pub region_matches: u64,
+    /// Prefetch requests actually issued (after the in-cache and
+    /// in-flight filters).
+    pub issued: u64,
+    /// Requests dropped because the line was already present or in
+    /// flight.
+    pub filtered: u64,
+    /// Requests dropped because the queue was full.
+    pub dropped: u64,
+}
+
+/// The prefetch unit: region registers plus a request queue.
+#[derive(Debug, Clone)]
+pub struct PrefetchUnit {
+    regions: [Region; NUM_REGIONS],
+    /// Line-base addresses waiting to be issued to the DRAM channel.
+    queue: Vec<u32>,
+    /// Line-base addresses currently being transferred: (base, completion
+    /// cycle).
+    in_flight: Vec<(u32, f64)>,
+    capacity: usize,
+    stats: PrefetchStats,
+}
+
+impl PrefetchUnit {
+    /// Creates a prefetch unit with a `capacity`-entry request queue.
+    pub fn new(capacity: usize) -> PrefetchUnit {
+        PrefetchUnit {
+            regions: [Region::default(); NUM_REGIONS],
+            queue: Vec::new(),
+            in_flight: Vec::new(),
+            capacity,
+            stats: PrefetchStats::default(),
+        }
+    }
+
+    /// Writes a region parameter (the `PFn_*` MMIO registers).
+    pub fn write_param(&mut self, param: PfParam, region: u8, value: u32) {
+        let r = &mut self.regions[(region as usize) % NUM_REGIONS];
+        match param {
+            PfParam::Start => r.start = value,
+            PfParam::End => r.end = value,
+            PfParam::Stride => r.stride = value,
+        }
+    }
+
+    /// Configures a whole region at once (convenience over three
+    /// [`write_param`](Self::write_param) calls).
+    pub fn set_region(&mut self, region: u8, r: Region) {
+        self.regions[(region as usize) % NUM_REGIONS] = r;
+    }
+
+    /// The current configuration of `region`.
+    pub fn region(&self, region: u8) -> Region {
+        self.regions[(region as usize) % NUM_REGIONS]
+    }
+
+    /// Observes a demand load at `addr`; returns the prefetch candidate
+    /// line base if one should be issued. `line` is the cache line size;
+    /// `present` tells whether the candidate line is already in the cache.
+    pub fn observe_load(
+        &mut self,
+        addr: u32,
+        line: u32,
+        present: impl Fn(u32) -> bool,
+    ) -> Option<u32> {
+        let region = self.regions.iter().find(|r| r.is_active() && r.contains(addr))?;
+        self.stats.region_matches += 1;
+        let candidate = addr.wrapping_add(region.stride);
+        if !region.contains(candidate) {
+            return None;
+        }
+        let base = candidate & !(line - 1);
+        if present(base)
+            || self.queue.contains(&base)
+            || self.in_flight.iter().any(|&(b, _)| b == base)
+        {
+            self.stats.filtered += 1;
+            return None;
+        }
+        if self.queue.len() >= self.capacity {
+            self.stats.dropped += 1;
+            return None;
+        }
+        self.queue.push(base);
+        Some(base)
+    }
+
+    /// Pops the next queued request, if any.
+    pub fn pop_request(&mut self) -> Option<u32> {
+        if self.queue.is_empty() {
+            None
+        } else {
+            Some(self.queue.remove(0))
+        }
+    }
+
+    /// Records that a prefetch for `base` was issued to the channel,
+    /// completing at `completion`.
+    pub fn mark_in_flight(&mut self, base: u32, completion: f64) {
+        self.in_flight.push((base, completion));
+        self.stats.issued += 1;
+    }
+
+    /// Returns the prefetches that have completed by cycle `now`, removing
+    /// them from the in-flight set.
+    pub fn completed(&mut self, now: f64) -> Vec<u32> {
+        let (done, pending): (Vec<_>, Vec<_>) =
+            self.in_flight.iter().partition(|&&(_, c)| c <= now);
+        self.in_flight = pending;
+        done.into_iter().map(|(b, _)| b).collect()
+    }
+
+    /// If a prefetch of `base` is in flight, returns its completion cycle
+    /// (a demand access to that line waits for it rather than re-fetching).
+    pub fn in_flight_completion(&self, base: u32) -> Option<f64> {
+        self.in_flight
+            .iter()
+            .find(|&&(b, _)| b == base)
+            .map(|&(_, c)| c)
+    }
+
+    /// Whether any requests are queued.
+    pub fn has_pending(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Prefetch statistics.
+    pub fn stats(&self) -> PrefetchStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_with_region() -> PrefetchUnit {
+        let mut u = PrefetchUnit::new(8);
+        u.set_region(
+            0,
+            Region {
+                start: 0x1000,
+                end: 0x2000,
+                stride: 0x100,
+            },
+        );
+        u
+    }
+
+    #[test]
+    fn load_in_region_triggers_stride_prefetch() {
+        let mut u = unit_with_region();
+        let got = u.observe_load(0x1040, 128, |_| false);
+        assert_eq!(got, Some(0x1140 & !127));
+        assert_eq!(u.stats().region_matches, 1);
+    }
+
+    #[test]
+    fn load_outside_region_is_ignored() {
+        let mut u = unit_with_region();
+        assert_eq!(u.observe_load(0x3000, 128, |_| false), None);
+        assert_eq!(u.stats().region_matches, 0);
+    }
+
+    #[test]
+    fn candidate_outside_region_is_ignored() {
+        let mut u = unit_with_region();
+        // 0x1f80 + 0x100 = 0x2080, past the region end.
+        assert_eq!(u.observe_load(0x1f80, 128, |_| false), None);
+        assert_eq!(u.stats().region_matches, 1, "the load itself matched");
+    }
+
+    #[test]
+    fn present_lines_are_filtered() {
+        let mut u = unit_with_region();
+        assert_eq!(u.observe_load(0x1040, 128, |_| true), None);
+        assert_eq!(u.stats().filtered, 1);
+    }
+
+    #[test]
+    fn duplicate_requests_are_filtered() {
+        let mut u = unit_with_region();
+        assert!(u.observe_load(0x1040, 128, |_| false).is_some());
+        assert_eq!(u.observe_load(0x1041, 128, |_| false), None);
+        assert_eq!(u.stats().filtered, 1);
+    }
+
+    #[test]
+    fn queue_capacity_drops_overflow() {
+        let mut u = PrefetchUnit::new(1);
+        u.set_region(
+            1,
+            Region {
+                start: 0,
+                end: 0x10_0000,
+                stride: 0x1000,
+            },
+        );
+        assert!(u.observe_load(0x100, 128, |_| false).is_some());
+        assert_eq!(u.observe_load(0x2000, 128, |_| false), None);
+        assert_eq!(u.stats().dropped, 1);
+    }
+
+    #[test]
+    fn in_flight_lifecycle() {
+        let mut u = unit_with_region();
+        u.observe_load(0x1040, 128, |_| false);
+        let base = u.pop_request().unwrap();
+        u.mark_in_flight(base, 100.0);
+        assert_eq!(u.in_flight_completion(base), Some(100.0));
+        assert!(u.completed(50.0).is_empty());
+        assert_eq!(u.completed(100.0), vec![base]);
+        assert_eq!(u.in_flight_completion(base), None);
+    }
+
+    #[test]
+    fn mmio_writes_configure_regions() {
+        let mut u = PrefetchUnit::new(4);
+        u.write_param(PfParam::Start, 2, 0x4000);
+        u.write_param(PfParam::End, 2, 0x5000);
+        u.write_param(PfParam::Stride, 2, 0x80);
+        assert_eq!(
+            u.region(2),
+            Region {
+                start: 0x4000,
+                end: 0x5000,
+                stride: 0x80
+            }
+        );
+        assert!(u.region(2).is_active());
+        assert!(!u.region(0).is_active());
+    }
+}

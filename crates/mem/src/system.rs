@@ -1,0 +1,647 @@
+//! The composed TM3270/TM3260 memory system: data cache with cache write
+//! buffer and write-miss policy, instruction cache, region prefetch unit
+//! and the shared DRAM channel (paper, §4).
+//!
+//! Functional data always lives in the flat backing memory; the cache
+//! arrays model presence, validity and recency, which drive the timing
+//! (stall cycles) and traffic (DRAM bytes) that the paper's evaluation
+//! depends on.
+
+use crate::cache::{CacheArray, CacheGeometry, CacheStats, Lookup};
+use crate::dram::{Dram, DramConfig, DramStats, Priority};
+use crate::prefetch::{PrefetchStats, PrefetchUnit, Region};
+use tm3270_isa::{CacheOp, DataMemory, FlatMemory, PfParam};
+
+/// Configuration of the complete memory system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemConfig {
+    /// Data-cache geometry.
+    pub dcache: CacheGeometry,
+    /// Instruction-cache geometry.
+    pub icache: CacheGeometry,
+    /// `true` = allocate-on-write-miss (TM3270), `false` =
+    /// fetch-on-write-miss (TM3260). Paper, Table 6.
+    pub allocate_on_write_miss: bool,
+    /// CPU clock in MHz (240 for the TM3260, 350 for the TM3270).
+    pub cpu_freq_mhz: f64,
+    /// The DRAM channel.
+    pub dram: DramConfig,
+    /// Cache-write-buffer capacity in pending stores.
+    pub cwb_entries: u32,
+    /// Prefetch request-queue capacity.
+    pub prefetch_queue: usize,
+    /// Background-traffic backpressure: when the DRAM channel is booked
+    /// further than this many CPU cycles ahead, issuing more background
+    /// traffic (write-miss fetches, copy-backs) stalls the core — the
+    /// finite miss/write queue of the bus interface unit.
+    pub bg_backpressure_cycles: f64,
+    /// Size of the flat backing memory in bytes (power of two).
+    pub mem_size: usize,
+}
+
+impl MemConfig {
+    /// The TM3270 memory system (Tables 1 and 6) at 350 MHz.
+    pub fn tm3270() -> MemConfig {
+        MemConfig {
+            dcache: CacheGeometry::tm3270_dcache(),
+            icache: CacheGeometry::tm3270_icache(),
+            allocate_on_write_miss: true,
+            cpu_freq_mhz: 350.0,
+            dram: DramConfig::paper_default(),
+            cwb_entries: 8,
+            prefetch_queue: 8,
+            bg_backpressure_cycles: 300.0,
+            mem_size: 16 << 20,
+        }
+    }
+
+    /// The TM3260 memory system (Table 6) at 240 MHz.
+    pub fn tm3260() -> MemConfig {
+        MemConfig {
+            dcache: CacheGeometry::tm3260_dcache(),
+            icache: CacheGeometry::tm3260_icache(),
+            allocate_on_write_miss: false,
+            cpu_freq_mhz: 240.0,
+            dram: DramConfig::paper_default(),
+            cwb_entries: 8,
+            prefetch_queue: 8,
+            // The TM3260's older bus interface tracks far fewer
+            // outstanding transfers than the TM3270's.
+            bg_backpressure_cycles: 20.0,
+            mem_size: 16 << 20,
+        }
+    }
+}
+
+/// Aggregate memory-system statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemStats {
+    /// Demand load operations.
+    pub loads: u64,
+    /// Demand store operations.
+    pub stores: u64,
+    /// Data-side stall cycles (cache misses, CWB back-pressure,
+    /// prefetch waits).
+    pub data_stall_cycles: f64,
+    /// Stall cycles spent waiting for an in-flight prefetch (late
+    /// prefetch).
+    pub prefetch_wait_cycles: f64,
+    /// Instruction-side stall cycles.
+    pub instr_stall_cycles: f64,
+    /// Instruction fetch requests.
+    pub ifetches: u64,
+    /// Data accesses that crossed a cache-line boundary (non-aligned,
+    /// §4.2).
+    pub line_crossers: u64,
+}
+
+/// The composed memory system.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    config: MemConfig,
+    flat: FlatMemory,
+    dcache: CacheArray,
+    icache: CacheArray,
+    prefetch: PrefetchUnit,
+    dram: Dram,
+    /// Current CPU cycle, set by the pipeline before executing an
+    /// instruction's operations.
+    now: f64,
+    /// Stall cycles accumulated since `begin_instr`.
+    stall: f64,
+    cwb_pending: f64,
+    cwb_last: f64,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Creates a memory system from a configuration.
+    pub fn new(config: MemConfig) -> MemorySystem {
+        MemorySystem {
+            flat: FlatMemory::new(config.mem_size),
+            dcache: CacheArray::new(config.dcache),
+            icache: CacheArray::new(config.icache),
+            prefetch: PrefetchUnit::new(config.prefetch_queue),
+            dram: Dram::new(config.dram, config.cpu_freq_mhz),
+            now: 0.0,
+            stall: 0.0,
+            cwb_pending: 0.0,
+            cwb_last: 0.0,
+            stats: MemStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Direct access to the flat backing memory (for loading workload data
+    /// and inspecting results).
+    pub fn flat(&self) -> &FlatMemory {
+        &self.flat
+    }
+
+    /// Mutable access to the flat backing memory.
+    pub fn flat_mut(&mut self) -> &mut FlatMemory {
+        &mut self.flat
+    }
+
+    /// Configures a prefetch region directly (equivalent to the three
+    /// `stpf*` MMIO stores).
+    pub fn set_prefetch_region(&mut self, region: u8, r: Region) {
+        self.prefetch.set_region(region, r);
+    }
+
+    /// Starts timing a new instruction at CPU cycle `now`.
+    pub fn begin_instr(&mut self, now: u64) {
+        self.now = now as f64;
+        self.stall = 0.0;
+        self.absorb_prefetch_completions();
+    }
+
+    /// Returns and clears the stall cycles accumulated since the last
+    /// [`begin_instr`](Self::begin_instr).
+    pub fn take_stall(&mut self) -> u64 {
+        let s = self.stall.ceil() as u64;
+        self.stall = 0.0;
+        s
+    }
+
+    fn absorb_prefetch_completions(&mut self) {
+        for base in self.prefetch.completed(self.now + self.stall) {
+            if let Some(victim) = self.dcache.fill(base, true) {
+                let t = self.now + self.stall;
+                self.dram
+                    .request(t, victim.copyback_bytes, Priority::Background);
+            }
+        }
+    }
+
+    /// Schedules a background transfer, stalling the core if the channel
+    /// is booked too far ahead (finite BIU queue).
+    fn background_request(&mut self, bytes: u32) -> f64 {
+        let t = self.now + self.stall;
+        let completion = self.dram.request(t, bytes, Priority::Background);
+        let lag = self.dram.free_at() - t;
+        if lag > self.config.bg_backpressure_cycles {
+            let wait = lag - self.config.bg_backpressure_cycles;
+            self.stall += wait;
+            self.stats.data_stall_cycles += wait;
+        }
+        completion
+    }
+
+    fn issue_queued_prefetches(&mut self) {
+        let line = self.config.dcache.line;
+        // Prefetches are opportunistic: they are only issued while the
+        // channel is not badly congested, and never stall the core.
+        while self.dram.free_at() - (self.now + self.stall)
+            <= self.config.bg_backpressure_cycles
+        {
+            match self.prefetch.pop_request() {
+                Some(base) => {
+                    let completion = self.dram.request(
+                        self.now + self.stall,
+                        line,
+                        Priority::Background,
+                    );
+                    self.prefetch.mark_in_flight(base, completion);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Segments `[addr, addr + len)` by cache-line boundary (at most two
+    /// segments: the paper's `addr_lo` / `addr_hi` pair, §4.2).
+    fn segments(geom: CacheGeometry, addr: u32, len: u32) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(2);
+        let mut a = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            // Addresses wrap architecturally at 2^32.
+            let line_end = geom.line_base(a).wrapping_add(geom.line);
+            let n = remaining.min(line_end.wrapping_sub(a));
+            out.push((a, n));
+            a = a.wrapping_add(n);
+            remaining -= n;
+        }
+        out
+    }
+
+    fn demand_fill(&mut self, base: u32, prefetched_wait: bool) {
+        let t = self.now + self.stall;
+        // A line already being prefetched is awaited, not re-fetched.
+        if let Some(completion) = self.prefetch.in_flight_completion(base) {
+            if completion > t {
+                let wait = completion - t;
+                self.stall += wait;
+                self.stats.prefetch_wait_cycles += wait;
+                if prefetched_wait {
+                    self.stats.data_stall_cycles += wait;
+                }
+            }
+            self.absorb_prefetch_completions();
+            return;
+        }
+        let completion = self
+            .dram
+            .request(t, self.config.dcache.line, Priority::Demand);
+        let wait = completion - t;
+        self.stall += wait;
+        if prefetched_wait {
+            self.stats.data_stall_cycles += wait;
+        }
+        if let Some(victim) = self.dcache.fill(base, false) {
+            self.dram
+                .request(completion, victim.copyback_bytes, Priority::Background);
+        }
+    }
+
+    /// Timing for a demand load of `len` bytes at `addr`.
+    fn access_load(&mut self, addr: u32, len: u32) {
+        self.stats.loads += 1;
+        let geom = self.config.dcache;
+        let segs = Self::segments(geom, addr, len);
+        if segs.len() > 1 {
+            self.stats.line_crossers += 1;
+        }
+        for &(a, n) in &segs {
+            match self.dcache.lookup(a, n) {
+                Lookup::Hit => {}
+                Lookup::PartialHit | Lookup::Miss => {
+                    self.demand_fill(geom.line_base(a), true);
+                }
+            }
+        }
+        // Region prefetch observation (§2.3): triggered by the load
+        // address.
+        let dcache = &self.dcache;
+        let line = geom.line;
+        let _ = self
+            .prefetch
+            .observe_load(addr, line, |base| dcache.contains(base));
+        self.issue_queued_prefetches();
+    }
+
+    /// Timing for a demand store of `len` bytes at `addr`.
+    fn access_store(&mut self, addr: u32, len: u32) {
+        self.stats.stores += 1;
+        let geom = self.config.dcache;
+        let segs = Self::segments(geom, addr, len);
+        if segs.len() > 1 {
+            self.stats.line_crossers += 1;
+        }
+        for &(a, n) in &segs {
+            match self.dcache.lookup(a, n) {
+                Lookup::Hit | Lookup::PartialHit => {}
+                Lookup::Miss => {
+                    if self.config.allocate_on_write_miss {
+                        // Tag-only allocation: no fetch, no stall (§4.1).
+                        if let Some(victim) = self.dcache.allocate(geom.line_base(a)) {
+                            self.background_request(victim.copyback_bytes);
+                        }
+                    } else {
+                        // Fetch-on-write-miss: the line is read from
+                        // memory. The write buffer lets the store retire
+                        // without waiting for the data, so the fetch is
+                        // background traffic — its cost is the DRAM
+                        // bandwidth it consumes (back-pressure when the
+                        // BIU queue fills).
+                        self.background_request(geom.line);
+                        if let Some(victim) = self.dcache.fill(geom.line_base(a), false) {
+                            self.background_request(victim.copyback_bytes);
+                        }
+                    }
+                }
+            }
+            self.dcache.write(a, n);
+        }
+        // Cache write buffer: drains up to two pending stores per cycle
+        // (the 128-bit bit-write SRAM port absorbs merged stores, §4.2);
+        // back-pressure stalls the pipeline.
+        let t = self.now + self.stall;
+        let drained = (t - self.cwb_last).max(0.0) * 2.0;
+        self.cwb_pending = (self.cwb_pending - drained).max(0.0);
+        self.cwb_last = t;
+        if self.cwb_pending >= f64::from(self.config.cwb_entries) {
+            self.stall += 1.0;
+            self.stats.data_stall_cycles += 1.0;
+            self.cwb_pending -= 1.0;
+        }
+        self.cwb_pending += 1.0;
+    }
+
+    /// Timing for an instruction fetch of `len` bytes at `addr`. Returns
+    /// the stall cycles (not accumulated into the data-side stall).
+    pub fn fetch_instr(&mut self, now: u64, addr: u32, len: u32) -> u64 {
+        self.stats.ifetches += 1;
+        let geom = self.config.icache;
+        let mut stall = 0.0;
+        for (a, n) in Self::segments(geom, addr, len.max(1)) {
+            if self.icache.lookup(a, n) == Lookup::Hit {
+                continue;
+            }
+            let t = now as f64 + stall;
+            let completion = self.dram.request(t, geom.line, Priority::Demand);
+            stall += completion - t;
+            self.icache.fill(geom.line_base(a), false);
+        }
+        self.stats.instr_stall_cycles += stall;
+        stall.ceil() as u64
+    }
+
+    /// A point-in-time snapshot of all statistics.
+    pub fn stats(&self) -> FullStats {
+        FullStats {
+            mem: self.stats,
+            dcache: self.dcache.stats(),
+            icache: self.icache.stats(),
+            prefetch: self.prefetch.stats(),
+            dram: self.dram.stats(),
+        }
+    }
+}
+
+/// Snapshot of every statistic the memory system tracks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FullStats {
+    /// Top-level counters and stall breakdown.
+    pub mem: MemStats,
+    /// Data-cache array statistics.
+    pub dcache: CacheStats,
+    /// Instruction-cache array statistics.
+    pub icache: CacheStats,
+    /// Prefetch-unit statistics.
+    pub prefetch: PrefetchStats,
+    /// DRAM channel statistics.
+    pub dram: DramStats,
+}
+
+impl DataMemory for MemorySystem {
+    fn load_bytes(&mut self, addr: u32, buf: &mut [u8]) {
+        self.access_load(addr, buf.len() as u32);
+        self.flat.load_bytes(addr, buf);
+    }
+
+    fn store_bytes(&mut self, addr: u32, data: &[u8]) {
+        self.access_store(addr, data.len() as u32);
+        self.flat.store_bytes(addr, data);
+    }
+
+    fn cache_op(&mut self, op: CacheOp, addr: u32) {
+        let geom = self.config.dcache;
+        let base = geom.line_base(addr);
+        let t = self.now + self.stall;
+        match op {
+            CacheOp::Allocate => {
+                if let Some(victim) = self.dcache.allocate(base) {
+                    self.dram
+                        .request(t, victim.copyback_bytes, Priority::Background);
+                }
+            }
+            CacheOp::Prefetch => {
+                if !self.dcache.contains(base)
+                    && self.prefetch.in_flight_completion(base).is_none()
+                {
+                    let completion = self.dram.request(t, geom.line, Priority::Background);
+                    self.prefetch.mark_in_flight(base, completion);
+                }
+            }
+            CacheOp::Invalidate => {
+                self.dcache.invalidate(base);
+            }
+            CacheOp::Flush => {
+                let bytes = self.dcache.flush(base);
+                if bytes > 0 {
+                    self.dram.request(t, bytes, Priority::Background);
+                }
+            }
+        }
+    }
+
+    fn write_pf_param(&mut self, param: PfParam, region: u8, value: u32) {
+        self.prefetch.write_param(param, region, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> MemorySystem {
+        let mut cfg = MemConfig::tm3270();
+        cfg.mem_size = 1 << 20;
+        MemorySystem::new(cfg)
+    }
+
+    fn tm3260_system() -> MemorySystem {
+        let mut cfg = MemConfig::tm3260();
+        cfg.mem_size = 1 << 20;
+        MemorySystem::new(cfg)
+    }
+
+    #[test]
+    fn load_miss_stalls_then_hits() {
+        let mut m = system();
+        m.begin_instr(0);
+        let mut buf = [0u8; 4];
+        m.load_bytes(0x1000, &mut buf);
+        let s1 = m.take_stall();
+        assert!(s1 > 0, "cold miss must stall");
+        m.begin_instr(100_000);
+        m.load_bytes(0x1004, &mut buf);
+        assert_eq!(m.take_stall(), 0, "same line now hits");
+    }
+
+    #[test]
+    fn functional_data_round_trips() {
+        let mut m = system();
+        m.begin_instr(0);
+        m.store_bytes(0x2000, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        m.load_bytes(0x2000, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn allocate_on_write_miss_is_free_and_traffic_less() {
+        let mut m = system();
+        m.begin_instr(0);
+        m.store_bytes(0x3000, &[9; 4]);
+        assert_eq!(m.take_stall(), 0, "allocate-on-write-miss has no stall");
+        assert_eq!(m.stats().dram.bytes, 0, "no fetch traffic");
+        assert_eq!(m.stats().dcache.allocations, 1);
+    }
+
+    #[test]
+    fn fetch_on_write_miss_generates_fetch_traffic() {
+        let mut m = tm3260_system();
+        m.begin_instr(0);
+        m.store_bytes(0x3000, &[9; 4]);
+        // The write buffer hides the fetch latency of a single store...
+        assert_eq!(m.take_stall(), 0);
+        // ...but the line is fetched from memory (extra traffic vs the
+        // TM3270's allocate-on-write-miss).
+        assert!(m.stats().dram.bytes >= 64, "line fetched from memory");
+    }
+
+    #[test]
+    fn sustained_write_misses_backpressure_via_bandwidth() {
+        // A long streak of store misses under fetch-on-write-miss becomes
+        // bandwidth bound: the BIU queue fills and the core stalls.
+        let mut m = tm3260_system();
+        let mut cycle = 0u64;
+        let mut total_stall = 0u64;
+        for i in 0..512u32 {
+            m.begin_instr(cycle);
+            m.store_bytes(0x8000 + i * 64, &[1; 4]);
+            let s = m.take_stall();
+            total_stall += s;
+            cycle += 1 + s;
+        }
+        assert!(
+            total_stall > 1000,
+            "sustained fetch-on-write misses must stall, got {total_stall}"
+        );
+    }
+
+    #[test]
+    fn partial_line_load_after_allocation_refills() {
+        let mut m = system();
+        m.begin_instr(0);
+        m.store_bytes(0x4000, &[1; 4]);
+        m.take_stall();
+        m.begin_instr(10);
+        // Load untouched bytes of the allocated line: byte-validity forces
+        // a refill (§4.2: hit-signal generation checks validity).
+        let mut buf = [0u8; 4];
+        m.load_bytes(0x4010, &mut buf);
+        assert!(m.take_stall() > 0);
+        assert!(m.stats().dcache.partial_hits >= 1);
+    }
+
+    #[test]
+    fn non_aligned_access_crossing_lines_counts_two_misses() {
+        let mut m = system();
+        m.begin_instr(0);
+        let mut buf = [0u8; 4];
+        // 128-byte lines: 0x107e..0x1082 crosses a boundary.
+        m.load_bytes(0x107e, &mut buf);
+        assert_eq!(m.stats().mem.line_crossers, 1);
+        assert_eq!(m.stats().dcache.misses, 2, "both lines miss (§4.2)");
+    }
+
+    #[test]
+    fn copyback_transfers_only_valid_bytes() {
+        let mut m = system();
+        let geom = m.config().dcache;
+        // Dirty one line via allocation, writing only 8 bytes.
+        m.begin_instr(0);
+        m.store_bytes(0x5000, &[7; 8]);
+        let baseline = m.stats().dram.bytes;
+        // Force eviction of set containing 0x5000 by touching `ways` more
+        // lines mapping to the same set.
+        let set_stride = geom.line * geom.sets();
+        for w in 1..=geom.ways {
+            m.begin_instr(1000 * u64::from(w));
+            let mut buf = [0u8; 4];
+            m.load_bytes(0x5000 + w * set_stride, &mut buf);
+        }
+        let s = m.stats();
+        assert_eq!(s.dcache.copyback_bytes, 8, "only the 8 valid bytes move");
+        assert!(s.dram.bytes > baseline);
+    }
+
+    #[test]
+    fn prefetch_region_hides_future_misses() {
+        // Stream through a region with next-line prefetch and verify the
+        // second half of the lines are prefetch hits.
+        let mut m = system();
+        m.set_prefetch_region(
+            0,
+            Region {
+                start: 0x10000,
+                end: 0x20000,
+                stride: 128,
+            },
+        );
+        let mut cycle = 0u64;
+        for i in 0..64u32 {
+            m.begin_instr(cycle);
+            let mut buf = [0u8; 4];
+            m.load_bytes(0x10000 + i * 128, &mut buf);
+            // Generous compute time between lines lets prefetches land.
+            cycle += 200 + m.take_stall();
+        }
+        let s = m.stats();
+        assert!(s.prefetch.issued > 30, "prefetches issued: {:?}", s.prefetch);
+        assert!(
+            s.dcache.prefetch_hits > 30,
+            "prefetched lines are consumed: {:?}",
+            s.dcache
+        );
+        // Almost all demand misses were avoided (first line must miss).
+        assert!(
+            s.dcache.misses < 15,
+            "prefetching removed demand misses: {:?}",
+            s.dcache
+        );
+    }
+
+    #[test]
+    fn software_prefetch_op_warms_cache() {
+        let mut m = system();
+        m.begin_instr(0);
+        m.cache_op(CacheOp::Prefetch, 0x7000);
+        // Wait long enough for the prefetch to land.
+        m.begin_instr(10_000);
+        let mut buf = [0u8; 4];
+        m.load_bytes(0x7000, &mut buf);
+        assert_eq!(m.take_stall(), 0, "prefd warmed the line");
+    }
+
+    #[test]
+    fn instruction_fetch_misses_then_hits() {
+        let mut m = system();
+        let s1 = m.fetch_instr(0, 0x100, 16);
+        assert!(s1 > 0);
+        let s2 = m.fetch_instr(1000, 0x110, 16);
+        assert_eq!(s2, 0);
+        assert_eq!(m.stats().mem.ifetches, 2);
+    }
+
+    #[test]
+    fn cwb_backpressure_on_store_bursts() {
+        let mut m = system();
+        // Warm the line so stores are pure CWB traffic.
+        m.begin_instr(0);
+        m.store_bytes(0x8000, &[0; 1]);
+        m.take_stall();
+        // Two stores per cycle sustained is fine; force > 2/cycle by
+        // issuing many stores in the same instruction window.
+        m.begin_instr(100);
+        for i in 0..64 {
+            m.store_bytes(0x8000 + i, &[1]);
+        }
+        assert!(m.take_stall() > 0, "CWB fills up and back-pressures");
+    }
+
+    #[test]
+    fn dflush_writes_back_dirty_bytes() {
+        let mut m = system();
+        m.begin_instr(0);
+        m.store_bytes(0x9000, &[1; 16]);
+        let before = m.stats().dram.bytes;
+        m.cache_op(CacheOp::Flush, 0x9000);
+        assert_eq!(m.stats().dram.bytes - before, 16);
+        // Line is gone: next load misses.
+        m.begin_instr(10_000);
+        let mut buf = [0u8; 4];
+        m.load_bytes(0x9000, &mut buf);
+        assert!(m.take_stall() > 0);
+        assert_eq!(buf, [1; 4], "flat memory kept the data");
+    }
+}

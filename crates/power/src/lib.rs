@@ -1,0 +1,423 @@
+//! # tm3270-power
+//!
+//! Area and power models of the TM3270 realization (paper §5, Table 4,
+//! Figure 6).
+//!
+//! The paper reports, for a low-power 90 nm process at 1.2 V:
+//!
+//! * a module-level **area** breakdown totalling 8.08 mm², with the
+//!   instruction- and data-cache SRAMs making up roughly 50%;
+//! * a module-level **power** breakdown for an MP3-decoder workload
+//!   totalling 0.935 mW/MHz, with dynamic power following `C V^2 f`,
+//!   aggressive clock gating (~70 functional clock domains — stalled
+//!   logic is not clocked), and therefore a strong dependence on OPI
+//!   (operations per VLIW instruction) and CPI (cycles per instruction)
+//!   rather than on the specific application;
+//! * voltage scaling from 1.2 V to 0.8 V reducing power quadratically to
+//!   0.415 mW/MHz, giving 3.32 mW for the ~8 MHz MP3 decode.
+//!
+//! [`AreaModel`] derives the Table 4 areas from the machine's cache
+//! geometries and calibrated logic constants, so configuration ablations
+//! (say, a 16 KB data cache) produce meaningful area deltas.
+//! [`PowerModel`] turns simulator [`RunStats`] into a module power
+//! breakdown: per-module event energies are calibrated such that the MP3
+//! reference workload reproduces the Table 4 ratings exactly, and other
+//! workloads scale with their measured activity (issue rate, operation
+//! rate, memory rate, bus traffic) — reproducing the paper's observation
+//! that larger-CPI applications have a lower mW/MHz with a relatively
+//! larger BIU share.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dvfs;
+
+use tm3270_core::{MachineConfig, RunStats};
+
+/// The major design modules of the floorplan (Figure 6 / Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Module {
+    /// Instruction fetch unit (includes the instruction-cache SRAMs).
+    Ifu,
+    /// Operation decode.
+    Decode,
+    /// The 128-entry, 15-read/5-write-port register file.
+    Regfile,
+    /// All functional units.
+    Execute,
+    /// Load/store unit (includes the data-cache SRAMs).
+    Ls,
+    /// Bus interface unit.
+    Biu,
+    /// Memory-mapped IO peripherals.
+    Mmio,
+}
+
+impl Module {
+    /// All modules in Table 4 order.
+    pub fn all() -> [Module; 7] {
+        [
+            Module::Ifu,
+            Module::Decode,
+            Module::Regfile,
+            Module::Execute,
+            Module::Ls,
+            Module::Biu,
+            Module::Mmio,
+        ]
+    }
+
+    /// The Table 4 module name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Module::Ifu => "IFU",
+            Module::Decode => "Decode",
+            Module::Regfile => "Regfile",
+            Module::Execute => "Execute",
+            Module::Ls => "LS",
+            Module::Biu => "BIU",
+            Module::Mmio => "MMIO",
+        }
+    }
+}
+
+/// One row of an area or power breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModuleValue {
+    /// The module.
+    pub module: Module,
+    /// Area in mm² or power in mW/MHz.
+    pub value: f64,
+}
+
+/// Area model: SRAM macro area plus calibrated per-module logic area.
+///
+/// Calibrated against Table 4: 192 KB of cache SRAM is ~50% of the
+/// 8.08 mm² total, giving ~0.021 mm²/KB in the low-power 90 nm process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// SRAM area per KB (mm²).
+    pub sram_mm2_per_kb: f64,
+    /// Register-file area per port-bit (mm²): 128 x 32 bits x 20 ports.
+    pub regfile_mm2_per_port_bit: f64,
+    /// Fixed logic areas per module (mm²), in [`Module::all`] order.
+    pub logic: [f64; 7],
+}
+
+impl AreaModel {
+    /// The model calibrated to the paper's 90 nm realization.
+    pub fn nm90() -> AreaModel {
+        AreaModel {
+            sram_mm2_per_kb: 0.021,
+            // 0.97 mm² / (128 regs * 32 bits * 20 ports)
+            regfile_mm2_per_port_bit: 0.97 / (128.0 * 32.0 * 20.0),
+            // [ifu, decode, regfile(extra), execute, ls, biu, mmio]
+            logic: [0.116, 0.05, 0.0, 1.53, 0.912, 0.24, 0.23],
+        }
+    }
+
+    /// The module-level area breakdown for a machine configuration.
+    pub fn breakdown(&self, config: &MachineConfig) -> Vec<ModuleValue> {
+        let icache_kb = f64::from(config.mem.icache.size) / 1024.0;
+        let dcache_kb = f64::from(config.mem.dcache.size) / 1024.0;
+        // TM3270 register file: 128 x 32-bit, 10 source + 5 guard read
+        // ports and 5 write ports (§3).
+        let ports = 20.0;
+        let regfile = 128.0 * 32.0 * ports * self.regfile_mm2_per_port_bit;
+        Module::all()
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let sram = match m {
+                    Module::Ifu => icache_kb * self.sram_mm2_per_kb,
+                    Module::Ls => dcache_kb * self.sram_mm2_per_kb,
+                    _ => 0.0,
+                };
+                let extra = if m == Module::Regfile { regfile } else { 0.0 };
+                ModuleValue {
+                    module: m,
+                    value: sram + extra + self.logic[i],
+                }
+            })
+            .collect()
+    }
+
+    /// Total area in mm².
+    pub fn total(&self, config: &MachineConfig) -> f64 {
+        self.breakdown(config).iter().map(|m| m.value).sum()
+    }
+
+    /// Fraction of the total area occupied by cache SRAMs (paper: ~50%).
+    pub fn sram_fraction(&self, config: &MachineConfig) -> f64 {
+        let sram = (f64::from(config.mem.icache.size) + f64::from(config.mem.dcache.size))
+            / 1024.0
+            * self.sram_mm2_per_kb;
+        sram / self.total(config)
+    }
+}
+
+/// Table 4 power ratings in mW/MHz at 1.2 V for the MP3 reference
+/// workload, in [`Module::all`] order.
+///
+/// Note: the paper's per-module rows sum to 0.999 mW/MHz while its
+/// printed total is 0.935; we keep the published rows and use their sum
+/// ([`TABLE4_POWER_TOTAL`]) as the consistent total.
+pub const TABLE4_POWER: [f64; 7] = [0.272, 0.022, 0.170, 0.255, 0.266, 0.002, 0.012];
+
+/// Sum of the published Table 4 rows (see [`TABLE4_POWER`]).
+pub const TABLE4_POWER_TOTAL: f64 = 0.999;
+
+/// Per-cycle activity factors extracted from a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Activity {
+    /// VLIW instructions per cycle (1/CPI): drives the IFU.
+    pub issue_rate: f64,
+    /// Executed operations per cycle (OPI/CPI): drives decode, the
+    /// register file and the (clock-gated) functional units.
+    pub op_rate: f64,
+    /// Data-memory operations per cycle: drives the load/store unit.
+    pub mem_rate: f64,
+    /// DRAM bytes per cycle: drives the bus interface unit.
+    pub bus_rate: f64,
+}
+
+impl Activity {
+    /// Extracts activity factors from run statistics.
+    pub fn from_stats(stats: &RunStats) -> Activity {
+        let cycles = stats.cycles.max(1) as f64;
+        Activity {
+            issue_rate: stats.instrs as f64 / cycles,
+            op_rate: stats.exec_ops as f64 / cycles,
+            mem_rate: (stats.mem.mem.loads + stats.mem.mem.stores) as f64 / cycles,
+            bus_rate: stats.mem.dram.bytes as f64 / cycles,
+        }
+    }
+}
+
+/// Power model: Table 4 ratings scaled by activity (clock gating) and
+/// `V^2` (dynamic power).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Reference activity (the MP3 workload of Table 4).
+    reference: Activity,
+    /// Nominal supply voltage (1.2 V).
+    v_nominal: f64,
+    /// Static power floor per module (mW/MHz; "negligible", §5.2).
+    static_floor: f64,
+}
+
+impl PowerModel {
+    /// Calibrates the model so `mp3_reference` reproduces Table 4
+    /// exactly.
+    pub fn calibrated(mp3_reference: &RunStats) -> PowerModel {
+        PowerModel {
+            reference: Activity::from_stats(mp3_reference),
+            v_nominal: 1.2,
+            static_floor: 1e-4,
+        }
+    }
+
+    /// A model with the paper's nominal MP3 signature (OPI 4.5, CPI 1.0)
+    /// as the reference, for use without running the proxy.
+    pub fn nominal() -> PowerModel {
+        PowerModel {
+            reference: Activity {
+                issue_rate: 1.0,
+                op_rate: 4.5,
+                mem_rate: 0.4,
+                bus_rate: 0.02,
+            },
+            v_nominal: 1.2,
+            static_floor: 1e-4,
+        }
+    }
+
+    fn module_activity(&self, m: Module, a: &Activity) -> f64 {
+        let rel = |x: f64, r: f64| if r > 0.0 { x / r } else { 1.0 };
+        match m {
+            Module::Ifu => rel(a.issue_rate, self.reference.issue_rate),
+            Module::Decode | Module::Regfile | Module::Execute => {
+                rel(a.op_rate, self.reference.op_rate)
+            }
+            Module::Ls => rel(a.mem_rate, self.reference.mem_rate),
+            Module::Biu => rel(a.bus_rate, self.reference.bus_rate),
+            Module::Mmio => 1.0,
+        }
+    }
+
+    /// The module power breakdown in mW/MHz at `voltage` for a run.
+    pub fn breakdown(&self, stats: &RunStats, voltage: f64) -> Vec<ModuleValue> {
+        let a = Activity::from_stats(stats);
+        let vscale = (voltage / self.v_nominal).powi(2);
+        Module::all()
+            .iter()
+            .zip(TABLE4_POWER)
+            .map(|(&m, rating)| ModuleValue {
+                module: m,
+                value: rating * self.module_activity(m, &a) * vscale + self.static_floor,
+            })
+            .collect()
+    }
+
+    /// Total power in mW/MHz at `voltage`.
+    pub fn total_mw_per_mhz(&self, stats: &RunStats, voltage: f64) -> f64 {
+        self.breakdown(stats, voltage).iter().map(|m| m.value).sum()
+    }
+
+    /// Absolute power in mW for a workload requiring `freq_mhz` to meet
+    /// real time (the paper's MP3 number: ~8 MHz at 0.8 V = 3.32 mW).
+    pub fn power_mw(&self, stats: &RunStats, voltage: f64, freq_mhz: f64) -> f64 {
+        self.total_mw_per_mhz(stats, voltage) * freq_mhz
+    }
+}
+
+/// The paper's §5.2 voltage-scaling arithmetic, independent of any run:
+/// `0.935 * (0.8^2 / 1.2^2) = 0.415 mW/MHz`.
+pub fn scale_rating(rating_mw_per_mhz: f64, from_v: f64, to_v: f64) -> f64 {
+    rating_mw_per_mhz * (to_v * to_v) / (from_v * from_v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm3270_core::MachineConfig;
+
+    #[test]
+    fn area_totals_match_table4() {
+        let model = AreaModel::nm90();
+        let total = model.total(&MachineConfig::tm3270());
+        assert!(
+            (total - 8.08).abs() < 0.2,
+            "Table 4 total 8.08 mm², got {total:.2}"
+        );
+    }
+
+    #[test]
+    fn sram_is_about_half_the_area() {
+        let model = AreaModel::nm90();
+        let f = model.sram_fraction(&MachineConfig::tm3270());
+        assert!((0.4..0.6).contains(&f), "paper: ~50%, got {f:.2}");
+    }
+
+    #[test]
+    fn ls_is_largest_module_and_table4_rows_match() {
+        let model = AreaModel::nm90();
+        let breakdown = model.breakdown(&MachineConfig::tm3270());
+        let get = |m: Module| {
+            breakdown
+                .iter()
+                .find(|v| v.module == m)
+                .map(|v| v.value)
+                .unwrap()
+        };
+        let max = breakdown.iter().map(|v| v.value).fold(0.0, f64::max);
+        assert_eq!(get(Module::Ls), max, "LS largest with D$ SRAM included");
+        assert!((get(Module::Ifu) - 1.46).abs() < 0.05);
+        assert!((get(Module::Ls) - 3.60).abs() < 0.05);
+        assert!((get(Module::Regfile) - 0.97).abs() < 0.05);
+    }
+
+    #[test]
+    fn smaller_dcache_shrinks_area() {
+        let model = AreaModel::nm90();
+        let d = model.total(&MachineConfig::config_d());
+        let b = model.total(&MachineConfig::config_b());
+        assert!(b < d, "16 KB cache smaller than 128 KB: {b:.2} < {d:.2}");
+        // 112 KB of SRAM difference ~ 2.35 mm².
+        assert!((d - b - 112.0 * 0.021).abs() < 0.01);
+    }
+
+    fn fake_stats(cycles: u64, instrs: u64, exec_ops: u64, bus_bytes: u64) -> RunStats {
+        RunStats {
+            cycles,
+            instrs,
+            ops: exec_ops,
+            exec_ops,
+            branches: 0,
+            taken_branches: 0,
+            ifetch_stall_cycles: 0,
+            data_stall_cycles: 0,
+            freq_mhz: 350.0,
+            mem: tm3270_mem::FullStats {
+                mem: Default::default(),
+                dcache: Default::default(),
+                icache: Default::default(),
+                prefetch: Default::default(),
+                dram: tm3270_mem::DramStats {
+                    transfers: 0,
+                    demand_transfers: 0,
+                    bytes: bus_bytes,
+                    busy_cpu_cycles: 0.0,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn reference_run_reproduces_table4_total() {
+        // A run with exactly the reference activity reproduces the 0.935
+        // mW/MHz total.
+        let stats = fake_stats(1000, 1000, 4500, 20);
+        let model = PowerModel::calibrated(&stats);
+        let total = model.total_mw_per_mhz(&stats, 1.2);
+        assert!(
+            (total - TABLE4_POWER_TOTAL).abs() < 0.01,
+            "got {total:.3}"
+        );
+    }
+
+    #[test]
+    fn voltage_scaling_is_quadratic() {
+        let stats = fake_stats(1000, 1000, 4500, 20);
+        let model = PowerModel::calibrated(&stats);
+        let p08 = model.total_mw_per_mhz(&stats, 0.8);
+        let expect = TABLE4_POWER_TOTAL * (0.8f64 / 1.2).powi(2);
+        assert!((p08 - expect).abs() < 0.01, "got {p08:.3}");
+        // The paper's MP3 bottom line shape: ~8 MHz real-time decode at
+        // 0.8 V lands in single-digit milliwatts (paper: 3.32 mW from its
+        // 0.935 total; our row-sum total gives ~3.55 mW).
+        let mw = model.power_mw(&stats, 0.8, 8.0);
+        assert!((3.0..4.0).contains(&mw), "got {mw:.2} mW");
+    }
+
+    #[test]
+    fn stalled_runs_use_less_power_but_more_biu_share() {
+        let reference = fake_stats(1000, 1000, 4500, 20);
+        let model = PowerModel::calibrated(&reference);
+        // Same work, 3x the cycles (CPI 3), 10x the bus traffic.
+        let stalled = fake_stats(3000, 1000, 4500, 200);
+        let p_ref = model.total_mw_per_mhz(&reference, 1.2);
+        let p_stall = model.total_mw_per_mhz(&stalled, 1.2);
+        assert!(
+            p_stall < p_ref,
+            "clock gating: stalled {p_stall:.3} < busy {p_ref:.3}"
+        );
+        let share = |stats: &RunStats| {
+            let b = model.breakdown(stats, 1.2);
+            let biu = b
+                .iter()
+                .find(|v| v.module == Module::Biu)
+                .map(|v| v.value)
+                .unwrap();
+            biu / b.iter().map(|v| v.value).sum::<f64>()
+        };
+        assert!(
+            share(&stalled) > share(&reference),
+            "paper §5.2: larger CPI shifts power share to the BIU"
+        );
+    }
+
+    #[test]
+    fn scale_rating_matches_paper_arithmetic() {
+        let p = scale_rating(0.935, 1.2, 0.8);
+        assert!((p - 0.4155).abs() < 0.001);
+    }
+
+    #[test]
+    fn nominal_model_is_usable() {
+        let stats = fake_stats(1000, 950, 4300, 25);
+        let model = PowerModel::nominal();
+        let total = model.total_mw_per_mhz(&stats, 1.2);
+        assert!(total > 0.5 && total < 1.5, "got {total}");
+    }
+}

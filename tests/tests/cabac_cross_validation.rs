@@ -1,0 +1,115 @@
+//! Cross-validation of the three CABAC implementations: the reference
+//! encoder/decoder pair (`tm3270-cabac`), the `SUPER_CABAC_*` operation
+//! semantics (`tm3270-isa`), and full simulated decoding on the machine
+//! (`tm3270-kernels`).
+
+use proptest::prelude::*;
+use tm3270_cabac::{Context, Decoder, Encoder, FieldType};
+use tm3270_core::MachineConfig;
+use tm3270_isa::cabac::{cabac_decode_step, CabacState};
+use tm3270_isa::{execute, FlatMemory, Op, Opcode, Reg, RegFile};
+use tm3270_kernels::cabac_kernel::CabacDecode;
+use tm3270_kernels::run_kernel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_round_trip_arbitrary_symbols(
+        symbols in prop::collection::vec(any::<bool>(), 1..2000),
+        state in 0u8..64,
+        mps in any::<bool>(),
+    ) {
+        let mut enc = Encoder::new();
+        let mut ectx = Context::new(state, mps);
+        for &b in &symbols {
+            enc.encode(&mut ectx, b);
+        }
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        let mut dctx = Context::new(state, mps);
+        for (i, &b) in symbols.iter().enumerate() {
+            prop_assert_eq!(dec.decode(&mut dctx), b, "symbol {}", i);
+        }
+        prop_assert_eq!(dctx, ectx, "final adaptive context agrees");
+    }
+
+    #[test]
+    fn super_ops_agree_with_reference_step(
+        value in 0u16..512,
+        range_raw in 0u16..255,
+        state in 0u8..64,
+        mps in any::<bool>(),
+        stream in any::<u32>(),
+        pos in 0u32..8,
+    ) {
+        // Keep the decoder invariants: range in [256, 511], value < range.
+        let range = 256 + range_raw;
+        prop_assume!(value < range);
+        let s = CabacState { value, range, state, mps };
+        let step = cabac_decode_step(s, stream, pos);
+
+        // Execute the two-slot operations on the same inputs.
+        let r = Reg::new;
+        let mut rf = RegFile::new();
+        rf.write(r(2), (u32::from(value) << 16) | u32::from(range));
+        rf.write(r(3), pos);
+        rf.write(r(4), stream);
+        rf.write(r(5), (u32::from(state) << 16) | u32::from(mps));
+        let mut mem = FlatMemory::new(4096);
+
+        let ctx_op = Op::new(
+            Opcode::SuperCabacCtx,
+            Reg::ONE,
+            &[r(2), r(3), r(4), r(5)],
+            &[r(10), r(11)],
+            0,
+        );
+        let res = execute(&ctx_op, &rf, &mut mem);
+        let vr = res.writes[0].unwrap().1;
+        let sm = res.writes[1].unwrap().1;
+        prop_assert_eq!((vr >> 16) as u16, step.next.value);
+        prop_assert_eq!(vr as u16, step.next.range);
+        prop_assert_eq!((sm >> 16) as u8, step.next.state);
+        prop_assert_eq!(sm & 1 == 1, step.next.mps);
+
+        let str_op = Op::new(
+            Opcode::SuperCabacStr,
+            Reg::ONE,
+            &[r(2), r(3), r(5)],
+            &[r(12), r(13)],
+            0,
+        );
+        let res = execute(&str_op, &rf, &mut mem);
+        prop_assert_eq!(res.writes[0].unwrap().1, step.stream_bit_position);
+        prop_assert_eq!(res.writes[1].unwrap().1 == 1, step.bit);
+    }
+}
+
+#[test]
+fn simulated_decoders_agree_with_reference_on_all_fields() {
+    let cfg = MachineConfig::tm3270();
+    for field in FieldType::all() {
+        for optimized in [false, true] {
+            let kernel = CabacDecode::table3(field, optimized, 1_500);
+            // `run_kernel` verifies the decoded bit checksum and the
+            // final context bank against the reference decoder.
+            run_kernel(&kernel, &cfg).unwrap_or_else(|e| {
+                panic!("{:?} optimized={optimized}: {e}", field);
+            });
+        }
+    }
+}
+
+#[test]
+fn optimized_and_plain_kernels_produce_identical_results() {
+    // Both kernels store the identical rolling bit checksum.
+    let cfg = MachineConfig::tm3270();
+    let bits = 3_000;
+    let a = run_kernel(&CabacDecode::table3(FieldType::P, false, bits), &cfg).unwrap();
+    let b = run_kernel(&CabacDecode::table3(FieldType::P, true, bits), &cfg).unwrap();
+    // Their instruction counts differ (that is Table 3), their decoded
+    // output does not (verified inside run_kernel); sanity-check the
+    // instruction relation here.
+    assert!(a.instrs > b.instrs);
+}
