@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, tests, lints, and the fault-injection
+# campaign smoke run. Mirrors .github/workflows/ci.yml for environments
+# without network access to GitHub runners.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo clippy =="
+cargo clippy -q --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== fault campaign (seed 1, 200 runs) =="
+cargo run --release -q -p tm3270-bench --bin repro_fault_campaign -- --seed 1 --runs 200
+
+echo "CI OK"

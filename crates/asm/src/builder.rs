@@ -143,7 +143,11 @@ impl ProgramBuilder {
     /// Appends an operation to the current block.
     pub fn op(&mut self, op: Op) -> &mut Self {
         let stream = self.stream;
-        self.blocks.last_mut().unwrap().ops.push(TaggedOp { op, stream });
+        self.blocks
+            .last_mut()
+            .unwrap()
+            .ops
+            .push(TaggedOp { op, stream });
         self
     }
 
@@ -156,14 +160,10 @@ impl ProgramBuilder {
 
     /// Appends `op` tagged with an explicit memory stream.
     pub fn op_in_stream(&mut self, op: Op, stream: u32) -> &mut Self {
-        self.blocks
-            .last_mut()
-            .unwrap()
-            .ops
-            .push(TaggedOp {
-                op,
-                stream: Some(stream),
-            });
+        self.blocks.last_mut().unwrap().ops.push(TaggedOp {
+            op,
+            stream: Some(stream),
+        });
         self
     }
 
@@ -250,8 +250,7 @@ impl ProgramBuilder {
                             || src.is_some_and(|r| top.op.dests().contains(&r));
                         if feeds_branch {
                             let lat = self.model.latency(top.op.opcode) as usize;
-                            guard_ready =
-                                guard_ready.max(body.issue_cycles[j] as usize + lat);
+                            guard_ready = guard_ready.max(body.issue_cycles[j] as usize + lat);
                         }
                     }
                     // Every body operation must issue inside the branch

@@ -131,7 +131,10 @@ mod tests {
         assert!(listing.contains("iaddi"), "{listing}");
         assert!(listing.contains("jmpt"), "{listing}");
         assert!(listing.contains("super_ld32r"), "{listing}");
-        assert!(listing.contains("L1:") || listing.contains("L2:"), "{listing}");
+        assert!(
+            listing.contains("L1:") || listing.contains("L2:"),
+            "{listing}"
+        );
         assert!(listing.contains("bytes/instr"), "{listing}");
     }
 

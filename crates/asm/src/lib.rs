@@ -98,7 +98,8 @@ mod const_tests {
             let mut rf = RegFile::new();
             let mut mem = FlatMemory::new(4096);
             for op in const32(dst, v) {
-                let res = execute(&op, &rf, &mut mem);
+                let res =
+                    execute(&op, &rf, &mut mem).expect("in-bounds access on a permissive memory");
                 for (r, val) in res.write_iter() {
                     rf.write(r, val);
                 }

@@ -105,9 +105,7 @@ fn may_alias(a: &TaggedOp, b: &TaggedOp) -> bool {
         Some((op.srcs[0], lo, lo + i64::from(mem_footprint(op))))
     };
     match (base(a), base(b)) {
-        (Some((ra, lo_a, hi_a)), Some((rb, lo_b, hi_b))) if ra == rb => {
-            lo_a < hi_b && lo_b < hi_a
-        }
+        (Some((ra, lo_a, hi_a)), Some((rb, lo_b, hi_b))) if ra == rb => lo_a < hi_b && lo_b < hi_a,
         _ => true,
     }
 }
@@ -277,9 +275,7 @@ pub fn schedule_block(
                     let wb_ok = match n_dsts {
                         0 => true,
                         1 => !wb.contains_key(&(c + lat, s)),
-                        _ => {
-                            !wb.contains_key(&(c + lat, s)) && !wb.contains_key(&(c + lat, s + 1))
-                        }
+                        _ => !wb.contains_key(&(c + lat, s)) && !wb.contains_key(&(c + lat, s + 1)),
                     };
                     if !wb_ok {
                         continue;

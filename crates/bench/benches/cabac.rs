@@ -1,27 +1,18 @@
-//! Criterion micro-benchmarks of the CABAC substrate.
+//! Micro-benchmarks of the CABAC substrate.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tm3270_bench::timing::bench;
 use tm3270_cabac::{generate_field, Context, ContextBank, Decoder, FieldType};
 
-fn bench_cabac(c: &mut Criterion) {
+fn main() {
     let field = generate_field(FieldType::I, 50_000, 16, 1);
-    let mut g = c.benchmark_group("cabac");
-    g.throughput(Throughput::Elements(field.symbols.len() as u64));
-    g.bench_function("reference_decode", |b| {
-        b.iter(|| {
-            let bank = ContextBank::new(field.n_contexts);
-            let mut contexts: Vec<Context> =
-                (0..field.n_contexts).map(|i| bank.get(i)).collect();
-            let mut dec = Decoder::new(&field.bytes);
-            let mut ones = 0u64;
-            for &(ctx, _) in &field.symbols {
-                ones += u64::from(dec.decode(&mut contexts[ctx as usize]));
-            }
-            ones
-        })
+    bench("cabac/reference_decode", field.symbols.len() as u64, || {
+        let bank = ContextBank::new(field.n_contexts);
+        let mut contexts: Vec<Context> = (0..field.n_contexts).map(|i| bank.get(i)).collect();
+        let mut dec = Decoder::new(&field.bytes);
+        let mut ones = 0u64;
+        for &(ctx, _) in &field.symbols {
+            ones += u64::from(dec.decode(&mut contexts[ctx as usize]));
+        }
+        ones
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_cabac);
-criterion_main!(benches);

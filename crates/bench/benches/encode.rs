@@ -1,25 +1,26 @@
-//! Criterion micro-benchmarks of the VLIW instruction compression
-//! (encode/decode throughput on a real kernel program).
+//! Micro-benchmarks of the VLIW instruction compression (encode/decode
+//! throughput on a real kernel program).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tm3270_bench::timing::bench;
 use tm3270_encode::{decode_program, encode_program};
 use tm3270_isa::IssueModel;
 use tm3270_kernels::memops::Memcpy;
 use tm3270_kernels::Kernel;
 
-fn bench_encode(c: &mut Criterion) {
+fn main() {
     let program = Memcpy::table5().build(&IssueModel::tm3270()).unwrap();
     let image = encode_program(&program).unwrap();
-    let mut g = c.benchmark_group("encode");
-    g.throughput(Throughput::Elements(program.instrs.len() as u64));
-    g.bench_function("encode_program", |b| {
-        b.iter(|| encode_program(std::hint::black_box(&program)).unwrap())
+    let instrs = program.instrs.len() as u64;
+    bench("encode/encode_program", instrs, || {
+        encode_program(std::hint::black_box(&program))
+            .unwrap()
+            .bytes
+            .len()
     });
-    g.bench_function("decode_program", |b| {
-        b.iter(|| decode_program(std::hint::black_box(&image)).unwrap())
+    bench("encode/decode_program", instrs, || {
+        decode_program(std::hint::black_box(&image))
+            .unwrap()
+            .instrs
+            .len()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_encode);
-criterion_main!(benches);

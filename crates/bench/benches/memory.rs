@@ -1,13 +1,11 @@
-//! Criterion micro-benchmarks of the memory hierarchy model.
+//! Micro-benchmarks of the memory hierarchy model.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tm3270_bench::timing::bench;
 use tm3270_isa::DataMemory;
 use tm3270_mem::{MemConfig, MemorySystem, Region};
 
-fn bench_memory(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memory");
-    g.throughput(Throughput::Elements(4096));
-    g.bench_function("dcache_hit_loads", |b| {
+fn main() {
+    {
         let mut cfg = MemConfig::tm3270();
         cfg.mem_size = 1 << 20;
         let mut m = MemorySystem::new(cfg);
@@ -17,39 +15,33 @@ fn bench_memory(c: &mut Criterion) {
         for i in 0..4096u32 {
             m.load_bytes(i * 4, &mut buf);
         }
-        b.iter(|| {
+        bench("memory/dcache_hit_loads", 4096, || {
             m.begin_instr(1_000_000);
             for i in 0..4096u32 {
                 m.load_bytes(std::hint::black_box(i * 4), &mut buf);
             }
             m.take_stall()
-        })
+        });
+    }
+    bench("memory/streaming_misses_with_prefetch", 4096, || {
+        let mut cfg = MemConfig::tm3270();
+        cfg.mem_size = 1 << 21;
+        let mut m = MemorySystem::new(cfg);
+        m.set_prefetch_region(
+            0,
+            Region {
+                start: 0,
+                end: 1 << 20,
+                stride: 128,
+            },
+        );
+        let mut buf = [0u8; 4];
+        let mut cycle = 0u64;
+        for i in 0..4096u32 {
+            m.begin_instr(cycle);
+            m.load_bytes(i * 128, &mut buf);
+            cycle += 20 + m.take_stall();
+        }
+        cycle
     });
-    g.bench_function("streaming_misses_with_prefetch", |b| {
-        b.iter(|| {
-            let mut cfg = MemConfig::tm3270();
-            cfg.mem_size = 1 << 21;
-            let mut m = MemorySystem::new(cfg);
-            m.set_prefetch_region(
-                0,
-                Region {
-                    start: 0,
-                    end: 1 << 20,
-                    stride: 128,
-                },
-            );
-            let mut buf = [0u8; 4];
-            let mut cycle = 0u64;
-            for i in 0..4096u32 {
-                m.begin_instr(cycle);
-                m.load_bytes(i * 128, &mut buf);
-                cycle += 20 + m.take_stall();
-            }
-            cycle
-        })
-    });
-    g.finish();
 }
-
-criterion_group!(benches, bench_memory);
-criterion_main!(benches);

@@ -1,23 +1,25 @@
-//! Criterion micro-benchmarks of the pipeline simulator itself
-//! (simulated instructions per second of host time).
+//! Micro-benchmarks of the pipeline simulator itself (simulated
+//! instructions per second of host time).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tm3270_bench::timing::bench;
 use tm3270_core::{Machine, MachineConfig};
 use tm3270_kernels::memops::Memcpy;
 use tm3270_kernels::pixels::Rgb2Yuv;
 use tm3270_kernels::Kernel;
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
+fn main() {
     for (name, kernel) in [
         (
-            "memcpy_4k",
+            "simulator/memcpy_4k",
             Box::new(Memcpy {
                 size: 4096,
                 seed: 1,
             }) as Box<dyn Kernel>,
         ),
-        ("rgb2yuv_1k", Box::new(Rgb2Yuv::with_pixels(1024, 2))),
+        (
+            "simulator/rgb2yuv_1k",
+            Box::new(Rgb2Yuv::with_pixels(1024, 2)),
+        ),
     ] {
         let config = MachineConfig::tm3270();
         let program = kernel.build(&config.issue).unwrap();
@@ -25,17 +27,10 @@ fn bench_simulator(c: &mut Criterion) {
         let mut probe = Machine::new(config.clone(), program.clone()).unwrap();
         kernel.setup(&mut probe);
         let instrs = probe.run(1_000_000_000).unwrap().instrs;
-        g.throughput(Throughput::Elements(instrs));
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut m = Machine::new(config.clone(), program.clone()).unwrap();
-                kernel.setup(&mut m);
-                m.run(1_000_000_000).unwrap()
-            })
+        bench(name, instrs, || {
+            let mut m = Machine::new(config.clone(), program.clone()).unwrap();
+            kernel.setup(&mut m);
+            m.run(1_000_000_000).unwrap().cycles
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);

@@ -26,12 +26,21 @@ pub fn table1() -> String {
     let i = d.issue;
     let mut s = String::from("Table 1. TM3270 Architecture\n");
     let rows = [
-        ("Architecture".to_string(), "5 issue slot VLIW, guarded RISC-like operations".to_string()),
+        (
+            "Architecture".to_string(),
+            "5 issue slot VLIW, guarded RISC-like operations".to_string(),
+        ),
         ("Pipeline depth".into(), "7-12 stages".into()),
         ("Address width".into(), "32 bits".into()),
         ("Data width".into(), "32 bits".into()),
-        ("Register-file".into(), "Unified, 128 32-bit registers".into()),
-        ("SIMD capabilities".into(), "1 x 32-bit, 2 x 16-bit, 4 x 8-bit".into()),
+        (
+            "Register-file".into(),
+            "Unified, 128 32-bit registers".into(),
+        ),
+        (
+            "SIMD capabilities".into(),
+            "1 x 32-bit, 2 x 16-bit, 4 x 8-bit".into(),
+        ),
         ("Jump delay slots".into(), format!("{}", i.jump_delay_slots)),
         ("Load latency".into(), format!("{} cycles", i.load_latency)),
         (
@@ -64,9 +73,7 @@ pub fn table6() -> String {
     let a = MachineConfig::tm3260();
     let d = MachineConfig::tm3270();
     let mut s = String::from("Table 6. TM3260 and TM3270 characteristics\n");
-    let row = |name: &str, fa: String, fd: String| {
-        format!("  {name:<22} {fa:<32} {fd}\n")
-    };
+    let row = |name: &str, fa: String, fd: String| format!("  {name:<22} {fa:<32} {fd}\n");
     s.push_str(&row("Feature", "TM3260".into(), "TM3270".into()));
     s.push_str(&row(
         "Operating frequency",
@@ -75,8 +82,16 @@ pub fn table6() -> String {
     ));
     s.push_str(&row(
         "Instruction cache",
-        format!("{} KB, {}-B lines", a.mem.icache.size / 1024, a.mem.icache.line),
-        format!("{} KB, {}-B lines", d.mem.icache.size / 1024, d.mem.icache.line),
+        format!(
+            "{} KB, {}-B lines",
+            a.mem.icache.size / 1024,
+            a.mem.icache.line
+        ),
+        format!(
+            "{} KB, {}-B lines",
+            d.mem.icache.size / 1024,
+            d.mem.icache.line
+        ),
     ));
     s.push_str(&row(
         "Jump delay slots",
@@ -129,7 +144,8 @@ pub fn figure1() -> String {
     let mut full = Instr::nop();
     for slot in 0..5 {
         full.place(
-            Op::rrr(Opcode::Iadd, Reg::new(100), Reg::new(64), Reg::new(65)).with_guard(Reg::new(9)),
+            Op::rrr(Opcode::Iadd, Reg::new(100), Reg::new(64), Reg::new(65))
+                .with_guard(Reg::new(9)),
             slot,
         );
     }
@@ -147,8 +163,14 @@ pub fn figure1() -> String {
 
     // Paper's Figure 1 example: three operations in slots 2, 3 and 5.
     let mut ex = Instr::nop();
-    ex.place(Op::rrr(Opcode::Iadd, Reg::new(4), Reg::new(2), Reg::new(3)), 1);
-    ex.place(Op::rrr(Opcode::Quadavg, Reg::new(5), Reg::new(2), Reg::new(3)), 2);
+    ex.place(
+        Op::rrr(Opcode::Iadd, Reg::new(4), Reg::new(2), Reg::new(3)),
+        1,
+    );
+    ex.place(
+        Op::rrr(Opcode::Quadavg, Reg::new(5), Reg::new(2), Reg::new(3)),
+        2,
+    );
     ex.place(Op::rri(Opcode::Ld32d, Reg::new(6), Reg::new(2), 0), 4);
     let mut p2 = Program::new();
     p2.instrs.push(Instr::nop());
@@ -200,7 +222,7 @@ pub fn table2_demo() -> String {
         &[r(10), r(11)],
         0,
     );
-    let res = execute(&mix, &rf, &mut mem);
+    let res = execute(&mix, &rf, &mut mem).expect("in-bounds access on a permissive memory");
     s.push_str(&format!(
         "  super_dualimix (100,7)x(200,9)+(300,11)x(400,13) -> hi {} lo {}\n",
         res.writes[0].unwrap().1 as i32,
@@ -218,7 +240,7 @@ pub fn table2_demo() -> String {
         &[r(10), r(11)],
         0,
     );
-    let res = execute(&ld2, &rf, &mut mem);
+    let res = execute(&ld2, &rf, &mut mem).expect("in-bounds access on a permissive memory");
     s.push_str(&format!(
         "  super_ld32r   Mem[0x100..8] = 01..08 -> {:#010x} {:#010x}\n",
         res.writes[0].unwrap().1,
@@ -230,7 +252,7 @@ pub fn table2_demo() -> String {
     rf.write(r(2), 0x200);
     rf.write(r(3), 8); // halfway
     let frac = Op::rrr(Opcode::LdFrac8, r(10), r(2), r(3));
-    let res = execute(&frac, &rf, &mut mem);
+    let res = execute(&frac, &rf, &mut mem).expect("in-bounds access on a permissive memory");
     s.push_str(&format!(
         "  ld_frac8      Mem[0x200..5] = 16,32,48,64,80 frac 8/16 -> {:#010x}\n",
         res.writes[0].unwrap().1
@@ -248,7 +270,7 @@ pub fn table2_demo() -> String {
         &[r(10), r(11)],
         0,
     );
-    let res = execute(&cstr, &rf, &mut mem);
+    let res = execute(&cstr, &rf, &mut mem).expect("in-bounds access on a permissive memory");
     s.push_str(&format!(
         "  super_cabac_str  (value 120, range 400, state 17) -> bit_pos {} bit {}\n",
         res.writes[0].unwrap().1,
@@ -261,7 +283,7 @@ pub fn table2_demo() -> String {
         &[r(10), r(11)],
         0,
     );
-    let res = execute(&cctx, &rf, &mut mem);
+    let res = execute(&cctx, &rf, &mut mem).expect("in-bounds access on a permissive memory");
     let vr = res.writes[0].unwrap().1;
     let sm = res.writes[1].unwrap().1;
     s.push_str(&format!(
@@ -335,11 +357,18 @@ pub fn table3_report(rows: &[Table3Row]) -> String {
     for row in rows {
         s.push_str(&format!(
             "  {:<5} {:>11} {:>14} {:>10.1} {:>10} {:>10.1} {:>8.2}\n",
-            row.field, row.bits, row.base_instrs, row.base_ipb, row.opt_instrs, row.opt_ipb,
+            row.field,
+            row.bits,
+            row.base_instrs,
+            row.base_ipb,
+            row.opt_instrs,
+            row.opt_ipb,
             row.speedup
         ));
     }
-    s.push_str("  (paper speedups: I 1.7, P 1.6, B 1.5; instr/bit 21.1/28.0/33.8 -> 12.5/17.4/22.3)\n");
+    s.push_str(
+        "  (paper speedups: I 1.7, P 1.6, B 1.5; instr/bit 21.1/28.0/33.8 -> 12.5/17.4/22.3)\n",
+    );
     s
 }
 
@@ -479,8 +508,8 @@ pub fn power_survey() -> String {
         model.total_mw_per_mhz(&mp3, 1.2)
     ));
     for kernel in evaluation_kernels() {
-        let stats = run_kernel(kernel.as_ref(), &cfg)
-            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+        let stats =
+            run_kernel(kernel.as_ref(), &cfg).unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
         s.push_str(&format!(
             "  {:<14} {:>4.2} {:>6.2} {:>8.3}
 ",
@@ -490,8 +519,10 @@ pub fn power_survey() -> String {
             model.total_mw_per_mhz(&stats, 1.2)
         ));
     }
-    s.push_str("  (higher OPI/lower CPI -> higher mW/MHz; stalled cycles are clock-gated)
-");
+    s.push_str(
+        "  (higher OPI/lower CPI -> higher mW/MHz; stalled cycles are clock-gated)
+",
+    );
     s
 }
 
@@ -536,8 +567,10 @@ pub fn upconversion_experiment() -> String {
     use tm3270_kernels::upconv::Upconv;
     use tm3270_kernels::Kernel as _;
     let cfg = MachineConfig::tm3270();
-    let mut s = String::from("§6 / [14]: temporal up-conversion (720x240 field)
-");
+    let mut s = String::from(
+        "§6 / [14]: temporal up-conversion (720x240 field)
+",
+    );
     let mut cycles = std::collections::HashMap::new();
     for optimized in [false, true] {
         for prefetch in [false, true] {
@@ -576,8 +609,7 @@ pub fn motion_est_experiment() -> String {
     let cfg = MachineConfig::tm3270();
     let base = run_kernel(&MotionEst::evaluation(false), &cfg).expect("verifies");
     let opt = run_kernel(&MotionEst::evaluation(true), &cfg).expect("verifies");
-    let mut s =
-        String::from("§6 / [12]: motion estimation with LD_FRAC8 collapsed loads\n");
+    let mut s = String::from("§6 / [12]: motion estimation with LD_FRAC8 collapsed loads\n");
     s.push_str(&format!(
         "  software interpolation: {:>9} cycles, {:>8} instrs, OPI {:.2}\n",
         base.cycles,

@@ -19,7 +19,8 @@
 //!
 //! Each driver returns plain data plus a formatted report; the
 //! `repro_*` binaries print the reports, and `cargo bench` runs them all
-//! (plus Criterion micro-benchmarks of the simulator substrate).
+//! (plus wall-clock micro-benchmarks of the simulator substrate — see
+//! [`timing`]).
 
 #![warn(missing_docs)]
 
@@ -28,6 +29,7 @@ use tm3270_kernels::{evaluation_kernels, run_kernel, Kernel};
 
 pub mod ablations;
 pub mod experiments;
+pub mod timing;
 
 pub use ablations::*;
 pub use experiments::*;

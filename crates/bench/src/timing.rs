@@ -1,0 +1,60 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds without a crate registry, so the `cargo bench`
+//! targets use this dependency-free helper instead of Criterion: each
+//! benchmark runs a short calibration pass, then a fixed number of timed
+//! iterations, and reports mean time per iteration plus throughput.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for the measured phase of one benchmark.
+const TARGET: Duration = Duration::from_millis(250);
+
+/// Times `f` and prints a `name: mean/iter (throughput)` line.
+///
+/// `elements` is the number of logical items one call of `f` processes
+/// (instructions, symbols, accesses); it scales the reported throughput.
+/// The closure's return value is accumulated into a sink so the computation
+/// cannot be optimised away.
+pub fn bench<T: Sink>(name: &str, elements: u64, mut f: impl FnMut() -> T) {
+    // Calibration: find an iteration count filling roughly TARGET.
+    let mut sink = 0u64;
+    let start = Instant::now();
+    sink = sink.wrapping_add(f().sink());
+    let once = start.elapsed().max(Duration::from_nanos(50));
+    let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(std::hint::black_box(f()).sink());
+    }
+    let total = start.elapsed();
+    let per_iter = total / iters;
+    let throughput = if per_iter.as_nanos() > 0 {
+        elements as f64 * 1e9 / per_iter.as_nanos() as f64
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "{name:<40} {per_iter:>12.2?}/iter   {throughput:>14.0} elem/s   ({iters} iters, sink {:x})",
+        sink & 0xffff
+    );
+}
+
+/// Values a benchmark closure may return into the anti-DCE sink.
+pub trait Sink {
+    /// Folds the value into a `u64` the harness accumulates.
+    fn sink(&self) -> u64;
+}
+
+impl Sink for u64 {
+    fn sink(&self) -> u64 {
+        *self
+    }
+}
+
+impl Sink for usize {
+    fn sink(&self) -> u64 {
+        *self as u64
+    }
+}

@@ -3,8 +3,7 @@
 
 /// One adaptive binary context: a 6-bit probability state and the
 /// most-probable-symbol bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Context {
     /// Probability state (`0..64`).
     pub state: u8,
@@ -38,7 +37,6 @@ impl Context {
         }
     }
 }
-
 
 /// A bank of contexts, as kept by a real syntax-element decoder.
 #[derive(Debug, Clone)]

@@ -45,4 +45,5 @@ mod pipeline;
 mod report;
 
 pub use config::MachineConfig;
-pub use pipeline::{Machine, RunStats, SimError, TraceRecord};
+pub use pipeline::{Machine, RunStats, SimError, TraceRecord, DEFAULT_WATCHDOG_CYCLES, TRACE_RING};
+pub use report::CrashReport;

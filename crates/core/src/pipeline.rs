@@ -10,15 +10,81 @@
 //! (stages X1–X6, §4), the prefetch unit and the DRAM channel.
 
 use crate::config::MachineConfig;
-use tm3270_encode::{encode_program, EncodedProgram};
-use tm3270_isa::{execute, DataMemory, Program, Reg, RegFile};
+use std::collections::VecDeque;
+use tm3270_encode::{decode_program_detailed, encode_program, DecodeFault, EncodedProgram};
+use tm3270_isa::{execute, DataMemory, ExecError, Program, Reg, RegFile};
 use tm3270_mem::{FullStats, MemorySystem, Region};
 
+/// Number of recent [`TraceRecord`]s the machine retains for crash
+/// reports (the ring buffer of [`Machine::recent_trace`]).
+pub const TRACE_RING: usize = 16;
+
+/// Default livelock watchdog: a run aborts with [`SimError::NoProgress`]
+/// after this many cycles without a single executed (guard-true)
+/// non-jump operation — pure control flow does not count as progress.
+/// Generous enough that delay-slot nop padding and worst-case memory
+/// stalls never trip it on real kernels.
+pub const DEFAULT_WATCHDOG_CYCLES: u64 = 1_000_000;
+
 /// Errors from constructing or running a simulation.
-#[derive(Debug)]
+///
+/// Every abnormal outcome of the decode → execute → memory path is a
+/// variant here: the simulator never panics on program input, however
+/// corrupted — it degrades into one of these, from which
+/// [`Machine::crash_report`] can render a post-mortem.
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// The program could not be encoded (assembler/encoder bug).
     Encode(tm3270_encode::EncodeError),
+    /// The binary image could not be decoded back into a program
+    /// (corrupted image).
+    Decode {
+        /// VLIW instruction index at which decoding failed.
+        pc: usize,
+        /// The underlying decode error.
+        cause: tm3270_encode::EncodeError,
+    },
+    /// The image names an opcode that does not exist.
+    InvalidOpcode {
+        /// VLIW instruction index of the bad field.
+        pc: usize,
+        /// The opcode field as read from the image.
+        code: u16,
+    },
+    /// The image names a register outside the 128-entry register file.
+    RegisterOutOfRange {
+        /// VLIW instruction index of the bad field.
+        pc: usize,
+        /// The register index as read from the image.
+        index: u8,
+    },
+    /// A memory access violated a strict memory's alignment policy.
+    MisalignedAccess {
+        /// VLIW instruction index of the access.
+        pc: usize,
+        /// Effective byte address.
+        addr: u32,
+        /// Access width in bytes.
+        size: u32,
+    },
+    /// A memory access fell outside a strict memory's bounds.
+    OutOfBoundsAccess {
+        /// VLIW instruction index of the access.
+        pc: usize,
+        /// Effective byte address.
+        addr: u32,
+        /// Access width in bytes.
+        size: u32,
+    },
+    /// The livelock watchdog fired: no state-changing (non-jump)
+    /// operation executed for too long — e.g. a jump-only loop in a
+    /// corrupted program that will spin forever without computing.
+    NoProgress {
+        /// VLIW instruction index where the watchdog fired.
+        pc: usize,
+        /// Cycles elapsed since the last executed non-jump operation.
+        cycles: u64,
+    },
     /// The cycle budget was exhausted before the program halted.
     CycleLimit {
         /// The exhausted budget.
@@ -32,10 +98,54 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// A short stable name for the variant (campaign tallies, reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::Encode(_) => "Encode",
+            SimError::Decode { .. } => "Decode",
+            SimError::InvalidOpcode { .. } => "InvalidOpcode",
+            SimError::RegisterOutOfRange { .. } => "RegisterOutOfRange",
+            SimError::MisalignedAccess { .. } => "MisalignedAccess",
+            SimError::OutOfBoundsAccess { .. } => "OutOfBoundsAccess",
+            SimError::NoProgress { .. } => "NoProgress",
+            SimError::CycleLimit { .. } => "CycleLimit",
+            SimError::BranchInDelaySlot { .. } => "BranchInDelaySlot",
+        }
+    }
+}
+
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Encode(e) => write!(f, "program encoding failed: {e}"),
+            SimError::Decode { pc, cause } => {
+                write!(f, "image undecodable at instruction {pc}: {cause}")
+            }
+            SimError::InvalidOpcode { pc, code } => {
+                write!(f, "invalid opcode {code:#04x} at instruction {pc}")
+            }
+            SimError::RegisterOutOfRange { pc, index } => {
+                write!(f, "register index {index} out of range at instruction {pc}")
+            }
+            SimError::MisalignedAccess { pc, addr, size } => {
+                write!(
+                    f,
+                    "misaligned {size}-byte access at {addr:#010x} (instruction {pc})"
+                )
+            }
+            SimError::OutOfBoundsAccess { pc, addr, size } => {
+                write!(
+                    f,
+                    "out-of-bounds {size}-byte access at {addr:#010x} (instruction {pc})"
+                )
+            }
+            SimError::NoProgress { pc, cycles } => {
+                write!(
+                    f,
+                    "watchdog: no operation executed for {cycles} cycles (pc {pc})"
+                )
+            }
             SimError::CycleLimit { limit } => {
                 write!(f, "cycle limit of {limit} exhausted (runaway program?)")
             }
@@ -51,6 +161,20 @@ impl std::error::Error for SimError {}
 impl From<tm3270_encode::EncodeError> for SimError {
     fn from(e: tm3270_encode::EncodeError) -> SimError {
         SimError::Encode(e)
+    }
+}
+
+impl From<DecodeFault> for SimError {
+    fn from(f: DecodeFault) -> SimError {
+        match f.cause {
+            tm3270_encode::EncodeError::InvalidOpcode { code } => {
+                SimError::InvalidOpcode { pc: f.instr, code }
+            }
+            tm3270_encode::EncodeError::RegisterOutOfRange { index } => {
+                SimError::RegisterOutOfRange { pc: f.instr, index }
+            }
+            cause => SimError::Decode { pc: f.instr, cause },
+        }
     }
 }
 
@@ -138,6 +262,20 @@ pub struct Machine {
     ibuf: [u32; 4],
     ibuf_next: usize,
     stats: RunStats,
+    /// Livelock watchdog limit in cycles (see
+    /// [`DEFAULT_WATCHDOG_CYCLES`]); configurable via
+    /// [`set_watchdog`](Machine::set_watchdog).
+    watchdog_cycles: u64,
+    /// Cycle at which the last guard-true operation executed.
+    last_progress_cycle: u64,
+    /// Ring buffer of the last [`TRACE_RING`] trace records, always
+    /// maintained (cheap) so crash reports can show recent history.
+    trace_ring: VecDeque<TraceRecord>,
+    /// Whether the program came from the scheduler ([`Machine::new`]) and
+    /// scheduler invariants (≤5 register writebacks per cycle) may be
+    /// asserted, or from an arbitrary decoded image
+    /// ([`Machine::from_image`]) where they may legitimately not hold.
+    trusted_schedule: bool,
 }
 
 impl Machine {
@@ -149,9 +287,33 @@ impl Machine {
     /// its binary image (the image drives instruction-cache behaviour).
     pub fn new(config: MachineConfig, program: Program) -> Result<Machine, SimError> {
         let image = encode_program(&program)?;
+        Ok(Machine::assemble(config, program, image, true))
+    }
+
+    /// Creates a machine by *decoding* a binary image — the load path of
+    /// the fault-injection harness. Unlike [`Machine::new`], the program
+    /// that runs is whatever the (possibly corrupted) image decodes to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Decode`], [`SimError::InvalidOpcode`] or
+    /// [`SimError::RegisterOutOfRange`] — with the failing instruction
+    /// index — if the image cannot be decoded. Never panics, whatever
+    /// the image contents.
+    pub fn from_image(config: MachineConfig, image: EncodedProgram) -> Result<Machine, SimError> {
+        let program = decode_program_detailed(&image)?;
+        Ok(Machine::assemble(config, program, image, false))
+    }
+
+    fn assemble(
+        config: MachineConfig,
+        program: Program,
+        image: EncodedProgram,
+        trusted_schedule: bool,
+    ) -> Machine {
         let mem = MemorySystem::new(config.mem.clone());
         let freq = config.freq_mhz();
-        Ok(Machine {
+        Machine {
             config,
             program,
             image,
@@ -181,7 +343,11 @@ impl Machine {
                     dram: Default::default(),
                 },
             },
-        })
+            watchdog_cycles: DEFAULT_WATCHDOG_CYCLES,
+            last_progress_cycle: 0,
+            trace_ring: VecDeque::with_capacity(TRACE_RING),
+            trusted_schedule,
+        }
     }
 
     /// The machine configuration.
@@ -231,6 +397,49 @@ impl Machine {
         &self.mem
     }
 
+    /// The program this machine executes (decoded form).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Current program counter (VLIW instruction index).
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Sets the livelock watchdog: the run aborts with
+    /// [`SimError::NoProgress`] after `cycles` cycles without a single
+    /// executed non-jump operation. Defaults to
+    /// [`DEFAULT_WATCHDOG_CYCLES`].
+    pub fn set_watchdog(&mut self, cycles: u64) {
+        self.watchdog_cycles = cycles.max(1);
+    }
+
+    /// The last up-to-[`TRACE_RING`] trace records, oldest first.
+    /// Maintained on every step regardless of tracing mode.
+    pub fn recent_trace(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.trace_ring.iter()
+    }
+
+    /// An order-sensitive FNV-1a digest of the 128 architectural
+    /// registers — a compact regfile fingerprint for crash reports and
+    /// divergence checks.
+    pub fn reg_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for i in 0..128u8 {
+            for b in self.regs.read(Reg::new(i)).to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+
     fn commit_writes(&mut self, upto: u64) {
         if self.pending_writes.is_empty() {
             return;
@@ -248,9 +457,15 @@ impl Machine {
         }
         let _ = landed;
         // Up to five simultaneous register-file updates per cycle (stage W,
-        // paper §3). The scheduler guarantees this; assert in debug builds.
+        // paper §3). The scheduler guarantees this for `Machine::new`
+        // programs; assert it there (in debug builds) as a scheduler-bug
+        // tripwire. Programs decoded from arbitrary images
+        // (`Machine::from_image`, the fault-injection path) can violate
+        // the write-port budget — on silicon that is an undefined
+        // hardware conflict; the functional model simply applies all
+        // writes deterministically rather than panicking.
         debug_assert!(
-            per_cycle.values().all(|&n| n <= 5),
+            !self.trusted_schedule || per_cycle.values().all(|&n| n <= 5),
             "more than five register-file writes in one cycle"
         );
     }
@@ -313,12 +528,28 @@ impl Machine {
         let instr = self.program.instrs[pc].clone();
         let mut branch_target: Option<usize> = None;
         let mut exec_here = 0u8;
+        let mut progress_here = 0u8;
         for (_slot, op) in instr.ops() {
             self.stats.ops += 1;
-            let res = execute(op, &self.regs, &mut self.mem);
+            let res = execute(op, &self.regs, &mut self.mem).map_err(|e| match e {
+                ExecError::MisalignedAccess { addr, size } => {
+                    SimError::MisalignedAccess { pc, addr, size }
+                }
+                ExecError::OutOfBoundsAccess { addr, size } => {
+                    SimError::OutOfBoundsAccess { pc, addr, size }
+                }
+            })?;
             if res.executed {
                 self.stats.exec_ops += 1;
                 exec_here += 1;
+                // Progress, for the livelock watchdog, means an executed
+                // operation that can touch architectural state. Pure
+                // jumps do not count: a loop executing only jumps (and
+                // empty or guard-false instructions) computes nothing and
+                // never will.
+                if !op.opcode.is_jump() {
+                    progress_here += 1;
+                }
             }
             if op.opcode.is_jump() {
                 self.stats.branches += 1;
@@ -336,6 +567,18 @@ impl Machine {
         self.stats.data_stall_cycles += dstall;
         self.cycle += 1 + dstall;
         self.stats.instrs += 1;
+
+        // Livelock watchdog: a well-formed program keeps executing
+        // operations; a corrupted one can spin through jumps and
+        // empty instructions forever without touching state.
+        if progress_here > 0 {
+            self.last_progress_cycle = self.cycle;
+        } else {
+            let idle = self.cycle - self.last_progress_cycle;
+            if idle >= self.watchdog_cycles {
+                return Err(SimError::NoProgress { pc, cycles: idle });
+            }
+        }
 
         // Control flow: taken branches take effect after the delay slots.
         if let Some(target) = branch_target {
@@ -358,14 +601,19 @@ impl Machine {
                 None => self.pc += 1,
             }
         }
-        Ok(TraceRecord {
+        let record = TraceRecord {
             cycle: issue_cycle,
             pc,
             ops_executed: exec_here,
             ifetch_stall: istall,
             data_stall: dstall,
             branch_taken: branch_target,
-        })
+        };
+        if self.trace_ring.len() == TRACE_RING {
+            self.trace_ring.pop_front();
+        }
+        self.trace_ring.push_back(record);
+        Ok(record)
     }
 
     /// Runs until the program halts or `max_cycles` elapse, invoking
@@ -390,6 +638,31 @@ impl Machine {
         self.stats.cycles = self.cycle;
         self.stats.mem = self.mem.stats();
         Ok(self.stats)
+    }
+
+    /// Takes a post-mortem snapshot for `error`: machine position,
+    /// regfile digest and the recent-trace ring buffer. Render it via
+    /// its `Display` impl (see `core/report.rs`).
+    pub fn crash_report(&self, error: SimError) -> crate::report::CrashReport {
+        crate::report::CrashReport {
+            error,
+            pc: self.pc,
+            cycle: self.cycle,
+            instrs: self.stats.instrs,
+            reg_digest: self.reg_digest(),
+            trace: self.trace_ring.iter().copied().collect(),
+        }
+    }
+
+    /// Runs until the program halts or `max_cycles` elapse, converting
+    /// any [`SimError`] into a full [`CrashReport`](crate::CrashReport)
+    /// snapshot.
+    pub fn run_reported(
+        &mut self,
+        max_cycles: u64,
+    ) -> Result<RunStats, Box<crate::report::CrashReport>> {
+        self.run(max_cycles)
+            .map_err(|e| Box::new(self.crash_report(e)))
     }
 
     /// Runs until the program halts or `max_cycles` elapse.
@@ -661,7 +934,10 @@ mod tests {
                 b.op(Op::rri(Opcode::Ld32d, r(10 + i), r(2), i as i32 * 4));
             }
             let p = b.build().unwrap();
-            Machine::new(config.clone(), p).unwrap().run(100_000).unwrap()
+            Machine::new(config.clone(), p)
+                .unwrap()
+                .run(100_000)
+                .unwrap()
         };
         let wide = {
             let mut b = ProgramBuilder::new(config.issue);
@@ -677,7 +953,10 @@ mod tests {
                 ));
             }
             let p = b.build().unwrap();
-            Machine::new(config.clone(), p).unwrap().run(100_000).unwrap()
+            Machine::new(config.clone(), p)
+                .unwrap()
+                .run(100_000)
+                .unwrap()
         };
         assert!(
             wide.instrs < plain.instrs,
@@ -705,7 +984,10 @@ mod tests {
             assert!(w[1].cycle > w[0].cycle);
         }
         // The taken branches appear in the trace.
-        let takes = records.iter().filter(|rec| rec.branch_taken.is_some()).count();
+        let takes = records
+            .iter()
+            .filter(|rec| rec.branch_taken.is_some())
+            .count();
         assert_eq!(takes as u64, stats.taken_branches);
         // Total executed ops agree.
         let ops: u64 = records.iter().map(|rec| u64::from(rec.ops_executed)).sum();
@@ -758,5 +1040,195 @@ mod tests {
         // The add read r4 before the load's write-back: stale value.
         assert_eq!(m.reg(r(5)), 999, "no interlock: stale value read");
         assert_eq!(m.reg(r(4)), 0x1234, "load eventually landed");
+    }
+
+    #[test]
+    fn no_progress_watchdog_detects_jump_only_loop() {
+        // A loop whose body contains nothing but the back-edge jump:
+        // every iteration takes cycles but computes nothing. CycleLimit
+        // would eventually catch it; the watchdog catches it fast.
+        let mut b = ProgramBuilder::new(IssueModel::tm3270());
+        let top = b.bind_here();
+        b.jump(top);
+        let program = b.build().unwrap();
+        let mut m = Machine::new(MachineConfig::tm3270(), program).unwrap();
+        m.set_watchdog(500);
+        match m.run(1_000_000) {
+            Err(SimError::NoProgress { cycles, .. }) => assert!(cycles >= 500),
+            other => panic!("expected NoProgress, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_ignores_productive_loops() {
+        // The same loop with one arithmetic op per iteration never trips
+        // even a tight watchdog — jumps alone don't count, writes do.
+        let mut b = ProgramBuilder::new(IssueModel::tm3270());
+        b.op(Op::imm(r(2), 400));
+        b.op(Op::imm(r(3), 0));
+        let top = b.bind_here();
+        b.op(Op::rri(Opcode::Iaddi, r(3), r(3), 1));
+        b.op(Op::rri(Opcode::Iaddi, r(2), r(2), -1));
+        b.op(Op::rrr(Opcode::Igtr, r(4), r(2), r(0)));
+        b.jump_if(r(4), top);
+        let program = b.build().unwrap();
+        let mut m = Machine::new(MachineConfig::tm3270(), program).unwrap();
+        m.set_watchdog(100);
+        m.run(10_000_000).unwrap();
+        assert_eq!(m.reg(r(3)), 400);
+    }
+
+    #[test]
+    fn branch_in_delay_slot_is_a_typed_error() {
+        use tm3270_isa::{Instr, Program};
+        let mut p = Program::new();
+        let mut i0 = Instr::nop();
+        i0.place(Op::new(Opcode::Jmpi, Reg::ONE, &[], &[], 3), 1);
+        let mut i1 = Instr::nop();
+        i1.place(Op::new(Opcode::Jmpi, Reg::ONE, &[], &[], 4), 1);
+        p.instrs.push(i0);
+        p.instrs.push(i1);
+        for _ in 0..8 {
+            p.instrs.push(Instr::nop());
+        }
+        p.jump_targets = vec![3, 4];
+        let mut m = Machine::new(MachineConfig::tm3270(), p).unwrap();
+        assert_eq!(m.run(1_000_000), Err(SimError::BranchInDelaySlot { at: 1 }));
+    }
+
+    #[test]
+    fn strict_config_reports_misaligned_access() {
+        let mut config = MachineConfig::tm3270();
+        config.mem.strict_access = true;
+        let mut b = ProgramBuilder::new(config.issue);
+        b.op(Op::rri(Opcode::Ld32d, r(3), r(0), 2));
+        let mut m = Machine::new(config, b.build().unwrap()).unwrap();
+        match m.run(1_000_000) {
+            Err(SimError::MisalignedAccess {
+                addr: 2, size: 4, ..
+            }) => {}
+            other => panic!("expected MisalignedAccess, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_config_reports_out_of_bounds_access() {
+        let mut config = MachineConfig::tm3270();
+        config.mem.strict_access = true;
+        config.mem.mem_size = 1 << 16;
+        let mut b = ProgramBuilder::new(config.issue);
+        b.op(Op::imm(r(2), 1 << 16));
+        b.op(Op::rri(Opcode::Ld32d, r(3), r(2), 0));
+        let mut m = Machine::new(config, b.build().unwrap()).unwrap();
+        match m.run(1_000_000) {
+            Err(SimError::OutOfBoundsAccess { addr, size: 4, .. }) => {
+                assert_eq!(addr, 1 << 16);
+            }
+            other => panic!("expected OutOfBoundsAccess, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn permissive_config_wraps_instead_of_erroring() {
+        // The same out-of-window access under the default (architectural)
+        // configuration: the TM3270 has penalty-free non-aligned access
+        // and our functional window wraps, so the run completes.
+        let mut config = MachineConfig::tm3270();
+        config.mem.mem_size = 1 << 16;
+        let mut b = ProgramBuilder::new(config.issue);
+        b.op(Op::imm(r(2), 1 << 16));
+        b.op(Op::rri(Opcode::Ld32d, r(3), r(2), 1));
+        let mut m = Machine::new(config, b.build().unwrap()).unwrap();
+        m.run(1_000_000).unwrap();
+    }
+
+    #[test]
+    fn decode_fault_mapping_carries_pc() {
+        use tm3270_encode::{DecodeFault, EncodeError};
+        assert_eq!(
+            SimError::from(DecodeFault {
+                instr: 3,
+                cause: EncodeError::InvalidOpcode { code: 999 },
+            }),
+            SimError::InvalidOpcode { pc: 3, code: 999 }
+        );
+        assert_eq!(
+            SimError::from(DecodeFault {
+                instr: 7,
+                cause: EncodeError::RegisterOutOfRange { index: 200 },
+            }),
+            SimError::RegisterOutOfRange { pc: 7, index: 200 }
+        );
+        let other = SimError::from(DecodeFault {
+            instr: 1,
+            cause: EncodeError::Corrupt("offset table length mismatch"),
+        });
+        assert!(matches!(other, SimError::Decode { pc: 1, .. }));
+    }
+
+    #[test]
+    fn truncated_image_yields_typed_decode_error() {
+        let mut b = ProgramBuilder::new(IssueModel::tm3270());
+        for i in 0..12 {
+            b.op(Op::imm(r(2 + (i % 8)), i32::from(i) * 1000));
+        }
+        let program = b.build().unwrap();
+        let mut image = tm3270_encode::encode_program(&program).unwrap();
+        image.offsets.truncate(2);
+        let err = Machine::from_image(MachineConfig::tm3270(), image).unwrap_err();
+        assert_eq!(err.kind(), "Decode");
+    }
+
+    #[test]
+    fn sim_error_kinds_are_distinct_and_displayed() {
+        use tm3270_encode::EncodeError;
+        let all = [
+            SimError::Encode(EncodeError::BadTarget { index: 9 }),
+            SimError::Decode {
+                pc: 0,
+                cause: EncodeError::Corrupt("x"),
+            },
+            SimError::InvalidOpcode { pc: 1, code: 2 },
+            SimError::RegisterOutOfRange { pc: 1, index: 3 },
+            SimError::MisalignedAccess {
+                pc: 1,
+                addr: 2,
+                size: 4,
+            },
+            SimError::OutOfBoundsAccess {
+                pc: 1,
+                addr: 2,
+                size: 4,
+            },
+            SimError::NoProgress { pc: 1, cycles: 2 },
+            SimError::CycleLimit { limit: 3 },
+            SimError::BranchInDelaySlot { at: 4 },
+        ];
+        let kinds: std::collections::HashSet<&str> = all.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), all.len(), "every variant has a unique kind");
+        for e in &all {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn crash_report_snapshots_machine_state() {
+        let mut config = MachineConfig::tm3270();
+        config.mem.strict_access = true;
+        let mut b = ProgramBuilder::new(config.issue);
+        // Data dependencies force the faulting load into a later
+        // instruction, so the trace ring has history when it fires.
+        b.op(Op::imm(r(2), 2));
+        b.op(Op::rri(Opcode::Iaddi, r(4), r(2), 0));
+        b.op(Op::rri(Opcode::Ld32d, r(3), r(4), 0));
+        let mut m = Machine::new(config, b.build().unwrap()).unwrap();
+        let report = m.run_reported(1_000_000).unwrap_err();
+        assert_eq!(report.error.kind(), "MisalignedAccess");
+        assert_eq!(report.reg_digest, m.reg_digest());
+        assert!(!report.trace.is_empty(), "ring buffer captured history");
+        let rendered = report.to_string();
+        for needle in ["crash report", "MisalignedAccess", "pc", "trace"] {
+            assert!(rendered.contains(needle), "missing {needle}: {rendered}");
+        }
     }
 }

@@ -1,7 +1,63 @@
-//! Human-readable run reports.
+//! Human-readable run reports and crash-report rendering.
 
-use crate::pipeline::RunStats;
+use crate::pipeline::{RunStats, SimError, TraceRecord};
 use std::fmt::Write as _;
+
+/// A post-mortem snapshot taken when a run ends in a [`SimError`].
+///
+/// Produced by [`Machine::crash_report`](crate::Machine::crash_report);
+/// its `Display` impl renders the report the fault-injection campaign
+/// prints for failing runs: the typed error, where the machine was, a
+/// digest of the register file and the last few trace records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashReport {
+    /// The error that ended the run.
+    pub error: SimError,
+    /// Program counter at the time of the error.
+    pub pc: usize,
+    /// Cycle count at the time of the error.
+    pub cycle: u64,
+    /// VLIW instructions issued before the error.
+    pub instrs: u64,
+    /// FNV-1a digest of the 128 architectural registers.
+    pub reg_digest: u64,
+    /// The last few executed instructions, oldest first (ring buffer of
+    /// [`TRACE_RING`](crate::pipeline::TRACE_RING) records).
+    pub trace: Vec<TraceRecord>,
+}
+
+impl std::fmt::Display for CrashReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "=== crash report ===")?;
+        writeln!(f, "error : {} ({})", self.error, self.error.kind())?;
+        writeln!(
+            f,
+            "state : pc {}  cycle {}  instrs {}  regfile digest {:#018x}",
+            self.pc, self.cycle, self.instrs, self.reg_digest
+        )?;
+        if self.trace.is_empty() {
+            writeln!(f, "trace : (no instructions executed)")?;
+        } else {
+            writeln!(f, "trace : last {} instructions", self.trace.len())?;
+            for rec in &self.trace {
+                writeln!(
+                    f,
+                    "  cycle {:>8}  pc {:>6}  ops {}  stalls i/d {}/{}{}",
+                    rec.cycle,
+                    rec.pc,
+                    rec.ops_executed,
+                    rec.ifetch_stall,
+                    rec.data_stall,
+                    match rec.branch_taken {
+                        Some(t) => format!("  -> branch to {t}"),
+                        None => String::new(),
+                    }
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
 
 impl RunStats {
     /// Formats a multi-line report of the run: issue statistics, stall

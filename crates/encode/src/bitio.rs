@@ -80,15 +80,22 @@ impl<'a> BitReader<'a> {
 
     /// Reads `width` bits (LSB first).
     ///
+    /// Reads past the end of the buffer yield zero bits (and still
+    /// advance the position), so the reader is total: callers that need
+    /// to treat truncation as an error check [`remaining`](Self::remaining)
+    /// first, as the program decoder does.
+    ///
     /// # Panics
     ///
-    /// Panics if the read runs past the end of the buffer.
+    /// Panics if `width > 32` (a caller bug, not an input property).
     pub fn get(&mut self, width: usize) -> u32 {
         assert!(width <= 32);
         let mut v = 0u32;
         for i in 0..width {
-            let byte = self.bytes[self.pos / 8];
-            let bit = (byte >> (self.pos % 8)) & 1;
+            let bit = match self.bytes.get(self.pos / 8) {
+                Some(byte) => (byte >> (self.pos % 8)) & 1,
+                None => 0,
+            };
             v |= u32::from(bit) << i;
             self.pos += 1;
         }

@@ -234,7 +234,7 @@ fn sext(v: u32, bits: u32) -> i32 {
 }
 
 fn reg_or_err(v: u32) -> Result<Reg, EncodeError> {
-    Reg::try_new(v as u8).ok_or(EncodeError::Corrupt("register index out of range"))
+    Reg::try_new(v as u8).ok_or(EncodeError::RegisterOutOfRange { index: v as u8 })
 }
 
 /// Decodes one operation field of size `code`. Returns the partially
@@ -247,8 +247,8 @@ fn reg_or_err(v: u32) -> Result<Reg, EncodeError> {
 pub fn decode_field(r: &mut BitReader<'_>, code: SlotCode) -> Result<Op, EncodeError> {
     match code {
         SlotCode::S26 => {
-            let opc = Opcode::from_code(r.get(7) as u16)
-                .ok_or(EncodeError::Corrupt("unknown opcode"))?;
+            let code = r.get(7) as u16;
+            let opc = Opcode::from_code(code).ok_or(EncodeError::InvalidOpcode { code })?;
             if opc.is_two_slot() {
                 return Err(EncodeError::Corrupt("two-slot opcode in short format"));
             }
@@ -259,8 +259,8 @@ pub fn decode_field(r: &mut BitReader<'_>, code: SlotCode) -> Result<Op, EncodeE
             build_op(opc, Reg::ONE, a, b, c, 0)
         }
         SlotCode::S34 => {
-            let opc = Opcode::from_code(r.get(7) as u16)
-                .ok_or(EncodeError::Corrupt("unknown opcode"))?;
+            let code = r.get(7) as u16;
+            let opc = Opcode::from_code(code).ok_or(EncodeError::InvalidOpcode { code })?;
             if opc.is_two_slot() {
                 return Err(EncodeError::Corrupt("two-slot opcode in short format"));
             }
@@ -273,8 +273,8 @@ pub fn decode_field(r: &mut BitReader<'_>, code: SlotCode) -> Result<Op, EncodeE
             let tag = r.get(2);
             match tag {
                 0b11 => {
-                    let opc = Opcode::from_code(r.get(7) as u16)
-                        .ok_or(EncodeError::Corrupt("unknown opcode"))?;
+                    let code = r.get(7) as u16;
+                    let opc = Opcode::from_code(code).ok_or(EncodeError::InvalidOpcode { code })?;
                     if opc != Opcode::Iimm {
                         return Err(EncodeError::Corrupt("long-immediate tag on non-iimm"));
                     }
@@ -286,8 +286,8 @@ pub fn decode_field(r: &mut BitReader<'_>, code: SlotCode) -> Result<Op, EncodeE
                     Ok(Op::new(opc, Reg::ONE, &[], &[d], imm))
                 }
                 0b10 => {
-                    let opc = Opcode::from_code(r.get(7) as u16)
-                        .ok_or(EncodeError::Corrupt("unknown opcode"))?;
+                    let code = r.get(7) as u16;
+                    let opc = Opcode::from_code(code).ok_or(EncodeError::InvalidOpcode { code })?;
                     let g = reg_or_err(r.get(7))?;
                     let target = r.get(24) as i32;
                     r.get(2);
@@ -297,8 +297,8 @@ pub fn decode_field(r: &mut BitReader<'_>, code: SlotCode) -> Result<Op, EncodeE
                     Ok(Op::new(opc, g, &[], &[], target))
                 }
                 0b01 => {
-                    let opc = Opcode::from_code(r.get(7) as u16)
-                        .ok_or(EncodeError::Corrupt("unknown opcode"))?;
+                    let code = r.get(7) as u16;
+                    let opc = Opcode::from_code(code).ok_or(EncodeError::InvalidOpcode { code })?;
                     if opc.is_two_slot() {
                         return Err(EncodeError::Corrupt("two-slot opcode in imm format"));
                     }
@@ -309,8 +309,8 @@ pub fn decode_field(r: &mut BitReader<'_>, code: SlotCode) -> Result<Op, EncodeE
                     build_op(opc, g, a, b, b, imm)
                 }
                 _ => {
-                    let opc = Opcode::from_code(r.get(7) as u16)
-                        .ok_or(EncodeError::Corrupt("unknown opcode"))?;
+                    let code = r.get(7) as u16;
+                    let opc = Opcode::from_code(code).ok_or(EncodeError::InvalidOpcode { code })?;
                     let g = reg_or_err(r.get(7))?;
                     let a = reg_or_err(r.get(7))?;
                     let b = reg_or_err(r.get(7))?;
@@ -363,14 +363,7 @@ pub fn decode_continuation(r: &mut BitReader<'_>, anchor: &Op) -> Result<Op, Enc
 /// signature. `a` is the first source; `b` is the second source or the
 /// destination depending on the signature; `c` is the destination for
 /// three-register forms.
-fn build_op(
-    opc: Opcode,
-    guard: Reg,
-    a: Reg,
-    b: Reg,
-    c: Reg,
-    imm: i32,
-) -> Result<Op, EncodeError> {
+fn build_op(opc: Opcode, guard: Reg, a: Reg, b: Reg, c: Reg, imm: i32) -> Result<Op, EncodeError> {
     let sig = opc.signature();
     let srcs: Vec<Reg> = match sig.srcs {
         0 => vec![],

@@ -38,7 +38,9 @@ mod program;
 
 pub use bitio::{BitReader, BitWriter};
 pub use format::{preferred_code, SlotCode};
-pub use program::{decode_program, encode_program, CodeStats, EncodedProgram};
+pub use program::{
+    decode_program, decode_program_detailed, encode_program, CodeStats, DecodeFault, EncodedProgram,
+};
 
 use std::error::Error;
 use std::fmt;
@@ -58,6 +60,18 @@ pub enum EncodeError {
         /// The offending instruction index.
         index: usize,
     },
+    /// An operation field names an opcode that does not exist in the
+    /// instruction set (typically a corrupted image).
+    InvalidOpcode {
+        /// The 7-bit opcode field as read from the image.
+        code: u16,
+    },
+    /// An operation field names a register index outside the 128-entry
+    /// register file (typically a corrupted image).
+    RegisterOutOfRange {
+        /// The register index as read from the image.
+        index: u8,
+    },
     /// The binary image is inconsistent.
     Corrupt(&'static str),
 }
@@ -70,6 +84,15 @@ impl fmt::Display for EncodeError {
             }
             EncodeError::BadTarget { index } => {
                 write!(f, "jump target {index} is outside the program")
+            }
+            EncodeError::InvalidOpcode { code } => {
+                write!(f, "opcode {code:#04x} is not part of the instruction set")
+            }
+            EncodeError::RegisterOutOfRange { index } => {
+                write!(
+                    f,
+                    "register index {index} exceeds the 128-entry register file"
+                )
             }
             EncodeError::Corrupt(what) => write!(f, "corrupt instruction image: {what}"),
         }

@@ -16,8 +16,7 @@
 
 use crate::bitio::{BitReader, BitWriter};
 use crate::format::{
-    decode_continuation, decode_field, encode_continuation, encode_field, preferred_code,
-    SlotCode,
+    decode_continuation, decode_field, encode_continuation, encode_field, preferred_code, SlotCode,
 };
 use crate::EncodeError;
 use tm3270_isa::{Instr, Program, Slot, NUM_SLOTS};
@@ -191,6 +190,31 @@ pub fn encode_program(program: &Program) -> Result<EncodedProgram, EncodeError> 
     })
 }
 
+/// A decode failure located at a specific VLIW instruction.
+///
+/// Produced by [`decode_program_detailed`] so a loader (or the pipeline's
+/// crash reporter) can point at the instruction index where a corrupted
+/// image first became undecodable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeFault {
+    /// Index of the VLIW instruction at which decoding failed.
+    pub instr: usize,
+    /// The underlying decode error.
+    pub cause: EncodeError,
+}
+
+impl std::fmt::Display for DecodeFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "instruction {}: {}", self.instr, self.cause)
+    }
+}
+
+impl std::error::Error for DecodeFault {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.cause)
+    }
+}
+
 /// Decodes a binary image back into a [`Program`].
 ///
 /// The jump-target set is taken from the image metadata (a loader knows
@@ -198,30 +222,54 @@ pub fn encode_program(program: &Program) -> Result<EncodedProgram, EncodeError> 
 ///
 /// # Errors
 ///
-/// Returns [`EncodeError::Corrupt`] if the byte stream is inconsistent.
+/// Returns [`EncodeError::Corrupt`], [`EncodeError::InvalidOpcode`] or
+/// [`EncodeError::RegisterOutOfRange`] if the byte stream is
+/// inconsistent. Decoding never panics, whatever the image contents.
 pub fn decode_program(image: &EncodedProgram) -> Result<Program, EncodeError> {
+    decode_program_detailed(image).map_err(|f| f.cause)
+}
+
+/// Like [`decode_program`], but failures carry the index of the VLIW
+/// instruction at which the image first became undecodable.
+pub fn decode_program_detailed(image: &EncodedProgram) -> Result<Program, DecodeFault> {
     let n = image.targets.len();
+    let at = |i: usize, cause: EncodeError| DecodeFault { instr: i, cause };
+    if image.offsets.len() != n {
+        return Err(at(0, EncodeError::Corrupt("offset table length mismatch")));
+    }
     let mut instrs = Vec::with_capacity(n);
     let mut r = BitReader::new(&image.bytes);
     let mut next_codes: Option<[SlotCode; NUM_SLOTS]> = None;
     for i in 0..n {
         r.align_byte();
         if r.bit_pos() / 8 != image.offsets[i] as usize {
-            return Err(EncodeError::Corrupt("instruction offset mismatch"));
+            return Err(at(i, EncodeError::Corrupt("instruction offset mismatch")));
         }
         let own = if image.targets[i] {
             if r.remaining() < 10 {
-                return Err(EncodeError::Corrupt("image truncated at own template"));
+                return Err(at(
+                    i,
+                    EncodeError::Corrupt("image truncated at own template"),
+                ));
             }
             read_template(&mut r)
         } else {
-            next_codes
-                .take()
-                .ok_or(EncodeError::Corrupt("missing template for instruction"))?
+            match next_codes.take() {
+                Some(codes) => codes,
+                None => {
+                    return Err(at(
+                        i,
+                        EncodeError::Corrupt("missing template for instruction"),
+                    ))
+                }
+            }
         };
         if i + 1 < n && !image.targets[i + 1] {
             if r.remaining() < 10 {
-                return Err(EncodeError::Corrupt("image truncated at next template"));
+                return Err(at(
+                    i,
+                    EncodeError::Corrupt("image truncated at next template"),
+                ));
             }
             next_codes = Some(read_template(&mut r));
         }
@@ -233,17 +281,26 @@ pub fn decode_program(image: &EncodedProgram) -> Result<Program, EncodeError> {
                 continue;
             }
             if r.remaining() < own[s].width() {
-                return Err(EncodeError::Corrupt("image truncated in operation field"));
+                return Err(at(
+                    i,
+                    EncodeError::Corrupt("image truncated in operation field"),
+                ));
             }
-            let op = decode_field(&mut r, own[s])?;
+            let op = decode_field(&mut r, own[s]).map_err(|e| at(i, e))?;
             if op.opcode.is_two_slot() {
                 if s + 1 >= NUM_SLOTS || own[s + 1] != SlotCode::S42 {
-                    return Err(EncodeError::Corrupt("two-slot op without continuation"));
+                    return Err(at(
+                        i,
+                        EncodeError::Corrupt("two-slot op without continuation"),
+                    ));
                 }
                 if r.remaining() < 42 {
-                    return Err(EncodeError::Corrupt("image truncated in continuation"));
+                    return Err(at(
+                        i,
+                        EncodeError::Corrupt("image truncated in continuation"),
+                    ));
                 }
-                let full = decode_continuation(&mut r, &op)?;
+                let full = decode_continuation(&mut r, &op).map_err(|e| at(i, e))?;
                 instr.place(full, s);
                 s += 2;
             } else {

@@ -1,0 +1,262 @@
+//! Deterministic fault injection for the TM3270 reproduction.
+//!
+//! The injector models single-event upsets (bit flips) at three sites of
+//! the simulated system:
+//!
+//! * the **encoded instruction stream** — corrupting the compressed VLIW
+//!   image before it is decoded, which must surface as either a typed
+//!   decode error or a different-but-valid program (never a panic);
+//! * **data memory** — corrupting the flat backing store a program reads
+//!   operands from;
+//! * **cache lines** — corrupting a naturally aligned line-sized window,
+//!   modelling an upset in an SRAM data array.
+//!
+//! Every flip is drawn from a seedable [`SmallRng`] and recorded in a
+//! [`FaultRecord`] log, so a failing campaign run can be replayed exactly
+//! from its seed.
+
+use crate::rng::SmallRng;
+use tm3270_encode::EncodedProgram;
+
+/// Where a fault was injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// The compressed instruction image produced by `encode_program`.
+    InstrStream,
+    /// The flat data memory backing the simulated machine.
+    DataMemory,
+    /// A naturally aligned cache-line-sized window of data memory.
+    CacheLine,
+}
+
+impl core::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultSite::InstrStream => write!(f, "instruction stream"),
+            FaultSite::DataMemory => write!(f, "data memory"),
+            FaultSite::CacheLine => write!(f, "cache line"),
+        }
+    }
+}
+
+/// One injected bit flip: site, byte offset within the site's address
+/// space, and the flipped bit position (0 = LSB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    pub site: FaultSite,
+    pub byte: usize,
+    pub bit: u8,
+}
+
+impl core::fmt::Display for FaultRecord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: byte {:#x} bit {}", self.site, self.byte, self.bit)
+    }
+}
+
+/// Fault rates for a campaign run. All counts are bit flips per run; a
+/// count of zero disables that site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Bit flips injected into the encoded instruction stream.
+    pub instr_flips: u32,
+    /// Bit flips injected into data memory (uniform over the window).
+    pub data_flips: u32,
+    /// Bit flips injected into one random cache line of data memory.
+    pub cache_line_flips: u32,
+    /// Cache-line size in bytes used for the cache-line site.
+    pub line_size: usize,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            instr_flips: 1,
+            data_flips: 0,
+            cache_line_flips: 0,
+            line_size: 128,
+        }
+    }
+}
+
+/// A deterministic, seedable fault injector. All randomness flows from
+/// the seed passed to [`FaultInjector::new`]; the log records every flip.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: SmallRng,
+    log: Vec<FaultRecord>,
+}
+
+impl FaultInjector {
+    /// Create an injector from a 64-bit seed.
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector {
+            rng: SmallRng::new(seed),
+            log: Vec::new(),
+        }
+    }
+
+    /// Direct access to the underlying generator (e.g. to derive random
+    /// programs from the same seed stream).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Every fault injected so far, in order.
+    pub fn log(&self) -> &[FaultRecord] {
+        &self.log
+    }
+
+    /// Clear the fault log (e.g. between campaign runs).
+    pub fn clear_log(&mut self) {
+        self.log.clear();
+    }
+
+    /// Flip `flips` uniformly chosen bits in `bytes`, attributing them to
+    /// `site`. Returns the number of flips actually performed (zero for
+    /// an empty buffer).
+    pub fn flip_bits(&mut self, site: FaultSite, bytes: &mut [u8], flips: u32) -> usize {
+        if bytes.is_empty() {
+            return 0;
+        }
+        for _ in 0..flips {
+            let byte = self.rng.index(bytes.len());
+            let bit = self.rng.below(8) as u8;
+            bytes[byte] ^= 1 << bit;
+            self.log.push(FaultRecord { site, byte, bit });
+        }
+        flips as usize
+    }
+
+    /// Flip each bit of `bytes` independently with probability
+    /// `num / den` (a rate-based alternative to counted flips). Returns
+    /// the number of flips performed.
+    pub fn flip_at_rate(&mut self, site: FaultSite, bytes: &mut [u8], num: u64, den: u64) -> usize {
+        let mut flipped = 0;
+        for (byte, slot) in bytes.iter_mut().enumerate() {
+            for bit in 0u8..8 {
+                if self.rng.chance(num, den) {
+                    *slot ^= 1 << bit;
+                    self.log.push(FaultRecord { site, byte, bit });
+                    flipped += 1;
+                }
+            }
+        }
+        flipped
+    }
+
+    /// Corrupt an encoded program image with `flips` bit flips.
+    pub fn corrupt_image(&mut self, image: &mut EncodedProgram, flips: u32) -> usize {
+        let mut bytes = core::mem::take(&mut image.bytes);
+        let n = self.flip_bits(FaultSite::InstrStream, &mut bytes, flips);
+        image.bytes = bytes;
+        n
+    }
+
+    /// Truncate an encoded image to a random length `< len`, modelling a
+    /// torn fetch. Returns the number of bytes removed.
+    pub fn truncate_image(&mut self, image: &mut EncodedProgram) -> usize {
+        if image.bytes.is_empty() {
+            return 0;
+        }
+        let keep = self.rng.index(image.bytes.len());
+        let removed = image.bytes.len() - keep;
+        image.bytes.truncate(keep);
+        removed
+    }
+
+    /// Corrupt data memory with `flips` uniformly placed bit flips.
+    pub fn corrupt_memory(&mut self, mem: &mut [u8], flips: u32) -> usize {
+        self.flip_bits(FaultSite::DataMemory, mem, flips)
+    }
+
+    /// Corrupt one randomly chosen, naturally aligned cache line of
+    /// `mem` with `flips` bit flips. Offsets in the log are absolute
+    /// (relative to `mem`), not line-relative.
+    pub fn corrupt_cache_line(&mut self, mem: &mut [u8], line_size: usize, flips: u32) -> usize {
+        if mem.is_empty() || line_size == 0 {
+            return 0;
+        }
+        let lines = mem.len().div_ceil(line_size);
+        let base = self.rng.index(lines) * line_size;
+        let end = (base + line_size).min(mem.len());
+        let mut n = 0;
+        for _ in 0..flips {
+            let byte = base + self.rng.index(end - base);
+            let bit = self.rng.below(8) as u8;
+            mem[byte] ^= 1 << bit;
+            self.log.push(FaultRecord {
+                site: FaultSite::CacheLine,
+                byte,
+                bit,
+            });
+            n += 1;
+        }
+        n
+    }
+
+    /// Apply a full [`FaultConfig`] to an image + memory pair.
+    pub fn apply(&mut self, config: &FaultConfig, image: &mut EncodedProgram, mem: &mut [u8]) {
+        self.corrupt_image(image, config.instr_flips);
+        self.corrupt_memory(mem, config.data_flips);
+        if config.cache_line_flips > 0 {
+            self.corrupt_cache_line(mem, config.line_size, config.cache_line_flips);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flips_are_deterministic_per_seed() {
+        let mut a = FaultInjector::new(11);
+        let mut b = FaultInjector::new(11);
+        let mut buf_a = vec![0u8; 64];
+        let mut buf_b = vec![0u8; 64];
+        a.flip_bits(FaultSite::DataMemory, &mut buf_a, 16);
+        b.flip_bits(FaultSite::DataMemory, &mut buf_b, 16);
+        assert_eq!(buf_a, buf_b);
+        assert_eq!(a.log(), b.log());
+    }
+
+    #[test]
+    fn flip_count_matches_log_and_parity() {
+        let mut inj = FaultInjector::new(5);
+        let mut buf = vec![0u8; 256];
+        inj.flip_bits(FaultSite::InstrStream, &mut buf, 9);
+        assert_eq!(inj.log().len(), 9);
+        // An odd number of flips leaves an odd number of set bits
+        // (each flip toggles exactly one bit).
+        let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones % 2, 1);
+    }
+
+    #[test]
+    fn empty_buffer_is_a_no_op() {
+        let mut inj = FaultInjector::new(1);
+        let mut buf: Vec<u8> = vec![];
+        assert_eq!(inj.flip_bits(FaultSite::DataMemory, &mut buf, 8), 0);
+        assert!(inj.log().is_empty());
+    }
+
+    #[test]
+    fn cache_line_flips_stay_inside_one_line() {
+        let mut inj = FaultInjector::new(77);
+        let mut mem = vec![0u8; 1024];
+        inj.corrupt_cache_line(&mut mem, 128, 12);
+        let lines: std::collections::HashSet<usize> =
+            inj.log().iter().map(|r| r.byte / 128).collect();
+        assert_eq!(lines.len(), 1, "all flips land in a single line");
+    }
+
+    #[test]
+    fn rate_based_flipping_scales_with_rate() {
+        let mut inj = FaultInjector::new(13);
+        let mut buf = vec![0u8; 4096]; // 32768 bits
+        let n = inj.flip_at_rate(FaultSite::DataMemory, &mut buf, 1, 100);
+        // Expect ~327.7 flips; allow generous slack.
+        assert!((150..600).contains(&n), "got {n} flips");
+    }
+}

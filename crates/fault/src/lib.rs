@@ -1,0 +1,18 @@
+//! Deterministic fault injection for the TM3270 reproduction.
+//!
+//! The TM3270 exposes all pipeline latencies and has no hardware
+//! interlocks, so a corrupted instruction stream silently misbehaves on
+//! silicon. This crate provides the tooling to prove the *simulator*
+//! never does: a seedable PRNG ([`SmallRng`]), a bit-flip
+//! [`FaultInjector`] over instruction images, data memory and cache
+//! lines, and a [`FaultConfig`] describing per-site rates. The
+//! `repro_fault_campaign` binary in `tm3270-bench` drives randomized
+//! programs through encode → inject → decode → simulate and asserts
+//! that every run either completes or returns a typed `SimError` —
+//! no panics, no hangs.
+
+mod inject;
+mod rng;
+
+pub use inject::{FaultConfig, FaultInjector, FaultRecord, FaultSite};
+pub use rng::SmallRng;

@@ -37,6 +37,70 @@ pub enum PfParam {
     Stride,
 }
 
+/// A fault raised by operation semantics instead of a panic.
+///
+/// These surface through [`execute`]'s `Result` so a corrupted or
+/// adversarial program degrades into a typed error the caller can report,
+/// never a crash of the simulator itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecError {
+    /// A memory access violated the alignment policy of a strict memory.
+    MisalignedAccess {
+        /// Effective byte address of the access.
+        addr: u32,
+        /// Access width in bytes.
+        size: u32,
+    },
+    /// A memory access fell outside the bounds of a strict memory.
+    OutOfBoundsAccess {
+        /// Effective byte address of the access.
+        addr: u32,
+        /// Access width in bytes.
+        size: u32,
+    },
+}
+
+impl core::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExecError::MisalignedAccess { addr, size } => {
+                write!(f, "misaligned {size}-byte access at {addr:#010x}")
+            }
+            ExecError::OutOfBoundsAccess { addr, size } => {
+                write!(f, "out-of-bounds {size}-byte access at {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The natural alignment required of a `size`-byte access when a memory
+/// is configured to enforce alignment.
+///
+/// The TM3270 data cache architecturally supports non-aligned accesses
+/// penalty-free (§4.1), so this is a *diagnostic* policy, not an
+/// architectural one: 2- and 4-byte accesses align to their width, the
+/// 8-byte `super_ld32r` pair aligns to 4, and the inherently byte-offset
+/// `ld_frac8` window (5 bytes) has no requirement.
+pub fn required_alignment(size: u32) -> u32 {
+    match size {
+        2 => 2,
+        4 | 8 => 4,
+        _ => 1,
+    }
+}
+
+/// Validates `addr`/`size` against an alignment policy; used by strict
+/// memories from their `check_access` hooks.
+pub fn check_alignment(addr: u32, size: u32) -> Result<(), ExecError> {
+    let align = required_alignment(size);
+    if !addr.is_multiple_of(align) {
+        return Err(ExecError::MisalignedAccess { addr, size });
+    }
+    Ok(())
+}
+
 /// The data-memory interface seen by operation semantics.
 ///
 /// Implemented by the flat test memory ([`FlatMemory`]) and by the full
@@ -53,6 +117,15 @@ pub trait DataMemory {
     /// Writes a prefetch-region parameter (memory-mapped IO). Default:
     /// no-op.
     fn write_pf_param(&mut self, _param: PfParam, _region: u8, _value: u32) {}
+
+    /// Validates an upcoming `size`-byte access at `addr`, *before* any
+    /// architectural effect. The default is fully permissive (the
+    /// TM3270's wrap-around flat address space); strict memories return
+    /// [`ExecError::OutOfBoundsAccess`] / [`ExecError::MisalignedAccess`]
+    /// here, which [`execute`] propagates without touching state.
+    fn check_access(&self, _addr: u32, _size: u32) -> Result<(), ExecError> {
+        Ok(())
+    }
 
     /// Little-endian load helper.
     fn load_le(&mut self, addr: u32, bytes: usize) -> u32 {
@@ -75,6 +148,8 @@ pub trait DataMemory {
 pub struct FlatMemory {
     bytes: Vec<u8>,
     mask: u32,
+    strict_bounds: bool,
+    strict_align: bool,
 }
 
 impl FlatMemory {
@@ -82,13 +157,38 @@ impl FlatMemory {
     ///
     /// # Panics
     ///
-    /// Panics if `size` is not a power of two or is zero.
+    /// Panics if `size` is not a power of two or is zero. This is a
+    /// construction-time configuration invariant (the wrap mask requires
+    /// it), not an input-dependent path: program data can never reach it.
     pub fn new(size: usize) -> FlatMemory {
         assert!(size.is_power_of_two(), "memory size must be a power of two");
         FlatMemory {
             bytes: vec![0; size],
             mask: (size - 1) as u32,
+            strict_bounds: false,
+            strict_align: false,
         }
+    }
+
+    /// Creates a strict flat memory: accesses past `size` return
+    /// [`ExecError::OutOfBoundsAccess`] and non-naturally-aligned
+    /// accesses return [`ExecError::MisalignedAccess`] instead of
+    /// wrapping silently. Used by the fault-injection harness.
+    pub fn new_strict(size: usize) -> FlatMemory {
+        let mut m = FlatMemory::new(size);
+        m.strict_bounds = true;
+        m.strict_align = true;
+        m
+    }
+
+    /// Enables/disables bounds checking on an existing memory.
+    pub fn set_strict_bounds(&mut self, on: bool) {
+        self.strict_bounds = on;
+    }
+
+    /// Enables/disables alignment checking on an existing memory.
+    pub fn set_strict_align(&mut self, on: bool) {
+        self.strict_align = on;
     }
 
     /// The memory size in bytes.
@@ -123,6 +223,16 @@ impl DataMemory for FlatMemory {
         for (i, &b) in data.iter().enumerate() {
             self.bytes[((addr.wrapping_add(i as u32)) & self.mask) as usize] = b;
         }
+    }
+
+    fn check_access(&self, addr: u32, size: u32) -> Result<(), ExecError> {
+        if self.strict_bounds && u64::from(addr) + u64::from(size) > self.bytes.len() as u64 {
+            return Err(ExecError::OutOfBoundsAccess { addr, size });
+        }
+        if self.strict_align {
+            check_alignment(addr, size)?;
+        }
+        Ok(())
     }
 }
 
@@ -202,21 +312,26 @@ fn b32(c: bool) -> u32 {
 ///
 /// Branch targets are VLIW-instruction indices; the pipeline applies the
 /// architectural jump delay slots (§3).
-pub fn execute(op: &Op, rf: &RegFile, mem: &mut dyn DataMemory) -> ExecResult {
+///
+/// Memory operations validate their access through
+/// [`DataMemory::check_access`] before any architectural effect; a
+/// strict memory turns wild addresses into [`ExecError`]s here instead
+/// of silently wrapping. Non-memory operations are infallible.
+pub fn execute(op: &Op, rf: &RegFile, mem: &mut dyn DataMemory) -> Result<ExecResult, ExecError> {
     use Opcode::*;
 
     let g = rf.guard(op.guard);
     // `jmpf` branches when its guard is FALSE; every other operation is
     // suppressed by a false guard.
     if !g && op.opcode != Jmpf {
-        return ExecResult::none();
+        return Ok(ExecResult::none());
     }
 
     let s = |i: usize| rf.read(op.srcs[i]);
     let d = |i: usize| op.dsts[i];
     let imm = op.imm;
 
-    match op.opcode {
+    Ok(match op.opcode {
         // --- constants / immediate arithmetic ---
         Iimm => ExecResult::one(d(0), imm as u32),
         Iaddi => ExecResult::one(d(0), s(0).wrapping_add(imm as u32)),
@@ -311,16 +426,17 @@ pub fn execute(op: &Op, rf: &RegFile, mem: &mut dyn DataMemory) -> ExecResult {
             d(0),
             clip_to_i32(i64::from(s(0) as i32) - i64::from(s(1) as i32)) as u32,
         ),
-        Dspiabs => ExecResult::one(
-            d(0),
-            clip_to_i32((i64::from(s(0) as i32)).abs()) as u32,
-        ),
+        Dspiabs => ExecResult::one(d(0), clip_to_i32((i64::from(s(0) as i32)).abs()) as u32),
         Dspidualadd | Dspidualsub => {
             let (ah, al) = dual16(s(0));
             let (bh, bl) = dual16(s(1));
             let f = |a: u16, b: u16| -> u16 {
                 let (a, b) = (i32::from(a as i16), i32::from(b as i16));
-                let v = if op.opcode == Dspidualadd { a + b } else { a - b };
+                let v = if op.opcode == Dspidualadd {
+                    a + b
+                } else {
+                    a - b
+                };
                 clip_to_i16(v) as u16
             };
             ExecResult::one(d(0), pack_dual16(f(ah, bh), f(al, bl)))
@@ -508,40 +624,74 @@ pub fn execute(op: &Op, rf: &RegFile, mem: &mut dyn DataMemory) -> ExecResult {
         Ijmpt | Ijmpi => ExecResult::branch(s(0)),
 
         // --- loads (little-endian unless Table 2 dictates otherwise) ---
-        Ld8d => ExecResult::one(
-            d(0),
-            sign_extend(mem.load_le(s(0).wrapping_add(imm as u32), 1), 8),
-        ),
-        Uld8d => ExecResult::one(d(0), mem.load_le(s(0).wrapping_add(imm as u32), 1)),
-        Ld16d => ExecResult::one(
-            d(0),
-            sign_extend(mem.load_le(s(0).wrapping_add(imm as u32), 2), 16),
-        ),
-        Uld16d => ExecResult::one(d(0), mem.load_le(s(0).wrapping_add(imm as u32), 2)),
-        Ld32d => ExecResult::one(d(0), mem.load_le(s(0).wrapping_add(imm as u32), 4)),
-        Ld8r => ExecResult::one(
-            d(0),
-            sign_extend(mem.load_le(s(0).wrapping_add(s(1)), 1), 8),
-        ),
-        Uld8r => ExecResult::one(d(0), mem.load_le(s(0).wrapping_add(s(1)), 1)),
-        Ld16r => ExecResult::one(
-            d(0),
-            sign_extend(mem.load_le(s(0).wrapping_add(s(1)), 2), 16),
-        ),
-        Uld16r => ExecResult::one(d(0), mem.load_le(s(0).wrapping_add(s(1)), 2)),
-        Ld32r => ExecResult::one(d(0), mem.load_le(s(0).wrapping_add(s(1)), 4)),
+        Ld8d => {
+            let addr = s(0).wrapping_add(imm as u32);
+            mem.check_access(addr, 1)?;
+            ExecResult::one(d(0), sign_extend(mem.load_le(addr, 1), 8))
+        }
+        Uld8d => {
+            let addr = s(0).wrapping_add(imm as u32);
+            mem.check_access(addr, 1)?;
+            ExecResult::one(d(0), mem.load_le(addr, 1))
+        }
+        Ld16d => {
+            let addr = s(0).wrapping_add(imm as u32);
+            mem.check_access(addr, 2)?;
+            ExecResult::one(d(0), sign_extend(mem.load_le(addr, 2), 16))
+        }
+        Uld16d => {
+            let addr = s(0).wrapping_add(imm as u32);
+            mem.check_access(addr, 2)?;
+            ExecResult::one(d(0), mem.load_le(addr, 2))
+        }
+        Ld32d => {
+            let addr = s(0).wrapping_add(imm as u32);
+            mem.check_access(addr, 4)?;
+            ExecResult::one(d(0), mem.load_le(addr, 4))
+        }
+        Ld8r => {
+            let addr = s(0).wrapping_add(s(1));
+            mem.check_access(addr, 1)?;
+            ExecResult::one(d(0), sign_extend(mem.load_le(addr, 1), 8))
+        }
+        Uld8r => {
+            let addr = s(0).wrapping_add(s(1));
+            mem.check_access(addr, 1)?;
+            ExecResult::one(d(0), mem.load_le(addr, 1))
+        }
+        Ld16r => {
+            let addr = s(0).wrapping_add(s(1));
+            mem.check_access(addr, 2)?;
+            ExecResult::one(d(0), sign_extend(mem.load_le(addr, 2), 16))
+        }
+        Uld16r => {
+            let addr = s(0).wrapping_add(s(1));
+            mem.check_access(addr, 2)?;
+            ExecResult::one(d(0), mem.load_le(addr, 2))
+        }
+        Ld32r => {
+            let addr = s(0).wrapping_add(s(1));
+            mem.check_access(addr, 4)?;
+            ExecResult::one(d(0), mem.load_le(addr, 4))
+        }
 
         // --- stores and cache control ---
         St8d => {
-            mem.store_le(s(0).wrapping_add(imm as u32), 1, s(1));
+            let addr = s(0).wrapping_add(imm as u32);
+            mem.check_access(addr, 1)?;
+            mem.store_le(addr, 1, s(1));
             ExecResult::effect_only()
         }
         St16d => {
-            mem.store_le(s(0).wrapping_add(imm as u32), 2, s(1));
+            let addr = s(0).wrapping_add(imm as u32);
+            mem.check_access(addr, 2)?;
+            mem.store_le(addr, 2, s(1));
             ExecResult::effect_only()
         }
         St32d => {
-            mem.store_le(s(0).wrapping_add(imm as u32), 4, s(1));
+            let addr = s(0).wrapping_add(imm as u32);
+            mem.check_access(addr, 4)?;
+            mem.store_le(addr, 4, s(1));
             ExecResult::effect_only()
         }
         Allocd => {
@@ -576,6 +726,7 @@ pub fn execute(op: &Op, rf: &RegFile, mem: &mut dyn DataMemory) -> ExecResult {
         // --- collapsed load with interpolation (Table 2) ---
         LdFrac8 => {
             let mut data = [0u8; 5];
+            mem.check_access(s(0), 5)?;
             mem.load_bytes(s(0), &mut data);
             let frac = s(1);
             let out = [
@@ -593,16 +744,12 @@ pub fn execute(op: &Op, rf: &RegFile, mem: &mut dyn DataMemory) -> ExecResult {
             let lo = |v: u32| i64::from(v as u16 as i16);
             let t1 = hi(s(0)) * hi(s(1)) + hi(s(2)) * hi(s(3));
             let t2 = lo(s(0)) * lo(s(1)) + lo(s(2)) * lo(s(3));
-            ExecResult::two(
-                d(0),
-                clip_to_i32(t1) as u32,
-                d(1),
-                clip_to_i32(t2) as u32,
-            )
+            ExecResult::two(d(0), clip_to_i32(t1) as u32, d(1), clip_to_i32(t2) as u32)
         }
         SuperLd32r => {
             // Table 2: big-endian byte placement from address rsrc3+rsrc4.
             let addr = s(0).wrapping_add(s(1));
+            mem.check_access(addr, 8)?;
             let mut buf = [0u8; 8];
             mem.load_bytes(addr, &mut buf);
             let w1 = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
@@ -652,7 +799,7 @@ pub fn execute(op: &Op, rf: &RegFile, mem: &mut dyn DataMemory) -> ExecResult {
             );
             ExecResult::two(d(0), step.stream_bit_position, d(1), b32(step.bit))
         }
-    }
+    })
 }
 
 #[cfg(test)]
@@ -670,7 +817,7 @@ mod tests {
             rf.write(r(reg), v);
         }
         let mut mem = FlatMemory::new(1 << 16);
-        let res = execute(&op, &rf, &mut mem);
+        let res = execute(&op, &rf, &mut mem).unwrap();
         (res, rf, mem)
     }
 
@@ -686,7 +833,7 @@ mod tests {
         rf.write(r(3), 7);
         let mut mem = FlatMemory::new(1 << 12);
         let op = Op::new(Opcode::St32d, r(2), &[r(3), r(3)], &[], 0);
-        let res = execute(&op, &rf, &mut mem);
+        let res = execute(&op, &rf, &mut mem).unwrap();
         assert!(!res.executed);
         assert_eq!(mem.load_le(7, 4), 0, "guarded-false store must not write");
     }
@@ -697,11 +844,11 @@ mod tests {
         rf.write(r(2), 0);
         let mut mem = FlatMemory::new(1 << 12);
         let op = Op::new(Opcode::Jmpf, r(2), &[], &[], 42);
-        let res = execute(&op, &rf, &mut mem);
+        let res = execute(&op, &rf, &mut mem).unwrap();
         assert_eq!(res.branch_target, Some(42));
         // And does NOT branch on a true guard.
         rf.write(r(2), 1);
-        let res = execute(&op, &rf, &mut mem);
+        let res = execute(&op, &rf, &mut mem).unwrap();
         assert_eq!(res.branch_target, None);
     }
 
@@ -756,10 +903,7 @@ mod tests {
             0x12340
         );
         assert_eq!(
-            result_of(
-                Op::rri(Opcode::Asri, r(4), r(2), 4),
-                &[(2, 0x8000_0000)]
-            ),
+            result_of(Op::rri(Opcode::Asri, r(4), r(2), 4), &[(2, 0x8000_0000)]),
             0xf800_0000
         );
         // funshift2: two bytes from the top of src1's low half.
@@ -798,12 +942,7 @@ mod tests {
                 Op::rrr(Opcode::Quadavg, r(4), r(2), r(3)),
                 &[(2, 0x00FF_0A14), (3, 0x0001_0C10)]
             ),
-            u32::from_be_bytes([
-                (1 / 2) as u8,
-                128,
-                11,
-                ((0x14 + 0x10 + 1) / 2) as u8
-            ])
+            u32::from_be_bytes([(1 / 2) as u8, 128, 11, ((0x14 + 0x10 + 1) / 2) as u8])
         );
         assert_eq!(
             result_of(
@@ -845,7 +984,10 @@ mod tests {
             10.0
         );
         assert_eq!(
-            result_of(Op::rr(Opcode::Ifixrz, r(4), r(2)), &[(2, (-2.9f32).to_bits())]),
+            result_of(
+                Op::rr(Opcode::Ifixrz, r(4), r(2)),
+                &[(2, (-2.9f32).to_bits())]
+            ),
             (-2i32) as u32
         );
         assert_eq!(
@@ -862,7 +1004,7 @@ mod tests {
         mem.store_bytes(0x100, &[0xfe, 0x01, 0x02, 0x83]);
         let mut ld = |op, imm| {
             let o = Op::rri(op, r(4), r(2), imm);
-            execute(&o, &rf, &mut mem).writes[0].unwrap().1
+            execute(&o, &rf, &mut mem).unwrap().writes[0].unwrap().1
         };
         assert_eq!(ld(Opcode::Uld8d, 0), 0xfe);
         assert_eq!(ld(Opcode::Ld8d, 0), 0xffff_fffe);
@@ -878,7 +1020,10 @@ mod tests {
         let mut mem = FlatMemory::new(1 << 12);
         mem.store_bytes(0x100, &[0x11, 0x22, 0x33, 0x44, 0x55]);
         let o = Op::rri(Opcode::Ld32d, r(4), r(2), 0);
-        assert_eq!(execute(&o, &rf, &mut mem).writes[0].unwrap().1, 0x5544_3322);
+        assert_eq!(
+            execute(&o, &rf, &mut mem).unwrap().writes[0].unwrap().1,
+            0x5544_3322
+        );
     }
 
     #[test]
@@ -888,10 +1033,10 @@ mod tests {
         rf.write(r(3), 0xdead_beef);
         let mut mem = FlatMemory::new(1 << 12);
         let st = Op::new(Opcode::St32d, Reg::ONE, &[r(2), r(3)], &[], 4);
-        execute(&st, &rf, &mut mem);
+        execute(&st, &rf, &mut mem).unwrap();
         assert_eq!(mem.load_le(0x204, 4), 0xdead_beef);
         let st8 = Op::new(Opcode::St8d, Reg::ONE, &[r(2), r(3)], &[], 0);
-        execute(&st8, &rf, &mut mem);
+        execute(&st8, &rf, &mut mem).unwrap();
         assert_eq!(mem.load_le(0x200, 1), 0xef);
     }
 
@@ -904,11 +1049,14 @@ mod tests {
         let data = [10u8, 20, 30, 40, 50];
         mem.store_bytes(0x300, &data);
         let o = Op::rrr(Opcode::LdFrac8, r(4), r(2), r(3));
-        let got = execute(&o, &rf, &mut mem).writes[0].unwrap().1;
+        let got = execute(&o, &rf, &mut mem).unwrap().writes[0].unwrap().1;
         let expect = |a: u32, b: u32| (a * 11 + b * 5 + 8) / 16;
         assert_eq!(
             got,
-            (expect(10, 20) << 24) | (expect(20, 30) << 16) | (expect(30, 40) << 8) | expect(40, 50)
+            (expect(10, 20) << 24)
+                | (expect(20, 30) << 16)
+                | (expect(30, 40) << 8)
+                | expect(40, 50)
         );
     }
 
@@ -920,7 +1068,7 @@ mod tests {
         let mut mem = FlatMemory::new(1 << 12);
         mem.store_bytes(0x300, &[1, 2, 3, 4, 99]);
         let o = Op::rrr(Opcode::LdFrac8, r(4), r(2), r(3));
-        let got = execute(&o, &rf, &mut mem).writes[0].unwrap().1;
+        let got = execute(&o, &rf, &mut mem).unwrap().writes[0].unwrap().1;
         assert_eq!(got, 0x0102_0304, "frac 0 returns the first four bytes");
     }
 
@@ -938,7 +1086,7 @@ mod tests {
             &[r(10), r(11)],
             0,
         );
-        let res = execute(&o, &rf, &mut mem);
+        let res = execute(&o, &rf, &mut mem).unwrap();
         assert_eq!(res.writes[0], Some((r(10), 0x0102_0304)));
         assert_eq!(res.writes[1], Some((r(11), 0x0506_0708)));
     }
@@ -960,7 +1108,7 @@ mod tests {
             &[r(10), r(11)],
             0,
         );
-        let res = execute(&o, &rf, &mut mem);
+        let res = execute(&o, &rf, &mut mem).unwrap();
         assert_eq!(res.writes[0], Some((r(10), 140_000)));
         assert_eq!(res.writes[1], Some((r(11), (-1i32) as u32)));
     }
@@ -981,7 +1129,7 @@ mod tests {
             &[r(10), r(11)],
             0,
         );
-        let res = execute(&o, &rf, &mut mem);
+        let res = execute(&o, &rf, &mut mem).unwrap();
         // 2 * (-32768)^2 = 2^31 clips to 2^31 - 1.
         assert_eq!(res.writes[0], Some((r(10), i32::MAX as u32)));
     }
@@ -1012,7 +1160,7 @@ mod tests {
             &[r(10), r(11)],
             0,
         );
-        let res = execute(&ctx, &rf, &mut mem);
+        let res = execute(&ctx, &rf, &mut mem).unwrap();
         assert_eq!(
             res.writes[0],
             Some((r(10), pack_dual16(step.next.value, step.next.range)))
@@ -1032,7 +1180,7 @@ mod tests {
             &[r(12), r(13)],
             0,
         );
-        let res = execute(&strop, &rf, &mut mem);
+        let res = execute(&strop, &rf, &mut mem).unwrap();
         assert_eq!(res.writes[0], Some((r(12), step.stream_bit_position)));
         assert_eq!(res.writes[1], Some((r(13), u32::from(step.bit))));
     }
@@ -1053,7 +1201,7 @@ mod tests {
         rf.write(r(2), 0x8000);
         let mut probe = Probe { got: vec![] };
         let op = Op::new(Opcode::StPfStride, Reg::ONE, &[r(2)], &[], 2);
-        execute(&op, &rf, &mut probe);
+        execute(&op, &rf, &mut probe).unwrap();
         assert_eq!(probe.got, vec![(PfParam::Stride, 2, 0x8000)]);
     }
 

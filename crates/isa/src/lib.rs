@@ -37,7 +37,7 @@
 //!
 //! // quadavg: per-byte average with rounding.
 //! let op = Op::rrr(Opcode::Quadavg, Reg::new(4), Reg::new(2), Reg::new(3));
-//! let result = execute(&op, &rf, &mut mem);
+//! let result = execute(&op, &rf, &mut mem).unwrap();
 //! assert_eq!(result.writes[0], Some((Reg::new(4), 0x18_28_38_48)));
 //! ```
 
@@ -53,7 +53,10 @@ mod reg;
 mod units;
 pub mod value;
 
-pub use exec::{execute, CacheOp, DataMemory, ExecResult, FlatMemory, PfParam};
+pub use exec::{
+    check_alignment, execute, required_alignment, CacheOp, DataMemory, ExecError, ExecResult,
+    FlatMemory, PfParam,
+};
 pub use op::{Instr, Op, Program, Slot, NUM_SLOTS};
 pub use opcode::{Opcode, Signature, Unit};
 pub use reg::{Reg, RegFile, NUM_REGS};

@@ -209,11 +209,11 @@ impl Opcode {
     pub fn unit(self) -> Unit {
         use Opcode::*;
         match self {
-            Iimm | Iaddi | Isubi | Iori | Iadd | Isub | Ineg | Iabs | Iand | Ior | Ixor | Bitinv
-            | Bitandinv | Sex8 | Sex16 | Zex8 | Zex16 | Imin | Imax | Umin | Umax | Ieql | Ineq
-            | Igtr | Igeq | Iles | Ileq | Ugtr | Ugeq | Ules | Uleq | Ieqli | Igtri | Ilesi
-            | Inonzero | Izero | Pack16Lsb | Pack16Msb | PackBytes | MergeLsb | MergeMsb
-            | Ubytesel | MergeDual16Lsb => Unit::Alu,
+            Iimm | Iaddi | Isubi | Iori | Iadd | Isub | Ineg | Iabs | Iand | Ior | Ixor
+            | Bitinv | Bitandinv | Sex8 | Sex16 | Zex8 | Zex16 | Imin | Imax | Umin | Umax
+            | Ieql | Ineq | Igtr | Igeq | Iles | Ileq | Ugtr | Ugeq | Ules | Uleq | Ieqli
+            | Igtri | Ilesi | Inonzero | Izero | Pack16Lsb | Pack16Msb | PackBytes | MergeLsb
+            | MergeMsb | Ubytesel | MergeDual16Lsb => Unit::Alu,
             Asl | Asr | Lsr | Rol | Asli | Asri | Lsri | Roli | Funshift1 | Funshift2
             | Funshift3 => Unit::Shifter,
             Dspiadd | Dspisub | Dspiabs | Dspidualadd | Dspidualsub | Dspidualabs | Quadavg
@@ -240,8 +240,8 @@ impl Opcode {
         use Opcode::*;
         let (srcs, dsts, imm) = match self {
             Iimm => (0, 1, true),
-            Iaddi | Isubi | Iori | Asli | Asri | Lsri | Roli | Ieqli | Igtri | Ilesi | Dualiclipi
-            | Iclipi | Uclipi => (1, 1, true),
+            Iaddi | Isubi | Iori | Asli | Asri | Lsri | Roli | Ieqli | Igtri | Ilesi
+            | Dualiclipi | Iclipi | Uclipi => (1, 1, true),
             Ineg | Iabs | Bitinv | Sex8 | Sex16 | Zex8 | Zex16 | Inonzero | Izero | Dspiabs
             | Dspidualabs | Fabsval | Ifloat | Ufloat | Ifixrz | Ufixrz | Fsign | Fsqrt => {
                 (1, 1, false)

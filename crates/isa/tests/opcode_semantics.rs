@@ -14,7 +14,9 @@ fn bin(op: Opcode, a: u32, b: u32) -> u32 {
     rf.write(r(2), a);
     rf.write(r(3), b);
     let mut mem = FlatMemory::new(4096);
-    execute(&Op::rrr(op, r(4), r(2), r(3)), &rf, &mut mem).writes[0]
+    execute(&Op::rrr(op, r(4), r(2), r(3)), &rf, &mut mem)
+        .unwrap()
+        .writes[0]
         .expect("result")
         .1
 }
@@ -24,7 +26,9 @@ fn un(op: Opcode, a: u32) -> u32 {
     let mut rf = RegFile::new();
     rf.write(r(2), a);
     let mut mem = FlatMemory::new(4096);
-    execute(&Op::rr(op, r(4), r(2)), &rf, &mut mem).writes[0]
+    execute(&Op::rr(op, r(4), r(2)), &rf, &mut mem)
+        .unwrap()
+        .writes[0]
         .expect("result")
         .1
 }
@@ -34,7 +38,9 @@ fn immop(op: Opcode, a: u32, imm: i32) -> u32 {
     let mut rf = RegFile::new();
     rf.write(r(2), a);
     let mut mem = FlatMemory::new(4096);
-    execute(&Op::rri(op, r(4), r(2), imm), &rf, &mut mem).writes[0]
+    execute(&Op::rri(op, r(4), r(2), imm), &rf, &mut mem)
+        .unwrap()
+        .writes[0]
         .expect("result")
         .1
 }
@@ -110,7 +116,7 @@ fn unary_vectors() {
 fn shifter_vectors() {
     let cases: &[(Opcode, u32, u32, u32)] = &[
         (Opcode::Asl, 1, 31, 0x8000_0000),
-        (Opcode::Asl, 1, 32, 1),  // shift amount masked to 5 bits
+        (Opcode::Asl, 1, 32, 1), // shift amount masked to 5 bits
         (Opcode::Asl, 1, 33, 2),
         (Opcode::Asr, 0x8000_0000, 31, NEG1),
         (Opcode::Lsr, 0x8000_0000, 31, 1),
@@ -153,7 +159,10 @@ fn saturating_simd_vectors() {
     }
     // Clip immediates.
     assert_eq!(immop(Opcode::Iclipi, 1000, 7), 127);
-    assert_eq!(immop(Opcode::Iclipi, (-1000i32) as u32, 7), (-128i32) as u32);
+    assert_eq!(
+        immop(Opcode::Iclipi, (-1000i32) as u32, 7),
+        (-128i32) as u32
+    );
     assert_eq!(immop(Opcode::Uclipi, (-5i32) as u32, 8), 0);
     assert_eq!(immop(Opcode::Uclipi, 300, 8), 255);
     assert_eq!(immop(Opcode::Dualiclipi, 0x7fff_8000, 7), 0x007f_ff80);
@@ -178,7 +187,12 @@ fn multiplier_vectors() {
         // ufir8uu: 255*255 * 4
         (Opcode::Ufir8uu, 0xffff_ffff, 0xffff_ffff, 255 * 255 * 4),
         // ifir8ui: unsigned 255 * signed -1, 4 lanes
-        (Opcode::Ifir8ui, 0xffff_ffff, 0xffff_ffff, (-(255i32) * 4) as u32),
+        (
+            Opcode::Ifir8ui,
+            0xffff_ffff,
+            0xffff_ffff,
+            (-(255i32) * 4) as u32,
+        ),
     ];
     for &(op, a, b, want) in cases {
         assert_eq!(bin(op, a, b), want, "{op} {a:#x} {b:#x}");
@@ -218,12 +232,18 @@ fn memory_width_and_extension_vectors() {
     let mut rf = RegFile::new();
     rf.write(r(2), 0x100);
     let mut mem = FlatMemory::new(1 << 12);
-    mem.store_bytes(0xfe, &[0xaa, 0xbb, 0x80, 0x7f, 0xff, 0x01, 0x02, 0x03, 0x04, 0x05]);
+    mem.store_bytes(
+        0xfe,
+        &[0xaa, 0xbb, 0x80, 0x7f, 0xff, 0x01, 0x02, 0x03, 0x04, 0x05],
+    );
     let run = |op: Op, rf: &RegFile, mem: &mut FlatMemory| {
-        execute(&op, rf, mem).writes[0].map(|w| w.1)
+        execute(&op, rf, mem).unwrap().writes[0].map(|w| w.1)
     };
     // Displacement forms (base 0x100 points at the 0x80 byte).
-    assert_eq!(run(Op::rri(Opcode::Uld8d, r(4), r(2), 0), &rf, &mut mem), Some(0x80));
+    assert_eq!(
+        run(Op::rri(Opcode::Uld8d, r(4), r(2), 0), &rf, &mut mem),
+        Some(0x80)
+    );
     assert_eq!(
         run(Op::rri(Opcode::Ld8d, r(4), r(2), 0), &rf, &mut mem),
         Some(0xffff_ff80)
@@ -256,9 +276,24 @@ fn memory_width_and_extension_vectors() {
     );
     // Store widths.
     rf.write(r(5), 0xdead_beef);
-    execute(&Op::new(Opcode::St8d, Reg::ONE, &[r(2), r(5)], &[], 0x10), &rf, &mut mem);
-    execute(&Op::new(Opcode::St16d, Reg::ONE, &[r(2), r(5)], &[], 0x12), &rf, &mut mem);
-    execute(&Op::new(Opcode::St32d, Reg::ONE, &[r(2), r(5)], &[], 0x14), &rf, &mut mem);
+    execute(
+        &Op::new(Opcode::St8d, Reg::ONE, &[r(2), r(5)], &[], 0x10),
+        &rf,
+        &mut mem,
+    )
+    .unwrap();
+    execute(
+        &Op::new(Opcode::St16d, Reg::ONE, &[r(2), r(5)], &[], 0x12),
+        &rf,
+        &mut mem,
+    )
+    .unwrap();
+    execute(
+        &Op::new(Opcode::St32d, Reg::ONE, &[r(2), r(5)], &[], 0x14),
+        &rf,
+        &mut mem,
+    )
+    .unwrap();
     let mut buf = [0u8; 8];
     mem.load_bytes(0x110, &mut buf);
     assert_eq!(buf, [0xef, 0, 0xef, 0xbe, 0xef, 0xbe, 0xad, 0xde]);
@@ -268,7 +303,7 @@ fn memory_width_and_extension_vectors() {
 fn iimm_and_const_helpers() {
     let mut rf = RegFile::new();
     let mut mem = FlatMemory::new(4096);
-    let res = execute(&Op::imm(r(4), -1), &rf, &mut mem);
+    let res = execute(&Op::imm(r(4), -1), &rf, &mut mem).unwrap();
     assert_eq!(res.writes[0], Some((r(4), NEG1)));
     rf.write(r(2), 0xfff0_0000);
     assert_eq!(immop(Opcode::Iaddi, 10, -3), 7);
@@ -292,18 +327,42 @@ fn branch_vectors() {
     rf.write(r(10), 3); // odd = true guard
     rf.write(r(11), 1234); // indirect target
 
-    let t = |op: Op, rf: &RegFile, mem: &mut FlatMemory| execute(&op, rf, mem).branch_target;
-    assert_eq!(t(Op::new(Opcode::Jmpi, Reg::ONE, &[], &[], 77), &rf, &mut mem), Some(77));
-    assert_eq!(t(Op::new(Opcode::Jmpt, r(10), &[], &[], 77), &rf, &mut mem), Some(77));
-    assert_eq!(t(Op::new(Opcode::Jmpt, r(9), &[], &[], 77), &rf, &mut mem), None);
-    assert_eq!(t(Op::new(Opcode::Jmpf, r(9), &[], &[], 77), &rf, &mut mem), Some(77));
-    assert_eq!(t(Op::new(Opcode::Jmpf, r(10), &[], &[], 77), &rf, &mut mem), None);
+    let t =
+        |op: Op, rf: &RegFile, mem: &mut FlatMemory| execute(&op, rf, mem).unwrap().branch_target;
     assert_eq!(
-        t(Op::new(Opcode::Ijmpt, r(10), &[r(11)], &[], 0), &rf, &mut mem),
+        t(Op::new(Opcode::Jmpi, Reg::ONE, &[], &[], 77), &rf, &mut mem),
+        Some(77)
+    );
+    assert_eq!(
+        t(Op::new(Opcode::Jmpt, r(10), &[], &[], 77), &rf, &mut mem),
+        Some(77)
+    );
+    assert_eq!(
+        t(Op::new(Opcode::Jmpt, r(9), &[], &[], 77), &rf, &mut mem),
+        None
+    );
+    assert_eq!(
+        t(Op::new(Opcode::Jmpf, r(9), &[], &[], 77), &rf, &mut mem),
+        Some(77)
+    );
+    assert_eq!(
+        t(Op::new(Opcode::Jmpf, r(10), &[], &[], 77), &rf, &mut mem),
+        None
+    );
+    assert_eq!(
+        t(
+            Op::new(Opcode::Ijmpt, r(10), &[r(11)], &[], 0),
+            &rf,
+            &mut mem
+        ),
         Some(1234)
     );
     assert_eq!(
-        t(Op::new(Opcode::Ijmpi, Reg::ONE, &[r(11)], &[], 0), &rf, &mut mem),
+        t(
+            Op::new(Opcode::Ijmpi, Reg::ONE, &[r(11)], &[], 0),
+            &rf,
+            &mut mem
+        ),
         Some(1234)
     );
 }
@@ -324,7 +383,7 @@ fn every_opcode_executes_without_panicking() {
         let imm = if sig.imm { 4 } else { 0 };
         for guard in [Reg::ONE, Reg::ZERO] {
             let op = Op::new(opcode, guard, &srcs, &dsts, imm);
-            let res = execute(&op, &rf, &mut mem);
+            let res = execute(&op, &rf, &mut mem).unwrap();
             if guard == Reg::ZERO && opcode != Opcode::Jmpf {
                 assert!(!res.executed, "{opcode} executed with a false guard");
                 assert_eq!(res.writes, [None, None], "{opcode}");

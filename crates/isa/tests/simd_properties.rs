@@ -1,16 +1,55 @@
 //! Property tests: every SIMD operation agrees with an independent
 //! lane-wise scalar model, and structural invariants (guards, constant
 //! registers, write counts) hold for arbitrary operands.
+//!
+//! Randomised inputs come from a small local splitmix64 generator so the
+//! tests are deterministic and dependency-free (the workspace has no
+//! network access to a crate registry).
 
-use proptest::prelude::*;
 use tm3270_isa::{execute, FlatMemory, Op, Opcode, Reg, RegFile};
+
+const CASES: usize = 512;
+
+/// Minimal deterministic generator (splitmix64); local on purpose so the
+/// isa crate's tests do not depend on `tm3270-fault` (which depends on
+/// `tm3270-encode`, which depends on this crate).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Runs `f` over `CASES` random `(a, b)` operand pairs.
+fn for_random_pairs(seed: u64, mut f: impl FnMut(u32, u32)) {
+    let mut rng = Rng(seed);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u32(), rng.next_u32());
+        f(a, b);
+    }
+}
 
 fn bin(op: Opcode, a: u32, b: u32) -> u32 {
     let mut rf = RegFile::new();
     rf.write(Reg::new(2), a);
     rf.write(Reg::new(3), b);
     let mut mem = FlatMemory::new(4096);
-    execute(&Op::rrr(op, Reg::new(4), Reg::new(2), Reg::new(3)), &rf, &mut mem).writes[0]
+    execute(
+        &Op::rrr(op, Reg::new(4), Reg::new(2), Reg::new(3)),
+        &rf,
+        &mut mem,
+    )
+    .expect("register-only op cannot fault")
+    .writes[0]
         .expect("result")
         .1
 }
@@ -23,109 +62,125 @@ fn halves(v: u32) -> [i16; 2] {
     [(v & 0xffff) as u16 as i16, (v >> 16) as u16 as i16]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn quadavg_matches_scalar_model(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn quadavg_matches_scalar_model() {
+    for_random_pairs(0x51_3d01, |a, b| {
         let got = bytes(bin(Opcode::Quadavg, a, b));
         for (i, &lane) in got.iter().enumerate() {
             let expect = (u16::from(bytes(a)[i]) + u16::from(bytes(b)[i])).div_ceil(2) as u8;
-            prop_assert_eq!(lane, expect, "lane {}", i);
+            assert_eq!(lane, expect, "lane {i} of {a:#x} avg {b:#x}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn quad_minmax_match_scalar_model(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn quad_minmax_match_scalar_model() {
+    for_random_pairs(0x51_3d02, |a, b| {
         let min = bytes(bin(Opcode::Quadumin, a, b));
         let max = bytes(bin(Opcode::Quadumax, a, b));
         for i in 0..4 {
-            prop_assert_eq!(min[i], bytes(a)[i].min(bytes(b)[i]));
-            prop_assert_eq!(max[i], bytes(a)[i].max(bytes(b)[i]));
+            assert_eq!(min[i], bytes(a)[i].min(bytes(b)[i]));
+            assert_eq!(max[i], bytes(a)[i].max(bytes(b)[i]));
         }
-    }
+    });
+}
 
-    #[test]
-    fn ume8uu_is_l1_distance(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn ume8uu_is_l1_distance() {
+    for_random_pairs(0x51_3d03, |a, b| {
         let got = bin(Opcode::Ume8uu, a, b);
         let expect: u32 = (0..4)
             .map(|i| (i32::from(bytes(a)[i]) - i32::from(bytes(b)[i])).unsigned_abs())
             .sum();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
         // Metric properties.
-        prop_assert_eq!(bin(Opcode::Ume8uu, a, a), 0);
-        prop_assert_eq!(bin(Opcode::Ume8uu, b, a), got, "symmetry");
-    }
+        assert_eq!(bin(Opcode::Ume8uu, a, a), 0);
+        assert_eq!(bin(Opcode::Ume8uu, b, a), got, "symmetry");
+    });
+}
 
-    #[test]
-    fn dual_saturating_ops_match_scalar_model(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn dual_saturating_ops_match_scalar_model() {
+    for_random_pairs(0x51_3d04, |a, b| {
         let add = halves(bin(Opcode::Dspidualadd, a, b));
         let sub = halves(bin(Opcode::Dspidualsub, a, b));
         let mul = halves(bin(Opcode::Dspidualmul, a, b));
         for i in 0..2 {
             let (x, y) = (i32::from(halves(a)[i]), i32::from(halves(b)[i]));
-            prop_assert_eq!(i32::from(add[i]), (x + y).clamp(-32768, 32767));
-            prop_assert_eq!(i32::from(sub[i]), (x - y).clamp(-32768, 32767));
-            prop_assert_eq!(i32::from(mul[i]), (x * y).clamp(-32768, 32767));
+            assert_eq!(i32::from(add[i]), (x + y).clamp(-32768, 32767));
+            assert_eq!(i32::from(sub[i]), (x - y).clamp(-32768, 32767));
+            assert_eq!(i32::from(mul[i]), (x * y).clamp(-32768, 32767));
         }
-    }
+    });
+}
 
-    #[test]
-    fn fir_ops_match_scalar_model(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn fir_ops_match_scalar_model() {
+    for_random_pairs(0x51_3d05, |a, b| {
         let ifir16 = bin(Opcode::Ifir16, a, b) as i32;
         let expect16: i64 = (0..2)
             .map(|i| i64::from(halves(a)[i]) * i64::from(halves(b)[i]))
             .sum();
-        prop_assert_eq!(i64::from(ifir16), (expect16 as i32).into());
+        assert_eq!(i64::from(ifir16), i64::from(expect16 as i32));
 
         let ufir8 = bin(Opcode::Ufir8uu, a, b);
         let expect8: u32 = (0..4)
             .map(|i| u32::from(bytes(a)[i]) * u32::from(bytes(b)[i]))
             .sum();
-        prop_assert_eq!(ufir8, expect8);
+        assert_eq!(ufir8, expect8);
 
         let ifir8ui = bin(Opcode::Ifir8ui, a, b) as i32;
         let expect_ui: i32 = (0..4)
             .map(|i| i32::from(bytes(a)[i]) * i32::from(bytes(b)[i] as i8))
             .sum();
-        prop_assert_eq!(ifir8ui, expect_ui);
-    }
+        assert_eq!(ifir8ui, expect_ui);
+    });
+}
 
-    #[test]
-    fn saturating_add_is_monotone_and_bounded(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn saturating_add_is_monotone_and_bounded() {
+    for_random_pairs(0x51_3d06, |a, b| {
         let r = bin(Opcode::Dspiadd, a, b) as i32;
         let wide = i64::from(a as i32) + i64::from(b as i32);
-        prop_assert_eq!(i64::from(r), wide.clamp(i64::from(i32::MIN), i64::from(i32::MAX)));
-    }
+        assert_eq!(
+            i64::from(r),
+            wide.clamp(i64::from(i32::MIN), i64::from(i32::MAX))
+        );
+    });
+}
 
-    #[test]
-    fn funnel_shifts_are_concatenation_windows(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn funnel_shifts_are_concatenation_windows() {
+    for_random_pairs(0x51_3d07, |a, b| {
         let cat = (u64::from(a) << 32) | u64::from(b);
-        prop_assert_eq!(bin(Opcode::Funshift1, a, b), (cat >> 24) as u32);
-        prop_assert_eq!(bin(Opcode::Funshift2, a, b), (cat >> 16) as u32);
-        prop_assert_eq!(bin(Opcode::Funshift3, a, b), (cat >> 8) as u32);
-    }
+        assert_eq!(bin(Opcode::Funshift1, a, b), (cat >> 24) as u32);
+        assert_eq!(bin(Opcode::Funshift2, a, b), (cat >> 16) as u32);
+        assert_eq!(bin(Opcode::Funshift3, a, b), (cat >> 8) as u32);
+    });
+}
 
-    #[test]
-    fn merge_then_select_recovers_lanes(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn merge_then_select_recovers_lanes() {
+    for_random_pairs(0x51_3d08, |a, b| {
         // mergemsb interleaves the two high bytes of each source; every
         // output lane must be an input byte.
         let out = bytes(bin(Opcode::MergeMsb, a, b));
-        prop_assert_eq!(out[3], bytes(a)[3]);
-        prop_assert_eq!(out[2], bytes(b)[3]);
-        prop_assert_eq!(out[1], bytes(a)[2]);
-        prop_assert_eq!(out[0], bytes(b)[2]);
-    }
+        assert_eq!(out[3], bytes(a)[3]);
+        assert_eq!(out[2], bytes(b)[3]);
+        assert_eq!(out[1], bytes(a)[2]);
+        assert_eq!(out[0], bytes(b)[2]);
+    });
+}
 
-    #[test]
-    fn guard_false_means_no_effect(
-        code in 0u16..127,
-        a in any::<u32>(),
-        b in any::<u32>(),
-    ) {
+#[test]
+fn guard_false_means_no_effect() {
+    let mut rng = Rng(0x51_3d09);
+    for _ in 0..CASES {
+        let code = (rng.next_u32() % 127) as u16;
+        let (a, b) = (rng.next_u32(), rng.next_u32());
         let opcode = Opcode::from_code(code).unwrap();
         if opcode == Opcode::Jmpf {
-            return Ok(()); // jmpf architecturally fires on a false guard
+            continue; // jmpf architecturally fires on a false guard
         }
         let sig = opcode.signature();
         let mut rf = RegFile::new();
@@ -139,18 +194,20 @@ proptest! {
         let dsts: Vec<Reg> = (0..sig.dsts).map(|k| Reg::new(20 + k)).collect();
         let imm = i32::from(sig.imm) * 4;
         let op = Op::new(opcode, Reg::new(9), &srcs, &dsts, imm);
-        let res = execute(&op, &rf, &mut mem);
-        prop_assert!(!res.executed);
-        prop_assert_eq!(res.writes, [None, None]);
-        prop_assert_eq!(res.branch_target, None);
-        prop_assert_eq!(mem.as_slice(), &before[..], "memory untouched");
+        let res = execute(&op, &rf, &mut mem).expect("guard-false op cannot fault");
+        assert!(!res.executed);
+        assert_eq!(res.writes, [None, None]);
+        assert_eq!(res.branch_target, None);
+        assert_eq!(mem.as_slice(), &before[..], "memory untouched");
     }
+}
 
-    #[test]
-    fn results_never_target_constant_registers(
-        code in 0u16..127,
-        a in any::<u32>(),
-    ) {
+#[test]
+fn results_never_target_constant_registers() {
+    let mut rng = Rng(0x51_3d0a);
+    for _ in 0..CASES {
+        let code = (rng.next_u32() % 127) as u16;
+        let a = rng.next_u32();
         // Whatever executes, r0 and r1 stay architectural constants.
         let opcode = Opcode::from_code(code).unwrap();
         let sig = opcode.signature();
@@ -162,12 +219,12 @@ proptest! {
         let dsts: Vec<Reg> = (0..sig.dsts).map(|k| Reg::new(30 + k)).collect();
         let imm = i32::from(sig.imm) * 8;
         let op = Op::new(opcode, Reg::ONE, &srcs, &dsts, imm);
-        let res = execute(&op, &rf, &mut mem);
+        let res = execute(&op, &rf, &mut mem).expect("in-bounds access on a permissive memory");
         for (r, v) in res.write_iter() {
-            prop_assert!(!r.is_constant());
+            assert!(!r.is_constant());
             rf.write(r, v);
         }
-        prop_assert_eq!(rf.read(Reg::ZERO), 0);
-        prop_assert_eq!(rf.read(Reg::ONE), 1);
+        assert_eq!(rf.read(Reg::ZERO), 0);
+        assert_eq!(rf.read(Reg::ONE), 1);
     }
 }

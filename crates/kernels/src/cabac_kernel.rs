@@ -136,7 +136,14 @@ impl Kernel for CabacDecode {
         // Initial window: refill from bit position 0, then consume the
         // 9 initialization bits.
         Self::emit_refill(
-            &mut b, byte_ptr, bit_pos, stream_data, c7, c_lo, c_hi, &refill_scratch,
+            &mut b,
+            byte_ptr,
+            bit_pos,
+            stream_data,
+            c7,
+            c_lo,
+            c_hi,
+            &refill_scratch,
         );
         let value = ra.alloc();
         let range = ra.alloc();
@@ -250,7 +257,13 @@ impl Kernel for CabacDecode {
                 b.op(Op::rrr(Opcode::Ugeq, is_lps, value, trange));
                 b.op(Op::new(Opcode::Isub, is_lps, &[value, trange], &[value], 0));
                 b.op(Op::rrr(Opcode::Iadd, range, trange, Reg::ZERO));
-                b.op(Op::new(Opcode::Iadd, is_lps, &[rlps, Reg::ZERO], &[range], 0));
+                b.op(Op::new(
+                    Opcode::Iadd,
+                    is_lps,
+                    &[rlps, Reg::ZERO],
+                    &[range],
+                    0,
+                ));
                 b.op(Op::rrr(Opcode::Ixor, bit, mps, is_lps));
                 // MPS flip on LPS in state 0.
                 b.op(Op::rri(Opcode::Ieqli, z, state, 0));
@@ -260,10 +273,19 @@ impl Kernel for CabacDecode {
                 b.op_in_stream(Op::rrr(Opcode::Uld8r, mnext, mps_next, state), streams::TAB);
                 b.op_in_stream(Op::rrr(Opcode::Uld8r, lnext, lps_next, state), streams::TAB);
                 b.op(Op::rrr(Opcode::Iadd, state, mnext, Reg::ZERO));
-                b.op(Op::new(Opcode::Iadd, is_lps, &[lnext, Reg::ZERO], &[state], 0));
+                b.op(Op::new(
+                    Opcode::Iadd,
+                    is_lps,
+                    &[lnext, Reg::ZERO],
+                    &[state],
+                    0,
+                ));
 
                 // Renormalization via the shift-count table.
-                b.op_in_stream(Op::rrr(Opcode::Uld8r, nshift, norm_base, range), streams::TAB);
+                b.op_in_stream(
+                    Op::rrr(Opcode::Uld8r, nshift, norm_base, range),
+                    streams::TAB,
+                );
                 b.op(Op::rrr(Opcode::Asl, range, range, nshift));
                 b.op(Op::rrr(Opcode::Asl, aligned, stream_data, bit_pos));
                 b.op(Op::rrr(Opcode::Isub, sh, c31, nshift));

@@ -118,8 +118,7 @@ pub fn mpeg2_frame(
                         let sx = (mbx * 16 + col) as isize + dx as isize;
                         let s = reference[sy as usize * width + sx as usize];
                         let avg = (u32::from(s) + u32::from(mpeg2_residual(col))).div_ceil(2);
-                        out[(mby * 16 + row) * width + mbx * 16 + col] =
-                            avg.clamp(8, 248) as u8;
+                        out[(mby * 16 + row) * width + mbx * 16 + col] = avg.clamp(8, 248) as u8;
                         fir += i32::from(s) * i32::from(MPEG2_FIR_COEF[sub]);
                     }
                     checksum = checksum.wrapping_add(fir as u32);
@@ -206,9 +205,7 @@ pub fn majority_select(a: &[u8], b: &[u8], c: &[u8]) -> Vec<u8> {
 /// a row: `out[i] = (src[i]*(16-frac) + src[i+1]*frac + 8) / 16`.
 pub fn interp_row(src: &[u8], frac: u32, n: usize) -> Vec<u8> {
     (0..n)
-        .map(|i| {
-            ((u32::from(src[i]) * (16 - frac) + u32::from(src[i + 1]) * frac + 8) / 16) as u8
-        })
+        .map(|i| ((u32::from(src[i]) * (16 - frac) + u32::from(src[i + 1]) * frac + 8) / 16) as u8)
         .collect()
 }
 
@@ -238,7 +235,9 @@ pub fn pattern(len: usize, seed: u64) -> Vec<u8> {
     let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
     (0..len)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 56) as u8
         })
         .collect()
@@ -258,7 +257,9 @@ pub fn motion_field(
     let mut out = Vec::with_capacity(mbs_x * mbs_y);
     for mby in 0..mbs_y {
         for mbx in 0..mbs_x {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let span = 2 * magnitude as u16 + 1;
             let raw_dx = if magnitude == 0 {
                 0
@@ -325,7 +326,9 @@ mod tests {
 
     #[test]
     fn zero_motion_field_is_zero() {
-        assert!(motion_field(4, 4, 0, 64, 64, 1).iter().all(|&v| v == (0, 0)));
+        assert!(motion_field(4, 4, 0, 64, 64, 1)
+            .iter()
+            .all(|&v| v == (0, 0)));
     }
 
     #[test]

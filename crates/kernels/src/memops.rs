@@ -66,7 +66,10 @@ impl Kernel for Memset {
         let got = m.read_data(DST, self.size as usize);
         match got.iter().position(|&b| b != self.value) {
             None => Ok(()),
-            Some(i) => Err(format!("byte {i} is {:#x}, expected {:#x}", got[i], self.value)),
+            Some(i) => Err(format!(
+                "byte {i} is {:#x}, expected {:#x}",
+                got[i], self.value
+            )),
         }
     }
 }

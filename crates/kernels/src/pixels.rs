@@ -144,8 +144,11 @@ impl Kernel for Rgb2Yuv {
 
     fn verify(&self, m: &Machine) -> Result<(), String> {
         let (y, u, v) = golden::rgb2yuv(&self.geo.rgbx());
-        for (name, plane, expect) in [("Y", PLANE[0], &y), ("U", PLANE[1], &u), ("V", PLANE[2], &v)]
-        {
+        for (name, plane, expect) in [
+            ("Y", PLANE[0], &y),
+            ("U", PLANE[1], &u),
+            ("V", PLANE[2], &v),
+        ] {
             let got = m.read_data(plane, expect.len());
             if let Some(i) = expect.iter().zip(&got).position(|(a, b)| a != b) {
                 return Err(format!(

@@ -53,12 +53,15 @@ impl Mp3Proxy {
         let ifir16 = |a: u32, b: u32| -> u32 {
             let (ah, al) = ((a >> 16) as u16 as i16, a as u16 as i16);
             let (bh, bl) = ((b >> 16) as u16 as i16, b as u16 as i16);
-            (i32::from(ah).wrapping_mul(i32::from(bh))
-                + i32::from(al).wrapping_mul(i32::from(bl))) as u32
+            (i32::from(ah).wrapping_mul(i32::from(bh)) + i32::from(al).wrapping_mul(i32::from(bl)))
+                as u32
         };
         let dualadd = |a: u32, b: u32| -> u32 {
             let sat = |x: i32, y: i32| x.saturating_add(y).clamp(-32768, 32767) as i16 as u16;
-            let hi = sat((a >> 16) as u16 as i16 as i32, (b >> 16) as u16 as i16 as i32);
+            let hi = sat(
+                (a >> 16) as u16 as i16 as i32,
+                (b >> 16) as u16 as i16 as i32,
+            );
             let lo = sat(a as u16 as i16 as i32, b as u16 as i16 as i32);
             (u32::from(hi) << 16) | u32::from(lo)
         };
@@ -131,7 +134,13 @@ impl Kernel for Mp3Proxy {
         let rp = ra.alloc();
         emit_const(&mut b, rp, RESULT);
         for (i, &a) in accs.iter().enumerate() {
-            b.op(Op::new(Opcode::St32d, Reg::ONE, &[rp, a], &[], i as i32 * 4));
+            b.op(Op::new(
+                Opcode::St32d,
+                Reg::ONE,
+                &[rp, a],
+                &[],
+                i as i32 * 4,
+            ));
         }
         b.build()
     }

@@ -69,8 +69,14 @@ impl Kernel for FilmDetect {
         let big: [Reg; 4] = ra.alloc_n();
         counted_loop(&mut b, &mut ra, self.size / 16, |b, _| {
             for i in 0..4usize {
-                b.op_in_stream(Op::rri(Opcode::Ld32d, wa[i], pa, i as i32 * 4), streams::SRC);
-                b.op_in_stream(Op::rri(Opcode::Ld32d, wb[i], pb, i as i32 * 4), streams::AUX);
+                b.op_in_stream(
+                    Op::rri(Opcode::Ld32d, wa[i], pa, i as i32 * 4),
+                    streams::SRC,
+                );
+                b.op_in_stream(
+                    Op::rri(Opcode::Ld32d, wb[i], pb, i as i32 * 4),
+                    streams::AUX,
+                );
                 // Byte-wise SAD.
                 b.op(Op::rrr(Opcode::Ume8uu, sad[i], wa[i], wb[i]));
                 b.op(Op::rrr(Opcode::Iadd, acc, acc, sad[i]));
@@ -215,10 +221,7 @@ impl Kernel for MajoritySelect {
         let (expect, dev) = golden::majority_select_blend(&a, &b, &c);
         let got = m.read_data(DST, expect.len());
         if let Some(i) = expect.iter().zip(&got).position(|(x, y)| x != y) {
-            return Err(format!(
-                "pixel {i}: got {}, expected {}",
-                got[i], expect[i]
-            ));
+            return Err(format!("pixel {i}: got {}, expected {}", got[i], expect[i]));
         }
         let got_dev = u32::from_le_bytes(m.read_data(RESULT, 4).try_into().unwrap());
         if got_dev != dev {
@@ -236,7 +239,10 @@ mod tests {
 
     #[test]
     fn filmdet_verifies_on_all_configs() {
-        let k = FilmDetect { size: 4096, seed: 1 };
+        let k = FilmDetect {
+            size: 4096,
+            seed: 1,
+        };
         for config in MachineConfig::evaluation_suite() {
             run_kernel(&k, &config).unwrap_or_else(|e| panic!("{}: {e}", config.name));
         }
@@ -244,7 +250,10 @@ mod tests {
 
     #[test]
     fn majority_sel_verifies_on_all_configs() {
-        let k = MajoritySelect { size: 4096, seed: 2 };
+        let k = MajoritySelect {
+            size: 4096,
+            seed: 2,
+        };
         for config in MachineConfig::evaluation_suite() {
             run_kernel(&k, &config).unwrap_or_else(|e| panic!("{}: {e}", config.name));
         }

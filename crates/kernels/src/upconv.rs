@@ -66,7 +66,9 @@ impl Upconv {
         let mut x = self.seed.wrapping_mul(0x9e37_79b9) | 1;
         (0..self.height)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let dx = ((x >> 40) % 17) as i32 - 8;
                 let frac = ((x >> 20) % 16) as u32;
                 (dx, frac)
@@ -86,10 +88,8 @@ impl Upconv {
             let base = (r + 1) * w;
             for x in 8..w - 16 {
                 let sa = (base as isize + x as isize + dx as isize) as usize;
-                let interp = (u32::from(prev[sa]) * (16 - frac)
-                    + u32::from(prev[sa + 1]) * frac
-                    + 8)
-                    / 16;
+                let interp =
+                    (u32::from(prev[sa]) * (16 - frac) + u32::from(prev[sa + 1]) * frac + 8) / 16;
                 let blend = (interp + u32::from(next[r * w + x])).div_ceil(2);
                 out[r * w + x] = blend as u8;
             }
@@ -305,7 +305,13 @@ mod tests {
         let opt_nopf = run_kernel(&Upconv::evaluation(true, false), &cfg).unwrap();
         let ops_gain = base.cycles as f64 / opt.cycles as f64;
         let pf_gain = opt_nopf.cycles as f64 / opt.cycles as f64;
-        assert!(ops_gain > 1.25, "paper [14]: ~40% from new ops, got {ops_gain:.2}");
-        assert!(pf_gain > 1.1, "paper [14]: >20% from prefetch, got {pf_gain:.2}");
+        assert!(
+            ops_gain > 1.25,
+            "paper [14]: ~40% from new ops, got {ops_gain:.2}"
+        );
+        assert!(
+            pf_gain > 1.1,
+            "paper [14]: >20% from prefetch, got {pf_gain:.2}"
+        );
     }
 }

@@ -66,12 +66,7 @@ pub fn counted_loop(
 /// Packs four bytes held in registers (`b0` = lowest address / least
 /// significant) into `dst` as a little-endian word. Emits 5 operations
 /// and uses one scratch register.
-pub fn emit_pack4(
-    b: &mut ProgramBuilder,
-    ra: &mut RegAlloc,
-    dst: Reg,
-    bytes: [Reg; 4],
-) {
+pub fn emit_pack4(b: &mut ProgramBuilder, ra: &mut RegAlloc, dst: Reg, bytes: [Reg; 4]) {
     let t = ra.alloc();
     // dst = b1:b0 (16 bits), t = b3:b2, dst |= t << 16.
     b.op(Op::rrr(Opcode::PackBytes, dst, bytes[1], bytes[0]));

@@ -243,7 +243,13 @@ impl Kernel for Mpeg2 {
         // Store the checksum for verification.
         let res_ptr = ra.alloc();
         emit_const(&mut b, res_ptr, RESULT);
-        b.op(Op::new(Opcode::St32d, Reg::ONE, &[res_ptr, checksum], &[], 0));
+        b.op(Op::new(
+            Opcode::St32d,
+            Reg::ONE,
+            &[res_ptr, checksum],
+            &[],
+            0,
+        ));
         b.build()
     }
 

@@ -77,8 +77,14 @@ impl CacheGeometry {
     /// Panics on an inconsistent geometry.
     pub fn validate(&self) {
         assert!(self.line.is_power_of_two(), "line size not a power of two");
-        assert!(self.size.is_multiple_of(self.line * self.ways), "size not divisible");
-        assert!(self.sets().is_power_of_two(), "set count not a power of two");
+        assert!(
+            self.size.is_multiple_of(self.line * self.ways),
+            "size not divisible"
+        );
+        assert!(
+            self.sets().is_power_of_two(),
+            "set count not a power of two"
+        );
     }
 }
 
@@ -207,8 +213,7 @@ impl CacheArray {
     /// line boundary. Updates LRU and statistics.
     pub fn lookup(&mut self, addr: u32, len: u32) -> Lookup {
         debug_assert!(
-            self.geometry.line_base(addr)
-                == self.geometry.line_base(addr.wrapping_add(len - 1)),
+            self.geometry.line_base(addr) == self.geometry.line_base(addr.wrapping_add(len - 1)),
             "lookup crosses a line boundary"
         );
         self.tick += 1;
@@ -250,16 +255,11 @@ impl CacheArray {
                     .expect("non-empty set")
             });
         let victim = if self.lines[slot].valid && self.lines[slot].dirty {
-            let vb = self.lines[slot]
-                .valid_bytes
-                .iter()
-                .filter(|&&v| v)
-                .count() as u32;
+            let vb = self.lines[slot].valid_bytes.iter().filter(|&&v| v).count() as u32;
             self.stats.copybacks += 1;
             self.stats.copyback_bytes += u64::from(vb);
             Some(Victim {
-                base: (self.lines[slot].tag * self.geometry.sets()
-                    + self.geometry.set_of(addr))
+                base: (self.lines[slot].tag * self.geometry.sets() + self.geometry.set_of(addr))
                     * self.geometry.line,
                 copyback_bytes: vb,
             })

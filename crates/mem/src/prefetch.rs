@@ -106,7 +106,10 @@ impl PrefetchUnit {
         line: u32,
         present: impl Fn(u32) -> bool,
     ) -> Option<u32> {
-        let region = self.regions.iter().find(|r| r.is_active() && r.contains(addr))?;
+        let region = self
+            .regions
+            .iter()
+            .find(|r| r.is_active() && r.contains(addr))?;
         self.stats.region_matches += 1;
         let candidate = addr.wrapping_add(region.stride);
         if !region.contains(candidate) {

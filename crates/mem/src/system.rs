@@ -37,6 +37,13 @@ pub struct MemConfig {
     pub bg_backpressure_cycles: f64,
     /// Size of the flat backing memory in bytes (power of two).
     pub mem_size: usize,
+    /// Strict access checking: when `true`, accesses beyond `mem_size`
+    /// raise `ExecError::OutOfBoundsAccess` instead of wrapping, and
+    /// non-naturally-aligned accesses raise `ExecError::MisalignedAccess`.
+    /// Off by default — the TM3270 architecturally supports non-aligned
+    /// accesses and a wrap-around flat address space; this is a
+    /// diagnostic mode for the fault-injection harness.
+    pub strict_access: bool,
 }
 
 impl MemConfig {
@@ -52,6 +59,7 @@ impl MemConfig {
             prefetch_queue: 8,
             bg_backpressure_cycles: 300.0,
             mem_size: 16 << 20,
+            strict_access: false,
         }
     }
 
@@ -69,6 +77,7 @@ impl MemConfig {
             // outstanding transfers than the TM3270's.
             bg_backpressure_cycles: 20.0,
             mem_size: 16 << 20,
+            strict_access: false,
         }
     }
 }
@@ -197,16 +206,12 @@ impl MemorySystem {
         let line = self.config.dcache.line;
         // Prefetches are opportunistic: they are only issued while the
         // channel is not badly congested, and never stall the core.
-        while self.dram.free_at() - (self.now + self.stall)
-            <= self.config.bg_backpressure_cycles
-        {
+        while self.dram.free_at() - (self.now + self.stall) <= self.config.bg_backpressure_cycles {
             match self.prefetch.pop_request() {
                 Some(base) => {
-                    let completion = self.dram.request(
-                        self.now + self.stall,
-                        line,
-                        Priority::Background,
-                    );
+                    let completion =
+                        self.dram
+                            .request(self.now + self.stall, line, Priority::Background);
                     self.prefetch.mark_in_flight(base, completion);
                 }
                 None => break,
@@ -391,6 +396,16 @@ impl DataMemory for MemorySystem {
         self.flat.store_bytes(addr, data);
     }
 
+    fn check_access(&self, addr: u32, size: u32) -> Result<(), tm3270_isa::ExecError> {
+        if !self.config.strict_access {
+            return Ok(());
+        }
+        if u64::from(addr) + u64::from(size) > self.config.mem_size as u64 {
+            return Err(tm3270_isa::ExecError::OutOfBoundsAccess { addr, size });
+        }
+        tm3270_isa::check_alignment(addr, size)
+    }
+
     fn cache_op(&mut self, op: CacheOp, addr: u32) {
         let geom = self.config.dcache;
         let base = geom.line_base(addr);
@@ -403,8 +418,7 @@ impl DataMemory for MemorySystem {
                 }
             }
             CacheOp::Prefetch => {
-                if !self.dcache.contains(base)
-                    && self.prefetch.in_flight_completion(base).is_none()
+                if !self.dcache.contains(base) && self.prefetch.in_flight_completion(base).is_none()
                 {
                     let completion = self.dram.request(t, geom.line, Priority::Background);
                     self.prefetch.mark_in_flight(base, completion);
@@ -577,7 +591,11 @@ mod tests {
             cycle += 200 + m.take_stall();
         }
         let s = m.stats();
-        assert!(s.prefetch.issued > 30, "prefetches issued: {:?}", s.prefetch);
+        assert!(
+            s.prefetch.issued > 30,
+            "prefetches issued: {:?}",
+            s.prefetch
+        );
         assert!(
             s.dcache.prefetch_hits > 30,
             "prefetched lines are consumed: {:?}",

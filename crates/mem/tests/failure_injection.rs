@@ -152,7 +152,11 @@ fn allocd_makes_following_stores_hit() {
     m.cache_op(CacheOp::Allocate, 0x6000);
     m.store_bytes(0x6000, &[5; 8]);
     assert_eq!(m.take_stall(), 0);
-    assert_eq!(m.stats().dcache.misses, 0, "allocd pre-established the line");
+    assert_eq!(
+        m.stats().dcache.misses,
+        0,
+        "allocd pre-established the line"
+    );
 }
 
 #[test]

@@ -149,8 +149,7 @@ impl AreaModel {
 
     /// Fraction of the total area occupied by cache SRAMs (paper: ~50%).
     pub fn sram_fraction(&self, config: &MachineConfig) -> f64 {
-        let sram = (f64::from(config.mem.icache.size) + f64::from(config.mem.dcache.size))
-            / 1024.0
+        let sram = (f64::from(config.mem.icache.size) + f64::from(config.mem.dcache.size)) / 1024.0
             * self.sram_mm2_per_kb;
         sram / self.total(config)
     }
@@ -360,10 +359,7 @@ mod tests {
         let stats = fake_stats(1000, 1000, 4500, 20);
         let model = PowerModel::calibrated(&stats);
         let total = model.total_mw_per_mhz(&stats, 1.2);
-        assert!(
-            (total - TABLE4_POWER_TOTAL).abs() < 0.01,
-            "got {total:.3}"
-        );
+        assert!((total - TABLE4_POWER_TOTAL).abs() < 0.01, "got {total:.3}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! flat memory (caches change timing, never values), and its statistics
 //! stay internally consistent.
 
-use proptest::prelude::*;
+use tm3270_fault::SmallRng;
 use tm3270_isa::{CacheOp, DataMemory, FlatMemory};
 use tm3270_mem::{CacheGeometry, MemConfig, MemorySystem, Region};
 
@@ -14,24 +14,31 @@ enum Access {
     CacheCtl { op: CacheOp, addr: u32 },
 }
 
-fn access_strategy() -> impl Strategy<Value = Access> {
+const CACHE_OPS: &[CacheOp] = &[
+    CacheOp::Allocate,
+    CacheOp::Prefetch,
+    CacheOp::Invalidate,
+    CacheOp::Flush,
+];
+
+fn random_access(rng: &mut SmallRng) -> Access {
     // A 64 KiB window with a small cache guarantees heavy eviction.
-    let addr = 0u32..65_000;
-    prop_oneof![
-        4 => (addr.clone(), 1usize..9).prop_map(|(addr, len)| Access::Load { addr, len }),
-        4 => (addr.clone(), prop::collection::vec(any::<u8>(), 1..9))
-            .prop_map(|(addr, data)| Access::Store { addr, data }),
-        1 => (
-            prop_oneof![
-                Just(CacheOp::Allocate),
-                Just(CacheOp::Prefetch),
-                Just(CacheOp::Invalidate),
-                Just(CacheOp::Flush)
-            ],
-            addr
-        )
-            .prop_map(|(op, addr)| Access::CacheCtl { op, addr }),
-    ]
+    let addr = rng.below(65_000) as u32;
+    match rng.below(9) {
+        0..=3 => Access::Load {
+            addr,
+            len: 1 + rng.index(8),
+        },
+        4..=7 => {
+            let mut data = vec![0u8; 1 + rng.index(8)];
+            rng.fill_bytes(&mut data);
+            Access::Store { addr, data }
+        }
+        _ => Access::CacheCtl {
+            op: CACHE_OPS[rng.index(CACHE_OPS.len())],
+            addr,
+        },
+    }
 }
 
 fn tiny_config() -> MemConfig {
@@ -45,14 +52,14 @@ fn tiny_config() -> MemConfig {
     cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn cached_memory_equals_flat_memory(
-        accesses in prop::collection::vec(access_strategy(), 1..200),
-        prefetch_region in any::<bool>(),
-    ) {
+#[test]
+fn cached_memory_equals_flat_memory() {
+    let mut rng = SmallRng::new(0x3e3_0001);
+    for case in 0..128 {
+        let accesses: Vec<Access> = (0..1 + rng.index(199))
+            .map(|_| random_access(&mut rng))
+            .collect();
+        let prefetch_region = rng.chance(1, 2);
         // Careful: `Invalidate` discards dirty data in a real cache. Our
         // model keeps functional data in the flat store, so invalidate
         // only affects timing — data equality must STILL hold.
@@ -60,7 +67,14 @@ proptest! {
         let mut sys = MemorySystem::new(cfg.clone());
         let mut flat = FlatMemory::new(cfg.mem_size);
         if prefetch_region {
-            sys.set_prefetch_region(0, Region { start: 0, end: 60_000, stride: 64 });
+            sys.set_prefetch_region(
+                0,
+                Region {
+                    start: 0,
+                    end: 60_000,
+                    stride: 64,
+                },
+            );
         }
         let mut cycle = 0u64;
         for (i, access) in accesses.iter().enumerate() {
@@ -71,7 +85,7 @@ proptest! {
                     let mut b = vec![0u8; *len];
                     sys.load_bytes(*addr, &mut a);
                     flat.load_bytes(*addr, &mut b);
-                    prop_assert_eq!(a, b, "load {} at {:#x}", i, addr);
+                    assert_eq!(a, b, "case {case}: load {i} at {addr:#x}");
                 }
                 Access::Store { addr, data } => {
                     sys.store_bytes(*addr, data);
@@ -89,13 +103,17 @@ proptest! {
         sys.begin_instr(cycle);
         sys.load_bytes(0, &mut a);
         flat.load_bytes(0, &mut b);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}: final image");
     }
+}
 
-    #[test]
-    fn statistics_stay_consistent(
-        accesses in prop::collection::vec(access_strategy(), 1..150),
-    ) {
+#[test]
+fn statistics_stay_consistent() {
+    let mut rng = SmallRng::new(0x3e3_0002);
+    for _ in 0..128 {
+        let accesses: Vec<Access> = (0..1 + rng.index(149))
+            .map(|_| random_access(&mut rng))
+            .collect();
         let cfg = tiny_config();
         let mut sys = MemorySystem::new(cfg);
         let mut cycle = 0u64;
@@ -118,26 +136,28 @@ proptest! {
             cycle += 1 + sys.take_stall();
         }
         let s = sys.stats();
-        prop_assert_eq!(s.mem.loads, loads);
-        prop_assert_eq!(s.mem.stores, stores);
+        assert_eq!(s.mem.loads, loads);
+        assert_eq!(s.mem.stores, stores);
         // Lookup accounting: hits + partial hits + misses covers at least
         // one lookup per access (non-aligned accesses produce two).
         let lookups = s.dcache.hits + s.dcache.partial_hits + s.dcache.misses;
-        prop_assert!(lookups >= loads + stores);
-        prop_assert!(lookups <= 2 * (loads + stores) + accesses.len() as u64);
+        assert!(lookups >= loads + stores);
+        assert!(lookups <= 2 * (loads + stores) + accesses.len() as u64);
         // Copy-back bytes only move when lines were dirtied.
         if stores == 0 {
-            prop_assert_eq!(s.dcache.copyback_bytes, 0);
+            assert_eq!(s.dcache.copyback_bytes, 0);
         }
         // The DRAM channel never reports more demand transfers than
         // total transfers.
-        prop_assert!(s.dram.demand_transfers <= s.dram.transfers);
+        assert!(s.dram.demand_transfers <= s.dram.transfers);
     }
+}
 
-    #[test]
-    fn lru_capacity_bound_holds(n_lines in 1u32..64) {
-        // Touch n distinct lines cyclically: once the cache holds them
-        // all (n <= capacity), a second pass has zero misses.
+#[test]
+fn lru_capacity_bound_holds() {
+    // Touch n distinct lines cyclically: once the cache holds them
+    // all (n <= capacity), a second pass has zero misses.
+    for n_lines in 1u32..64 {
         let cfg = tiny_config(); // 2 KiB, 64-byte lines -> 32 lines
         let capacity_lines = cfg.dcache.size / cfg.dcache.line;
         let mut sys = MemorySystem::new(cfg);
@@ -153,7 +173,7 @@ proptest! {
             let misses = sys.stats().dcache.misses - miss_before;
             if pass == 1 && n_lines <= capacity_lines / 2 {
                 // Half the capacity always fits regardless of set mapping.
-                prop_assert_eq!(misses, 0, "warm pass of {} lines missed", n_lines);
+                assert_eq!(misses, 0, "warm pass of {n_lines} lines missed");
             }
         }
     }

@@ -56,7 +56,14 @@ fn figure7_shape_holds() {
 
     // §6: EEMBC kernels and TV algorithms show modest gains, dominated by
     // the frequency ratio (350/240 = 1.46).
-    for name in ["filter", "rgb2yuv", "rgb2cmyk", "rgb2yiq", "filmdet", "majority_sel"] {
+    for name in [
+        "filter",
+        "rgb2yuv",
+        "rgb2cmyk",
+        "rgb2yiq",
+        "filmdet",
+        "majority_sel",
+    ] {
         let r = row(name);
         assert!(
             (1.1..2.2).contains(&r.relative[3]),
@@ -66,7 +73,11 @@ fn figure7_shape_holds() {
     }
 
     // memcpy gains substantially from A to B (write-miss policy).
-    assert!(row("memcpy").relative[1] > 1.3, "{:?}", row("memcpy").relative);
+    assert!(
+        row("memcpy").relative[1] > 1.3,
+        "{:?}",
+        row("memcpy").relative
+    );
 }
 
 #[test]

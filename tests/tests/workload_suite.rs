@@ -98,7 +98,10 @@ fn write_miss_policy_shows_in_memcpy_traffic() {
     let a = run_kernel(&k, &MachineConfig::config_a()).unwrap();
     let b = run_kernel(&k, &MachineConfig::config_b()).unwrap();
     let ratio = a.mem.dram.bytes as f64 / b.mem.dram.bytes as f64;
-    assert!((1.3..1.7).contains(&ratio), "traffic ratio {ratio:.2} ~ 1.5");
+    assert!(
+        (1.3..1.7).contains(&ratio),
+        "traffic ratio {ratio:.2} ~ 1.5"
+    );
 }
 
 #[test]
