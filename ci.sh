@@ -20,4 +20,12 @@ cargo fmt --all --check
 echo "== fault campaign (seed 1, 200 runs) =="
 cargo run --release -q -p tm3270-bench --bin repro_fault_campaign -- --seed 1 --runs 200
 
+echo "== profiler smoke (memset, JSON + chrome trace) =="
+profile_json=$(cargo run --release -q -p tm3270-bench --bin repro_profile -- \
+  --workload memset --json --chrome-trace /tmp/tm3270_profile_trace.json)
+echo "$profile_json" | grep -q '"buckets"' || {
+  echo "FAIL: repro_profile --json produced no stall buckets"; exit 1; }
+python3 -c "import json,sys; json.load(open('/tmp/tm3270_profile_trace.json'))" 2>/dev/null \
+  || echo "note: python3 unavailable or trace invalid; JSON checked by cargo tests"
+
 echo "CI OK"

@@ -9,8 +9,12 @@
 //! a cycle budget.
 //!
 //! ```text
-//! repro_fault_campaign [--seed N] [--runs N] [--verbose]
+//! repro_fault_campaign [--seed N] [--runs N] [--verbose] [--json]
 //! ```
+//!
+//! `--json` replaces the text summary with a machine-readable document
+//! (seed, runs, flips, panics, error-kind histogram) so CI can diff
+//! campaign coverage instead of grepping stdout.
 //!
 //! Exits non-zero if any run panics, or if the campaign exercised fewer
 //! than three distinct error kinds (which would mean the harness lost
@@ -34,6 +38,7 @@ struct Args {
     seed: u64,
     runs: u64,
     verbose: bool,
+    json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         runs: 200,
         verbose: false,
+        json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -54,8 +60,9 @@ fn parse_args() -> Result<Args, String> {
                 args.runs = v.parse().map_err(|e| format!("--runs {v}: {e}"))?;
             }
             "--verbose" => args.verbose = true,
+            "--json" => args.json = true,
             "--help" | "-h" => {
-                println!("usage: repro_fault_campaign [--seed N] [--runs N] [--verbose]");
+                println!("usage: repro_fault_campaign [--seed N] [--runs N] [--verbose] [--json]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
@@ -193,8 +200,10 @@ fn main() -> ExitCode {
 
         // Belt and braces: the whole decode+run is also wrapped in
         // catch_unwind so an escaped panic is *counted*, not fatal to
-        // the campaign.
-        let outcome = std::panic::catch_unwind(move || {
+        // the campaign. AssertUnwindSafe: everything the closure owns is
+        // dropped with it on unwind, nothing is observed afterwards.
+        let ring_size = config.trace_ring;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
             // Decode-time errors have no machine state yet: report them
             // with an empty snapshot.
             let mut machine = Machine::from_image(config, image).map_err(|error| {
@@ -204,6 +213,7 @@ fn main() -> ExitCode {
                     cycle: 0,
                     instrs: 0,
                     reg_digest: 0,
+                    ring_size,
                     trace: Vec::new(),
                 })
             })?;
@@ -215,7 +225,7 @@ fn main() -> ExitCode {
             }
             machine.set_watchdog(WATCHDOG);
             machine.run_reported(CYCLE_BUDGET).map(|stats| stats.instrs)
-        });
+        }));
 
         match outcome {
             Ok(Ok(instrs)) => {
@@ -240,22 +250,37 @@ fn main() -> ExitCode {
         }
     }
 
-    println!(
-        "=== fault campaign: seed {}, {} runs ===",
-        args.seed, args.runs
-    );
-    println!("image bit flips injected: {flips_total}");
-    let mut keys: Vec<_> = outcomes.iter().collect();
-    keys.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
-    for (kind, count) in keys {
-        println!("{count:>8}  {kind}");
-    }
-    if let Some(report) = &sample_report {
-        println!("\nsample crash report (first typed error):");
-        print!("{report}");
+    let error_kinds = outcomes.keys().filter(|k| *k != "Completed").count();
+    if args.json {
+        let hist: Vec<String> = outcomes
+            .iter()
+            .map(|(kind, count)| format!("{}:{count}", tm3270_obs::json::string(kind)))
+            .collect();
+        println!(
+            "{{\"seed\":{},\"runs\":{},\"image_bit_flips\":{flips_total},\
+             \"panics\":{panics},\"error_kinds\":{error_kinds},\
+             \"outcomes\":{{{}}}}}",
+            args.seed,
+            args.runs,
+            hist.join(",")
+        );
+    } else {
+        println!(
+            "=== fault campaign: seed {}, {} runs ===",
+            args.seed, args.runs
+        );
+        println!("image bit flips injected: {flips_total}");
+        let mut keys: Vec<_> = outcomes.iter().collect();
+        keys.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (kind, count) in keys {
+            println!("{count:>8}  {kind}");
+        }
+        if let Some(report) = &sample_report {
+            println!("\nsample crash report (first typed error):");
+            print!("{report}");
+        }
     }
 
-    let error_kinds = outcomes.keys().filter(|k| *k != "Completed").count();
     if panics > 0 {
         eprintln!("FAIL: {panics} run(s) panicked");
         return ExitCode::from(1);
@@ -264,6 +289,8 @@ fn main() -> ExitCode {
         eprintln!("FAIL: only {error_kinds} distinct error kind(s) exercised (need >= 3)");
         return ExitCode::from(1);
     }
-    println!("\nOK: no panics, no hangs, {error_kinds} distinct error kinds");
+    if !args.json {
+        println!("\nOK: no panics, no hangs, {error_kinds} distinct error kinds");
+    }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,152 @@
+//! Workload profiler: stall attribution, utilization histograms and
+//! Chrome `trace_event` timelines for the repro workloads.
+//!
+//! ```text
+//! repro_profile [--workload NAME]... [--all] [--config a|b|c|d]
+//!               [--json] [--chrome-trace PATH] [--list]
+//! ```
+//!
+//! With no `--workload` the eleven Table 5 golden kernels are profiled.
+//! `--json` replaces the text reports with a JSON array of profile
+//! objects; `--chrome-trace` additionally records a Chrome
+//! `trace_event` timeline (requires exactly one workload) loadable in
+//! `chrome://tracing` or Perfetto.
+//!
+//! Every profiled run is checked for cycle conservation — the stall
+//! buckets must sum exactly to the run's total cycles — and the
+//! profiler exits non-zero on any violation.
+
+use std::process::ExitCode;
+
+use tm3270_bench::profile::{find_workload, golden_names, profile_kernel, workloads, Profile};
+use tm3270_core::MachineConfig;
+
+struct Args {
+    names: Vec<String>,
+    all: bool,
+    config: MachineConfig,
+    json: bool,
+    chrome_trace: Option<String>,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        names: Vec::new(),
+        all: false,
+        config: MachineConfig::tm3270(),
+        json: false,
+        chrome_trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--workload" => {
+                let v = it.next().ok_or("--workload needs a name")?;
+                args.names.push(v);
+            }
+            "--all" => args.all = true,
+            "--config" => {
+                let v = it.next().ok_or("--config needs a|b|c|d")?;
+                args.config = match v.as_str() {
+                    "a" | "A" => MachineConfig::config_a(),
+                    "b" | "B" => MachineConfig::config_b(),
+                    "c" | "C" => MachineConfig::config_c(),
+                    "d" | "D" => MachineConfig::config_d(),
+                    other => return Err(format!("unknown config {other} (want a|b|c|d)")),
+                };
+            }
+            "--json" => args.json = true,
+            "--chrome-trace" => {
+                let v = it.next().ok_or("--chrome-trace needs a path")?;
+                args.chrome_trace = Some(v);
+            }
+            "--list" => {
+                for kernel in workloads() {
+                    println!("{}", kernel.name());
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro_profile [--workload NAME]... [--all] \
+                     [--config a|b|c|d] [--json] [--chrome-trace PATH] [--list]"
+                );
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.chrome_trace.is_some() && (args.all || args.names.len() != 1) {
+        return Err("--chrome-trace requires exactly one --workload".into());
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro_profile: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let names: Vec<String> = if args.all {
+        workloads().iter().map(|k| k.name().to_string()).collect()
+    } else if args.names.is_empty() {
+        golden_names().iter().map(|n| n.to_string()).collect()
+    } else {
+        args.names.clone()
+    };
+
+    let mut profiles: Vec<Profile> = Vec::new();
+    for name in &names {
+        let Some(kernel) = find_workload(name) else {
+            eprintln!("repro_profile: unknown workload {name} (try --list)");
+            return ExitCode::from(2);
+        };
+        let chrome = args.chrome_trace.is_some();
+        let profile = match profile_kernel(kernel.as_ref(), &args.config, chrome) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("repro_profile: {name}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        if let Err(e) = profile.check_conservation() {
+            eprintln!("repro_profile: cycle conservation violated: {e}");
+            return ExitCode::from(1);
+        }
+        profiles.push(profile);
+    }
+
+    if let (Some(path), Some(profile)) = (&args.chrome_trace, profiles.first()) {
+        let trace = profile
+            .chrome_trace
+            .as_deref()
+            .unwrap_or("{\"traceEvents\":[]}");
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("repro_profile: writing {path}: {e}");
+            return ExitCode::from(1);
+        }
+        if !args.json {
+            println!("chrome trace written to {path}");
+        }
+    }
+
+    if args.json {
+        let objects: Vec<String> = profiles.iter().map(Profile::to_json).collect();
+        println!("[{}]", objects.join(","));
+    } else {
+        for profile in &profiles {
+            print!("{}", profile.report());
+            println!();
+        }
+        println!(
+            "OK: {} workload(s) profiled, stall buckets conserve cycles on all",
+            profiles.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

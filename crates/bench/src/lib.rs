@@ -29,6 +29,7 @@ use tm3270_kernels::{evaluation_kernels, run_kernel, Kernel};
 
 pub mod ablations;
 pub mod experiments;
+pub mod profile;
 pub mod timing;
 
 pub use ablations::*;

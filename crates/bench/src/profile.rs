@@ -1,0 +1,395 @@
+//! The `repro_profile` profiler: runs a repro workload with the
+//! observability sinks attached and renders stall attribution,
+//! utilization histograms and (optionally) a Chrome `trace_event`
+//! timeline.
+//!
+//! The profiler reuses the same [`Kernel`] entry points as the
+//! experiment drivers, so a profiled run executes exactly the workload
+//! the tables and figures report — built for the target machine,
+//! self-verified against the golden reference. The only difference is an
+//! attached [`CounterSink`] (and, on request, a
+//! [`ChromeTraceSink`](tm3270_obs::ChromeTraceSink)).
+//!
+//! The central invariant is *cycle conservation*: for every profiled
+//! run, the [`StallBuckets`](tm3270_obs::StallBuckets) decomposition
+//! satisfies `issue + ifetch_stall + data_stall + watchdog_idle ==
+//! RunStats.cycles` exactly. [`Profile::check_conservation`] enforces
+//! it; the `repro_profile` binary refuses to report a run that violates
+//! it.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::experiments::table3_scale;
+use tm3270_core::{Machine, MachineConfig, RunStats};
+use tm3270_kernels::cabac_kernel::CabacDecode;
+use tm3270_kernels::motion::MotionEst;
+use tm3270_kernels::synth::{BlockFilter, Mp3Proxy};
+use tm3270_kernels::upconv::Upconv;
+use tm3270_kernels::{evaluation_kernels, Kernel, KernelError};
+use tm3270_obs::{json, ChromeTraceSink, CounterSink, FanoutSink, SinkHandle, SLOTS};
+
+/// Every profileable workload: the eleven Table 5 evaluation kernels
+/// (the "golden kernels") followed by the §6 experiment workloads
+/// (CABAC, motion estimation, block filtering, up-conversion, the MP3
+/// power proxy).
+pub fn workloads() -> Vec<Box<dyn Kernel>> {
+    use tm3270_cabac::FieldType;
+    let bits = FieldType::I.paper_bits_per_field() / table3_scale().max(1);
+    let mut ws = evaluation_kernels();
+    ws.push(Box::new(CabacDecode::table3(FieldType::I, false, bits)));
+    ws.push(Box::new(CabacDecode::table3(FieldType::I, true, bits)));
+    ws.push(Box::new(MotionEst::evaluation(false)));
+    ws.push(Box::new(MotionEst::evaluation(true)));
+    ws.push(Box::new(BlockFilter::figure3(false)));
+    ws.push(Box::new(BlockFilter::figure3(true)));
+    ws.push(Box::new(Upconv::evaluation(true, true)));
+    ws.push(Box::new(Mp3Proxy::paper()));
+    ws
+}
+
+/// The Table 5 golden-kernel names (the default `repro_profile` set).
+pub fn golden_names() -> Vec<&'static str> {
+    evaluation_kernels().iter().map(|k| k.name()).collect()
+}
+
+/// Looks up a workload by its registry name.
+pub fn find_workload(name: &str) -> Option<Box<dyn Kernel>> {
+    workloads().into_iter().find(|k| k.name() == name)
+}
+
+/// The result of one profiled run: the simulator's own statistics plus
+/// the event-derived counters, which the reports cross-check against
+/// each other.
+#[derive(Debug)]
+pub struct Profile {
+    /// Workload registry name.
+    pub workload: &'static str,
+    /// Machine-configuration name.
+    pub config_name: &'static str,
+    /// The simulator's run statistics.
+    pub stats: RunStats,
+    /// The event-derived counters (a snapshot of the attached sink).
+    pub counters: CounterSink,
+    /// Chrome `trace_event` JSON, when requested.
+    pub chrome_trace: Option<String>,
+}
+
+/// Builds, traces, runs and verifies `kernel` on `config`.
+///
+/// When `chrome` is set the run also records a Chrome `trace_event`
+/// timeline (at the cost of buffering every event).
+///
+/// # Errors
+///
+/// See [`KernelError`]; a profiled run is held to the same verification
+/// standard as an untraced one.
+pub fn profile_kernel(
+    kernel: &dyn Kernel,
+    config: &MachineConfig,
+    chrome: bool,
+) -> Result<Profile, KernelError> {
+    let program = kernel.build(&config.issue)?;
+    let mut machine = Machine::new(config.clone(), program)?;
+
+    let counters = Rc::new(RefCell::new(CounterSink::new()));
+    let chrome_sink = if chrome {
+        Some(Rc::new(RefCell::new(ChromeTraceSink::new())))
+    } else {
+        None
+    };
+    let handle = match &chrome_sink {
+        Some(cs) => {
+            let mut fan = FanoutSink::new();
+            fan.push(counters.clone());
+            fan.push(cs.clone());
+            SinkHandle::from(Rc::new(RefCell::new(fan)))
+        }
+        None => SinkHandle::from(counters.clone()),
+    };
+    machine.attach_sink(handle);
+
+    kernel.setup(&mut machine);
+    let stats = machine.run(kernel.cycle_budget())?;
+    kernel.verify(&machine).map_err(KernelError::Verify)?;
+
+    let chrome_trace = chrome_sink.map(|cs| cs.borrow().to_json());
+    let counters = counters.borrow().clone();
+    Ok(Profile {
+        workload: kernel.name(),
+        config_name: config.name,
+        stats,
+        counters,
+        chrome_trace,
+    })
+}
+
+impl Profile {
+    /// Checks cycle conservation: the stall buckets must decompose
+    /// `RunStats.cycles` exactly, and the event-derived issue/stall
+    /// counts must agree with the simulator's own statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first discrepancy.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let b = self.counters.buckets();
+        if b.total() != self.stats.cycles {
+            return Err(format!(
+                "{}: buckets {} + {} + {} + {} = {} != {} cycles",
+                self.workload,
+                b.issue,
+                b.ifetch_stall,
+                b.data_stall,
+                b.watchdog_idle,
+                b.total(),
+                self.stats.cycles
+            ));
+        }
+        let checks = [
+            ("issue", b.issue + b.watchdog_idle, self.stats.instrs),
+            ("ifetch", b.ifetch_stall, self.stats.ifetch_stall_cycles),
+            ("data", b.data_stall, self.stats.data_stall_cycles),
+            ("ops", self.counters.ops_dispatched(), self.stats.ops),
+            (
+                "exec_ops",
+                self.counters.ops_executed(),
+                self.stats.exec_ops,
+            ),
+        ];
+        for (what, traced, stats) in checks {
+            if traced != stats {
+                return Err(format!(
+                    "{}: traced {what} {traced} != RunStats {stats}",
+                    self.workload
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Formats the human-readable profile report.
+    pub fn report(&self) -> String {
+        let b = self.counters.buckets();
+        let total = b.total().max(1) as f64;
+        let pct = |n: u64| 100.0 * n as f64 / total;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "=== profile: {} on {} ===",
+            self.workload, self.config_name
+        );
+        let _ = writeln!(
+            s,
+            "cycles {:>12}   instrs {:>12}   CPI {:.3}   OPI {:.3}   time {:.1} us",
+            self.stats.cycles,
+            self.stats.instrs,
+            self.stats.cpi(),
+            self.stats.opi(),
+            self.stats.time_us()
+        );
+        let _ = writeln!(s, "stall attribution ({} cycles):", b.total());
+        let rows = [
+            ("issue", b.issue),
+            ("ifetch stall", b.ifetch_stall),
+            ("data stall", b.data_stall),
+            ("watchdog idle", b.watchdog_idle),
+        ];
+        for (name, cycles) in rows {
+            let _ = writeln!(s, "  {name:<14} {cycles:>12}  {:>5.1}%", pct(cycles));
+        }
+        let _ = writeln!(
+            s,
+            "slot utilization ({} ops dispatched, {} executed):",
+            self.counters.ops_dispatched(),
+            self.counters.ops_executed()
+        );
+        for slot in 0..SLOTS {
+            let _ = writeln!(
+                s,
+                "  slot {}  {:>12} dispatched  {:>12} executed",
+                slot + 1,
+                self.counters.ops_per_slot[slot],
+                self.counters.executed_per_slot[slot]
+            );
+        }
+        let _ = writeln!(s, "functional units:");
+        for (unit, u) in &self.counters.units {
+            let _ = writeln!(
+                s,
+                "  {unit:<12} {:>12} dispatched  {:>12} executed",
+                u.dispatched, u.executed
+            );
+        }
+        let d = &self.counters.dcache;
+        let _ = writeln!(
+            s,
+            "dcache: {} hits, {} partial, {} misses, {} evictions ({} B copied back)",
+            d.hits, d.partial_hits, d.misses, d.evictions, d.copyback_bytes
+        );
+        let i = &self.counters.icache;
+        let _ = writeln!(s, "icache: {} hits, {} misses", i.hits, i.misses);
+        if self.counters.prefetch_issued > 0 {
+            let _ = writeln!(
+                s,
+                "prefetch: {} issued, {} hits, {} late ({:.0} wait cycles)",
+                self.counters.prefetch_issued,
+                d.prefetch_hits,
+                self.counters.prefetch_late,
+                self.counters.prefetch_late_wait
+            );
+        }
+        for (kind, dc) in &self.counters.dram {
+            let _ = writeln!(
+                s,
+                "dram {kind:<13} {:>8} transactions  {:>10} bytes",
+                dc.transactions, dc.bytes
+            );
+        }
+        let _ = writeln!(
+            s,
+            "branches: {} resolved, {} taken",
+            self.counters.branches_resolved, self.counters.branches_taken
+        );
+        s
+    }
+
+    /// Renders the profile as a single JSON object (hand-rolled; the
+    /// repo carries no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let b = self.counters.buckets();
+        let slots = |xs: &[u64; SLOTS]| {
+            xs.iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"workload\":{},\"config\":{},",
+            json::string(self.workload),
+            json::string(self.config_name)
+        );
+        let _ = write!(
+            s,
+            "\"cycles\":{},\"instrs\":{},\"cpi\":{},\"opi\":{},",
+            self.stats.cycles,
+            self.stats.instrs,
+            json::number(self.stats.cpi()),
+            json::number(self.stats.opi())
+        );
+        let _ = write!(
+            s,
+            "\"buckets\":{{\"issue\":{},\"ifetch_stall\":{},\"data_stall\":{},\
+             \"watchdog_idle\":{},\"total\":{}}},",
+            b.issue,
+            b.ifetch_stall,
+            b.data_stall,
+            b.watchdog_idle,
+            b.total()
+        );
+        let _ = write!(
+            s,
+            "\"ops_per_slot\":[{}],\"executed_per_slot\":[{}],",
+            slots(&self.counters.ops_per_slot),
+            slots(&self.counters.executed_per_slot)
+        );
+        let units: Vec<String> = self
+            .counters
+            .units
+            .iter()
+            .map(|(unit, u)| {
+                format!(
+                    "{}:{{\"dispatched\":{},\"executed\":{}}}",
+                    json::string(unit),
+                    u.dispatched,
+                    u.executed
+                )
+            })
+            .collect();
+        let _ = write!(s, "\"units\":{{{}}},", units.join(","));
+        for (name, c) in [
+            ("dcache", &self.counters.dcache),
+            ("icache", &self.counters.icache),
+        ] {
+            let _ = write!(
+                s,
+                "\"{name}\":{{\"hits\":{},\"partial_hits\":{},\"misses\":{},\
+                 \"evictions\":{},\"copyback_bytes\":{},\"prefetch_hits\":{}}},",
+                c.hits, c.partial_hits, c.misses, c.evictions, c.copyback_bytes, c.prefetch_hits
+            );
+        }
+        let _ = write!(
+            s,
+            "\"prefetch\":{{\"issued\":{},\"late\":{},\"late_wait_cycles\":{}}},",
+            self.counters.prefetch_issued,
+            self.counters.prefetch_late,
+            json::number(self.counters.prefetch_late_wait)
+        );
+        let dram: Vec<String> = self
+            .counters
+            .dram
+            .iter()
+            .map(|(kind, d)| {
+                format!(
+                    "{}:{{\"transactions\":{},\"bytes\":{}}}",
+                    json::string(kind),
+                    d.transactions,
+                    d.bytes
+                )
+            })
+            .collect();
+        let _ = write!(s, "\"dram\":{{{}}},", dram.join(","));
+        let _ = write!(
+            s,
+            "\"branches\":{{\"resolved\":{},\"taken\":{}}},\
+             \"watchdog_fired\":{},\"events\":{}}}",
+            self.counters.branches_resolved,
+            self.counters.branches_taken,
+            self.counters.watchdog_fired,
+            self.counters.events
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let ws = workloads();
+        let names: std::collections::HashSet<_> = ws.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), ws.len(), "duplicate workload names");
+        assert!(find_workload("memset").is_some());
+        assert!(find_workload("no_such_kernel").is_none());
+        assert_eq!(golden_names().len(), 11);
+    }
+
+    #[test]
+    fn profiled_memset_conserves_cycles() {
+        let kernel = find_workload("memset").unwrap();
+        let config = MachineConfig::tm3270();
+        let p = profile_kernel(kernel.as_ref(), &config, false).expect("memset profiles");
+        p.check_conservation().expect("conservation");
+        assert!(p.counters.events > 0);
+        let json = p.to_json();
+        assert!(json.contains("\"workload\":\"memset\""), "{json}");
+        assert!(json.contains("\"buckets\""), "{json}");
+        let report = p.report();
+        assert!(report.contains("stall attribution"), "{report}");
+    }
+
+    #[test]
+    fn chrome_trace_capture_is_optional_and_valid() {
+        let kernel = find_workload("filmdet").unwrap();
+        let config = MachineConfig::tm3270();
+        let p = profile_kernel(kernel.as_ref(), &config, true).expect("filmdet profiles");
+        let trace = p.chrome_trace.as_deref().expect("trace requested");
+        assert!(trace.starts_with("{\"traceEvents\":[") && trace.ends_with("]}"));
+        assert!(trace.contains("\"ph\":\"M\""));
+    }
+}

@@ -20,6 +20,10 @@ pub struct MachineConfig {
     pub issue: IssueModel,
     /// Memory-system configuration (paper, Tables 1 and 6).
     pub mem: MemConfig,
+    /// Number of recent trace records the machine retains for crash
+    /// reports (defaults to [`TRACE_RING`](crate::pipeline::TRACE_RING);
+    /// 0 disables the crash ring entirely).
+    pub trace_ring: usize,
 }
 
 impl MachineConfig {
@@ -29,6 +33,7 @@ impl MachineConfig {
             name: "TM3270 (config D)",
             issue: IssueModel::tm3270(),
             mem: MemConfig::tm3270(),
+            trace_ring: crate::pipeline::TRACE_RING,
         }
     }
 
@@ -39,6 +44,7 @@ impl MachineConfig {
             name: "TM3260 (config A)",
             issue: IssueModel::tm3260(),
             mem: MemConfig::tm3260(),
+            trace_ring: crate::pipeline::TRACE_RING,
         }
     }
 
@@ -59,6 +65,7 @@ impl MachineConfig {
             name: "TM3270 core, 16KB D$ @ 240 MHz (config B)",
             issue: IssueModel::tm3270(),
             mem,
+            trace_ring: crate::pipeline::TRACE_RING,
         }
     }
 

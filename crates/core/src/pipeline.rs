@@ -12,11 +12,13 @@
 use crate::config::MachineConfig;
 use std::collections::VecDeque;
 use tm3270_encode::{decode_program_detailed, encode_program, DecodeFault, EncodedProgram};
-use tm3270_isa::{execute, DataMemory, ExecError, Program, Reg, RegFile};
+use tm3270_isa::{execute, DataMemory, ExecError, ExecResult, Instr, Op, Program, Reg, RegFile};
 use tm3270_mem::{FullStats, MemorySystem, Region};
+use tm3270_obs::{SinkHandle, StallCause, TraceEvent};
 
-/// Number of recent [`TraceRecord`]s the machine retains for crash
-/// reports (the ring buffer of [`Machine::recent_trace`]).
+/// Default number of recent [`TraceRecord`]s the machine retains for
+/// crash reports (the ring buffer of [`Machine::recent_trace`]);
+/// configurable per machine via `MachineConfig::trace_ring`.
 pub const TRACE_RING: usize = 16;
 
 /// Default livelock watchdog: a run aborts with [`SimError::NoProgress`]
@@ -268,9 +270,12 @@ pub struct Machine {
     watchdog_cycles: u64,
     /// Cycle at which the last guard-true operation executed.
     last_progress_cycle: u64,
-    /// Ring buffer of the last [`TRACE_RING`] trace records, always
+    /// Ring buffer of the last `config.trace_ring` trace records, always
     /// maintained (cheap) so crash reports can show recent history.
     trace_ring: VecDeque<TraceRecord>,
+    /// Trace-event sink (disabled by default; see `tm3270-obs`). Shared
+    /// with the memory system by [`Machine::attach_sink`].
+    sink: SinkHandle,
     /// Whether the program came from the scheduler ([`Machine::new`]) and
     /// scheduler invariants (≤5 register writebacks per cycle) may be
     /// asserted, or from an arbitrary decoded image
@@ -313,6 +318,7 @@ impl Machine {
     ) -> Machine {
         let mem = MemorySystem::new(config.mem.clone());
         let freq = config.freq_mhz();
+        let ring_cap = config.trace_ring.min(4096);
         Machine {
             config,
             program,
@@ -345,9 +351,18 @@ impl Machine {
             },
             watchdog_cycles: DEFAULT_WATCHDOG_CYCLES,
             last_progress_cycle: 0,
-            trace_ring: VecDeque::with_capacity(TRACE_RING),
+            trace_ring: VecDeque::with_capacity(ring_cap),
+            sink: SinkHandle::disabled(),
             trusted_schedule,
         }
+    }
+
+    /// Attaches a trace sink: pipeline events (instruction issue, op
+    /// dispatch, stalls, branches, the watchdog) and memory-system
+    /// events all flow to it. Pass [`SinkHandle::disabled`] to detach.
+    pub fn attach_sink(&mut self, sink: SinkHandle) {
+        self.mem.attach_sink(sink.clone());
+        self.sink = sink;
     }
 
     /// The machine configuration.
@@ -420,8 +435,9 @@ impl Machine {
         self.watchdog_cycles = cycles.max(1);
     }
 
-    /// The last up-to-[`TRACE_RING`] trace records, oldest first.
-    /// Maintained on every step regardless of tracing mode.
+    /// The last up-to-`config.trace_ring` trace records (default
+    /// [`TRACE_RING`]), oldest first. Maintained on every step
+    /// regardless of tracing mode.
     pub fn recent_trace(&self) -> impl Iterator<Item = &TraceRecord> {
         self.trace_ring.iter()
     }
@@ -484,52 +500,73 @@ impl Machine {
         self.step_record().map(|_| ())
     }
 
-    /// Executes one VLIW instruction and reports what happened.
-    ///
-    /// # Errors
-    ///
-    /// See [`SimError`].
-    pub fn step_record(&mut self) -> Result<TraceRecord, SimError> {
-        debug_assert!(!self.is_halted());
-        let pc = self.pc;
-
-        // Front end (stages I1-I3 + P): every cycle a 32-byte aligned
-        // chunk of instruction information can be retrieved from the
-        // instruction cache into the 4-entry instruction buffer (§3);
-        // instructions whose chunks are buffered cost no cache access.
-        let addr = self.image.offsets[pc];
-        let len = self.image.instr_size(pc).max(1);
-        let first = addr & !31;
-        let last = addr.wrapping_add(len - 1) & !31;
-        let mut istall = 0u64;
-        let mut chunk = first;
-        loop {
-            if !self.ibuf.contains(&chunk) {
-                istall += self.mem.fetch_instr(self.cycle + istall, chunk, 32);
-                self.ibuf[self.ibuf_next] = chunk;
-                self.ibuf_next = (self.ibuf_next + 1) % self.ibuf.len();
-            }
-            if chunk == last {
-                break;
-            }
-            chunk = chunk.wrapping_add(32);
+    /// Outlined trace emission for one dispatched operation (the
+    /// `OpDispatch` event, plus `BranchResolve` for jumps). Kept out of
+    /// line — and out of the untraced hot loop — because the
+    /// mnemonic/unit name tables are large; the disabled path pays only
+    /// the `enabled()` branch at the call site.
+    #[cold]
+    #[inline(never)]
+    fn emit_op_events(&self, cycle: u64, pc: usize, slot: usize, op: &Op, res: &ExecResult) {
+        self.sink.emit(TraceEvent::OpDispatch {
+            cycle,
+            pc,
+            slot: slot as u8,
+            unit: op.opcode.unit().name(),
+            mnemonic: op.opcode.mnemonic(),
+            executed: res.executed,
+        });
+        if op.opcode.is_jump() {
+            self.sink.emit(TraceEvent::BranchResolve {
+                cycle,
+                pc,
+                target: res.branch_target.map(|t| t as usize),
+                taken: res.executed && res.branch_target.is_some(),
+            });
         }
-        self.cycle += istall;
-        self.stats.ifetch_stall_cycles += istall;
+    }
 
-        // Results landing by this instruction slot become visible to
-        // reads.
-        self.commit_writes(self.stats.instrs);
+    /// Outlined `InstrIssue` emission (see [`Self::emit_op_events`]).
+    #[cold]
+    #[inline(never)]
+    fn emit_instr_issue(&self, cycle: u64, pc: usize, ops: u8) {
+        self.sink.emit(TraceEvent::InstrIssue { cycle, pc, ops });
+    }
 
-        // Execute stages: all operations of the instruction read the same
-        // architectural state (operand read in stage D).
-        let issue_cycle = self.cycle;
-        self.mem.begin_instr(issue_cycle);
-        let instr = self.program.instrs[pc].clone();
+    /// Outlined stall emission: a balanced `StallBegin`/`StallEnd` pair
+    /// spanning `[begin, begin + cycles)`.
+    #[cold]
+    #[inline(never)]
+    fn emit_stall(&self, begin: u64, cause: StallCause, cycles: u64) {
+        self.sink.emit(TraceEvent::StallBegin {
+            cycle: begin,
+            cause,
+        });
+        self.sink.emit(TraceEvent::StallEnd {
+            cycle: begin + cycles,
+            cause,
+            cycles,
+        });
+    }
+
+    /// The execute stage of one VLIW instruction: dispatches every
+    /// operation, accumulating stats and pending register writes.
+    /// Returns `(branch_target, executed_ops, progress_ops)`.
+    ///
+    /// Monomorphized over `TRACING`: the `false` instantiation — the
+    /// ordinary untraced hot loop — contains no emission code at all, so
+    /// attaching a sink costs untraced runs nothing.
+    #[inline(always)]
+    fn dispatch_ops<const TRACING: bool>(
+        &mut self,
+        pc: usize,
+        issue_cycle: u64,
+        instr: &Instr,
+    ) -> Result<(Option<usize>, u8, u8), SimError> {
         let mut branch_target: Option<usize> = None;
         let mut exec_here = 0u8;
         let mut progress_here = 0u8;
-        for (_slot, op) in instr.ops() {
+        for (slot, op) in instr.ops() {
             self.stats.ops += 1;
             let res = execute(op, &self.regs, &mut self.mem).map_err(|e| match e {
                 ExecError::MisalignedAccess { addr, size } => {
@@ -539,6 +576,9 @@ impl Machine {
                     SimError::OutOfBoundsAccess { pc, addr, size }
                 }
             })?;
+            if TRACING {
+                self.emit_op_events(issue_cycle, pc, slot, op, &res);
+            }
             if res.executed {
                 self.stats.exec_ops += 1;
                 exec_here += 1;
@@ -563,8 +603,70 @@ impl Machine {
                 branch_target = Some(t as usize);
             }
         }
+        Ok((branch_target, exec_here, progress_here))
+    }
+
+    /// Executes one VLIW instruction and reports what happened.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn step_record(&mut self) -> Result<TraceRecord, SimError> {
+        debug_assert!(!self.is_halted());
+        let pc = self.pc;
+        let tracing = self.sink.enabled();
+
+        // Front end (stages I1-I3 + P): every cycle a 32-byte aligned
+        // chunk of instruction information can be retrieved from the
+        // instruction cache into the 4-entry instruction buffer (§3);
+        // instructions whose chunks are buffered cost no cache access.
+        let addr = self.image.offsets[pc];
+        let len = self.image.instr_size(pc).max(1);
+        let first = addr & !31;
+        let last = addr.wrapping_add(len - 1) & !31;
+        let mut istall = 0u64;
+        let mut chunk = first;
+        loop {
+            if !self.ibuf.contains(&chunk) {
+                istall += self.mem.fetch_instr(self.cycle + istall, chunk, 32);
+                self.ibuf[self.ibuf_next] = chunk;
+                self.ibuf_next = (self.ibuf_next + 1) % self.ibuf.len();
+            }
+            if chunk == last {
+                break;
+            }
+            chunk = chunk.wrapping_add(32);
+        }
+        if istall > 0 && tracing {
+            self.emit_stall(self.cycle, StallCause::IFetch, istall);
+        }
+        self.cycle += istall;
+        self.stats.ifetch_stall_cycles += istall;
+
+        // Results landing by this instruction slot become visible to
+        // reads.
+        self.commit_writes(self.stats.instrs);
+
+        // Execute stages: all operations of the instruction read the same
+        // architectural state (operand read in stage D).
+        let issue_cycle = self.cycle;
+        self.mem.begin_instr(issue_cycle);
+        let instr = self.program.instrs[pc].clone();
+        // Monomorphized over the tracing flag so the untraced loop
+        // contains no emission code at all (not even the branches).
+        let (branch_target, exec_here, progress_here) = if tracing {
+            self.dispatch_ops::<true>(pc, issue_cycle, &instr)?
+        } else {
+            self.dispatch_ops::<false>(pc, issue_cycle, &instr)?
+        };
+        if tracing {
+            self.emit_instr_issue(issue_cycle, pc, exec_here);
+        }
         let dstall = self.mem.take_stall();
         self.stats.data_stall_cycles += dstall;
+        if dstall > 0 && tracing {
+            self.emit_stall(self.cycle + 1, StallCause::Data, dstall);
+        }
         self.cycle += 1 + dstall;
         self.stats.instrs += 1;
 
@@ -576,6 +678,11 @@ impl Machine {
         } else {
             let idle = self.cycle - self.last_progress_cycle;
             if idle >= self.watchdog_cycles {
+                self.sink.emit_with(|| TraceEvent::WatchdogFired {
+                    cycle: self.cycle,
+                    pc,
+                    idle,
+                });
                 return Err(SimError::NoProgress { pc, cycles: idle });
             }
         }
@@ -609,10 +716,13 @@ impl Machine {
             data_stall: dstall,
             branch_taken: branch_target,
         };
-        if self.trace_ring.len() == TRACE_RING {
-            self.trace_ring.pop_front();
+        let ring = self.config.trace_ring;
+        if ring > 0 {
+            if self.trace_ring.len() >= ring {
+                self.trace_ring.pop_front();
+            }
+            self.trace_ring.push_back(record);
         }
-        self.trace_ring.push_back(record);
         Ok(record)
     }
 
@@ -650,6 +760,7 @@ impl Machine {
             cycle: self.cycle,
             instrs: self.stats.instrs,
             reg_digest: self.reg_digest(),
+            ring_size: self.config.trace_ring,
             trace: self.trace_ring.iter().copied().collect(),
         }
     }

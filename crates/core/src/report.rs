@@ -21,8 +21,12 @@ pub struct CrashReport {
     pub instrs: u64,
     /// FNV-1a digest of the 128 architectural registers.
     pub reg_digest: u64,
+    /// Configured capacity of the crash-trace ring buffer
+    /// (`MachineConfig::trace_ring`; default
+    /// [`TRACE_RING`](crate::pipeline::TRACE_RING)).
+    pub ring_size: usize,
     /// The last few executed instructions, oldest first (ring buffer of
-    /// [`TRACE_RING`](crate::pipeline::TRACE_RING) records).
+    /// up to [`ring_size`](Self::ring_size) records).
     pub trace: Vec<TraceRecord>,
 }
 
@@ -38,7 +42,12 @@ impl std::fmt::Display for CrashReport {
         if self.trace.is_empty() {
             writeln!(f, "trace : (no instructions executed)")?;
         } else {
-            writeln!(f, "trace : last {} instructions", self.trace.len())?;
+            writeln!(
+                f,
+                "trace : last {} instructions (ring size {})",
+                self.trace.len(),
+                self.ring_size
+            )?;
             for rec in &self.trace {
                 writeln!(
                     f,

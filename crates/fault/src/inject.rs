@@ -17,6 +17,7 @@
 
 use crate::rng::SmallRng;
 use tm3270_encode::EncodedProgram;
+use tm3270_obs::{SinkHandle, TraceEvent};
 
 /// Where a fault was injected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,13 +30,20 @@ pub enum FaultSite {
     CacheLine,
 }
 
+impl FaultSite {
+    /// A short stable name (trace events, campaign tallies).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::InstrStream => "instruction stream",
+            FaultSite::DataMemory => "data memory",
+            FaultSite::CacheLine => "cache line",
+        }
+    }
+}
+
 impl core::fmt::Display for FaultSite {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            FaultSite::InstrStream => write!(f, "instruction stream"),
-            FaultSite::DataMemory => write!(f, "data memory"),
-            FaultSite::CacheLine => write!(f, "cache line"),
-        }
+        f.write_str(self.name())
     }
 }
 
@@ -85,6 +93,7 @@ impl Default for FaultConfig {
 pub struct FaultInjector {
     rng: SmallRng,
     log: Vec<FaultRecord>,
+    sink: SinkHandle,
 }
 
 impl FaultInjector {
@@ -93,7 +102,23 @@ impl FaultInjector {
         FaultInjector {
             rng: SmallRng::new(seed),
             log: Vec::new(),
+            sink: SinkHandle::disabled(),
         }
+    }
+
+    /// Attaches a trace sink: every injected bit flip is emitted as a
+    /// `FaultFlip` event in addition to the [`FaultRecord`] log.
+    pub fn attach_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
+    }
+
+    fn record(&mut self, site: FaultSite, byte: usize, bit: u8) {
+        self.sink.emit_with(|| TraceEvent::FaultFlip {
+            site: site.name(),
+            byte,
+            bit,
+        });
+        self.log.push(FaultRecord { site, byte, bit });
     }
 
     /// Direct access to the underlying generator (e.g. to derive random
@@ -123,7 +148,7 @@ impl FaultInjector {
             let byte = self.rng.index(bytes.len());
             let bit = self.rng.below(8) as u8;
             bytes[byte] ^= 1 << bit;
-            self.log.push(FaultRecord { site, byte, bit });
+            self.record(site, byte, bit);
         }
         flips as usize
     }
@@ -137,7 +162,7 @@ impl FaultInjector {
             for bit in 0u8..8 {
                 if self.rng.chance(num, den) {
                     *slot ^= 1 << bit;
-                    self.log.push(FaultRecord { site, byte, bit });
+                    self.record(site, byte, bit);
                     flipped += 1;
                 }
             }
@@ -185,11 +210,7 @@ impl FaultInjector {
             let byte = base + self.rng.index(end - base);
             let bit = self.rng.below(8) as u8;
             mem[byte] ^= 1 << bit;
-            self.log.push(FaultRecord {
-                site: FaultSite::CacheLine,
-                byte,
-                bit,
-            });
+            self.record(FaultSite::CacheLine, byte, bit);
             n += 1;
         }
         n

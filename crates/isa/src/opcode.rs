@@ -44,6 +44,27 @@ pub enum Unit {
     FracLoad,
 }
 
+impl Unit {
+    /// A short stable lowercase name (reports, trace events).
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::Alu => "alu",
+            Unit::Shifter => "shifter",
+            Unit::DspAlu => "dspalu",
+            Unit::DspMul => "dspmul",
+            Unit::FAlu => "falu",
+            Unit::FComp => "fcomp",
+            Unit::FTough => "ftough",
+            Unit::Branch => "branch",
+            Unit::Load => "load",
+            Unit::Store => "store",
+            Unit::SuperArith => "superarith",
+            Unit::SuperLoad => "superload",
+            Unit::FracLoad => "fracload",
+        }
+    }
+}
+
 /// An operation opcode.
 ///
 /// Naming follows TriMedia conventions: `i` = signed integer, `u` =

@@ -11,6 +11,15 @@ use crate::cache::{CacheArray, CacheGeometry, CacheStats, Lookup};
 use crate::dram::{Dram, DramConfig, DramStats, Priority};
 use crate::prefetch::{PrefetchStats, PrefetchUnit, Region};
 use tm3270_isa::{CacheOp, DataMemory, FlatMemory, PfParam};
+use tm3270_obs::{CacheId, CacheOutcome, MemTxKind, SinkHandle, TraceEvent};
+
+fn outcome_of(lookup: Lookup) -> CacheOutcome {
+    match lookup {
+        Lookup::Hit => CacheOutcome::Hit,
+        Lookup::PartialHit => CacheOutcome::PartialHit,
+        Lookup::Miss => CacheOutcome::Miss,
+    }
+}
 
 /// Configuration of the complete memory system.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,6 +130,8 @@ pub struct MemorySystem {
     cwb_pending: f64,
     cwb_last: f64,
     stats: MemStats,
+    /// Trace-event sink (disabled by default; see `tm3270-obs`).
+    sink: SinkHandle,
 }
 
 impl MemorySystem {
@@ -137,8 +148,25 @@ impl MemorySystem {
             cwb_pending: 0.0,
             cwb_last: 0.0,
             stats: MemStats::default(),
+            sink: SinkHandle::disabled(),
             config,
         }
+    }
+
+    /// Attaches a trace sink; memory-side events (cache accesses and
+    /// evictions, prefetch activity, DRAM transactions) flow to it. Pass
+    /// [`SinkHandle::disabled`] to detach.
+    pub fn attach_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
+    }
+
+    fn emit_evict(&self, cache: CacheId, victim: &crate::cache::Victim) {
+        self.sink.emit_with(|| TraceEvent::CacheEvict {
+            cycle: self.now + self.stall,
+            cache,
+            base: victim.base,
+            copyback_bytes: victim.copyback_bytes,
+        });
     }
 
     /// The configuration this system was built with.
@@ -182,17 +210,36 @@ impl MemorySystem {
         for base in self.prefetch.completed(self.now + self.stall) {
             if let Some(victim) = self.dcache.fill(base, true) {
                 let t = self.now + self.stall;
-                self.dram
+                let completion = self
+                    .dram
                     .request(t, victim.copyback_bytes, Priority::Background);
+                self.sink.emit_with(|| TraceEvent::CacheEvict {
+                    cycle: t,
+                    cache: CacheId::Data,
+                    base: victim.base,
+                    copyback_bytes: victim.copyback_bytes,
+                });
+                self.sink.emit_with(|| TraceEvent::DramTransaction {
+                    cycle: t,
+                    kind: MemTxKind::Copyback,
+                    bytes: victim.copyback_bytes,
+                    completion,
+                });
             }
         }
     }
 
     /// Schedules a background transfer, stalling the core if the channel
     /// is booked too far ahead (finite BIU queue).
-    fn background_request(&mut self, bytes: u32) -> f64 {
+    fn background_request(&mut self, bytes: u32, kind: MemTxKind) -> f64 {
         let t = self.now + self.stall;
         let completion = self.dram.request(t, bytes, Priority::Background);
+        self.sink.emit_with(|| TraceEvent::DramTransaction {
+            cycle: t,
+            kind,
+            bytes,
+            completion,
+        });
         let lag = self.dram.free_at() - t;
         if lag > self.config.bg_backpressure_cycles {
             let wait = lag - self.config.bg_backpressure_cycles;
@@ -209,10 +256,17 @@ impl MemorySystem {
         while self.dram.free_at() - (self.now + self.stall) <= self.config.bg_backpressure_cycles {
             match self.prefetch.pop_request() {
                 Some(base) => {
-                    let completion =
-                        self.dram
-                            .request(self.now + self.stall, line, Priority::Background);
+                    let t = self.now + self.stall;
+                    let completion = self.dram.request(t, line, Priority::Background);
                     self.prefetch.mark_in_flight(base, completion);
+                    self.sink
+                        .emit_with(|| TraceEvent::PrefetchIssue { cycle: t, base });
+                    self.sink.emit_with(|| TraceEvent::DramTransaction {
+                        cycle: t,
+                        kind: MemTxKind::Prefetch,
+                        bytes: line,
+                        completion,
+                    });
                 }
                 None => break,
             }
@@ -247,6 +301,11 @@ impl MemorySystem {
                 if prefetched_wait {
                     self.stats.data_stall_cycles += wait;
                 }
+                self.sink.emit_with(|| TraceEvent::PrefetchLate {
+                    cycle: t,
+                    base,
+                    wait,
+                });
             }
             self.absorb_prefetch_completions();
             return;
@@ -254,15 +313,49 @@ impl MemorySystem {
         let completion = self
             .dram
             .request(t, self.config.dcache.line, Priority::Demand);
+        self.sink.emit_with(|| TraceEvent::DramTransaction {
+            cycle: t,
+            kind: MemTxKind::DemandFill,
+            bytes: self.config.dcache.line,
+            completion,
+        });
         let wait = completion - t;
         self.stall += wait;
         if prefetched_wait {
             self.stats.data_stall_cycles += wait;
         }
         if let Some(victim) = self.dcache.fill(base, false) {
-            self.dram
+            let cb = self
+                .dram
                 .request(completion, victim.copyback_bytes, Priority::Background);
+            self.sink.emit_with(|| TraceEvent::CacheEvict {
+                cycle: completion,
+                cache: CacheId::Data,
+                base: victim.base,
+                copyback_bytes: victim.copyback_bytes,
+            });
+            self.sink.emit_with(|| TraceEvent::DramTransaction {
+                cycle: completion,
+                kind: MemTxKind::Copyback,
+                bytes: victim.copyback_bytes,
+                completion: cb,
+            });
         }
+    }
+
+    /// Outlined `CacheAccess` emission for the data cache — keeps the
+    /// untraced demand-access path compact (the disabled path pays only
+    /// the `enabled()` branch at the call site).
+    #[cold]
+    #[inline(never)]
+    fn emit_cache_access(&self, addr: u32, lookup: Lookup, prefetch_hit: bool) {
+        self.sink.emit(TraceEvent::CacheAccess {
+            cycle: self.now + self.stall,
+            cache: CacheId::Data,
+            addr,
+            outcome: outcome_of(lookup),
+            prefetch_hit,
+        });
     }
 
     /// Timing for a demand load of `len` bytes at `addr`.
@@ -273,8 +366,19 @@ impl MemorySystem {
         if segs.len() > 1 {
             self.stats.line_crossers += 1;
         }
+        let tracing = self.sink.enabled();
         for &(a, n) in &segs {
-            match self.dcache.lookup(a, n) {
+            let pf_before = if tracing {
+                self.dcache.stats().prefetch_hits
+            } else {
+                0
+            };
+            let lookup = self.dcache.lookup(a, n);
+            if tracing {
+                let prefetch_hit = self.dcache.stats().prefetch_hits > pf_before;
+                self.emit_cache_access(a, lookup, prefetch_hit);
+            }
+            match lookup {
                 Lookup::Hit => {}
                 Lookup::PartialHit | Lookup::Miss => {
                     self.demand_fill(geom.line_base(a), true);
@@ -299,14 +403,20 @@ impl MemorySystem {
         if segs.len() > 1 {
             self.stats.line_crossers += 1;
         }
+        let tracing = self.sink.enabled();
         for &(a, n) in &segs {
-            match self.dcache.lookup(a, n) {
+            let lookup = self.dcache.lookup(a, n);
+            if tracing {
+                self.emit_cache_access(a, lookup, false);
+            }
+            match lookup {
                 Lookup::Hit | Lookup::PartialHit => {}
                 Lookup::Miss => {
                     if self.config.allocate_on_write_miss {
                         // Tag-only allocation: no fetch, no stall (§4.1).
                         if let Some(victim) = self.dcache.allocate(geom.line_base(a)) {
-                            self.background_request(victim.copyback_bytes);
+                            self.emit_evict(CacheId::Data, &victim);
+                            self.background_request(victim.copyback_bytes, MemTxKind::Copyback);
                         }
                     } else {
                         // Fetch-on-write-miss: the line is read from
@@ -315,9 +425,10 @@ impl MemorySystem {
                         // background traffic — its cost is the DRAM
                         // bandwidth it consumes (back-pressure when the
                         // BIU queue fills).
-                        self.background_request(geom.line);
+                        self.background_request(geom.line, MemTxKind::WriteFetch);
                         if let Some(victim) = self.dcache.fill(geom.line_base(a), false) {
-                            self.background_request(victim.copyback_bytes);
+                            self.emit_evict(CacheId::Data, &victim);
+                            self.background_request(victim.copyback_bytes, MemTxKind::Copyback);
                         }
                     }
                 }
@@ -346,13 +457,36 @@ impl MemorySystem {
         let geom = self.config.icache;
         let mut stall = 0.0;
         for (a, n) in Self::segments(geom, addr, len.max(1)) {
-            if self.icache.lookup(a, n) == Lookup::Hit {
+            let lookup = self.icache.lookup(a, n);
+            if self.sink.enabled() {
+                self.sink.emit(TraceEvent::CacheAccess {
+                    cycle: now as f64 + stall,
+                    cache: CacheId::Instr,
+                    addr: a,
+                    outcome: outcome_of(lookup),
+                    prefetch_hit: false,
+                });
+            }
+            if lookup == Lookup::Hit {
                 continue;
             }
             let t = now as f64 + stall;
             let completion = self.dram.request(t, geom.line, Priority::Demand);
+            self.sink.emit_with(|| TraceEvent::DramTransaction {
+                cycle: t,
+                kind: MemTxKind::IFetch,
+                bytes: geom.line,
+                completion,
+            });
             stall += completion - t;
-            self.icache.fill(geom.line_base(a), false);
+            if let Some(victim) = self.icache.fill(geom.line_base(a), false) {
+                self.sink.emit_with(|| TraceEvent::CacheEvict {
+                    cycle: t,
+                    cache: CacheId::Instr,
+                    base: victim.base,
+                    copyback_bytes: victim.copyback_bytes,
+                });
+            }
         }
         self.stats.instr_stall_cycles += stall;
         stall.ceil() as u64
@@ -413,8 +547,16 @@ impl DataMemory for MemorySystem {
         match op {
             CacheOp::Allocate => {
                 if let Some(victim) = self.dcache.allocate(base) {
-                    self.dram
-                        .request(t, victim.copyback_bytes, Priority::Background);
+                    let completion =
+                        self.dram
+                            .request(t, victim.copyback_bytes, Priority::Background);
+                    self.emit_evict(CacheId::Data, &victim);
+                    self.sink.emit_with(|| TraceEvent::DramTransaction {
+                        cycle: t,
+                        kind: MemTxKind::Copyback,
+                        bytes: victim.copyback_bytes,
+                        completion,
+                    });
                 }
             }
             CacheOp::Prefetch => {
@@ -422,6 +564,14 @@ impl DataMemory for MemorySystem {
                 {
                     let completion = self.dram.request(t, geom.line, Priority::Background);
                     self.prefetch.mark_in_flight(base, completion);
+                    self.sink
+                        .emit_with(|| TraceEvent::PrefetchIssue { cycle: t, base });
+                    self.sink.emit_with(|| TraceEvent::DramTransaction {
+                        cycle: t,
+                        kind: MemTxKind::Prefetch,
+                        bytes: geom.line,
+                        completion,
+                    });
                 }
             }
             CacheOp::Invalidate => {
@@ -430,7 +580,13 @@ impl DataMemory for MemorySystem {
             CacheOp::Flush => {
                 let bytes = self.dcache.flush(base);
                 if bytes > 0 {
-                    self.dram.request(t, bytes, Priority::Background);
+                    let completion = self.dram.request(t, bytes, Priority::Background);
+                    self.sink.emit_with(|| TraceEvent::DramTransaction {
+                        cycle: t,
+                        kind: MemTxKind::CacheControl,
+                        bytes,
+                        completion,
+                    });
                 }
             }
         }

@@ -1,0 +1,348 @@
+//! [`CounterSink`]: utilization histograms and stall attribution.
+
+use crate::event::{CacheId, CacheOutcome, StallCause, TraceEvent};
+use crate::sink::TraceSink;
+use std::collections::BTreeMap;
+
+/// Number of issue slots tracked (the TM3270 issues 5 operations per
+/// VLIW instruction; wider slots are clamped to the last bin).
+pub const SLOTS: usize = 5;
+
+/// Exact decomposition of a run's total cycles.
+///
+/// For a run that completes (no watchdog abort), the simulator spends
+/// every cycle either issuing one VLIW instruction, stalled on
+/// instruction fetch, or stalled on the data side — so
+/// `issue + ifetch_stall + data_stall == RunStats.cycles` exactly and
+/// `watchdog_idle` is 0. When the livelock watchdog aborts a run, the
+/// cycles of the idle window (issued instructions that made no
+/// architectural progress) are reclassified from `issue` into
+/// `watchdog_idle`, preserving the total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBuckets {
+    /// Cycles spent issuing VLIW instructions.
+    pub issue: u64,
+    /// Cycles stalled on instruction fetch.
+    pub ifetch_stall: u64,
+    /// Cycles stalled on the data side (cache misses, write-buffer
+    /// back-pressure, prefetch waits).
+    pub data_stall: u64,
+    /// Cycles burned in the livelock window before the watchdog fired
+    /// (0 for runs that complete).
+    pub watchdog_idle: u64,
+}
+
+impl StallBuckets {
+    /// Sum of all buckets — equals `RunStats.cycles` for a traced run.
+    pub fn total(&self) -> u64 {
+        self.issue + self.ifetch_stall + self.data_stall + self.watchdog_idle
+    }
+}
+
+/// Dispatch counts for one functional unit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitCount {
+    /// Operations dispatched to the unit (guard true or false).
+    pub dispatched: u64,
+    /// Operations whose guard was true (took architectural effect).
+    pub executed: u64,
+}
+
+/// Aggregate counters for one cache array.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheCounts {
+    /// Full hits.
+    pub hits: u64,
+    /// Partial hits (line present, some requested bytes invalid).
+    pub partial_hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Evictions.
+    pub evictions: u64,
+    /// Dirty bytes copied back by evictions.
+    pub copyback_bytes: u64,
+    /// Demand accesses that consumed a prefetched line.
+    pub prefetch_hits: u64,
+}
+
+/// Aggregate counters for one DRAM transaction kind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DramCount {
+    /// Transactions scheduled.
+    pub transactions: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+}
+
+/// A sink that folds the event stream into utilization histograms and
+/// the [`StallBuckets`] cycle decomposition.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSink {
+    buckets: StallBuckets,
+    /// Operations dispatched per issue slot (guard true or false).
+    pub ops_per_slot: [u64; SLOTS],
+    /// Operations executed per issue slot (guard true).
+    pub executed_per_slot: [u64; SLOTS],
+    /// Per-functional-unit dispatch counts, keyed by unit name.
+    pub units: BTreeMap<&'static str, UnitCount>,
+    /// Instruction-fetch stall episodes (not cycles; see buckets).
+    pub ifetch_stalls: u64,
+    /// Data-side stall episodes (not cycles; see buckets).
+    pub data_stalls: u64,
+    /// Data-cache counters.
+    pub dcache: CacheCounts,
+    /// Instruction-cache counters.
+    pub icache: CacheCounts,
+    /// Prefetch requests issued to the DRAM channel.
+    pub prefetch_issued: u64,
+    /// Demand accesses that had to wait on an in-flight prefetch.
+    pub prefetch_late: u64,
+    /// Total cycles demand accesses waited on late prefetches.
+    pub prefetch_late_wait: f64,
+    /// Per-kind DRAM transaction counters, keyed by kind name.
+    pub dram: BTreeMap<&'static str, DramCount>,
+    /// Branch operations resolved.
+    pub branches_resolved: u64,
+    /// Branches resolved taken.
+    pub branches_taken: u64,
+    /// Livelock-watchdog firings (0 or 1 per run).
+    pub watchdog_fired: u64,
+    /// Fault-injection bit flips observed.
+    pub fault_flips: u64,
+    /// Total events consumed.
+    pub events: u64,
+}
+
+impl CounterSink {
+    /// A fresh, all-zero counter sink.
+    pub fn new() -> CounterSink {
+        CounterSink::default()
+    }
+
+    /// The cycle decomposition accumulated so far.
+    pub fn buckets(&self) -> StallBuckets {
+        self.buckets
+    }
+
+    /// Total operations dispatched (sum over slots).
+    pub fn ops_dispatched(&self) -> u64 {
+        self.ops_per_slot.iter().sum()
+    }
+
+    /// Total operations executed (guard true; sum over slots).
+    pub fn ops_executed(&self) -> u64 {
+        self.executed_per_slot.iter().sum()
+    }
+
+    /// Executed operations per issued instruction (the paper's
+    /// "operations per cycle" when the pipeline never stalls).
+    pub fn ops_per_instr(&self) -> f64 {
+        if self.buckets.issue + self.buckets.watchdog_idle == 0 {
+            return 0.0;
+        }
+        self.ops_executed() as f64 / (self.buckets.issue + self.buckets.watchdog_idle) as f64
+    }
+}
+
+impl TraceSink for CounterSink {
+    fn event(&mut self, event: &TraceEvent) {
+        self.events += 1;
+        match *event {
+            TraceEvent::InstrIssue { .. } => self.buckets.issue += 1,
+            TraceEvent::OpDispatch {
+                slot,
+                unit,
+                executed,
+                ..
+            } => {
+                let s = (slot as usize).min(SLOTS - 1);
+                self.ops_per_slot[s] += 1;
+                let u = self.units.entry(unit).or_default();
+                u.dispatched += 1;
+                if executed {
+                    self.executed_per_slot[s] += 1;
+                    u.executed += 1;
+                }
+            }
+            TraceEvent::StallBegin { .. } => {}
+            TraceEvent::StallEnd { cause, cycles, .. } => match cause {
+                StallCause::IFetch => {
+                    self.ifetch_stalls += 1;
+                    self.buckets.ifetch_stall += cycles;
+                }
+                StallCause::Data => {
+                    self.data_stalls += 1;
+                    self.buckets.data_stall += cycles;
+                }
+            },
+            TraceEvent::CacheAccess {
+                cache,
+                outcome,
+                prefetch_hit,
+                ..
+            } => {
+                let c = match cache {
+                    CacheId::Data => &mut self.dcache,
+                    CacheId::Instr => &mut self.icache,
+                };
+                match outcome {
+                    CacheOutcome::Hit => c.hits += 1,
+                    CacheOutcome::PartialHit => c.partial_hits += 1,
+                    CacheOutcome::Miss => c.misses += 1,
+                }
+                if prefetch_hit {
+                    c.prefetch_hits += 1;
+                }
+            }
+            TraceEvent::CacheEvict {
+                cache,
+                copyback_bytes,
+                ..
+            } => {
+                let c = match cache {
+                    CacheId::Data => &mut self.dcache,
+                    CacheId::Instr => &mut self.icache,
+                };
+                c.evictions += 1;
+                c.copyback_bytes += copyback_bytes as u64;
+            }
+            TraceEvent::PrefetchIssue { .. } => self.prefetch_issued += 1,
+            TraceEvent::PrefetchLate { wait, .. } => {
+                self.prefetch_late += 1;
+                self.prefetch_late_wait += wait;
+            }
+            TraceEvent::DramTransaction { kind, bytes, .. } => {
+                let d = self.dram.entry(kind.name()).or_default();
+                d.transactions += 1;
+                d.bytes += bytes as u64;
+            }
+            TraceEvent::BranchResolve { taken, .. } => {
+                self.branches_resolved += 1;
+                if taken {
+                    self.branches_taken += 1;
+                }
+            }
+            TraceEvent::WatchdogFired { idle, .. } => {
+                self.watchdog_fired += 1;
+                // Reclassify the no-progress window out of the issue
+                // bucket so the decomposition stays exact.
+                let moved = idle.min(self.buckets.issue);
+                self.buckets.issue -= moved;
+                self.buckets.watchdog_idle += moved;
+            }
+            TraceEvent::FaultFlip { .. } => self.fault_flips += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MemTxKind;
+
+    #[test]
+    fn buckets_accumulate_and_conserve() {
+        let mut c = CounterSink::new();
+        for cycle in 0..10u64 {
+            c.event(&TraceEvent::InstrIssue {
+                cycle,
+                pc: cycle as usize,
+                ops: 2,
+            });
+        }
+        c.event(&TraceEvent::StallEnd {
+            cycle: 10,
+            cause: StallCause::IFetch,
+            cycles: 3,
+        });
+        c.event(&TraceEvent::StallEnd {
+            cycle: 14,
+            cause: StallCause::Data,
+            cycles: 4,
+        });
+        let b = c.buckets();
+        assert_eq!(b.issue, 10);
+        assert_eq!(b.ifetch_stall, 3);
+        assert_eq!(b.data_stall, 4);
+        assert_eq!(b.watchdog_idle, 0);
+        assert_eq!(b.total(), 17);
+    }
+
+    #[test]
+    fn watchdog_reclassifies_idle_cycles() {
+        let mut c = CounterSink::new();
+        for cycle in 0..100u64 {
+            c.event(&TraceEvent::InstrIssue {
+                cycle,
+                pc: 0,
+                ops: 0,
+            });
+        }
+        c.event(&TraceEvent::WatchdogFired {
+            cycle: 100,
+            pc: 0,
+            idle: 60,
+        });
+        let b = c.buckets();
+        assert_eq!(b.issue, 40);
+        assert_eq!(b.watchdog_idle, 60);
+        assert_eq!(b.total(), 100);
+        assert_eq!(c.watchdog_fired, 1);
+    }
+
+    #[test]
+    fn unit_and_slot_histograms() {
+        let mut c = CounterSink::new();
+        c.event(&TraceEvent::OpDispatch {
+            cycle: 0,
+            pc: 0,
+            slot: 0,
+            unit: "alu",
+            mnemonic: "iadd",
+            executed: true,
+        });
+        c.event(&TraceEvent::OpDispatch {
+            cycle: 0,
+            pc: 0,
+            slot: 4,
+            unit: "load",
+            mnemonic: "ld32",
+            executed: false,
+        });
+        assert_eq!(c.ops_dispatched(), 2);
+        assert_eq!(c.ops_executed(), 1);
+        assert_eq!(c.units["alu"].executed, 1);
+        assert_eq!(c.units["load"].dispatched, 1);
+        assert_eq!(c.units["load"].executed, 0);
+        assert_eq!(c.ops_per_slot[4], 1);
+    }
+
+    #[test]
+    fn memory_counters() {
+        let mut c = CounterSink::new();
+        c.event(&TraceEvent::CacheAccess {
+            cycle: 1.0,
+            cache: CacheId::Data,
+            addr: 0x100,
+            outcome: CacheOutcome::Miss,
+            prefetch_hit: false,
+        });
+        c.event(&TraceEvent::CacheEvict {
+            cycle: 1.0,
+            cache: CacheId::Data,
+            base: 0x80,
+            copyback_bytes: 64,
+        });
+        c.event(&TraceEvent::DramTransaction {
+            cycle: 1.0,
+            kind: MemTxKind::DemandFill,
+            bytes: 128,
+            completion: 9.0,
+        });
+        assert_eq!(c.dcache.misses, 1);
+        assert_eq!(c.dcache.evictions, 1);
+        assert_eq!(c.dcache.copyback_bytes, 64);
+        assert_eq!(c.dram["demand_fill"].transactions, 1);
+        assert_eq!(c.dram["demand_fill"].bytes, 128);
+    }
+}

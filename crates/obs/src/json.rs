@@ -1,0 +1,63 @@
+//! Minimal JSON emission helpers (the workspace takes no external
+//! dependencies, so there is no serde).
+//!
+//! These helpers cover the narrow needs of the built-in sinks and the
+//! `repro_profile` reports: string escaping and number formatting that
+//! round-trips through any JSON parser.
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A quoted, escaped JSON string literal.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Formats an `f64` as a JSON number (finite values only; non-finite
+/// values are clamped to 0, since JSON has no NaN/Infinity).
+pub fn number(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(string("hi"), "\"hi\"");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(3.25), "3.25");
+        assert_eq!(number(f64::NAN), "0");
+    }
+}

@@ -1,0 +1,111 @@
+//! [`RingSink`]: retain the last *N* events.
+
+use crate::event::TraceEvent;
+use crate::sink::TraceSink;
+use std::collections::VecDeque;
+
+/// Keeps the most recent `capacity` events, dropping the oldest.
+///
+/// This generalizes the simulator's crash-report ring buffer: attach a
+/// `RingSink` to capture a bounded flight-recorder view of *all* event
+/// kinds (not just retired instructions) leading up to a failure.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    seen: u64,
+}
+
+impl RingSink {
+    /// A ring retaining at most `capacity` events (a capacity of 0
+    /// retains nothing but still counts events seen).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            seen: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events observed, including those that have been dropped.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Drains the retained events, oldest first.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn event(&mut self, event: &TraceEvent) {
+        self.seen += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut ring = RingSink::new(3);
+        for pc in 0..5usize {
+            ring.event(&TraceEvent::InstrIssue {
+                cycle: pc as u64,
+                pc,
+                ops: 1,
+            });
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.seen(), 5);
+        let pcs: Vec<usize> = ring
+            .events()
+            .map(|e| match e {
+                TraceEvent::InstrIssue { pc, .. } => *pc,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pcs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_only() {
+        let mut ring = RingSink::new(0);
+        ring.event(&TraceEvent::InstrIssue {
+            cycle: 0,
+            pc: 0,
+            ops: 1,
+        });
+        assert!(ring.is_empty());
+        assert_eq!(ring.seen(), 1);
+    }
+}

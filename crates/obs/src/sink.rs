@@ -1,0 +1,183 @@
+//! The [`TraceSink`] trait, the shared [`SinkHandle`] producers hold,
+//! and the structural sinks ([`NullSink`], [`FanoutSink`]).
+
+use crate::event::TraceEvent;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A consumer of trace events.
+///
+/// Sinks receive events by reference in emission order. A sink must not
+/// re-enter the producer (the simulator is mid-step when it emits).
+pub trait TraceSink {
+    /// Consumes one event.
+    fn event(&mut self, event: &TraceEvent);
+}
+
+/// A sink that discards every event — useful for measuring the enabled
+/// emission path itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn event(&mut self, _event: &TraceEvent) {}
+}
+
+/// The handle producers (the simulator, the memory system, the fault
+/// injector) hold.
+///
+/// Disabled is the default and is a `None` discriminant: the per-site
+/// cost of an untraced run is one predictable branch
+/// ([`SinkHandle::enabled`]), and event construction is skipped entirely
+/// when emitting through [`SinkHandle::emit_with`].
+///
+/// Cloning the handle shares the underlying sink — the pipeline and the
+/// memory system it owns both feed the same consumer.
+#[derive(Clone, Default)]
+pub struct SinkHandle(Option<Rc<RefCell<dyn TraceSink>>>);
+
+impl SinkHandle {
+    /// The disabled handle (no sink attached; emission is a no-op).
+    pub fn disabled() -> SinkHandle {
+        SinkHandle(None)
+    }
+
+    /// A handle feeding an already-shared sink.
+    pub fn new(sink: Rc<RefCell<dyn TraceSink>>) -> SinkHandle {
+        SinkHandle(Some(sink))
+    }
+
+    /// Whether a sink is attached.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emits an already-constructed event (no-op when disabled).
+    #[inline]
+    pub fn emit(&self, event: TraceEvent) {
+        if let Some(sink) = &self.0 {
+            sink.borrow_mut().event(&event);
+        }
+    }
+
+    /// Emits lazily: `f` runs only when a sink is attached, so argument
+    /// gathering is never paid on the disabled path.
+    #[inline]
+    pub fn emit_with(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.0 {
+            sink.borrow_mut().event(&f());
+        }
+    }
+}
+
+impl<T: TraceSink + 'static> From<Rc<RefCell<T>>> for SinkHandle {
+    fn from(sink: Rc<RefCell<T>>) -> SinkHandle {
+        SinkHandle(Some(sink))
+    }
+}
+
+impl std::fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.enabled() {
+            "SinkHandle(attached)"
+        } else {
+            "SinkHandle(disabled)"
+        })
+    }
+}
+
+/// Forwards every event to several sinks (e.g. a [`CounterSink`] and a
+/// [`ChromeTraceSink`] observing the same run).
+///
+/// [`CounterSink`]: crate::CounterSink
+/// [`ChromeTraceSink`]: crate::ChromeTraceSink
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<Rc<RefCell<dyn TraceSink>>>,
+}
+
+impl FanoutSink {
+    /// An empty fan-out.
+    pub fn new() -> FanoutSink {
+        FanoutSink::default()
+    }
+
+    /// Adds a sink to the fan-out.
+    pub fn push(&mut self, sink: Rc<RefCell<dyn TraceSink>>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether the fan-out has no sinks.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn event(&mut self, event: &TraceEvent) {
+        for sink in &self.sinks {
+            sink.borrow_mut().event(event);
+        }
+    }
+}
+
+impl std::fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FanoutSink({} sinks)", self.sinks.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RingSink;
+
+    #[test]
+    fn disabled_handle_is_a_no_op() {
+        let h = SinkHandle::disabled();
+        assert!(!h.enabled());
+        // The closure must not run when disabled.
+        h.emit_with(|| unreachable!("disabled handle evaluated its event"));
+    }
+
+    #[test]
+    fn shared_handle_feeds_the_same_sink() {
+        let ring = Rc::new(RefCell::new(RingSink::new(8)));
+        let a = SinkHandle::from(ring.clone());
+        let b = a.clone();
+        a.emit(TraceEvent::InstrIssue {
+            cycle: 0,
+            pc: 0,
+            ops: 1,
+        });
+        b.emit(TraceEvent::InstrIssue {
+            cycle: 1,
+            pc: 1,
+            ops: 1,
+        });
+        assert_eq!(ring.borrow().len(), 2);
+    }
+
+    #[test]
+    fn fanout_forwards_to_all() {
+        let r1 = Rc::new(RefCell::new(RingSink::new(4)));
+        let r2 = Rc::new(RefCell::new(RingSink::new(4)));
+        let mut fan = FanoutSink::new();
+        fan.push(r1.clone());
+        fan.push(r2.clone());
+        assert_eq!(fan.len(), 2);
+        let h = SinkHandle::from(Rc::new(RefCell::new(fan)));
+        h.emit(TraceEvent::PrefetchIssue {
+            cycle: 1.0,
+            base: 0x80,
+        });
+        assert_eq!(r1.borrow().len(), 1);
+        assert_eq!(r2.borrow().len(), 1);
+    }
+}
