@@ -20,6 +20,22 @@ cargo fmt --all --check
 echo "== fault campaign (seed 1, 200 runs) =="
 cargo run --release -q -p tm3270-bench --bin repro_fault_campaign -- --seed 1 --runs 200
 
+echo "== sweep determinism (repro_all --json, 1 vs 2 threads) =="
+cargo run --release -q -p tm3270-bench --bin repro_all -- --json --threads 1 \
+  > /tmp/tm3270_suite_t1.json
+cargo run --release -q -p tm3270-bench --bin repro_all -- --json --threads 2 \
+  > /tmp/tm3270_suite_t2.json
+diff /tmp/tm3270_suite_t1.json /tmp/tm3270_suite_t2.json || {
+  echo "FAIL: repro_all --json differs between --threads 1 and --threads 2"; exit 1; }
+
+echo "== sweep determinism (fault campaign --json, 1 vs 2 threads) =="
+cargo run --release -q -p tm3270-bench --bin repro_fault_campaign -- \
+  --seed 1 --runs 200 --json --threads 1 > /tmp/tm3270_campaign_t1.json
+cargo run --release -q -p tm3270-bench --bin repro_fault_campaign -- \
+  --seed 1 --runs 200 --json --threads 2 > /tmp/tm3270_campaign_t2.json
+diff /tmp/tm3270_campaign_t1.json /tmp/tm3270_campaign_t2.json || {
+  echo "FAIL: campaign --json differs between --threads 1 and --threads 2"; exit 1; }
+
 echo "== profiler smoke (memset, JSON + chrome trace) =="
 profile_json=$(cargo run --release -q -p tm3270-bench --bin repro_profile -- \
   --workload memset --json --chrome-trace /tmp/tm3270_profile_trace.json)

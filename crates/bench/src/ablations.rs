@@ -2,8 +2,14 @@
 //! line size, data-cache capacity, write-miss policy and prefetch stride.
 //! Each isolates ONE parameter on an otherwise fixed machine, where the
 //! paper's configurations A-D vary several at once.
+//!
+//! Each ablation fans its parameter points out over the
+//! `tm3270-harness` sweep engine and assembles the report in parameter
+//! order, so the text is identical at any worker count. The no-argument
+//! entry points default to every available core.
 
-use tm3270_core::MachineConfig;
+use tm3270_core::{MachineConfig, RunStats};
+use tm3270_harness::{sweep, Grid, SweepOptions};
 use tm3270_kernels::memops::{Memcpy, Memset};
 use tm3270_kernels::run_kernel;
 use tm3270_kernels::synth::BlockFilter;
@@ -16,21 +22,36 @@ fn with_dcache(mut cfg: MachineConfig, size: u32, line: u32, ways: u32) -> Machi
     cfg
 }
 
+/// Unwraps the sweep results of an ablation; every point must verify.
+fn expect_all(results: Vec<Result<RunStats, tm3270_harness::JobError>>) -> Vec<RunStats> {
+    results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("ablation point failed: {e}")))
+        .collect()
+}
+
 /// Line-size ablation: the §6 MPEG2 anomaly mechanism. A 16 KB cache
 /// (TM3270 core, 240 MHz) with growing line sizes on the disruptive
 /// motion-vector stream: longer lines waste bandwidth and capacity on
 /// scattered block fetches.
 pub fn line_size_ablation() -> String {
-    let kernel = Mpeg2::stream_a();
+    line_size_ablation_with(&SweepOptions::new())
+}
+
+/// [`line_size_ablation`] with an explicit sweep configuration.
+pub fn line_size_ablation_with(opts: &SweepOptions) -> String {
+    const LINES: [u32; 4] = [32, 64, 128, 256];
+    let stats = expect_all(sweep(LINES.len(), opts, |ctx| {
+        let kernel = Mpeg2::stream_a();
+        let cfg = with_dcache(MachineConfig::config_b(), 16 * 1024, LINES[ctx.id], 4);
+        run_kernel(&kernel, &cfg).map_err(|e| e.to_string())
+    }));
     let mut s = String::from(
         "Ablation: data-cache line size (16 KB, 4-way, TM3270 core @ 240 MHz,\n\
          mpeg2_a disruptive stream)\n\
   line   cycles      dcache misses  DRAM bytes   time (us)\n",
     );
-    for line in [32u32, 64, 128, 256] {
-        let mut cfg = MachineConfig::config_b();
-        cfg = with_dcache(cfg, 16 * 1024, line, 4);
-        let stats = run_kernel(&kernel, &cfg).expect("verifies");
+    for (line, stats) in LINES.iter().zip(&stats) {
         s.push_str(&format!(
             "  {line:>4}  {:>9}  {:>13}  {:>10}  {:>10.1}\n",
             stats.cycles,
@@ -47,16 +68,23 @@ pub fn line_size_ablation() -> String {
 /// Capacity ablation: where the 128 KB decision pays. The disruptive
 /// stream's reference working set (~116 KB) fits only the largest cache.
 pub fn capacity_ablation() -> String {
-    let kernel = Mpeg2::stream_a();
+    capacity_ablation_with(&SweepOptions::new())
+}
+
+/// [`capacity_ablation`] with an explicit sweep configuration.
+pub fn capacity_ablation_with(opts: &SweepOptions) -> String {
+    const SIZES_KB: [u32; 5] = [16, 32, 64, 128, 256];
+    let stats = expect_all(sweep(SIZES_KB.len(), opts, |ctx| {
+        let kernel = Mpeg2::stream_a();
+        let cfg = with_dcache(MachineConfig::tm3270(), SIZES_KB[ctx.id] * 1024, 128, 4);
+        run_kernel(&kernel, &cfg).map_err(|e| e.to_string())
+    }));
     let mut s = String::from(
         "Ablation: data-cache capacity (128-byte lines, 4-way, TM3270 @ 350 MHz,\n\
          mpeg2_a disruptive stream)\n\
   size (KB)   cycles      dcache misses  time (us)\n",
     );
-    for size_kb in [16u32, 32, 64, 128, 256] {
-        let mut cfg = MachineConfig::tm3270();
-        cfg = with_dcache(cfg, size_kb * 1024, 128, 4);
-        let stats = run_kernel(&kernel, &cfg).expect("verifies");
+    for (size_kb, stats) in SIZES_KB.iter().zip(&stats) {
         s.push_str(&format!(
             "  {size_kb:>9}  {:>9}  {:>13}  {:>9.1}\n",
             stats.cycles,
@@ -71,30 +99,41 @@ pub fn capacity_ablation() -> String {
 /// argument for allocate-on-write-miss, isolated from frequency and cache
 /// size.
 pub fn write_policy_ablation() -> String {
+    write_policy_ablation_with(&SweepOptions::new())
+}
+
+/// [`write_policy_ablation`] with an explicit sweep configuration.
+pub fn write_policy_ablation_with(opts: &SweepOptions) -> String {
+    const KERNELS: [&str; 2] = ["memset", "memcpy"];
+    const POLICIES: [bool; 2] = [false, true];
+    let grid = Grid::new(KERNELS.len(), POLICIES.len(), 1);
+    let stats = expect_all(sweep(grid.total(), opts, |ctx| {
+        let point = grid.unrank(ctx.id);
+        let kernel: Box<dyn Kernel> = match point.workload {
+            0 => Box::new(Memset::table5()),
+            _ => Box::new(Memcpy::table5()),
+        };
+        let mut cfg = MachineConfig::tm3270();
+        cfg.mem.allocate_on_write_miss = POLICIES[point.config];
+        run_kernel(kernel.as_ref(), &cfg).map_err(|e| e.to_string())
+    }));
     let mut s = String::from(
         "Ablation: write-miss policy (TM3270 @ 350 MHz, 128 KB D$)\n\
   kernel   policy             cycles     DRAM bytes\n",
     );
-    let kernels: [(&str, Box<dyn Kernel>); 2] = [
-        ("memset", Box::new(Memset::table5())),
-        ("memcpy", Box::new(Memcpy::table5())),
-    ];
-    for (name, kernel) in kernels {
-        for allocate in [false, true] {
-            let mut cfg = MachineConfig::tm3270();
-            cfg.mem.allocate_on_write_miss = allocate;
-            let stats = run_kernel(kernel.as_ref(), &cfg).expect("verifies");
-            s.push_str(&format!(
-                "  {name:<8} {:<18} {:>9}  {:>12}\n",
-                if allocate {
-                    "allocate-on-miss"
-                } else {
-                    "fetch-on-miss"
-                },
-                stats.cycles,
-                stats.mem.dram.bytes
-            ));
-        }
+    for (id, stats) in stats.iter().enumerate() {
+        let point = grid.unrank(id);
+        s.push_str(&format!(
+            "  {:<8} {:<18} {:>9}  {:>12}\n",
+            KERNELS[point.workload],
+            if POLICIES[point.config] {
+                "allocate-on-miss"
+            } else {
+                "fetch-on-miss"
+            },
+            stats.cycles,
+            stats.mem.dram.bytes
+        ));
     }
     s
 }
@@ -102,39 +141,51 @@ pub fn write_policy_ablation() -> String {
 /// Prefetch-stride sweep for the Figure 3 block workload: stride 0
 /// disables the region; one block row (width x 4) is the paper's choice.
 pub fn prefetch_stride_ablation() -> String {
-    let mut s = String::from(
-        "Ablation: prefetch stride (512x128 image, 4x4 blocks, TM3270)\n\
-  stride          cycles   data stalls  prefetches  useful\n",
-    );
+    prefetch_stride_ablation_with(&SweepOptions::new())
+}
+
+/// [`prefetch_stride_ablation`] with an explicit sweep configuration.
+pub fn prefetch_stride_ablation_with(opts: &SweepOptions) -> String {
     let base = BlockFilter::figure3(true);
     // Stride multiplier in block rows; 0 = prefetch off.
-    for (label, stride) in [
-        ("off", 0u32),
+    let points: [(&str, u32); 5] = [
+        ("off", 0),
         ("1 line (128B)", 128),
         ("1/2 block row", base.width * 2),
         ("1 block row", base.width * 4),
         ("2 block rows", base.width * 8),
-    ] {
-        let cfg = MachineConfig::tm3270();
+    ];
+    let stats = expect_all(sweep(points.len(), opts, |ctx| {
+        let stride = points[ctx.id].1;
+        let base = BlockFilter::figure3(true);
         let kernel = BlockFilter {
             prefetch: false, // configure the region ourselves below
             ..base
         };
-        let program = kernel.build(&cfg.issue).expect("builds");
-        let mut m = tm3270_core::Machine::new(cfg, program).expect("encodable");
-        kernel.setup(&mut m);
-        if stride != 0 {
-            m.set_prefetch_region(
-                0,
-                tm3270_mem::Region {
-                    start: tm3270_kernels::util::SRC,
-                    end: tm3270_kernels::util::SRC + base.width * base.height,
-                    stride,
-                },
-            );
-        }
-        let stats = m.run(1_000_000_000).expect("halts");
-        kernel.verify(&m).expect("verifies");
+        let cfg = MachineConfig::tm3270();
+        let program = kernel.build(&cfg.issue).map_err(|e| e.to_string())?;
+        let (m, stats) = tm3270_harness::run_program_with(cfg, program, 1_000_000_000, |m| {
+            kernel.setup(m);
+            if stride != 0 {
+                m.set_prefetch_region(
+                    0,
+                    tm3270_mem::Region {
+                        start: tm3270_kernels::util::SRC,
+                        end: tm3270_kernels::util::SRC + base.width * base.height,
+                        stride,
+                    },
+                );
+            }
+        })
+        .map_err(|e| e.to_string())?;
+        kernel.verify(&m)?;
+        Ok(stats)
+    }));
+    let mut s = String::from(
+        "Ablation: prefetch stride (512x128 image, 4x4 blocks, TM3270)\n\
+  stride          cycles   data stalls  prefetches  useful\n",
+    );
+    for ((label, _), stats) in points.iter().zip(&stats) {
         s.push_str(&format!(
             "  {label:<14} {:>7}  {:>11}  {:>10}  {:>6}\n",
             stats.cycles,
@@ -155,5 +206,12 @@ mod tests {
         let report = write_policy_ablation();
         assert!(report.contains("memcpy"), "{report}");
         assert!(report.contains("allocate-on-miss"), "{report}");
+    }
+
+    #[test]
+    fn ablation_reports_are_thread_count_invariant() {
+        let serial = write_policy_ablation_with(&SweepOptions::new().threads(1));
+        let parallel = write_policy_ablation_with(&SweepOptions::new().threads(4));
+        assert_eq!(serial, parallel);
     }
 }

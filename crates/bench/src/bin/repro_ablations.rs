@@ -1,9 +1,50 @@
 //! Ablation studies of the TM3270 design choices (line size, capacity,
 //! write-miss policy, prefetch stride).
+//!
+//! ```text
+//! repro_ablations [--threads N]
+//! ```
+//!
+//! Each ablation's parameter points fan out over the `tm3270-harness`
+//! sweep engine; reports are assembled in parameter order, so the
+//! output is identical at any thread count.
 
-fn main() {
-    println!("{}", tm3270_bench::line_size_ablation());
-    println!("{}", tm3270_bench::capacity_ablation());
-    println!("{}", tm3270_bench::write_policy_ablation());
-    println!("{}", tm3270_bench::prefetch_stride_ablation());
+use std::process::ExitCode;
+
+use tm3270_harness::SweepOptions;
+
+fn main() -> ExitCode {
+    let mut threads = 0usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--threads" => {
+                let Some(v) = it.next() else {
+                    eprintln!("repro_ablations: --threads needs a value");
+                    return ExitCode::from(2);
+                };
+                match v.parse() {
+                    Ok(n) => threads = n,
+                    Err(e) => {
+                        eprintln!("repro_ablations: --threads {v}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: repro_ablations [--threads N]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("repro_ablations: unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let opts = SweepOptions::new().threads(threads);
+    println!("{}", tm3270_bench::line_size_ablation_with(&opts));
+    println!("{}", tm3270_bench::capacity_ablation_with(&opts));
+    println!("{}", tm3270_bench::write_policy_ablation_with(&opts));
+    println!("{}", tm3270_bench::prefetch_stride_ablation_with(&opts));
+    ExitCode::SUCCESS
 }

@@ -1,6 +1,66 @@
 //! Regenerates every table and figure in one run.
+//!
+//! ```text
+//! repro_all [--threads N] [--json]
+//! ```
+//!
+//! The workload sweeps (the Figure 7 suite, the power survey and the
+//! ablations) fan out over the `tm3270-harness` engine; `--threads 0`
+//! (the default) uses every available core. Results are aggregated in
+//! job order, so the output is byte-identical at any thread count.
+//!
+//! `--json` replaces the text reports with one machine-readable
+//! document of the suite cells (the thread-count-invariant core of the
+//! evaluation) so CI can diff a parallel run against a serial one.
 
-fn main() {
+use std::process::ExitCode;
+
+use tm3270_harness::SweepOptions;
+
+struct Args {
+    threads: usize,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: 0,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|e| format!("--threads {v}: {e}"))?;
+            }
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!("usage: repro_all [--threads N] [--json]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("repro_all: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = SweepOptions::new().threads(args.threads);
+
+    if args.json {
+        let cells = tm3270_bench::run_suite_with(&opts);
+        println!("{}", tm3270_bench::suite_json(&cells));
+        return ExitCode::SUCCESS;
+    }
+
     println!("{}", tm3270_bench::table1());
     println!("{}", tm3270_bench::table6());
     println!("{}", tm3270_bench::table2_demo());
@@ -11,11 +71,12 @@ fn main() {
     println!("{}", tm3270_bench::prefetch_experiment());
     println!("{}", tm3270_bench::motion_est_experiment());
     println!("{}", tm3270_bench::upconversion_experiment());
-    println!("{}", tm3270_bench::power_survey());
-    println!("{}", tm3270_bench::line_size_ablation());
-    println!("{}", tm3270_bench::capacity_ablation());
-    println!("{}", tm3270_bench::write_policy_ablation());
-    println!("{}", tm3270_bench::prefetch_stride_ablation());
-    let rows = tm3270_bench::figure7();
+    println!("{}", tm3270_bench::power_survey_with(&opts));
+    println!("{}", tm3270_bench::line_size_ablation_with(&opts));
+    println!("{}", tm3270_bench::capacity_ablation_with(&opts));
+    println!("{}", tm3270_bench::write_policy_ablation_with(&opts));
+    println!("{}", tm3270_bench::prefetch_stride_ablation_with(&opts));
+    let rows = tm3270_bench::figure7_with(&opts.progress("figure 7 suite"));
     println!("{}", tm3270_bench::figure7_report(&rows));
+    ExitCode::SUCCESS
 }

@@ -1,16 +1,16 @@
-//! Fault-injection campaign: randomized programs through
-//! encode → inject → decode → simulate.
-//!
-//! Every run must either complete normally or end in a typed
-//! [`SimError`] — no panics, no hangs. The campaign generates a random
-//! VLIW program, encodes it, flips random bits in the instruction image
-//! (and sometimes in data memory or a cache line), then decodes and runs
-//! the result on a strict-checking machine with a livelock watchdog and
-//! a cycle budget.
+//! Fault-injection campaign CLI: randomized programs through
+//! encode → inject → decode → simulate (see
+//! [`tm3270_bench::campaign`]).
 //!
 //! ```text
-//! repro_fault_campaign [--seed N] [--runs N] [--verbose] [--json]
+//! repro_fault_campaign [--seed N] [--runs N] [--threads N] [--verbose] [--json]
 //! ```
+//!
+//! Runs fan out over the `tm3270-harness` sweep engine; `--threads 0`
+//! (the default) uses every available core. Run `i` derives all of its
+//! randomness from the campaign seed and `i` alone, and the summary is
+//! aggregated in run order, so the output — in particular the `--json`
+//! document — is byte-identical at any thread count.
 //!
 //! `--json` replaces the text summary with a machine-readable document
 //! (seed, runs, flips, panics, error-kind histogram) so CI can diff
@@ -20,141 +20,49 @@
 //! than three distinct error kinds (which would mean the harness lost
 //! its coverage).
 
-use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use tm3270_asm::ProgramBuilder;
-use tm3270_core::{CrashReport, Machine, MachineConfig};
-use tm3270_encode::encode_program;
-use tm3270_fault::{FaultInjector, SmallRng};
-use tm3270_isa::{Op, Opcode, Program, Reg};
-
-/// Cycle budget per run; corrupted programs that loop productively end
-/// in `CycleLimit`, unproductively in `NoProgress` (watchdog below).
-const CYCLE_BUDGET: u64 = 200_000;
-const WATCHDOG: u64 = 5_000;
+use tm3270_bench::campaign::{run_campaign, CampaignOptions};
 
 struct Args {
-    seed: u64,
-    runs: u64,
-    verbose: bool,
+    campaign: CampaignOptions,
     json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        seed: 1,
-        runs: 200,
-        verbose: false,
-        json: false,
-    };
+    let mut campaign = CampaignOptions::new();
+    let mut json = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
-                args.seed = v.parse().map_err(|e| format!("--seed {v}: {e}"))?;
+                let seed = v.parse().map_err(|e| format!("--seed {v}: {e}"))?;
+                campaign.sweep = campaign.sweep.seed(seed);
             }
             "--runs" => {
                 let v = it.next().ok_or("--runs needs a value")?;
-                args.runs = v.parse().map_err(|e| format!("--runs {v}: {e}"))?;
+                campaign.runs = v.parse().map_err(|e| format!("--runs {v}: {e}"))?;
             }
-            "--verbose" => args.verbose = true,
-            "--json" => args.json = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let threads = v.parse().map_err(|e| format!("--threads {v}: {e}"))?;
+                campaign.sweep = campaign.sweep.threads(threads);
+            }
+            "--verbose" => campaign.verbose = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: repro_fault_campaign [--seed N] [--runs N] [--verbose] [--json]");
+                println!(
+                    "usage: repro_fault_campaign [--seed N] [--runs N] [--threads N] \
+                     [--verbose] [--json]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(args)
-}
-
-const BINARY_OPS: &[Opcode] = &[
-    Opcode::Iadd,
-    Opcode::Isub,
-    Opcode::Iand,
-    Opcode::Ixor,
-    Opcode::Imin,
-    Opcode::Quadavg,
-    Opcode::Ume8uu,
-    Opcode::Dspidualadd,
-    Opcode::Imul,
-    Opcode::Funshift2,
-    Opcode::MergeMsb,
-];
-
-/// A random straight-line-plus-loops program: arithmetic over r2..r18,
-/// loads and stores in a small window, occasionally a bounded countdown
-/// loop, occasionally a deliberately degenerate shape (an unbounded
-/// productive loop, or a jump-only loop) so the campaign exercises the
-/// budget and watchdog paths even without corruption.
-fn random_program(rng: &mut SmallRng) -> Option<Program> {
-    let model = tm3270_isa::IssueModel::tm3270();
-    let mut b = ProgramBuilder::new(model);
-    let reg = |rng: &mut SmallRng| Reg::new(2 + rng.below(16) as u8);
-    let n_ops = 8 + rng.index(32);
-    for _ in 0..n_ops {
-        match rng.below(8) {
-            0..=2 => {
-                let opc = BINARY_OPS[rng.index(BINARY_OPS.len())];
-                let (d, s1, s2) = (reg(rng), reg(rng), reg(rng));
-                b.op(Op::rrr(opc, d, s1, s2));
-            }
-            3 => {
-                let d = reg(rng);
-                b.op(Op::imm(d, rng.range_i32(-100_000, 100_000)));
-            }
-            4 => {
-                let (d, s) = (reg(rng), reg(rng));
-                b.op(Op::rri(Opcode::Iaddi, d, s, rng.range_i32(-64, 64)));
-            }
-            5 | 6 => {
-                let (d, s) = (reg(rng), reg(rng));
-                b.op(Op::rri(Opcode::Ld32d, d, s, rng.range_i32(0, 255) * 4));
-            }
-            _ => {
-                let (s1, s2) = (reg(rng), reg(rng));
-                b.op(Op::new(
-                    Opcode::St32d,
-                    Reg::ONE,
-                    &[s1, s2],
-                    &[],
-                    rng.range_i32(0, 255) * 4,
-                ));
-            }
-        }
-    }
-    match rng.below(8) {
-        // Mostly: a bounded countdown loop around more arithmetic.
-        0..=3 => {
-            let counter = Reg::new(20);
-            let flag = Reg::new(21);
-            b.op(Op::imm(counter, rng.range_i32(4, 40)));
-            let top = b.bind_here();
-            let (d, s1, s2) = (reg(rng), reg(rng), reg(rng));
-            b.op(Op::rrr(Opcode::Iadd, d, s1, s2));
-            b.op(Op::rri(Opcode::Iaddi, counter, counter, -1));
-            b.op(Op::rrr(Opcode::Igtr, flag, counter, Reg::ZERO));
-            b.jump_if(flag, top);
-        }
-        // Sometimes: an unbounded productive loop (CycleLimit path).
-        4 => {
-            let d = Reg::new(22);
-            let top = b.bind_here();
-            b.op(Op::rri(Opcode::Iaddi, d, d, 1));
-            b.jump(top);
-        }
-        // Sometimes: a jump-only livelock (NoProgress path).
-        5 => {
-            let top = b.bind_here();
-            b.jump(top);
-        }
-        // Otherwise: straight line, falls off the end.
-        _ => {}
-    }
-    b.build().ok()
+    campaign.sweep = campaign.sweep.progress("fault campaign");
+    Ok(Args { campaign, json })
 }
 
 fn main() -> ExitCode {
@@ -166,131 +74,36 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut master = SmallRng::new(args.seed);
-    let mut outcomes: BTreeMap<String, u64> = BTreeMap::new();
-    let mut panics = 0u64;
-    let mut flips_total = 0u64;
-    let mut sample_report: Option<CrashReport> = None;
-
-    for run in 0..args.runs {
-        let mut rng = master.fork();
-        let Some(program) = random_program(&mut rng) else {
-            *outcomes.entry("Unschedulable".into()).or_insert(0) += 1;
-            continue;
-        };
-        let mut image = match encode_program(&program) {
-            Ok(image) => image,
-            Err(e) => {
-                *outcomes.entry(format!("Encode({e})")).or_insert(0) += 1;
-                continue;
-            }
-        };
-
-        // Inject: usually a few image bit flips, sometimes clean,
-        // sometimes data/cache-line corruption on top.
-        let mut injector = FaultInjector::new(rng.next_u64());
-        let instr_flips = rng.below(6) as u32; // 0 => clean control run
-        flips_total += injector.corrupt_image(&mut image, instr_flips) as u64;
-        let data_flips = if rng.chance(1, 4) { 4 } else { 0 };
-        let line_flips = if rng.chance(1, 8) { 2 } else { 0 };
-
-        let mut config = MachineConfig::tm3270();
-        config.mem.mem_size = 1 << 16;
-        config.mem.strict_access = true;
-
-        // Belt and braces: the whole decode+run is also wrapped in
-        // catch_unwind so an escaped panic is *counted*, not fatal to
-        // the campaign. AssertUnwindSafe: everything the closure owns is
-        // dropped with it on unwind, nothing is observed afterwards.
-        let ring_size = config.trace_ring;
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-            // Decode-time errors have no machine state yet: report them
-            // with an empty snapshot.
-            let mut machine = Machine::from_image(config, image).map_err(|error| {
-                Box::new(CrashReport {
-                    error,
-                    pc: 0,
-                    cycle: 0,
-                    instrs: 0,
-                    reg_digest: 0,
-                    ring_size,
-                    trace: Vec::new(),
-                })
-            })?;
-            if data_flips + line_flips > 0 {
-                let mut window = machine.read_data(0, 4096);
-                injector.corrupt_memory(&mut window, data_flips);
-                injector.corrupt_cache_line(&mut window, 128, line_flips);
-                machine.load_data(0, &window);
-            }
-            machine.set_watchdog(WATCHDOG);
-            machine.run_reported(CYCLE_BUDGET).map(|stats| stats.instrs)
-        }));
-
-        match outcome {
-            Ok(Ok(instrs)) => {
-                *outcomes.entry("Completed".into()).or_insert(0) += 1;
-                if args.verbose {
-                    println!("run {run}: completed, {instrs} instructions");
-                }
-            }
-            Ok(Err(report)) => {
-                *outcomes.entry(report.error.kind().to_string()).or_insert(0) += 1;
-                if args.verbose {
-                    println!("run {run}: {}", report.error);
-                }
-                if sample_report.is_none() {
-                    sample_report = Some(*report);
-                }
-            }
-            Err(_) => {
-                panics += 1;
-                eprintln!("run {run}: PANIC escaped the typed error path");
-            }
-        }
+    let summary = run_campaign(&args.campaign);
+    for line in &summary.run_lines {
+        println!("{line}");
+    }
+    for line in &summary.panic_lines {
+        eprintln!("{line}");
     }
 
-    let error_kinds = outcomes.keys().filter(|k| *k != "Completed").count();
     if args.json {
-        let hist: Vec<String> = outcomes
-            .iter()
-            .map(|(kind, count)| format!("{}:{count}", tm3270_obs::json::string(kind)))
-            .collect();
-        println!(
-            "{{\"seed\":{},\"runs\":{},\"image_bit_flips\":{flips_total},\
-             \"panics\":{panics},\"error_kinds\":{error_kinds},\
-             \"outcomes\":{{{}}}}}",
-            args.seed,
-            args.runs,
-            hist.join(",")
-        );
+        println!("{}", summary.to_json());
     } else {
-        println!(
-            "=== fault campaign: seed {}, {} runs ===",
-            args.seed, args.runs
-        );
-        println!("image bit flips injected: {flips_total}");
-        let mut keys: Vec<_> = outcomes.iter().collect();
-        keys.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
-        for (kind, count) in keys {
-            println!("{count:>8}  {kind}");
-        }
-        if let Some(report) = &sample_report {
-            println!("\nsample crash report (first typed error):");
-            print!("{report}");
-        }
+        print!("{}", summary.report());
     }
 
-    if panics > 0 {
-        eprintln!("FAIL: {panics} run(s) panicked");
+    if summary.panics > 0 {
+        eprintln!("FAIL: {} run(s) panicked", summary.panics);
         return ExitCode::from(1);
     }
-    if args.runs >= 50 && error_kinds < 3 {
-        eprintln!("FAIL: only {error_kinds} distinct error kind(s) exercised (need >= 3)");
+    if summary.runs >= 50 && summary.error_kinds() < 3 {
+        eprintln!(
+            "FAIL: only {} distinct error kind(s) exercised (need >= 3)",
+            summary.error_kinds()
+        );
         return ExitCode::from(1);
     }
     if !args.json {
-        println!("\nOK: no panics, no hangs, {error_kinds} distinct error kinds");
+        println!(
+            "\nOK: no panics, no hangs, {} distinct error kinds",
+            summary.error_kinds()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -1,8 +1,51 @@
 //! Regenerates Figure 7: relative performance of configurations A-D on
 //! the eleven Table 5 workloads (all runs verified against golden
 //! references).
+//!
+//! ```text
+//! repro_figure7 [--threads N]
+//! ```
+//!
+//! The (workload × config) grid fans out over the `tm3270-harness`
+//! sweep engine; rows are assembled in suite order, so the report is
+//! identical at any thread count.
 
-fn main() {
-    let rows = tm3270_bench::figure7();
+use std::process::ExitCode;
+
+use tm3270_harness::SweepOptions;
+
+fn main() -> ExitCode {
+    let mut threads = 0usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--threads" => {
+                let Some(v) = it.next() else {
+                    eprintln!("repro_figure7: --threads needs a value");
+                    return ExitCode::from(2);
+                };
+                match v.parse() {
+                    Ok(n) => threads = n,
+                    Err(e) => {
+                        eprintln!("repro_figure7: --threads {v}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: repro_figure7 [--threads N]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("repro_figure7: unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let opts = SweepOptions::new()
+        .threads(threads)
+        .progress("figure 7 suite");
+    let rows = tm3270_bench::figure7_with(&opts);
     println!("{}", tm3270_bench::figure7_report(&rows));
+    ExitCode::SUCCESS
 }

@@ -1,5 +1,46 @@
 //! The §5.2 power survey: mW/MHz tracks OPI/CPI across workloads.
+//!
+//! ```text
+//! repro_power_survey [--threads N]
+//! ```
+//!
+//! The golden kernels fan out over the `tm3270-harness` sweep engine;
+//! the report is assembled in registry order, so the output is
+//! identical at any thread count.
 
-fn main() {
-    println!("{}", tm3270_bench::power_survey());
+use std::process::ExitCode;
+
+use tm3270_harness::SweepOptions;
+
+fn main() -> ExitCode {
+    let mut threads = 0usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--threads" => {
+                let Some(v) = it.next() else {
+                    eprintln!("repro_power_survey: --threads needs a value");
+                    return ExitCode::from(2);
+                };
+                match v.parse() {
+                    Ok(n) => threads = n,
+                    Err(e) => {
+                        eprintln!("repro_power_survey: --threads {v}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: repro_power_survey [--threads N]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("repro_power_survey: unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let opts = SweepOptions::new().threads(threads);
+    println!("{}", tm3270_bench::power_survey_with(&opts));
+    ExitCode::SUCCESS
 }

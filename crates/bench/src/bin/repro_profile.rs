@@ -3,14 +3,17 @@
 //!
 //! ```text
 //! repro_profile [--workload NAME]... [--all] [--config a|b|c|d]
-//!               [--json] [--chrome-trace PATH] [--list]
+//!               [--threads N] [--json] [--chrome-trace PATH] [--list]
 //! ```
 //!
 //! With no `--workload` the eleven Table 5 golden kernels are profiled.
-//! `--json` replaces the text reports with a JSON array of profile
-//! objects; `--chrome-trace` additionally records a Chrome
-//! `trace_event` timeline (requires exactly one workload) loadable in
-//! `chrome://tracing` or Perfetto.
+//! Workloads fan out over the `tm3270-harness` sweep engine
+//! (`--threads 0`, the default, uses every core; `--threads 1` forces a
+//! serial run); profiles are reported in workload order, so the output
+//! is identical at any thread count. `--json` replaces the text reports
+//! with a JSON array of profile objects; `--chrome-trace` additionally
+//! records a Chrome `trace_event` timeline (requires exactly one
+//! workload) loadable in `chrome://tracing` or Perfetto.
 //!
 //! Every profiled run is checked for cycle conservation — the stall
 //! buckets must sum exactly to the run's total cycles — and the
@@ -20,11 +23,13 @@ use std::process::ExitCode;
 
 use tm3270_bench::profile::{find_workload, golden_names, profile_kernel, workloads, Profile};
 use tm3270_core::MachineConfig;
+use tm3270_harness::{sweep, SweepOptions};
 
 struct Args {
     names: Vec<String>,
     all: bool,
     config: MachineConfig,
+    threads: usize,
     json: bool,
     chrome_trace: Option<String>,
 }
@@ -34,6 +39,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         names: Vec::new(),
         all: false,
         config: MachineConfig::tm3270(),
+        threads: 0,
         json: false,
         chrome_trace: None,
     };
@@ -55,6 +61,10 @@ fn parse_args() -> Result<Option<Args>, String> {
                     other => return Err(format!("unknown config {other} (want a|b|c|d)")),
                 };
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|e| format!("--threads {v}: {e}"))?;
+            }
             "--json" => args.json = true,
             "--chrome-trace" => {
                 let v = it.next().ok_or("--chrome-trace needs a path")?;
@@ -69,7 +79,8 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro_profile [--workload NAME]... [--all] \
-                     [--config a|b|c|d] [--json] [--chrome-trace PATH] [--list]"
+                     [--config a|b|c|d] [--threads N] [--json] \
+                     [--chrome-trace PATH] [--list]"
                 );
                 return Ok(None);
             }
@@ -100,25 +111,38 @@ fn main() -> ExitCode {
         args.names.clone()
     };
 
-    let mut profiles: Vec<Profile> = Vec::new();
     for name in &names {
-        let Some(kernel) = find_workload(name) else {
+        if find_workload(name).is_none() {
             eprintln!("repro_profile: unknown workload {name} (try --list)");
             return ExitCode::from(2);
-        };
-        let chrome = args.chrome_trace.is_some();
-        let profile = match profile_kernel(kernel.as_ref(), &args.config, chrome) {
-            Ok(p) => p,
+        }
+    }
+
+    let chrome = args.chrome_trace.is_some();
+    let opts = SweepOptions::new()
+        .threads(args.threads)
+        .progress("profiling");
+    let results = sweep(names.len(), &opts, |ctx| {
+        let name = &names[ctx.id];
+        // Kernels and sinks are built inside the job: neither is
+        // `Send`, but each lives and dies on one worker.
+        let kernel = find_workload(name).expect("validated above");
+        let profile = profile_kernel(kernel.as_ref(), &args.config, chrome)
+            .map_err(|e| format!("{name}: {e}"))?;
+        profile
+            .check_conservation()
+            .map_err(|e| format!("cycle conservation violated: {e}"))?;
+        Ok(profile)
+    });
+    let mut profiles: Vec<Profile> = Vec::new();
+    for result in results {
+        match result {
+            Ok(p) => profiles.push(p),
             Err(e) => {
-                eprintln!("repro_profile: {name}: {e}");
+                eprintln!("repro_profile: {e}");
                 return ExitCode::from(1);
             }
-        };
-        if let Err(e) = profile.check_conservation() {
-            eprintln!("repro_profile: cycle conservation violated: {e}");
-            return ExitCode::from(1);
         }
-        profiles.push(profile);
     }
 
     if let (Some(path), Some(profile)) = (&args.chrome_trace, profiles.first()) {

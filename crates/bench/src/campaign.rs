@@ -1,0 +1,392 @@
+//! The fault-injection campaign: randomized programs through
+//! encode → inject → decode → simulate, fanned out over the
+//! [`tm3270_harness`] sweep engine.
+//!
+//! Every run must either complete normally or end in a typed
+//! `SimError` — no panics, no hangs. Each run generates a random VLIW
+//! program, encodes it, flips random bits in the instruction image (and
+//! sometimes in data memory or a cache line), then decodes and runs the
+//! result on a strict-checking machine with a livelock watchdog and a
+//! cycle budget.
+//!
+//! Runs are independent jobs: run `i` draws all of its randomness from
+//! [`JobCtx::seed`](tm3270_harness::JobCtx), which depends only on the
+//! campaign seed and `i` — never on which worker ran it or in what
+//! order. The summary is aggregated in run order, so
+//! [`CampaignSummary::to_json`] is byte-identical at any `--threads`
+//! value.
+
+use std::collections::BTreeMap;
+
+use tm3270_asm::ProgramBuilder;
+use tm3270_core::{CrashReport, Machine, MachineConfig};
+use tm3270_encode::encode_program;
+use tm3270_fault::{FaultInjector, SmallRng};
+use tm3270_harness::{sweep, JobError, SweepOptions};
+use tm3270_isa::{Op, Opcode, Program, Reg};
+
+/// Cycle budget per run; corrupted programs that loop productively end
+/// in `CycleLimit`, unproductively in `NoProgress` (watchdog below).
+pub const CYCLE_BUDGET: u64 = 200_000;
+/// Livelock watchdog: cycles without architectural progress before the
+/// machine gives up with `NoProgress`.
+pub const WATCHDOG: u64 = 5_000;
+
+const BINARY_OPS: &[Opcode] = &[
+    Opcode::Iadd,
+    Opcode::Isub,
+    Opcode::Iand,
+    Opcode::Ixor,
+    Opcode::Imin,
+    Opcode::Quadavg,
+    Opcode::Ume8uu,
+    Opcode::Dspidualadd,
+    Opcode::Imul,
+    Opcode::Funshift2,
+    Opcode::MergeMsb,
+];
+
+/// A random straight-line-plus-loops program: arithmetic over r2..r18,
+/// loads and stores in a small window, occasionally a bounded countdown
+/// loop, occasionally a deliberately degenerate shape (an unbounded
+/// productive loop, or a jump-only loop) so the campaign exercises the
+/// budget and watchdog paths even without corruption.
+pub fn random_program(rng: &mut SmallRng) -> Option<Program> {
+    let model = tm3270_isa::IssueModel::tm3270();
+    let mut b = ProgramBuilder::new(model);
+    let reg = |rng: &mut SmallRng| Reg::new(2 + rng.below(16) as u8);
+    let n_ops = 8 + rng.index(32);
+    for _ in 0..n_ops {
+        match rng.below(8) {
+            0..=2 => {
+                let opc = BINARY_OPS[rng.index(BINARY_OPS.len())];
+                let (d, s1, s2) = (reg(rng), reg(rng), reg(rng));
+                b.op(Op::rrr(opc, d, s1, s2));
+            }
+            3 => {
+                let d = reg(rng);
+                b.op(Op::imm(d, rng.range_i32(-100_000, 100_000)));
+            }
+            4 => {
+                let (d, s) = (reg(rng), reg(rng));
+                b.op(Op::rri(Opcode::Iaddi, d, s, rng.range_i32(-64, 64)));
+            }
+            5 | 6 => {
+                let (d, s) = (reg(rng), reg(rng));
+                b.op(Op::rri(Opcode::Ld32d, d, s, rng.range_i32(0, 255) * 4));
+            }
+            _ => {
+                let (s1, s2) = (reg(rng), reg(rng));
+                b.op(Op::new(
+                    Opcode::St32d,
+                    Reg::ONE,
+                    &[s1, s2],
+                    &[],
+                    rng.range_i32(0, 255) * 4,
+                ));
+            }
+        }
+    }
+    match rng.below(8) {
+        // Mostly: a bounded countdown loop around more arithmetic.
+        0..=3 => {
+            let counter = Reg::new(20);
+            let flag = Reg::new(21);
+            b.op(Op::imm(counter, rng.range_i32(4, 40)));
+            let top = b.bind_here();
+            let (d, s1, s2) = (reg(rng), reg(rng), reg(rng));
+            b.op(Op::rrr(Opcode::Iadd, d, s1, s2));
+            b.op(Op::rri(Opcode::Iaddi, counter, counter, -1));
+            b.op(Op::rrr(Opcode::Igtr, flag, counter, Reg::ZERO));
+            b.jump_if(flag, top);
+        }
+        // Sometimes: an unbounded productive loop (CycleLimit path).
+        4 => {
+            let d = Reg::new(22);
+            let top = b.bind_here();
+            b.op(Op::rri(Opcode::Iaddi, d, d, 1));
+            b.jump(top);
+        }
+        // Sometimes: a jump-only livelock (NoProgress path).
+        5 => {
+            let top = b.bind_here();
+            b.jump(top);
+        }
+        // Otherwise: straight line, falls off the end.
+        _ => {}
+    }
+    b.build().ok()
+}
+
+/// What one campaign run produced.
+struct RunRecord {
+    /// Outcome bucket: `Completed`, a `SimError` kind, `Unschedulable`
+    /// or `Encode(..)`.
+    kind: String,
+    /// Instruction-image bits actually flipped in this run.
+    flips: u64,
+    /// One human line for `--verbose` output.
+    detail: String,
+    /// The crash report, for typed-error runs.
+    report: Option<Box<CrashReport>>,
+}
+
+/// One run of the campaign; all randomness comes from `seed`.
+fn campaign_run(seed: u64) -> RunRecord {
+    let mut rng = SmallRng::new(seed);
+    let Some(program) = random_program(&mut rng) else {
+        return RunRecord {
+            kind: "Unschedulable".into(),
+            flips: 0,
+            detail: "unschedulable".into(),
+            report: None,
+        };
+    };
+    let mut image = match encode_program(&program) {
+        Ok(image) => image,
+        Err(e) => {
+            return RunRecord {
+                kind: format!("Encode({e})"),
+                flips: 0,
+                detail: format!("encode failed: {e}"),
+                report: None,
+            }
+        }
+    };
+
+    // Inject: usually a few image bit flips, sometimes clean, sometimes
+    // data/cache-line corruption on top.
+    let mut injector = FaultInjector::new(rng.next_u64());
+    let instr_flips = rng.below(6) as u32; // 0 => clean control run
+    let flips = injector.corrupt_image(&mut image, instr_flips) as u64;
+    let data_flips = if rng.chance(1, 4) { 4 } else { 0 };
+    let line_flips = if rng.chance(1, 8) { 2 } else { 0 };
+
+    let mut config = MachineConfig::tm3270();
+    config.mem.mem_size = 1 << 16;
+    config.mem.strict_access = true;
+    let ring_size = config.trace_ring;
+
+    // Decode-time errors have no machine state yet: report them with an
+    // empty snapshot.
+    let outcome = Machine::from_image(config, image)
+        .map_err(|error| {
+            Box::new(CrashReport {
+                error,
+                pc: 0,
+                cycle: 0,
+                instrs: 0,
+                reg_digest: 0,
+                ring_size,
+                trace: Vec::new(),
+            })
+        })
+        .and_then(|mut machine| {
+            if data_flips + line_flips > 0 {
+                let mut window = machine.read_data(0, 4096);
+                injector.corrupt_memory(&mut window, data_flips);
+                injector.corrupt_cache_line(&mut window, 128, line_flips);
+                machine.load_data(0, &window);
+            }
+            machine.set_watchdog(WATCHDOG);
+            machine.run_reported(CYCLE_BUDGET).map(|stats| stats.instrs)
+        });
+
+    match outcome {
+        Ok(instrs) => RunRecord {
+            kind: "Completed".into(),
+            flips,
+            detail: format!("completed, {instrs} instructions"),
+            report: None,
+        },
+        Err(report) => RunRecord {
+            kind: report.error.kind().to_string(),
+            flips,
+            detail: report.error.to_string(),
+            report: Some(report),
+        },
+    }
+}
+
+/// Campaign parameters: how many runs, and how to sweep them.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Number of randomized runs.
+    pub runs: u64,
+    /// Worker pool + campaign seed + progress reporting.
+    pub sweep: SweepOptions,
+    /// Record a per-run line (for `--verbose`).
+    pub verbose: bool,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> CampaignOptions {
+        CampaignOptions::new()
+    }
+}
+
+impl CampaignOptions {
+    /// The `repro_fault_campaign` defaults: 200 runs, seed 1, all cores.
+    pub fn new() -> CampaignOptions {
+        CampaignOptions {
+            runs: 200,
+            sweep: SweepOptions::new().seed(1),
+            verbose: false,
+        }
+    }
+}
+
+/// The aggregated campaign result, in run order.
+#[derive(Debug)]
+pub struct CampaignSummary {
+    /// The campaign seed.
+    pub seed: u64,
+    /// Number of runs performed.
+    pub runs: u64,
+    /// Total instruction-image bits flipped.
+    pub flips_total: u64,
+    /// Runs whose panic escaped the typed error path.
+    pub panics: u64,
+    /// Outcome histogram (`Completed` plus error kinds).
+    pub outcomes: BTreeMap<String, u64>,
+    /// The first (by run id) typed-error crash report.
+    pub sample_report: Option<CrashReport>,
+    /// Per-run lines, when [`CampaignOptions::verbose`] was set.
+    pub run_lines: Vec<String>,
+    /// One line per escaped panic (always recorded).
+    pub panic_lines: Vec<String>,
+}
+
+impl CampaignSummary {
+    /// Distinct non-`Completed` outcome kinds — the campaign's coverage
+    /// gauge.
+    pub fn error_kinds(&self) -> usize {
+        self.outcomes.keys().filter(|k| *k != "Completed").count()
+    }
+
+    /// The machine-readable summary. Contains only run-order aggregates
+    /// (never the thread count), so two campaigns with the same seed and
+    /// run count produce byte-identical documents at any parallelism.
+    pub fn to_json(&self) -> String {
+        let hist: Vec<String> = self
+            .outcomes
+            .iter()
+            .map(|(kind, count)| format!("{}:{count}", tm3270_obs::json::string(kind)))
+            .collect();
+        format!(
+            "{{\"seed\":{},\"runs\":{},\"image_bit_flips\":{},\
+             \"panics\":{},\"error_kinds\":{},\
+             \"outcomes\":{{{}}}}}",
+            self.seed,
+            self.runs,
+            self.flips_total,
+            self.panics,
+            self.error_kinds(),
+            hist.join(",")
+        )
+    }
+
+    /// The human-readable summary.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "=== fault campaign: seed {}, {} runs ===",
+            self.seed, self.runs
+        );
+        let _ = writeln!(s, "image bit flips injected: {}", self.flips_total);
+        let mut keys: Vec<_> = self.outcomes.iter().collect();
+        keys.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (kind, count) in keys {
+            let _ = writeln!(s, "{count:>8}  {kind}");
+        }
+        if let Some(report) = &self.sample_report {
+            let _ = writeln!(s, "\nsample crash report (first typed error):");
+            let _ = write!(s, "{report}");
+        }
+        s
+    }
+}
+
+/// Runs the campaign: `opts.runs` independent randomized runs over the
+/// sweep engine, aggregated in run order.
+pub fn run_campaign(opts: &CampaignOptions) -> CampaignSummary {
+    let results = sweep(opts.runs as usize, &opts.sweep, |ctx| {
+        Ok(campaign_run(ctx.seed))
+    });
+
+    let mut summary = CampaignSummary {
+        seed: opts.sweep.campaign_seed,
+        runs: opts.runs,
+        flips_total: 0,
+        panics: 0,
+        outcomes: BTreeMap::new(),
+        sample_report: None,
+        run_lines: Vec::new(),
+        panic_lines: Vec::new(),
+    };
+    for (run, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(rec) => {
+                summary.flips_total += rec.flips;
+                *summary.outcomes.entry(rec.kind).or_insert(0) += 1;
+                if opts.verbose {
+                    summary.run_lines.push(format!("run {run}: {}", rec.detail));
+                }
+                if summary.sample_report.is_none() {
+                    if let Some(report) = rec.report {
+                        summary.sample_report = Some(*report);
+                    }
+                }
+            }
+            Err(JobError::Panicked(msg)) => {
+                summary.panics += 1;
+                summary.panic_lines.push(format!(
+                    "run {run}: PANIC escaped the typed error path: {msg}"
+                ));
+            }
+            Err(JobError::Failed(msg)) => {
+                // campaign_run never returns Err; count it defensively.
+                *summary
+                    .outcomes
+                    .entry(format!("JobFailed({msg})"))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(runs: u64, seed: u64, threads: usize) -> CampaignOptions {
+        CampaignOptions {
+            runs,
+            sweep: SweepOptions::new().seed(seed).threads(threads),
+            verbose: false,
+        }
+    }
+
+    #[test]
+    fn campaign_json_is_thread_count_invariant() {
+        let serial = run_campaign(&opts(60, 7, 1));
+        let parallel = run_campaign(&opts(60, 7, 4));
+        assert_eq!(serial.to_json(), parallel.to_json());
+        assert_eq!(serial.panics, 0);
+    }
+
+    #[test]
+    fn campaign_covers_multiple_error_kinds() {
+        let summary = run_campaign(&opts(120, 1, 0));
+        assert!(
+            summary.error_kinds() >= 3,
+            "coverage lost: {:?}",
+            summary.outcomes
+        );
+        assert!(summary.outcomes.contains_key("Completed"));
+        assert!(summary.sample_report.is_some());
+    }
+}

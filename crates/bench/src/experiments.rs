@@ -1,8 +1,9 @@
 //! The per-table / per-figure experiment drivers.
 
-use crate::{geomean, run_suite, Cell};
+use crate::{geomean, run_suite, run_suite_with, Cell};
 use tm3270_core::MachineConfig;
 use tm3270_encode::encode_program;
+use tm3270_harness::{sweep, SweepOptions};
 use tm3270_isa::{execute, DataMemory, FlatMemory, IssueModel, Op, Opcode, Reg, RegFile};
 use tm3270_kernels::cabac_kernel::CabacDecode;
 use tm3270_kernels::motion::MotionEst;
@@ -441,6 +442,16 @@ pub fn figure7() -> Vec<Figure7Row> {
     figure7_from_cells(&cells)
 }
 
+/// [`figure7`] with an explicit sweep configuration (worker count,
+/// progress reporting). The rows are identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if any kernel fails to verify on any configuration.
+pub fn figure7_with(opts: &SweepOptions) -> Vec<Figure7Row> {
+    figure7_from_cells(&run_suite_with(opts))
+}
+
 /// Groups raw cells into Figure 7 rows.
 pub fn figure7_from_cells(cells: &[Cell]) -> Vec<Figure7Row> {
     let mut rows: Vec<Figure7Row> = Vec::new();
@@ -490,10 +501,35 @@ pub fn figure7_report(rows: &[Figure7Row]) -> String {
 ///
 /// Panics if a kernel fails to verify.
 pub fn power_survey() -> String {
-    use tm3270_power::PowerModel;
+    power_survey_with(&SweepOptions::new())
+}
+
+/// [`power_survey`] with an explicit sweep configuration. The MP3 proxy
+/// runs first (it calibrates the power model), then the eleven golden
+/// kernels fan out over the engine; the report is assembled in registry
+/// order, so the text is identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if a kernel fails to verify.
+pub fn power_survey_with(opts: &SweepOptions) -> String {
+    use tm3270_kernels::Workload;
     let cfg = MachineConfig::tm3270();
     let mp3 = run_kernel(&Mp3Proxy::paper(), &cfg).expect("mp3 proxy verifies");
     let model = PowerModel::calibrated(&mp3);
+    let names: Vec<&'static str> = tm3270_kernels::golden_names();
+    let survey: Vec<tm3270_core::RunStats> = sweep(names.len(), opts, |ctx| {
+        let workloads: Vec<Workload> = tm3270_kernels::registry(1)
+            .into_iter()
+            .filter(Workload::is_golden)
+            .collect();
+        let workload = &workloads[ctx.id];
+        run_kernel(workload.kernel(), &cfg).map_err(|e| format!("{}: {e}", workload.name()))
+    })
+    .into_iter()
+    .map(|stats| stats.unwrap_or_else(|e| panic!("{e}")))
+    .collect();
+
     let mut s = String::from(
         "§5.2 power survey (TM3270 @ 1.2 V; model calibrated to the MP3 proxy)
   kernel          OPI    CPI   mW/MHz
@@ -507,16 +543,14 @@ pub fn power_survey() -> String {
         mp3.cpi(),
         model.total_mw_per_mhz(&mp3, 1.2)
     ));
-    for kernel in evaluation_kernels() {
-        let stats =
-            run_kernel(kernel.as_ref(), &cfg).unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+    for (name, stats) in names.iter().zip(&survey) {
         s.push_str(&format!(
             "  {:<14} {:>4.2} {:>6.2} {:>8.3}
 ",
-            kernel.name(),
+            name,
             stats.opi(),
             stats.cpi(),
-            model.total_mw_per_mhz(&stats, 1.2)
+            model.total_mw_per_mhz(stats, 1.2)
         ));
     }
     s.push_str(

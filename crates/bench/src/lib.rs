@@ -25,9 +25,11 @@
 #![warn(missing_docs)]
 
 use tm3270_core::{MachineConfig, RunStats};
-use tm3270_kernels::{evaluation_kernels, run_kernel, Kernel};
+use tm3270_harness::{sweep, Grid, SweepOptions};
+use tm3270_kernels::{registry, run_kernel, Kernel, Workload};
 
 pub mod ablations;
+pub mod campaign;
 pub mod experiments;
 pub mod profile;
 pub mod timing;
@@ -53,28 +55,90 @@ impl Cell {
     }
 }
 
+/// The eleven Table 5 golden workloads from the kernel registry (the
+/// suite's workload axis; the scale factor only affects the experiment
+/// workloads, not these).
+fn golden_workloads() -> Vec<Workload> {
+    registry(1)
+        .into_iter()
+        .filter(Workload::is_golden)
+        .collect()
+}
+
 /// Runs the full Table 5 workload suite over configurations A–D.
+///
+/// Equivalent to [`run_suite_with`] at the default [`SweepOptions`]
+/// (every available core).
 ///
 /// # Panics
 ///
 /// Panics if any kernel fails to build, run, or verify — the kernels are
 /// self-checking against their golden references.
 pub fn run_suite() -> Vec<Cell> {
+    run_suite_with(&SweepOptions::new())
+}
+
+/// Runs the Table 5 suite as a (workload × config) sweep over the
+/// `tm3270-harness` engine.
+///
+/// Cells come back in the serial drivers' row order (kernel-major,
+/// config-minor) regardless of the worker count, so every downstream
+/// table and JSON document is byte-identical at any `--threads` value.
+///
+/// # Panics
+///
+/// Panics if any kernel fails to build, run, or verify.
+pub fn run_suite_with(opts: &SweepOptions) -> Vec<Cell> {
     let configs = MachineConfig::evaluation_suite();
-    let kernels = evaluation_kernels();
-    let mut cells = Vec::new();
-    for kernel in &kernels {
-        for config in &configs {
-            let stats = run_kernel(kernel.as_ref(), config)
-                .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name(), config.name));
-            cells.push(Cell {
-                kernel: kernel.name().to_string(),
-                config: config.name,
-                stats,
-            });
-        }
-    }
-    cells
+    let grid = Grid::new(golden_workloads().len(), configs.len(), 1);
+    sweep(grid.total(), opts, |ctx| {
+        let point = grid.unrank(ctx.id);
+        // Workloads are built per job: `dyn Kernel` is not `Sync`, and
+        // construction is a handful of struct literals.
+        let workloads = golden_workloads();
+        let workload = &workloads[point.workload];
+        let config = &configs[point.config];
+        let stats = run_kernel(workload.kernel(), config)
+            .map_err(|e| format!("{} on {}: {e}", workload.name(), config.name))?;
+        Ok(Cell {
+            kernel: workload.name().to_string(),
+            config: config.name,
+            stats,
+        })
+    })
+    .into_iter()
+    .map(|cell| cell.unwrap_or_else(|e| panic!("{e}")))
+    .collect()
+}
+
+/// Renders suite cells as one JSON document (hand-rolled; the repo
+/// carries no serialization dependency). Cells are emitted in the order
+/// given — for [`run_suite_with`] output that order is thread-count
+/// independent, so the document can be diffed across parallelism
+/// levels.
+pub fn suite_json(cells: &[Cell]) -> String {
+    use tm3270_obs::json;
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"kernel\":{},\"config\":{},\"cycles\":{},\"instrs\":{},\
+                 \"ops\":{},\"ifetch_stall\":{},\"data_stall\":{},\
+                 \"dcache_misses\":{},\"dram_bytes\":{},\"time_us\":{}}}",
+                json::string(&c.kernel),
+                json::string(c.config),
+                c.stats.cycles,
+                c.stats.instrs,
+                c.stats.ops,
+                c.stats.ifetch_stall_cycles,
+                c.stats.data_stall_cycles,
+                c.stats.mem.dcache.misses,
+                c.stats.mem.dram.bytes,
+                json::number(c.time_us())
+            )
+        })
+        .collect();
+    format!("{{\"suite\":[{}]}}", rows.join(","))
 }
 
 /// Runs a single kernel across the A–D suite.

@@ -23,40 +23,29 @@ use std::rc::Rc;
 
 use crate::experiments::table3_scale;
 use tm3270_core::{Machine, MachineConfig, RunStats};
-use tm3270_kernels::cabac_kernel::CabacDecode;
-use tm3270_kernels::motion::MotionEst;
-use tm3270_kernels::synth::{BlockFilter, Mp3Proxy};
-use tm3270_kernels::upconv::Upconv;
-use tm3270_kernels::{evaluation_kernels, Kernel, KernelError};
+use tm3270_kernels::{Kernel, KernelError, Workload};
 use tm3270_obs::{json, ChromeTraceSink, CounterSink, FanoutSink, SinkHandle, SLOTS};
 
 /// Every profileable workload: the eleven Table 5 evaluation kernels
 /// (the "golden kernels") followed by the §6 experiment workloads
 /// (CABAC, motion estimation, block filtering, up-conversion, the MP3
-/// power proxy).
+/// power proxy) — the [`tm3270_kernels::registry`] at the session's
+/// Table 3 scale.
 pub fn workloads() -> Vec<Box<dyn Kernel>> {
-    use tm3270_cabac::FieldType;
-    let bits = FieldType::I.paper_bits_per_field() / table3_scale().max(1);
-    let mut ws = evaluation_kernels();
-    ws.push(Box::new(CabacDecode::table3(FieldType::I, false, bits)));
-    ws.push(Box::new(CabacDecode::table3(FieldType::I, true, bits)));
-    ws.push(Box::new(MotionEst::evaluation(false)));
-    ws.push(Box::new(MotionEst::evaluation(true)));
-    ws.push(Box::new(BlockFilter::figure3(false)));
-    ws.push(Box::new(BlockFilter::figure3(true)));
-    ws.push(Box::new(Upconv::evaluation(true, true)));
-    ws.push(Box::new(Mp3Proxy::paper()));
-    ws
+    tm3270_kernels::registry(table3_scale())
+        .into_iter()
+        .map(Workload::into_kernel)
+        .collect()
 }
 
 /// The Table 5 golden-kernel names (the default `repro_profile` set).
 pub fn golden_names() -> Vec<&'static str> {
-    evaluation_kernels().iter().map(|k| k.name()).collect()
+    tm3270_kernels::golden_names()
 }
 
 /// Looks up a workload by its registry name.
 pub fn find_workload(name: &str) -> Option<Box<dyn Kernel>> {
-    workloads().into_iter().find(|k| k.name() == name)
+    tm3270_kernels::find_workload(table3_scale(), name).map(Workload::into_kernel)
 }
 
 /// The result of one profiled run: the simulator's own statistics plus

@@ -45,5 +45,8 @@ mod pipeline;
 mod report;
 
 pub use config::MachineConfig;
-pub use pipeline::{Machine, RunStats, SimError, TraceRecord, DEFAULT_WATCHDOG_CYCLES, TRACE_RING};
+pub use pipeline::{
+    Machine, RunOptions, RunOutcome, RunStats, SimError, TraceRecord, DEFAULT_WATCHDOG_CYCLES,
+    TRACE_RING,
+};
 pub use report::CrashReport;

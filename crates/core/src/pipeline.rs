@@ -241,6 +241,117 @@ pub struct TraceRecord {
     pub branch_taken: Option<usize>,
 }
 
+/// Options for one [`Machine::run_with`] call: the unified run entry
+/// point behind [`Machine::run`], [`Machine::run_reported`] and
+/// [`Machine::run_traced`].
+///
+/// Build options fluently:
+///
+/// ```
+/// use tm3270_core::RunOptions;
+/// let mut seen = 0u64;
+/// let mut on_instr = |_rec: &tm3270_core::TraceRecord| seen += 1;
+/// let opts = RunOptions::budget(1_000_000)
+///     .watchdog(10_000)
+///     .with_report()
+///     .observe(&mut on_instr);
+/// # let _ = opts;
+/// ```
+pub struct RunOptions<'a> {
+    /// Cycle budget: the run ends in [`SimError::CycleLimit`] when the
+    /// machine's cycle counter reaches it before the program halts.
+    pub budget: u64,
+    /// Livelock watchdog override (see [`Machine::set_watchdog`]);
+    /// `None` keeps the machine's current setting.
+    pub watchdog: Option<u64>,
+    /// Capture a [`CrashReport`](crate::CrashReport) snapshot into
+    /// [`RunOutcome::report`] when the run fails.
+    pub report: bool,
+    /// Per-instruction observer, invoked with every executed
+    /// [`TraceRecord`].
+    pub trace: Option<&'a mut dyn FnMut(&TraceRecord)>,
+}
+
+impl std::fmt::Debug for RunOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("budget", &self.budget)
+            .field("watchdog", &self.watchdog)
+            .field("report", &self.report)
+            .field("trace", &self.trace.is_some())
+            .finish()
+    }
+}
+
+impl RunOptions<'static> {
+    /// Options with cycle budget `budget` and everything else off.
+    pub fn budget(budget: u64) -> RunOptions<'static> {
+        RunOptions {
+            budget,
+            watchdog: None,
+            report: false,
+            trace: None,
+        }
+    }
+}
+
+impl<'a> RunOptions<'a> {
+    /// Sets the livelock watchdog for this run (and subsequent ones, like
+    /// [`Machine::set_watchdog`]).
+    pub fn watchdog(mut self, cycles: u64) -> RunOptions<'a> {
+        self.watchdog = Some(cycles);
+        self
+    }
+
+    /// Requests a [`CrashReport`](crate::CrashReport) snapshot in
+    /// [`RunOutcome::report`] if the run fails.
+    pub fn with_report(mut self) -> RunOptions<'a> {
+        self.report = true;
+        self
+    }
+
+    /// Attaches a per-instruction observer (the [`Machine::run_traced`]
+    /// callback).
+    pub fn observe<'b>(self, trace: &'b mut dyn FnMut(&TraceRecord)) -> RunOptions<'b>
+    where
+        'a: 'b,
+    {
+        RunOptions {
+            budget: self.budget,
+            watchdog: self.watchdog,
+            report: self.report,
+            trace: Some(trace),
+        }
+    }
+}
+
+/// The outcome of one [`Machine::run_with`] call.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Final run statistics on success, the typed error otherwise.
+    pub result: Result<RunStats, SimError>,
+    /// Post-mortem snapshot: present exactly when the run failed and
+    /// [`RunOptions::with_report`] was set.
+    pub report: Option<Box<crate::report::CrashReport>>,
+}
+
+impl RunOutcome {
+    /// The run statistics, if the program halted within budget.
+    pub fn stats(&self) -> Option<&RunStats> {
+        self.result.as_ref().ok()
+    }
+
+    /// Unwraps into the plain [`Machine::run`]-shaped result, discarding
+    /// any captured report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the run's [`SimError`].
+    pub fn into_result(self) -> Result<RunStats, SimError> {
+        self.result
+    }
+}
+
 /// An executable machine instance: configuration + program + memory state.
 #[derive(Debug)]
 pub struct Machine {
@@ -726,8 +837,49 @@ impl Machine {
         Ok(record)
     }
 
+    /// The unified run entry point: runs until the program halts or the
+    /// budget is exhausted, honouring every option in `opts` — the
+    /// watchdog override, the per-instruction observer and crash-report
+    /// capture. [`Machine::run`], [`Machine::run_reported`] and
+    /// [`Machine::run_traced`] are thin wrappers over this.
+    ///
+    /// Unlike the wrappers this method does not return a `Result`: both
+    /// the success statistics and the typed error travel in the
+    /// [`RunOutcome`], alongside the optional post-mortem snapshot.
+    pub fn run_with(&mut self, mut opts: RunOptions<'_>) -> RunOutcome {
+        if let Some(cycles) = opts.watchdog {
+            self.set_watchdog(cycles);
+        }
+        let result = loop {
+            if self.is_halted() {
+                // Drain in-flight results.
+                self.commit_writes(u64::MAX);
+                self.stats.cycles = self.cycle;
+                self.stats.mem = self.mem.stats();
+                break Ok(self.stats);
+            }
+            if self.cycle >= opts.budget {
+                break Err(SimError::CycleLimit { limit: opts.budget });
+            }
+            match self.step_record() {
+                Ok(record) => {
+                    if let Some(trace) = opts.trace.as_mut() {
+                        trace(&record);
+                    }
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        let report = match &result {
+            Err(e) if opts.report => Some(Box::new(self.crash_report(e.clone()))),
+            _ => None,
+        };
+        RunOutcome { result, report }
+    }
+
     /// Runs until the program halts or `max_cycles` elapse, invoking
-    /// `trace` after every instruction.
+    /// `trace` after every instruction. Wrapper over
+    /// [`Machine::run_with`] with an observer attached.
     ///
     /// # Errors
     ///
@@ -737,17 +889,8 @@ impl Machine {
         max_cycles: u64,
         mut trace: impl FnMut(&TraceRecord),
     ) -> Result<RunStats, SimError> {
-        while !self.is_halted() {
-            if self.cycle >= max_cycles {
-                return Err(SimError::CycleLimit { limit: max_cycles });
-            }
-            let record = self.step_record()?;
-            trace(&record);
-        }
-        self.commit_writes(u64::MAX);
-        self.stats.cycles = self.cycle;
-        self.stats.mem = self.mem.stats();
-        Ok(self.stats)
+        self.run_with(RunOptions::budget(max_cycles).observe(&mut trace))
+            .into_result()
     }
 
     /// Takes a post-mortem snapshot for `error`: machine position,
@@ -767,32 +910,32 @@ impl Machine {
 
     /// Runs until the program halts or `max_cycles` elapse, converting
     /// any [`SimError`] into a full [`CrashReport`](crate::CrashReport)
-    /// snapshot.
+    /// snapshot. Wrapper over [`Machine::run_with`] with report capture.
+    ///
+    /// # Errors
+    ///
+    /// Returns the post-mortem snapshot of the typed error.
     pub fn run_reported(
         &mut self,
         max_cycles: u64,
     ) -> Result<RunStats, Box<crate::report::CrashReport>> {
-        self.run(max_cycles)
-            .map_err(|e| Box::new(self.crash_report(e)))
+        let outcome = self.run_with(RunOptions::budget(max_cycles).with_report());
+        match outcome.result {
+            Ok(stats) => Ok(stats),
+            Err(e) => Err(outcome
+                .report
+                .unwrap_or_else(|| Box::new(self.crash_report(e)))),
+        }
     }
 
-    /// Runs until the program halts or `max_cycles` elapse.
+    /// Runs until the program halts or `max_cycles` elapse. Wrapper over
+    /// [`Machine::run_with`] with only a budget set.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::CycleLimit`] when the budget is exhausted.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
-        while !self.is_halted() {
-            if self.cycle >= max_cycles {
-                return Err(SimError::CycleLimit { limit: max_cycles });
-            }
-            self.step()?;
-        }
-        // Drain in-flight results.
-        self.commit_writes(u64::MAX);
-        self.stats.cycles = self.cycle;
-        self.stats.mem = self.mem.stats();
-        Ok(self.stats)
+        self.run_with(RunOptions::budget(max_cycles)).into_result()
     }
 }
 
@@ -1320,6 +1463,54 @@ mod tests {
         for e in &all {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn run_with_unifies_the_run_variants() {
+        let build = || {
+            let config = MachineConfig::tm3270();
+            let mut b = ProgramBuilder::new(config.issue);
+            b.op(Op::imm(r(2), 6));
+            b.op(Op::imm(r(3), 7));
+            b.op(Op::rrr(Opcode::Imul, r(4), r(2), r(3)));
+            Machine::new(config, b.build().unwrap()).unwrap()
+        };
+
+        // Plain run and run_with agree exactly.
+        let mut plain = build();
+        let plain_stats = plain.run(1_000_000).unwrap();
+        let mut unified = build();
+        let outcome = unified.run_with(RunOptions::budget(1_000_000));
+        assert_eq!(outcome.result, Ok(plain_stats));
+        assert!(outcome.report.is_none());
+        assert_eq!(unified.reg(r(4)), 42);
+
+        // The observer sees every issued instruction.
+        let mut traced = build();
+        let mut seen = 0u64;
+        let mut observer = |_rec: &TraceRecord| seen += 1;
+        let stats = traced
+            .run_with(RunOptions::budget(1_000_000).observe(&mut observer))
+            .into_result()
+            .unwrap();
+        assert_eq!(seen, stats.instrs);
+
+        // Budget exhaustion with report capture: the outcome carries both
+        // the typed error and the snapshot.
+        let mut limited = build();
+        let outcome = limited.run_with(RunOptions::budget(1).with_report());
+        assert_eq!(outcome.result, Err(SimError::CycleLimit { limit: 1 }));
+        let report = outcome.report.expect("report requested");
+        assert_eq!(report.error.kind(), "CycleLimit");
+
+        // The watchdog option takes effect for the run.
+        let mut b = ProgramBuilder::new(IssueModel::tm3270());
+        let top = b.bind_here();
+        b.jump(top);
+        let mut spin = Machine::new(MachineConfig::tm3270(), b.build().unwrap()).unwrap();
+        let outcome = spin.run_with(RunOptions::budget(1_000_000).watchdog(500));
+        assert!(matches!(outcome.result, Err(SimError::NoProgress { .. })));
+        assert!(outcome.report.is_none(), "report not requested");
     }
 
     #[test]

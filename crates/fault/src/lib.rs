@@ -15,4 +15,4 @@ mod inject;
 mod rng;
 
 pub use inject::{FaultConfig, FaultInjector, FaultRecord, FaultSite};
-pub use rng::SmallRng;
+pub use rng::{job_seed, SmallRng};

@@ -8,6 +8,30 @@
 //! produce identical sequences on every platform: the whole fault
 //! campaign is reproducible from a single `u64`.
 
+/// Derives the independent seed of job `job` within campaign
+/// `campaign`: a splitmix64 finalizer over the (campaign, job) pair.
+///
+/// Unlike forking one generator sequentially per run, the derivation is
+/// *order-free*: job `k`'s seed depends only on `(campaign, k)`, never
+/// on how many other jobs ran before it or on which thread it landed.
+/// This is what lets fault campaigns and ablation sweeps fan out across
+/// a worker pool and still reproduce byte-identically at any thread
+/// count.
+pub fn job_seed(campaign: u64, job: u64) -> u64 {
+    // Two rounds of the splitmix64 finalizer over a golden-ratio mix of
+    // the pair; adjacent jobs land in unrelated parts of the stream.
+    let mut z = campaign
+        .rotate_left(17)
+        .wrapping_add(job.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    for _ in 0..2 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+    }
+    z
+}
+
 /// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
 #[derive(Debug, Clone)]
 pub struct SmallRng {
@@ -87,6 +111,13 @@ impl SmallRng {
     pub fn fork(&mut self) -> SmallRng {
         SmallRng::new(self.next_u64())
     }
+
+    /// The generator for job `job` of campaign `campaign` (see
+    /// [`job_seed`]): independent per-job randomness that reproduces at
+    /// any thread count and in any completion order.
+    pub fn for_job(campaign: u64, job: u64) -> SmallRng {
+        SmallRng::new(job_seed(campaign, job))
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +173,21 @@ mod tests {
             hi_seen |= v == 3;
         }
         assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn job_seeds_are_order_free_and_decorrelated() {
+        // Same (campaign, job) -> same seed, regardless of anything else.
+        assert_eq!(job_seed(1, 42), job_seed(1, 42));
+        // Different campaigns or jobs -> different streams.
+        assert_ne!(job_seed(1, 42), job_seed(2, 42));
+        assert_ne!(job_seed(1, 42), job_seed(1, 43));
+        // Adjacent jobs do not produce correlated first draws.
+        let mut firsts = std::collections::HashSet::new();
+        for job in 0..256u64 {
+            firsts.insert(SmallRng::for_job(7, job).next_u64());
+        }
+        assert_eq!(firsts.len(), 256, "no collisions across adjacent jobs");
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! # tm3270-harness
+//!
+//! The parallel deterministic sweep engine behind the `repro_*`
+//! evaluation drivers.
+//!
+//! Every large experiment in this repository — the full paper
+//! reproduction, the 200-run fault campaign, the ablation and power
+//! surveys — is a *sweep*: a cross product of (workload ×
+//! [`MachineConfig`](tm3270_core::MachineConfig) × seed) jobs, each of
+//! which spins up its own `Machine` and runs to completion
+//! independently. This crate fans those jobs out across a worker pool
+//! while keeping the aggregate output **byte-identical at any thread
+//! count**:
+//!
+//! * [`sweep`] — the engine: a shared lock-free job queue drained by
+//!   `std::thread::scope` workers (idle workers steal the next job the
+//!   moment they finish one), results slotted by job id and returned in
+//!   deterministic job order;
+//! * [`job_seed`] / [`JobCtx::seed`] — order-free per-job seeds derived
+//!   from the campaign seed, so randomized jobs never couple through a
+//!   shared RNG stream;
+//! * [`JobError`] — per-job panic isolation: a poisoned job surfaces as
+//!   a typed error entry while the rest of the sweep completes;
+//! * [`Grid`] — dense enumeration of (workload × config × seed) tuples
+//!   as job ids;
+//! * [`run_program`] / [`run_program_with`] — the single-run helper
+//!   (build → seed → run → inspect) the kernels and benches share,
+//!   built on [`Machine::run_with`](tm3270_core::Machine::run_with).
+//!
+//! The engine is std-only: no thread-pool or channel dependencies, just
+//! scoped threads and atomics.
+//!
+//! # Example
+//!
+//! ```
+//! use tm3270_harness::{sweep, SweepOptions};
+//!
+//! // Eight jobs, each deterministically seeded; aggregate in job order.
+//! let opts = SweepOptions::new().threads(2).seed(42);
+//! let results = sweep(8, &opts, |ctx| Ok::<_, String>(ctx.seed));
+//! let again = sweep(8, &opts.clone().threads(1), |ctx| Ok::<_, String>(ctx.seed));
+//! assert_eq!(
+//!     results.iter().map(|r| *r.as_ref().unwrap()).collect::<Vec<_>>(),
+//!     again.iter().map(|r| *r.as_ref().unwrap()).collect::<Vec<_>>(),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod quick;
+mod sweep;
+
+pub use quick::{run_program, run_program_with, DEFAULT_PROGRAM_BUDGET};
+pub use sweep::{sweep, Grid, GridPoint, JobCtx, JobError, SweepOptions};
+pub use tm3270_fault::job_seed;

@@ -1,0 +1,86 @@
+//! Single-run helpers: the `Machine::new → seed state → run → inspect`
+//! sequence that every kernel test and experiment driver used to spell
+//! out by hand, folded into one call built on
+//! [`Machine::run_with`](tm3270_core::Machine::run_with).
+
+use tm3270_core::{Machine, MachineConfig, RunOptions, RunStats, SimError};
+use tm3270_isa::Program;
+
+/// Default cycle budget of [`run_program`]: ample for every unit-test
+/// program, small enough that a runaway test fails fast.
+pub const DEFAULT_PROGRAM_BUDGET: u64 = 1_000_000;
+
+/// Builds a machine for `program`, runs it to halt under
+/// [`DEFAULT_PROGRAM_BUDGET`], and returns the machine (for register /
+/// memory inspection) together with the run statistics.
+///
+/// # Errors
+///
+/// Returns the [`SimError`] of machine construction or of the run.
+pub fn run_program(
+    config: MachineConfig,
+    program: Program,
+) -> Result<(Machine, RunStats), SimError> {
+    run_program_with(config, program, DEFAULT_PROGRAM_BUDGET, |_| {})
+}
+
+/// [`run_program`] with an explicit cycle budget and a setup hook that
+/// seeds registers, data memory or prefetch regions before the run.
+///
+/// # Errors
+///
+/// Returns the [`SimError`] of machine construction or of the run.
+pub fn run_program_with(
+    config: MachineConfig,
+    program: Program,
+    budget: u64,
+    setup: impl FnOnce(&mut Machine),
+) -> Result<(Machine, RunStats), SimError> {
+    let mut machine = Machine::new(config, program)?;
+    setup(&mut machine);
+    let stats = machine.run_with(RunOptions::budget(budget)).into_result()?;
+    Ok((machine, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm3270_asm::ProgramBuilder;
+    use tm3270_isa::{Op, Opcode, Reg};
+
+    #[test]
+    fn run_program_runs_to_halt_and_exposes_state() {
+        let config = MachineConfig::tm3270();
+        let mut b = ProgramBuilder::new(config.issue);
+        b.op(Op::imm(Reg::new(2), 21));
+        b.op(Op::imm(Reg::new(3), 2));
+        b.op(Op::rrr(Opcode::Imul, Reg::new(4), Reg::new(2), Reg::new(3)));
+        let (m, stats) = run_program(config, b.build().unwrap()).unwrap();
+        assert_eq!(m.reg(Reg::new(4)), 42);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn run_program_with_seeds_state_before_the_run() {
+        let config = MachineConfig::tm3270();
+        let mut b = ProgramBuilder::new(config.issue);
+        b.op(Op::imm(Reg::new(2), 0x1000));
+        b.op(Op::rri(Opcode::Ld32d, Reg::new(4), Reg::new(2), 0));
+        let (m, _) = run_program_with(config, b.build().unwrap(), 1_000_000, |m| {
+            m.load_data(0x1000, &0xdead_beef_u32.to_le_bytes());
+        })
+        .unwrap();
+        assert_eq!(m.reg(Reg::new(4)), 0xdead_beef);
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_as_the_typed_error() {
+        let config = MachineConfig::tm3270();
+        let mut b = ProgramBuilder::new(config.issue);
+        let top = b.bind_here();
+        b.op(Op::rri(Opcode::Iaddi, Reg::new(2), Reg::new(2), 1));
+        b.jump(top);
+        let err = run_program_with(config, b.build().unwrap(), 1_000, |_| {}).unwrap_err();
+        assert_eq!(err.kind(), "CycleLimit");
+    }
+}

@@ -1,0 +1,379 @@
+//! The sweep engine: a deterministic fan-out of independent jobs over a
+//! scoped-thread worker pool.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** The returned vector is indexed by job id, so the
+//!    aggregate is byte-identical however many workers ran and in
+//!    whatever order jobs finished. Per-job randomness comes from
+//!    [`JobCtx::seed`], derived order-free from the campaign seed.
+//! 2. **Isolation.** Each job is wrapped in `catch_unwind`: one
+//!    poisoned job becomes a [`JobError::Panicked`] entry instead of
+//!    killing the sweep (or poisoning a shared pool).
+//! 3. **Utilization.** Workers drain a shared atomic queue — an idle
+//!    worker steals the next unclaimed job immediately, so one slow job
+//!    never serializes the tail the way static chunking would.
+
+use std::io::{IsTerminal, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use tm3270_fault::job_seed;
+
+/// Options for one [`sweep`] call.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads; 0 means `std::thread::available_parallelism()`.
+    pub threads: usize,
+    /// Campaign seed from which every job's [`JobCtx::seed`] is derived.
+    pub campaign_seed: u64,
+    /// Progress label: when set (and stderr is a terminal), a live
+    /// `label: done/total jobs` line is maintained on stderr.
+    pub progress: Option<&'static str>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions::new()
+    }
+}
+
+impl SweepOptions {
+    /// Defaults: all available cores, campaign seed 0, no progress line.
+    pub fn new() -> SweepOptions {
+        SweepOptions {
+            threads: 0,
+            campaign_seed: 0,
+            progress: None,
+        }
+    }
+
+    /// Sets the worker count (0 = available parallelism).
+    pub fn threads(mut self, threads: usize) -> SweepOptions {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the campaign seed.
+    pub fn seed(mut self, seed: u64) -> SweepOptions {
+        self.campaign_seed = seed;
+        self
+    }
+
+    /// Enables the stderr progress line under `label`.
+    pub fn progress(mut self, label: &'static str) -> SweepOptions {
+        self.progress = Some(label);
+        self
+    }
+
+    /// The effective worker count for `total` jobs.
+    pub fn effective_threads(&self, total: usize) -> usize {
+        let hw = match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        };
+        hw.max(1).min(total.max(1))
+    }
+}
+
+/// What a job knows about itself: its dense id, the sweep size, and its
+/// independent seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCtx {
+    /// Dense job id in `0..total`; results are aggregated in this order.
+    pub id: usize,
+    /// Total number of jobs in the sweep.
+    pub total: usize,
+    /// This job's independent seed: `job_seed(campaign_seed, id)`.
+    pub seed: u64,
+}
+
+/// Why a job produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job panicked; the payload message is preserved. The rest of
+    /// the sweep is unaffected.
+    Panicked(String),
+    /// The job returned a typed failure.
+    Failed(String),
+}
+
+impl JobError {
+    /// A short stable name for the variant (tallies, reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::Panicked(_) => "Panicked",
+            JobError::Failed(_) => "Failed",
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::Failed(msg) => write!(f, "job failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Renders a panic payload as text (the standard `&str` / `String`
+/// payloads; anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `total` jobs across the worker pool described by `opts` and
+/// returns their results **in job-id order** — the aggregate is
+/// byte-identical at any thread count.
+///
+/// `job` is called once per id with a [`JobCtx`] carrying the job's
+/// independent seed; it may be called concurrently from several workers
+/// (hence `Sync`). A `Err(String)` return becomes
+/// [`JobError::Failed`]; a panic becomes [`JobError::Panicked`] and
+/// does not disturb the other jobs.
+pub fn sweep<T, F>(total: usize, opts: &SweepOptions, job: F) -> Vec<Result<T, JobError>>
+where
+    T: Send,
+    F: Fn(&JobCtx) -> Result<T, String> + Sync,
+{
+    if total == 0 {
+        return Vec::new();
+    }
+    let threads = opts.effective_threads(total);
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<T, JobError>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let id = next.fetch_add(1, Ordering::Relaxed);
+                if id >= total {
+                    break;
+                }
+                let ctx = JobCtx {
+                    id,
+                    total,
+                    seed: job_seed(opts.campaign_seed, id as u64),
+                };
+                let outcome = catch_unwind(AssertUnwindSafe(|| job(&ctx)));
+                let result = match outcome {
+                    Ok(Ok(value)) => Ok(value),
+                    Ok(Err(msg)) => Err(JobError::Failed(msg)),
+                    Err(payload) => Err(JobError::Panicked(panic_message(payload))),
+                };
+                *slots[id].lock().expect("job slot lock") = Some(result);
+                done.fetch_add(1, Ordering::Release);
+            });
+        }
+        // The spawning thread doubles as the progress reporter; scope
+        // exit joins the workers either way.
+        if let Some(label) = opts.progress {
+            if std::io::stderr().is_terminal() {
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    eprint!("\r{label}: {finished}/{total} jobs ({threads} threads)");
+                    let _ = std::io::stderr().flush();
+                    if finished >= total {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                eprintln!();
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("job slot lock")
+                .expect("scope joined every worker, so every job completed")
+        })
+        .collect()
+}
+
+/// Dense enumeration of the (workload × config × seed) cross product as
+/// sweep job ids.
+///
+/// The order is workload-major — seed varies fastest, then config, then
+/// workload — matching the row order of the serial experiment drivers,
+/// so a parallel sweep aggregates into exactly the table the serial
+/// code printed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    /// Number of workloads (slowest-varying axis).
+    pub workloads: usize,
+    /// Number of machine configurations.
+    pub configs: usize,
+    /// Number of seeds / repetitions (fastest-varying axis).
+    pub seeds: usize,
+}
+
+/// One decoded grid coordinate (see [`Grid::unrank`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridPoint {
+    /// Workload index in `0..workloads`.
+    pub workload: usize,
+    /// Config index in `0..configs`.
+    pub config: usize,
+    /// Seed index in `0..seeds`.
+    pub seed: usize,
+}
+
+impl Grid {
+    /// A grid over `workloads × configs × seeds` tuples.
+    pub fn new(workloads: usize, configs: usize, seeds: usize) -> Grid {
+        Grid {
+            workloads,
+            configs,
+            seeds,
+        }
+    }
+
+    /// Total number of jobs the grid enumerates.
+    pub fn total(&self) -> usize {
+        self.workloads * self.configs * self.seeds
+    }
+
+    /// Decodes job id `id` into its (workload, config, seed) tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= self.total()`.
+    pub fn unrank(&self, id: usize) -> GridPoint {
+        assert!(id < self.total(), "job id {id} outside grid {self:?}");
+        let seed = id % self.seeds;
+        let rest = id / self.seeds;
+        GridPoint {
+            workload: rest / self.configs,
+            config: rest % self.configs,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order_at_any_thread_count() {
+        let base = SweepOptions::new().seed(99);
+        let runs: Vec<Vec<u64>> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                sweep(37, &base.clone().threads(threads), |ctx| {
+                    // Uneven job cost scrambles completion order.
+                    if ctx.id % 5 == 0 {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Ok(ctx.seed ^ ctx.id as u64)
+                })
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn a_poisoned_job_is_isolated() {
+        let results = sweep(9, &SweepOptions::new().threads(3), |ctx| {
+            if ctx.id == 4 {
+                panic!("poisoned job {}", ctx.id);
+            }
+            Ok(ctx.id)
+        });
+        for (id, result) in results.iter().enumerate() {
+            match result {
+                Ok(v) => assert_eq!(*v, id),
+                Err(JobError::Panicked(msg)) => {
+                    assert_eq!(id, 4);
+                    assert!(msg.contains("poisoned job 4"), "{msg}");
+                }
+                Err(other) => panic!("unexpected {other}"),
+            }
+        }
+        assert_eq!(results.iter().filter(|r| r.is_err()).count(), 1);
+    }
+
+    #[test]
+    fn typed_failures_are_distinct_from_panics() {
+        let results = sweep(3, &SweepOptions::new().threads(1), |ctx| {
+            if ctx.id == 1 {
+                Err("no such workload".to_string())
+            } else {
+                Ok(())
+            }
+        });
+        assert!(results[0].is_ok());
+        assert_eq!(
+            results[1],
+            Err(JobError::Failed("no such workload".to_string()))
+        );
+        assert_eq!(results[1].as_ref().unwrap_err().kind(), "Failed");
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn job_seeds_depend_on_campaign_and_id_only() {
+        let a = sweep(8, &SweepOptions::new().threads(4).seed(5), |ctx| {
+            Ok(ctx.seed)
+        });
+        let b = sweep(8, &SweepOptions::new().threads(1).seed(5), |ctx| {
+            Ok(ctx.seed)
+        });
+        let c = sweep(8, &SweepOptions::new().threads(4).seed(6), |ctx| {
+            Ok(ctx.seed)
+        });
+        assert_eq!(a, b, "seeds are thread-count independent");
+        assert_ne!(a, c, "seeds depend on the campaign seed");
+        let uniq: std::collections::HashSet<_> = a.iter().map(|r| *r.as_ref().unwrap()).collect();
+        assert_eq!(uniq.len(), 8, "every job gets its own seed");
+    }
+
+    #[test]
+    fn empty_sweep_is_a_no_op() {
+        let results = sweep(0, &SweepOptions::new(), |_| Ok::<(), String>(()));
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn grid_unrank_is_workload_major_and_total_is_exact() {
+        let grid = Grid::new(3, 4, 2);
+        assert_eq!(grid.total(), 24);
+        let mut seen = Vec::new();
+        for id in 0..grid.total() {
+            let p = grid.unrank(id);
+            assert!(p.workload < 3 && p.config < 4 && p.seed < 2);
+            seen.push((p.workload, p.config, p.seed));
+        }
+        // Workload-major: the first `configs * seeds` ids cover workload 0.
+        assert!(seen[..8].iter().all(|&(w, _, _)| w == 0));
+        assert_eq!(seen[0], (0, 0, 0));
+        assert_eq!(seen[1], (0, 0, 1));
+        assert_eq!(seen[2], (0, 1, 0));
+        assert_eq!(seen[23], (2, 3, 1));
+        // Bijective.
+        let uniq: std::collections::HashSet<_> = seen.iter().collect();
+        assert_eq!(uniq.len(), 24);
+    }
+}

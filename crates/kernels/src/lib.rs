@@ -40,7 +40,7 @@ pub mod util;
 pub mod video;
 
 use tm3270_asm::BuildError;
-use tm3270_core::{Machine, MachineConfig, RunStats, SimError};
+use tm3270_core::{Machine, MachineConfig, RunOptions, RunStats, SimError};
 use tm3270_isa::{IssueModel, Program};
 
 /// A runnable, verifiable evaluation workload.
@@ -113,7 +113,9 @@ pub fn run_kernel(kernel: &dyn Kernel, config: &MachineConfig) -> Result<RunStat
     let program = kernel.build(&config.issue)?;
     let mut m = Machine::new(config.clone(), program)?;
     kernel.setup(&mut m);
-    let stats = m.run(kernel.cycle_budget())?;
+    let stats = m
+        .run_with(RunOptions::budget(kernel.cycle_budget()))
+        .into_result()?;
     kernel.verify(&m).map_err(KernelError::Verify)?;
     Ok(stats)
 }
@@ -133,4 +135,160 @@ pub fn evaluation_kernels() -> Vec<Box<dyn Kernel>> {
         Box::new(tv::FilmDetect::table5()),
         Box::new(tv::MajoritySelect::table5()),
     ]
+}
+
+/// One registered workload: the [`Kernel`] plus its registry metadata —
+/// name, builder, cycle budget and the golden build checksum all come
+/// through here, so the experiment drivers, the profiler and the sweep
+/// engine iterate one list instead of each maintaining its own.
+pub struct Workload {
+    kernel: Box<dyn Kernel>,
+    golden: bool,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name())
+            .field("golden", &self.golden)
+            .finish()
+    }
+}
+
+impl Workload {
+    /// The workload's registry name (the [`Kernel::name`]).
+    pub fn name(&self) -> &'static str {
+        self.kernel.name()
+    }
+
+    /// The underlying kernel.
+    pub fn kernel(&self) -> &dyn Kernel {
+        self.kernel.as_ref()
+    }
+
+    /// Unwraps the registry entry into its boxed kernel.
+    pub fn into_kernel(self) -> Box<dyn Kernel> {
+        self.kernel
+    }
+
+    /// Whether the workload is one of the eleven Table 5 golden kernels
+    /// (the default evaluation set).
+    pub fn is_golden(&self) -> bool {
+        self.golden
+    }
+
+    /// The workload's cycle budget (the [`Kernel::cycle_budget`]).
+    pub fn cycle_budget(&self) -> u64 {
+        self.kernel.cycle_budget()
+    }
+
+    /// Builds (schedules) the workload's program for `model`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Kernel::build`].
+    pub fn build(&self, model: &IssueModel) -> Result<Program, BuildError> {
+        self.kernel.build(model)
+    }
+
+    /// The golden checksum: an FNV-1a digest of the workload's encoded
+    /// binary image as built for `model`. Build and encode are fully
+    /// deterministic, so this fingerprints the program a sweep job will
+    /// actually execute — a divergence between two hosts (or two
+    /// commits) means they are not running the same experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Build`] or the encode-side
+    /// [`KernelError::Sim`] when the workload cannot target `model`.
+    pub fn golden_checksum(&self, model: &IssueModel) -> Result<u64, KernelError> {
+        let program = self.kernel.build(model)?;
+        let image = tm3270_encode::encode_program(&program).map_err(SimError::from)?;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &byte in &image.bytes {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Ok(h)
+    }
+}
+
+/// The full workload registry: the eleven Table 5 golden kernels (in the
+/// paper's order) followed by the §6 experiment workloads — CABAC
+/// decoding with and without the `SUPER_CABAC` operations, motion
+/// estimation with and without `LD_FRAC8`, the Figure 3 block filter
+/// with and without prefetching, temporal up-conversion, and the MP3
+/// power proxy.
+///
+/// `scale` divides the CABAC stream lengths (1 = full paper scale; the
+/// experiment drivers default to 20 unless `TM3270_FULL=1`).
+pub fn registry(scale: u64) -> Vec<Workload> {
+    use tm3270_cabac::FieldType;
+    let mut ws: Vec<Workload> = evaluation_kernels()
+        .into_iter()
+        .map(|kernel| Workload {
+            kernel,
+            golden: true,
+        })
+        .collect();
+    let bits = FieldType::I.paper_bits_per_field() / scale.max(1);
+    let experiments: Vec<Box<dyn Kernel>> = vec![
+        Box::new(cabac_kernel::CabacDecode::table3(FieldType::I, false, bits)),
+        Box::new(cabac_kernel::CabacDecode::table3(FieldType::I, true, bits)),
+        Box::new(motion::MotionEst::evaluation(false)),
+        Box::new(motion::MotionEst::evaluation(true)),
+        Box::new(synth::BlockFilter::figure3(false)),
+        Box::new(synth::BlockFilter::figure3(true)),
+        Box::new(upconv::Upconv::evaluation(true, true)),
+        Box::new(synth::Mp3Proxy::paper()),
+    ];
+    ws.extend(experiments.into_iter().map(|kernel| Workload {
+        kernel,
+        golden: false,
+    }));
+    ws
+}
+
+/// Looks up one workload of [`registry`]`(scale)` by name.
+pub fn find_workload(scale: u64, name: &str) -> Option<Workload> {
+    registry(scale).into_iter().find(|w| w.name() == name)
+}
+
+/// The names of the eleven Table 5 golden kernels, in the paper's order.
+pub fn golden_names() -> Vec<&'static str> {
+    registry(1)
+        .iter()
+        .filter(|w| w.is_golden())
+        .map(|w| w.name())
+        .collect()
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_golden_set_is_table5() {
+        let ws = registry(20);
+        let names: std::collections::HashSet<_> = ws.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), ws.len(), "duplicate workload names");
+        assert_eq!(golden_names().len(), 11, "the eleven Table 5 kernels");
+        assert!(ws.iter().filter(|w| w.is_golden()).count() == 11);
+        assert!(find_workload(20, "memset").is_some());
+        assert!(find_workload(20, "no_such_kernel").is_none());
+    }
+
+    #[test]
+    fn golden_checksum_is_deterministic_and_model_sensitive() {
+        let w = find_workload(20, "memset").unwrap();
+        let tm3270 = IssueModel::tm3270();
+        let a = w.golden_checksum(&tm3270).unwrap();
+        let b = find_workload(20, "memset")
+            .unwrap()
+            .golden_checksum(&tm3270)
+            .unwrap();
+        assert_eq!(a, b, "build + encode are deterministic");
+        let c = w.golden_checksum(&IssueModel::tm3260()).unwrap();
+        assert_ne!(a, c, "re-compilation for another machine is visible");
+    }
 }

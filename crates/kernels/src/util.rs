@@ -78,12 +78,12 @@ pub fn emit_pack4(b: &mut ProgramBuilder, ra: &mut RegAlloc, dst: Reg, bytes: [R
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tm3270_core::{Machine, MachineConfig};
+    use tm3270_core::MachineConfig;
+    use tm3270_harness::run_program;
     use tm3270_isa::IssueModel;
 
     #[test]
     fn counted_loop_iterates_exactly() {
-        let config = MachineConfig::tm3270();
         let mut b = ProgramBuilder::new(IssueModel::tm3270());
         let mut ra = RegAlloc::new();
         let acc = ra.alloc();
@@ -91,15 +91,12 @@ mod tests {
         counted_loop(&mut b, &mut ra, 13, |b, _| {
             b.op(Op::rri(Opcode::Iaddi, acc, acc, 1));
         });
-        let p = b.build().unwrap();
-        let mut m = Machine::new(config, p).unwrap();
-        m.run(1_000_000).unwrap();
+        let (m, _) = run_program(MachineConfig::tm3270(), b.build().unwrap()).unwrap();
         assert_eq!(m.reg(acc), 13);
     }
 
     #[test]
     fn pack4_packs_little_endian() {
-        let config = MachineConfig::tm3270();
         let mut b = ProgramBuilder::new(IssueModel::tm3270());
         let mut ra = RegAlloc::new();
         let bytes: [Reg; 4] = ra.alloc_n();
@@ -108,22 +105,17 @@ mod tests {
             b.op(Op::imm(*r, 0x10 + i as i32));
         }
         emit_pack4(&mut b, &mut ra, dst, bytes);
-        let p = b.build().unwrap();
-        let mut m = Machine::new(config, p).unwrap();
-        m.run(1_000_000).unwrap();
+        let (m, _) = run_program(MachineConfig::tm3270(), b.build().unwrap()).unwrap();
         assert_eq!(m.reg(dst), 0x1312_1110);
     }
 
     #[test]
     fn emit_const_handles_large_values() {
-        let config = MachineConfig::tm3270();
         let mut b = ProgramBuilder::new(IssueModel::tm3270());
         let mut ra = RegAlloc::new();
         let dst = ra.alloc();
         emit_const(&mut b, dst, 0xdead_beef);
-        let p = b.build().unwrap();
-        let mut m = Machine::new(config, p).unwrap();
-        m.run(1_000_000).unwrap();
+        let (m, _) = run_program(MachineConfig::tm3270(), b.build().unwrap()).unwrap();
         assert_eq!(m.reg(dst), 0xdead_beef);
     }
 }

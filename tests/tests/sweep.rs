@@ -1,0 +1,89 @@
+//! Cross-crate determinism tests of the sweep engine: the same campaign
+//! seed must produce byte-identical aggregate documents at 1, 2 and 8
+//! worker threads, and one poisoned job must surface as a typed
+//! [`JobError`] without disturbing the rest of the sweep.
+
+use tm3270_bench::campaign::{run_campaign, CampaignOptions};
+use tm3270_bench::{run_suite_with, suite_json};
+use tm3270_harness::{sweep, JobError, SweepOptions};
+
+fn campaign_opts(threads: usize) -> CampaignOptions {
+    CampaignOptions {
+        runs: 200,
+        sweep: SweepOptions::new().seed(1).threads(threads),
+        verbose: false,
+    }
+}
+
+#[test]
+fn fault_campaign_json_is_byte_identical_at_1_2_and_8_threads() {
+    let one = run_campaign(&campaign_opts(1)).to_json();
+    let two = run_campaign(&campaign_opts(2)).to_json();
+    let eight = run_campaign(&campaign_opts(8)).to_json();
+    assert_eq!(one, two);
+    assert_eq!(one, eight);
+    // The document is the machine-readable campaign summary, not a stub.
+    assert!(one.starts_with("{\"seed\":1,\"runs\":200,"), "{one}");
+    assert!(one.contains("\"outcomes\":{"), "{one}");
+}
+
+#[test]
+fn suite_json_is_byte_identical_at_1_2_and_8_threads() {
+    let one = suite_json(&run_suite_with(&SweepOptions::new().threads(1)));
+    let two = suite_json(&run_suite_with(&SweepOptions::new().threads(2)));
+    let eight = suite_json(&run_suite_with(&SweepOptions::new().threads(8)));
+    assert_eq!(one, two);
+    assert_eq!(one, eight);
+    // 11 golden kernels x 4 configurations, in kernel-major order.
+    assert_eq!(one.matches("\"kernel\":").count(), 44);
+    assert!(
+        one.find("\"kernel\":\"memset\"").unwrap() < one.find("\"kernel\":\"memcpy\"").unwrap()
+    );
+}
+
+#[test]
+fn a_poisoned_job_yields_a_job_error_and_the_rest_complete() {
+    let results = sweep(20, &SweepOptions::new().threads(4).seed(3), |ctx| {
+        if ctx.id == 7 {
+            panic!("deliberately poisoned job {}", ctx.id);
+        }
+        Ok(ctx.seed)
+    });
+    assert_eq!(results.len(), 20);
+    for (id, result) in results.iter().enumerate() {
+        if id == 7 {
+            let err = result.as_ref().unwrap_err();
+            assert_eq!(err.kind(), "Panicked");
+            assert!(
+                matches!(err, JobError::Panicked(msg) if msg.contains("deliberately poisoned job 7"))
+            );
+        } else {
+            assert!(result.is_ok(), "job {id} should have completed: {result:?}");
+        }
+    }
+}
+
+#[test]
+fn campaign_counts_an_escaped_panic_without_losing_the_sweep() {
+    // The campaign itself never panics (the fault harness is panic-free),
+    // so exercise the accounting through the engine directly: a panicked
+    // job must not poison neighbouring jobs or the aggregate ordering.
+    let results = sweep(50, &SweepOptions::new().threads(8).seed(11), |ctx| {
+        if ctx.id % 17 == 5 {
+            panic!("boom {}", ctx.id);
+        }
+        Ok(ctx.id * 2)
+    });
+    let panicked: Vec<usize> = results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_err())
+        .map(|(id, _)| id)
+        .collect();
+    assert_eq!(panicked, vec![5, 22, 39]);
+    for (id, result) in results.iter().enumerate() {
+        if let Ok(v) = result {
+            assert_eq!(*v, id * 2);
+        }
+    }
+}
