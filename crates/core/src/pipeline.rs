@@ -391,6 +391,9 @@ pub struct Machine {
     /// scheduler invariants (≤5 register writebacks per cycle) may be
     /// asserted, or from an arbitrary decoded image
     /// ([`Machine::from_image`]) where they may legitimately not hold.
+    /// Only read by debug-build asserts; release builds skip the
+    /// write-port accounting entirely.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     trusted_schedule: bool,
 }
 
@@ -571,18 +574,6 @@ impl Machine {
         if self.pending_writes.is_empty() {
             return;
         }
-        let mut landed = 0usize;
-        let mut per_cycle: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
-        for i in (0..self.pending_writes.len()).rev() {
-            let (cc, r, v) = self.pending_writes[i];
-            if cc <= upto {
-                self.regs.write(r, v);
-                *per_cycle.entry(cc).or_insert(0) += 1;
-                self.pending_writes.swap_remove(i);
-                landed += 1;
-            }
-        }
-        let _ = landed;
         // Up to five simultaneous register-file updates per cycle (stage W,
         // paper §3). The scheduler guarantees this for `Machine::new`
         // programs; assert it there (in debug builds) as a scheduler-bug
@@ -590,7 +581,23 @@ impl Machine {
         // (`Machine::from_image`, the fault-injection path) can violate
         // the write-port budget — on silicon that is an undefined
         // hardware conflict; the functional model simply applies all
-        // writes deterministically rather than panicking.
+        // writes deterministically rather than panicking. The accounting
+        // feeds only that debug assert, so it must not cost the release
+        // hot loop a per-call `HashMap`.
+        #[cfg(debug_assertions)]
+        let mut per_cycle: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for i in (0..self.pending_writes.len()).rev() {
+            let (cc, r, v) = self.pending_writes[i];
+            if cc <= upto {
+                self.regs.write(r, v);
+                #[cfg(debug_assertions)]
+                {
+                    *per_cycle.entry(cc).or_insert(0) += 1;
+                }
+                self.pending_writes.swap_remove(i);
+            }
+        }
+        #[cfg(debug_assertions)]
         debug_assert!(
             !self.trusted_schedule || per_cycle.values().all(|&n| n <= 5),
             "more than five register-file writes in one cycle"
