@@ -36,6 +36,14 @@ cargo run --release -q -p tm3270-bench --bin repro_fault_campaign -- \
 diff /tmp/tm3270_campaign_t1.json /tmp/tm3270_campaign_t2.json || {
   echo "FAIL: campaign --json differs between --threads 1 and --threads 2"; exit 1; }
 
+echo "== simulator-throughput smoke (repro_simspeed --json shape) =="
+speed_json=$(cargo run --release -q -p tm3270-bench --bin repro_simspeed -- \
+  --workload memset --workload filter --repeats 1 --json)
+echo "$speed_json" | grep -q '"bench":"sim_speed"' || {
+  echo "FAIL: repro_simspeed --json missing bench tag"; exit 1; }
+echo "$speed_json" | grep -q '"sim_mips"' || {
+  echo "FAIL: repro_simspeed --json missing sim_mips"; exit 1; }
+
 echo "== profiler smoke (memset, JSON + chrome trace) =="
 profile_json=$(cargo run --release -q -p tm3270-bench --bin repro_profile -- \
   --workload memset --json --chrome-trace /tmp/tm3270_profile_trace.json)

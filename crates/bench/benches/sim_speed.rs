@@ -1,0 +1,51 @@
+//! Simulator-throughput bench over the eleven Table 5 golden kernels:
+//! simulated VLIW instructions per second of host wall-clock time, per
+//! kernel and for the suite. `repro_simspeed --json` emits the same
+//! measurement as a machine-readable trend document
+//! (`BENCH_sim_speed.json`).
+
+use tm3270_bench::profile::{find_workload, golden_names};
+use tm3270_bench::timing::bench;
+use tm3270_core::{Machine, MachineConfig, RunOptions};
+
+fn main() {
+    let config = MachineConfig::tm3270();
+    let mut suite_instrs = 0u64;
+    for name in golden_names() {
+        let kernel = find_workload(name).expect("golden kernel in registry");
+        let program = kernel.build(&config.issue).unwrap();
+        // Count simulated instructions once so `bench` can report a
+        // per-element (per-simulated-instruction) rate.
+        let mut probe = Machine::new(config.clone(), program.clone()).unwrap();
+        kernel.setup(&mut probe);
+        let instrs = probe
+            .run_with(RunOptions::budget(kernel.cycle_budget()))
+            .into_result()
+            .unwrap()
+            .instrs;
+        suite_instrs += instrs;
+        bench(&format!("sim_speed/{name}"), instrs, || {
+            let mut m = Machine::new(config.clone(), program.clone()).unwrap();
+            kernel.setup(&mut m);
+            m.run_with(RunOptions::budget(kernel.cycle_budget()))
+                .into_result()
+                .unwrap()
+                .cycles
+        });
+    }
+    bench("sim_speed/suite", suite_instrs, || {
+        let mut cycles = 0u64;
+        for name in golden_names() {
+            let kernel = find_workload(name).expect("golden kernel in registry");
+            let program = kernel.build(&config.issue).unwrap();
+            let mut m = Machine::new(config.clone(), program).unwrap();
+            kernel.setup(&mut m);
+            cycles += m
+                .run_with(RunOptions::budget(kernel.cycle_budget()))
+                .into_result()
+                .unwrap()
+                .cycles;
+        }
+        cycles
+    });
+}

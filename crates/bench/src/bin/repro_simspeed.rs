@@ -1,0 +1,121 @@
+//! Simulator-throughput reporter: simulated instructions and cycles per
+//! wall-clock second for the repro workloads.
+//!
+//! ```text
+//! repro_simspeed [--workload NAME]... [--config a|b|c|d|tm3270|tm3260]
+//!                [--repeats N] [--json] [--list]
+//! ```
+//!
+//! With no `--workload` the eleven Table 5 golden kernels are measured.
+//! Runs are strictly serial — a throughput number measured while other
+//! workloads compete for the core would be meaningless — and each
+//! workload reports the fastest of `--repeats` runs (default 3).
+//! `--json` emits the `sim_speed` JSON document (see
+//! `tm3270_bench::simspeed::speed_json`); CI validates the shape only,
+//! never absolute numbers, which are host-dependent.
+
+use std::process::ExitCode;
+
+use tm3270_bench::profile::{find_workload, golden_names, workloads};
+use tm3270_bench::simspeed::{measure_kernel, speed_json, speed_report, SpeedRow};
+use tm3270_core::MachineConfig;
+
+struct Args {
+    names: Vec<String>,
+    config: MachineConfig,
+    repeats: u32,
+    json: bool,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        names: Vec::new(),
+        config: MachineConfig::tm3270(),
+        repeats: 3,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--workload" => {
+                let v = it.next().ok_or("--workload needs a name")?;
+                args.names.push(v);
+            }
+            "--config" => {
+                let v = it.next().ok_or("--config needs a|b|c|d|tm3270|tm3260")?;
+                args.config = match v.as_str() {
+                    "a" | "A" => MachineConfig::config_a(),
+                    "b" | "B" => MachineConfig::config_b(),
+                    "c" | "C" => MachineConfig::config_c(),
+                    "d" | "D" => MachineConfig::config_d(),
+                    "tm3270" => MachineConfig::tm3270(),
+                    "tm3260" => MachineConfig::tm3260(),
+                    other => {
+                        return Err(format!(
+                            "unknown config {other} (want a|b|c|d|tm3270|tm3260)"
+                        ))
+                    }
+                };
+            }
+            "--repeats" => {
+                let v = it.next().ok_or("--repeats needs a value")?;
+                args.repeats = v.parse().map_err(|e| format!("--repeats {v}: {e}"))?;
+            }
+            "--json" => args.json = true,
+            "--list" => {
+                for kernel in workloads() {
+                    println!("{}", kernel.name());
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro_simspeed [--workload NAME]... \
+                     [--config a|b|c|d|tm3270|tm3260] [--repeats N] [--json] [--list]"
+                );
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro_simspeed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let names: Vec<String> = if args.names.is_empty() {
+        golden_names().iter().map(|n| n.to_string()).collect()
+    } else {
+        args.names.clone()
+    };
+
+    let mut rows: Vec<SpeedRow> = Vec::new();
+    for name in &names {
+        let Some(kernel) = find_workload(name) else {
+            eprintln!("repro_simspeed: unknown workload {name} (try --list)");
+            return ExitCode::from(2);
+        };
+        match measure_kernel(kernel.as_ref(), &args.config, args.repeats) {
+            Ok(row) => rows.push(row),
+            Err(e) => {
+                eprintln!("repro_simspeed: {name}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    if args.json {
+        println!("{}", speed_json(&args.config, &rows));
+    } else {
+        print!("{}", speed_report(&args.config, &rows));
+    }
+    ExitCode::SUCCESS
+}

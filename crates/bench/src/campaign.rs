@@ -183,7 +183,8 @@ fn campaign_run(seed: u64) -> RunRecord {
         })
         .and_then(|mut machine| {
             if data_flips + line_flips > 0 {
-                let mut window = machine.read_data(0, 4096);
+                let mut window = [0u8; 4096];
+                machine.read_data_into(0, &mut window);
                 injector.corrupt_memory(&mut window, data_flips);
                 injector.corrupt_cache_line(&mut window, 128, line_flips);
                 machine.load_data(0, &window);

@@ -32,6 +32,7 @@ pub mod ablations;
 pub mod campaign;
 pub mod experiments;
 pub mod profile;
+pub mod simspeed;
 pub mod timing;
 
 pub use ablations::*;

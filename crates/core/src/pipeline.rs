@@ -12,7 +12,7 @@
 use crate::config::MachineConfig;
 use std::collections::VecDeque;
 use tm3270_encode::{decode_program_detailed, encode_program, DecodeFault, EncodedProgram};
-use tm3270_isa::{execute, DataMemory, ExecError, ExecResult, Instr, Op, Program, Reg, RegFile};
+use tm3270_isa::{execute, DataMemory, ExecError, ExecResult, Op, Program, Reg, RegFile};
 use tm3270_mem::{FullStats, MemorySystem, Region};
 use tm3270_obs::{SinkHandle, StallCause, TraceEvent};
 
@@ -352,6 +352,132 @@ impl RunOutcome {
     }
 }
 
+/// One predecoded micro-op of the issue plan: a flattened occupied slot
+/// of a VLIW instruction with everything the dispatch loop would
+/// otherwise re-derive per step — the pre-resolved writeback latency
+/// ([`IssueModel::latency`](tm3270_isa::IssueModel::latency)), the issue
+/// slot and the jump flag. `Op` is `Copy`, so the hot loop copies plan
+/// entries to locals instead of borrowing across the execute call.
+#[derive(Debug, Clone, Copy)]
+struct PlannedOp {
+    op: Op,
+    slot: u8,
+    latency: u8,
+    is_jump: bool,
+}
+
+/// Per-instruction metadata of the issue plan: the occupied-slot range
+/// in [`IssuePlan::ops`] plus the instruction's 32-byte-aligned fetch
+/// chunk window (first and last chunk base address), precomputed from
+/// the encoded image so the front end does no offset arithmetic per
+/// step.
+#[derive(Debug, Clone, Copy)]
+struct PlannedInstr {
+    start: u32,
+    end: u32,
+    first_chunk: u32,
+    last_chunk: u32,
+}
+
+/// The predecoded issue plan: the architectural [`Program`] lowered at
+/// machine-construction time into dense arrays the per-step path can
+/// index directly — no `Instr` clone, no `ops()` filter-iterator, no
+/// per-op latency lookup on the hot path. The `Program` itself stays
+/// authoritative for traces, crash reports and the ISA tools; the plan
+/// is a pure execution cache and never escapes the machine.
+#[derive(Debug, Clone)]
+struct IssuePlan {
+    ops: Vec<PlannedOp>,
+    instrs: Vec<PlannedInstr>,
+}
+
+impl IssuePlan {
+    fn lower(
+        program: &Program,
+        image: &EncodedProgram,
+        issue: &tm3270_isa::IssueModel,
+    ) -> IssuePlan {
+        let mut ops = Vec::new();
+        let mut instrs = Vec::with_capacity(program.instrs.len());
+        for (pc, instr) in program.instrs.iter().enumerate() {
+            let start = ops.len() as u32;
+            for (slot, op) in instr.ops() {
+                ops.push(PlannedOp {
+                    op: *op,
+                    slot: slot as u8,
+                    latency: issue.latency(op.opcode) as u8,
+                    is_jump: op.opcode.is_jump(),
+                });
+            }
+            let addr = image.offsets[pc];
+            let len = image.instr_size(pc).max(1);
+            instrs.push(PlannedInstr {
+                start,
+                end: ops.len() as u32,
+                first_chunk: addr & !31,
+                last_chunk: addr.wrapping_add(len - 1) & !31,
+            });
+        }
+        IssuePlan { ops, instrs }
+    }
+}
+
+/// Ring capacity of the writeback scoreboard, in landing slots. Must
+/// exceed the largest writeback latency
+/// ([`IssueModel::max_latency`](tm3270_isa::IssueModel::max_latency),
+/// 17 for the FTOUGH unit): a write pushed at instruction `i` lands at
+/// `i + latency`, and slots at or below `i` have always been drained, so
+/// live landing slots span less than `WRITE_RING` and never alias.
+const WRITE_RING: usize = 32;
+
+/// Per-bucket capacity reserved up front. An instruction contributes at
+/// most 10 writes (5 slots × 2 destinations) and at most one
+/// instruction per distinct latency value ({1, 2, 3, 4, 6, 17} — see
+/// [`IssueModel::latency`](tm3270_isa::IssueModel::latency)) can land
+/// in the same slot, so 60 is a hard bound and steady-state commits
+/// never grow a bucket.
+const WRITE_BUCKET_CAP: usize = 64;
+
+/// The cycle-bucketed writeback scoreboard: in-flight register results
+/// bucketed by landing slot modulo [`WRITE_RING`]. Landing slots are
+/// counted in *issued instructions*, not raw cycles — a stall freezes
+/// the whole pipeline (there are no interlocks), so in-flight results
+/// advance in lock-step with issue. The per-step commit drains exactly
+/// one bucket (the current instruction slot): O(1), no scan of
+/// unrelated in-flight writes and no allocation.
+#[derive(Debug)]
+struct WriteRing {
+    buckets: [Vec<(Reg, u32)>; WRITE_RING],
+    /// Total entries across all buckets (so empty commits are a single
+    /// compare).
+    pending: usize,
+    /// The lowest landing slot not yet drained. Advanced past `upto` on
+    /// every commit — even empty ones — so a later push can never alias
+    /// a stale bucket.
+    next: u64,
+}
+
+impl WriteRing {
+    fn new() -> WriteRing {
+        WriteRing {
+            buckets: std::array::from_fn(|_| Vec::with_capacity(WRITE_BUCKET_CAP)),
+            pending: 0,
+            next: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn push(&mut self, land: u64, r: Reg, v: u32) {
+        debug_assert!(land >= self.next, "write lands in an already-drained slot");
+        debug_assert!(
+            land - self.next < WRITE_RING as u64,
+            "writeback latency exceeds the scoreboard ring"
+        );
+        self.buckets[(land % WRITE_RING as u64) as usize].push((r, v));
+        self.pending += 1;
+    }
+}
+
 /// An executable machine instance: configuration + program + memory state.
 #[derive(Debug)]
 pub struct Machine {
@@ -362,11 +488,11 @@ pub struct Machine {
     mem: MemorySystem,
     pc: usize,
     cycle: u64,
-    /// In-flight register results: (commit instruction index, register,
-    /// value). Latencies are counted in *issued instructions*, not raw
-    /// cycles: a stall freezes the whole pipeline (there are no
-    /// interlocks), so in-flight results advance in lock-step with issue.
-    pending_writes: Vec<(u64, Reg, u32)>,
+    /// The predecoded execution cache of `program` (see [`IssuePlan`]).
+    plan: IssuePlan,
+    /// In-flight register results, bucketed by landing instruction slot
+    /// (see [`WriteRing`]).
+    writes: WriteRing,
     /// Taken branch awaiting its delay slots: (remaining slots, target).
     pending_branch: Option<(u32, usize)>,
     /// The 4-entry instruction buffer of stage P (§3): base addresses of
@@ -433,15 +559,21 @@ impl Machine {
         let mem = MemorySystem::new(config.mem.clone());
         let freq = config.freq_mhz();
         let ring_cap = config.trace_ring.min(4096);
+        debug_assert!(
+            (config.issue.max_latency() as usize) < WRITE_RING,
+            "writeback ring too small for the issue model"
+        );
+        let plan = IssuePlan::lower(&program, &image, &config.issue);
         Machine {
             config,
             program,
             image,
+            plan,
             regs: RegFile::new(),
             mem,
             pc: 0,
             cycle: 0,
-            pending_writes: Vec::new(),
+            writes: WriteRing::new(),
             pending_branch: None,
             ibuf: [u32::MAX; 4],
             ibuf_next: 0,
@@ -506,13 +638,32 @@ impl Machine {
     }
 
     /// Reads `len` bytes of flat data memory at `addr`.
+    ///
+    /// Allocates a fresh buffer per call; verification loops that probe
+    /// memory repeatedly should prefer [`Machine::read_data_into`].
     pub fn read_data(&self, addr: u32, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        self.read_data_into(addr, &mut buf);
+        buf
+    }
+
+    /// Reads `buf.len()` bytes of flat data memory at `addr` into `buf`
+    /// without allocating — the golden-checksum verification paths call
+    /// this once per probe, so sweeps pay no per-probe heap traffic.
+    /// Addresses wrap at the flat-memory boundary, like [`read_data`]
+    /// (Machine::read_data).
+    pub fn read_data_into(&self, addr: u32, buf: &mut [u8]) {
         let mem = self.mem.flat();
         let slice = mem.as_slice();
         let mask = slice.len() - 1;
-        (0..len)
-            .map(|i| slice[(addr as usize + i) & mask])
-            .collect()
+        let start = addr as usize & mask;
+        if start + buf.len() <= slice.len() {
+            buf.copy_from_slice(&slice[start..start + buf.len()]);
+        } else {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = slice[(start + i) & mask];
+            }
+        }
     }
 
     /// Configures a hardware prefetch region (the `PFn_*` registers,
@@ -571,37 +722,41 @@ impl Machine {
     }
 
     fn commit_writes(&mut self, upto: u64) {
-        if self.pending_writes.is_empty() {
-            return;
-        }
-        // Up to five simultaneous register-file updates per cycle (stage W,
-        // paper §3). The scheduler guarantees this for `Machine::new`
-        // programs; assert it there (in debug builds) as a scheduler-bug
-        // tripwire. Programs decoded from arbitrary images
-        // (`Machine::from_image`, the fault-injection path) can violate
-        // the write-port budget — on silicon that is an undefined
-        // hardware conflict; the functional model simply applies all
-        // writes deterministically rather than panicking. The accounting
-        // feeds only that debug assert, so it must not cost the release
-        // hot loop a per-call `HashMap`.
-        #[cfg(debug_assertions)]
-        let mut per_cycle: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
-        for i in (0..self.pending_writes.len()).rev() {
-            let (cc, r, v) = self.pending_writes[i];
-            if cc <= upto {
-                self.regs.write(r, v);
-                #[cfg(debug_assertions)]
-                {
-                    *per_cycle.entry(cc).or_insert(0) += 1;
+        if self.writes.pending > 0 {
+            let mut cc = self.writes.next;
+            while cc <= upto && self.writes.pending > 0 {
+                let bucket = &mut self.writes.buckets[(cc % WRITE_RING as u64) as usize];
+                // Up to five simultaneous register-file updates per cycle
+                // (stage W, paper §3). The scheduler guarantees this for
+                // `Machine::new` programs; assert it there (in debug
+                // builds) as a scheduler-bug tripwire. Programs decoded
+                // from arbitrary images (`Machine::from_image`, the
+                // fault-injection path) can violate the write-port
+                // budget — on silicon that is an undefined hardware
+                // conflict; the functional model simply applies all
+                // writes deterministically rather than panicking.
+                debug_assert!(
+                    !self.trusted_schedule || bucket.len() <= 5,
+                    "more than five register-file writes in one cycle"
+                );
+                debug_assert!(
+                    bucket.len() <= WRITE_BUCKET_CAP,
+                    "write bucket outgrew its reserved capacity"
+                );
+                self.writes.pending -= bucket.len();
+                // Reverse push order: on a same-register collision within
+                // one landing slot the earliest-pushed write wins,
+                // matching the pre-ring reverse-scan commit.
+                for &(r, v) in bucket.iter().rev() {
+                    self.regs.write(r, v);
                 }
-                self.pending_writes.swap_remove(i);
+                bucket.clear();
+                cc += 1;
             }
         }
-        #[cfg(debug_assertions)]
-        debug_assert!(
-            !self.trusted_schedule || per_cycle.values().all(|&n| n <= 5),
-            "more than five register-file writes in one cycle"
-        );
+        // Advance past `upto` even when nothing landed, so a later push
+        // can never map two live landing slots to the same bucket.
+        self.writes.next = self.writes.next.max(upto.saturating_add(1));
     }
 
     /// Whether the program has halted (fell off the end).
@@ -668,25 +823,31 @@ impl Machine {
     }
 
     /// The execute stage of one VLIW instruction: dispatches every
-    /// operation, accumulating stats and pending register writes.
-    /// Returns `(branch_target, executed_ops, progress_ops)`.
+    /// operation of the predecoded plan, accumulating stats and pending
+    /// register writes. Returns `(branch_target, executed_ops,
+    /// progress_ops)`.
     ///
     /// Monomorphized over `TRACING`: the `false` instantiation — the
     /// ordinary untraced hot loop — contains no emission code at all, so
-    /// attaching a sink costs untraced runs nothing.
+    /// attaching a sink costs untraced runs nothing. Plan entries are
+    /// `Copy` and copied to a local per iteration, so nothing borrows
+    /// `self` across the execute call and nothing is cloned or
+    /// allocated.
     #[inline(always)]
     fn dispatch_ops<const TRACING: bool>(
         &mut self,
         pc: usize,
         issue_cycle: u64,
-        instr: &Instr,
     ) -> Result<(Option<usize>, u8, u8), SimError> {
+        let PlannedInstr { start, end, .. } = self.plan.instrs[pc];
         let mut branch_target: Option<usize> = None;
         let mut exec_here = 0u8;
         let mut progress_here = 0u8;
-        for (slot, op) in instr.ops() {
-            self.stats.ops += 1;
-            let res = execute(op, &self.regs, &mut self.mem).map_err(|e| match e {
+        self.stats.ops += u64::from(end - start);
+        let land_base = self.stats.instrs;
+        for idx in start as usize..end as usize {
+            let po = self.plan.ops[idx];
+            let res = execute(&po.op, &self.regs, &mut self.mem).map_err(|e| match e {
                 ExecError::MisalignedAccess { addr, size } => {
                     SimError::MisalignedAccess { pc, addr, size }
                 }
@@ -695,7 +856,7 @@ impl Machine {
                 }
             })?;
             if TRACING {
-                self.emit_op_events(issue_cycle, pc, slot, op, &res);
+                self.emit_op_events(issue_cycle, pc, po.slot as usize, &po.op, &res);
             }
             if res.executed {
                 self.stats.exec_ops += 1;
@@ -705,16 +866,15 @@ impl Machine {
                 // jumps do not count: a loop executing only jumps (and
                 // empty or guard-false instructions) computes nothing and
                 // never will.
-                if !op.opcode.is_jump() {
+                if !po.is_jump {
                     progress_here += 1;
                 }
             }
-            if op.opcode.is_jump() {
+            if po.is_jump {
                 self.stats.branches += 1;
             }
             for (r, v) in res.write_iter() {
-                let lat = u64::from(self.config.issue.latency(op.opcode));
-                self.pending_writes.push((self.stats.instrs + lat, r, v));
+                self.writes.push(land_base + u64::from(po.latency), r, v);
             }
             if let Some(t) = res.branch_target {
                 self.stats.taken_branches += 1;
@@ -738,19 +898,21 @@ impl Machine {
         // chunk of instruction information can be retrieved from the
         // instruction cache into the 4-entry instruction buffer (§3);
         // instructions whose chunks are buffered cost no cache access.
-        let addr = self.image.offsets[pc];
-        let len = self.image.instr_size(pc).max(1);
-        let first = addr & !31;
-        let last = addr.wrapping_add(len - 1) & !31;
+        // The chunk window comes precomputed from the issue plan.
+        let PlannedInstr {
+            first_chunk,
+            last_chunk,
+            ..
+        } = self.plan.instrs[pc];
         let mut istall = 0u64;
-        let mut chunk = first;
+        let mut chunk = first_chunk;
         loop {
             if !self.ibuf.contains(&chunk) {
                 istall += self.mem.fetch_instr(self.cycle + istall, chunk, 32);
                 self.ibuf[self.ibuf_next] = chunk;
                 self.ibuf_next = (self.ibuf_next + 1) % self.ibuf.len();
             }
-            if chunk == last {
+            if chunk == last_chunk {
                 break;
             }
             chunk = chunk.wrapping_add(32);
@@ -769,13 +931,12 @@ impl Machine {
         // architectural state (operand read in stage D).
         let issue_cycle = self.cycle;
         self.mem.begin_instr(issue_cycle);
-        let instr = self.program.instrs[pc].clone();
         // Monomorphized over the tracing flag so the untraced loop
         // contains no emission code at all (not even the branches).
         let (branch_target, exec_here, progress_here) = if tracing {
-            self.dispatch_ops::<true>(pc, issue_cycle, &instr)?
+            self.dispatch_ops::<true>(pc, issue_cycle)?
         } else {
-            self.dispatch_ops::<false>(pc, issue_cycle, &instr)?
+            self.dispatch_ops::<false>(pc, issue_cycle)?
         };
         if tracing {
             self.emit_instr_issue(issue_cycle, pc, exec_here);

@@ -106,6 +106,17 @@ impl IssueModel {
         }
     }
 
+    /// The largest result latency any opcode can have under this model —
+    /// the sizing bound for latency-windowed structures such as the
+    /// core's cycle-bucketed writeback scoreboard.
+    pub fn max_latency(&self) -> u32 {
+        Opcode::all()
+            .iter()
+            .map(|&op| self.latency(op))
+            .max()
+            .unwrap_or(1)
+    }
+
     /// The number of functional-unit instances modelled, counting one per
     /// (unit, slot) binding. The paper reports 31 functional units for the
     /// TM3270 (Table 1); our model merges some sub-units (e.g. the ALU
@@ -213,6 +224,14 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn max_latency_is_the_ftough_pole() {
+        // FTOUGH (17 cycles) dominates both models; the bound feeds the
+        // core's writeback-ring sizing, so pin it.
+        assert_eq!(IssueModel::tm3270().max_latency(), 17);
+        assert_eq!(IssueModel::tm3260().max_latency(), 17);
     }
 
     #[test]

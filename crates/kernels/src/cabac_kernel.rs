@@ -17,7 +17,7 @@
 //! ~35-operation decision/renormalization core into two operations while
 //! the shared maintenance work remains.
 
-use crate::util::{counted_loop, emit_const, streams, AUX, RESULT, TAB};
+use crate::util::{counted_loop, emit_const, read_u32, streams, AUX, RESULT, TAB};
 use crate::Kernel;
 use tm3270_asm::{BuildError, ProgramBuilder, RegAlloc};
 use tm3270_cabac::{generate_field, Context, ContextBank, Decoder, FieldType, GeneratedField};
@@ -370,16 +370,15 @@ impl Kernel for CabacDecode {
             }
             checksum = checksum.rotate_left(1) ^ u32::from(bit);
         }
-        let got_sum = u32::from_le_bytes(m.read_data(RESULT, 4).try_into().unwrap());
+        let got_sum = read_u32(m, RESULT);
         if got_sum != checksum {
             return Err(format!(
                 "bit checksum: got {got_sum:#010x}, expected {checksum:#010x}"
             ));
         }
         // Final context bank must match the reference decoder's.
-        let got_bank = m.read_data(CTX_BANK, self.n_contexts * 4);
         for (i, ctx) in contexts.iter().enumerate() {
-            let got = u32::from_le_bytes(got_bank[i * 4..i * 4 + 4].try_into().unwrap());
+            let got = read_u32(m, CTX_BANK + (i * 4) as u32);
             if got != ctx.to_dual16() {
                 return Err(format!(
                     "context {i}: got {got:#x}, expected {:#x}",

@@ -10,7 +10,7 @@
 //! per row of the 3x3 kernel.
 
 use crate::golden;
-use crate::util::{counted_loop, emit_const, streams, DST, SRC};
+use crate::util::{counted_loop, emit_const, first_mismatch, streams, DST, SRC};
 use crate::Kernel;
 use tm3270_asm::{BuildError, ProgramBuilder, RegAlloc};
 use tm3270_core::Machine;
@@ -180,15 +180,12 @@ impl Kernel for HighPass {
         let n = (self.width * self.height) as usize;
         let src = golden::pattern(n, self.seed);
         let expect = golden::highpass3x3(&src, self.width as usize, self.height as usize);
-        let got = m.read_data(DST, n);
-        match expect.iter().zip(&got).position(|(a, b)| a != b) {
+        match first_mismatch(m, DST, &expect) {
             None => Ok(()),
-            Some(i) => Err(format!(
-                "pixel ({}, {}): got {}, expected {}",
+            Some((i, got, want)) => Err(format!(
+                "pixel ({}, {}): got {got}, expected {want}",
                 i % self.width as usize,
                 i / self.width as usize,
-                got[i],
-                expect[i]
             )),
         }
     }
@@ -198,6 +195,7 @@ impl Kernel for HighPass {
 mod tests {
     use super::*;
     use crate::run_kernel;
+    use crate::util::fill_mismatch;
     use tm3270_core::MachineConfig;
 
     fn small() -> HighPass {
@@ -239,13 +237,10 @@ mod tests {
             fn verify(&self, m: &Machine) -> Result<(), String> {
                 // Row 1, columns 4..28 must be zero.
                 let w = self.0.width as usize;
-                let got = m.read_data(DST + self.0.width, w);
-                for x in 4..w - 4 {
-                    if got[x] != 0 {
-                        return Err(format!("col {x} = {}", got[x]));
-                    }
+                match fill_mismatch(m, DST + self.0.width + 4, w - 8, 0) {
+                    None => Ok(()),
+                    Some((i, got)) => Err(format!("col {} = {got}", i + 4)),
                 }
-                Ok(())
             }
         }
         run_kernel(&Flat(small()), &MachineConfig::tm3270()).unwrap();

@@ -6,7 +6,7 @@
 //! the TM3270 — the largest A-to-B gain in Figure 7.
 
 use crate::golden::pattern;
-use crate::util::{counted_loop, emit_const, streams, DST, SRC};
+use crate::util::{counted_loop, emit_const, fill_mismatch, first_mismatch, streams, DST, SRC};
 use crate::Kernel;
 use tm3270_asm::{BuildError, ProgramBuilder, RegAlloc};
 use tm3270_core::Machine;
@@ -63,13 +63,9 @@ impl Kernel for Memset {
     }
 
     fn verify(&self, m: &Machine) -> Result<(), String> {
-        let got = m.read_data(DST, self.size as usize);
-        match got.iter().position(|&b| b != self.value) {
+        match fill_mismatch(m, DST, self.size as usize, self.value) {
             None => Ok(()),
-            Some(i) => Err(format!(
-                "byte {i} is {:#x}, expected {:#x}",
-                got[i], self.value
-            )),
+            Some((i, got)) => Err(format!("byte {i} is {got:#x}, expected {:#x}", self.value)),
         }
     }
 }
@@ -129,13 +125,9 @@ impl Kernel for Memcpy {
 
     fn verify(&self, m: &Machine) -> Result<(), String> {
         let expect = pattern(self.size as usize, self.seed);
-        let got = m.read_data(DST, self.size as usize);
-        match expect.iter().zip(&got).position(|(a, b)| a != b) {
+        match first_mismatch(m, DST, &expect) {
             None => Ok(()),
-            Some(i) => Err(format!(
-                "byte {i}: got {:#x}, expected {:#x}",
-                got[i], expect[i]
-            )),
+            Some((i, got, want)) => Err(format!("byte {i}: got {got:#x}, expected {want:#x}")),
         }
     }
 }

@@ -17,7 +17,7 @@
 //! features on this kernel.
 
 use crate::golden;
-use crate::util::{counted_loop, emit_const, streams, AUX, RESULT, SRC};
+use crate::util::{counted_loop, emit_const, read_u32, streams, AUX, RESULT, SRC};
 use crate::Kernel;
 use tm3270_asm::{BuildError, ProgramBuilder, RegAlloc};
 use tm3270_core::Machine;
@@ -185,7 +185,7 @@ impl Kernel for MotionEst {
 
     fn verify(&self, m: &Machine) -> Result<(), String> {
         let expect = self.golden_result();
-        let got = u32::from_le_bytes(m.read_data(RESULT, 4).try_into().unwrap());
+        let got = read_u32(m, RESULT);
         if got == expect {
             Ok(())
         } else {

@@ -8,7 +8,7 @@
 //! golden references use the identical integer arithmetic.
 
 use crate::golden;
-use crate::util::{counted_loop, emit_const, streams, DST, SRC};
+use crate::util::{counted_loop, emit_const, first_mismatch, streams, DST, SRC};
 use crate::Kernel;
 use tm3270_asm::{BuildError, ProgramBuilder, RegAlloc};
 use tm3270_core::Machine;
@@ -149,12 +149,8 @@ impl Kernel for Rgb2Yuv {
             ("U", PLANE[1], &u),
             ("V", PLANE[2], &v),
         ] {
-            let got = m.read_data(plane, expect.len());
-            if let Some(i) = expect.iter().zip(&got).position(|(a, b)| a != b) {
-                return Err(format!(
-                    "{name}[{i}]: got {}, expected {}",
-                    got[i], expect[i]
-                ));
+            if let Some((i, got, want)) = first_mismatch(m, plane, expect) {
+                return Err(format!("{name}[{i}]: got {got}, expected {want}"));
             }
         }
         Ok(())
@@ -258,12 +254,8 @@ impl Kernel for Rgb2Cmyk {
             ("Y", PLANE[2], &y),
             ("K", PLANE[3], &k),
         ] {
-            let got = m.read_data(plane, expect.len());
-            if let Some(i) = expect.iter().zip(&got).position(|(a, b)| a != b) {
-                return Err(format!(
-                    "{name}[{i}]: got {}, expected {}",
-                    got[i], expect[i]
-                ));
+            if let Some((i, got, want)) = first_mismatch(m, plane, expect) {
+                return Err(format!("{name}[{i}]: got {got}, expected {want}"));
             }
         }
         Ok(())
@@ -371,17 +363,20 @@ impl Kernel for Rgb2Yiq {
 
     fn verify(&self, m: &Machine) -> Result<(), String> {
         let (y, iq, q) = golden::rgb2yiq(&self.geo.rgbx());
-        let got_y = m.read_data(PLANE[0], y.len());
-        if let Some(i) = y.iter().zip(&got_y).position(|(a, b)| a != b) {
-            return Err(format!("Y[{i}]: got {}, expected {}", got_y[i], y[i]));
+        if let Some((i, got, want)) = first_mismatch(m, PLANE[0], &y) {
+            return Err(format!("Y[{i}]: got {got}, expected {want}"));
         }
         for (name, plane, expect) in [("I", PLANE[1], &iq), ("Q", PLANE[2], &q)] {
-            let got = m.read_data(plane, expect.len() * 2);
-            for (i, &e) in expect.iter().enumerate() {
-                let g = i16::from_le_bytes([got[i * 2], got[i * 2 + 1]]);
-                if g != e {
-                    return Err(format!("{name}[{i}]: got {g}, expected {e}"));
-                }
+            let bytes: Vec<u8> = expect.iter().flat_map(|e| e.to_le_bytes()).collect();
+            if let Some((j, _, _)) = first_mismatch(m, plane, &bytes) {
+                let i = j / 2;
+                let mut two = [0u8; 2];
+                m.read_data_into(plane + (i * 2) as u32, &mut two);
+                return Err(format!(
+                    "{name}[{i}]: got {}, expected {}",
+                    i16::from_le_bytes(two),
+                    expect[i]
+                ));
             }
         }
         Ok(())

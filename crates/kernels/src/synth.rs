@@ -2,7 +2,7 @@
 //! Figure 3 block-based prefetch demonstration (§2.3).
 
 use crate::golden::pattern;
-use crate::util::{counted_loop, emit_const, streams, DST, RESULT, SRC};
+use crate::util::{counted_loop, emit_const, first_mismatch, read_u32, streams, DST, RESULT, SRC};
 use crate::Kernel;
 use tm3270_asm::{BuildError, ProgramBuilder, RegAlloc};
 use tm3270_core::Machine;
@@ -161,9 +161,8 @@ impl Kernel for Mp3Proxy {
 
     fn verify(&self, m: &Machine) -> Result<(), String> {
         let expect = self.golden_accs();
-        let got = m.read_data(RESULT, 28);
         for (i, &e) in expect.iter().enumerate() {
-            let g = u32::from_le_bytes(got[i * 4..i * 4 + 4].try_into().unwrap());
+            let g = read_u32(m, RESULT + (i * 4) as u32);
             if g != e {
                 return Err(format!("acc[{i}]: got {g:#x}, expected {e:#x}"));
             }
@@ -301,13 +300,9 @@ impl Kernel for BlockFilter {
 
     fn verify(&self, m: &Machine) -> Result<(), String> {
         let expect = self.golden();
-        let got = m.read_data(DST, expect.len());
-        match expect.iter().zip(&got).position(|(a, b)| a != b) {
+        match first_mismatch(m, DST, &expect) {
             None => Ok(()),
-            Some(i) => Err(format!(
-                "block word {i}: got {}, expected {}",
-                got[i], expect[i]
-            )),
+            Some((i, got, want)) => Err(format!("block word {i}: got {got}, expected {want}")),
         }
     }
 }

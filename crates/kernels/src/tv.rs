@@ -2,7 +2,9 @@
 //! `majority_sel` (de-interlacing).
 
 use crate::golden;
-use crate::util::{counted_loop, emit_const, streams, AUX, DST, RESULT, SRC};
+use crate::util::{
+    counted_loop, emit_const, first_mismatch, read_u32, streams, AUX, DST, RESULT, SRC,
+};
 use crate::Kernel;
 use tm3270_asm::{BuildError, ProgramBuilder, RegAlloc};
 use tm3270_core::Machine;
@@ -108,8 +110,7 @@ impl Kernel for FilmDetect {
     fn verify(&self, m: &Machine) -> Result<(), String> {
         let (a, b) = self.fields();
         let (sad, energy, count) = golden::filmdet(&a, &b);
-        let got = m.read_data(RESULT, 12);
-        let g = |i: usize| u32::from_le_bytes(got[i * 4..i * 4 + 4].try_into().unwrap());
+        let g = |i: u32| read_u32(m, RESULT + i * 4);
         if g(0) != sad {
             return Err(format!("SAD: got {}, expected {sad}", g(0)));
         }
@@ -219,11 +220,10 @@ impl Kernel for MajoritySelect {
     fn verify(&self, m: &Machine) -> Result<(), String> {
         let (a, b, c) = self.fields();
         let (expect, dev) = golden::majority_select_blend(&a, &b, &c);
-        let got = m.read_data(DST, expect.len());
-        if let Some(i) = expect.iter().zip(&got).position(|(x, y)| x != y) {
-            return Err(format!("pixel {i}: got {}, expected {}", got[i], expect[i]));
+        if let Some((i, got, want)) = first_mismatch(m, DST, &expect) {
+            return Err(format!("pixel {i}: got {got}, expected {want}"));
         }
-        let got_dev = u32::from_le_bytes(m.read_data(RESULT, 4).try_into().unwrap());
+        let got_dev = read_u32(m, RESULT);
         if got_dev != dev {
             return Err(format!("deviation: got {got_dev}, expected {dev}"));
         }

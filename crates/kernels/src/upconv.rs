@@ -18,7 +18,7 @@
 //! one row ahead over the two source fields.
 
 use crate::golden;
-use crate::util::{counted_loop, emit_const, streams, AUX, DST, SRC, TAB};
+use crate::util::{counted_loop, emit_const, first_mismatch, streams, AUX, DST, SRC, TAB};
 use crate::Kernel;
 use tm3270_asm::{BuildError, ProgramBuilder, RegAlloc};
 use tm3270_core::Machine;
@@ -200,15 +200,12 @@ impl Kernel for Upconv {
 
     fn verify(&self, m: &Machine) -> Result<(), String> {
         let expect = self.golden();
-        let got = m.read_data(DST, expect.len());
-        match expect.iter().zip(&got).position(|(a, b)| a != b) {
+        match first_mismatch(m, DST, &expect) {
             None => Ok(()),
-            Some(i) => Err(format!(
-                "pixel ({}, {}): got {}, expected {}",
+            Some((i, got, want)) => Err(format!(
+                "pixel ({}, {}): got {got}, expected {want}",
                 i % WIDTH as usize,
                 i / WIDTH as usize,
-                got[i],
-                expect[i]
             )),
         }
     }

@@ -1,7 +1,8 @@
-//! Shared kernel-construction helpers: memory layout, constants and loop
-//! emission.
+//! Shared kernel-construction helpers: memory layout, constants, loop
+//! emission and allocation-free result verification.
 
 use tm3270_asm::{const32, ProgramBuilder, RegAlloc};
+use tm3270_core::Machine;
 use tm3270_isa::{Op, Opcode, Reg};
 
 /// Base address of the primary input buffer.
@@ -73,6 +74,63 @@ pub fn emit_pack4(b: &mut ProgramBuilder, ra: &mut RegAlloc, dst: Reg, bytes: [R
     b.op(Op::rrr(Opcode::PackBytes, t, bytes[3], bytes[2]));
     b.op(Op::rrr(Opcode::Pack16Lsb, dst, t, dst));
     ra.free(t);
+}
+
+/// Compares `expect` against flat data memory at `addr` without
+/// allocating: memory streams through a fixed stack chunk via
+/// [`Machine::read_data_into`], so golden-checksum verification sweeps
+/// pay no per-probe heap traffic. Returns the first mismatch as
+/// `(byte index, got, want)`, or `None` when the region matches.
+pub fn first_mismatch(m: &Machine, addr: u32, expect: &[u8]) -> Option<(usize, u8, u8)> {
+    let mut chunk = [0u8; 256];
+    let mut off = 0usize;
+    while off < expect.len() {
+        let n = (expect.len() - off).min(chunk.len());
+        m.read_data_into(addr.wrapping_add(off as u32), &mut chunk[..n]);
+        for (i, (&got, &want)) in chunk[..n].iter().zip(&expect[off..off + n]).enumerate() {
+            if got != want {
+                return Some((off + i, got, want));
+            }
+        }
+        off += n;
+    }
+    None
+}
+
+/// Verifies that flat data memory at `addr` equals `expect`,
+/// allocation-free (see [`first_mismatch`]).
+///
+/// # Errors
+///
+/// Describes the first mismatching byte as `what[index]: got .. want ..`.
+pub fn expect_bytes(m: &Machine, what: &str, addr: u32, expect: &[u8]) -> Result<(), String> {
+    match first_mismatch(m, addr, expect) {
+        None => Ok(()),
+        Some((i, got, want)) => Err(format!("{what}[{i}]: got {got:#04x} want {want:#04x}")),
+    }
+}
+
+/// Scans `len` bytes of flat data memory at `addr` for the first byte
+/// that differs from `value`, allocation-free. Returns `(index, got)`.
+pub fn fill_mismatch(m: &Machine, addr: u32, len: usize, value: u8) -> Option<(usize, u8)> {
+    let mut chunk = [0u8; 256];
+    let mut off = 0usize;
+    while off < len {
+        let n = (len - off).min(chunk.len());
+        m.read_data_into(addr.wrapping_add(off as u32), &mut chunk[..n]);
+        if let Some(i) = chunk[..n].iter().position(|&b| b != value) {
+            return Some((off + i, chunk[i]));
+        }
+        off += n;
+    }
+    None
+}
+
+/// Reads a little-endian `u32` from flat data memory without allocating.
+pub fn read_u32(m: &Machine, addr: u32) -> u32 {
+    let mut b = [0u8; 4];
+    m.read_data_into(addr, &mut b);
+    u32::from_le_bytes(b)
 }
 
 #[cfg(test)]

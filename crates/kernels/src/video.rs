@@ -14,7 +14,9 @@
 //! checksum, and an aligned block store.
 
 use crate::golden::{self, MPEG2_FIR_COEF};
-use crate::util::{counted_loop, emit_const, streams, DST, RESULT, SRC, TAB};
+use crate::util::{
+    counted_loop, emit_const, first_mismatch, read_u32, streams, DST, RESULT, SRC, TAB,
+};
 use crate::Kernel;
 use tm3270_asm::{BuildError, ProgramBuilder, RegAlloc};
 use tm3270_core::Machine;
@@ -280,26 +282,21 @@ impl Kernel for Mpeg2 {
         let mbs_x = self.mbs_x as usize;
         let mbs_y = self.mbs_y as usize;
         let (expect_full, checksum) = golden_subgrid(&reference, mbs_x, mbs_y, &mv1, &mv2);
-        let got = m.read_data(DST, (WIDTH * HEIGHT) as usize);
+        // Only the processed sub-grid is compared, row by row; each row
+        // probe streams through a stack chunk (no per-probe allocation).
         for mby in 0..mbs_y {
             for row in 0..16 {
                 let y = mby * 16 + row;
                 let off = y * WIDTH as usize;
                 let n = mbs_x * 16;
-                if got[off..off + n] != expect_full[off..off + n] {
-                    let i = (0..n)
-                        .find(|&i| got[off + i] != expect_full[off + i])
-                        .unwrap();
-                    return Err(format!(
-                        "pixel ({}, {y}): got {}, expected {}",
-                        i,
-                        got[off + i],
-                        expect_full[off + i]
-                    ));
+                if let Some((i, got, want)) =
+                    first_mismatch(m, DST + off as u32, &expect_full[off..off + n])
+                {
+                    return Err(format!("pixel ({i}, {y}): got {got}, expected {want}"));
                 }
             }
         }
-        let got_sum = u32::from_le_bytes(m.read_data(RESULT, 4).try_into().unwrap());
+        let got_sum = read_u32(m, RESULT);
         if got_sum != checksum {
             return Err(format!(
                 "checksum: got {got_sum:#x}, expected {checksum:#x}"
