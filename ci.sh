@@ -36,12 +36,22 @@ cargo run --release -q -p tm3270-bench --bin repro_fault_campaign -- \
 diff /tmp/tm3270_campaign_t1.json /tmp/tm3270_campaign_t2.json || {
   echo "FAIL: campaign --json differs between --threads 1 and --threads 2"; exit 1; }
 
-echo "== simulator-throughput smoke (repro_simspeed --json shape) =="
-speed_json=$(cargo run --release -q -p tm3270-bench --bin repro_simspeed -- \
-  --workload memset --workload filter --repeats 1 --json)
-echo "$speed_json" | grep -q '"bench":"sim_speed"' || {
+echo "== simulator-throughput smoke (repro_simspeed vs golden registry, both configs) =="
+# --check-golden makes the binary itself verify the rows against the
+# golden workload registry (exactly the 11 Table 5 kernel names, in
+# registry order, positive throughput) — a silently dropped workload
+# fails CI here. Both benchmark configs must produce a valid document.
+speed_json_d=$(cargo run --release -q -p tm3270-bench --bin repro_simspeed -- \
+  --repeats 1 --json --check-golden --config d)
+speed_json_a=$(cargo run --release -q -p tm3270-bench --bin repro_simspeed -- \
+  --repeats 1 --json --check-golden --config tm3260)
+echo "$speed_json_d" | grep -q '"bench":"sim_speed"' || {
   echo "FAIL: repro_simspeed --json missing bench tag"; exit 1; }
-echo "$speed_json" | grep -q '"sim_mips"' || {
+echo "$speed_json_d" | grep -q '"config":"TM3270 (config D)"' || {
+  echo "FAIL: repro_simspeed config D document missing"; exit 1; }
+echo "$speed_json_a" | grep -q '"config":"TM3260 (config A)"' || {
+  echo "FAIL: repro_simspeed TM3260 document missing"; exit 1; }
+echo "$speed_json_d" | grep -q '"sim_mips"' || {
   echo "FAIL: repro_simspeed --json missing sim_mips"; exit 1; }
 
 echo "== profiler smoke (memset, JSON + chrome trace) =="

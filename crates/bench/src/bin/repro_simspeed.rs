@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro_simspeed [--workload NAME]... [--config a|b|c|d|tm3270|tm3260]
-//!                [--repeats N] [--json] [--list]
+//!                [--repeats N] [--json] [--list] [--check-golden]
 //! ```
 //!
 //! With no `--workload` the eleven Table 5 golden kernels are measured.
@@ -12,7 +12,12 @@
 //! workload reports the fastest of `--repeats` runs (default 3).
 //! `--json` emits the `sim_speed` JSON document (see
 //! `tm3270_bench::simspeed::speed_json`); CI validates the shape only,
-//! never absolute numbers, which are host-dependent.
+//! never absolute numbers, which are host-dependent. `--check-golden`
+//! additionally exits nonzero unless the measured rows are exactly the
+//! golden workload registry (all eleven Table 5 kernel names, in
+//! registry order, each with positive throughput) — so a workload
+//! silently dropped from the registry fails CI instead of shrinking the
+//! benchmark.
 
 use std::process::ExitCode;
 
@@ -25,6 +30,7 @@ struct Args {
     config: MachineConfig,
     repeats: u32,
     json: bool,
+    check_golden: bool,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -33,6 +39,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         config: MachineConfig::tm3270(),
         repeats: 3,
         json: false,
+        check_golden: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -62,6 +69,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                 args.repeats = v.parse().map_err(|e| format!("--repeats {v}: {e}"))?;
             }
             "--json" => args.json = true,
+            "--check-golden" => args.check_golden = true,
             "--list" => {
                 for kernel in workloads() {
                     println!("{}", kernel.name());
@@ -71,7 +79,8 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro_simspeed [--workload NAME]... \
-                     [--config a|b|c|d|tm3270|tm3260] [--repeats N] [--json] [--list]"
+                     [--config a|b|c|d|tm3270|tm3260] [--repeats N] [--json] [--list] \
+                     [--check-golden]"
                 );
                 return Ok(None);
             }
@@ -117,5 +126,46 @@ fn main() -> ExitCode {
     } else {
         print!("{}", speed_report(&args.config, &rows));
     }
+
+    if args.check_golden {
+        if let Err(e) = check_golden(&rows) {
+            eprintln!("repro_simspeed: golden-registry check failed: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!(
+            "repro_simspeed: golden-registry check OK ({} kernels on {})",
+            rows.len(),
+            args.config.name
+        );
+    }
     ExitCode::SUCCESS
+}
+
+/// Validates measured rows against the golden workload registry:
+/// exactly the eleven Table 5 kernel names in registry order, each with
+/// positive instruction/cycle counts and throughput.
+fn check_golden(rows: &[SpeedRow]) -> Result<(), String> {
+    let expected = golden_names();
+    if rows.len() != expected.len() {
+        return Err(format!(
+            "{} rows measured, registry has {} golden kernels",
+            rows.len(),
+            expected.len()
+        ));
+    }
+    for (row, want) in rows.iter().zip(&expected) {
+        if row.workload != *want {
+            return Err(format!(
+                "row {:?} where registry expects {want:?}",
+                row.workload
+            ));
+        }
+        if row.instrs == 0 || row.cycles == 0 || row.sim_mips() <= 0.0 || row.sim_mcps() <= 0.0 {
+            return Err(format!(
+                "non-positive measurement for {:?}: {row:?}",
+                row.workload
+            ));
+        }
+    }
+    Ok(())
 }

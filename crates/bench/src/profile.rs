@@ -214,8 +214,14 @@ impl Profile {
         let d = &self.counters.dcache;
         let _ = writeln!(
             s,
-            "dcache: {} hits, {} partial, {} misses, {} evictions ({} B copied back)",
-            d.hits, d.partial_hits, d.misses, d.evictions, d.copyback_bytes
+            "dcache: {} hits, {} partial, {} misses, {} evictions ({} B copied back), \
+             {} refill merges",
+            d.hits,
+            d.partial_hits,
+            d.misses,
+            d.evictions,
+            d.copyback_bytes,
+            self.stats.mem.dcache.refill_merges
         );
         let i = &self.counters.icache;
         let _ = writeln!(s, "icache: {} hits, {} misses", i.hits, i.misses);
@@ -299,14 +305,26 @@ impl Profile {
             })
             .collect();
         let _ = write!(s, "\"units\":{{{}}},", units.join(","));
-        for (name, c) in [
-            ("dcache", &self.counters.dcache),
-            ("icache", &self.counters.icache),
+        // `refill_merges` is not event-derived: it comes from the
+        // simulator's own `CacheStats` snapshot (there is no trace event
+        // for the merge path, which has no timing consequence).
+        for (name, c, merges) in [
+            (
+                "dcache",
+                &self.counters.dcache,
+                self.stats.mem.dcache.refill_merges,
+            ),
+            (
+                "icache",
+                &self.counters.icache,
+                self.stats.mem.icache.refill_merges,
+            ),
         ] {
             let _ = write!(
                 s,
                 "\"{name}\":{{\"hits\":{},\"partial_hits\":{},\"misses\":{},\
-                 \"evictions\":{},\"copyback_bytes\":{},\"prefetch_hits\":{}}},",
+                 \"evictions\":{},\"copyback_bytes\":{},\"prefetch_hits\":{},\
+                 \"refill_merges\":{merges}}},",
                 c.hits, c.partial_hits, c.misses, c.evictions, c.copyback_bytes, c.prefetch_hits
             );
         }
@@ -368,6 +386,7 @@ mod tests {
         let json = p.to_json();
         assert!(json.contains("\"workload\":\"memset\""), "{json}");
         assert!(json.contains("\"buckets\""), "{json}");
+        assert!(json.contains("\"refill_merges\""), "{json}");
         let report = p.report();
         assert!(report.contains("stall attribution"), "{report}");
     }

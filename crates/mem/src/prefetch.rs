@@ -8,6 +8,8 @@
 //! cache. Prefetched data goes directly into the data cache; there are no
 //! stream buffers (§2.3).
 
+use std::collections::VecDeque;
+
 use tm3270_isa::PfParam;
 
 /// Number of prefetch regions (paper: four).
@@ -56,7 +58,9 @@ pub struct PrefetchStats {
 pub struct PrefetchUnit {
     regions: [Region; NUM_REGIONS],
     /// Line-base addresses waiting to be issued to the DRAM channel.
-    queue: Vec<u32>,
+    /// A ring so popping the head never shifts the tail; capacity is
+    /// reserved up front, so steady-state operation never allocates.
+    queue: VecDeque<u32>,
     /// Line-base addresses currently being transferred: (base, completion
     /// cycle).
     in_flight: Vec<(u32, f64)>,
@@ -69,8 +73,8 @@ impl PrefetchUnit {
     pub fn new(capacity: usize) -> PrefetchUnit {
         PrefetchUnit {
             regions: [Region::default(); NUM_REGIONS],
-            queue: Vec::new(),
-            in_flight: Vec::new(),
+            queue: VecDeque::with_capacity(capacity),
+            in_flight: Vec::with_capacity(capacity.max(4)),
             capacity,
             stats: PrefetchStats::default(),
         }
@@ -127,17 +131,13 @@ impl PrefetchUnit {
             self.stats.dropped += 1;
             return None;
         }
-        self.queue.push(base);
+        self.queue.push_back(base);
         Some(base)
     }
 
     /// Pops the next queued request, if any.
     pub fn pop_request(&mut self) -> Option<u32> {
-        if self.queue.is_empty() {
-            None
-        } else {
-            Some(self.queue.remove(0))
-        }
+        self.queue.pop_front()
     }
 
     /// Records that a prefetch for `base` was issued to the channel,
@@ -147,18 +147,31 @@ impl PrefetchUnit {
         self.stats.issued += 1;
     }
 
-    /// Returns the prefetches that have completed by cycle `now`, removing
-    /// them from the in-flight set.
-    pub fn completed(&mut self, now: f64) -> Vec<u32> {
-        let (done, pending): (Vec<_>, Vec<_>) =
-            self.in_flight.iter().partition(|&&(_, c)| c <= now);
-        self.in_flight = pending;
-        done.into_iter().map(|(b, _)| b).collect()
+    /// Removes and returns the first (oldest-issued) prefetch that has
+    /// completed by cycle `now`, preserving the issue order of the rest.
+    /// Draining via repeated pops replaces the old
+    /// `completed() -> Vec<u32>` API: no intermediate collections, and
+    /// the empty in-flight set — the common case, probed once per
+    /// executed instruction — costs a single length check.
+    pub fn pop_completed(&mut self, now: f64) -> Option<u32> {
+        if self.in_flight.is_empty() {
+            return None;
+        }
+        let i = self.in_flight.iter().position(|&(_, c)| c <= now)?;
+        // `remove`, not `swap_remove`: completion handling must see the
+        // same ordering as the old order-preserving `partition` drain.
+        let (base, _) = self.in_flight.remove(i);
+        Some(base)
     }
 
     /// If a prefetch of `base` is in flight, returns its completion cycle
     /// (a demand access to that line waits for it rather than re-fetching).
+    /// The empty set — the common case on every demand miss — is a single
+    /// length check, not a scan.
     pub fn in_flight_completion(&self, base: u32) -> Option<f64> {
+        if self.in_flight.is_empty() {
+            return None;
+        }
         self.in_flight
             .iter()
             .find(|&&(b, _)| b == base)
@@ -168,6 +181,12 @@ impl PrefetchUnit {
     /// Whether any requests are queued.
     pub fn has_pending(&self) -> bool {
         !self.queue.is_empty()
+    }
+
+    /// Whether any prefetches are in flight (cheap early-out for the
+    /// per-instruction completion drain).
+    pub fn has_in_flight(&self) -> bool {
+        !self.in_flight.is_empty()
     }
 
     /// Prefetch statistics.
@@ -253,10 +272,27 @@ mod tests {
         u.observe_load(0x1040, 128, |_| false);
         let base = u.pop_request().unwrap();
         u.mark_in_flight(base, 100.0);
+        assert!(u.has_in_flight());
         assert_eq!(u.in_flight_completion(base), Some(100.0));
-        assert!(u.completed(50.0).is_empty());
-        assert_eq!(u.completed(100.0), vec![base]);
+        assert_eq!(u.pop_completed(50.0), None);
+        assert_eq!(u.pop_completed(100.0), Some(base));
+        assert_eq!(u.pop_completed(100.0), None);
         assert_eq!(u.in_flight_completion(base), None);
+        assert!(!u.has_in_flight());
+    }
+
+    #[test]
+    fn pop_completed_preserves_issue_order() {
+        let mut u = PrefetchUnit::new(8);
+        // Three in flight; the middle one completes latest.
+        u.mark_in_flight(0x100, 10.0);
+        u.mark_in_flight(0x200, 30.0);
+        u.mark_in_flight(0x300, 20.0);
+        assert_eq!(u.pop_completed(25.0), Some(0x100));
+        assert_eq!(u.pop_completed(25.0), Some(0x300));
+        assert_eq!(u.pop_completed(25.0), None, "0x200 still pending");
+        assert_eq!(u.in_flight_completion(0x200), Some(30.0));
+        assert_eq!(u.pop_completed(30.0), Some(0x200));
     }
 
     #[test]

@@ -191,11 +191,15 @@ impl MemorySystem {
         self.prefetch.set_region(region, r);
     }
 
-    /// Starts timing a new instruction at CPU cycle `now`.
+    /// Starts timing a new instruction at CPU cycle `now`. Costs two
+    /// stores and one empty-check when no prefetch is in flight (the
+    /// common case: this runs once per executed instruction).
     pub fn begin_instr(&mut self, now: u64) {
         self.now = now as f64;
         self.stall = 0.0;
-        self.absorb_prefetch_completions();
+        if self.prefetch.has_in_flight() {
+            self.absorb_prefetch_completions();
+        }
     }
 
     /// Returns and clears the stall cycles accumulated since the last
@@ -207,7 +211,9 @@ impl MemorySystem {
     }
 
     fn absorb_prefetch_completions(&mut self) {
-        for base in self.prefetch.completed(self.now + self.stall) {
+        // Pop-style drain: no intermediate `Vec`s (the old `partition`
+        // allocated two per call), same completion order.
+        while let Some(base) = self.prefetch.pop_completed(self.now + self.stall) {
             if let Some(victim) = self.dcache.fill(base, true) {
                 let t = self.now + self.stall;
                 let completion = self
@@ -273,21 +279,17 @@ impl MemorySystem {
         }
     }
 
-    /// Segments `[addr, addr + len)` by cache-line boundary (at most two
-    /// segments: the paper's `addr_lo` / `addr_hi` pair, §4.2).
-    fn segments(geom: CacheGeometry, addr: u32, len: u32) -> Vec<(u32, u32)> {
-        let mut out = Vec::with_capacity(2);
-        let mut a = addr;
-        let mut remaining = len;
-        while remaining > 0 {
-            // Addresses wrap architecturally at 2^32.
-            let line_end = geom.line_base(a).wrapping_add(geom.line);
-            let n = remaining.min(line_end.wrapping_sub(a));
-            out.push((a, n));
-            a = a.wrapping_add(n);
-            remaining -= n;
+    /// Segments `[addr, addr + len)` by cache-line boundary (ordinary
+    /// accesses split into at most two segments: the paper's `addr_lo` /
+    /// `addr_hi` pair, §4.2; bulk harness reads may span many lines).
+    /// An iterator, not a `Vec`: segmentation runs on every load, store
+    /// and instruction fetch, and must not allocate.
+    fn segments(geom: CacheGeometry, addr: u32, len: u32) -> LineSegments {
+        LineSegments {
+            a: addr,
+            remaining: len,
+            line: geom.line,
         }
-        out
     }
 
     fn demand_fill(&mut self, base: u32, prefetched_wait: bool) {
@@ -362,12 +364,11 @@ impl MemorySystem {
     fn access_load(&mut self, addr: u32, len: u32) {
         self.stats.loads += 1;
         let geom = self.config.dcache;
-        let segs = Self::segments(geom, addr, len);
-        if segs.len() > 1 {
-            self.stats.line_crossers += 1;
-        }
         let tracing = self.sink.enabled();
-        for &(a, n) in &segs {
+        for (seg, (a, n)) in Self::segments(geom, addr, len).enumerate() {
+            if seg == 1 {
+                self.stats.line_crossers += 1;
+            }
             let pf_before = if tracing {
                 self.dcache.stats().prefetch_hits
             } else {
@@ -399,12 +400,11 @@ impl MemorySystem {
     fn access_store(&mut self, addr: u32, len: u32) {
         self.stats.stores += 1;
         let geom = self.config.dcache;
-        let segs = Self::segments(geom, addr, len);
-        if segs.len() > 1 {
-            self.stats.line_crossers += 1;
-        }
         let tracing = self.sink.enabled();
-        for &(a, n) in &segs {
+        for (seg, (a, n)) in Self::segments(geom, addr, len).enumerate() {
+            if seg == 1 {
+                self.stats.line_crossers += 1;
+            }
             let lookup = self.dcache.lookup(a, n);
             if tracing {
                 self.emit_cache_access(a, lookup, false);
@@ -517,6 +517,33 @@ pub struct FullStats {
     pub prefetch: PrefetchStats,
     /// DRAM channel statistics.
     pub dram: DramStats,
+}
+
+/// Allocation-free iterator over the line-bounded segments of a byte
+/// range (see [`MemorySystem::segments`]). Addresses wrap
+/// architecturally at 2^32.
+#[derive(Debug, Clone, Copy)]
+struct LineSegments {
+    a: u32,
+    remaining: u32,
+    line: u32,
+}
+
+impl Iterator for LineSegments {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let base = self.a & !(self.line - 1);
+        let line_end = base.wrapping_add(self.line);
+        let n = self.remaining.min(line_end.wrapping_sub(self.a));
+        let seg = (self.a, n);
+        self.a = self.a.wrapping_add(n);
+        self.remaining -= n;
+        Some(seg)
+    }
 }
 
 impl DataMemory for MemorySystem {
@@ -690,7 +717,13 @@ mod tests {
         let mut buf = [0u8; 4];
         m.load_bytes(0x4010, &mut buf);
         assert!(m.take_stall() > 0);
-        assert!(m.stats().dcache.partial_hits >= 1);
+        let s = m.stats();
+        assert!(s.dcache.partial_hits >= 1);
+        assert_eq!(
+            s.dcache.refill_merges, 1,
+            "the demand refill merged into the allocated line"
+        );
+        assert_eq!(s.dcache.fills, 0, "merge is counted separately from fills");
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Differential test of the bitmask `CacheArray` against a straight
+//! `Vec<bool>` reference implementation.
+//!
+//! The production array replaced per-line `Vec<bool>` byte validity
+//! with a fixed bitmask, added a last-line memo and an MRU-first way
+//! probe, and hoisted the set/tag divides into shift/mask fields — all
+//! of which must be *invisible*: same `Lookup` results, same `Victim`s,
+//! same `CacheStats` after every operation. This test drives both
+//! implementations through ~10k seeded random mixed operations on each
+//! of the four paper cache geometries and asserts exact agreement at
+//! every step. The reference below is a line-for-line transliteration
+//! of the pre-bitmask `CacheArray` (commit 935c72a).
+
+use tm3270_fault::SmallRng;
+use tm3270_mem::{CacheArray, CacheGeometry, CacheStats, Lookup, Victim};
+
+/// Reference cache model: the original `Vec<bool>`-validity,
+/// linear-scan implementation.
+struct ShadowCache {
+    geometry: CacheGeometry,
+    lines: Vec<ShadowLine>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+#[derive(Clone)]
+struct ShadowLine {
+    tag: u32,
+    valid: bool,
+    dirty: bool,
+    valid_bytes: Vec<bool>,
+    lru: u64,
+    prefetched: bool,
+}
+
+impl ShadowCache {
+    fn new(geometry: CacheGeometry) -> ShadowCache {
+        let n = (geometry.sets() * geometry.ways) as usize;
+        ShadowCache {
+            geometry,
+            lines: vec![
+                ShadowLine {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    valid_bytes: vec![false; geometry.line as usize],
+                    lru: 0,
+                    prefetched: false,
+                };
+                n
+            ],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn set_range(&self, addr: u32) -> std::ops::Range<usize> {
+        let set = ((addr / self.geometry.line) % self.geometry.sets()) as usize;
+        let ways = self.geometry.ways as usize;
+        set * ways..(set + 1) * ways
+    }
+
+    fn tag_of(&self, addr: u32) -> u32 {
+        addr / self.geometry.line / self.geometry.sets()
+    }
+
+    fn find(&self, addr: u32) -> Option<usize> {
+        let tag = self.tag_of(addr);
+        self.set_range(addr)
+            .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+    }
+
+    fn contains(&self, addr: u32) -> bool {
+        self.find(addr).is_some()
+    }
+
+    fn lookup(&mut self, addr: u32, len: u32) -> Lookup {
+        self.tick += 1;
+        match self.find(addr) {
+            Some(i) => {
+                self.lines[i].lru = self.tick;
+                if self.lines[i].prefetched {
+                    self.lines[i].prefetched = false;
+                    self.stats.prefetch_hits += 1;
+                }
+                let off = (addr % self.geometry.line) as usize;
+                let all_valid = self.lines[i].valid_bytes[off..off + len as usize]
+                    .iter()
+                    .all(|&v| v);
+                if all_valid {
+                    self.stats.hits += 1;
+                    Lookup::Hit
+                } else {
+                    self.stats.partial_hits += 1;
+                    Lookup::PartialHit
+                }
+            }
+            None => {
+                self.stats.misses += 1;
+                Lookup::Miss
+            }
+        }
+    }
+
+    fn evict_slot(&mut self, addr: u32) -> (usize, Option<Victim>) {
+        let range = self.set_range(addr);
+        let slot = range
+            .clone()
+            .find(|&i| !self.lines[i].valid)
+            .unwrap_or_else(|| {
+                range
+                    .min_by_key(|&i| self.lines[i].lru)
+                    .expect("non-empty set")
+            });
+        let victim = if self.lines[slot].valid && self.lines[slot].dirty {
+            let vb = self.lines[slot].valid_bytes.iter().filter(|&&v| v).count() as u32;
+            self.stats.copybacks += 1;
+            self.stats.copyback_bytes += u64::from(vb);
+            Some(Victim {
+                base: (self.lines[slot].tag * self.geometry.sets()
+                    + (addr / self.geometry.line) % self.geometry.sets())
+                    * self.geometry.line,
+                copyback_bytes: vb,
+            })
+        } else {
+            None
+        };
+        (slot, victim)
+    }
+
+    fn fill(&mut self, addr: u32, prefetched: bool) -> Option<Victim> {
+        if let Some(i) = self.find(addr) {
+            self.lines[i].valid_bytes.fill(true);
+            self.stats.refill_merges += 1;
+            return None;
+        }
+        let tag = self.tag_of(addr);
+        let (slot, victim) = self.evict_slot(addr);
+        self.tick += 1;
+        let line = &mut self.lines[slot];
+        line.tag = tag;
+        line.valid = true;
+        line.dirty = false;
+        line.valid_bytes.fill(true);
+        line.lru = self.tick;
+        line.prefetched = prefetched;
+        self.stats.fills += 1;
+        victim
+    }
+
+    fn allocate(&mut self, addr: u32) -> Option<Victim> {
+        if self.find(addr).is_some() {
+            return None;
+        }
+        let tag = self.tag_of(addr);
+        let (slot, victim) = self.evict_slot(addr);
+        self.tick += 1;
+        let line = &mut self.lines[slot];
+        line.tag = tag;
+        line.valid = true;
+        line.dirty = false;
+        line.valid_bytes.fill(false);
+        line.lru = self.tick;
+        line.prefetched = false;
+        self.stats.allocations += 1;
+        victim
+    }
+
+    fn write(&mut self, addr: u32, len: u32) {
+        let i = self.find(addr).expect("store into absent line");
+        self.tick += 1;
+        self.lines[i].lru = self.tick;
+        self.lines[i].dirty = true;
+        if self.lines[i].prefetched {
+            self.lines[i].prefetched = false;
+            self.stats.prefetch_hits += 1;
+        }
+        let off = (addr % self.geometry.line) as usize;
+        for v in &mut self.lines[i].valid_bytes[off..off + len as usize] {
+            *v = true;
+        }
+    }
+
+    fn invalidate(&mut self, addr: u32) -> bool {
+        if let Some(i) = self.find(addr) {
+            self.lines[i].valid = false;
+            self.lines[i].dirty = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn flush(&mut self, addr: u32) -> u32 {
+        if let Some(i) = self.find(addr) {
+            let bytes = if self.lines[i].dirty {
+                self.lines[i].valid_bytes.iter().filter(|&&v| v).count() as u32
+            } else {
+                0
+            };
+            if bytes > 0 {
+                self.stats.copybacks += 1;
+                self.stats.copyback_bytes += u64::from(bytes);
+            }
+            self.lines[i].valid = false;
+            self.lines[i].dirty = false;
+            bytes
+        } else {
+            0
+        }
+    }
+}
+
+/// The four paper geometries (Tables 1 and 6): 128-byte and 64-byte
+/// lines, 4- and 8-way, 16 KB to 128 KB.
+fn paper_geometries() -> [CacheGeometry; 4] {
+    [
+        CacheGeometry::tm3270_dcache(),
+        CacheGeometry::tm3270_icache(),
+        CacheGeometry::tm3260_dcache(),
+        CacheGeometry::tm3260_icache(),
+    ]
+}
+
+/// One random line-bounded (addr, len) pair. The address window spans
+/// 4x the cache capacity so sets see heavy eviction, with occasional
+/// far-away and near-wraparound addresses to exercise tag width.
+fn random_access(rng: &mut SmallRng, geom: CacheGeometry) -> (u32, u32) {
+    let addr = match rng.below(16) {
+        0 => 0xffff_0000u32.wrapping_add(rng.below(u64::from(geom.size)) as u32),
+        1 => rng.next_u32(),
+        _ => (rng.below(u64::from(geom.size) * 4)) as u32,
+    };
+    let line = geom.line;
+    let max_len = (line - (addr % line)).min(16);
+    let len = 1 + rng.below(u64::from(max_len)) as u32;
+    (addr, len)
+}
+
+#[test]
+fn bitmask_cache_matches_vec_bool_reference() {
+    for geom in paper_geometries() {
+        let mut rng = SmallRng::new(0xcace_0000 | u64::from(geom.line));
+        let mut fast = CacheArray::new(geom);
+        let mut shadow = ShadowCache::new(geom);
+        let mut op_counts = [0u64; 7];
+        for step in 0..10_000u32 {
+            let ctx = |what: &str, step: u32| {
+                format!("{what} diverged at step {step} (line {}b)", geom.line)
+            };
+            let op = rng.below(16);
+            op_counts[match op {
+                0..=5 => 0,
+                6..=9 => 1,
+                10..=11 => 2,
+                12 => 3,
+                13 => 4,
+                14 => 5,
+                _ => 6,
+            } as usize] += 1;
+            match op {
+                // Lookups dominate, as they do on the real access path.
+                0..=5 => {
+                    let (addr, len) = random_access(&mut rng, geom);
+                    assert_eq!(
+                        fast.lookup(addr, len),
+                        shadow.lookup(addr, len),
+                        "{}",
+                        ctx("lookup", step)
+                    );
+                }
+                // Writes must target a present line: allocate first when
+                // absent (what the write-miss policies do).
+                6..=9 => {
+                    let (addr, len) = random_access(&mut rng, geom);
+                    if !shadow.contains(addr) {
+                        assert_eq!(
+                            fast.allocate(addr),
+                            shadow.allocate(addr),
+                            "{}",
+                            ctx("pre-write allocate", step)
+                        );
+                    }
+                    fast.write(addr, len);
+                    shadow.write(addr, len);
+                }
+                10..=11 => {
+                    let (addr, _) = random_access(&mut rng, geom);
+                    let prefetched = rng.chance(1, 4);
+                    assert_eq!(
+                        fast.fill(addr, prefetched),
+                        shadow.fill(addr, prefetched),
+                        "{}",
+                        ctx("fill", step)
+                    );
+                }
+                12 => {
+                    let (addr, _) = random_access(&mut rng, geom);
+                    assert_eq!(
+                        fast.allocate(addr),
+                        shadow.allocate(addr),
+                        "{}",
+                        ctx("allocate", step)
+                    );
+                }
+                13 => {
+                    let (addr, _) = random_access(&mut rng, geom);
+                    assert_eq!(
+                        fast.flush(addr),
+                        shadow.flush(addr),
+                        "{}",
+                        ctx("flush", step)
+                    );
+                }
+                14 => {
+                    let (addr, _) = random_access(&mut rng, geom);
+                    assert_eq!(
+                        fast.invalidate(addr),
+                        shadow.invalidate(addr),
+                        "{}",
+                        ctx("invalidate", step)
+                    );
+                }
+                _ => {
+                    let (addr, _) = random_access(&mut rng, geom);
+                    assert_eq!(
+                        fast.contains(addr),
+                        shadow.contains(addr),
+                        "{}",
+                        ctx("contains", step)
+                    );
+                }
+            }
+            assert_eq!(
+                fast.stats(),
+                shadow.stats,
+                "stats diverged at step {step} (line {}b)",
+                geom.line
+            );
+        }
+        // Every operation kind actually ran, and the streams were not
+        // trivially hit- or miss-only.
+        assert!(op_counts.iter().all(|&n| n > 0), "op mix: {op_counts:?}");
+        let s = fast.stats();
+        assert!(s.hits > 0 && s.misses > 0 && s.partial_hits > 0, "{s:?}");
+        assert!(s.fills > 0 && s.allocations > 0 && s.copybacks > 0, "{s:?}");
+        assert!(s.refill_merges > 0, "merge path exercised: {s:?}");
+    }
+}
