@@ -36,6 +36,31 @@ cargo run --release -q -p tm3270-bench --bin repro_fault_campaign -- \
 diff /tmp/tm3270_campaign_t1.json /tmp/tm3270_campaign_t2.json || {
   echo "FAIL: campaign --json differs between --threads 1 and --threads 2"; exit 1; }
 
+echo "== kill-and-resume smoke (checkpointed campaign, interrupted then resumed) =="
+# Interrupt a checkpointed campaign partway (exit 3 = incomplete), then
+# resume it and require the final JSON to be byte-identical to the
+# uninterrupted serial run captured above.
+rm -f /tmp/tm3270_campaign_ckpt.jsonl
+if cargo run --release -q -p tm3270-bench --bin repro_fault_campaign -- \
+  --seed 1 --runs 200 --json --threads 2 \
+  --checkpoint /tmp/tm3270_campaign_ckpt.jsonl --abort-after 70; then
+  echo "FAIL: interrupted campaign exited 0 despite --abort-after"; exit 1
+fi
+cargo run --release -q -p tm3270-bench --bin repro_fault_campaign -- \
+  --seed 1 --runs 200 --json --threads 2 \
+  --checkpoint /tmp/tm3270_campaign_ckpt.jsonl --resume \
+  > /tmp/tm3270_campaign_resumed.json
+diff /tmp/tm3270_campaign_t1.json /tmp/tm3270_campaign_resumed.json || {
+  echo "FAIL: resumed campaign JSON differs from the uninterrupted run"; exit 1; }
+
+echo "== crash replay smoke (--save-crash / --replay round trip) =="
+cargo run --release -q -p tm3270-bench --bin repro_fault_campaign -- \
+  --seed 1 --runs 200 --threads 2 --json \
+  --save-crash /tmp/tm3270_crash.json > /dev/null
+cargo run --release -q -p tm3270-bench --bin repro_fault_campaign -- \
+  --replay /tmp/tm3270_crash.json || {
+  echo "FAIL: crash replay did not reproduce the recorded error"; exit 1; }
+
 echo "== simulator-throughput smoke (repro_simspeed vs golden registry, both configs) =="
 # --check-golden makes the binary itself verify the rows against the
 # golden workload registry (exactly the 11 Table 5 kernel names, in

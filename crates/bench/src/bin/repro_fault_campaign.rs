@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! repro_fault_campaign [--seed N] [--runs N] [--threads N] [--verbose] [--json]
+//!                      [--retry] [--checkpoint FILE] [--resume] [--abort-after N]
+//!                      [--save-crash FILE] [--replay FILE]
 //! ```
 //!
 //! Runs fan out over the `tm3270-harness` sweep engine; `--threads 0`
@@ -13,25 +15,54 @@
 //! document — is byte-identical at any thread count.
 //!
 //! `--json` replaces the text summary with a machine-readable document
-//! (seed, runs, flips, panics, error-kind histogram) so CI can diff
-//! campaign coverage instead of grepping stdout.
+//! (seed, runs, flips, panics, error-kind histogram, sample crash) so
+//! CI can diff campaign coverage instead of grepping stdout.
+//!
+//! `--checkpoint FILE` journals every completed run to FILE; a killed
+//! campaign restarted with `--resume` skips the finished runs and still
+//! produces byte-identical output. `--abort-after N` stops after N runs
+//! (exit code 3) — CI uses it to simulate the kill. `--retry` gives a
+//! panicking run one reseeded retry before recording it as failed.
+//!
+//! `--save-crash FILE` writes the first typed-error crash — including a
+//! restorable machine snapshot — as JSON; `--replay FILE` re-runs that
+//! crash deterministically from its seed, re-materializes the embedded
+//! snapshot, and exits non-zero unless both reproduce the recorded
+//! error exactly.
 //!
 //! Exits non-zero if any run panics, or if the campaign exercised fewer
 //! than three distinct error kinds (which would mean the harness lost
 //! its coverage).
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use tm3270_bench::campaign::{run_campaign, CampaignOptions};
+use tm3270_bench::campaign::{
+    campaign_run, rematerialize_run, run_campaign, run_campaign_checkpointed, CampaignOptions,
+    CampaignSummary,
+};
+use tm3270_core::Snapshot;
+use tm3270_harness::job_seed;
+use tm3270_obs::json;
 
 struct Args {
     campaign: CampaignOptions,
     json: bool,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    abort_after: Option<usize>,
+    save_crash: Option<PathBuf>,
+    replay: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut campaign = CampaignOptions::new();
     let mut json = false;
+    let mut checkpoint = None;
+    let mut resume = false;
+    let mut abort_after = None;
+    let mut save_crash = None;
+    let mut replay = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -51,18 +82,191 @@ fn parse_args() -> Result<Args, String> {
             }
             "--verbose" => campaign.verbose = true,
             "--json" => json = true,
+            "--retry" => campaign.sweep = campaign.sweep.retry(true),
+            "--checkpoint" => {
+                let v = it.next().ok_or("--checkpoint needs a file path")?;
+                checkpoint = Some(PathBuf::from(v));
+            }
+            "--resume" => resume = true,
+            "--abort-after" => {
+                let v = it.next().ok_or("--abort-after needs a value")?;
+                abort_after = Some(v.parse().map_err(|e| format!("--abort-after {v}: {e}"))?);
+            }
+            "--save-crash" => {
+                let v = it.next().ok_or("--save-crash needs a file path")?;
+                save_crash = Some(PathBuf::from(v));
+            }
+            "--replay" => {
+                let v = it.next().ok_or("--replay needs a file path")?;
+                replay = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro_fault_campaign [--seed N] [--runs N] [--threads N] \
-                     [--verbose] [--json]"
+                     [--verbose] [--json] [--retry] [--checkpoint FILE] [--resume] \
+                     [--abort-after N] [--save-crash FILE] [--replay FILE]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if checkpoint.is_none() && (resume || abort_after.is_some()) {
+        return Err("--resume and --abort-after require --checkpoint".into());
+    }
     campaign.sweep = campaign.sweep.progress("fault campaign");
-    Ok(Args { campaign, json })
+    Ok(Args {
+        campaign,
+        json,
+        checkpoint,
+        resume,
+        abort_after,
+        save_crash,
+        replay,
+    })
+}
+
+/// The crash document `--save-crash` writes: everything `--replay`
+/// needs to reproduce the crash from scratch (the run seed) and to
+/// re-materialize it directly (the embedded snapshot, hex-encoded).
+fn crash_document(summary: &CampaignSummary) -> Option<String> {
+    let report = summary.sample_report.as_ref()?;
+    let run = summary.sample_run?;
+    let snapshot_hex = report
+        .snapshot
+        .as_ref()
+        .map(Snapshot::to_hex)
+        .unwrap_or_default();
+    Some(format!(
+        "{{\"campaign_seed\":{},\"run\":{run},\"run_seed\":{},\
+         \"error_kind\":{},\"error\":{},\"pc\":{},\"cycle\":{},\"instrs\":{},\
+         \"reg_digest\":\"{:#018x}\",\"snapshot\":\"{snapshot_hex}\"}}\n",
+        summary.seed,
+        job_seed(summary.seed, run),
+        json::string(report.error.kind()),
+        json::string(&report.error.to_string()),
+        report.pc,
+        report.cycle,
+        report.instrs,
+        report.reg_digest,
+    ))
+}
+
+fn hex_digest(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+/// Replays a `--save-crash` document: re-runs the crashed cell from its
+/// seed and re-materializes the embedded snapshot, checking both
+/// against the recorded error. Returns the accumulated mismatches.
+fn replay_mismatches(doc: &str) -> Result<Vec<String>, String> {
+    let field = |key| json::string_field(doc, key).ok_or(format!("crash report lacks \"{key}\""));
+    let num = |key| json::u64_field(doc, key).ok_or(format!("crash report lacks \"{key}\""));
+    let run_seed = num("run_seed")?;
+    let kind = field("error_kind")?;
+    let error = field("error")?;
+    let pc = num("pc")?;
+    let cycle = num("cycle")?;
+    let instrs = num("instrs")?;
+    let digest = hex_digest(&field("reg_digest")?).ok_or("unreadable reg_digest")?;
+    let snapshot_hex = field("snapshot")?;
+
+    let mut mismatches = Vec::new();
+    fn check(mismatches: &mut Vec<String>, what: &str, got: String, want: String) {
+        if got != want {
+            mismatches.push(format!("{what}: replay produced {got}, report says {want}"));
+        }
+    }
+
+    // 1. Deterministic re-run of the whole cell from its seed.
+    let rec = campaign_run(run_seed);
+    check(&mut mismatches, "error kind", rec.kind.clone(), kind);
+    match &rec.report {
+        Some(r) => {
+            check(&mut mismatches, "error", r.error.to_string(), error);
+            check(&mut mismatches, "pc", r.pc.to_string(), pc.to_string());
+            check(
+                &mut mismatches,
+                "cycle",
+                r.cycle.to_string(),
+                cycle.to_string(),
+            );
+            check(
+                &mut mismatches,
+                "instrs",
+                r.instrs.to_string(),
+                instrs.to_string(),
+            );
+            check(
+                &mut mismatches,
+                "reg digest",
+                format!("{:#018x}", r.reg_digest),
+                format!("{digest:#018x}"),
+            );
+        }
+        None => mismatches.push(format!("the replayed run did not crash ({})", rec.detail)),
+    }
+
+    // 2. Re-materialize the embedded snapshot and verify it lands on
+    // the same machine state.
+    if snapshot_hex.is_empty() {
+        mismatches.push("the crash report embeds no snapshot".into());
+    } else {
+        match Snapshot::from_hex(&snapshot_hex) {
+            Err(e) => mismatches.push(format!("embedded snapshot is unreadable: {e}")),
+            Ok(snapshot) => match rematerialize_run(run_seed, &snapshot) {
+                Err(e) => mismatches.push(format!("snapshot restore failed: {e}")),
+                Ok(machine) => {
+                    check(
+                        &mut mismatches,
+                        "restored pc",
+                        machine.pc().to_string(),
+                        pc.to_string(),
+                    );
+                    check(
+                        &mut mismatches,
+                        "restored cycle",
+                        machine.cycle().to_string(),
+                        cycle.to_string(),
+                    );
+                    check(
+                        &mut mismatches,
+                        "restored reg digest",
+                        format!("{:#018x}", machine.reg_digest()),
+                        format!("{digest:#018x}"),
+                    );
+                }
+            },
+        }
+    }
+    Ok(mismatches)
+}
+
+fn replay(path: &Path) -> ExitCode {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("repro_fault_campaign: reading {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match replay_mismatches(&doc) {
+        Err(e) => {
+            eprintln!("repro_fault_campaign: {e}");
+            ExitCode::from(2)
+        }
+        Ok(mismatches) if mismatches.is_empty() => {
+            println!("OK: replay reproduced the recorded crash exactly");
+            ExitCode::SUCCESS
+        }
+        Ok(mismatches) => {
+            for m in &mismatches {
+                eprintln!("MISMATCH {m}");
+            }
+            eprintln!("FAIL: replay diverged from the recorded crash");
+            ExitCode::from(1)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -74,12 +278,48 @@ fn main() -> ExitCode {
         }
     };
 
-    let summary = run_campaign(&args.campaign);
+    if let Some(path) = &args.replay {
+        return replay(path);
+    }
+
+    let summary = if let Some(ckpt) = &args.checkpoint {
+        match run_campaign_checkpointed(&args.campaign, ckpt, args.resume, args.abort_after) {
+            Ok(Some(summary)) => summary,
+            Ok(None) => {
+                eprintln!(
+                    "campaign checkpointed but incomplete; continue with \
+                     --checkpoint {} --resume",
+                    ckpt.display()
+                );
+                return ExitCode::from(3);
+            }
+            Err(e) => {
+                eprintln!("repro_fault_campaign: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        run_campaign(&args.campaign)
+    };
+
     for line in &summary.run_lines {
         println!("{line}");
     }
     for line in &summary.panic_lines {
         eprintln!("{line}");
+    }
+
+    if let Some(path) = &args.save_crash {
+        match crash_document(&summary) {
+            Some(doc) => {
+                if let Err(e) = std::fs::write(path, doc) {
+                    eprintln!("repro_fault_campaign: writing {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("saved the first typed-error crash to {}", path.display());
+            }
+            None => eprintln!("no typed-error crash to save"),
+        }
     }
 
     if args.json {

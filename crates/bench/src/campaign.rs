@@ -17,13 +17,17 @@
 //! value.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 
 use tm3270_asm::ProgramBuilder;
-use tm3270_core::{CrashReport, Machine, MachineConfig};
+use tm3270_core::{CrashReport, Machine, MachineConfig, Snapshot};
 use tm3270_encode::encode_program;
 use tm3270_fault::{FaultInjector, SmallRng};
-use tm3270_harness::{sweep, JobError, SweepOptions};
+use tm3270_harness::{
+    job_seed, sweep, sweep_with_checkpoint, CheckpointError, JobError, SweepOptions,
+};
 use tm3270_isa::{Op, Opcode, Program, Reg};
+use tm3270_obs::json::{string_field, u64_field};
 
 /// Cycle budget per run; corrupted programs that loop productively end
 /// in `CycleLimit`, unproductively in `NoProgress` (watchdog below).
@@ -119,39 +123,84 @@ pub fn random_program(rng: &mut SmallRng) -> Option<Program> {
 }
 
 /// What one campaign run produced.
-struct RunRecord {
+#[derive(Debug)]
+pub struct RunRecord {
     /// Outcome bucket: `Completed`, a `SimError` kind, `Unschedulable`
     /// or `Encode(..)`.
-    kind: String,
+    pub kind: String,
     /// Instruction-image bits actually flipped in this run.
-    flips: u64,
+    pub flips: u64,
     /// One human line for `--verbose` output.
-    detail: String,
+    pub detail: String,
     /// The crash report, for typed-error runs.
-    report: Option<Box<CrashReport>>,
+    pub report: Option<Box<CrashReport>>,
 }
 
-/// One run of the campaign; all randomness comes from `seed`.
-fn campaign_run(seed: u64) -> RunRecord {
+impl RunRecord {
+    /// The flat-JSON checkpoint payload for this record. The crash
+    /// report itself is not persisted — only whether one exists; resume
+    /// regenerates it deterministically from the run seed.
+    fn to_payload(&self) -> String {
+        format!(
+            "{{\"kind\":{},\"flips\":{},\"detail\":{},\"report\":{}}}",
+            tm3270_obs::json::string(&self.kind),
+            self.flips,
+            tm3270_obs::json::string(&self.detail),
+            u64::from(self.report.is_some()),
+        )
+    }
+
+    /// Inverts [`RunRecord::to_payload`]; the second element is whether
+    /// the original run produced a crash report.
+    fn from_payload(payload: &str) -> Option<(RunRecord, bool)> {
+        let kind = string_field(payload, "kind")?;
+        let flips = u64_field(payload, "flips")?;
+        let detail = string_field(payload, "detail")?;
+        let had_report = u64_field(payload, "report")? != 0;
+        Some((
+            RunRecord {
+                kind,
+                flips,
+                detail,
+                report: None,
+            },
+            had_report,
+        ))
+    }
+}
+
+/// The seed-determined build phase of one campaign run, shared by
+/// [`campaign_run`] and [`rematerialize_run`] so the two replay exactly
+/// the same RNG draws.
+enum RunSetup {
+    /// The random program could not be scheduled.
+    Unschedulable,
+    /// The program could not be encoded.
+    EncodeFailed(String),
+    /// The corrupted image failed to decode — there never was machine
+    /// state, so the report carries no snapshot.
+    DecodeFailed {
+        report: Box<CrashReport>,
+        flips: u64,
+    },
+    /// A machine, ready to corrupt further and run.
+    Ready {
+        machine: Box<Machine>,
+        injector: FaultInjector,
+        flips: u64,
+        data_flips: u32,
+        line_flips: u32,
+    },
+}
+
+fn setup_run(seed: u64) -> RunSetup {
     let mut rng = SmallRng::new(seed);
     let Some(program) = random_program(&mut rng) else {
-        return RunRecord {
-            kind: "Unschedulable".into(),
-            flips: 0,
-            detail: "unschedulable".into(),
-            report: None,
-        };
+        return RunSetup::Unschedulable;
     };
     let mut image = match encode_program(&program) {
         Ok(image) => image,
-        Err(e) => {
-            return RunRecord {
-                kind: format!("Encode({e})"),
-                flips: 0,
-                detail: format!("encode failed: {e}"),
-                report: None,
-            }
-        }
+        Err(e) => return RunSetup::EncodeFailed(e.to_string()),
     };
 
     // Inject: usually a few image bit flips, sometimes clean, sometimes
@@ -167,11 +216,11 @@ fn campaign_run(seed: u64) -> RunRecord {
     config.mem.strict_access = true;
     let ring_size = config.trace_ring;
 
-    // Decode-time errors have no machine state yet: report them with an
-    // empty snapshot.
-    let outcome = Machine::from_image(config, image)
-        .map_err(|error| {
-            Box::new(CrashReport {
+    match Machine::from_image(config, image) {
+        // Decode-time errors have no machine state yet: report them
+        // with an empty trace and no snapshot.
+        Err(error) => RunSetup::DecodeFailed {
+            report: Box::new(CrashReport {
                 error,
                 pc: 0,
                 cycle: 0,
@@ -179,9 +228,50 @@ fn campaign_run(seed: u64) -> RunRecord {
                 reg_digest: 0,
                 ring_size,
                 trace: Vec::new(),
-            })
-        })
-        .and_then(|mut machine| {
+                snapshot: None,
+            }),
+            flips,
+        },
+        Ok(machine) => RunSetup::Ready {
+            machine: Box::new(machine),
+            injector,
+            flips,
+            data_flips,
+            line_flips,
+        },
+    }
+}
+
+/// One run of the campaign; all randomness comes from `seed` (the
+/// per-run seed, `job_seed(campaign_seed, run)`), so any run can be
+/// replayed in isolation.
+pub fn campaign_run(seed: u64) -> RunRecord {
+    match setup_run(seed) {
+        RunSetup::Unschedulable => RunRecord {
+            kind: "Unschedulable".into(),
+            flips: 0,
+            detail: "unschedulable".into(),
+            report: None,
+        },
+        RunSetup::EncodeFailed(e) => RunRecord {
+            kind: format!("Encode({e})"),
+            flips: 0,
+            detail: format!("encode failed: {e}"),
+            report: None,
+        },
+        RunSetup::DecodeFailed { report, flips } => RunRecord {
+            kind: report.error.kind().to_string(),
+            flips,
+            detail: report.error.to_string(),
+            report: Some(report),
+        },
+        RunSetup::Ready {
+            mut machine,
+            mut injector,
+            flips,
+            data_flips,
+            line_flips,
+        } => {
             if data_flips + line_flips > 0 {
                 let mut window = [0u8; 4096];
                 machine.read_data_into(0, &mut window);
@@ -190,22 +280,48 @@ fn campaign_run(seed: u64) -> RunRecord {
                 machine.load_data(0, &window);
             }
             machine.set_watchdog(WATCHDOG);
-            machine.run_reported(CYCLE_BUDGET).map(|stats| stats.instrs)
-        });
+            match machine.run_reported(CYCLE_BUDGET) {
+                Ok(stats) => RunRecord {
+                    kind: "Completed".into(),
+                    flips,
+                    detail: format!("completed, {} instructions", stats.instrs),
+                    report: None,
+                },
+                Err(report) => RunRecord {
+                    kind: report.error.kind().to_string(),
+                    flips,
+                    detail: report.error.to_string(),
+                    report: Some(report),
+                },
+            }
+        }
+    }
+}
 
-    match outcome {
-        Ok(instrs) => RunRecord {
-            kind: "Completed".into(),
-            flips,
-            detail: format!("completed, {instrs} instructions"),
-            report: None,
-        },
-        Err(report) => RunRecord {
-            kind: report.error.kind().to_string(),
-            flips,
-            detail: report.error.to_string(),
-            report: Some(report),
-        },
+/// Rebuilds the machine of the campaign run seeded by `seed` — same
+/// program, same image corruption — and restores `snapshot` into it,
+/// re-materializing the exact machine state the snapshot captured
+/// (typically the moment of a crash, via
+/// [`CrashReport::snapshot`]). The returned machine can be
+/// single-stepped or re-run.
+pub fn rematerialize_run(seed: u64, snapshot: &Snapshot) -> Result<Machine, String> {
+    match setup_run(seed) {
+        RunSetup::Unschedulable => {
+            Err("the run's program was unschedulable; it never had machine state".into())
+        }
+        RunSetup::EncodeFailed(e) => Err(format!(
+            "the run's program failed to encode ({e}); it never had machine state"
+        )),
+        RunSetup::DecodeFailed { report, .. } => Err(format!(
+            "the run's image failed to decode ({}); it never had machine state",
+            report.error
+        )),
+        RunSetup::Ready { mut machine, .. } => {
+            machine
+                .restore(snapshot)
+                .map_err(|e| format!("snapshot restore failed: {e}"))?;
+            Ok(*machine)
+        }
     }
 }
 
@@ -252,6 +368,10 @@ pub struct CampaignSummary {
     pub outcomes: BTreeMap<String, u64>,
     /// The first (by run id) typed-error crash report.
     pub sample_report: Option<CrashReport>,
+    /// Which run produced [`sample_report`](Self::sample_report) — its
+    /// seed is `job_seed(seed, sample_run)`, so the crash can be
+    /// replayed in isolation.
+    pub sample_run: Option<u64>,
     /// Per-run lines, when [`CampaignOptions::verbose`] was set.
     pub run_lines: Vec<String>,
     /// One line per escaped panic (always recorded).
@@ -268,22 +388,42 @@ impl CampaignSummary {
     /// The machine-readable summary. Contains only run-order aggregates
     /// (never the thread count), so two campaigns with the same seed and
     /// run count produce byte-identical documents at any parallelism.
+    ///
+    /// The `sample_crash` section describes the first (by run id)
+    /// typed-error crash; it is always present, as a well-formed empty
+    /// object when no run crashed, so consumers never have to probe for
+    /// a missing key.
     pub fn to_json(&self) -> String {
         let hist: Vec<String> = self
             .outcomes
             .iter()
             .map(|(kind, count)| format!("{}:{count}", tm3270_obs::json::string(kind)))
             .collect();
+        let sample = match &self.sample_report {
+            Some(r) => format!(
+                "{{\"kind\":{},\"error\":{},\"pc\":{},\"cycle\":{},\"instrs\":{},\
+                 \"reg_digest\":\"{:#018x}\",\"snapshot_bytes\":{}}}",
+                tm3270_obs::json::string(r.error.kind()),
+                tm3270_obs::json::string(&r.error.to_string()),
+                r.pc,
+                r.cycle,
+                r.instrs,
+                r.reg_digest,
+                r.snapshot.as_ref().map_or(0, Snapshot::len),
+            ),
+            None => "{}".to_string(),
+        };
         format!(
             "{{\"seed\":{},\"runs\":{},\"image_bit_flips\":{},\
              \"panics\":{},\"error_kinds\":{},\
-             \"outcomes\":{{{}}}}}",
+             \"outcomes\":{{{}}},\"sample_crash\":{}}}",
             self.seed,
             self.runs,
             self.flips_total,
             self.panics,
             self.error_kinds(),
-            hist.join(",")
+            hist.join(","),
+            sample
         )
     }
 
@@ -316,7 +456,63 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignSummary {
     let results = sweep(opts.runs as usize, &opts.sweep, |ctx| {
         Ok(campaign_run(ctx.seed))
     });
+    aggregate(opts, results)
+}
 
+/// Runs the campaign with durable checkpointing: every completed run is
+/// journaled to `checkpoint`, so a killed campaign resumes where it
+/// stopped (`resume` true) without re-running finished cells — and the
+/// final summary is byte-identical to an uninterrupted run's.
+///
+/// `abort_after` bounds how many runs this call executes (the
+/// kill-and-resume CI smoke uses it to simulate an interruption);
+/// `Ok(None)` means the campaign is still incomplete. Header mismatches
+/// and corrupt checkpoint lines surface as typed [`CheckpointError`]s.
+pub fn run_campaign_checkpointed(
+    opts: &CampaignOptions,
+    checkpoint: &Path,
+    resume: bool,
+    abort_after: Option<usize>,
+) -> Result<Option<CampaignSummary>, CheckpointError> {
+    let outcome = sweep_with_checkpoint(
+        opts.runs as usize,
+        &opts.sweep,
+        checkpoint,
+        resume,
+        abort_after,
+        |ctx| Ok(campaign_run(ctx.seed).to_payload()),
+    )?;
+    if !outcome.is_complete() {
+        return Ok(None);
+    }
+    // Checkpoint payloads carry everything but the crash report; re-run
+    // the first reported cell (deterministic from its seed) so the
+    // summary's sample crash matches an uninterrupted campaign's.
+    let mut sample_at = None;
+    let mut records: Vec<Result<RunRecord, JobError>> = Vec::with_capacity(outcome.results.len());
+    for (run, entry) in outcome.results.into_iter().enumerate() {
+        let entry = entry.expect("complete checkpoint outcome");
+        records.push(match entry {
+            Ok(payload) => match RunRecord::from_payload(&payload) {
+                Some((rec, had_report)) => {
+                    if had_report && sample_at.is_none() {
+                        sample_at = Some(run);
+                    }
+                    Ok(rec)
+                }
+                None => Err(JobError::Failed("unreadable checkpoint payload".into())),
+            },
+            Err(err) => Err(err),
+        });
+    }
+    if let Some(run) = sample_at {
+        records[run] = Ok(campaign_run(job_seed(opts.sweep.campaign_seed, run as u64)));
+    }
+    Ok(Some(aggregate(opts, records)))
+}
+
+/// Aggregates per-run results (in run order) into the summary.
+fn aggregate(opts: &CampaignOptions, results: Vec<Result<RunRecord, JobError>>) -> CampaignSummary {
     let mut summary = CampaignSummary {
         seed: opts.sweep.campaign_seed,
         runs: opts.runs,
@@ -324,6 +520,7 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignSummary {
         panics: 0,
         outcomes: BTreeMap::new(),
         sample_report: None,
+        sample_run: None,
         run_lines: Vec::new(),
         panic_lines: Vec::new(),
     };
@@ -338,6 +535,7 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignSummary {
                 if summary.sample_report.is_none() {
                     if let Some(report) = rec.report {
                         summary.sample_report = Some(*report);
+                        summary.sample_run = Some(run as u64);
                     }
                 }
             }
@@ -345,6 +543,12 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignSummary {
                 summary.panics += 1;
                 summary.panic_lines.push(format!(
                     "run {run}: PANIC escaped the typed error path: {msg}"
+                ));
+            }
+            Err(JobError::RetriedThenFailed { attempts, message }) => {
+                summary.panics += 1;
+                summary.panic_lines.push(format!(
+                    "run {run}: PANIC escaped the typed error path in all {attempts} attempts: {message}"
                 ));
             }
             Err(JobError::Failed(msg)) => {
@@ -377,6 +581,38 @@ mod tests {
         let parallel = run_campaign(&opts(60, 7, 4));
         assert_eq!(serial.to_json(), parallel.to_json());
         assert_eq!(serial.panics, 0);
+    }
+
+    #[test]
+    fn checkpointed_campaign_resumes_byte_identically() {
+        let path =
+            std::env::temp_dir().join(format!("tm3270_campaign_ckpt_{}.jsonl", std::process::id()));
+        let o = opts(40, 5, 2);
+        let part = run_campaign_checkpointed(&o, &path, false, Some(15)).unwrap();
+        assert!(part.is_none(), "aborted early, so incomplete");
+        let resumed = run_campaign_checkpointed(&o, &path, true, None)
+            .unwrap()
+            .expect("resume finishes the campaign");
+        let plain = run_campaign(&opts(40, 5, 1));
+        assert_eq!(resumed.to_json(), plain.to_json());
+        assert_eq!(resumed.report(), plain.report());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_crash_snapshot_rematerializes_the_crashed_machine() {
+        // Find a run with an embedded snapshot and restore it.
+        let summary = run_campaign(&opts(120, 1, 0));
+        let report = summary.sample_report.expect("some run crashed");
+        let snapshot = report.snapshot.expect("typed errors carry a snapshot");
+        // The sample is the first typed-error run; find its seed.
+        let run = (0..120)
+            .find(|&run| campaign_run(job_seed(1, run)).report.is_some())
+            .expect("the sample came from some run");
+        let machine = rematerialize_run(job_seed(1, run), &snapshot).unwrap();
+        assert_eq!(machine.pc(), report.pc);
+        assert_eq!(machine.cycle(), report.cycle);
+        assert_eq!(machine.reg_digest(), report.reg_digest);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 mod config;
 mod pipeline;
 mod report;
+mod snapshot;
 
 pub use config::MachineConfig;
 pub use pipeline::{
@@ -50,3 +51,4 @@ pub use pipeline::{
     TRACE_RING,
 };
 pub use report::CrashReport;
+pub use snapshot::{Snapshot, SnapshotError};

@@ -10,8 +10,12 @@
 //! (stages X1–X6, §4), the prefetch unit and the DRAM channel.
 
 use crate::config::MachineConfig;
+use crate::snapshot::Snapshot;
 use std::collections::VecDeque;
-use tm3270_encode::{decode_program_detailed, encode_program, DecodeFault, EncodedProgram};
+use tm3270_encode::{
+    decode_program_detailed, encode_program, DecodeFault, EncodedProgram, SnapshotError,
+    SnapshotReader, SnapshotWriter,
+};
 use tm3270_isa::{execute, DataMemory, ExecError, ExecResult, Op, Program, Reg, RegFile};
 use tm3270_mem::{FullStats, MemorySystem, Region};
 use tm3270_obs::{SinkHandle, StallCause, TraceEvent};
@@ -1062,8 +1066,10 @@ impl Machine {
     }
 
     /// Takes a post-mortem snapshot for `error`: machine position,
-    /// regfile digest and the recent-trace ring buffer. Render it via
-    /// its `Display` impl (see `core/report.rs`).
+    /// regfile digest, the recent-trace ring buffer and a full
+    /// restorable [`Snapshot`], so the crash can be re-materialized and
+    /// single-stepped. Render it via its `Display` impl (see
+    /// `core/report.rs`).
     pub fn crash_report(&self, error: SimError) -> crate::report::CrashReport {
         crate::report::CrashReport {
             error,
@@ -1073,7 +1079,229 @@ impl Machine {
             reg_digest: self.reg_digest(),
             ring_size: self.config.trace_ring,
             trace: self.trace_ring.iter().copied().collect(),
+            snapshot: Some(self.snapshot()),
         }
+    }
+
+    /// Serializes the complete mutable machine state — registers,
+    /// PC/issue state, the writeback scoreboard, the trace ring and the
+    /// whole memory system — into a versioned [`Snapshot`]. Restoring it
+    /// with [`restore`](Machine::restore) on a machine built from the
+    /// same configuration and program continues the run bit-identically
+    /// to one that was never interrupted.
+    ///
+    /// This is a cold-path method: nothing is precomputed or tracked for
+    /// it during stepping, so a machine that never snapshots pays zero
+    /// cost for the capability.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut w = SnapshotWriter::new();
+        w.section(*b"CORE", |s| {
+            s.u64(self.pc as u64);
+            s.u64(self.cycle);
+            for chunk in self.ibuf {
+                s.u32(chunk);
+            }
+            s.u64(self.ibuf_next as u64);
+            match self.pending_branch {
+                Some((remaining, target)) => {
+                    s.u8(1);
+                    s.u32(remaining);
+                    s.u64(target as u64);
+                }
+                None => {
+                    s.u8(0);
+                    s.u32(0);
+                    s.u64(0);
+                }
+            }
+            s.u64(self.watchdog_cycles);
+            s.u64(self.last_progress_cycle);
+            for v in [
+                self.stats.cycles,
+                self.stats.instrs,
+                self.stats.ops,
+                self.stats.exec_ops,
+                self.stats.branches,
+                self.stats.taken_branches,
+                self.stats.ifetch_stall_cycles,
+                self.stats.data_stall_cycles,
+            ] {
+                s.u64(v);
+            }
+            s.f64(self.stats.freq_mhz);
+            self.stats.mem.save_state(s);
+        });
+        w.section(*b"REGS", |s| {
+            for i in 0..128u8 {
+                s.u32(self.regs.read(Reg::new(i)));
+            }
+        });
+        w.section(*b"WRNG", |s| {
+            s.u64(self.writes.next);
+            for bucket in &self.writes.buckets {
+                s.u64(bucket.len() as u64);
+                for &(r, v) in bucket {
+                    s.u8(r.index() as u8);
+                    s.u32(v);
+                }
+            }
+        });
+        w.section(*b"TRCE", |s| {
+            s.u64(self.trace_ring.len() as u64);
+            for rec in &self.trace_ring {
+                s.u64(rec.cycle);
+                s.u64(rec.pc as u64);
+                s.u8(rec.ops_executed);
+                s.u64(rec.ifetch_stall);
+                s.u64(rec.data_stall);
+                match rec.branch_taken {
+                    Some(t) => {
+                        s.u8(1);
+                        s.u64(t as u64);
+                    }
+                    None => {
+                        s.u8(0);
+                        s.u64(0);
+                    }
+                }
+            }
+        });
+        w.section(*b"MEMS", |s| self.mem.save_state(s));
+        Snapshot::from_bytes(w.finish())
+    }
+
+    /// Restores state captured by [`snapshot`](Machine::snapshot). The
+    /// machine must have been built from the same configuration and
+    /// program image as the one that was snapshotted; the configuration,
+    /// program, issue plan and trace sink are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on a bad magic, a different format version,
+    /// truncation, checksum failure or state inconsistent with this
+    /// machine's configuration. Never panics, whatever the bytes. The
+    /// machine state is unspecified after an error — restore again or
+    /// discard the machine.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        let reader = SnapshotReader::parse(snap.as_bytes())?;
+
+        let mut s = reader.section(*b"CORE")?;
+        self.pc = usize::try_from(s.u64("pc")?).map_err(|_| SnapshotError::Corrupt {
+            what: "pc overflows the address space",
+        })?;
+        self.cycle = s.u64("cycle")?;
+        for chunk in &mut self.ibuf {
+            *chunk = s.u32("instruction buffer")?;
+        }
+        let ibuf_next = s.u64("instruction buffer cursor")?;
+        if ibuf_next >= self.ibuf.len() as u64 {
+            return Err(SnapshotError::Corrupt {
+                what: "instruction buffer cursor out of range",
+            });
+        }
+        self.ibuf_next = ibuf_next as usize;
+        let branch_flag = s.u8("pending branch flag")?;
+        let remaining = s.u32("pending branch slots")?;
+        let target = s.u64("pending branch target")?;
+        self.pending_branch = match branch_flag {
+            0 => None,
+            1 => Some((
+                remaining,
+                usize::try_from(target).map_err(|_| SnapshotError::Corrupt {
+                    what: "branch target overflows the address space",
+                })?,
+            )),
+            _ => {
+                return Err(SnapshotError::Corrupt {
+                    what: "undefined pending-branch flag",
+                })
+            }
+        };
+        self.watchdog_cycles = s.u64("watchdog")?;
+        self.last_progress_cycle = s.u64("last progress cycle")?;
+        self.stats.cycles = s.u64("run stats")?;
+        self.stats.instrs = s.u64("run stats")?;
+        self.stats.ops = s.u64("run stats")?;
+        self.stats.exec_ops = s.u64("run stats")?;
+        self.stats.branches = s.u64("run stats")?;
+        self.stats.taken_branches = s.u64("run stats")?;
+        self.stats.ifetch_stall_cycles = s.u64("run stats")?;
+        self.stats.data_stall_cycles = s.u64("run stats")?;
+        self.stats.freq_mhz = s.f64("run stats")?;
+        self.stats.mem = FullStats::load_state(&mut s)?;
+
+        let mut s = reader.section(*b"REGS")?;
+        for i in 0..128u8 {
+            self.regs.write(Reg::new(i), s.u32("register")?);
+        }
+
+        let mut s = reader.section(*b"WRNG")?;
+        self.writes.next = s.u64("writeback ring cursor")?;
+        self.writes.pending = 0;
+        for bucket in &mut self.writes.buckets {
+            bucket.clear();
+            let len = s.u64("writeback bucket length")?;
+            if len > WRITE_BUCKET_CAP as u64 {
+                return Err(SnapshotError::Corrupt {
+                    what: "writeback bucket exceeds its capacity",
+                });
+            }
+            for _ in 0..len {
+                let idx = s.u8("writeback register")?;
+                let reg = Reg::try_new(idx).ok_or(SnapshotError::Corrupt {
+                    what: "writeback register out of range",
+                })?;
+                let value = s.u32("writeback value")?;
+                bucket.push((reg, value));
+            }
+            self.writes.pending += bucket.len();
+        }
+
+        let mut s = reader.section(*b"TRCE")?;
+        let records = s.u64("trace ring length")?;
+        if records > self.config.trace_ring as u64 {
+            return Err(SnapshotError::Corrupt {
+                what: "trace ring longer than configured",
+            });
+        }
+        self.trace_ring.clear();
+        for _ in 0..records {
+            let cycle = s.u64("trace record")?;
+            let pc =
+                usize::try_from(s.u64("trace record")?).map_err(|_| SnapshotError::Corrupt {
+                    what: "trace pc overflows the address space",
+                })?;
+            let ops_executed = s.u8("trace record")?;
+            let ifetch_stall = s.u64("trace record")?;
+            let data_stall = s.u64("trace record")?;
+            let branch_flag = s.u8("trace record")?;
+            let branch_target = s.u64("trace record")?;
+            let branch_taken = match branch_flag {
+                0 => None,
+                1 => Some(
+                    usize::try_from(branch_target).map_err(|_| SnapshotError::Corrupt {
+                        what: "trace branch target overflows the address space",
+                    })?,
+                ),
+                _ => {
+                    return Err(SnapshotError::Corrupt {
+                        what: "undefined trace branch flag",
+                    })
+                }
+            };
+            self.trace_ring.push_back(TraceRecord {
+                cycle,
+                pc,
+                ops_executed,
+                ifetch_stall,
+                data_stall,
+                branch_taken,
+            });
+        }
+
+        let mut s = reader.section(*b"MEMS")?;
+        self.mem.load_state(&mut s)?;
+        Ok(())
     }
 
     /// Runs until the program halts or `max_cycles` elapse, converting

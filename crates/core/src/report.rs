@@ -1,6 +1,7 @@
 //! Human-readable run reports and crash-report rendering.
 
 use crate::pipeline::{RunStats, SimError, TraceRecord};
+use crate::snapshot::Snapshot;
 use std::fmt::Write as _;
 
 /// A post-mortem snapshot taken when a run ends in a [`SimError`].
@@ -28,6 +29,12 @@ pub struct CrashReport {
     /// The last few executed instructions, oldest first (ring buffer of
     /// up to [`ring_size`](Self::ring_size) records).
     pub trace: Vec<TraceRecord>,
+    /// A restorable snapshot of the machine at the moment of the error:
+    /// feed it to [`Machine::restore`](crate::Machine::restore) on a
+    /// machine built from the same configuration and image to
+    /// re-materialize and single-step the crash. `None` when the machine
+    /// never came to life (e.g. the image failed to decode).
+    pub snapshot: Option<Snapshot>,
 }
 
 impl std::fmt::Display for CrashReport {

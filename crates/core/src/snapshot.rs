@@ -1,0 +1,68 @@
+//! The opaque machine-snapshot handle.
+//!
+//! A [`Snapshot`] is the serialized complete mutable state of a
+//! [`Machine`](crate::Machine): registers, program counter and issue
+//! state, the writeback scoreboard, the trace ring and the whole memory
+//! system (flat memory, cache arrays, prefetch unit, DRAM channel,
+//! statistics). It is produced by [`Machine::snapshot`](crate::Machine::snapshot)
+//! and consumed by [`Machine::restore`](crate::Machine::restore); the
+//! bytes use the versioned container of `tm3270_encode::snapshot`
+//! (magic, format version, length-framed sections, checksum trailer),
+//! so a snapshot can be persisted, embedded in a crash report and
+//! re-materialized in another process — restore on arbitrary bytes
+//! degrades into a typed [`SnapshotError`], never a panic.
+
+pub use tm3270_encode::SnapshotError;
+
+/// The serialized complete mutable state of a machine. Opaque bytes in
+/// the versioned `TM3S` container; see the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    bytes: Vec<u8>,
+}
+
+impl Snapshot {
+    /// Wraps raw snapshot bytes (e.g. read back from a checkpoint file).
+    /// Validation happens at [`Machine::restore`](crate::Machine::restore)
+    /// time, not here.
+    pub fn from_bytes(bytes: Vec<u8>) -> Snapshot {
+        Snapshot { bytes }
+    }
+
+    /// The raw container bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the snapshot into its raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Size of the serialized snapshot in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the snapshot holds no bytes at all (a default-constructed
+    /// placeholder, never a valid machine state).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The snapshot as lowercase hex, for embedding in JSON documents.
+    pub fn to_hex(&self) -> String {
+        tm3270_encode::snapshot::to_hex(&self.bytes)
+    }
+
+    /// Parses the hex produced by [`to_hex`](Self::to_hex).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] on malformed hex.
+    pub fn from_hex(s: &str) -> Result<Snapshot, SnapshotError> {
+        Ok(Snapshot {
+            bytes: tm3270_encode::snapshot::from_hex(s)?,
+        })
+    }
+}

@@ -35,11 +35,16 @@
 mod bitio;
 mod format;
 mod program;
+pub mod snapshot;
 
 pub use bitio::{BitReader, BitWriter};
 pub use format::{preferred_code, SlotCode};
 pub use program::{
     decode_program, decode_program_detailed, encode_program, CodeStats, DecodeFault, EncodedProgram,
+};
+pub use snapshot::{
+    SectionReader, SectionWriter, SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
 };
 
 use std::error::Error;

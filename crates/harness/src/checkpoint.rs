@@ -1,0 +1,603 @@
+//! Durable, crash-recoverable sweeps: a checkpointing layer over the
+//! [`sweep`](crate::sweep::sweep) engine.
+//!
+//! A checkpointed sweep appends one JSON line per completed job to a
+//! checkpoint file, plus periodic `{"cursor":K}` lines recording the
+//! contiguous-complete prefix of the grid. Every line is flushed as it
+//! is written, so killing the process at any instant loses at most the
+//! line being written — and a truncated final line is tolerated on
+//! reload. [`sweep_resume`] re-reads the file, skips every finished
+//! job, runs only the remainder, and aggregates results **in job-id
+//! order**, so an interrupted-and-resumed sweep produces output
+//! byte-identical to an uninterrupted one at any thread count.
+//!
+//! File format (JSON lines, one object per line):
+//!
+//! ```text
+//! {"sweep_checkpoint":1,"total":44,"seed":1}        header (version, grid size, campaign seed)
+//! {"job":0,"ok":"<escaped payload>"}                a completed job
+//! {"job":3,"err":"Panicked","message":"..."}        a failed job (kind + message, attempts for retries)
+//! {"cursor":4}                                      all jobs below 4 are recorded
+//! ```
+//!
+//! The payload is whatever string the job produced (typically a JSON
+//! fragment); the engine treats it as opaque bytes.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use tm3270_fault::job_seed;
+use tm3270_obs::json::{escape, string_field, u64_field};
+
+use crate::sweep::{execute_job, JobCtx, JobError, SweepOptions};
+
+/// Format version stamped into (and required of) the header line.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// A `{"cursor":K}` line is appended whenever the contiguous-complete
+/// prefix has advanced by at least this many jobs since the last one.
+const CURSOR_STRIDE: usize = 16;
+
+/// Why a checkpoint file could not be written or reloaded.
+///
+/// Every failure mode is typed — a malformed or mismatched checkpoint
+/// never panics the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The checkpoint file could not be created, read or appended to.
+    Io {
+        /// What the engine was doing when the I/O failed.
+        what: &'static str,
+        /// The underlying `std::io::Error`, rendered.
+        message: String,
+    },
+    /// A line of the checkpoint file is malformed (other than a
+    /// truncated final line, which a crash legitimately produces and
+    /// reload tolerates).
+    Corrupt {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        what: &'static str,
+    },
+    /// The checkpoint header does not match this sweep (different
+    /// format version, grid size or campaign seed) — resuming it would
+    /// silently mix incompatible results.
+    Mismatch {
+        /// Which header field disagreed.
+        what: &'static str,
+        /// The value found in the file.
+        found: u64,
+        /// The value this sweep requires.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io { what, message } => {
+                write!(f, "checkpoint I/O failure while {what}: {message}")
+            }
+            CheckpointError::Corrupt { line, what } => {
+                write!(f, "corrupt checkpoint line {line}: {what}")
+            }
+            CheckpointError::Mismatch {
+                what,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "checkpoint {what} mismatch: found {found}, expected {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// What a checkpointed sweep produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointOutcome {
+    /// Per-job results in job-id order. `None` means the job has not
+    /// run yet (the sweep was bounded by `limit` and stopped early).
+    pub results: Vec<Option<Result<String, JobError>>>,
+    /// Jobs executed by this call.
+    pub executed: usize,
+    /// Jobs skipped because the checkpoint already recorded them.
+    pub resumed: usize,
+}
+
+impl CheckpointOutcome {
+    /// Whether every job in the grid has a recorded result.
+    pub fn is_complete(&self) -> bool {
+        self.results.iter().all(Option::is_some)
+    }
+}
+
+/// Renders one job record as its checkpoint line (no trailing newline).
+fn record_line(id: usize, result: &Result<String, JobError>) -> String {
+    match result {
+        Ok(payload) => format!("{{\"job\":{id},\"ok\":\"{}\"}}", escape(payload)),
+        Err(JobError::Panicked(msg)) => format!(
+            "{{\"job\":{id},\"err\":\"Panicked\",\"message\":\"{}\"}}",
+            escape(msg)
+        ),
+        Err(JobError::Failed(msg)) => format!(
+            "{{\"job\":{id},\"err\":\"Failed\",\"message\":\"{}\"}}",
+            escape(msg)
+        ),
+        Err(JobError::RetriedThenFailed { attempts, message }) => format!(
+            "{{\"job\":{id},\"err\":\"RetriedThenFailed\",\"attempts\":{attempts},\"message\":\"{}\"}}",
+            escape(message)
+        ),
+    }
+}
+
+/// Parses one job record line. `None` means "not a well-formed record"
+/// (the caller decides whether that is tolerable kill-truncation or
+/// corruption).
+fn parse_record(line: &str, total: usize) -> Option<(usize, Result<String, JobError>)> {
+    let id = u64_field(line, "job")? as usize;
+    if id >= total {
+        return None;
+    }
+    if let Some(payload) = string_field(line, "ok") {
+        return Some((id, Ok(payload)));
+    }
+    let kind = string_field(line, "err")?;
+    let message = string_field(line, "message")?;
+    let err = match kind.as_str() {
+        "Panicked" => JobError::Panicked(message),
+        "Failed" => JobError::Failed(message),
+        "RetriedThenFailed" => JobError::RetriedThenFailed {
+            attempts: u64_field(line, "attempts").unwrap_or(2) as u32,
+            message,
+        },
+        _ => return None,
+    };
+    Some((id, Err(err)))
+}
+
+/// Reloads a checkpoint file's records, validating the header against
+/// this sweep's `total` and `seed`. A truncated final line (the mark of
+/// a mid-write kill) is tolerated; any other malformed line is
+/// [`CheckpointError::Corrupt`].
+fn load_records(
+    text: &str,
+    total: usize,
+    seed: u64,
+) -> Result<Vec<Option<Result<String, JobError>>>, CheckpointError> {
+    let mut results: Vec<Option<Result<String, JobError>>> = vec![None; total];
+    let mut lines = text.lines().enumerate().peekable();
+    let Some((_, header)) = lines.next() else {
+        return Err(CheckpointError::Corrupt {
+            line: 1,
+            what: "missing header line",
+        });
+    };
+    let version = u64_field(header, "sweep_checkpoint").ok_or(CheckpointError::Corrupt {
+        line: 1,
+        what: "missing the sweep_checkpoint header",
+    })?;
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::Mismatch {
+            what: "format version",
+            found: version,
+            expected: CHECKPOINT_VERSION,
+        });
+    }
+    let file_total = u64_field(header, "total").ok_or(CheckpointError::Corrupt {
+        line: 1,
+        what: "header lacks the job total",
+    })?;
+    if file_total != total as u64 {
+        return Err(CheckpointError::Mismatch {
+            what: "job total",
+            found: file_total,
+            expected: total as u64,
+        });
+    }
+    let file_seed = u64_field(header, "seed").ok_or(CheckpointError::Corrupt {
+        line: 1,
+        what: "header lacks the campaign seed",
+    })?;
+    if file_seed != seed {
+        return Err(CheckpointError::Mismatch {
+            what: "campaign seed",
+            found: file_seed,
+            expected: seed,
+        });
+    }
+    while let Some((at, line)) = lines.next() {
+        let line_no = at + 1;
+        let last = lines.peek().is_none();
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some((id, result)) = parse_record(line, total) {
+            results[id] = Some(result);
+            continue;
+        }
+        if u64_field(line, "job").is_none() {
+            if let Some(cursor) = u64_field(line, "cursor") {
+                let cursor = cursor as usize;
+                if cursor > total {
+                    return Err(CheckpointError::Corrupt {
+                        line: line_no,
+                        what: "cursor beyond the job count",
+                    });
+                }
+                if results[..cursor].iter().any(Option::is_none) {
+                    return Err(CheckpointError::Corrupt {
+                        line: line_no,
+                        what: "cursor ahead of the recorded results",
+                    });
+                }
+                continue;
+            }
+        }
+        if last {
+            // A kill mid-append leaves exactly one cut-off line at the
+            // end of the file; the job it described simply re-runs.
+            break;
+        }
+        return Err(CheckpointError::Corrupt {
+            line: line_no,
+            what: "unparseable record",
+        });
+    }
+    Ok(results)
+}
+
+/// The append side of the checkpoint file: serialized record appends
+/// plus cursor maintenance, every line flushed before the append
+/// returns.
+struct Journal {
+    file: File,
+    done: Vec<bool>,
+    cursor: usize,
+    cursor_written: usize,
+}
+
+impl Journal {
+    fn append(&mut self, id: usize, line: &str) -> std::io::Result<()> {
+        writeln!(self.file, "{line}")?;
+        self.done[id] = true;
+        while self.cursor < self.done.len() && self.done[self.cursor] {
+            self.cursor += 1;
+        }
+        if self.cursor == self.done.len() || self.cursor >= self.cursor_written + CURSOR_STRIDE {
+            writeln!(self.file, "{{\"cursor\":{}}}", self.cursor)?;
+            self.cursor_written = self.cursor;
+        }
+        self.file.flush()
+    }
+}
+
+/// Runs a sweep whose progress is durably journaled to `path`.
+///
+/// * Fresh start (`resume` false, or no file at `path`): the file is
+///   created (truncating any previous contents) and a header naming the
+///   format version, job `total` and campaign seed is written.
+/// * Resume (`resume` true and the file exists): the file is reloaded
+///   — header mismatches and corrupt lines are typed
+///   [`CheckpointError`]s, a kill-truncated final line is tolerated —
+///   and only jobs without a recorded result are executed, with new
+///   records appended to the same file.
+///
+/// `limit` bounds how many jobs this call may execute (used by the
+/// kill-and-resume CI smoke and `--abort-after`); `None` runs all
+/// pending jobs. Jobs execute under the same engine as
+/// [`sweep`](crate::sweep::sweep) — panic isolation, optional bounded
+/// reseeded retry ([`SweepOptions::retry`]), deterministic per-job
+/// seeds — so a resumed sweep aggregates byte-identically to an
+/// uninterrupted one.
+pub fn sweep_with_checkpoint<F>(
+    total: usize,
+    opts: &SweepOptions,
+    path: &Path,
+    resume: bool,
+    limit: Option<usize>,
+    job: F,
+) -> Result<CheckpointOutcome, CheckpointError>
+where
+    F: Fn(&JobCtx) -> Result<String, String> + Sync,
+{
+    let resuming = resume && path.exists();
+    let mut results: Vec<Option<Result<String, JobError>>> = if resuming {
+        let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io {
+            what: "reading the checkpoint",
+            message: e.to_string(),
+        })?;
+        load_records(&text, total, opts.campaign_seed)?
+    } else {
+        vec![None; total]
+    };
+    let resumed = results.iter().filter(|r| r.is_some()).count();
+
+    let mut pending: Vec<usize> = (0..total).filter(|&id| results[id].is_none()).collect();
+    if let Some(limit) = limit {
+        pending.truncate(limit);
+    }
+
+    let file = if resuming {
+        OpenOptions::new().append(true).open(path)
+    } else {
+        File::create(path)
+    }
+    .map_err(|e| CheckpointError::Io {
+        what: "opening the checkpoint",
+        message: e.to_string(),
+    })?;
+    let mut journal = Journal {
+        file,
+        done: results.iter().map(Option::is_some).collect(),
+        cursor: 0,
+        cursor_written: 0,
+    };
+    while journal.cursor < total && journal.done[journal.cursor] {
+        journal.cursor += 1;
+    }
+    journal.cursor_written = journal.cursor;
+    if !resuming {
+        writeln!(
+            journal.file,
+            "{{\"sweep_checkpoint\":{CHECKPOINT_VERSION},\"total\":{total},\"seed\":{}}}",
+            opts.campaign_seed
+        )
+        .and_then(|_| journal.file.flush())
+        .map_err(|e| CheckpointError::Io {
+            what: "writing the checkpoint header",
+            message: e.to_string(),
+        })?;
+    }
+
+    if pending.is_empty() {
+        return Ok(CheckpointOutcome {
+            results,
+            executed: 0,
+            resumed,
+        });
+    }
+
+    let threads = opts.effective_threads(pending.len());
+    let next = AtomicUsize::new(0);
+    let journal = Mutex::new(journal);
+    let io_failure: Mutex<Option<CheckpointError>> = Mutex::new(None);
+    let slots: Vec<Mutex<Option<Result<String, JobError>>>> =
+        pending.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if io_failure.lock().expect("io failure lock").is_some() {
+                    break;
+                }
+                let at = next.fetch_add(1, Ordering::Relaxed);
+                if at >= pending.len() {
+                    break;
+                }
+                let id = pending[at];
+                let ctx = JobCtx {
+                    id,
+                    total,
+                    seed: job_seed(opts.campaign_seed, id as u64),
+                };
+                let result = execute_job(&ctx, opts, &job);
+                let line = record_line(id, &result);
+                if let Err(e) = journal
+                    .lock()
+                    .expect("checkpoint journal lock")
+                    .append(id, &line)
+                {
+                    let mut failure = io_failure.lock().expect("io failure lock");
+                    failure.get_or_insert(CheckpointError::Io {
+                        what: "appending a checkpoint record",
+                        message: e.to_string(),
+                    });
+                    break;
+                }
+                *slots[at].lock().expect("job slot lock") = Some(result);
+            });
+        }
+    });
+
+    if let Some(err) = io_failure.into_inner().expect("io failure lock") {
+        return Err(err);
+    }
+
+    let mut executed = 0;
+    for (at, &id) in pending.iter().enumerate() {
+        let slot = slots[at].lock().expect("job slot lock").take();
+        if let Some(result) = slot {
+            results[id] = Some(result);
+            executed += 1;
+        }
+    }
+    Ok(CheckpointOutcome {
+        results,
+        executed,
+        resumed,
+    })
+}
+
+/// Resumes (or starts) the checkpointed sweep journaled at `path` and
+/// runs every remaining job: shorthand for [`sweep_with_checkpoint`]
+/// with `resume` on and no execution limit.
+pub fn sweep_resume<F>(
+    total: usize,
+    opts: &SweepOptions,
+    path: &Path,
+    job: F,
+) -> Result<CheckpointOutcome, CheckpointError>
+where
+    F: Fn(&JobCtx) -> Result<String, String> + Sync,
+{
+    sweep_with_checkpoint(total, opts, path, true, None, job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tm3270_ckpt_{}_{name}.jsonl", std::process::id()))
+    }
+
+    fn payload_job(ctx: &JobCtx) -> Result<String, String> {
+        Ok(format!("{{\"id\":{},\"seed\":{}}}", ctx.id, ctx.seed))
+    }
+
+    #[test]
+    fn a_fresh_checkpointed_sweep_matches_the_plain_engine() {
+        let path = temp_path("fresh");
+        let opts = SweepOptions::new().threads(2).seed(11);
+        let out = sweep_with_checkpoint(10, &opts, &path, false, None, payload_job).unwrap();
+        assert!(out.is_complete());
+        assert_eq!((out.executed, out.resumed), (10, 0));
+        let plain = crate::sweep::sweep(10, &opts, payload_job);
+        for (id, r) in plain.iter().enumerate() {
+            assert_eq!(out.results[id].as_ref().unwrap(), r);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn an_interrupted_sweep_resumes_without_rerunning_finished_jobs() {
+        let path = temp_path("resume");
+        let opts = SweepOptions::new().threads(1).seed(7);
+        let part = sweep_with_checkpoint(10, &opts, &path, false, Some(4), payload_job).unwrap();
+        assert!(!part.is_complete());
+        assert_eq!((part.executed, part.resumed), (4, 0));
+        let rest = sweep_resume(10, &opts, &path, payload_job).unwrap();
+        assert!(rest.is_complete());
+        assert_eq!((rest.executed, rest.resumed), (6, 4));
+        let again = sweep_resume(10, &opts, &path, |_| {
+            Err("must not run: everything is checkpointed".to_string())
+        })
+        .unwrap();
+        assert_eq!((again.executed, again.resumed), (0, 10));
+        let plain = crate::sweep::sweep(10, &opts, payload_job);
+        for (id, r) in plain.iter().enumerate() {
+            assert_eq!(again.results[id].as_ref().unwrap(), r);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn error_records_survive_a_resume() {
+        let path = temp_path("errors");
+        let opts = SweepOptions::new().threads(1).seed(3).retry(true);
+        let job = |ctx: &JobCtx| -> Result<String, String> {
+            match ctx.id {
+                1 => panic!("always broken"),
+                2 => Err("typed failure".to_string()),
+                id => Ok(format!("{id}")),
+            }
+        };
+        let first = sweep_with_checkpoint(4, &opts, &path, false, None, job).unwrap();
+        assert!(matches!(
+            first.results[1],
+            Some(Err(JobError::RetriedThenFailed { attempts: 2, .. }))
+        ));
+        let resumed = sweep_resume(4, &opts, &path, |_| Err("must not run".to_string())).unwrap();
+        assert_eq!((resumed.executed, resumed.resumed), (0, 4));
+        assert_eq!(resumed.results, first.results);
+        match &resumed.results[1] {
+            Some(Err(JobError::RetriedThenFailed { attempts, message })) => {
+                assert_eq!(*attempts, 2);
+                assert!(message.contains("always broken"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            resumed.results[2],
+            Some(Err(JobError::Failed("typed failure".to_string())))
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn header_mismatches_are_typed_errors() {
+        let path = temp_path("mismatch");
+        let opts = SweepOptions::new().threads(1).seed(5);
+        sweep_with_checkpoint(6, &opts, &path, false, Some(2), payload_job).unwrap();
+        let err = sweep_resume(6, &opts.clone().seed(9), &path, payload_job).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::Mismatch {
+                what: "campaign seed",
+                found: 5,
+                expected: 9,
+            }
+        );
+        let err = sweep_resume(7, &opts, &path, payload_job).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::Mismatch {
+                what: "job total",
+                ..
+            }
+        ));
+        // A future format version is refused, not misread.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let bumped = text.replacen("\"sweep_checkpoint\":1", "\"sweep_checkpoint\":2", 1);
+        std::fs::write(&path, bumped).unwrap();
+        let err = sweep_resume(6, &opts, &path, payload_job).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::Mismatch {
+                what: "format version",
+                found: 2,
+                expected: 1,
+            }
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_kill_truncated_final_line_is_tolerated_but_corruption_is_not() {
+        let path = temp_path("truncated");
+        let opts = SweepOptions::new().threads(1).seed(2);
+        sweep_with_checkpoint(5, &opts, &path, false, Some(3), payload_job).unwrap();
+        // Chop the file mid-way through its final record, as a kill
+        // during the append would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.trim_end().rfind('\n').unwrap() + 5;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let out = sweep_resume(5, &opts, &path, payload_job).unwrap();
+        assert!(out.is_complete(), "the cut-off job simply re-ran");
+        let plain = crate::sweep::sweep(5, &opts, payload_job);
+        for (id, r) in plain.iter().enumerate() {
+            assert_eq!(out.results[id].as_ref().unwrap(), r);
+        }
+        // A malformed line *before* the end is corruption.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{\"job\":garbage}";
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let err = sweep_resume(5, &opts, &path, payload_job).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Corrupt { line: 2, .. }),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn an_empty_grid_completes_immediately() {
+        let path = temp_path("empty");
+        let out = sweep_with_checkpoint(0, &SweepOptions::new(), &path, false, None, payload_job)
+            .unwrap();
+        assert!(out.is_complete());
+        assert_eq!((out.executed, out.resumed), (0, 0));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -23,6 +23,10 @@
 //!   a typed error entry while the rest of the sweep completes;
 //! * [`Grid`] — dense enumeration of (workload × config × seed) tuples
 //!   as job ids;
+//! * [`sweep_with_checkpoint`] / [`sweep_resume`] — the durable layer:
+//!   every completed job is journaled to an append-only checkpoint
+//!   file, so a killed sweep resumes where it stopped and still
+//!   aggregates byte-identically to an uninterrupted run;
 //! * [`run_program`] / [`run_program_with`] — the single-run helper
 //!   (build → seed → run → inspect) the kernels and benches share,
 //!   built on [`Machine::run_with`](tm3270_core::Machine::run_with).
@@ -48,9 +52,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod checkpoint;
 mod quick;
 mod sweep;
 
+pub use checkpoint::{
+    sweep_resume, sweep_with_checkpoint, CheckpointError, CheckpointOutcome, CHECKPOINT_VERSION,
+};
 pub use quick::{run_program, run_program_with, DEFAULT_PROGRAM_BUDGET};
 pub use sweep::{sweep, Grid, GridPoint, JobCtx, JobError, SweepOptions};
 pub use tm3270_fault::job_seed;

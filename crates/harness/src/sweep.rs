@@ -32,6 +32,14 @@ pub struct SweepOptions {
     /// Progress label: when set (and stderr is a terminal), a live
     /// `label: done/total jobs` line is maintained on stderr.
     pub progress: Option<&'static str>,
+    /// Bounded retry of poisoned jobs: when set, a job that panics is
+    /// run once more with a seed derived from its own (so a
+    /// seed-dependent crash gets a genuinely different input), and only
+    /// a second panic is recorded — as
+    /// [`JobError::RetriedThenFailed`]. Off by default: retrying changes
+    /// which seed produced a surviving result, so deterministic
+    /// campaigns opt in explicitly.
+    pub retry: bool,
 }
 
 impl Default for SweepOptions {
@@ -41,12 +49,14 @@ impl Default for SweepOptions {
 }
 
 impl SweepOptions {
-    /// Defaults: all available cores, campaign seed 0, no progress line.
+    /// Defaults: all available cores, campaign seed 0, no progress line,
+    /// no retry.
     pub fn new() -> SweepOptions {
         SweepOptions {
             threads: 0,
             campaign_seed: 0,
             progress: None,
+            retry: false,
         }
     }
 
@@ -65,6 +75,13 @@ impl SweepOptions {
     /// Enables the stderr progress line under `label`.
     pub fn progress(mut self, label: &'static str) -> SweepOptions {
         self.progress = Some(label);
+        self
+    }
+
+    /// Enables the bounded reseeded retry of poisoned jobs (see
+    /// [`SweepOptions::retry`]).
+    pub fn retry(mut self, retry: bool) -> SweepOptions {
+        self.retry = retry;
         self
     }
 
@@ -100,6 +117,14 @@ pub enum JobError {
     Panicked(String),
     /// The job returned a typed failure.
     Failed(String),
+    /// The job panicked, was retried once with a derived reseed
+    /// ([`SweepOptions::retry`]), and panicked again.
+    RetriedThenFailed {
+        /// Total attempts made (the original plus retries).
+        attempts: u32,
+        /// The panic messages, original first.
+        message: String,
+    },
 }
 
 impl JobError {
@@ -108,6 +133,7 @@ impl JobError {
         match self {
             JobError::Panicked(_) => "Panicked",
             JobError::Failed(_) => "Failed",
+            JobError::RetriedThenFailed { .. } => "RetriedThenFailed",
         }
     }
 }
@@ -117,6 +143,9 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
             JobError::Failed(msg) => write!(f, "job failed: {msg}"),
+            JobError::RetriedThenFailed { attempts, message } => {
+                write!(f, "job panicked in all {attempts} attempts: {message}")
+            }
         }
     }
 }
@@ -132,6 +161,41 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+/// Seed-stream index used to derive a poisoned job's retry seed from
+/// its original seed (any fixed non-zero constant works; this one
+/// spells "RETRY1").
+const RETRY_STREAM: u64 = 0x5245_5452_5931;
+
+/// One job execution with panic isolation and, when
+/// [`SweepOptions::retry`] is set, a single reseeded retry of a
+/// poisoned job. Shared by [`sweep`] and the checkpointing engine so
+/// both honour the same semantics.
+pub(crate) fn execute_job<T, F>(ctx: &JobCtx, opts: &SweepOptions, job: &F) -> Result<T, JobError>
+where
+    F: Fn(&JobCtx) -> Result<T, String> + Sync,
+{
+    let first = match catch_unwind(AssertUnwindSafe(|| job(ctx))) {
+        Ok(Ok(value)) => return Ok(value),
+        Ok(Err(msg)) => return Err(JobError::Failed(msg)),
+        Err(payload) => panic_message(payload),
+    };
+    if !opts.retry {
+        return Err(JobError::Panicked(first));
+    }
+    let retry_ctx = JobCtx {
+        seed: job_seed(ctx.seed, RETRY_STREAM),
+        ..*ctx
+    };
+    match catch_unwind(AssertUnwindSafe(|| job(&retry_ctx))) {
+        Ok(Ok(value)) => Ok(value),
+        Ok(Err(msg)) => Err(JobError::Failed(msg)),
+        Err(payload) => Err(JobError::RetriedThenFailed {
+            attempts: 2,
+            message: format!("{first}; on retry: {}", panic_message(payload)),
+        }),
     }
 }
 
@@ -170,12 +234,7 @@ where
                     total,
                     seed: job_seed(opts.campaign_seed, id as u64),
                 };
-                let outcome = catch_unwind(AssertUnwindSafe(|| job(&ctx)));
-                let result = match outcome {
-                    Ok(Ok(value)) => Ok(value),
-                    Ok(Err(msg)) => Err(JobError::Failed(msg)),
-                    Err(payload) => Err(JobError::Panicked(panic_message(payload))),
-                };
+                let result = execute_job(&ctx, opts, &job);
                 *slots[id].lock().expect("job slot lock") = Some(result);
                 done.fetch_add(1, Ordering::Release);
             });
@@ -348,6 +407,53 @@ mod tests {
         assert_ne!(a, c, "seeds depend on the campaign seed");
         let uniq: std::collections::HashSet<_> = a.iter().map(|r| *r.as_ref().unwrap()).collect();
         assert_eq!(uniq.len(), 8, "every job gets its own seed");
+    }
+
+    #[test]
+    fn retry_reseeds_a_poisoned_job_once() {
+        let original = job_seed(7, 2);
+        let results = sweep(
+            5,
+            &SweepOptions::new().threads(2).seed(7).retry(true),
+            |ctx| {
+                if ctx.id == 2 && ctx.seed == original {
+                    panic!("flaky on the original seed");
+                }
+                Ok(ctx.seed)
+            },
+        );
+        let recovered = results[2].as_ref().expect("retry recovered the job");
+        assert_ne!(*recovered, original, "the retry ran with a derived seed");
+        assert_eq!(*recovered, job_seed(original, RETRY_STREAM));
+        for (id, result) in results.iter().enumerate() {
+            if id != 2 {
+                assert_eq!(*result.as_ref().unwrap(), job_seed(7, id as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn a_job_that_panics_twice_is_retried_then_failed() {
+        let results = sweep(
+            3,
+            &SweepOptions::new().threads(1).seed(3).retry(true),
+            |ctx| {
+                if ctx.id == 1 {
+                    panic!("always broken");
+                }
+                Ok(())
+            },
+        );
+        match &results[1] {
+            Err(err @ JobError::RetriedThenFailed { attempts, message }) => {
+                assert_eq!(*attempts, 2);
+                assert!(message.contains("always broken"), "{message}");
+                assert_eq!(err.kind(), "RetriedThenFailed");
+                assert!(err.to_string().contains("all 2 attempts"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(results[0].is_ok() && results[2].is_ok());
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! implementation (pinned by `tests/tests/cache_differential.rs` and
 //! the engine-equivalence golden cells).
 
+use tm3270_encode::{SectionReader, SectionWriter, SnapshotError};
+
 /// Maximum line size the fixed validity bitmask supports, in bytes. The
 /// paper machines use 64/128-byte lines; the ablation studies sweep up
 /// to 256.
@@ -588,6 +590,101 @@ impl CacheArray {
     /// Cache statistics.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Serializes the mutable array state — LRU clock, statistics and
+    /// every line's tag/flags/recency/byte-validity — into a snapshot
+    /// section. The search hints (last-line memo, MRU ways) are *not*
+    /// saved: they never change observable behaviour, so restore simply
+    /// starts them cold.
+    pub fn save_state(&self, w: &mut SectionWriter<'_>) {
+        w.u64(self.tick);
+        self.stats.save_state(w);
+        w.u64(self.lines.len() as u64);
+        for l in &self.lines {
+            w.u32(l.tag);
+            w.u8(u8::from(l.valid) | (u8::from(l.dirty) << 1) | (u8::from(l.prefetched) << 2));
+            w.u64(l.lru);
+            for word in l.valid_bytes.w {
+                w.u64(word);
+            }
+        }
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) into an
+    /// array of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on truncation, a line count that does not match
+    /// this geometry, or undefined flag bits. The array state is
+    /// unspecified after an error.
+    pub fn load_state(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        self.tick = r.u64("cache tick")?;
+        self.stats = CacheStats::load_state(r)?;
+        if r.u64("cache line count")? != self.lines.len() as u64 {
+            return Err(SnapshotError::Corrupt {
+                what: "cache line count does not match the geometry",
+            });
+        }
+        for l in &mut self.lines {
+            l.tag = r.u32("cache line tag")?;
+            let flags = r.u8("cache line flags")?;
+            if flags & !0b111 != 0 {
+                return Err(SnapshotError::Corrupt {
+                    what: "undefined cache line flag bits",
+                });
+            }
+            l.valid = flags & 0b001 != 0;
+            l.dirty = flags & 0b010 != 0;
+            l.prefetched = flags & 0b100 != 0;
+            l.lru = r.u64("cache line lru")?;
+            for word in &mut l.valid_bytes.w {
+                *word = r.u64("cache line validity mask")?;
+            }
+        }
+        self.memo_base = NO_MEMO;
+        self.memo_idx = 0;
+        self.mru_way.fill(0);
+        Ok(())
+    }
+}
+
+impl CacheStats {
+    /// Serializes the statistics into a snapshot section.
+    pub fn save_state(&self, w: &mut SectionWriter<'_>) {
+        for v in [
+            self.hits,
+            self.partial_hits,
+            self.misses,
+            self.fills,
+            self.refill_merges,
+            self.allocations,
+            self.copybacks,
+            self.copyback_bytes,
+            self.prefetch_hits,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Reads statistics saved by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if the section runs out.
+    pub fn load_state(r: &mut SectionReader<'_>) -> Result<CacheStats, SnapshotError> {
+        Ok(CacheStats {
+            hits: r.u64("cache stats")?,
+            partial_hits: r.u64("cache stats")?,
+            misses: r.u64("cache stats")?,
+            fills: r.u64("cache stats")?,
+            refill_merges: r.u64("cache stats")?,
+            allocations: r.u64("cache stats")?,
+            copybacks: r.u64("cache stats")?,
+            copyback_bytes: r.u64("cache stats")?,
+            prefetch_hits: r.u64("cache stats")?,
+        })
     }
 }
 

@@ -142,6 +142,57 @@ impl Dram {
     pub fn stats(&self) -> DramStats {
         self.stats
     }
+
+    /// Serializes the mutable channel state (the free-at horizon and the
+    /// statistics) into a snapshot section. The clock-ratio fields are
+    /// pure functions of the configuration and are rebuilt, not saved.
+    pub fn save_state(&self, w: &mut tm3270_encode::SectionWriter<'_>) {
+        w.f64(self.free_at);
+        self.stats.save_state(w);
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) into a
+    /// channel built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`tm3270_encode::SnapshotError::Truncated`] if the section runs
+    /// out.
+    pub fn load_state(
+        &mut self,
+        r: &mut tm3270_encode::SectionReader<'_>,
+    ) -> Result<(), tm3270_encode::SnapshotError> {
+        self.free_at = r.f64("dram free_at")?;
+        self.stats = DramStats::load_state(r)?;
+        Ok(())
+    }
+}
+
+impl DramStats {
+    /// Serializes the statistics into a snapshot section.
+    pub fn save_state(&self, w: &mut tm3270_encode::SectionWriter<'_>) {
+        w.u64(self.transfers);
+        w.u64(self.demand_transfers);
+        w.u64(self.bytes);
+        w.f64(self.busy_cpu_cycles);
+    }
+
+    /// Reads statistics saved by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`tm3270_encode::SnapshotError::Truncated`] if the section runs
+    /// out.
+    pub fn load_state(
+        r: &mut tm3270_encode::SectionReader<'_>,
+    ) -> Result<DramStats, tm3270_encode::SnapshotError> {
+        Ok(DramStats {
+            transfers: r.u64("dram stats")?,
+            demand_transfers: r.u64("dram stats")?,
+            bytes: r.u64("dram stats")?,
+            busy_cpu_cycles: r.f64("dram stats")?,
+        })
+    }
 }
 
 #[cfg(test)]

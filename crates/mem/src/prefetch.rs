@@ -193,6 +193,92 @@ impl PrefetchUnit {
     pub fn stats(&self) -> PrefetchStats {
         self.stats
     }
+
+    /// Serializes the mutable unit state — region registers, request
+    /// queue, in-flight transfers and statistics — into a snapshot
+    /// section. The queue capacity is configuration, not state.
+    pub fn save_state(&self, w: &mut tm3270_encode::SectionWriter<'_>) {
+        for r in &self.regions {
+            w.u32(r.start);
+            w.u32(r.end);
+            w.u32(r.stride);
+        }
+        w.u64(self.queue.len() as u64);
+        for &base in &self.queue {
+            w.u32(base);
+        }
+        w.u64(self.in_flight.len() as u64);
+        for &(base, completion) in &self.in_flight {
+            w.u32(base);
+            w.f64(completion);
+        }
+        self.stats.save_state(w);
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) into a
+    /// unit built with the same queue capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`tm3270_encode::SnapshotError`] on truncation or a queue longer
+    /// than this unit's capacity. The unit state is unspecified after an
+    /// error.
+    pub fn load_state(
+        &mut self,
+        r: &mut tm3270_encode::SectionReader<'_>,
+    ) -> Result<(), tm3270_encode::SnapshotError> {
+        for region in &mut self.regions {
+            region.start = r.u32("prefetch region")?;
+            region.end = r.u32("prefetch region")?;
+            region.stride = r.u32("prefetch region")?;
+        }
+        let queued = r.u64("prefetch queue length")?;
+        if queued > self.capacity as u64 {
+            return Err(tm3270_encode::SnapshotError::Corrupt {
+                what: "prefetch queue longer than its capacity",
+            });
+        }
+        self.queue.clear();
+        for _ in 0..queued {
+            self.queue.push_back(r.u32("prefetch queue entry")?);
+        }
+        let in_flight = r.u64("prefetch in-flight count")?;
+        self.in_flight.clear();
+        for _ in 0..in_flight {
+            let base = r.u32("prefetch in-flight entry")?;
+            let completion = r.f64("prefetch in-flight entry")?;
+            self.in_flight.push((base, completion));
+        }
+        self.stats = PrefetchStats::load_state(r)?;
+        Ok(())
+    }
+}
+
+impl PrefetchStats {
+    /// Serializes the statistics into a snapshot section.
+    pub fn save_state(&self, w: &mut tm3270_encode::SectionWriter<'_>) {
+        w.u64(self.region_matches);
+        w.u64(self.issued);
+        w.u64(self.filtered);
+        w.u64(self.dropped);
+    }
+
+    /// Reads statistics saved by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`tm3270_encode::SnapshotError::Truncated`] if the section runs
+    /// out.
+    pub fn load_state(
+        r: &mut tm3270_encode::SectionReader<'_>,
+    ) -> Result<PrefetchStats, tm3270_encode::SnapshotError> {
+        Ok(PrefetchStats {
+            region_matches: r.u64("prefetch stats")?,
+            issued: r.u64("prefetch stats")?,
+            filtered: r.u64("prefetch stats")?,
+            dropped: r.u64("prefetch stats")?,
+        })
+    }
 }
 
 #[cfg(test)]

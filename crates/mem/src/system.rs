@@ -10,6 +10,7 @@
 use crate::cache::{CacheArray, CacheGeometry, CacheStats, Lookup};
 use crate::dram::{Dram, DramConfig, DramStats, Priority};
 use crate::prefetch::{PrefetchStats, PrefetchUnit, Region};
+use tm3270_encode::{SectionReader, SectionWriter, SnapshotError};
 use tm3270_isa::{CacheOp, DataMemory, FlatMemory, PfParam};
 use tm3270_obs::{CacheId, CacheOutcome, MemTxKind, SinkHandle, TraceEvent};
 
@@ -501,6 +502,125 @@ impl MemorySystem {
             prefetch: self.prefetch.stats(),
             dram: self.dram.stats(),
         }
+    }
+
+    /// Serializes the complete mutable state of the memory system —
+    /// backing memory, both cache arrays, prefetch unit, DRAM channel,
+    /// write-buffer occupancy and statistics — into one snapshot
+    /// section. The flat memory is trailing-zero trimmed: only the bytes
+    /// up to the last non-zero one are stored, which keeps snapshots of
+    /// the default 16 MB address space proportional to the touched
+    /// footprint.
+    pub fn save_state(&self, w: &mut SectionWriter<'_>) {
+        let data = self.flat.as_slice();
+        let stored = data.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+        w.u64(data.len() as u64);
+        w.u64(stored as u64);
+        w.bytes(&data[..stored]);
+        w.f64(self.now);
+        w.f64(self.stall);
+        w.f64(self.cwb_pending);
+        w.f64(self.cwb_last);
+        self.stats.save_state(w);
+        self.dcache.save_state(w);
+        self.icache.save_state(w);
+        self.prefetch.save_state(w);
+        self.dram.save_state(w);
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) into a
+    /// system built from the same configuration. The trace sink and the
+    /// configuration itself are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on truncation or a mismatch against this
+    /// system's configuration (memory size, cache geometry, queue
+    /// capacity). The system state is unspecified after an error.
+    pub fn load_state(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        if r.u64("memory size")? != self.flat.len() as u64 {
+            return Err(SnapshotError::Corrupt {
+                what: "memory size does not match the configuration",
+            });
+        }
+        let stored = r.u64("stored memory length")?;
+        if stored > self.flat.len() as u64 {
+            return Err(SnapshotError::Corrupt {
+                what: "stored memory exceeds the memory size",
+            });
+        }
+        let stored = stored as usize;
+        let src = r.bytes(stored, "memory contents")?;
+        let dst = self.flat.as_mut_slice();
+        dst[..stored].copy_from_slice(src);
+        dst[stored..].fill(0);
+        self.now = r.f64("memory clock")?;
+        self.stall = r.f64("memory stall")?;
+        self.cwb_pending = r.f64("write buffer occupancy")?;
+        self.cwb_last = r.f64("write buffer drain time")?;
+        self.stats = MemStats::load_state(r)?;
+        self.dcache.load_state(r)?;
+        self.icache.load_state(r)?;
+        self.prefetch.load_state(r)?;
+        self.dram.load_state(r)?;
+        Ok(())
+    }
+}
+
+impl MemStats {
+    /// Serializes the statistics into a snapshot section.
+    pub fn save_state(&self, w: &mut SectionWriter<'_>) {
+        w.u64(self.loads);
+        w.u64(self.stores);
+        w.f64(self.data_stall_cycles);
+        w.f64(self.prefetch_wait_cycles);
+        w.f64(self.instr_stall_cycles);
+        w.u64(self.ifetches);
+        w.u64(self.line_crossers);
+    }
+
+    /// Reads statistics saved by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if the section runs out.
+    pub fn load_state(r: &mut SectionReader<'_>) -> Result<MemStats, SnapshotError> {
+        Ok(MemStats {
+            loads: r.u64("mem stats")?,
+            stores: r.u64("mem stats")?,
+            data_stall_cycles: r.f64("mem stats")?,
+            prefetch_wait_cycles: r.f64("mem stats")?,
+            instr_stall_cycles: r.f64("mem stats")?,
+            ifetches: r.u64("mem stats")?,
+            line_crossers: r.u64("mem stats")?,
+        })
+    }
+}
+
+impl FullStats {
+    /// Serializes the aggregate into a snapshot section (used for the
+    /// `RunStats` embedded in a machine snapshot).
+    pub fn save_state(&self, w: &mut SectionWriter<'_>) {
+        self.mem.save_state(w);
+        self.dcache.save_state(w);
+        self.icache.save_state(w);
+        self.prefetch.save_state(w);
+        self.dram.save_state(w);
+    }
+
+    /// Reads an aggregate saved by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if the section runs out.
+    pub fn load_state(r: &mut SectionReader<'_>) -> Result<FullStats, SnapshotError> {
+        Ok(FullStats {
+            mem: MemStats::load_state(r)?,
+            dcache: CacheStats::load_state(r)?,
+            icache: CacheStats::load_state(r)?,
+            prefetch: PrefetchStats::load_state(r)?,
+            dram: DramStats::load_state(r)?,
+        })
     }
 }
 

@@ -43,6 +43,82 @@ pub fn number(v: f64) -> String {
     }
 }
 
+/// Reverses [`escape`]: decodes the JSON string escape set (everything
+/// `escape` emits, plus `\/`, `\b` and `\f` for generality). Returns
+/// `None` on a malformed literal. Surrogate pairs are not decoded —
+/// [`escape`] never produces them.
+pub fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'b' => out.push('\u{8}'),
+            'f' => out.push('\u{c}'),
+            'u' => {
+                let mut v = 0u32;
+                for _ in 0..4 {
+                    v = v * 16 + chars.next()?.to_digit(16)?;
+                }
+                out.push(char::from_u32(v)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Positions just past `"key":` in a flat JSON document. Inside
+/// well-formed JSON the raw byte sequence `"key":` cannot occur within
+/// a string value (a quote there is escaped as `\"`), so plain
+/// substring search finds only the real field.
+fn field_start<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{}\":", escape(key));
+    let at = doc.find(&needle)?;
+    Some(doc[at + needle.len()..].trim_start())
+}
+
+/// Extracts and decodes the string value of field `key` from a flat
+/// JSON document (the checkpoint and crash-report files this workspace
+/// writes). Returns `None` if the field is absent or not a well-formed
+/// string.
+pub fn string_field(doc: &str, key: &str) -> Option<String> {
+    let rest = field_start(doc, key)?.strip_prefix('"')?;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '"' => return unescape(&rest[..i]),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts the unsigned-integer value of field `key` from a flat JSON
+/// document. Returns `None` if the field is absent or not an unsigned
+/// integer.
+pub fn u64_field(doc: &str, key: &str) -> Option<u64> {
+    let rest = field_start(doc, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +135,37 @@ mod tests {
         assert_eq!(number(3.0), "3");
         assert_eq!(number(3.25), "3.25");
         assert_eq!(number(f64::NAN), "0");
+    }
+
+    #[test]
+    fn unescape_inverts_escape() {
+        for s in ["plain", "a\"b\\c\nd\r\t", "\u{1}\u{1f}", "mixed \"x\"\n"] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s));
+        }
+        assert_eq!(unescape("\\q"), None, "unknown escape");
+        assert_eq!(unescape("\\u00g1"), None, "bad hex");
+        assert_eq!(unescape("trailing\\"), None, "cut-off escape");
+    }
+
+    #[test]
+    fn field_scanners_find_fields_in_flat_docs() {
+        let doc = r#"{"job":17,"ok":"line \"quoted\"\nnext","count":0}"#;
+        assert_eq!(u64_field(doc, "job"), Some(17));
+        assert_eq!(u64_field(doc, "count"), Some(0));
+        assert_eq!(
+            string_field(doc, "ok").as_deref(),
+            Some("line \"quoted\"\nnext")
+        );
+        assert_eq!(u64_field(doc, "absent"), None);
+        assert_eq!(string_field(doc, "job"), None, "not a string field");
+        assert_eq!(u64_field(doc, "ok"), None, "not a number field");
+    }
+
+    #[test]
+    fn embedded_field_like_text_inside_values_is_not_matched() {
+        // Inside a string value a quote is escaped, so the raw needle
+        // `"job":` can only match the real field.
+        let doc = r#"{"msg":"the \"job\": nope","job":5}"#;
+        assert_eq!(u64_field(doc, "job"), Some(5));
     }
 }

@@ -1,0 +1,94 @@
+//! Kill-and-resume integration: a checkpointed fault campaign that is
+//! interrupted partway and resumed — at any thread count — must emit a
+//! summary byte-identical to an uninterrupted serial run's. This is the
+//! cross-crate proof that the checkpoint journal (harness), the payload
+//! round-trip and sample-crash regeneration (bench) and the snapshot
+//! machinery behind the crash reports compose without breaking the
+//! repository's determinism contract.
+
+use std::path::PathBuf;
+
+use tm3270_bench::campaign::{run_campaign, run_campaign_checkpointed, CampaignOptions};
+use tm3270_harness::{CheckpointError, SweepOptions};
+
+fn opts(runs: u64, seed: u64, threads: usize) -> CampaignOptions {
+    CampaignOptions {
+        runs,
+        sweep: SweepOptions::new().seed(seed).threads(threads),
+        verbose: false,
+    }
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tm3270_resume_{}_{name}.jsonl", std::process::id()))
+}
+
+#[test]
+fn interrupted_campaigns_resume_byte_identically_at_any_thread_count() {
+    let reference = run_campaign(&opts(60, 9, 1));
+    let expected = reference.to_json();
+    for threads in [1usize, 2, 8] {
+        let path = temp_path(&format!("t{threads}"));
+        let o = opts(60, 9, threads);
+        let aborted = run_campaign_checkpointed(&o, &path, false, Some(22)).unwrap();
+        assert!(
+            aborted.is_none(),
+            "threads {threads}: abort left it incomplete"
+        );
+        let resumed = run_campaign_checkpointed(&o, &path, true, None)
+            .unwrap()
+            .expect("the resume finishes the campaign");
+        assert_eq!(
+            resumed.to_json(),
+            expected,
+            "threads {threads}: resumed JSON diverged from the serial run"
+        );
+        assert_eq!(resumed.report(), reference.report(), "threads {threads}");
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn a_checkpoint_from_a_different_campaign_is_refused() {
+    let path = temp_path("mismatch");
+    run_campaign_checkpointed(&opts(30, 4, 2), &path, false, Some(10)).unwrap();
+    // Wrong seed.
+    let err = run_campaign_checkpointed(&opts(30, 5, 2), &path, true, None).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CheckpointError::Mismatch {
+                what: "campaign seed",
+                ..
+            }
+        ),
+        "{err}"
+    );
+    // Wrong run count.
+    let err = run_campaign_checkpointed(&opts(31, 4, 2), &path, true, None).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CheckpointError::Mismatch {
+                what: "job total",
+                ..
+            }
+        ),
+        "{err}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn a_completed_checkpoint_resumes_without_executing_anything() {
+    let path = temp_path("noop");
+    let o = opts(30, 4, 2);
+    run_campaign_checkpointed(&o, &path, false, None).unwrap();
+    // Resume of a finished campaign re-reads the journal; only the
+    // sample crash is regenerated, so it stays byte-identical.
+    let again = run_campaign_checkpointed(&o, &path, true, None)
+        .unwrap()
+        .expect("already complete");
+    assert_eq!(again.to_json(), run_campaign(&o).to_json());
+    let _ = std::fs::remove_file(&path);
+}
