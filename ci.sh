@@ -87,4 +87,24 @@ echo "$profile_json" | grep -q '"buckets"' || {
 python3 -c "import json,sys; json.load(open('/tmp/tm3270_profile_trace.json'))" 2>/dev/null \
   || echo "note: python3 unavailable or trace invalid; JSON checked by cargo tests"
 
+echo "== hot-spot / timeline smoke (memset + rgb2yuv, conservation-validated) =="
+# repro_profile itself exits 1 on a conservation violation; the validator
+# example re-checks the JSON shape and the sums from the outside with the
+# tm3270_obs::json scanners (block cycles == RunStats.cycles, timeline
+# deltas == final totals).
+cargo run --release -q -p tm3270-bench --bin repro_profile -- \
+  --workload memset --workload rgb2yuv --hotspots --timeline 1000 --json \
+  > /tmp/tm3270_hotspots.json
+cargo run --release -q -p tm3270-bench --example validate_profile_json -- \
+  memset rgb2yuv < /tmp/tm3270_hotspots.json || {
+  echo "FAIL: hot-spot/timeline JSON failed shape or conservation validation"; exit 1; }
+
+echo "== sweep telemetry smoke (opt-in, default output unchanged) =="
+telemetry_json=$(cargo run --release -q -p tm3270-bench --bin repro_fault_campaign -- \
+  --seed 1 --runs 50 --threads 2 --json --telemetry)
+echo "$telemetry_json" | grep -q '"sweep_report"' || {
+  echo "FAIL: --telemetry produced no sweep_report section"; exit 1; }
+echo "$telemetry_json" | grep -q '"inflight_high_water"' || {
+  echo "FAIL: sweep_report missing inflight_high_water"; exit 1; }
+
 echo "CI OK"

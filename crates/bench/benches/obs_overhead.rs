@@ -7,9 +7,12 @@
 //!   emission site is one not-taken branch. This is the path ordinary
 //!   (untraced) runs pay, and the ≤2 % budget applies to it.
 //! * `null` — a [`NullSink`] attached: every site pays the branch, the
-//!   event construction and a dynamic dispatch, then discards the
-//!   event. An upper bound on the disabled path's cost.
+//!   event construction and a batched (one dynamic dispatch per
+//!   [`EMIT_BATCH`](tm3270_obs::EMIT_BATCH) events) discard. An upper
+//!   bound on the disabled path's cost.
 //! * `counter` — a [`CounterSink`] attached (what `repro_profile` pays).
+//! * `profile` — a [`ProfileSink`] attached (what
+//!   `repro_profile --hotspots` pays for per-PC attribution).
 //!
 //! Prints one human line per workload plus a final `BENCH_obs` JSON
 //! line suitable for `BENCH_obs.json` at the repository root.
@@ -22,13 +25,14 @@ use tm3270_core::{Machine, MachineConfig};
 use tm3270_kernels::memops::Memcpy;
 use tm3270_kernels::pixels::Rgb2Yuv;
 use tm3270_kernels::Kernel;
-use tm3270_obs::{CounterSink, NullSink, SinkHandle};
+use tm3270_obs::{CounterSink, NullSink, ProfileSink, SinkHandle};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Mode {
     Disabled,
     Null,
     Counter,
+    Profile,
 }
 
 fn one_run(kernel: &dyn Kernel, config: &MachineConfig, mode: Mode) -> (Duration, u64) {
@@ -38,6 +42,12 @@ fn one_run(kernel: &dyn Kernel, config: &MachineConfig, mode: Mode) -> (Duration
         Mode::Disabled => {}
         Mode::Null => m.attach_sink(SinkHandle::from(Rc::new(RefCell::new(NullSink)))),
         Mode::Counter => m.attach_sink(SinkHandle::from(Rc::new(RefCell::new(CounterSink::new())))),
+        Mode::Profile => {
+            let len = m.program().instrs.len();
+            m.attach_sink(SinkHandle::from(Rc::new(RefCell::new(ProfileSink::new(
+                len,
+            )))));
+        }
     }
     kernel.setup(&mut m);
     let start = Instant::now();
@@ -45,10 +55,10 @@ fn one_run(kernel: &dyn Kernel, config: &MachineConfig, mode: Mode) -> (Duration
     (start.elapsed(), std::hint::black_box(stats.cycles))
 }
 
-/// Best-of-`reps` timing, with the three modes interleaved per rep.
-fn measure(kernel: &dyn Kernel, config: &MachineConfig, reps: u32) -> [Duration; 3] {
-    let modes = [Mode::Disabled, Mode::Null, Mode::Counter];
-    let mut best = [Duration::MAX; 3];
+/// Best-of-`reps` timing, with the four modes interleaved per rep.
+fn measure(kernel: &dyn Kernel, config: &MachineConfig, reps: u32) -> [Duration; 4] {
+    let modes = [Mode::Disabled, Mode::Null, Mode::Counter, Mode::Profile];
+    let mut best = [Duration::MAX; 4];
     // Warm-up: one run per mode, untimed.
     for mode in modes {
         one_run(kernel, config, mode);
@@ -84,21 +94,26 @@ fn main() {
     ];
     let mut json_rows = Vec::new();
     for (name, kernel) in &workloads {
-        let [disabled, null, counter] = measure(kernel.as_ref(), &config, reps);
+        let [disabled, null, counter, profile] = measure(kernel.as_ref(), &config, reps);
         println!(
             "obs_overhead/{name:<12} disabled {disabled:>10.2?}   \
-             null {null:>10.2?} ({:+.2}%)   counter {counter:>10.2?} ({:+.2}%)",
+             null {null:>10.2?} ({:+.2}%)   counter {counter:>10.2?} ({:+.2}%)   \
+             profile {profile:>10.2?} ({:+.2}%)",
             pct(disabled, null),
-            pct(disabled, counter)
+            pct(disabled, counter),
+            pct(disabled, profile)
         );
         json_rows.push(format!(
             "{{\"workload\":\"{name}\",\"disabled_ns\":{},\"null_ns\":{},\
-             \"counter_ns\":{},\"null_overhead_pct\":{:.2},\"counter_overhead_pct\":{:.2}}}",
+             \"counter_ns\":{},\"profile_ns\":{},\"null_overhead_pct\":{:.2},\
+             \"counter_overhead_pct\":{:.2},\"profile_overhead_pct\":{:.2}}}",
             disabled.as_nanos(),
             null.as_nanos(),
             counter.as_nanos(),
+            profile.as_nanos(),
             pct(disabled, null),
-            pct(disabled, counter)
+            pct(disabled, counter),
+            pct(disabled, profile)
         ));
     }
     println!(

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure in one run.
 //!
 //! ```text
-//! repro_all [--threads N] [--json]
+//! repro_all [--threads N] [--json] [--telemetry]
 //! ```
 //!
 //! The workload sweeps (the Figure 7 suite, the power survey and the
@@ -12,20 +12,29 @@
 //! `--json` replaces the text reports with one machine-readable
 //! document of the suite cells (the thread-count-invariant core of the
 //! evaluation) so CI can diff a parallel run against a serial one.
+//!
+//! `--telemetry` attaches a [`SweepTelemetry`] collector to every sweep
+//! and appends its report — per-job wall times, per-worker claim
+//! counts, the in-flight high-water — to the output (a `sweep_report`
+//! JSON section under `--json`). Off by default: the timings are
+//! machine-dependent, so the byte-identical-output guarantee only
+//! covers unobserved runs.
 
 use std::process::ExitCode;
 
-use tm3270_harness::SweepOptions;
+use tm3270_harness::{SweepOptions, SweepTelemetry};
 
 struct Args {
     threads: usize,
     json: bool,
+    telemetry: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         threads: 0,
         json: false,
+        telemetry: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -35,8 +44,9 @@ fn parse_args() -> Result<Args, String> {
                 args.threads = v.parse().map_err(|e| format!("--threads {v}: {e}"))?;
             }
             "--json" => args.json = true,
+            "--telemetry" => args.telemetry = true,
             "--help" | "-h" => {
-                println!("usage: repro_all [--threads N] [--json]");
+                println!("usage: repro_all [--threads N] [--json] [--telemetry]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
@@ -53,11 +63,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let opts = SweepOptions::new().threads(args.threads);
+    let telemetry = args.telemetry.then(SweepTelemetry::new);
+    let mut opts = SweepOptions::new().threads(args.threads);
+    if let Some(tel) = &telemetry {
+        opts = opts.observe(tel);
+    }
 
     if args.json {
         let cells = tm3270_bench::run_suite_with(&opts);
-        println!("{}", tm3270_bench::suite_json(&cells));
+        let suite = tm3270_bench::suite_json(&cells);
+        match &telemetry {
+            Some(tel) => println!(
+                "{{\"suite\":{suite},\"sweep_report\":{}}}",
+                tel.report().to_json()
+            ),
+            None => println!("{suite}"),
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -76,7 +97,10 @@ fn main() -> ExitCode {
     println!("{}", tm3270_bench::capacity_ablation_with(&opts));
     println!("{}", tm3270_bench::write_policy_ablation_with(&opts));
     println!("{}", tm3270_bench::prefetch_stride_ablation_with(&opts));
-    let rows = tm3270_bench::figure7_with(&opts.progress("figure 7 suite"));
+    let rows = tm3270_bench::figure7_with(&opts.clone().progress("figure 7 suite"));
     println!("{}", tm3270_bench::figure7_report(&rows));
+    if let Some(tel) = &telemetry {
+        print!("{}", tel.report().summary());
+    }
     ExitCode::SUCCESS
 }

@@ -5,7 +5,7 @@
 //! ```text
 //! repro_fault_campaign [--seed N] [--runs N] [--threads N] [--verbose] [--json]
 //!                      [--retry] [--checkpoint FILE] [--resume] [--abort-after N]
-//!                      [--save-crash FILE] [--replay FILE]
+//!                      [--save-crash FILE] [--replay FILE] [--telemetry]
 //! ```
 //!
 //! Runs fan out over the `tm3270-harness` sweep engine; `--threads 0`
@@ -30,6 +30,13 @@
 //! snapshot, and exits non-zero unless both reproduce the recorded
 //! error exactly.
 //!
+//! `--telemetry` attaches a sweep-engine telemetry collector: per-run
+//! wall times, per-worker claim counts, the in-flight high-water and
+//! retry/checkpoint events, appended as a `sweep_report` section to the
+//! `--json` document (or a text block otherwise). Off by default — the
+//! timings are machine-dependent, so the byte-identical-output
+//! guarantee only covers unobserved runs.
+//!
 //! Exits non-zero if any run panics, or if the campaign exercised fewer
 //! than three distinct error kinds (which would mean the harness lost
 //! its coverage).
@@ -42,7 +49,7 @@ use tm3270_bench::campaign::{
     CampaignSummary,
 };
 use tm3270_core::Snapshot;
-use tm3270_harness::job_seed;
+use tm3270_harness::{job_seed, SweepTelemetry};
 use tm3270_obs::json;
 
 struct Args {
@@ -53,11 +60,13 @@ struct Args {
     abort_after: Option<usize>,
     save_crash: Option<PathBuf>,
     replay: Option<PathBuf>,
+    telemetry: Option<SweepTelemetry>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut campaign = CampaignOptions::new();
     let mut json = false;
+    let mut telemetry = None;
     let mut checkpoint = None;
     let mut resume = false;
     let mut abort_after = None;
@@ -100,11 +109,15 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--replay needs a file path")?;
                 replay = Some(PathBuf::from(v));
             }
+            "--telemetry" => {
+                let tel = telemetry.get_or_insert_with(SweepTelemetry::new);
+                campaign.sweep = campaign.sweep.observe(tel);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro_fault_campaign [--seed N] [--runs N] [--threads N] \
                      [--verbose] [--json] [--retry] [--checkpoint FILE] [--resume] \
-                     [--abort-after N] [--save-crash FILE] [--replay FILE]"
+                     [--abort-after N] [--save-crash FILE] [--replay FILE] [--telemetry]"
                 );
                 std::process::exit(0);
             }
@@ -123,6 +136,7 @@ fn parse_args() -> Result<Args, String> {
         abort_after,
         save_crash,
         replay,
+        telemetry,
     })
 }
 
@@ -323,9 +337,21 @@ fn main() -> ExitCode {
     }
 
     if args.json {
-        println!("{}", summary.to_json());
+        let doc = summary.to_json();
+        match &args.telemetry {
+            Some(tel) => {
+                // Splice the sweep report into the summary document as
+                // a trailing `sweep_report` section.
+                let body = doc.strip_suffix('}').unwrap_or(&doc);
+                println!("{body},\"sweep_report\":{}}}", tel.report().to_json());
+            }
+            None => println!("{doc}"),
+        }
     } else {
         print!("{}", summary.report());
+        if let Some(tel) = &args.telemetry {
+            print!("{}", tel.report().summary());
+        }
     }
 
     if summary.panics > 0 {

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro_profile [--workload NAME]... [--all] [--config a|b|c|d]
-//!               [--threads N] [--json] [--chrome-trace PATH] [--list]
+//!               [--threads N] [--json] [--chrome-trace PATH]
+//!               [--hotspots] [--top N] [--timeline K] [--list]
 //! ```
 //!
 //! With no `--workload` the eleven Table 5 golden kernels are profiled.
@@ -15,13 +16,22 @@
 //! records a Chrome `trace_event` timeline (requires exactly one
 //! workload) loadable in `chrome://tracing` or Perfetto.
 //!
+//! `--hotspots` records exact per-PC attribution, coalesced into
+//! straight-line blocks at jump-target boundaries (`--top N` sets the
+//! table size); `--timeline K` records an interval timeline sampling
+//! every counter each K cycles, exported in the JSON report and as
+//! Chrome counter tracks when combined with `--chrome-trace`.
+//!
 //! Every profiled run is checked for cycle conservation — the stall
-//! buckets must sum exactly to the run's total cycles — and the
-//! profiler exits non-zero on any violation.
+//! buckets must sum exactly to the run's total cycles, and with
+//! `--hotspots`/`--timeline` the per-PC buckets and interval deltas
+//! must too — and the profiler exits non-zero on any violation.
 
 use std::process::ExitCode;
 
-use tm3270_bench::profile::{find_workload, golden_names, profile_kernel, workloads, Profile};
+use tm3270_bench::profile::{
+    find_workload, golden_names, profile_kernel_with, workloads, Profile, ProfileOptions,
+};
 use tm3270_core::MachineConfig;
 use tm3270_harness::{sweep, SweepOptions};
 
@@ -32,6 +42,9 @@ struct Args {
     threads: usize,
     json: bool,
     chrome_trace: Option<String>,
+    hotspots: bool,
+    top: usize,
+    timeline: Option<u64>,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -42,6 +55,9 @@ fn parse_args() -> Result<Option<Args>, String> {
         threads: 0,
         json: false,
         chrome_trace: None,
+        hotspots: false,
+        top: 10,
+        timeline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -70,6 +86,19 @@ fn parse_args() -> Result<Option<Args>, String> {
                 let v = it.next().ok_or("--chrome-trace needs a path")?;
                 args.chrome_trace = Some(v);
             }
+            "--hotspots" => args.hotspots = true,
+            "--top" => {
+                let v = it.next().ok_or("--top needs a block count")?;
+                args.top = v.parse().map_err(|e| format!("--top {v}: {e}"))?;
+            }
+            "--timeline" => {
+                let v = it.next().ok_or("--timeline needs an interval (cycles)")?;
+                let k: u64 = v.parse().map_err(|e| format!("--timeline {v}: {e}"))?;
+                if k == 0 {
+                    return Err("--timeline interval must be >= 1".into());
+                }
+                args.timeline = Some(k);
+            }
             "--list" => {
                 for kernel in workloads() {
                     println!("{}", kernel.name());
@@ -80,7 +109,8 @@ fn parse_args() -> Result<Option<Args>, String> {
                 println!(
                     "usage: repro_profile [--workload NAME]... [--all] \
                      [--config a|b|c|d] [--threads N] [--json] \
-                     [--chrome-trace PATH] [--list]"
+                     [--chrome-trace PATH] [--hotspots] [--top N] \
+                     [--timeline K] [--list]"
                 );
                 return Ok(None);
             }
@@ -118,7 +148,12 @@ fn main() -> ExitCode {
         }
     }
 
-    let chrome = args.chrome_trace.is_some();
+    let popts = ProfileOptions {
+        chrome: args.chrome_trace.is_some(),
+        hotspots: args.hotspots,
+        top: args.top,
+        timeline: args.timeline,
+    };
     let opts = SweepOptions::new()
         .threads(args.threads)
         .progress("profiling");
@@ -127,7 +162,7 @@ fn main() -> ExitCode {
         // Kernels and sinks are built inside the job: neither is
         // `Send`, but each lives and dies on one worker.
         let kernel = find_workload(name).expect("validated above");
-        let profile = profile_kernel(kernel.as_ref(), &args.config, chrome)
+        let profile = profile_kernel_with(kernel.as_ref(), &args.config, &popts)
             .map_err(|e| format!("{name}: {e}"))?;
         profile
             .check_conservation()

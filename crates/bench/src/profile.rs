@@ -24,7 +24,10 @@ use std::rc::Rc;
 use crate::experiments::table3_scale;
 use tm3270_core::{Machine, MachineConfig, RunStats};
 use tm3270_kernels::{Kernel, KernelError, Workload};
-use tm3270_obs::{json, ChromeTraceSink, CounterSink, FanoutSink, SinkHandle, SLOTS};
+use tm3270_obs::{
+    json, BlockProfile, ChromeTraceSink, CounterSink, FanoutSink, ProfileSink, SinkHandle,
+    TimelineSink, SLOTS,
+};
 
 /// Every profileable workload: the eleven Table 5 evaluation kernels
 /// (the "golden kernels") followed by the §6 experiment workloads
@@ -48,6 +51,49 @@ pub fn find_workload(name: &str) -> Option<Box<dyn Kernel>> {
     tm3270_kernels::find_workload(table3_scale(), name).map(Workload::into_kernel)
 }
 
+/// What to record during a profiled run, beyond the always-on
+/// [`CounterSink`].
+#[derive(Debug, Clone)]
+pub struct ProfileOptions {
+    /// Record a Chrome `trace_event` timeline (buffers every event).
+    pub chrome: bool,
+    /// Record per-PC hot-spot attribution (a [`ProfileSink`]).
+    pub hotspots: bool,
+    /// Blocks shown in the top-N hot-spot report.
+    pub top: usize,
+    /// Record an interval timeline sampling all counters every K cycles.
+    pub timeline: Option<u64>,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> ProfileOptions {
+        ProfileOptions {
+            chrome: false,
+            hotspots: false,
+            top: 10,
+            timeline: None,
+        }
+    }
+}
+
+/// Per-PC hot-spot attribution of one run, coalesced into straight-line
+/// blocks (jump-target boundaries from the decoded program).
+#[derive(Debug, Clone)]
+pub struct HotspotReport {
+    /// Every block with recorded activity, hottest first (ties by start
+    /// PC).
+    pub blocks: Vec<BlockProfile>,
+    /// Blocks shown in reports (`blocks` is not truncated — the full
+    /// set is needed for the conservation check).
+    pub top: usize,
+    /// Σ cycles over every PC; equals `RunStats.cycles` exactly.
+    pub total_cycles: u64,
+    /// Idle cycles reported by the watchdog (0 for completed runs).
+    pub watchdog_idle: u64,
+    /// PC at which the watchdog fired, if it did.
+    pub watchdog_pc: Option<usize>,
+}
+
 /// The result of one profiled run: the simulator's own statistics plus
 /// the event-derived counters, which the reports cross-check against
 /// each other.
@@ -61,14 +107,22 @@ pub struct Profile {
     pub stats: RunStats,
     /// The event-derived counters (a snapshot of the attached sink).
     pub counters: CounterSink,
-    /// Chrome `trace_event` JSON, when requested.
+    /// Per-PC hot-spot attribution, when requested.
+    pub hotspots: Option<HotspotReport>,
+    /// Interval timeline (the sink itself: samples, totals, exporters),
+    /// when requested.
+    pub timeline: Option<TimelineSink>,
+    /// Chrome `trace_event` JSON, when requested. Includes the timeline
+    /// counter track when both were recorded.
     pub chrome_trace: Option<String>,
 }
 
-/// Builds, traces, runs and verifies `kernel` on `config`.
+/// Builds, traces, runs and verifies `kernel` on `config` with a
+/// [`CounterSink`] attached.
 ///
 /// When `chrome` is set the run also records a Chrome `trace_event`
-/// timeline (at the cost of buffering every event).
+/// timeline (at the cost of buffering every event). Shorthand for
+/// [`profile_kernel_with`] with default options.
 ///
 /// # Errors
 ///
@@ -79,23 +133,62 @@ pub fn profile_kernel(
     config: &MachineConfig,
     chrome: bool,
 ) -> Result<Profile, KernelError> {
+    profile_kernel_with(
+        kernel,
+        config,
+        &ProfileOptions {
+            chrome,
+            ..ProfileOptions::default()
+        },
+    )
+}
+
+/// Builds, traces, runs and verifies `kernel` on `config`, recording
+/// everything `opts` asks for.
+///
+/// # Errors
+///
+/// See [`KernelError`]; a profiled run is held to the same verification
+/// standard as an untraced one.
+pub fn profile_kernel_with(
+    kernel: &dyn Kernel,
+    config: &MachineConfig,
+    opts: &ProfileOptions,
+) -> Result<Profile, KernelError> {
     let program = kernel.build(&config.issue)?;
     let mut machine = Machine::new(config.clone(), program)?;
+    let program_len = machine.program().instrs.len();
+    let jump_targets = machine.program().jump_targets.clone();
 
     let counters = Rc::new(RefCell::new(CounterSink::new()));
-    let chrome_sink = if chrome {
-        Some(Rc::new(RefCell::new(ChromeTraceSink::new())))
+    let profile_sink = opts
+        .hotspots
+        .then(|| Rc::new(RefCell::new(ProfileSink::new(program_len))));
+    let timeline_sink = opts
+        .timeline
+        .map(|k| Rc::new(RefCell::new(TimelineSink::new(k))));
+    let chrome_sink = opts
+        .chrome
+        .then(|| Rc::new(RefCell::new(ChromeTraceSink::new())));
+
+    let extra = usize::from(profile_sink.is_some())
+        + usize::from(timeline_sink.is_some())
+        + usize::from(chrome_sink.is_some());
+    let handle = if extra == 0 {
+        SinkHandle::from(counters.clone())
     } else {
-        None
-    };
-    let handle = match &chrome_sink {
-        Some(cs) => {
-            let mut fan = FanoutSink::new();
-            fan.push(counters.clone());
-            fan.push(cs.clone());
-            SinkHandle::from(Rc::new(RefCell::new(fan)))
+        let mut fan = FanoutSink::new();
+        fan.push(counters.clone());
+        if let Some(ps) = &profile_sink {
+            fan.push(ps.clone());
         }
-        None => SinkHandle::from(counters.clone()),
+        if let Some(ts) = &timeline_sink {
+            fan.push(ts.clone());
+        }
+        if let Some(cs) = &chrome_sink {
+            fan.push(cs.clone());
+        }
+        SinkHandle::from(Rc::new(RefCell::new(fan)))
     };
     machine.attach_sink(handle);
 
@@ -103,13 +196,36 @@ pub fn profile_kernel(
     let stats = machine.run(kernel.cycle_budget())?;
     kernel.verify(&machine).map_err(KernelError::Verify)?;
 
-    let chrome_trace = chrome_sink.map(|cs| cs.borrow().to_json());
+    let timeline = timeline_sink.map(|ts| ts.borrow().clone());
+    let chrome_trace = chrome_sink.map(|cs| match &timeline {
+        Some(tl) => cs.borrow().to_json_with(&tl.chrome_rows()),
+        None => cs.borrow().to_json(),
+    });
+    let hotspots = profile_sink.map(|ps| {
+        let ps = ps.borrow();
+        let mut blocks = ps.blocks(&jump_targets);
+        blocks.sort_by(|a, b| {
+            b.profile
+                .cycles()
+                .cmp(&a.profile.cycles())
+                .then(a.start.cmp(&b.start))
+        });
+        HotspotReport {
+            blocks,
+            top: opts.top,
+            total_cycles: ps.total_cycles(),
+            watchdog_idle: ps.watchdog_idle(),
+            watchdog_pc: ps.watchdog_pc(),
+        }
+    });
     let counters = counters.borrow().clone();
     Ok(Profile {
         workload: kernel.name(),
         config_name: config.name,
         stats,
         counters,
+        hotspots,
+        timeline,
         chrome_trace,
     })
 }
@@ -153,6 +269,49 @@ impl Profile {
                     "{}: traced {what} {traced} != RunStats {stats}",
                     self.workload
                 ));
+            }
+        }
+        if let Some(hs) = &self.hotspots {
+            if hs.total_cycles != self.stats.cycles {
+                return Err(format!(
+                    "{}: hot-spot per-PC cycles {} != {} cycles",
+                    self.workload, hs.total_cycles, self.stats.cycles
+                ));
+            }
+            let block_sum: u64 = hs.blocks.iter().map(|b| b.profile.cycles()).sum();
+            if block_sum != hs.total_cycles {
+                return Err(format!(
+                    "{}: hot-spot block cycles {} != per-PC cycles {}",
+                    self.workload, block_sum, hs.total_cycles
+                ));
+            }
+        }
+        if let Some(tl) = &self.timeline {
+            let t = tl.totals();
+            let deltas = [
+                ("issue", t.issue, b.issue + b.watchdog_idle),
+                ("ifetch_stall", t.ifetch_stall, b.ifetch_stall),
+                ("data_stall", t.data_stall, b.data_stall),
+                ("ops_executed", t.ops_executed, self.stats.exec_ops),
+                (
+                    "dcache_misses",
+                    t.dcache_misses,
+                    self.counters.dcache.misses,
+                ),
+                (
+                    "icache_misses",
+                    t.icache_misses,
+                    self.counters.icache.misses,
+                ),
+                ("events", t.events, self.counters.events),
+            ];
+            for (what, timeline, total) in deltas {
+                if timeline != total {
+                    return Err(format!(
+                        "{}: timeline {what} deltas sum to {timeline} != final total {total}",
+                        self.workload
+                    ));
+                }
             }
         }
         Ok(())
@@ -204,7 +363,7 @@ impl Profile {
             );
         }
         let _ = writeln!(s, "functional units:");
-        for (unit, u) in &self.counters.units {
+        for (unit, u) in self.counters.units() {
             let _ = writeln!(
                 s,
                 "  {unit:<12} {:>12} dispatched  {:>12} executed",
@@ -235,7 +394,7 @@ impl Profile {
                 self.counters.prefetch_late_wait
             );
         }
-        for (kind, dc) in &self.counters.dram {
+        for (kind, dc) in self.counters.dram() {
             let _ = writeln!(
                 s,
                 "dram {kind:<13} {:>8} transactions  {:>10} bytes",
@@ -247,6 +406,51 @@ impl Profile {
             "branches: {} resolved, {} taken",
             self.counters.branches_resolved, self.counters.branches_taken
         );
+        if let Some(hs) = &self.hotspots {
+            let shown = hs.top.min(hs.blocks.len());
+            let _ = writeln!(
+                s,
+                "hot spots (top {shown} of {} blocks, {} attributed cycles):",
+                hs.blocks.len(),
+                hs.total_cycles
+            );
+            let _ = writeln!(
+                s,
+                "  {:<13} {:>10} {:>6}  {:>10} {:>10} {:>10} {:>10}",
+                "pc range", "cycles", "%", "issue", "ifetch", "data", "ops"
+            );
+            for blk in hs.blocks.iter().take(shown) {
+                let p = &blk.profile;
+                let range = format!("[{:>4}..{:>4})", blk.start, blk.end);
+                let _ = writeln!(
+                    s,
+                    "  {range:<13} {:>10} {:>5.1}%  {:>10} {:>10} {:>10} {:>10}",
+                    p.cycles(),
+                    pct(p.cycles()),
+                    p.issue,
+                    p.ifetch_stall,
+                    p.data_stall,
+                    p.ops
+                );
+            }
+            if let Some(pc) = hs.watchdog_pc {
+                let _ = writeln!(
+                    s,
+                    "  watchdog fired at pc {pc} ({} idle cycles)",
+                    hs.watchdog_idle
+                );
+            }
+        }
+        if let Some(tl) = &self.timeline {
+            let samples = tl.samples();
+            let _ = writeln!(
+                s,
+                "timeline: {} samples at interval {} (peak data stall {} cycles/interval)",
+                samples.len(),
+                tl.interval(),
+                samples.iter().map(|sm| sm.data_stall).max().unwrap_or(0)
+            );
+        }
         s
     }
 
@@ -293,7 +497,7 @@ impl Profile {
         );
         let units: Vec<String> = self
             .counters
-            .units
+            .units()
             .iter()
             .map(|(unit, u)| {
                 format!(
@@ -337,7 +541,7 @@ impl Profile {
         );
         let dram: Vec<String> = self
             .counters
-            .dram
+            .dram()
             .iter()
             .map(|(kind, d)| {
                 format!(
@@ -352,12 +556,50 @@ impl Profile {
         let _ = write!(
             s,
             "\"branches\":{{\"resolved\":{},\"taken\":{}}},\
-             \"watchdog_fired\":{},\"events\":{}}}",
+             \"watchdog_fired\":{},\"events\":{}",
             self.counters.branches_resolved,
             self.counters.branches_taken,
             self.counters.watchdog_fired,
             self.counters.events
         );
+        if let Some(hs) = &self.hotspots {
+            let blocks: Vec<String> = hs
+                .blocks
+                .iter()
+                .map(|blk| {
+                    let p = &blk.profile;
+                    format!(
+                        "{{\"start\":{},\"end\":{},\"cycles\":{},\"issue\":{},\
+                         \"ifetch_stall\":{},\"data_stall\":{},\"ops\":{},\
+                         \"exec_ops\":{},\"dcache_misses\":{},\"icache_misses\":{}}}",
+                        blk.start,
+                        blk.end,
+                        p.cycles(),
+                        p.issue,
+                        p.ifetch_stall,
+                        p.data_stall,
+                        p.ops,
+                        p.exec_ops,
+                        p.dcache_misses,
+                        p.icache_misses
+                    )
+                })
+                .collect();
+            let _ = write!(
+                s,
+                ",\"hotspots\":{{\"total_cycles\":{},\"watchdog_idle\":{},\
+                 \"watchdog_pc\":{},\"blocks\":[{}]}}",
+                hs.total_cycles,
+                hs.watchdog_idle,
+                hs.watchdog_pc
+                    .map_or_else(|| "null".to_string(), |pc| pc.to_string()),
+                blocks.join(",")
+            );
+        }
+        if let Some(tl) = &self.timeline {
+            let _ = write!(s, ",\"timeline\":{}", tl.to_json());
+        }
+        s.push('}');
         s
     }
 }

@@ -811,18 +811,22 @@ impl Machine {
     }
 
     /// Outlined stall emission: a balanced `StallBegin`/`StallEnd` pair
-    /// spanning `[begin, begin + cycles)`.
+    /// spanning `[begin, begin + cycles)`, attributed to the VLIW
+    /// instruction at `pc` (about to issue for ifetch stalls, just
+    /// issued for data stalls).
     #[cold]
     #[inline(never)]
-    fn emit_stall(&self, begin: u64, cause: StallCause, cycles: u64) {
+    fn emit_stall(&self, begin: u64, cause: StallCause, cycles: u64, pc: usize) {
         self.sink.emit(TraceEvent::StallBegin {
             cycle: begin,
             cause,
+            pc,
         });
         self.sink.emit(TraceEvent::StallEnd {
             cycle: begin + cycles,
             cause,
             cycles,
+            pc,
         });
     }
 
@@ -897,6 +901,11 @@ impl Machine {
         debug_assert!(!self.is_halted());
         let pc = self.pc;
         let tracing = self.sink.enabled();
+        if tracing {
+            // Tag memory-side events (cache accesses) with the
+            // requesting instruction; untraced runs skip the store.
+            self.mem.set_pc(pc);
+        }
 
         // Front end (stages I1-I3 + P): every cycle a 32-byte aligned
         // chunk of instruction information can be retrieved from the
@@ -922,7 +931,7 @@ impl Machine {
             chunk = chunk.wrapping_add(32);
         }
         if istall > 0 && tracing {
-            self.emit_stall(self.cycle, StallCause::IFetch, istall);
+            self.emit_stall(self.cycle, StallCause::IFetch, istall, pc);
         }
         self.cycle += istall;
         self.stats.ifetch_stall_cycles += istall;
@@ -948,7 +957,7 @@ impl Machine {
         let dstall = self.mem.take_stall();
         self.stats.data_stall_cycles += dstall;
         if dstall > 0 && tracing {
-            self.emit_stall(self.cycle + 1, StallCause::Data, dstall);
+            self.emit_stall(self.cycle + 1, StallCause::Data, dstall, pc);
         }
         self.cycle += 1 + dstall;
         self.stats.instrs += 1;
@@ -1042,6 +1051,9 @@ impl Machine {
                 Err(e) => break Err(e),
             }
         };
+        // Drain staged trace events (success and crash paths alike) so
+        // sinks are complete when the caller reads them.
+        self.sink.flush();
         let report = match &result {
             Err(e) if opts.report => Some(Box::new(self.crash_report(e.clone()))),
             _ => None,

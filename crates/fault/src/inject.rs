@@ -113,11 +113,15 @@ impl FaultInjector {
     }
 
     fn record(&mut self, site: FaultSite, byte: usize, bit: u8) {
-        self.sink.emit_with(|| TraceEvent::FaultFlip {
-            site: site.name(),
-            byte,
-            bit,
-        });
+        if self.sink.enabled() {
+            // Flips are rare out-of-band events; bypass the staging
+            // buffer so observers see them without waiting for a flush.
+            self.sink.emit_now(TraceEvent::FaultFlip {
+                site: site.name(),
+                byte,
+                bit,
+            });
+        }
         self.log.push(FaultRecord { site, byte, bit });
     }
 

@@ -32,7 +32,8 @@ use std::sync::Mutex;
 use tm3270_fault::job_seed;
 use tm3270_obs::json::{escape, string_field, u64_field};
 
-use crate::sweep::{execute_job, JobCtx, JobError, SweepOptions};
+use crate::sweep::{execute_job_counted, JobCtx, JobError, SweepOptions};
+use crate::telemetry::JobSample;
 
 /// Format version stamped into (and required of) the header line.
 pub const CHECKPOINT_VERSION: u64 = 1;
@@ -358,6 +359,11 @@ where
         })?;
     }
 
+    let sweep_idx = opts.telemetry.as_ref().map(|tel| {
+        tel.add_resumed(resumed as u64);
+        tel.begin_sweep()
+    });
+
     if pending.is_empty() {
         return Ok(CheckpointOutcome {
             results,
@@ -372,10 +378,17 @@ where
     let io_failure: Mutex<Option<CheckpointError>> = Mutex::new(None);
     let slots: Vec<Mutex<Option<Result<String, JobError>>>> =
         pending.iter().map(|_| Mutex::new(None)).collect();
+    let sweep_start = opts.telemetry.as_ref().map(|_| std::time::Instant::now());
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
+        for worker in 0..threads {
+            let next = &next;
+            let journal = &journal;
+            let io_failure = &io_failure;
+            let slots = &slots;
+            let pending = &pending;
+            let job = &job;
+            scope.spawn(move || loop {
                 if io_failure.lock().expect("io failure lock").is_some() {
                     break;
                 }
@@ -389,7 +402,22 @@ where
                     total,
                     seed: job_seed(opts.campaign_seed, id as u64),
                 };
-                let result = execute_job(&ctx, opts, &job);
+                let start = opts.telemetry.as_ref().map(|tel| {
+                    tel.job_claimed();
+                    std::time::Instant::now()
+                });
+                let (result, attempts) = execute_job_counted(&ctx, opts, job);
+                if let (Some(tel), Some(start), Some(sweep)) = (&opts.telemetry, start, sweep_idx) {
+                    tel.job_done(JobSample {
+                        sweep,
+                        id,
+                        worker,
+                        wall_us: start.elapsed().as_micros() as u64,
+                        ok: result.is_ok(),
+                        attempts,
+                        error_kind: result.as_ref().err().map(JobError::kind),
+                    });
+                }
                 let line = record_line(id, &result);
                 if let Err(e) = journal
                     .lock()
@@ -403,10 +431,16 @@ where
                     });
                     break;
                 }
+                if let Some(tel) = &opts.telemetry {
+                    tel.checkpoint_append();
+                }
                 *slots[at].lock().expect("job slot lock") = Some(result);
             });
         }
     });
+    if let (Some(tel), Some(start)) = (&opts.telemetry, sweep_start) {
+        tel.add_wall_us(start.elapsed().as_micros() as u64);
+    }
 
     if let Some(err) = io_failure.into_inner().expect("io failure lock") {
         return Err(err);

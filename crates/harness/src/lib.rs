@@ -23,6 +23,10 @@
 //!   a typed error entry while the rest of the sweep completes;
 //! * [`Grid`] — dense enumeration of (workload × config × seed) tuples
 //!   as job ids;
+//! * [`SweepTelemetry`] / [`SweepReport`] — opt-in engine telemetry:
+//!   per-job wall times, per-worker claim counts, the in-flight
+//!   high-water and retry/checkpoint events, rendered as the
+//!   `sweep_report` JSON section of the `--telemetry` drivers;
 //! * [`sweep_with_checkpoint`] / [`sweep_resume`] — the durable layer:
 //!   every completed job is journaled to an append-only checkpoint
 //!   file, so a killed sweep resumes where it stopped and still
@@ -55,10 +59,12 @@
 mod checkpoint;
 mod quick;
 mod sweep;
+mod telemetry;
 
 pub use checkpoint::{
     sweep_resume, sweep_with_checkpoint, CheckpointError, CheckpointOutcome, CHECKPOINT_VERSION,
 };
 pub use quick::{run_program, run_program_with, DEFAULT_PROGRAM_BUDGET};
 pub use sweep::{sweep, Grid, GridPoint, JobCtx, JobError, SweepOptions};
+pub use telemetry::{JobSample, SweepReport, SweepTelemetry, WorkerStats};
 pub use tm3270_fault::job_seed;

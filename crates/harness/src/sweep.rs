@@ -18,9 +18,11 @@ use std::io::{IsTerminal, Write as _};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tm3270_fault::job_seed;
+
+use crate::telemetry::{JobSample, SweepTelemetry};
 
 /// Options for one [`sweep`] call.
 #[derive(Debug, Clone)]
@@ -40,6 +42,10 @@ pub struct SweepOptions {
     /// which seed produced a surviving result, so deterministic
     /// campaigns opt in explicitly.
     pub retry: bool,
+    /// Optional telemetry collector ([`SweepOptions::observe`]). When
+    /// absent (the default) the engine takes no timestamps and the
+    /// output is byte-identical to an unobserved run.
+    pub telemetry: Option<SweepTelemetry>,
 }
 
 impl Default for SweepOptions {
@@ -57,6 +63,7 @@ impl SweepOptions {
             campaign_seed: 0,
             progress: None,
             retry: false,
+            telemetry: None,
         }
     }
 
@@ -82,6 +89,16 @@ impl SweepOptions {
     /// [`SweepOptions::retry`]).
     pub fn retry(mut self, retry: bool) -> SweepOptions {
         self.retry = retry;
+        self
+    }
+
+    /// Attaches a telemetry collector: every observed sweep records
+    /// per-job wall times, per-worker claim counts, the in-flight
+    /// high-water and retry/checkpoint events into `telemetry` (a
+    /// shared handle — clone it and call
+    /// [`SweepTelemetry::report`] afterwards).
+    pub fn observe(mut self, telemetry: &SweepTelemetry) -> SweepOptions {
+        self.telemetry = Some(telemetry.clone());
         self
     }
 
@@ -177,26 +194,42 @@ pub(crate) fn execute_job<T, F>(ctx: &JobCtx, opts: &SweepOptions, job: &F) -> R
 where
     F: Fn(&JobCtx) -> Result<T, String> + Sync,
 {
+    execute_job_counted(ctx, opts, job).0
+}
+
+/// [`execute_job`] plus the number of attempts made (2 when the
+/// bounded reseeded retry ran, whether or not it recovered the job) —
+/// the telemetry layer records retries that *succeeded*, which the
+/// result alone cannot show.
+pub(crate) fn execute_job_counted<T, F>(
+    ctx: &JobCtx,
+    opts: &SweepOptions,
+    job: &F,
+) -> (Result<T, JobError>, u32)
+where
+    F: Fn(&JobCtx) -> Result<T, String> + Sync,
+{
     let first = match catch_unwind(AssertUnwindSafe(|| job(ctx))) {
-        Ok(Ok(value)) => return Ok(value),
-        Ok(Err(msg)) => return Err(JobError::Failed(msg)),
+        Ok(Ok(value)) => return (Ok(value), 1),
+        Ok(Err(msg)) => return (Err(JobError::Failed(msg)), 1),
         Err(payload) => panic_message(payload),
     };
     if !opts.retry {
-        return Err(JobError::Panicked(first));
+        return (Err(JobError::Panicked(first)), 1);
     }
     let retry_ctx = JobCtx {
         seed: job_seed(ctx.seed, RETRY_STREAM),
         ..*ctx
     };
-    match catch_unwind(AssertUnwindSafe(|| job(&retry_ctx))) {
+    let second = match catch_unwind(AssertUnwindSafe(|| job(&retry_ctx))) {
         Ok(Ok(value)) => Ok(value),
         Ok(Err(msg)) => Err(JobError::Failed(msg)),
         Err(payload) => Err(JobError::RetriedThenFailed {
             attempts: 2,
             message: format!("{first}; on retry: {}", panic_message(payload)),
         }),
-    }
+    };
+    (second, 2)
 }
 
 /// Runs `total` jobs across the worker pool described by `opts` and
@@ -221,10 +254,16 @@ where
     let done = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<T, JobError>>>> =
         (0..total).map(|_| Mutex::new(None)).collect();
+    let sweep_idx = opts.telemetry.as_ref().map(SweepTelemetry::begin_sweep);
+    let sweep_start = opts.telemetry.as_ref().map(|_| Instant::now());
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
+        for worker in 0..threads {
+            let next = &next;
+            let done = &done;
+            let slots = &slots;
+            let job = &job;
+            scope.spawn(move || loop {
                 let id = next.fetch_add(1, Ordering::Relaxed);
                 if id >= total {
                     break;
@@ -234,7 +273,23 @@ where
                     total,
                     seed: job_seed(opts.campaign_seed, id as u64),
                 };
-                let result = execute_job(&ctx, opts, &job);
+                let result = if let (Some(tel), Some(sweep)) = (&opts.telemetry, sweep_idx) {
+                    tel.job_claimed();
+                    let start = Instant::now();
+                    let (result, attempts) = execute_job_counted(&ctx, opts, job);
+                    tel.job_done(JobSample {
+                        sweep,
+                        id,
+                        worker,
+                        wall_us: start.elapsed().as_micros() as u64,
+                        ok: result.is_ok(),
+                        attempts,
+                        error_kind: result.as_ref().err().map(JobError::kind),
+                    });
+                    result
+                } else {
+                    execute_job(&ctx, opts, job)
+                };
                 *slots[id].lock().expect("job slot lock") = Some(result);
                 done.fetch_add(1, Ordering::Release);
             });
@@ -256,6 +311,9 @@ where
             }
         }
     });
+    if let (Some(tel), Some(start)) = (&opts.telemetry, sweep_start) {
+        tel.add_wall_us(start.elapsed().as_micros() as u64);
+    }
 
     slots
         .into_iter()
@@ -454,6 +512,61 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(results[0].is_ok() && results[2].is_ok());
+    }
+
+    #[test]
+    fn an_observed_sweep_records_every_job_without_changing_results() {
+        let tel = crate::SweepTelemetry::new();
+        let plain = sweep(12, &SweepOptions::new().threads(3).seed(4), |ctx| {
+            Ok::<_, String>(ctx.seed)
+        });
+        let observed = sweep(
+            12,
+            &SweepOptions::new().threads(3).seed(4).observe(&tel),
+            |ctx| {
+                if ctx.id == 7 {
+                    return Err("typed".to_string());
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                Ok(ctx.seed)
+            },
+        );
+        for (id, (a, b)) in plain.iter().zip(&observed).enumerate() {
+            if id != 7 {
+                assert_eq!(a, b, "telemetry must not perturb results");
+            }
+        }
+        let report = tel.report();
+        assert_eq!(report.sweeps, 1);
+        assert_eq!(report.jobs.len(), 12, "every job sampled");
+        assert_eq!(
+            report.jobs.iter().map(|j| j.id).collect::<Vec<_>>(),
+            (0..12).collect::<Vec<_>>(),
+            "detail sorted by job id"
+        );
+        assert_eq!(report.workers.iter().map(|w| w.jobs).sum::<u64>(), 12);
+        assert!(report.workers.len() <= 3);
+        assert!(report.inflight_high_water >= 1 && report.inflight_high_water <= 3);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.jobs[7].error_kind, Some("Failed"));
+        assert!(report.wall_us > 0);
+    }
+
+    #[test]
+    fn an_observed_checkpointed_sweep_counts_appends_and_resumes() {
+        let tel = crate::SweepTelemetry::new();
+        let path =
+            std::env::temp_dir().join(format!("tm3270_tel_ckpt_{}.jsonl", std::process::id()));
+        let opts = SweepOptions::new().threads(2).seed(9).observe(&tel);
+        let job = |ctx: &JobCtx| Ok::<_, String>(format!("{}", ctx.seed));
+        crate::sweep_with_checkpoint(6, &opts, &path, false, Some(4), job).unwrap();
+        crate::sweep_resume(6, &opts, &path, job).unwrap();
+        let report = tel.report();
+        assert_eq!(report.sweeps, 2);
+        assert_eq!(report.checkpoint_appends, 6, "every executed job journaled");
+        assert_eq!(report.resumed, 4, "second call skipped the first four");
+        assert_eq!(report.jobs.len(), 6);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

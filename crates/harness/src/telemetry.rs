@@ -1,0 +1,345 @@
+//! Sweep-engine telemetry: per-job wall times, per-worker claim counts,
+//! in-flight high-water, retry and checkpoint events.
+//!
+//! Telemetry is strictly **opt-in**: a [`SweepTelemetry`] collector is
+//! attached via [`SweepOptions::observe`](crate::SweepOptions::observe)
+//! and shared (it is a cheap `Arc` clone) across as many sweeps as the
+//! caller runs. Without one attached, the engines take no timestamps
+//! and the sweep output stays byte-identical to previous releases. With
+//! one attached, only the *report* carries timing — the job results
+//! themselves are still aggregated in deterministic job order.
+//!
+//! [`SweepTelemetry::report`] snapshots the collector into a
+//! [`SweepReport`]: an aggregate with per-worker and per-job detail,
+//! renderable as text ([`SweepReport::summary`]) or as a JSON section
+//! ([`SweepReport::to_json`]) for the `--telemetry` flag of the
+//! `repro_*` drivers.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One job execution as the collector saw it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSample {
+    /// Which sweep (0-based, in collector-attachment order) ran the job.
+    pub sweep: usize,
+    /// The job's dense id within its sweep.
+    pub id: usize,
+    /// Index of the worker thread that claimed the job.
+    pub worker: usize,
+    /// Wall-clock execution time in microseconds (all attempts).
+    pub wall_us: u64,
+    /// Whether the job produced a result (vs. a typed error).
+    pub ok: bool,
+    /// Attempts made (2 when the bounded reseeded retry ran).
+    pub attempts: u32,
+    /// [`JobError::kind`](crate::JobError::kind) when the job failed.
+    pub error_kind: Option<&'static str>,
+}
+
+#[derive(Debug, Default)]
+struct TelemetryInner {
+    sweeps: AtomicUsize,
+    inflight: AtomicUsize,
+    inflight_high_water: AtomicUsize,
+    wall_us: AtomicU64,
+    checkpoint_appends: AtomicU64,
+    resumed: AtomicU64,
+    samples: Mutex<Vec<JobSample>>,
+}
+
+/// A shared, thread-safe collector of sweep-engine telemetry (see the
+/// module docs). Cloning shares the underlying storage.
+#[derive(Debug, Clone, Default)]
+pub struct SweepTelemetry {
+    inner: Arc<TelemetryInner>,
+}
+
+impl SweepTelemetry {
+    /// An empty collector.
+    pub fn new() -> SweepTelemetry {
+        SweepTelemetry::default()
+    }
+
+    /// Called by an engine at sweep start; returns the sweep's index.
+    pub(crate) fn begin_sweep(&self) -> usize {
+        self.inner.sweeps.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Called when a worker claims a job off the shared queue.
+    pub(crate) fn job_claimed(&self) {
+        let now = self.inner.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner
+            .inflight_high_water
+            .fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Called when a claimed job finishes (either way).
+    pub(crate) fn job_done(&self, sample: JobSample) {
+        self.inner.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.inner
+            .samples
+            .lock()
+            .expect("telemetry sample lock")
+            .push(sample);
+    }
+
+    /// Adds one sweep's wall-clock time.
+    pub(crate) fn add_wall_us(&self, us: u64) {
+        self.inner.wall_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Records one appended checkpoint record.
+    pub(crate) fn checkpoint_append(&self) {
+        self.inner
+            .checkpoint_appends
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records jobs skipped because a checkpoint already held them.
+    pub(crate) fn add_resumed(&self, jobs: u64) {
+        self.inner.resumed.fetch_add(jobs, Ordering::Relaxed);
+    }
+
+    /// Snapshots everything recorded so far into an aggregate report.
+    /// Per-job detail is sorted by (sweep, job id), so the report's
+    /// *shape* is deterministic even though the timings are not.
+    pub fn report(&self) -> SweepReport {
+        let mut jobs = self
+            .inner
+            .samples
+            .lock()
+            .expect("telemetry sample lock")
+            .clone();
+        jobs.sort_by_key(|s| (s.sweep, s.id));
+        let mut workers: Vec<WorkerStats> = Vec::new();
+        for s in &jobs {
+            if s.worker >= workers.len() {
+                workers.resize(
+                    s.worker + 1,
+                    WorkerStats {
+                        jobs: 0,
+                        wall_us: 0,
+                    },
+                );
+            }
+            workers[s.worker].jobs += 1;
+            workers[s.worker].wall_us += s.wall_us;
+        }
+        SweepReport {
+            sweeps: self.inner.sweeps.load(Ordering::Relaxed),
+            inflight_high_water: self.inner.inflight_high_water.load(Ordering::Relaxed),
+            wall_us: self.inner.wall_us.load(Ordering::Relaxed),
+            checkpoint_appends: self.inner.checkpoint_appends.load(Ordering::Relaxed),
+            resumed: self.inner.resumed.load(Ordering::Relaxed),
+            workers,
+            jobs,
+        }
+    }
+}
+
+/// What one worker thread did across every observed sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker claimed off the shared queue.
+    pub jobs: u64,
+    /// Wall-clock microseconds this worker spent inside jobs.
+    pub wall_us: u64,
+}
+
+/// An aggregate snapshot of a [`SweepTelemetry`] collector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Sweeps observed by the collector.
+    pub sweeps: usize,
+    /// Most jobs in flight at once (the queue-occupancy high-water).
+    pub inflight_high_water: usize,
+    /// Total wall-clock microseconds across the observed sweeps.
+    pub wall_us: u64,
+    /// Checkpoint records appended (0 for non-checkpointed sweeps).
+    pub checkpoint_appends: u64,
+    /// Jobs skipped on resume because a checkpoint already held them.
+    pub resumed: u64,
+    /// Per-worker claim counts and busy time, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+    /// Per-job detail, sorted by (sweep, job id).
+    pub jobs: Vec<JobSample>,
+}
+
+impl SweepReport {
+    /// Jobs that produced a typed error.
+    pub fn failed(&self) -> u64 {
+        self.jobs.iter().filter(|j| !j.ok).count() as u64
+    }
+
+    /// Jobs that ran more than once (the bounded reseeded retry).
+    pub fn retried(&self) -> u64 {
+        self.jobs.iter().filter(|j| j.attempts > 1).count() as u64
+    }
+
+    /// (min, mean, max) job wall time in microseconds; zeros when no
+    /// jobs were observed.
+    pub fn job_wall_us(&self) -> (u64, u64, u64) {
+        if self.jobs.is_empty() {
+            return (0, 0, 0);
+        }
+        let mut min = u64::MAX;
+        let mut max = 0;
+        let mut sum = 0u64;
+        for j in &self.jobs {
+            min = min.min(j.wall_us);
+            max = max.max(j.wall_us);
+            sum += j.wall_us;
+        }
+        (min, sum / self.jobs.len() as u64, max)
+    }
+
+    /// A short human-readable summary (one block of text).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let (min, mean, max) = self.job_wall_us();
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "sweep telemetry: {} job(s) over {} sweep(s), {} worker(s), \
+             {} us wall",
+            self.jobs.len(),
+            self.sweeps,
+            self.workers.len(),
+            self.wall_us
+        );
+        let _ = writeln!(
+            s,
+            "  job wall us: min {min} / mean {mean} / max {max}; \
+             in-flight high-water {}",
+            self.inflight_high_water
+        );
+        let _ = writeln!(
+            s,
+            "  retried {}, failed {}, checkpoint appends {}, resumed {}",
+            self.retried(),
+            self.failed(),
+            self.checkpoint_appends,
+            self.resumed
+        );
+        for (w, stats) in self.workers.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  worker {w}: {} job(s), {} us busy",
+                stats.jobs, stats.wall_us
+            );
+        }
+        s
+    }
+
+    /// Renders the report as one JSON object (the `sweep_report`
+    /// section of the `--telemetry` driver outputs).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let (min, mean, max) = self.job_wall_us();
+        let workers: Vec<String> = self
+            .workers
+            .iter()
+            .map(|w| format!("{{\"jobs\":{},\"wall_us\":{}}}", w.jobs, w.wall_us))
+            .collect();
+        let jobs: Vec<String> = self
+            .jobs
+            .iter()
+            .map(|j| {
+                let mut row = format!(
+                    "{{\"sweep\":{},\"job\":{},\"worker\":{},\"wall_us\":{},\
+                     \"ok\":{},\"attempts\":{}",
+                    j.sweep, j.id, j.worker, j.wall_us, j.ok, j.attempts
+                );
+                if let Some(kind) = j.error_kind {
+                    let _ = write!(row, ",\"error\":\"{kind}\"");
+                }
+                row.push('}');
+                row
+            })
+            .collect();
+        format!(
+            "{{\"sweeps\":{},\"jobs\":{},\"workers\":[{}],\
+             \"wall_us\":{},\"job_wall_us\":{{\"min\":{min},\"mean\":{mean},\"max\":{max}}},\
+             \"inflight_high_water\":{},\"retried\":{},\"failed\":{},\
+             \"checkpoint_appends\":{},\"resumed\":{},\"job_detail\":[{}]}}",
+            self.sweeps,
+            self.jobs.len(),
+            workers.join(","),
+            self.wall_us,
+            self.inflight_high_water,
+            self.retried(),
+            self.failed(),
+            self.checkpoint_appends,
+            self.resumed,
+            jobs.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates_and_sorts_samples() {
+        let tel = SweepTelemetry::new();
+        assert_eq!(tel.begin_sweep(), 0);
+        tel.job_claimed();
+        tel.job_claimed();
+        tel.job_done(JobSample {
+            sweep: 0,
+            id: 1,
+            worker: 1,
+            wall_us: 30,
+            ok: true,
+            attempts: 1,
+            error_kind: None,
+        });
+        tel.job_done(JobSample {
+            sweep: 0,
+            id: 0,
+            worker: 0,
+            wall_us: 10,
+            ok: false,
+            attempts: 2,
+            error_kind: Some("RetriedThenFailed"),
+        });
+        tel.add_wall_us(40);
+        let report = tel.report();
+        assert_eq!(report.sweeps, 1);
+        assert_eq!(report.inflight_high_water, 2);
+        assert_eq!(report.jobs[0].id, 0, "detail sorted by job id");
+        assert_eq!(report.job_wall_us(), (10, 20, 30));
+        assert_eq!(report.retried(), 1);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.workers.len(), 2);
+        assert_eq!(report.workers[1].jobs, 1);
+        let json = report.to_json();
+        assert!(json.contains("\"inflight_high_water\":2"), "{json}");
+        assert!(json.contains("\"error\":\"RetriedThenFailed\""), "{json}");
+        let text = report.summary();
+        assert!(text.contains("worker 0: 1 job(s)"), "{text}");
+    }
+
+    #[test]
+    fn an_empty_collector_reports_zeros() {
+        let report = SweepTelemetry::new().report();
+        assert_eq!(report.job_wall_us(), (0, 0, 0));
+        assert_eq!(report.jobs.len(), 0);
+        assert!(report.to_json().contains("\"job_detail\":[]"));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let tel = SweepTelemetry::new();
+        let clone = tel.clone();
+        clone.begin_sweep();
+        clone.checkpoint_append();
+        clone.add_resumed(3);
+        let report = tel.report();
+        assert_eq!(report.sweeps, 1);
+        assert_eq!(report.checkpoint_appends, 1);
+        assert_eq!(report.resumed, 3);
+    }
+}

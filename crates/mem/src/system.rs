@@ -126,6 +126,11 @@ pub struct MemorySystem {
     /// Current CPU cycle, set by the pipeline before executing an
     /// instruction's operations.
     now: f64,
+    /// VLIW instruction index of the requesting instruction, set by the
+    /// pipeline (only when tracing) so cache-access events carry the
+    /// requesting PC. Purely presentational: not snapshotted, no effect
+    /// on timing.
+    pc: usize,
     /// Stall cycles accumulated since `begin_instr`.
     stall: f64,
     cwb_pending: f64,
@@ -145,6 +150,7 @@ impl MemorySystem {
             prefetch: PrefetchUnit::new(config.prefetch_queue),
             dram: Dram::new(config.dram, config.cpu_freq_mhz),
             now: 0.0,
+            pc: 0,
             stall: 0.0,
             cwb_pending: 0.0,
             cwb_last: 0.0,
@@ -190,6 +196,15 @@ impl MemorySystem {
     /// `stpf*` MMIO stores).
     pub fn set_prefetch_region(&mut self, region: u8, r: Region) {
         self.prefetch.set_region(region, r);
+    }
+
+    /// Records the VLIW instruction index of the instruction about to
+    /// access memory, so trace events can carry the requesting PC. The
+    /// pipeline calls this only when a sink is attached; untraced runs
+    /// never pay the store.
+    #[inline]
+    pub fn set_pc(&mut self, pc: usize) {
+        self.pc = pc;
     }
 
     /// Starts timing a new instruction at CPU cycle `now`. Costs two
@@ -358,6 +373,7 @@ impl MemorySystem {
             addr,
             outcome: outcome_of(lookup),
             prefetch_hit,
+            pc: self.pc,
         });
     }
 
@@ -466,6 +482,7 @@ impl MemorySystem {
                     addr: a,
                     outcome: outcome_of(lookup),
                     prefetch_hit: false,
+                    pc: self.pc,
                 });
             }
             if lookup == Lookup::Hit {

@@ -74,7 +74,14 @@ impl ChromeTraceSink {
     /// Renders the buffered events as a Chrome `trace_event` JSON
     /// document (`{"traceEvents":[...]}`).
     pub fn to_json(&self) -> String {
-        let mut rows: Vec<String> = Vec::with_capacity(self.events.len() + 16);
+        self.to_json_with(&[])
+    }
+
+    /// Like [`ChromeTraceSink::to_json`], with pre-rendered extra rows
+    /// (e.g. a [`TimelineSink`](crate::TimelineSink) counter track from
+    /// `chrome_rows`) spliced into the same document.
+    pub fn to_json_with(&self, extra_rows: &[String]) -> String {
+        let mut rows: Vec<String> = Vec::with_capacity(self.events.len() + extra_rows.len() + 16);
         rows.push(meta_row("process_name", 0, "tm3270"));
         for (tid, name) in [
             (1, "slot 1"),
@@ -93,6 +100,7 @@ impl ChromeTraceSink {
         for event in &self.events {
             self.render(event, &mut async_id, &mut rows);
         }
+        rows.extend_from_slice(extra_rows);
         format!("{{\"traceEvents\":[{}]}}", rows.join(","))
     }
 
@@ -131,6 +139,7 @@ impl ChromeTraceSink {
                 cycle,
                 cause,
                 cycles,
+                pc,
             } => {
                 let (tid, name) = match cause {
                     StallCause::IFetch => (6, "ifetch stall"),
@@ -143,7 +152,7 @@ impl ChromeTraceSink {
                     tid,
                     begin,
                     name,
-                    &format!("\"cycles\":{cycles}"),
+                    &format!("\"cycles\":{cycles},\"pc\":{pc}"),
                 ));
                 rows.push(duration("E", tid, end, name, ""));
             }
@@ -153,12 +162,13 @@ impl ChromeTraceSink {
                 addr,
                 outcome,
                 prefetch_hit,
+                pc,
             } => {
                 rows.push(instant(
                     9,
                     cycle,
                     &format!("{} {}", cache.name(), outcome.name()),
-                    &format!("\"addr\":{addr},\"prefetch_hit\":{prefetch_hit}"),
+                    &format!("\"addr\":{addr},\"prefetch_hit\":{prefetch_hit},\"pc\":{pc}"),
                 ));
             }
             TraceEvent::CacheEvict {
@@ -320,6 +330,7 @@ mod tests {
             cycle: 10,
             cause: StallCause::Data,
             cycles: 4,
+            pc: 0,
         });
         sink.event(&TraceEvent::CacheAccess {
             cycle: 6.0,
@@ -327,6 +338,7 @@ mod tests {
             addr: 0x40,
             outcome: CacheOutcome::Miss,
             prefetch_hit: false,
+            pc: 0,
         });
         sink.event(&TraceEvent::DramTransaction {
             cycle: 6.0,
@@ -347,6 +359,18 @@ mod tests {
         let ab = out.matches("\"ph\":\"b\"").count();
         let ae = out.matches("\"ph\":\"e\"").count();
         assert_eq!(ab, ae);
+    }
+
+    #[test]
+    fn extra_rows_are_spliced_into_the_document() {
+        let sink = sample();
+        let extra = vec![
+            "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":0,\"name\":\"cycles\",\"args\":{\"issue\":1}}"
+                .to_string(),
+        ];
+        let out = sink.to_json_with(&extra);
+        assert!(out.contains("\"ph\":\"C\""));
+        assert!(out.ends_with("]}"));
     }
 
     #[test]

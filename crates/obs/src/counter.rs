@@ -1,8 +1,21 @@
 //! [`CounterSink`]: utilization histograms and stall attribution.
 
-use crate::event::{CacheId, CacheOutcome, StallCause, TraceEvent};
+use crate::event::{CacheId, CacheOutcome, MemTxKind, StallCause, TraceEvent};
 use crate::sink::TraceSink;
 use std::collections::BTreeMap;
+
+/// Stable dense index for a DRAM transaction kind (the order of
+/// [`MemTxKind::all`]).
+fn dram_index(kind: MemTxKind) -> usize {
+    match kind {
+        MemTxKind::DemandFill => 0,
+        MemTxKind::WriteFetch => 1,
+        MemTxKind::Copyback => 2,
+        MemTxKind::Prefetch => 3,
+        MemTxKind::IFetch => 4,
+        MemTxKind::CacheControl => 5,
+    }
+}
 
 /// Number of issue slots tracked (the TM3270 issues 5 operations per
 /// VLIW instruction; wider slots are clamped to the last bin).
@@ -83,8 +96,11 @@ pub struct CounterSink {
     pub ops_per_slot: [u64; SLOTS],
     /// Operations executed per issue slot (guard true).
     pub executed_per_slot: [u64; SLOTS],
-    /// Per-functional-unit dispatch counts, keyed by unit name.
-    pub units: BTreeMap<&'static str, UnitCount>,
+    /// Per-functional-unit dispatch counts. Unit names are interned
+    /// statics and there are only ~10 units, so the hot path is a
+    /// pointer-first linear scan instead of a `BTreeMap` walk; read the
+    /// sorted view through [`CounterSink::units`].
+    unit_counts: Vec<(&'static str, UnitCount)>,
     /// Instruction-fetch stall episodes (not cycles; see buckets).
     pub ifetch_stalls: u64,
     /// Data-side stall episodes (not cycles; see buckets).
@@ -99,8 +115,10 @@ pub struct CounterSink {
     pub prefetch_late: u64,
     /// Total cycles demand accesses waited on late prefetches.
     pub prefetch_late_wait: f64,
-    /// Per-kind DRAM transaction counters, keyed by kind name.
-    pub dram: BTreeMap<&'static str, DramCount>,
+    /// Per-kind DRAM transaction counters, densely indexed by
+    /// [`dram_index`]; read the name-keyed view through
+    /// [`CounterSink::dram`].
+    dram_counts: [DramCount; 6],
     /// Branch operations resolved.
     pub branches_resolved: u64,
     /// Branches resolved taken.
@@ -122,6 +140,40 @@ impl CounterSink {
     /// The cycle decomposition accumulated so far.
     pub fn buckets(&self) -> StallBuckets {
         self.buckets
+    }
+
+    /// Per-functional-unit dispatch counts, keyed by unit name (sorted).
+    pub fn units(&self) -> BTreeMap<&'static str, UnitCount> {
+        self.unit_counts.iter().copied().collect()
+    }
+
+    /// Per-kind DRAM transaction counters, keyed by kind name. Kinds
+    /// with no transactions are omitted (matching the old map behavior).
+    pub fn dram(&self) -> BTreeMap<&'static str, DramCount> {
+        MemTxKind::all()
+            .iter()
+            .map(|&k| (k.name(), self.dram_counts[dram_index(k)]))
+            .filter(|(_, d)| d.transactions > 0)
+            .collect()
+    }
+
+    #[inline]
+    fn unit_entry(&mut self, unit: &'static str) -> &mut UnitCount {
+        // Pointer equality first: dispatch sites always pass the same
+        // interned `&'static str` per unit, so the common case is a
+        // short scan of pointer compares.
+        let pos = self
+            .unit_counts
+            .iter()
+            .position(|&(name, _)| std::ptr::eq(name, unit) || name == unit);
+        let i = match pos {
+            Some(i) => i,
+            None => {
+                self.unit_counts.push((unit, UnitCount::default()));
+                self.unit_counts.len() - 1
+            }
+        };
+        &mut self.unit_counts[i].1
     }
 
     /// Total operations dispatched (sum over slots).
@@ -157,10 +209,12 @@ impl TraceSink for CounterSink {
             } => {
                 let s = (slot as usize).min(SLOTS - 1);
                 self.ops_per_slot[s] += 1;
-                let u = self.units.entry(unit).or_default();
-                u.dispatched += 1;
                 if executed {
                     self.executed_per_slot[s] += 1;
+                }
+                let u = self.unit_entry(unit);
+                u.dispatched += 1;
+                if executed {
                     u.executed += 1;
                 }
             }
@@ -212,7 +266,7 @@ impl TraceSink for CounterSink {
                 self.prefetch_late_wait += wait;
             }
             TraceEvent::DramTransaction { kind, bytes, .. } => {
-                let d = self.dram.entry(kind.name()).or_default();
+                let d = &mut self.dram_counts[dram_index(kind)];
                 d.transactions += 1;
                 d.bytes += bytes as u64;
             }
@@ -254,11 +308,13 @@ mod tests {
             cycle: 10,
             cause: StallCause::IFetch,
             cycles: 3,
+            pc: 9,
         });
         c.event(&TraceEvent::StallEnd {
             cycle: 14,
             cause: StallCause::Data,
             cycles: 4,
+            pc: 9,
         });
         let b = c.buckets();
         assert_eq!(b.issue, 10);
@@ -311,9 +367,10 @@ mod tests {
         });
         assert_eq!(c.ops_dispatched(), 2);
         assert_eq!(c.ops_executed(), 1);
-        assert_eq!(c.units["alu"].executed, 1);
-        assert_eq!(c.units["load"].dispatched, 1);
-        assert_eq!(c.units["load"].executed, 0);
+        let units = c.units();
+        assert_eq!(units["alu"].executed, 1);
+        assert_eq!(units["load"].dispatched, 1);
+        assert_eq!(units["load"].executed, 0);
         assert_eq!(c.ops_per_slot[4], 1);
     }
 
@@ -326,6 +383,7 @@ mod tests {
             addr: 0x100,
             outcome: CacheOutcome::Miss,
             prefetch_hit: false,
+            pc: 0,
         });
         c.event(&TraceEvent::CacheEvict {
             cycle: 1.0,
@@ -342,7 +400,9 @@ mod tests {
         assert_eq!(c.dcache.misses, 1);
         assert_eq!(c.dcache.evictions, 1);
         assert_eq!(c.dcache.copyback_bytes, 64);
-        assert_eq!(c.dram["demand_fill"].transactions, 1);
-        assert_eq!(c.dram["demand_fill"].bytes, 128);
+        let dram = c.dram();
+        assert_eq!(dram["demand_fill"].transactions, 1);
+        assert_eq!(dram["demand_fill"].bytes, 128);
+        assert!(!dram.contains_key("copyback"), "zero kinds are omitted");
     }
 }

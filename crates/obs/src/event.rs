@@ -151,6 +151,9 @@ pub enum TraceEvent {
         cycle: u64,
         /// Stall cause.
         cause: StallCause,
+        /// VLIW instruction index the stall is attributed to: the
+        /// instruction about to issue (ifetch) or just issued (data).
+        pc: usize,
     },
     /// A pipeline stall ended.
     StallEnd {
@@ -160,6 +163,9 @@ pub enum TraceEvent {
         cause: StallCause,
         /// Stall length in cycles.
         cycles: u64,
+        /// VLIW instruction index the stall is attributed to (see
+        /// [`TraceEvent::StallBegin`]).
+        pc: usize,
     },
     /// A cache lookup completed.
     CacheAccess {
@@ -174,6 +180,10 @@ pub enum TraceEvent {
         /// Whether this access consumed a line brought in by the
         /// prefetch unit (first demand touch of a prefetched line).
         prefetch_hit: bool,
+        /// VLIW instruction index of the requesting instruction (the
+        /// instruction executing a load/store, or the one whose fetch
+        /// probed the instruction cache).
+        pc: usize,
     },
     /// A cache line was evicted to make room.
     CacheEvict {
@@ -315,11 +325,13 @@ mod tests {
             TraceEvent::StallBegin {
                 cycle: 0,
                 cause: StallCause::IFetch,
+                pc: 0,
             },
             TraceEvent::StallEnd {
                 cycle: 0,
                 cause: StallCause::Data,
                 cycles: 1,
+                pc: 0,
             },
             TraceEvent::FaultFlip {
                 site: "data memory",

@@ -43,10 +43,20 @@ pub fn number(v: f64) -> String {
     }
 }
 
+/// Reads exactly four hex digits as a code unit.
+fn hex4(chars: &mut std::str::Chars<'_>) -> Option<u32> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        v = v * 16 + chars.next()?.to_digit(16)?;
+    }
+    Some(v)
+}
+
 /// Reverses [`escape`]: decodes the JSON string escape set (everything
-/// `escape` emits, plus `\/`, `\b` and `\f` for generality). Returns
-/// `None` on a malformed literal. Surrogate pairs are not decoded —
-/// [`escape`] never produces them.
+/// `escape` emits, plus `\/`, `\b`, `\f` and `\u` surrogate pairs, so
+/// output produced by other JSON writers decodes too). Returns `None`
+/// on any malformed literal — a trailing backslash, an unknown escape,
+/// bad hex, or an unpaired surrogate — and never panics.
 pub fn unescape(s: &str) -> Option<String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
@@ -65,11 +75,25 @@ pub fn unescape(s: &str) -> Option<String> {
             'b' => out.push('\u{8}'),
             'f' => out.push('\u{c}'),
             'u' => {
-                let mut v = 0u32;
-                for _ in 0..4 {
-                    v = v * 16 + chars.next()?.to_digit(16)?;
-                }
-                out.push(char::from_u32(v)?);
+                let unit = hex4(&mut chars)?;
+                let cp = match unit {
+                    // High surrogate: must be followed by an escaped low
+                    // surrogate; combine into a supplementary code point.
+                    0xD800..=0xDBFF => {
+                        if chars.next()? != '\\' || chars.next()? != 'u' {
+                            return None;
+                        }
+                        let low = hex4(&mut chars)?;
+                        if !(0xDC00..=0xDFFF).contains(&low) {
+                            return None;
+                        }
+                        0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                    }
+                    // A lone low surrogate is malformed.
+                    0xDC00..=0xDFFF => return None,
+                    v => v,
+                };
+                out.push(char::from_u32(cp)?);
             }
             _ => return None,
         }
@@ -145,6 +169,40 @@ mod tests {
         assert_eq!(unescape("\\q"), None, "unknown escape");
         assert_eq!(unescape("\\u00g1"), None, "bad hex");
         assert_eq!(unescape("trailing\\"), None, "cut-off escape");
+    }
+
+    #[test]
+    fn unescape_decodes_surrogate_pairs() {
+        // U+1F600 (😀) as an escaped surrogate pair.
+        assert_eq!(
+            unescape("\\ud83d\\ude00").as_deref(),
+            Some("\u{1f600}"),
+            "pair decodes to supplementary code point"
+        );
+        assert_eq!(
+            unescape("x\\uD83D\\uDE00y").as_deref(),
+            Some("x\u{1f600}y"),
+            "uppercase hex, embedded"
+        );
+        // Basic-plane escapes still work.
+        assert_eq!(unescape("\\u0041").as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn unescape_rejects_malformed_surrogates_without_panicking() {
+        for bad in [
+            "\\ud83d",        // lone high surrogate at end of input
+            "\\ud83d zzz",    // high surrogate followed by plain text
+            "\\ud83d\\n",     // high surrogate followed by a non-\u escape
+            "\\ud83d\\u0041", // high surrogate + non-low-surrogate unit
+            "\\ud83d\\ud83d", // two high surrogates
+            "\\ude00",        // lone low surrogate
+            "\\ud83d\\ude0",  // truncated low-surrogate hex
+            "\\u",            // truncated hex
+            "\\u12",          // truncated hex
+        ] {
+            assert_eq!(unescape(bad), None, "{bad:?} must be rejected");
+        }
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!   utilization histograms plus a stall-attribution breakdown
 //!   ([`StallBuckets`]) that exactly decomposes a run's total cycles
 //!   into issue + ifetch-stall + data-stall + watchdog-idle;
+//! * [`ProfileSink`] — the same decomposition bucketed *per VLIW
+//!   instruction address*, coalesced into straight-line blocks for
+//!   top-N hot-spot reports with the same conservation guarantee;
+//! * [`TimelineSink`] — all counters sampled every K cycles into a
+//!   fixed-capacity time series (intervals merge pairwise and K doubles
+//!   under pressure), exported as JSON or a Chrome counter track;
 //! * [`ChromeTraceSink`] — a Chrome `trace_event`-format JSON exporter
 //!   (one "thread" per issue slot, async rows for DRAM transactions)
 //!   loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev);
@@ -27,6 +33,12 @@
 //!   simulator's crash-report ring buffer;
 //! * [`FanoutSink`] — forwards every event to several sinks at once;
 //! * [`NullSink`] — discards everything (benchmarking the enabled path).
+//!
+//! Events flow through a fixed staging buffer shared by every clone of
+//! a [`SinkHandle`] and reach the sink in batches ([`TraceSink::batch`])
+//! of up to [`EMIT_BATCH`], so emission itself makes no dynamic calls.
+//! Producers flush at run boundaries; call [`SinkHandle::flush`] before
+//! reading a sink mid-run.
 //!
 //! # Examples
 //!
@@ -43,7 +55,9 @@
 //!     cycle: 5,
 //!     cause: StallCause::Data,
 //!     cycles: 4,
+//!     pc: 0,
 //! });
+//! handle.flush(); // drain the staging buffer before reading
 //! let buckets = counter.borrow().buckets();
 //! assert_eq!(buckets.issue, 1);
 //! assert_eq!(buckets.data_stall, 4);
@@ -57,11 +71,15 @@ mod chrome;
 mod counter;
 mod event;
 pub mod json;
+mod profile;
 mod ring;
 mod sink;
+mod timeline;
 
 pub use chrome::ChromeTraceSink;
 pub use counter::{CacheCounts, CounterSink, DramCount, StallBuckets, UnitCount, SLOTS};
 pub use event::{CacheId, CacheOutcome, MemTxKind, StallCause, TraceEvent};
+pub use profile::{BlockProfile, PcProfile, ProfileSink};
 pub use ring::RingSink;
-pub use sink::{FanoutSink, NullSink, SinkHandle, TraceSink};
+pub use sink::{FanoutSink, NullSink, SinkHandle, TraceSink, EMIT_BATCH};
+pub use timeline::{TimelineSample, TimelineSink, DEFAULT_TIMELINE_CAP};

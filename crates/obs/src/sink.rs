@@ -5,6 +5,12 @@ use crate::event::TraceEvent;
 use std::cell::RefCell;
 use std::rc::Rc;
 
+/// Capacity of the [`SinkHandle`] staging buffer: events are handed to
+/// the sink in batches of up to this many, so the dynamic-dispatch cost
+/// of [`TraceSink::batch`] is paid once per batch rather than once per
+/// event.
+pub const EMIT_BATCH: usize = 64;
+
 /// A consumer of trace events.
 ///
 /// Sinks receive events by reference in emission order. A sink must not
@@ -12,6 +18,20 @@ use std::rc::Rc;
 pub trait TraceSink {
     /// Consumes one event.
     fn event(&mut self, event: &TraceEvent);
+
+    /// Consumes a batch of events in emission order.
+    ///
+    /// [`SinkHandle`] delivers events through this method, one dynamic
+    /// call per staged batch. The default forwards to
+    /// [`TraceSink::event`] in a loop that is monomorphized per
+    /// implementation, so per-event handling inlines; override it only
+    /// when a sink can do better than event-at-a-time (e.g.
+    /// [`FanoutSink`] forwards the whole slice to each child).
+    fn batch(&mut self, events: &[TraceEvent]) {
+        for event in events {
+            self.event(event);
+        }
+    }
 }
 
 /// A sink that discards every event — useful for measuring the enabled
@@ -21,6 +41,24 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn event(&mut self, _event: &TraceEvent) {}
+
+    fn batch(&mut self, _events: &[TraceEvent]) {}
+}
+
+/// The staging buffer shared by every clone of a [`SinkHandle`]: a
+/// fixed-capacity event queue plus the sink it drains into.
+struct Staged {
+    buf: Vec<TraceEvent>,
+    inner: Rc<RefCell<dyn TraceSink>>,
+}
+
+impl Staged {
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.inner.borrow_mut().batch(&self.buf);
+            self.buf.clear();
+        }
+    }
 }
 
 /// The handle producers (the simulator, the memory system, the fault
@@ -31,10 +69,19 @@ impl TraceSink for NullSink {
 /// ([`SinkHandle::enabled`]), and event construction is skipped entirely
 /// when emitting through [`SinkHandle::emit_with`].
 ///
-/// Cloning the handle shares the underlying sink — the pipeline and the
-/// memory system it owns both feed the same consumer.
+/// When enabled, events are staged in a fixed [`EMIT_BATCH`]-capacity
+/// buffer (allocated once, never grown) and handed to the sink through
+/// one [`TraceSink::batch`] call per batch — emission itself never makes
+/// a dynamic call. The buffer drains when full and on
+/// [`SinkHandle::flush`]; `Machine::run_with` flushes at the end of
+/// every run (including crash paths), so callers stepping a machine by
+/// hand and reading a sink mid-run should flush first.
+///
+/// Cloning the handle shares the staging buffer and the underlying sink
+/// — the pipeline and the memory system it owns both feed the same
+/// consumer, in emission order.
 #[derive(Clone, Default)]
-pub struct SinkHandle(Option<Rc<RefCell<dyn TraceSink>>>);
+pub struct SinkHandle(Option<Rc<RefCell<Staged>>>);
 
 impl SinkHandle {
     /// The disabled handle (no sink attached; emission is a no-op).
@@ -44,7 +91,10 @@ impl SinkHandle {
 
     /// A handle feeding an already-shared sink.
     pub fn new(sink: Rc<RefCell<dyn TraceSink>>) -> SinkHandle {
-        SinkHandle(Some(sink))
+        SinkHandle(Some(Rc::new(RefCell::new(Staged {
+            buf: Vec::with_capacity(EMIT_BATCH),
+            inner: sink,
+        }))))
     }
 
     /// Whether a sink is attached.
@@ -56,8 +106,12 @@ impl SinkHandle {
     /// Emits an already-constructed event (no-op when disabled).
     #[inline]
     pub fn emit(&self, event: TraceEvent) {
-        if let Some(sink) = &self.0 {
-            sink.borrow_mut().event(&event);
+        if let Some(staged) = &self.0 {
+            let mut s = staged.borrow_mut();
+            s.buf.push(event);
+            if s.buf.len() == EMIT_BATCH {
+                s.flush();
+            }
         }
     }
 
@@ -65,15 +119,40 @@ impl SinkHandle {
     /// gathering is never paid on the disabled path.
     #[inline]
     pub fn emit_with(&self, f: impl FnOnce() -> TraceEvent) {
-        if let Some(sink) = &self.0 {
-            sink.borrow_mut().event(&f());
+        if let Some(staged) = &self.0 {
+            let mut s = staged.borrow_mut();
+            let event = f();
+            s.buf.push(event);
+            if s.buf.len() == EMIT_BATCH {
+                s.flush();
+            }
+        }
+    }
+
+    /// Emits and immediately drains the staging buffer — for rare
+    /// out-of-band events (fault flips) whose observers expect to see
+    /// them without waiting for a batch boundary.
+    pub fn emit_now(&self, event: TraceEvent) {
+        if let Some(staged) = &self.0 {
+            let mut s = staged.borrow_mut();
+            s.buf.push(event);
+            s.flush();
+        }
+    }
+
+    /// Drains the staging buffer into the sink (no-op when disabled or
+    /// empty). Every clone of a handle shares one buffer, so a single
+    /// flush drains events from all producers.
+    pub fn flush(&self) {
+        if let Some(staged) = &self.0 {
+            staged.borrow_mut().flush();
         }
     }
 }
 
 impl<T: TraceSink + 'static> From<Rc<RefCell<T>>> for SinkHandle {
     fn from(sink: Rc<RefCell<T>>) -> SinkHandle {
-        SinkHandle(Some(sink))
+        SinkHandle::new(sink)
     }
 }
 
@@ -125,6 +204,12 @@ impl TraceSink for FanoutSink {
             sink.borrow_mut().event(event);
         }
     }
+
+    fn batch(&mut self, events: &[TraceEvent]) {
+        for sink in &self.sinks {
+            sink.borrow_mut().batch(events);
+        }
+    }
 }
 
 impl std::fmt::Debug for FanoutSink {
@@ -144,6 +229,7 @@ mod tests {
         assert!(!h.enabled());
         // The closure must not run when disabled.
         h.emit_with(|| unreachable!("disabled handle evaluated its event"));
+        h.flush();
     }
 
     #[test]
@@ -161,7 +247,50 @@ mod tests {
             pc: 1,
             ops: 1,
         });
+        // Events are staged until a flush (any clone drains the shared
+        // buffer).
+        assert_eq!(ring.borrow().len(), 0);
+        b.flush();
         assert_eq!(ring.borrow().len(), 2);
+    }
+
+    #[test]
+    fn buffer_drains_when_full() {
+        let ring = Rc::new(RefCell::new(RingSink::new(4 * EMIT_BATCH)));
+        let h = SinkHandle::from(ring.clone());
+        for cycle in 0..EMIT_BATCH as u64 {
+            h.emit(TraceEvent::InstrIssue {
+                cycle,
+                pc: 0,
+                ops: 1,
+            });
+        }
+        // Exactly one full batch: drained without an explicit flush.
+        assert_eq!(ring.borrow().len(), EMIT_BATCH);
+        h.emit(TraceEvent::InstrIssue {
+            cycle: 99,
+            pc: 0,
+            ops: 1,
+        });
+        assert_eq!(
+            ring.borrow().len(),
+            EMIT_BATCH,
+            "partial batch stays staged"
+        );
+        h.flush();
+        assert_eq!(ring.borrow().len(), EMIT_BATCH + 1);
+    }
+
+    #[test]
+    fn emit_now_bypasses_staging() {
+        let ring = Rc::new(RefCell::new(RingSink::new(8)));
+        let h = SinkHandle::from(ring.clone());
+        h.emit_now(TraceEvent::FaultFlip {
+            site: "data memory",
+            byte: 3,
+            bit: 1,
+        });
+        assert_eq!(ring.borrow().len(), 1);
     }
 
     #[test]
@@ -177,6 +306,7 @@ mod tests {
             cycle: 1.0,
             base: 0x80,
         });
+        h.flush();
         assert_eq!(r1.borrow().len(), 1);
         assert_eq!(r2.borrow().len(), 1);
     }

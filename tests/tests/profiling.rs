@@ -7,10 +7,14 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use tm3270_asm::ProgramBuilder;
-use tm3270_bench::profile::{find_workload, golden_names, profile_kernel};
+use tm3270_bench::profile::{
+    find_workload, golden_names, profile_kernel, profile_kernel_with, ProfileOptions,
+};
 use tm3270_core::{Machine, MachineConfig, SimError};
 use tm3270_fault::{FaultInjector, FaultSite};
-use tm3270_obs::{CounterSink, RingSink, SinkHandle, TraceEvent};
+use tm3270_obs::{
+    CounterSink, FanoutSink, ProfileSink, RingSink, SinkHandle, TimelineSink, TraceEvent,
+};
 
 /// The acceptance criterion of the observability layer: on every golden
 /// kernel, the counter sink's stall buckets decompose `RunStats.cycles`
@@ -66,9 +70,10 @@ fn golden_kernels_conserve_cycles() {
             p.counters.branches_taken, p.stats.taken_branches,
             "{name} taken branches"
         );
-        let dram_tx: u64 = p.counters.dram.values().map(|d| d.transactions).sum();
+        let dram = p.counters.dram();
+        let dram_tx: u64 = dram.values().map(|d| d.transactions).sum();
         assert_eq!(dram_tx, mem.dram.transfers, "{name} dram transfers");
-        let dram_bytes: u64 = p.counters.dram.values().map(|d| d.bytes).sum();
+        let dram_bytes: u64 = dram.values().map(|d| d.bytes).sum();
         assert_eq!(dram_bytes, mem.dram.bytes, "{name} dram bytes");
     }
 }
@@ -84,6 +89,57 @@ fn conservation_holds_across_configs() {
             .unwrap_or_else(|e| panic!("{}: {e}", config.name));
         p.check_conservation()
             .unwrap_or_else(|e| panic!("{}: {e}", config.name));
+    }
+}
+
+/// Tentpole acceptance: per-PC hot-spot buckets sum to
+/// `RunStats.cycles` exactly, and timeline interval deltas sum to the
+/// final counter totals, on all eleven golden kernels under both the
+/// cheapest (A) and the full (D) machine configurations.
+#[test]
+fn hotspot_and_timeline_conservation_on_golden_kernels() {
+    let opts = ProfileOptions {
+        hotspots: true,
+        timeline: Some(1000),
+        ..ProfileOptions::default()
+    };
+    for config in [MachineConfig::config_a(), MachineConfig::config_d()] {
+        for name in golden_names() {
+            let kernel = find_workload(name).unwrap_or_else(|| panic!("{name} in registry"));
+            let p = profile_kernel_with(kernel.as_ref(), &config, &opts)
+                .unwrap_or_else(|e| panic!("{name} on {}: {e}", config.name));
+            // check_conservation covers both guarantees; assert the raw
+            // sums too so a future regression names the exact quantity.
+            p.check_conservation()
+                .unwrap_or_else(|e| panic!("{name} on {}: {e}", config.name));
+            let hs = p.hotspots.as_ref().expect("hotspots requested");
+            let block_sum: u64 = hs.blocks.iter().map(|b| b.profile.cycles()).sum();
+            assert_eq!(
+                block_sum, p.stats.cycles,
+                "{name} on {}: block cycles must equal RunStats.cycles",
+                config.name
+            );
+            let tl = p.timeline.as_ref().expect("timeline requested");
+            let totals = tl.totals();
+            let b = p.counters.buckets();
+            assert_eq!(
+                totals.issue,
+                b.issue + b.watchdog_idle,
+                "{name} on {}: timeline issue deltas",
+                config.name
+            );
+            assert_eq!(
+                totals.ifetch_stall + totals.data_stall,
+                b.ifetch_stall + b.data_stall,
+                "{name} on {}: timeline stall deltas",
+                config.name
+            );
+            assert_eq!(
+                totals.events, p.counters.events,
+                "{name} on {}: every event lands in exactly one sample",
+                config.name
+            );
+        }
     }
 }
 
@@ -113,6 +169,52 @@ fn watchdog_abort_conserves_cycles() {
     );
     assert!(b.watchdog_idle > 0, "idle window reclassified");
     assert_eq!(c.watchdog_fired, 1);
+}
+
+/// The watchdog-crash path conserves the per-PC hot-spot attribution
+/// and the interval timeline too: an aborted run's per-PC (and block)
+/// cycles sum to the cycle count at the abort, and the timeline deltas
+/// still sum to the bucket totals.
+#[test]
+fn watchdog_abort_conserves_hotspots_and_timeline() {
+    let config = MachineConfig::tm3270();
+    let mut b = ProgramBuilder::new(config.issue);
+    let top = b.bind_here();
+    b.jump(top);
+    let mut m = Machine::new(config, b.build().unwrap()).unwrap();
+    let jump_targets = m.program().jump_targets.clone();
+    let profile = Rc::new(RefCell::new(ProfileSink::new(m.program().instrs.len())));
+    let timeline = Rc::new(RefCell::new(TimelineSink::new(100)));
+    let mut fan = FanoutSink::new();
+    fan.push(profile.clone());
+    fan.push(timeline.clone());
+    m.attach_sink(SinkHandle::from(Rc::new(RefCell::new(fan))));
+    m.set_watchdog(500);
+
+    let report = m.run_reported(100_000).expect_err("livelock must abort");
+    assert!(matches!(report.error, SimError::NoProgress { .. }));
+
+    let ps = profile.borrow();
+    assert_eq!(
+        ps.total_cycles(),
+        report.cycle,
+        "per-PC cycles must sum to the abort cycle"
+    );
+    assert!(ps.watchdog_idle() > 0, "idle window recorded");
+    assert!(ps.watchdog_pc().is_some(), "abort PC recorded");
+    let block_sum: u64 = ps
+        .blocks(&jump_targets)
+        .iter()
+        .map(|b| b.profile.cycles())
+        .sum();
+    assert_eq!(block_sum, report.cycle, "block coalescing preserves sums");
+
+    let totals = timeline.borrow().totals();
+    assert_eq!(
+        totals.issue + totals.ifetch_stall + totals.data_stall,
+        report.cycle,
+        "timeline deltas must sum to the abort cycle"
+    );
 }
 
 /// Minimal JSON well-formedness checker (the repo carries no
