@@ -99,6 +99,26 @@ cargo run --release -q -p tm3270-bench --example validate_profile_json -- \
   memset rgb2yuv < /tmp/tm3270_hotspots.json || {
   echo "FAIL: hot-spot/timeline JSON failed shape or conservation validation"; exit 1; }
 
+echo "== session server smoke (tm3270d: concurrent served suite vs serial, clean shutdown) =="
+# Start the daemon on an ephemeral port, run the golden suite as served
+# sessions over two concurrent connections, and require the streamed
+# document to be byte-identical to the serial repro_all --json output.
+# A graceful shutdown must checkpoint-and-exit 0.
+cargo build --release -q -p tm3270-bench --bin tm3270d --example session_client
+./target/release/tm3270d --workers 2 > /tmp/tm3270d_banner.json &
+tm3270d_pid=$!
+for _ in $(seq 50); do [ -s /tmp/tm3270d_banner.json ] && break; sleep 0.1; done
+tm3270d_addr=$(sed -n 's/.*"listening":"\([^"]*\)".*/\1/p' /tmp/tm3270d_banner.json)
+[ -n "$tm3270d_addr" ] || { echo "FAIL: tm3270d printed no listening banner"; exit 1; }
+./target/release/examples/session_client --addr "$tm3270d_addr" --suite --conns 2 \
+  > /tmp/tm3270_served_suite.json
+diff /tmp/tm3270_suite_t1.json /tmp/tm3270_served_suite.json || {
+  echo "FAIL: served suite differs from serial repro_all --json"; exit 1; }
+./target/release/examples/session_client --addr "$tm3270d_addr" --lifecycle > /dev/null || {
+  echo "FAIL: session lifecycle transcript did not complete"; exit 1; }
+./target/release/examples/session_client --addr "$tm3270d_addr" --shutdown
+wait "$tm3270d_pid" || { echo "FAIL: tm3270d did not exit 0 on graceful shutdown"; exit 1; }
+
 echo "== sweep telemetry smoke (opt-in, default output unchanged) =="
 telemetry_json=$(cargo run --release -q -p tm3270-bench --bin repro_fault_campaign -- \
   --seed 1 --runs 50 --threads 2 --json --telemetry)

@@ -21,7 +21,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-use tm3270_core::{Machine, MachineConfig};
+use tm3270_core::{Machine, MachineConfig, RunOptions};
 use tm3270_kernels::memops::Memcpy;
 use tm3270_kernels::pixels::Rgb2Yuv;
 use tm3270_kernels::Kernel;
@@ -51,7 +51,10 @@ fn one_run(kernel: &dyn Kernel, config: &MachineConfig, mode: Mode) -> (Duration
     }
     kernel.setup(&mut m);
     let start = Instant::now();
-    let stats = m.run(1_000_000_000).unwrap();
+    let stats = m
+        .run_with(RunOptions::budget(1_000_000_000))
+        .into_result()
+        .unwrap();
     (start.elapsed(), std::hint::black_box(stats.cycles))
 }
 

@@ -2,7 +2,7 @@
 //! instructions per second of host time).
 
 use tm3270_bench::timing::bench;
-use tm3270_core::{Machine, MachineConfig};
+use tm3270_core::{Machine, MachineConfig, RunOptions};
 use tm3270_kernels::memops::Memcpy;
 use tm3270_kernels::pixels::Rgb2Yuv;
 use tm3270_kernels::Kernel;
@@ -26,11 +26,18 @@ fn main() {
         // Report simulated-VLIW-instructions/second.
         let mut probe = Machine::new(config.clone(), program.clone()).unwrap();
         kernel.setup(&mut probe);
-        let instrs = probe.run(1_000_000_000).unwrap().instrs;
+        let instrs = probe
+            .run_with(RunOptions::budget(1_000_000_000))
+            .into_result()
+            .unwrap()
+            .instrs;
         bench(name, instrs, || {
             let mut m = Machine::new(config.clone(), program.clone()).unwrap();
             kernel.setup(&mut m);
-            m.run(1_000_000_000).unwrap().cycles
+            m.run_with(RunOptions::budget(1_000_000_000))
+                .into_result()
+                .unwrap()
+                .cycles
         });
     }
 }

@@ -1,0 +1,217 @@
+//! `session_client` — drives a running `tm3270d` over the wire protocol.
+//!
+//! ```text
+//! session_client --addr HOST:PORT [--suite] [--conns N] [--lifecycle]
+//!                [--bench N] [--shutdown]
+//! ```
+//!
+//! Modes (combinable; they execute in the order listed):
+//!
+//! * `--suite` — runs the eleven Table 5 golden kernels across
+//!   configurations A–D as served sessions, fanned out over `--conns`
+//!   concurrent connections, and prints the same `{"suite":[...]}`
+//!   document as `repro_all --json`. CI byte-diffs the two.
+//! * `--lifecycle` — walks one session through the full lifecycle
+//!   (create → load → step → inspect → snapshot → restore into a fresh
+//!   session → run → verify → close), echoing each request/response
+//!   pair; the worked transcript in `EXPERIMENTS.md` is this output.
+//! * `--bench N` — measures session throughput: N complete
+//!   create/load/run/verify/close cycles of `memset` on configuration D,
+//!   reported as sessions/second.
+//! * `--shutdown` — asks the server to checkpoint live sessions and
+//!   exit gracefully.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tm3270_bench::cli::Spec;
+use tm3270_session::{Client, ClientError};
+
+fn spec() -> Spec {
+    Spec::new("session_client")
+        .option("--addr", "HOST:PORT", "server address (required)")
+        .switch("--suite", "run the golden suite as served sessions")
+        .option(
+            "--conns",
+            "N",
+            "concurrent connections for --suite (default 2)",
+        )
+        .switch("--lifecycle", "print a full session-lifecycle transcript")
+        .option(
+            "--bench",
+            "N",
+            "measure sessions/sec over N memset sessions",
+        )
+        .switch("--shutdown", "shut the server down gracefully")
+}
+
+/// Runs one (kernel, config) suite cell in an open session and returns
+/// the server-rendered `"cell"` row (the `repro_all --json` row format).
+fn run_cell(client: &mut Client, kernel: &str, config: &str) -> Result<String, String> {
+    let fail = |stage: &str, e: ClientError| format!("{kernel}/{config}: {stage}: {e}");
+    let sid = client.create(config).map_err(|e| fail("create", e))?;
+    let load = client.load(sid, kernel).map_err(|e| fail("load", e))?;
+    let run = client.run(sid, load.budget).map_err(|e| fail("run", e))?;
+    if !run.halted {
+        return Err(format!("{kernel}/{config}: budget exhausted before halt"));
+    }
+    let cell = extract_cell(&run.payload)
+        .ok_or_else(|| format!("{kernel}/{config}: final frame carried no cell"))?;
+    client.verify(sid).map_err(|e| fail("verify", e))?;
+    client.close(sid).map_err(|e| fail("close", e))?;
+    Ok(cell)
+}
+
+/// Pulls the `"cell"` object out of a final run frame. The server emits
+/// it as the frame's last field, so it spans from the key to the frame's
+/// closing brace.
+fn extract_cell(payload: &str) -> Option<String> {
+    let start = payload.find(",\"cell\":")? + ",\"cell\":".len();
+    Some(payload[start..payload.len() - 1].to_string())
+}
+
+fn suite(addr: &str, conns: usize) -> Result<(), String> {
+    let kernels = tm3270_bench::profile::golden_names();
+    let configs = ["a", "b", "c", "d"];
+    // Kernel-major, config-minor: the `run_suite_with` row order.
+    let jobs: Vec<(usize, &'static str, &'static str)> = kernels
+        .iter()
+        .flat_map(|k| configs.iter().map(move |c| (*k, *c)))
+        .enumerate()
+        .map(|(i, (k, c))| (i, k, c))
+        .collect();
+    let conns = conns.max(1);
+    let cells: Vec<Option<String>> = vec![None; jobs.len()];
+    let cells = std::sync::Mutex::new(cells);
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for conn in 0..conns {
+            let jobs = &jobs;
+            let cells = &cells;
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                let mut client =
+                    Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                for (slot, kernel, config) in jobs.iter().skip(conn).step_by(conns) {
+                    let cell = run_cell(&mut client, kernel, config)?;
+                    cells.lock().expect("cell slots")[*slot] = Some(cell);
+                }
+                Ok(())
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("suite connection thread")?;
+        }
+        Ok(())
+    })?;
+    let cells = cells.into_inner().expect("cell slots");
+    let rows: Vec<String> = cells
+        .into_iter()
+        .map(|c| c.expect("every suite slot filled"))
+        .collect();
+    println!("{{\"suite\":[{}]}}", rows.join(","));
+    Ok(())
+}
+
+/// One echoed request/response exchange of the lifecycle transcript.
+fn exchange(client: &mut Client, body: &str) -> Result<String, String> {
+    println!("-> {{{body}}}");
+    let reply = client.request(body).map_err(|e| e.to_string())?;
+    println!("<- {reply}");
+    Ok(reply)
+}
+
+fn lifecycle(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let c = &mut client;
+    let sid = |reply: &str| -> Result<u64, String> {
+        tm3270_obs::json::u64_field(reply, "session").ok_or("create reply without session".into())
+    };
+    let first = sid(&exchange(c, "\"op\":\"create\",\"config\":\"d\"")?)?;
+    exchange(
+        c,
+        &format!("\"op\":\"load\",\"session\":{first},\"workload\":\"memset\""),
+    )?;
+    exchange(
+        c,
+        &format!("\"op\":\"step\",\"session\":{first},\"count\":32"),
+    )?;
+    exchange(c, &format!("\"op\":\"inspect\",\"session\":{first}"))?;
+    let snap = exchange(c, &format!("\"op\":\"snapshot\",\"session\":{first}"))?;
+    let hex = tm3270_obs::json::string_field(&snap, "snapshot")
+        .ok_or("snapshot reply without payload")?;
+    let second = sid(&exchange(c, "\"op\":\"create\",\"config\":\"d\"")?)?;
+    // The TM3S container carries the mutable state, not the program, so
+    // a fresh session loads the same workload before restoring into it.
+    exchange(
+        c,
+        &format!("\"op\":\"load\",\"session\":{second},\"workload\":\"memset\""),
+    )?;
+    println!(
+        "-> {{\"op\":\"restore\",\"session\":{second},\"snapshot\":\"<{} hex chars>\"}}",
+        hex.len()
+    );
+    let reply = c
+        .request(&format!(
+            "\"op\":\"restore\",\"session\":{second},\"snapshot\":\"{hex}\""
+        ))
+        .map_err(|e| e.to_string())?;
+    println!("<- {reply}");
+    exchange(
+        c,
+        &format!("\"op\":\"run\",\"session\":{second},\"budget\":200000000"),
+    )?;
+    exchange(c, &format!("\"op\":\"verify\",\"session\":{second}"))?;
+    exchange(c, &format!("\"op\":\"close\",\"session\":{second}"))?;
+    exchange(c, &format!("\"op\":\"close\",\"session\":{first}"))?;
+    Ok(())
+}
+
+fn bench(addr: &str, sessions: usize) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let started = Instant::now();
+    for _ in 0..sessions {
+        run_cell(&mut client, "memset", "d")?;
+    }
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "{{\"bench\":{{\"sessions\":{sessions},\"secs\":{:.3},\"per_sec\":{:.1}}}}}",
+        secs,
+        sessions as f64 / secs.max(1e-9)
+    );
+    Ok(())
+}
+
+fn run() -> Result<ExitCode, String> {
+    let Some(args) = spec().parse_env()? else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let addr = args
+        .value("--addr")
+        .ok_or("--addr HOST:PORT is required")?
+        .to_string();
+    if args.has("--suite") {
+        let conns = args.parsed("--conns")?.unwrap_or(2);
+        suite(&addr, conns)?;
+    }
+    if args.has("--lifecycle") {
+        lifecycle(&addr)?;
+    }
+    if let Some(sessions) = args.parsed("--bench")? {
+        bench(&addr, sessions)?;
+    }
+    if args.has("--shutdown") {
+        let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("session_client: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

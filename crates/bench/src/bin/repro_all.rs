@@ -22,54 +22,43 @@
 
 use std::process::ExitCode;
 
+use tm3270_bench::cli::{Args, Spec};
 use tm3270_harness::{SweepOptions, SweepTelemetry};
 
-struct Args {
-    threads: usize,
-    json: bool,
-    telemetry: bool,
+fn spec() -> Spec {
+    Spec::new("repro_all")
+        .option("--threads", "N", "sweep worker threads (0 = all cores)")
+        .switch("--json", "emit the machine-readable suite document")
+        .switch("--telemetry", "append the sweep-telemetry report")
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        threads: 0,
-        json: false,
-        telemetry: false,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        match flag.as_str() {
-            "--threads" => {
-                let v = it.next().ok_or("--threads needs a value")?;
-                args.threads = v.parse().map_err(|e| format!("--threads {v}: {e}"))?;
-            }
-            "--json" => args.json = true,
-            "--telemetry" => args.telemetry = true,
-            "--help" | "-h" => {
-                println!("usage: repro_all [--threads N] [--json] [--telemetry]");
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown flag {other}")),
-        }
-    }
-    Ok(args)
+fn parse_args() -> Result<Option<Args>, String> {
+    spec().parse_env()
 }
 
 fn main() -> ExitCode {
     let args = match parse_args() {
-        Ok(a) => a,
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("repro_all: {e}");
             return ExitCode::from(2);
         }
     };
-    let telemetry = args.telemetry.then(SweepTelemetry::new);
-    let mut opts = SweepOptions::new().threads(args.threads);
+    let threads = match args.parsed("--threads") {
+        Ok(t) => t.unwrap_or(0),
+        Err(e) => {
+            eprintln!("repro_all: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let telemetry = args.has("--telemetry").then(SweepTelemetry::new);
+    let mut opts = SweepOptions::new().threads(threads);
     if let Some(tel) = &telemetry {
         opts = opts.observe(tel);
     }
 
-    if args.json {
+    if args.has("--json") {
         let cells = tm3270_bench::run_suite_with(&opts);
         let suite = tm3270_bench::suite_json(&cells);
         match &telemetry {

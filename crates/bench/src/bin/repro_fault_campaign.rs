@@ -48,6 +48,7 @@ use tm3270_bench::campaign::{
     campaign_run, rematerialize_run, run_campaign, run_campaign_checkpointed, CampaignOptions,
     CampaignSummary,
 };
+use tm3270_bench::cli::Spec;
 use tm3270_core::Snapshot;
 use tm3270_harness::{job_seed, SweepTelemetry};
 use tm3270_obs::json;
@@ -63,81 +64,77 @@ struct Args {
     telemetry: Option<SweepTelemetry>,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn spec() -> Spec {
+    Spec::new("repro_fault_campaign")
+        .option(
+            "--seed",
+            "N",
+            "campaign seed (run i derives from seed and i alone)",
+        )
+        .option("--runs", "N", "randomized runs to execute")
+        .option("--threads", "N", "sweep worker threads (0 = all cores)")
+        .switch("--verbose", "print every run record")
+        .switch("--json", "emit the machine-readable campaign document")
+        .switch("--retry", "give a panicking run one reseeded retry")
+        .option("--checkpoint", "FILE", "journal completed runs to FILE")
+        .switch("--resume", "skip runs already journaled in --checkpoint")
+        .option(
+            "--abort-after",
+            "N",
+            "stop after N runs (exit 3; needs --checkpoint)",
+        )
+        .option(
+            "--save-crash",
+            "FILE",
+            "write the first typed-error crash as JSON",
+        )
+        .option(
+            "--replay",
+            "FILE",
+            "re-run a saved crash and verify it reproduces",
+        )
+        .switch("--telemetry", "append the sweep-telemetry report")
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let Some(parsed) = spec().parse_env()? else {
+        return Ok(None);
+    };
     let mut campaign = CampaignOptions::new();
-    let mut json = false;
-    let mut telemetry = None;
-    let mut checkpoint = None;
-    let mut resume = false;
-    let mut abort_after = None;
-    let mut save_crash = None;
-    let mut replay = None;
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        match flag.as_str() {
-            "--seed" => {
-                let v = it.next().ok_or("--seed needs a value")?;
-                let seed = v.parse().map_err(|e| format!("--seed {v}: {e}"))?;
-                campaign.sweep = campaign.sweep.seed(seed);
-            }
-            "--runs" => {
-                let v = it.next().ok_or("--runs needs a value")?;
-                campaign.runs = v.parse().map_err(|e| format!("--runs {v}: {e}"))?;
-            }
-            "--threads" => {
-                let v = it.next().ok_or("--threads needs a value")?;
-                let threads = v.parse().map_err(|e| format!("--threads {v}: {e}"))?;
-                campaign.sweep = campaign.sweep.threads(threads);
-            }
-            "--verbose" => campaign.verbose = true,
-            "--json" => json = true,
-            "--retry" => campaign.sweep = campaign.sweep.retry(true),
-            "--checkpoint" => {
-                let v = it.next().ok_or("--checkpoint needs a file path")?;
-                checkpoint = Some(PathBuf::from(v));
-            }
-            "--resume" => resume = true,
-            "--abort-after" => {
-                let v = it.next().ok_or("--abort-after needs a value")?;
-                abort_after = Some(v.parse().map_err(|e| format!("--abort-after {v}: {e}"))?);
-            }
-            "--save-crash" => {
-                let v = it.next().ok_or("--save-crash needs a file path")?;
-                save_crash = Some(PathBuf::from(v));
-            }
-            "--replay" => {
-                let v = it.next().ok_or("--replay needs a file path")?;
-                replay = Some(PathBuf::from(v));
-            }
-            "--telemetry" => {
-                let tel = telemetry.get_or_insert_with(SweepTelemetry::new);
-                campaign.sweep = campaign.sweep.observe(tel);
-            }
-            "--help" | "-h" => {
-                println!(
-                    "usage: repro_fault_campaign [--seed N] [--runs N] [--threads N] \
-                     [--verbose] [--json] [--retry] [--checkpoint FILE] [--resume] \
-                     [--abort-after N] [--save-crash FILE] [--replay FILE] [--telemetry]"
-                );
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown flag {other}")),
-        }
+    if let Some(seed) = parsed.parsed("--seed")? {
+        campaign.sweep = campaign.sweep.seed(seed);
     }
+    if let Some(runs) = parsed.parsed("--runs")? {
+        campaign.runs = runs;
+    }
+    if let Some(threads) = parsed.parsed("--threads")? {
+        campaign.sweep = campaign.sweep.threads(threads);
+    }
+    campaign.verbose = parsed.has("--verbose");
+    if parsed.has("--retry") {
+        campaign.sweep = campaign.sweep.retry(true);
+    }
+    let telemetry = parsed.has("--telemetry").then(SweepTelemetry::new);
+    if let Some(tel) = &telemetry {
+        campaign.sweep = campaign.sweep.observe(tel);
+    }
+    let checkpoint = parsed.value("--checkpoint").map(PathBuf::from);
+    let resume = parsed.has("--resume");
+    let abort_after = parsed.parsed("--abort-after")?;
     if checkpoint.is_none() && (resume || abort_after.is_some()) {
         return Err("--resume and --abort-after require --checkpoint".into());
     }
     campaign.sweep = campaign.sweep.progress("fault campaign");
-    Ok(Args {
+    Ok(Some(Args {
         campaign,
-        json,
+        json: parsed.has("--json"),
         checkpoint,
         resume,
         abort_after,
-        save_crash,
-        replay,
+        save_crash: parsed.value("--save-crash").map(PathBuf::from),
+        replay: parsed.value("--replay").map(PathBuf::from),
         telemetry,
-    })
+    }))
 }
 
 /// The crash document `--save-crash` writes: everything `--replay`
@@ -285,7 +282,8 @@ fn replay(path: &Path) -> ExitCode {
 
 fn main() -> ExitCode {
     let args = match parse_args() {
-        Ok(a) => a,
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("repro_fault_campaign: {e}");
             return ExitCode::from(2);

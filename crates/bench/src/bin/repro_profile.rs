@@ -29,6 +29,7 @@
 
 use std::process::ExitCode;
 
+use tm3270_bench::cli::Spec;
 use tm3270_bench::profile::{
     find_workload, golden_names, profile_kernel_with, workloads, Profile, ProfileOptions,
 };
@@ -47,76 +48,66 @@ struct Args {
     timeline: Option<u64>,
 }
 
+fn spec() -> Spec {
+    Spec::new("repro_profile")
+        .option(
+            "--workload",
+            "NAME",
+            "workload to profile (repeatable; default golden set)",
+        )
+        .switch("--all", "profile every registry workload")
+        .option("--config", "NAME", "a|b|c|d (default tm3270)")
+        .option("--threads", "N", "sweep worker threads (0 = all cores)")
+        .switch("--json", "emit JSON profile objects")
+        .option(
+            "--chrome-trace",
+            "PATH",
+            "record a Chrome trace_event timeline",
+        )
+        .switch("--hotspots", "record per-PC hot-spot attribution")
+        .option("--top", "N", "hot-spot table size (default 10)")
+        .option(
+            "--timeline",
+            "K",
+            "sample an interval timeline every K cycles",
+        )
+        .switch("--list", "list available workloads and exit")
+}
+
 fn parse_args() -> Result<Option<Args>, String> {
-    let mut args = Args {
-        names: Vec::new(),
-        all: false,
-        config: MachineConfig::tm3270(),
-        threads: 0,
-        json: false,
-        chrome_trace: None,
-        hotspots: false,
-        top: 10,
-        timeline: None,
+    let Some(parsed) = spec().parse_env()? else {
+        return Ok(None);
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        match flag.as_str() {
-            "--workload" => {
-                let v = it.next().ok_or("--workload needs a name")?;
-                args.names.push(v);
-            }
-            "--all" => args.all = true,
-            "--config" => {
-                let v = it.next().ok_or("--config needs a|b|c|d")?;
-                args.config = match v.as_str() {
-                    "a" | "A" => MachineConfig::config_a(),
-                    "b" | "B" => MachineConfig::config_b(),
-                    "c" | "C" => MachineConfig::config_c(),
-                    "d" | "D" => MachineConfig::config_d(),
-                    other => return Err(format!("unknown config {other} (want a|b|c|d)")),
-                };
-            }
-            "--threads" => {
-                let v = it.next().ok_or("--threads needs a value")?;
-                args.threads = v.parse().map_err(|e| format!("--threads {v}: {e}"))?;
-            }
-            "--json" => args.json = true,
-            "--chrome-trace" => {
-                let v = it.next().ok_or("--chrome-trace needs a path")?;
-                args.chrome_trace = Some(v);
-            }
-            "--hotspots" => args.hotspots = true,
-            "--top" => {
-                let v = it.next().ok_or("--top needs a block count")?;
-                args.top = v.parse().map_err(|e| format!("--top {v}: {e}"))?;
-            }
-            "--timeline" => {
-                let v = it.next().ok_or("--timeline needs an interval (cycles)")?;
-                let k: u64 = v.parse().map_err(|e| format!("--timeline {v}: {e}"))?;
-                if k == 0 {
-                    return Err("--timeline interval must be >= 1".into());
-                }
-                args.timeline = Some(k);
-            }
-            "--list" => {
-                for kernel in workloads() {
-                    println!("{}", kernel.name());
-                }
-                return Ok(None);
-            }
-            "--help" | "-h" => {
-                println!(
-                    "usage: repro_profile [--workload NAME]... [--all] \
-                     [--config a|b|c|d] [--threads N] [--json] \
-                     [--chrome-trace PATH] [--hotspots] [--top N] \
-                     [--timeline K] [--list]"
-                );
-                return Ok(None);
-            }
-            other => return Err(format!("unknown flag {other}")),
+    if parsed.has("--list") {
+        for kernel in workloads() {
+            println!("{}", kernel.name());
         }
+        return Ok(None);
     }
+    let config = match parsed.value("--config") {
+        None => MachineConfig::tm3270(),
+        Some(v) => tm3270_session::config_named(v)
+            .ok_or_else(|| format!("unknown config {v} (want a|b|c|d)"))?,
+    };
+    let timeline = parsed.parsed("--timeline")?;
+    if timeline == Some(0) {
+        return Err("--timeline interval must be >= 1".into());
+    }
+    let args = Args {
+        names: parsed
+            .values("--workload")
+            .iter()
+            .map(|v| v.to_string())
+            .collect(),
+        all: parsed.has("--all"),
+        config,
+        threads: parsed.parsed("--threads")?.unwrap_or(0),
+        json: parsed.has("--json"),
+        chrome_trace: parsed.value("--chrome-trace").map(|v| v.to_string()),
+        hotspots: parsed.has("--hotspots"),
+        top: parsed.parsed("--top")?.unwrap_or(10),
+        timeline,
+    };
     if args.chrome_trace.is_some() && (args.all || args.names.len() != 1) {
         return Err("--chrome-trace requires exactly one --workload".into());
     }

@@ -21,6 +21,7 @@
 
 use std::process::ExitCode;
 
+use tm3270_bench::cli::Spec;
 use tm3270_bench::profile::{find_workload, golden_names, workloads};
 use tm3270_bench::simspeed::{measure_kernel, speed_json, speed_report, SpeedRow};
 use tm3270_core::MachineConfig;
@@ -33,61 +34,53 @@ struct Args {
     check_golden: bool,
 }
 
+fn spec() -> Spec {
+    Spec::new("repro_simspeed")
+        .option(
+            "--workload",
+            "NAME",
+            "workload to measure (repeatable; default golden set)",
+        )
+        .option("--config", "NAME", "a|b|c|d|tm3270|tm3260 (default tm3270)")
+        .option(
+            "--repeats",
+            "N",
+            "runs per workload, fastest wins (default 3)",
+        )
+        .switch("--json", "emit the sim_speed JSON document")
+        .switch("--list", "list available workloads and exit")
+        .switch(
+            "--check-golden",
+            "fail unless rows are exactly the golden registry",
+        )
+}
+
 fn parse_args() -> Result<Option<Args>, String> {
-    let mut args = Args {
-        names: Vec::new(),
-        config: MachineConfig::tm3270(),
-        repeats: 3,
-        json: false,
-        check_golden: false,
+    let Some(parsed) = spec().parse_env()? else {
+        return Ok(None);
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        match flag.as_str() {
-            "--workload" => {
-                let v = it.next().ok_or("--workload needs a name")?;
-                args.names.push(v);
-            }
-            "--config" => {
-                let v = it.next().ok_or("--config needs a|b|c|d|tm3270|tm3260")?;
-                args.config = match v.as_str() {
-                    "a" | "A" => MachineConfig::config_a(),
-                    "b" | "B" => MachineConfig::config_b(),
-                    "c" | "C" => MachineConfig::config_c(),
-                    "d" | "D" => MachineConfig::config_d(),
-                    "tm3270" => MachineConfig::tm3270(),
-                    "tm3260" => MachineConfig::tm3260(),
-                    other => {
-                        return Err(format!(
-                            "unknown config {other} (want a|b|c|d|tm3270|tm3260)"
-                        ))
-                    }
-                };
-            }
-            "--repeats" => {
-                let v = it.next().ok_or("--repeats needs a value")?;
-                args.repeats = v.parse().map_err(|e| format!("--repeats {v}: {e}"))?;
-            }
-            "--json" => args.json = true,
-            "--check-golden" => args.check_golden = true,
-            "--list" => {
-                for kernel in workloads() {
-                    println!("{}", kernel.name());
-                }
-                return Ok(None);
-            }
-            "--help" | "-h" => {
-                println!(
-                    "usage: repro_simspeed [--workload NAME]... \
-                     [--config a|b|c|d|tm3270|tm3260] [--repeats N] [--json] [--list] \
-                     [--check-golden]"
-                );
-                return Ok(None);
-            }
-            other => return Err(format!("unknown flag {other}")),
+    if parsed.has("--list") {
+        for kernel in workloads() {
+            println!("{}", kernel.name());
         }
+        return Ok(None);
     }
-    Ok(Some(args))
+    let config = match parsed.value("--config") {
+        None => MachineConfig::tm3270(),
+        Some(v) => tm3270_session::config_named(v)
+            .ok_or_else(|| format!("unknown config {v} (want a|b|c|d|tm3270|tm3260)"))?,
+    };
+    Ok(Some(Args {
+        names: parsed
+            .values("--workload")
+            .iter()
+            .map(|v| v.to_string())
+            .collect(),
+        config,
+        repeats: parsed.parsed("--repeats")?.unwrap_or(3),
+        json: parsed.has("--json"),
+        check_golden: parsed.has("--check-golden"),
+    }))
 }
 
 fn main() -> ExitCode {

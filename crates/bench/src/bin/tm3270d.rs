@@ -1,0 +1,114 @@
+//! `tm3270d` — the simulation-as-a-service daemon.
+//!
+//! ```text
+//! tm3270d [--addr HOST:PORT] [--workers N] [--quantum CYCLES] [--scale N]
+//!         [--out-queue FRAMES] [--max-sessions N] [--checkpoint-dir DIR]
+//!         [--telemetry]
+//! ```
+//!
+//! Listens for `tm3270-session` wire-protocol connections (length-framed
+//! JSON, magic `TM3W`) and multiplexes concurrent simulation sessions
+//! over a bounded worker pool. Runs are quantum-sliced so a hot session
+//! cannot starve small ones, and each session's results are
+//! byte-identical to a direct `Machine::run_with` of the same workload.
+//!
+//! The first stdout line is a machine-readable banner —
+//! `{"listening":"127.0.0.1:PORT","workers":N}` — so scripts binding
+//! `--addr 127.0.0.1:0` can parse the ephemeral port. On a `shutdown`
+//! request the daemon checkpoints every live session into
+//! `--checkpoint-dir` (as `session-<id>.tm3s` snapshot containers),
+//! prints a closing report, and exits 0. `--telemetry` prints the
+//! harness sweep-telemetry summary (per-run wall times, per-worker
+//! claim counts) to stderr at exit.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use tm3270_bench::cli::Spec;
+use tm3270_harness::SweepTelemetry;
+use tm3270_session::{Server, ServerConfig};
+
+fn spec() -> Spec {
+    Spec::new("tm3270d")
+        .option(
+            "--addr",
+            "HOST:PORT",
+            "listen address (default 127.0.0.1:0)",
+        )
+        .option("--workers", "N", "session worker threads (0 = all cores)")
+        .option("--quantum", "CYCLES", "run-slice quantum (default 200000)")
+        .option("--scale", "N", "kernel-registry scale factor (default 20)")
+        .option(
+            "--out-queue",
+            "FRAMES",
+            "per-connection output queue capacity",
+        )
+        .option("--max-sessions", "N", "live-session cap (default 256)")
+        .option(
+            "--checkpoint-dir",
+            "DIR",
+            "checkpoint live sessions here at shutdown",
+        )
+        .switch("--telemetry", "print the sweep-telemetry summary at exit")
+}
+
+fn run() -> Result<ExitCode, String> {
+    let Some(args) = spec().parse_env()? else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let addr = args.value("--addr").unwrap_or("127.0.0.1:0").to_string();
+    let telemetry = args.has("--telemetry").then(SweepTelemetry::new);
+    let mut config = ServerConfig::new();
+    if let Some(workers) = args.parsed("--workers")? {
+        config = config.workers(workers);
+    }
+    if let Some(quantum) = args.parsed("--quantum")? {
+        config = config.quantum(quantum);
+    }
+    if let Some(scale) = args.parsed("--scale")? {
+        config = config.scale(scale);
+    }
+    if let Some(frames) = args.parsed("--out-queue")? {
+        config = config.out_queue(frames);
+    }
+    if let Some(sessions) = args.parsed("--max-sessions")? {
+        config = config.max_sessions(sessions);
+    }
+    if let Some(dir) = args.value("--checkpoint-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--checkpoint-dir {dir}: {e}"))?;
+        config = config.checkpoint_dir(dir);
+    }
+    if let Some(tel) = &telemetry {
+        config = config.observe(tel);
+    }
+
+    let server = Server::bind(&addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let workers = server.config().worker_count();
+    println!("{{\"listening\":\"{local}\",\"workers\":{workers}}}");
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("stdout: {e}"))?;
+
+    let report = server.serve().map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "tm3270d: served {} sessions, checkpointed {}",
+        report.sessions, report.checkpointed
+    );
+    if let Some(tel) = &telemetry {
+        eprint!("{}", tel.report().summary());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("tm3270d: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 use tm3270_asm::ProgramBuilder;
-use tm3270_core::{CrashReport, Machine, MachineConfig, Snapshot};
+use tm3270_core::{CrashReport, Machine, MachineConfig, RunOptions, Snapshot};
 use tm3270_encode::encode_program;
 use tm3270_fault::{FaultInjector, SmallRng};
 use tm3270_harness::{
@@ -280,19 +280,25 @@ pub fn campaign_run(seed: u64) -> RunRecord {
                 machine.load_data(0, &window);
             }
             machine.set_watchdog(WATCHDOG);
-            match machine.run_reported(CYCLE_BUDGET) {
+            let outcome = machine.run_with(RunOptions::budget(CYCLE_BUDGET).with_report());
+            match outcome.result {
                 Ok(stats) => RunRecord {
                     kind: "Completed".into(),
                     flips,
                     detail: format!("completed, {} instructions", stats.instrs),
                     report: None,
                 },
-                Err(report) => RunRecord {
-                    kind: report.error.kind().to_string(),
-                    flips,
-                    detail: report.error.to_string(),
-                    report: Some(report),
-                },
+                Err(e) => {
+                    let report = outcome
+                        .report
+                        .unwrap_or_else(|| Box::new(machine.crash_report(e)));
+                    RunRecord {
+                        kind: report.error.kind().to_string(),
+                        flips,
+                        detail: report.error.to_string(),
+                        report: Some(report),
+                    }
+                }
             }
         }
     }

@@ -1,0 +1,264 @@
+//! The shared flag parser behind the `repro_*` binaries and `tm3270d`.
+//!
+//! Every driver declares its surface once — [`Spec::switch`] for
+//! boolean flags, [`Spec::option`] for value-carrying ones — and gets
+//! uniform behaviour for free: `--help`/`-h` prints a generated usage
+//! block and stops cleanly, unknown flags fail with the same
+//! `unknown flag --x` message everywhere, and a missing value names the
+//! flag and its metavar. Binaries keep their existing contract
+//! (`binary: {error}` on stderr, exit code 2) by matching on
+//! [`Spec::parse_env`]:
+//!
+//! ```no_run
+//! use tm3270_bench::cli::Spec;
+//!
+//! let spec = Spec::new("repro_example")
+//!     .switch("--json", "emit machine-readable output")
+//!     .option("--threads", "N", "worker threads (0 = all cores)");
+//! let args = match spec.parse_env() {
+//!     Ok(Some(args)) => args,
+//!     Ok(None) => return, // --help printed
+//!     Err(e) => {
+//!         eprintln!("repro_example: {e}");
+//!         std::process::exit(2);
+//!     }
+//! };
+//! let threads: usize = args.parsed("--threads").unwrap().unwrap_or(0);
+//! ```
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// One declared flag.
+#[derive(Debug, Clone, Copy)]
+struct Flag {
+    name: &'static str,
+    metavar: Option<&'static str>,
+    help: &'static str,
+}
+
+/// A binary's declared flag surface.
+#[derive(Debug, Clone)]
+pub struct Spec {
+    name: &'static str,
+    flags: Vec<Flag>,
+}
+
+impl Spec {
+    /// Starts a spec for the named binary.
+    pub fn new(name: &'static str) -> Spec {
+        Spec {
+            name,
+            flags: Vec::new(),
+        }
+    }
+
+    /// Declares a boolean flag.
+    #[must_use]
+    pub fn switch(mut self, name: &'static str, help: &'static str) -> Spec {
+        self.flags.push(Flag {
+            name,
+            metavar: None,
+            help,
+        });
+        self
+    }
+
+    /// Declares a value-carrying flag (repeatable; [`Args::value`]
+    /// returns the last occurrence, [`Args::values`] all of them).
+    #[must_use]
+    pub fn option(mut self, name: &'static str, metavar: &'static str, help: &'static str) -> Spec {
+        self.flags.push(Flag {
+            name,
+            metavar: Some(metavar),
+            help,
+        });
+        self
+    }
+
+    /// The generated usage block: a wrapped synopsis line plus one help
+    /// line per flag.
+    pub fn usage(&self) -> String {
+        let mut synopsis = format!("usage: {}", self.name);
+        for flag in &self.flags {
+            match flag.metavar {
+                Some(metavar) => {
+                    synopsis.push_str(&format!(" [{} {metavar}]", flag.name));
+                }
+                None => synopsis.push_str(&format!(" [{}]", flag.name)),
+            }
+        }
+        let width = self
+            .flags
+            .iter()
+            .map(|f| f.name.len() + f.metavar.map_or(0, |m| m.len() + 1))
+            .max()
+            .unwrap_or(0);
+        let mut out = synopsis;
+        out.push('\n');
+        for flag in &self.flags {
+            let lhs = match flag.metavar {
+                Some(metavar) => format!("{} {metavar}", flag.name),
+                None => flag.name.to_string(),
+            };
+            out.push_str(&format!("  {lhs:width$}  {}\n", flag.help));
+        }
+        out
+    }
+
+    /// Parses the process arguments; `Ok(None)` means `--help` was
+    /// printed and the binary should exit 0.
+    ///
+    /// # Errors
+    ///
+    /// `unknown flag --x` for undeclared flags, `--x needs a M` for a
+    /// value flag at the end of the argument list.
+    pub fn parse_env(&self) -> Result<Option<Args>, String> {
+        self.parse(std::env::args().skip(1))
+    }
+
+    /// [`Spec::parse_env`] over an explicit argument stream (tests).
+    ///
+    /// # Errors
+    ///
+    /// See [`Spec::parse_env`].
+    pub fn parse(&self, argv: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
+        let mut seen: Vec<(&'static str, Option<String>)> = Vec::new();
+        let mut argv = argv;
+        while let Some(arg) = argv.next() {
+            if arg == "--help" || arg == "-h" {
+                print!("{}", self.usage());
+                return Ok(None);
+            }
+            let Some(flag) = self.flags.iter().find(|f| f.name == arg) else {
+                return Err(format!("unknown flag {arg}"));
+            };
+            match flag.metavar {
+                None => seen.push((flag.name, None)),
+                Some(metavar) => {
+                    let value = argv
+                        .next()
+                        .ok_or_else(|| format!("{} needs a {metavar}", flag.name))?;
+                    seen.push((flag.name, Some(value)));
+                }
+            }
+        }
+        Ok(Some(Args { seen }))
+    }
+}
+
+/// Parsed arguments, queried by flag name.
+#[derive(Debug, Clone)]
+pub struct Args {
+    seen: Vec<(&'static str, Option<String>)>,
+}
+
+impl Args {
+    /// Whether the flag appeared at least once.
+    pub fn has(&self, flag: &str) -> bool {
+        self.seen.iter().any(|(name, _)| *name == flag)
+    }
+
+    /// The flag's last value (value flags only).
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.seen
+            .iter()
+            .rev()
+            .find(|(name, value)| *name == flag && value.is_some())
+            .and_then(|(_, value)| value.as_deref())
+    }
+
+    /// Every occurrence of the flag's value, in argument order.
+    pub fn values(&self, flag: &str) -> Vec<&str> {
+        self.seen
+            .iter()
+            .filter(|(name, _)| *name == flag)
+            .filter_map(|(_, value)| value.as_deref())
+            .collect()
+    }
+
+    /// Parses the flag's last value into `T`; `Ok(None)` when absent.
+    ///
+    /// # Errors
+    ///
+    /// `--x V: {parse error}` when the value does not parse.
+    pub fn parsed<T: FromStr>(&self, flag: &str) -> Result<Option<T>, String>
+    where
+        T::Err: Display,
+    {
+        let Some(value) = self.value(flag) else {
+            return Ok(None);
+        };
+        value
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("{flag} {value}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> impl Iterator<Item = String> {
+        args.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    fn spec() -> Spec {
+        Spec::new("t")
+            .switch("--json", "json output")
+            .option("--threads", "N", "worker threads")
+            .option("--workload", "NAME", "workload (repeatable)")
+    }
+
+    #[test]
+    fn switches_values_and_repeats() {
+        let args = spec()
+            .parse(argv(&[
+                "--json",
+                "--threads",
+                "4",
+                "--workload",
+                "a",
+                "--workload",
+                "b",
+            ]))
+            .unwrap()
+            .unwrap();
+        assert!(args.has("--json"));
+        assert!(!args.has("--verbose"));
+        assert_eq!(args.parsed::<usize>("--threads"), Ok(Some(4)));
+        assert_eq!(args.values("--workload"), vec!["a", "b"]);
+        assert_eq!(args.value("--workload"), Some("b"));
+    }
+
+    #[test]
+    fn uniform_errors() {
+        assert_eq!(
+            spec().parse(argv(&["--wat"])).unwrap_err(),
+            "unknown flag --wat"
+        );
+        assert_eq!(
+            spec().parse(argv(&["--threads"])).unwrap_err(),
+            "--threads needs a N"
+        );
+        assert!(spec()
+            .parse(argv(&["--threads", "x"]))
+            .unwrap()
+            .unwrap()
+            .parsed::<usize>("--threads")
+            .unwrap_err()
+            .starts_with("--threads x:"));
+    }
+
+    #[test]
+    fn usage_lists_every_flag() {
+        let usage = spec().usage();
+        assert!(usage.starts_with("usage: t [--json] [--threads N] [--workload NAME]"));
+        assert!(usage.contains("worker threads"));
+        assert!(usage.contains("workload (repeatable)"));
+    }
+}

@@ -30,6 +30,7 @@ use tm3270_kernels::{registry, run_kernel, Kernel, Workload};
 
 pub mod ablations;
 pub mod campaign;
+pub mod cli;
 pub mod experiments;
 pub mod profile;
 pub mod simspeed;
@@ -117,27 +118,15 @@ pub fn run_suite_with(opts: &SweepOptions) -> Vec<Cell> {
 /// given — for [`run_suite_with`] output that order is thread-count
 /// independent, so the document can be diffed across parallelism
 /// levels.
+///
+/// Each row is rendered by [`tm3270_session::wire::cell_json`] — the
+/// single source of truth for the suite-row layout — so results
+/// streamed by the `tm3270d` server are byte-identical to this
+/// document by construction.
 pub fn suite_json(cells: &[Cell]) -> String {
-    use tm3270_obs::json;
     let rows: Vec<String> = cells
         .iter()
-        .map(|c| {
-            format!(
-                "{{\"kernel\":{},\"config\":{},\"cycles\":{},\"instrs\":{},\
-                 \"ops\":{},\"ifetch_stall\":{},\"data_stall\":{},\
-                 \"dcache_misses\":{},\"dram_bytes\":{},\"time_us\":{}}}",
-                json::string(&c.kernel),
-                json::string(c.config),
-                c.stats.cycles,
-                c.stats.instrs,
-                c.stats.ops,
-                c.stats.ifetch_stall_cycles,
-                c.stats.data_stall_cycles,
-                c.stats.mem.dcache.misses,
-                c.stats.mem.dram.bytes,
-                json::number(c.time_us())
-            )
-        })
+        .map(|c| tm3270_session::wire::cell_json(&c.kernel, c.config, &c.stats))
         .collect();
     format!("{{\"suite\":[{}]}}", rows.join(","))
 }

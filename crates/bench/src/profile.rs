@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 use std::rc::Rc;
 
 use crate::experiments::table3_scale;
-use tm3270_core::{Machine, MachineConfig, RunStats};
+use tm3270_core::{Machine, MachineConfig, RunOptions, RunStats};
 use tm3270_kernels::{Kernel, KernelError, Workload};
 use tm3270_obs::{
     json, BlockProfile, ChromeTraceSink, CounterSink, FanoutSink, ProfileSink, SinkHandle,
@@ -193,7 +193,9 @@ pub fn profile_kernel_with(
     machine.attach_sink(handle);
 
     kernel.setup(&mut machine);
-    let stats = machine.run(kernel.cycle_budget())?;
+    let stats = machine
+        .run_with(RunOptions::budget(kernel.cycle_budget()))
+        .into_result()?;
     kernel.verify(&machine).map_err(KernelError::Verify)?;
 
     let timeline = timeline_sink.map(|ts| ts.borrow().clone());

@@ -31,7 +31,9 @@
 //! let program = b.build()?;
 //!
 //! let mut machine = Machine::new(config, program)?;
-//! let stats = machine.run(1_000_000)?;
+//! let stats = machine
+//!     .run_with(tm3270_core::RunOptions::budget(1_000_000))
+//!     .into_result()?;
 //! assert_eq!(machine.reg(Reg::new(4)), 42);
 //! assert!(stats.cycles > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())

@@ -763,6 +763,18 @@ impl Machine {
         self.writes.next = self.writes.next.max(upto.saturating_add(1));
     }
 
+    /// The run statistics accumulated so far, with the cycle counter
+    /// and the memory-system snapshot filled in exactly as
+    /// [`run_with`](Machine::run_with) fills them at halt — the mid-run
+    /// `inspect` surface of the session API. Cheap enough to call
+    /// between run slices; it never perturbs the machine.
+    pub fn stats_snapshot(&self) -> RunStats {
+        let mut stats = self.stats;
+        stats.cycles = self.cycle;
+        stats.mem = self.mem.stats();
+        stats
+    }
+
     /// Whether the program has halted (fell off the end).
     pub fn is_halted(&self) -> bool {
         self.pc >= self.program.instrs.len() && self.pending_branch.is_none()
@@ -1068,6 +1080,10 @@ impl Machine {
     /// # Errors
     ///
     /// Returns [`SimError::CycleLimit`] when the budget is exhausted.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use run_with(RunOptions::budget(n).observe(&mut f)) — the unified run entry point"
+    )]
     pub fn run_traced(
         &mut self,
         max_cycles: u64,
@@ -1323,6 +1339,10 @@ impl Machine {
     /// # Errors
     ///
     /// Returns the post-mortem snapshot of the typed error.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use run_with(RunOptions::budget(n).with_report()) — the unified run entry point"
+    )]
     pub fn run_reported(
         &mut self,
         max_cycles: u64,
@@ -1342,6 +1362,10 @@ impl Machine {
     /// # Errors
     ///
     /// Returns [`SimError::CycleLimit`] when the budget is exhausted.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use run_with(RunOptions::budget(n)).into_result() — the unified run entry point"
+    )]
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
         self.run_with(RunOptions::budget(max_cycles)).into_result()
     }
@@ -1362,7 +1386,10 @@ mod tests {
         f(&mut b);
         let program = b.build().expect("schedulable");
         let mut m = Machine::new(config, program).expect("encodable");
-        let stats = m.run(10_000_000).expect("halts");
+        let stats = m
+            .run_with(RunOptions::budget(10_000_000))
+            .into_result()
+            .expect("halts");
         (m, stats)
     }
 
@@ -1512,7 +1539,10 @@ mod tests {
         b.op(Op::rri(Opcode::Igtri, r(3), r(2), 0));
         b.jump_if(r(3), top);
         let mut m = Machine::new(config, b.build().unwrap()).unwrap();
-        let stats = m.run(10_000_000).unwrap();
+        let stats = m
+            .run_with(RunOptions::budget(10_000_000))
+            .into_result()
+            .unwrap();
         assert!(
             stats.mem.mem.ifetches < 20,
             "loop served from the instruction buffer, got {} fetches for {} instrs",
@@ -1545,7 +1575,9 @@ mod tests {
         b.bind(done);
         b.op(Op::rrr(Opcode::Iadd, r(6), r(4), r(5)));
         let mut m = Machine::new(config, b.build().unwrap()).unwrap();
-        m.run(1_000_000).unwrap();
+        m.run_with(RunOptions::budget(1_000_000))
+            .into_result()
+            .unwrap();
         assert_eq!(m.reg(r(4)), 10, "first call doubled 5");
         assert_eq!(m.reg(r(5)), 22, "second call doubled 11");
         assert_eq!(m.reg(r(6)), 32);
@@ -1579,7 +1611,9 @@ mod tests {
             "dual store in one VLIW instruction"
         );
         let mut m = Machine::new(config, p).unwrap();
-        m.run(1_000_000).unwrap();
+        m.run_with(RunOptions::budget(1_000_000))
+            .into_result()
+            .unwrap();
         assert_eq!(&m.read_data(0x1000, 8)[..], &[0x11, 0, 0, 0, 0x22, 0, 0, 0]);
     }
 
@@ -1598,7 +1632,8 @@ mod tests {
             let p = b.build().unwrap();
             Machine::new(config.clone(), p)
                 .unwrap()
-                .run(100_000)
+                .run_with(RunOptions::budget(100_000))
+                .into_result()
                 .unwrap()
         };
         let wide = {
@@ -1617,7 +1652,8 @@ mod tests {
             let p = b.build().unwrap();
             Machine::new(config.clone(), p)
                 .unwrap()
-                .run(100_000)
+                .run_with(RunOptions::budget(100_000))
+                .into_result()
                 .unwrap()
         };
         assert!(
@@ -1639,7 +1675,11 @@ mod tests {
         b.jump_if(r(3), top);
         let mut m = Machine::new(config, b.build().unwrap()).unwrap();
         let mut records = Vec::new();
-        let stats = m.run_traced(1_000_000, |rec| records.push(*rec)).unwrap();
+        let mut observer = |rec: &TraceRecord| records.push(*rec);
+        let stats = m
+            .run_with(RunOptions::budget(1_000_000).observe(&mut observer))
+            .into_result()
+            .unwrap();
         assert_eq!(records.len() as u64, stats.instrs);
         // Cycles are monotonically increasing.
         for w in records.windows(2) {
@@ -1665,7 +1705,7 @@ mod tests {
         let program = b.build().unwrap();
         let mut m = Machine::new(MachineConfig::tm3270(), program).unwrap();
         assert!(matches!(
-            m.run(10_000),
+            m.run_with(RunOptions::budget(10_000)).into_result(),
             Err(SimError::CycleLimit { limit: 10_000 })
         ));
     }
@@ -1698,7 +1738,9 @@ mod tests {
             p.instrs.push(Instr::nop());
         }
         let mut m = Machine::new(MachineConfig::tm3270(), p).unwrap();
-        m.run(1_000_000).unwrap();
+        m.run_with(RunOptions::budget(1_000_000))
+            .into_result()
+            .unwrap();
         // The add read r4 before the load's write-back: stale value.
         assert_eq!(m.reg(r(5)), 999, "no interlock: stale value read");
         assert_eq!(m.reg(r(4)), 0x1234, "load eventually landed");
@@ -1715,7 +1757,7 @@ mod tests {
         let program = b.build().unwrap();
         let mut m = Machine::new(MachineConfig::tm3270(), program).unwrap();
         m.set_watchdog(500);
-        match m.run(1_000_000) {
+        match m.run_with(RunOptions::budget(1_000_000)).into_result() {
             Err(SimError::NoProgress { cycles, .. }) => assert!(cycles >= 500),
             other => panic!("expected NoProgress, got {other:?}"),
         }
@@ -1736,7 +1778,9 @@ mod tests {
         let program = b.build().unwrap();
         let mut m = Machine::new(MachineConfig::tm3270(), program).unwrap();
         m.set_watchdog(100);
-        m.run(10_000_000).unwrap();
+        m.run_with(RunOptions::budget(10_000_000))
+            .into_result()
+            .unwrap();
         assert_eq!(m.reg(r(3)), 400);
     }
 
@@ -1755,7 +1799,10 @@ mod tests {
         }
         p.jump_targets = vec![3, 4];
         let mut m = Machine::new(MachineConfig::tm3270(), p).unwrap();
-        assert_eq!(m.run(1_000_000), Err(SimError::BranchInDelaySlot { at: 1 }));
+        assert_eq!(
+            m.run_with(RunOptions::budget(1_000_000)).into_result(),
+            Err(SimError::BranchInDelaySlot { at: 1 })
+        );
     }
 
     #[test]
@@ -1765,7 +1812,7 @@ mod tests {
         let mut b = ProgramBuilder::new(config.issue);
         b.op(Op::rri(Opcode::Ld32d, r(3), r(0), 2));
         let mut m = Machine::new(config, b.build().unwrap()).unwrap();
-        match m.run(1_000_000) {
+        match m.run_with(RunOptions::budget(1_000_000)).into_result() {
             Err(SimError::MisalignedAccess {
                 addr: 2, size: 4, ..
             }) => {}
@@ -1782,7 +1829,7 @@ mod tests {
         b.op(Op::imm(r(2), 1 << 16));
         b.op(Op::rri(Opcode::Ld32d, r(3), r(2), 0));
         let mut m = Machine::new(config, b.build().unwrap()).unwrap();
-        match m.run(1_000_000) {
+        match m.run_with(RunOptions::budget(1_000_000)).into_result() {
             Err(SimError::OutOfBoundsAccess { addr, size: 4, .. }) => {
                 assert_eq!(addr, 1 << 16);
             }
@@ -1801,7 +1848,9 @@ mod tests {
         b.op(Op::imm(r(2), 1 << 16));
         b.op(Op::rri(Opcode::Ld32d, r(3), r(2), 1));
         let mut m = Machine::new(config, b.build().unwrap()).unwrap();
-        m.run(1_000_000).unwrap();
+        m.run_with(RunOptions::budget(1_000_000))
+            .into_result()
+            .unwrap();
     }
 
     #[test]
@@ -1874,6 +1923,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // wrapper coverage: the deprecated entry points must keep delegating
     fn run_with_unifies_the_run_variants() {
         let build = || {
             let config = MachineConfig::tm3270();
@@ -1932,7 +1982,9 @@ mod tests {
         b.op(Op::rri(Opcode::Iaddi, r(4), r(2), 0));
         b.op(Op::rri(Opcode::Ld32d, r(3), r(4), 0));
         let mut m = Machine::new(config, b.build().unwrap()).unwrap();
-        let report = m.run_reported(1_000_000).unwrap_err();
+        let outcome = m.run_with(RunOptions::budget(1_000_000).with_report());
+        assert!(outcome.result.is_err());
+        let report = outcome.report.expect("crash report captured");
         assert_eq!(report.error.kind(), "MisalignedAccess");
         assert_eq!(report.reg_digest, m.reg_digest());
         assert!(!report.trace.is_empty(), "ring buffer captured history");

@@ -89,7 +89,9 @@ impl RunStats {
     /// # let mut b = ProgramBuilder::new(config.issue);
     /// # b.op(Op::imm(Reg::new(2), 1));
     /// # let mut m = Machine::new(config, b.build().unwrap()).unwrap();
-    /// let stats = m.run(1_000_000)?;
+    /// let stats = m
+    ///     .run_with(tm3270_core::RunOptions::budget(1_000_000))
+    ///     .into_result()?;
     /// println!("{}", stats.report());
     /// # Ok::<(), tm3270_core::SimError>(())
     /// ```
@@ -161,7 +163,10 @@ mod tests {
         b.op(Op::imm(Reg::new(2), 0x1000));
         b.op(Op::rri(Opcode::Ld32d, Reg::new(3), Reg::new(2), 0));
         let mut m = Machine::new(config, b.build().unwrap()).unwrap();
-        let stats = m.run(1_000_000).unwrap();
+        let stats = m
+            .run_with(crate::RunOptions::budget(1_000_000))
+            .into_result()
+            .unwrap();
         let report = stats.report();
         for needle in ["cycles", "CPI", "dcache", "icache", "dram"] {
             assert!(report.contains(needle), "missing {needle}: {report}");

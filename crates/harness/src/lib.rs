@@ -27,6 +27,9 @@
 //!   per-job wall times, per-worker claim counts, the in-flight
 //!   high-water and retry/checkpoint events, rendered as the
 //!   `sweep_report` JSON section of the `--telemetry` drivers;
+//! * [`BoundedQueue`] — the bounded, closable blocking queue the
+//!   scheduling layers share (the `tm3270-session` server uses it for
+//!   worker command inboxes and per-connection output backpressure);
 //! * [`sweep_with_checkpoint`] / [`sweep_resume`] — the durable layer:
 //!   every completed job is journaled to an append-only checkpoint
 //!   file, so a killed sweep resumes where it stopped and still
@@ -57,6 +60,7 @@
 #![warn(missing_debug_implementations)]
 
 mod checkpoint;
+mod queue;
 mod quick;
 mod sweep;
 mod telemetry;
@@ -64,6 +68,7 @@ mod telemetry;
 pub use checkpoint::{
     sweep_resume, sweep_with_checkpoint, CheckpointError, CheckpointOutcome, CHECKPOINT_VERSION,
 };
+pub use queue::BoundedQueue;
 pub use quick::{run_program, run_program_with, DEFAULT_PROGRAM_BUDGET};
 pub use sweep::{sweep, Grid, GridPoint, JobCtx, JobError, SweepOptions};
 pub use telemetry::{JobSample, SweepReport, SweepTelemetry, WorkerStats};

@@ -1,0 +1,208 @@
+//! A bounded, closable, blocking MPMC queue built on `Mutex` +
+//! `Condvar` — the scheduling primitive shared by the sweep engine's
+//! consumers and the `tm3270-session` server (per-worker command
+//! inboxes, per-connection output queues for backpressure).
+//!
+//! Semantics:
+//!
+//! * [`BoundedQueue::push`] blocks while the queue is full — producers
+//!   are throttled to the consumer's pace (backpressure), they never
+//!   buffer unboundedly;
+//! * [`BoundedQueue::pop`] blocks while the queue is empty and open;
+//!   after [`BoundedQueue::close`] it drains the remaining items and
+//!   then returns `None`, so consumers always see every item that was
+//!   accepted;
+//! * [`BoundedQueue::close`] wakes every blocked producer and consumer;
+//!   it is idempotent and safe from any thread — the shutdown signal.
+//!
+//! Clones share the same queue (the handle is an `Arc`).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// A bounded, closable, blocking MPMC queue (see the module docs).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for BoundedQueue<T> {
+    fn clone(&self) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Arc::new(Inner {
+                capacity: capacity.max(1),
+                state: Mutex::new(State {
+                    items: VecDeque::new(),
+                    closed: false,
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back when the queue is (or becomes, while
+    /// waiting) closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.inner.state.lock().expect("queue lock");
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.inner.capacity {
+                state.items.push_back(item);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.inner.not_full.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back when the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.inner.state.lock().expect("queue lock");
+        if state.closed || state.items.len() >= self.inner.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty and
+    /// open. Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.inner.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.inner.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Dequeues the oldest item without blocking; `None` when the queue
+    /// is currently empty (whether or not it is closed).
+    pub fn try_pop(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().expect("queue lock");
+        let item = state.items.pop_front();
+        if item.is_some() {
+            self.inner.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Closes the queue: blocked producers fail, consumers drain the
+    /// remaining items and then see `None`. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.inner.state.lock().expect("queue lock");
+        state.closed = true;
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().expect("queue lock").closed
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "full queue rejects try_push");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(8), "closed queue rejects push");
+        assert_eq!(q.pop(), Some(7), "items accepted before close drain");
+        assert_eq!(q.pop(), None, "closed + empty ends the stream");
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn blocked_push_applies_backpressure_until_pop() {
+        let q = BoundedQueue::new(1);
+        q.push(1).unwrap();
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.push(2))
+        };
+        // The producer blocks on the full queue until we pop.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(1));
+        assert!(producer.join().unwrap().is_ok());
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

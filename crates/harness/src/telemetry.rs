@@ -62,12 +62,19 @@ impl SweepTelemetry {
     }
 
     /// Called by an engine at sweep start; returns the sweep's index.
-    pub(crate) fn begin_sweep(&self) -> usize {
+    ///
+    /// Public so external engines built on the harness primitives — the
+    /// `tm3270-session` server treats its whole serving lifetime as one
+    /// sweep — can record through the same collector as [`sweep`].
+    ///
+    /// [`sweep`]: crate::sweep
+    pub fn begin_sweep(&self) -> usize {
         self.inner.sweeps.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Called when a worker claims a job off the shared queue.
-    pub(crate) fn job_claimed(&self) {
+    /// Called when a worker claims a job off the shared queue (or a
+    /// server worker starts a session run).
+    pub fn job_claimed(&self) {
         let now = self.inner.inflight.fetch_add(1, Ordering::Relaxed) + 1;
         self.inner
             .inflight_high_water
@@ -75,7 +82,7 @@ impl SweepTelemetry {
     }
 
     /// Called when a claimed job finishes (either way).
-    pub(crate) fn job_done(&self, sample: JobSample) {
+    pub fn job_done(&self, sample: JobSample) {
         self.inner.inflight.fetch_sub(1, Ordering::Relaxed);
         self.inner
             .samples
@@ -84,8 +91,8 @@ impl SweepTelemetry {
             .push(sample);
     }
 
-    /// Adds one sweep's wall-clock time.
-    pub(crate) fn add_wall_us(&self, us: u64) {
+    /// Adds one sweep's (or one serving run's) wall-clock time.
+    pub fn add_wall_us(&self, us: u64) {
         self.inner.wall_us.fetch_add(us, Ordering::Relaxed);
     }
 

@@ -1,0 +1,294 @@
+//! A small blocking client for the `tm3270d` wire protocol.
+//!
+//! [`Client`] wraps one TCP connection: it frames requests with
+//! [`wire::write_frame`], reads replies with [`wire::read_frame`], and
+//! offers typed helpers for the common lifecycle
+//! (`create → load → run → verify → close`). Raw access stays
+//! available through [`Client::request`] for ops without a helper.
+//!
+//! Replies are matched to requests by the echoed `id`; interim
+//! `"event"` frames (run progress) are skipped by the typed helpers,
+//! so a streamed run still resolves to its final frame. Server-side
+//! failures surface as [`ClientError::Server`] carrying the typed
+//! error kind from the wire frame.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use tm3270_obs::json;
+
+use crate::wire::{self, WireError};
+
+/// What a `load` request reported back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReply {
+    /// The kernel's self-declared cycle budget (pass to `run`).
+    pub budget: u64,
+    /// FNV-1a checksum of the encoded program image.
+    pub checksum: u64,
+    /// VLIW instructions in the program.
+    pub instrs: u64,
+}
+
+/// The final frame of a `run` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReply {
+    /// Whether the machine halted (false = budget exhausted).
+    pub halted: bool,
+    /// Quantum slices the server spent on this run.
+    pub slices: u64,
+    /// The raw final frame, for callers that want more fields (e.g.
+    /// the `"cell"` suite row emitted for workload runs).
+    pub payload: String,
+}
+
+/// Client-side failures: transport, server-reported, or protocol.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Framing or socket failure.
+    Wire(WireError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// The machine-readable error kind (e.g. `"UnknownWorkload"`).
+        kind: String,
+        /// The human-readable detail string.
+        detail: String,
+    },
+    /// The reply arrived but did not have the expected shape.
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server { kind, detail } => write!(f, "server error [{kind}]: {detail}"),
+            ClientError::Protocol(what) => write!(f, "protocol error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Wire(WireError::Io(e.to_string()))
+    }
+}
+
+/// One blocking connection to a `tm3270d` server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // The protocol is request/response with small frames; leaving
+        // Nagle on costs a delayed-ACK round trip per exchange.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one raw request body (the fields after `"id"`) and returns
+    /// the matching non-event reply frame.
+    ///
+    /// The body is spliced into `{"id":N,<body>}`, so pass e.g.
+    /// `"op":"inspect","session":3` — already JSON-escaped.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] on transport failure,
+    /// [`ClientError::Server`] when the reply is a typed error frame.
+    pub fn request(&mut self, body: &str) -> Result<String, ClientError> {
+        let id = self.fresh_id();
+        self.send_raw(&format!("{{\"id\":{id},{body}}}"))?;
+        self.recv_final(id)
+    }
+
+    /// Writes one already-complete frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] on transport failure.
+    pub fn send_raw(&mut self, payload: &str) -> Result<(), ClientError> {
+        wire::write_frame(&mut self.stream, payload)?;
+        Ok(())
+    }
+
+    /// Reads the next reply frame, whatever it is (including `"event"`
+    /// frames that the typed helpers skip).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] on transport failure or clean EOF.
+    pub fn recv_raw(&mut self) -> Result<String, ClientError> {
+        match wire::read_frame(&mut self.stream)? {
+            Some(payload) => Ok(payload),
+            None => Err(ClientError::Wire(WireError::Io(
+                "connection closed".to_string(),
+            ))),
+        }
+    }
+
+    /// Reads frames until the final (non-event) reply for `id`,
+    /// converting error frames into [`ClientError::Server`].
+    fn recv_final(&mut self, id: u64) -> Result<String, ClientError> {
+        loop {
+            let payload = self.recv_raw()?;
+            if json::string_field(&payload, "event").is_some() {
+                continue;
+            }
+            if json::u64_field(&payload, "id") != Some(id) {
+                return Err(ClientError::Protocol("reply id does not match request"));
+            }
+            if let Some(kind) = json::string_field(&payload, "error") {
+                let detail = json::string_field(&payload, "detail").unwrap_or_default();
+                return Err(ClientError::Server { kind, detail });
+            }
+            return Ok(payload);
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request("\"op\":\"ping\"").map(|_| ())
+    }
+
+    /// Creates a session for a named configuration (`"a"`..`"d"`,
+    /// `"tm3260"`, `"tm3270"`) and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn create(&mut self, config: &str) -> Result<u64, ClientError> {
+        let reply = self.request(&format!(
+            "\"op\":\"create\",\"config\":{}",
+            json::string(config)
+        ))?;
+        json::u64_field(&reply, "session")
+            .ok_or(ClientError::Protocol("create reply without session id"))
+    }
+
+    /// Loads a registry workload into a session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn load(&mut self, session: u64, workload: &str) -> Result<LoadReply, ClientError> {
+        let reply = self.request(&format!(
+            "\"op\":\"load\",\"session\":{session},\"workload\":{}",
+            json::string(workload)
+        ))?;
+        let budget = json::u64_field(&reply, "budget")
+            .ok_or(ClientError::Protocol("load reply without budget"))?;
+        let checksum = json::string_field(&reply, "checksum")
+            .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+            .ok_or(ClientError::Protocol("load reply without checksum"))?;
+        let instrs = json::u64_field(&reply, "instrs").ok_or(ClientError::Protocol(
+            "load reply without instruction count",
+        ))?;
+        Ok(LoadReply {
+            budget,
+            checksum,
+            instrs,
+        })
+    }
+
+    /// Runs a session for up to `budget` more cycles, blocking until
+    /// the final frame (progress events are skipped).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn run(&mut self, session: u64, budget: u64) -> Result<RunReply, ClientError> {
+        let payload = self.request(&format!(
+            "\"op\":\"run\",\"session\":{session},\"budget\":{budget}"
+        ))?;
+        let halted = payload.contains("\"halted\":true");
+        let slices = json::u64_field(&payload, "slices")
+            .ok_or(ClientError::Protocol("run reply without slice count"))?;
+        Ok(RunReply {
+            halted,
+            slices,
+            payload,
+        })
+    }
+
+    /// Checks the loaded workload against its golden reference.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with kind `"Verify"` on mismatch.
+    pub fn verify(&mut self, session: u64) -> Result<(), ClientError> {
+        self.request(&format!("\"op\":\"verify\",\"session\":{session}"))
+            .map(|_| ())
+    }
+
+    /// Captures the session's full machine state as container hex.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn snapshot(&mut self, session: u64) -> Result<String, ClientError> {
+        let reply = self.request(&format!("\"op\":\"snapshot\",\"session\":{session}"))?;
+        json::string_field(&reply, "snapshot")
+            .ok_or(ClientError::Protocol("snapshot reply without payload"))
+    }
+
+    /// Restores container hex (from [`Client::snapshot`], possibly on a
+    /// different session or server) into a session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn restore(&mut self, session: u64, hex: &str) -> Result<(), ClientError> {
+        self.request(&format!(
+            "\"op\":\"restore\",\"session\":{session},\"snapshot\":\"{hex}\""
+        ))
+        .map(|_| ())
+    }
+
+    /// Releases a session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn close(&mut self, session: u64) -> Result<(), ClientError> {
+        self.request(&format!("\"op\":\"close\",\"session\":{session}"))
+            .map(|_| ())
+    }
+
+    /// Asks the server to shut down gracefully (checkpointing live
+    /// sessions) and acknowledges the request.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request("\"op\":\"shutdown\"").map(|_| ())
+    }
+}

@@ -1,0 +1,932 @@
+//! The concurrent serving front-end: a TCP listener multiplexing many
+//! [`Session`]s over a bounded worker pool.
+//!
+//! Threading model — a `Machine` holds `Rc`-based trace plumbing and is
+//! deliberately `!Send`, so sessions never migrate: session `s` lives
+//! its whole life on worker `s % workers`, and only *commands* cross
+//! threads (through the harness [`BoundedQueue`] inboxes). Each
+//! connection gets a reader (the connection thread) and a writer
+//! thread; responses travel through a bounded per-connection output
+//! queue, so a slow client throttles its own producers instead of
+//! buffering unboundedly.
+//!
+//! Fairness — a worker never parks inside one session's run. Runs
+//! execute as round-robin cycle quanta ([`ServerConfig::quantum`],
+//! enforced via `RunOptions` budgets by [`Session::run_to`]); between
+//! quanta the worker drains its command inbox, so a freshly-arrived
+//! small-budget session starts (and finishes) while a hot session's
+//! multi-million-cycle run is still being sliced. Because the budget
+//! check is the only interruption point, a sliced run is bit-identical
+//! to an uninterrupted one.
+//!
+//! Shutdown — a `shutdown` request (or [`ShutdownHandle::shutdown`])
+//! stops the accept loop, closes the worker inboxes (workers abort
+//! in-flight runs with a typed `Shutdown` error frame and checkpoint
+//! every live session through the `TM3S` snapshot container into
+//! [`ServerConfig::checkpoint_dir`]), then closes the per-connection
+//! queues and sockets. [`Server::serve`] returns a [`ServeReport`] and
+//! the daemon exits 0.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tm3270_harness::{BoundedQueue, JobSample, SweepTelemetry};
+use tm3270_obs::json;
+
+use crate::session::{RunStatus, Session, SessionError};
+use crate::wire::{self, RequestOp};
+
+/// Commands a worker inbox can hold before routing applies
+/// backpressure to connection readers.
+const INBOX_CAPACITY: usize = 1024;
+
+/// Serving parameters; start from [`ServerConfig::new`] and override
+/// fluently.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads owning sessions (0 = available parallelism).
+    pub workers: usize,
+    /// Cycles one run slice may consume before the worker rotates to
+    /// the next runnable session.
+    pub quantum: u64,
+    /// Kernel-registry scale factor for `load` requests.
+    pub scale: u64,
+    /// Per-connection output queue capacity (frames).
+    pub out_queue: usize,
+    /// Live sessions the server accepts before rejecting `create`.
+    pub max_sessions: usize,
+    /// Where graceful shutdown checkpoints live sessions
+    /// (`session-<id>.tm3s`); `None` skips checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Optional harness telemetry collector: each completed run is
+    /// recorded as a [`JobSample`] (wall time, owning worker, quantum
+    /// slices as attempts).
+    pub telemetry: Option<SweepTelemetry>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig::new()
+    }
+}
+
+impl ServerConfig {
+    /// The default serving parameters.
+    pub fn new() -> ServerConfig {
+        ServerConfig {
+            workers: 0,
+            quantum: 200_000,
+            scale: 20,
+            out_queue: 64,
+            max_sessions: 256,
+            checkpoint_dir: None,
+            telemetry: None,
+        }
+    }
+
+    /// Sets the worker count (0 = available parallelism).
+    pub fn workers(mut self, workers: usize) -> ServerConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the run-slice quantum in cycles (clamped to ≥ 1).
+    pub fn quantum(mut self, cycles: u64) -> ServerConfig {
+        self.quantum = cycles.max(1);
+        self
+    }
+
+    /// Sets the kernel-registry scale factor.
+    pub fn scale(mut self, scale: u64) -> ServerConfig {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the per-connection output queue capacity.
+    pub fn out_queue(mut self, frames: usize) -> ServerConfig {
+        self.out_queue = frames;
+        self
+    }
+
+    /// Sets the live-session cap.
+    pub fn max_sessions(mut self, sessions: usize) -> ServerConfig {
+        self.max_sessions = sessions;
+        self
+    }
+
+    /// Sets the shutdown checkpoint directory.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> ServerConfig {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Attaches a telemetry collector (shared; cheap clone).
+    pub fn observe(mut self, telemetry: &SweepTelemetry) -> ServerConfig {
+        self.telemetry = Some(telemetry.clone());
+        self
+    }
+
+    /// The worker-thread count this configuration resolves to
+    /// (`workers`, or the machine's available parallelism when 0).
+    pub fn worker_count(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)
+    }
+}
+
+/// What one server lifetime did, returned by [`Server::serve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Sessions created over the server's lifetime.
+    pub sessions: u64,
+    /// Live sessions checkpointed to disk at shutdown.
+    pub checkpointed: usize,
+}
+
+/// A registered connection, reachable from the shutdown path.
+struct ConnReg {
+    out: BoundedQueue<String>,
+    stream: TcpStream,
+}
+
+/// State shared between the accept loop, the connection threads, the
+/// workers and [`ShutdownHandle`]s.
+struct Shared {
+    shutdown: AtomicBool,
+    next_session: AtomicU64,
+    live: AtomicUsize,
+    created: AtomicU64,
+    checkpointed: AtomicUsize,
+    inboxes: Vec<BoundedQueue<Command>>,
+    conns: Mutex<Vec<ConnReg>>,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Requests a graceful stop of a running [`Server`] from any thread
+/// (the in-process equivalent of the wire `shutdown` op).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for ShutdownHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ShutdownHandle")
+    }
+}
+
+impl ShutdownHandle {
+    /// Signals the server to stop accepting, checkpoint live sessions
+    /// and return from [`Server::serve`].
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+}
+
+/// One cross-thread command routed to a session's owning worker.
+enum Command {
+    /// Allocate the (pre-assigned) session id.
+    Create {
+        sid: u64,
+        req: u64,
+        config: String,
+        responder: Responder,
+    },
+    /// A per-session wire operation.
+    Op {
+        sid: u64,
+        req: u64,
+        op: RequestOp,
+        responder: Responder,
+    },
+    /// Connection dropped: discard the session silently.
+    Release { sid: u64 },
+}
+
+/// The sending half of a connection's bounded output queue.
+#[derive(Clone)]
+struct Responder {
+    out: BoundedQueue<String>,
+}
+
+impl Responder {
+    /// Blocking send: full queues throttle the producer (backpressure);
+    /// a closed queue (connection gone) drops the frame.
+    fn send(&self, payload: String) {
+        let _ = self.out.push(payload);
+    }
+
+    /// Best-effort send for interim frames (progress events, shutdown
+    /// notices): never blocks, drops on a full or closed queue.
+    fn send_now(&self, payload: String) {
+        let _ = self.out.try_push(payload);
+    }
+}
+
+/// An in-flight quantum-sliced run.
+struct Active {
+    target: u64,
+    stream: bool,
+    req: u64,
+    responder: Responder,
+    started: Instant,
+    slices: u32,
+}
+
+/// One worker-owned session plus its run/queue state. Commands arriving
+/// while a run is active are deferred in order and applied when the run
+/// completes.
+struct Entry {
+    session: Session,
+    active: Option<Active>,
+    queued: VecDeque<(u64, RequestOp, Responder)>,
+}
+
+/// The TCP serving front-end (see the module docs). Bind, then
+/// [`serve`](Server::serve).
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener and sets up the worker inboxes (threads start
+    /// inside [`serve`](Server::serve)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let workers = config.worker_count();
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            next_session: AtomicU64::new(1),
+            live: AtomicUsize::new(0),
+            created: AtomicU64::new(0),
+            checkpointed: AtomicUsize::new(0),
+            inboxes: (0..workers)
+                .map(|_| BoundedQueue::new(INBOX_CAPACITY))
+                .collect(),
+            conns: Mutex::new(Vec::new()),
+        });
+        Ok(Server {
+            listener,
+            config,
+            shared,
+        })
+    }
+
+    /// The bound address (read the ephemeral port after binding `:0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The configuration this server was bound with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the accept loop until shutdown; returns after every worker
+    /// and connection thread has exited and live sessions are
+    /// checkpointed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener I/O errors other than the nonblocking
+    /// accept's `WouldBlock`.
+    pub fn serve(self) -> io::Result<ServeReport> {
+        self.listener.set_nonblocking(true)?;
+        let started = Instant::now();
+        let config = &self.config;
+        let shared = &self.shared;
+        if let Some(tel) = &config.telemetry {
+            tel.begin_sweep();
+        }
+        std::thread::scope(|scope| -> io::Result<()> {
+            let workers: Vec<_> = (0..shared.inboxes.len())
+                .map(|windex| scope.spawn(move || worker_loop(windex, config, shared)))
+                .collect();
+            while !shared.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        scope.spawn(move || connection_loop(stream, config, shared));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        shared.begin_shutdown();
+                        for inbox in &shared.inboxes {
+                            inbox.close();
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+            // Workers first: they abort runs and checkpoint sessions.
+            for inbox in &shared.inboxes {
+                inbox.close();
+            }
+            for worker in workers {
+                let _ = worker.join();
+            }
+            // Then the connections: closing an output queue lets its
+            // writer drain pending frames (the shutdown acks) before
+            // the socket closes; shutting the socket down unblocks the
+            // reader. Connection threads join at scope exit.
+            let conns = shared.conns.lock().expect("connection registry lock");
+            for conn in conns.iter() {
+                conn.out.close();
+                let _ = conn.stream.shutdown(NetShutdown::Both);
+            }
+            Ok(())
+        })?;
+        if let Some(tel) = &config.telemetry {
+            tel.add_wall_us(started.elapsed().as_micros() as u64);
+        }
+        Ok(ServeReport {
+            sessions: self.shared.created.load(Ordering::SeqCst),
+            checkpointed: self.shared.checkpointed.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// One connection: reads frames, answers `ping`/`shutdown` inline,
+/// routes everything else to the owning worker, and cleans up its
+/// sessions on disconnect. The paired writer thread drains the bounded
+/// output queue onto the socket.
+fn connection_loop(stream: TcpStream, config: &ServerConfig, shared: &Arc<Shared>) {
+    // Small request/response frames: Nagle would add a delayed-ACK
+    // round trip to every reply.
+    let _ = stream.set_nodelay(true);
+    let out = BoundedQueue::<String>::new(config.out_queue);
+    let responder = Responder { out: out.clone() };
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    if let Ok(reg_stream) = stream.try_clone() {
+        shared
+            .conns
+            .lock()
+            .expect("connection registry lock")
+            .push(ConnReg {
+                out: out.clone(),
+                stream: reg_stream,
+            });
+    }
+    let writer = {
+        let out = out.clone();
+        std::thread::spawn(move || {
+            let mut stream = write_stream;
+            while let Some(payload) = out.pop() {
+                if wire::write_frame(&mut stream, &payload).is_err() {
+                    break;
+                }
+            }
+            let _ = stream.shutdown(NetShutdown::Write);
+        })
+    };
+
+    let mut stream = stream;
+    let mut owned: Vec<u64> = Vec::new();
+    loop {
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break,
+            Err(e) => {
+                responder.send(wire::error_json(0, None, e.kind(), &e.to_string()));
+                if e.is_fatal() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let request = match wire::parse_request(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                responder.send(wire::error_json(0, None, e.kind(), &e.to_string()));
+                if e.is_fatal() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let id = request.id;
+        match request.op {
+            RequestOp::Ping => {
+                responder.send(format!("{{\"id\":{id},\"ok\":true,\"pong\":true}}"));
+            }
+            RequestOp::Shutdown => {
+                responder.send(format!("{{\"id\":{id},\"ok\":true,\"shutdown\":true}}"));
+                shared.begin_shutdown();
+                break;
+            }
+            RequestOp::Create { config: name } => {
+                if shared.live.fetch_add(1, Ordering::SeqCst) >= config.max_sessions {
+                    shared.live.fetch_sub(1, Ordering::SeqCst);
+                    responder.send(wire::error_json(
+                        id,
+                        None,
+                        "Capacity",
+                        &format!("server is at its {}-session cap", config.max_sessions),
+                    ));
+                    continue;
+                }
+                let sid = shared.next_session.fetch_add(1, Ordering::SeqCst);
+                shared.created.fetch_add(1, Ordering::SeqCst);
+                owned.push(sid);
+                route(
+                    shared,
+                    sid,
+                    Command::Create {
+                        sid,
+                        req: id,
+                        config: name,
+                        responder: responder.clone(),
+                    },
+                    &responder,
+                    id,
+                );
+            }
+            op => {
+                // Every remaining op names its session.
+                let sid = op.session().unwrap_or(0);
+                route(
+                    shared,
+                    sid,
+                    Command::Op {
+                        sid,
+                        req: id,
+                        op,
+                        responder: responder.clone(),
+                    },
+                    &responder,
+                    id,
+                );
+            }
+        }
+    }
+    // Disconnect: silently discard this connection's sessions.
+    for sid in owned {
+        let windex = (sid as usize) % shared.inboxes.len();
+        let _ = shared.inboxes[windex].push(Command::Release { sid });
+    }
+    out.close();
+    let _ = writer.join();
+}
+
+/// Routes a command to the session's owning worker, answering with a
+/// typed error when the server is shutting down.
+fn route(shared: &Shared, sid: u64, command: Command, responder: &Responder, req: u64) {
+    let windex = (sid as usize) % shared.inboxes.len();
+    if shared.inboxes[windex].push(command).is_err() {
+        responder.send(wire::error_json(
+            req,
+            Some(sid),
+            "Shutdown",
+            "server is shutting down",
+        ));
+    }
+}
+
+/// One worker: owns every session with `sid % workers == windex`,
+/// alternating between command dispatch and round-robin run quanta.
+fn worker_loop(windex: usize, config: &ServerConfig, shared: &Shared) {
+    let inbox = &shared.inboxes[windex];
+    let mut entries: HashMap<u64, Entry> = HashMap::new();
+    // Sessions with an active run, in round-robin rotation order.
+    let mut ready: VecDeque<u64> = VecDeque::new();
+    loop {
+        if ready.is_empty() {
+            // Idle: block until a command arrives or the inbox closes.
+            match inbox.pop() {
+                Some(command) => dispatch(command, &mut entries, &mut ready, config, shared),
+                None => break,
+            }
+        }
+        // Drain whatever else is queued before burning a quantum, so a
+        // freshly-created small session joins the rotation immediately.
+        while let Some(command) = inbox.try_pop() {
+            dispatch(command, &mut entries, &mut ready, config, shared);
+        }
+        if inbox.is_closed() && inbox.is_empty() {
+            break;
+        }
+        if let Some(sid) = ready.pop_front() {
+            run_quantum(sid, &mut entries, &mut ready, windex, config, shared);
+        }
+    }
+    shutdown_worker(entries, config, shared);
+}
+
+/// Applies one routed command (or defers it behind an active run).
+fn dispatch(
+    command: Command,
+    entries: &mut HashMap<u64, Entry>,
+    ready: &mut VecDeque<u64>,
+    config: &ServerConfig,
+    shared: &Shared,
+) {
+    match command {
+        Command::Create {
+            sid,
+            req,
+            config: name,
+            responder,
+        } => match Session::create_named(&name) {
+            Ok(session) => {
+                let config_name = session.config().name;
+                entries.insert(
+                    sid,
+                    Entry {
+                        session,
+                        active: None,
+                        queued: VecDeque::new(),
+                    },
+                );
+                responder.send(format!(
+                    "{{\"id\":{req},\"ok\":true,\"session\":{sid},\"config\":{}}}",
+                    json::string(config_name)
+                ));
+            }
+            Err(e) => {
+                shared.live.fetch_sub(1, Ordering::SeqCst);
+                responder.send(wire::error_json(req, Some(sid), e.kind(), &e.to_string()));
+            }
+        },
+        Command::Op {
+            sid,
+            req,
+            op,
+            responder,
+        } => {
+            match entries.get_mut(&sid) {
+                None => {
+                    responder.send(wire::error_json(
+                        req,
+                        Some(sid),
+                        "UnknownSession",
+                        &format!("session {sid} does not exist"),
+                    ));
+                    return;
+                }
+                Some(entry) if entry.active.is_some() => {
+                    entry.queued.push_back((req, op, responder));
+                    return;
+                }
+                Some(_) => {}
+            }
+            apply(sid, req, op, responder, entries, ready, config, shared);
+        }
+        Command::Release { sid } => {
+            if entries.remove(&sid).is_some() {
+                ready.retain(|&s| s != sid);
+                shared.live.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Applies one per-session operation on an idle (no active run) entry.
+#[allow(clippy::too_many_arguments)]
+fn apply(
+    sid: u64,
+    req: u64,
+    op: RequestOp,
+    responder: Responder,
+    entries: &mut HashMap<u64, Entry>,
+    ready: &mut VecDeque<u64>,
+    config: &ServerConfig,
+    shared: &Shared,
+) {
+    let Some(entry) = entries.get_mut(&sid) else {
+        return;
+    };
+    let fail = |responder: &Responder, e: &SessionError| {
+        responder.send(wire::error_json(req, Some(sid), e.kind(), &e.to_string()));
+    };
+    match op {
+        RequestOp::Load { workload, .. } => {
+            match entry.session.load_workload(config.scale, &workload) {
+                Ok(info) => responder.send(format!(
+                    "{{\"id\":{req},\"ok\":true,\"session\":{sid},\"workload\":{},\
+                     \"budget\":{},\"instrs\":{},\"checksum\":\"{:#018x}\"}}",
+                    json::string(&workload),
+                    info.cycle_budget,
+                    info.instrs,
+                    info.checksum
+                )),
+                Err(e) => fail(&responder, &e),
+            }
+        }
+        RequestOp::Run { budget, stream, .. } => {
+            let Some(cycle) = entry.session.cycle() else {
+                fail(&responder, &SessionError::NoProgram);
+                return;
+            };
+            if let Some(tel) = &config.telemetry {
+                tel.job_claimed();
+            }
+            entry.active = Some(Active {
+                target: cycle.saturating_add(budget),
+                stream,
+                req,
+                responder,
+                started: Instant::now(),
+                slices: 0,
+            });
+            ready.push_back(sid);
+        }
+        RequestOp::Step { count, .. } => match entry.session.step(count) {
+            Ok(report) => responder.send(format!(
+                "{{\"id\":{req},\"ok\":true,\"session\":{sid},\"stepped\":{},\
+                 \"pc\":{},\"cycle\":{},\"halted\":{}}}",
+                report.stepped, report.pc, report.cycle, report.halted
+            )),
+            Err(e) => fail(&responder, &e),
+        },
+        RequestOp::Inspect { .. } => match entry.session.inspect() {
+            Ok(i) => responder.send(format!(
+                "{{\"id\":{req},\"ok\":true,\"session\":{sid},\"pc\":{},\"cycle\":{},\
+                 \"halted\":{},\"reg_digest\":\"{:#018x}\",\"stats\":{}}}",
+                i.pc,
+                i.cycle,
+                i.halted,
+                i.reg_digest,
+                wire::stats_json(&i.stats)
+            )),
+            Err(e) => fail(&responder, &e),
+        },
+        RequestOp::Reg { index, .. } => {
+            let result = u32::try_from(index)
+                .map_err(|_| SessionError::InvalidArg(format!("register index {index}")))
+                .and_then(|i| entry.session.reg(i));
+            match result {
+                Ok(value) => responder.send(format!(
+                    "{{\"id\":{req},\"ok\":true,\"session\":{sid},\"index\":{index},\"value\":{value}}}"
+                )),
+                Err(e) => fail(&responder, &e),
+            }
+        }
+        RequestOp::Read { addr, len, .. } => {
+            let result = u32::try_from(addr)
+                .map_err(|_| SessionError::InvalidArg(format!("address {addr} exceeds u32")))
+                .and_then(|a| entry.session.read_data(a, len as usize));
+            match result {
+                Ok(bytes) => responder.send(format!(
+                    "{{\"id\":{req},\"ok\":true,\"session\":{sid},\"addr\":{addr},\"data\":\"{}\"}}",
+                    tm3270_encode::snapshot::to_hex(&bytes)
+                )),
+                Err(e) => fail(&responder, &e),
+            }
+        }
+        RequestOp::Verify { .. } => match entry.session.verify() {
+            Ok(()) => responder.send(format!(
+                "{{\"id\":{req},\"ok\":true,\"session\":{sid},\"verified\":true}}"
+            )),
+            Err(e) => fail(&responder, &e),
+        },
+        RequestOp::Snapshot { .. } => match entry.session.snapshot() {
+            Ok(snap) => responder.send(format!(
+                "{{\"id\":{req},\"ok\":true,\"session\":{sid},\"bytes\":{},\"snapshot\":\"{}\"}}",
+                snap.len(),
+                snap.to_hex()
+            )),
+            Err(e) => fail(&responder, &e),
+        },
+        RequestOp::Restore { hex, .. } => {
+            let result = tm3270_core::Snapshot::from_hex(&hex)
+                .map_err(SessionError::Snapshot)
+                .and_then(|snap| entry.session.restore(&snap));
+            match result {
+                Ok(()) => responder.send(format!(
+                    "{{\"id\":{req},\"ok\":true,\"session\":{sid},\"restored\":true,\"cycle\":{}}}",
+                    entry.session.cycle().unwrap_or(0)
+                )),
+                Err(e) => fail(&responder, &e),
+            }
+        }
+        RequestOp::TraceAttach {
+            limit, timeline, ..
+        } => match entry.session.trace_attach(limit as usize, timeline) {
+            Ok(()) => responder.send(format!(
+                "{{\"id\":{req},\"ok\":true,\"session\":{sid},\"tracing\":true}}"
+            )),
+            Err(e) => fail(&responder, &e),
+        },
+        RequestOp::TraceDetach { .. } => match entry.session.trace_detach() {
+            Ok(doc) => responder.send(format!(
+                "{{\"id\":{req},\"ok\":true,\"session\":{sid},\"trace\":{doc}}}"
+            )),
+            Err(e) => fail(&responder, &e),
+        },
+        RequestOp::Close { .. } => {
+            entries.remove(&sid);
+            ready.retain(|&s| s != sid);
+            shared.live.fetch_sub(1, Ordering::SeqCst);
+            responder.send(format!(
+                "{{\"id\":{req},\"ok\":true,\"session\":{sid},\"closed\":true}}"
+            ));
+        }
+        // Connection-level ops are answered on the connection thread
+        // and never routed here.
+        RequestOp::Ping | RequestOp::Create { .. } | RequestOp::Shutdown => {}
+    }
+}
+
+/// Runs one quantum of `sid`'s active run, emits progress/final frames
+/// and rotates or retires the session.
+fn run_quantum(
+    sid: u64,
+    entries: &mut HashMap<u64, Entry>,
+    ready: &mut VecDeque<u64>,
+    windex: usize,
+    config: &ServerConfig,
+    shared: &Shared,
+) {
+    let Some(entry) = entries.get_mut(&sid) else {
+        return;
+    };
+    let Some(active) = entry.active.as_mut() else {
+        return;
+    };
+    active.slices += 1;
+    let cycle = entry.session.cycle().unwrap_or(0);
+    let target = active.target.min(cycle.saturating_add(config.quantum));
+    let finished: Option<(bool, Option<&'static str>)> = match entry.session.run_to(target) {
+        Ok(RunStatus::Halted(stats)) => {
+            let active = entry.active.take().expect("active run");
+            let cell = entry
+                .session
+                .workload()
+                .map(|w| wire::cell_json(w, entry.session.config().name, &stats));
+            let mut payload = format!(
+                "{{\"id\":{},\"ok\":true,\"session\":{sid},\"halted\":true,\
+                 \"slices\":{},\"stats\":{}",
+                active.req,
+                active.slices,
+                wire::stats_json(&stats)
+            );
+            if let Some(cell) = cell {
+                payload.push_str(",\"cell\":");
+                payload.push_str(&cell);
+            }
+            payload.push('}');
+            active.responder.send(payload);
+            record_run(config, windex, sid, &active, true, None);
+            Some((true, None))
+        }
+        Ok(RunStatus::Running { cycle, instrs }) => {
+            if cycle >= active.target {
+                // The requested budget ran out without a halt: not an
+                // error — the client may extend with another `run`.
+                let active = entry.active.take().expect("active run");
+                active.responder.send(format!(
+                    "{{\"id\":{},\"ok\":true,\"session\":{sid},\"halted\":false,\
+                     \"cycle\":{cycle},\"instrs\":{instrs},\"slices\":{}}}",
+                    active.req, active.slices
+                ));
+                record_run(config, windex, sid, &active, true, None);
+                Some((true, None))
+            } else {
+                if active.stream {
+                    active.responder.send_now(format!(
+                        "{{\"id\":{},\"event\":\"progress\",\"session\":{sid},\
+                         \"cycle\":{cycle},\"instrs\":{instrs}}}",
+                        active.req
+                    ));
+                }
+                ready.push_back(sid);
+                None
+            }
+        }
+        Err(e) => {
+            let active = entry.active.take().expect("active run");
+            active.responder.send(wire::error_json(
+                active.req,
+                Some(sid),
+                e.kind(),
+                &e.to_string(),
+            ));
+            record_run(config, windex, sid, &active, false, Some(e.kind()));
+            Some((false, Some(e.kind())))
+        }
+    };
+    if finished.is_some() {
+        drain_queued(sid, entries, ready, config, shared);
+    }
+}
+
+/// Records one completed run as a harness [`JobSample`].
+fn record_run(
+    config: &ServerConfig,
+    windex: usize,
+    sid: u64,
+    active: &Active,
+    ok: bool,
+    error_kind: Option<&'static str>,
+) {
+    if let Some(tel) = &config.telemetry {
+        tel.job_done(JobSample {
+            sweep: 0,
+            id: sid as usize,
+            worker: windex,
+            wall_us: active.started.elapsed().as_micros() as u64,
+            ok,
+            attempts: active.slices.max(1),
+            error_kind,
+        });
+    }
+}
+
+/// Applies commands deferred behind a completed run, stopping when a
+/// new run starts (or the session closes).
+fn drain_queued(
+    sid: u64,
+    entries: &mut HashMap<u64, Entry>,
+    ready: &mut VecDeque<u64>,
+    config: &ServerConfig,
+    shared: &Shared,
+) {
+    loop {
+        let next = match entries.get_mut(&sid) {
+            Some(entry) if entry.active.is_none() => entry.queued.pop_front(),
+            _ => None,
+        };
+        let Some((req, op, responder)) = next else {
+            return;
+        };
+        apply(sid, req, op, responder, entries, ready, config, shared);
+    }
+}
+
+/// Worker shutdown: abort active runs with a typed notice and
+/// checkpoint every live session through the TM3S container.
+fn shutdown_worker(mut entries: HashMap<u64, Entry>, config: &ServerConfig, shared: &Shared) {
+    let mut sids: Vec<u64> = entries.keys().copied().collect();
+    sids.sort_unstable();
+    for sid in sids {
+        let Some(mut entry) = entries.remove(&sid) else {
+            continue;
+        };
+        if let Some(active) = entry.active.take() {
+            active.responder.send_now(wire::error_json(
+                active.req,
+                Some(sid),
+                "Shutdown",
+                "server is shutting down; session checkpointed",
+            ));
+        }
+        let Some(dir) = &config.checkpoint_dir else {
+            continue;
+        };
+        let Ok(snapshot) = entry.session.snapshot() else {
+            continue; // nothing loaded — nothing to checkpoint
+        };
+        let path = dir.join(format!("session-{sid}.tm3s"));
+        match std::fs::write(&path, snapshot.as_bytes()) {
+            Ok(()) => {
+                shared.checkpointed.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(e) => eprintln!("tm3270d: checkpoint {} failed: {e}", path.display()),
+        }
+    }
+}

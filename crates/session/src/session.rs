@@ -1,0 +1,694 @@
+//! The [`Session`] lifecycle object: the embedding-facing API over a
+//! [`Machine`] in which every operation returns a typed result and a
+//! run can be sliced into resumable quanta.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tm3270_core::{
+    Machine, MachineConfig, RunOptions, RunStats, SimError, Snapshot, SnapshotError,
+};
+use tm3270_isa::{Program, Reg};
+use tm3270_kernels::{find_workload, Kernel};
+use tm3270_obs::{ChromeTraceSink, FanoutSink, SinkHandle, TimelineSink};
+
+/// Upper bound on one [`Session::read_data`] probe, so a wire request
+/// cannot ask a worker to materialize gigabytes.
+pub const MAX_READ_BYTES: usize = 1 << 20;
+
+/// Typed error of every [`Session`] operation. Reuses the existing
+/// [`SimError`] / [`SnapshotError`] taxonomy for the machine-level
+/// causes; the session-level causes (lifecycle misuse, unknown names)
+/// get their own variants. No session operation panics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The operation needs a loaded program (`load` was never called,
+    /// or failed).
+    NoProgram,
+    /// `load` was called on a session that already holds a program;
+    /// create a fresh session instead of reloading in place.
+    AlreadyLoaded,
+    /// The workload name is not in the kernel registry.
+    UnknownWorkload(String),
+    /// The machine-configuration name is not one of the §6 suite names
+    /// (`a`–`d`, `tm3270`, `tm3260`).
+    UnknownConfig(String),
+    /// The workload does not build (schedule) for this configuration.
+    Build(String),
+    /// The simulation failed with a typed machine error.
+    Sim(SimError),
+    /// Snapshot restore rejected the container.
+    Snapshot(SnapshotError),
+    /// The workload verifier found a mismatch against the golden
+    /// reference.
+    Verify(String),
+    /// `verify` was called on a session without a registry workload
+    /// (raw programs carry no golden reference).
+    NoVerifier,
+    /// `trace_detach` without an attached trace.
+    NoTrace,
+    /// `trace_attach` while a trace is already attached.
+    TraceActive,
+    /// A request argument is out of range (register index, read size).
+    InvalidArg(String),
+}
+
+impl SessionError {
+    /// A stable machine-readable tag for the wire protocol.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SessionError::NoProgram => "NoProgram",
+            SessionError::AlreadyLoaded => "AlreadyLoaded",
+            SessionError::UnknownWorkload(_) => "UnknownWorkload",
+            SessionError::UnknownConfig(_) => "UnknownConfig",
+            SessionError::Build(_) => "Build",
+            SessionError::Sim(e) => e.kind(),
+            SessionError::Snapshot(_) => "Snapshot",
+            SessionError::Verify(_) => "Verify",
+            SessionError::NoVerifier => "NoVerifier",
+            SessionError::NoTrace => "NoTrace",
+            SessionError::TraceActive => "TraceActive",
+            SessionError::InvalidArg(_) => "InvalidArg",
+        }
+    }
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::NoProgram => write!(f, "no program loaded"),
+            SessionError::AlreadyLoaded => write!(f, "session already holds a program"),
+            SessionError::UnknownWorkload(name) => {
+                write!(f, "workload {name:?} is not in the registry")
+            }
+            SessionError::UnknownConfig(name) => {
+                write!(f, "machine configuration {name:?} is unknown")
+            }
+            SessionError::Build(e) => write!(f, "build failed: {e}"),
+            SessionError::Sim(e) => write!(f, "simulation failed: {e}"),
+            SessionError::Snapshot(e) => write!(f, "snapshot rejected: {e}"),
+            SessionError::Verify(e) => write!(f, "verification failed: {e}"),
+            SessionError::NoVerifier => write!(f, "session has no workload verifier"),
+            SessionError::NoTrace => write!(f, "no trace attached"),
+            SessionError::TraceActive => write!(f, "a trace is already attached"),
+            SessionError::InvalidArg(e) => write!(f, "invalid argument: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<SimError> for SessionError {
+    fn from(e: SimError) -> SessionError {
+        SessionError::Sim(e)
+    }
+}
+
+impl From<SnapshotError> for SessionError {
+    fn from(e: SnapshotError) -> SessionError {
+        SessionError::Snapshot(e)
+    }
+}
+
+/// Looks up a [`MachineConfig`] by its short wire name: `a`–`d` (the §6
+/// evaluation suite), `tm3270` (= `d`) or `tm3260` (= `a`), case
+/// insensitive.
+pub fn config_named(name: &str) -> Option<MachineConfig> {
+    match name.to_ascii_lowercase().as_str() {
+        "a" | "tm3260" => Some(MachineConfig::config_a()),
+        "b" => Some(MachineConfig::config_b()),
+        "c" => Some(MachineConfig::config_c()),
+        "d" | "tm3270" => Some(MachineConfig::config_d()),
+        _ => None,
+    }
+}
+
+/// What [`Session::load_workload`] reports back: everything a remote
+/// client needs to drive and cross-check the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadInfo {
+    /// The workload's cycle budget (ample for the slowest config).
+    pub cycle_budget: u64,
+    /// FNV-1a digest of the encoded binary image actually loaded — the
+    /// same fingerprint as the registry's golden checksum.
+    pub checksum: u64,
+    /// VLIW instructions in the scheduled program.
+    pub instrs: u64,
+}
+
+/// Outcome of one [`Session::run`] / [`Session::run_to`] slice.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunStatus {
+    /// The program halted; final statistics attached (boxed — the full
+    /// counter set dwarfs the `Running` cursor).
+    Halted(Box<RunStats>),
+    /// The cycle target was reached first; the session can keep
+    /// running from exactly this point.
+    Running {
+        /// Machine cycle counter at the end of the slice.
+        cycle: u64,
+        /// VLIW instructions issued so far.
+        instrs: u64,
+    },
+}
+
+/// Outcome of one [`Session::step`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepReport {
+    /// Instructions actually executed (less than requested when the
+    /// program halts mid-way).
+    pub stepped: u64,
+    /// Program counter after stepping.
+    pub pc: u64,
+    /// Cycle counter after stepping.
+    pub cycle: u64,
+    /// Whether the program has halted.
+    pub halted: bool,
+}
+
+/// One [`Session::inspect`] snapshot: position, liveness and the
+/// statistics accumulated so far.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Inspect {
+    /// Program counter.
+    pub pc: u64,
+    /// Cycle counter.
+    pub cycle: u64,
+    /// Whether the program has halted.
+    pub halted: bool,
+    /// FNV-1a digest of the 128 general registers.
+    pub reg_digest: u64,
+    /// Statistics so far (mid-run values; final at halt).
+    pub stats: RunStats,
+}
+
+/// The attached trace plumbing: the staging handle (for flushes), the
+/// Chrome sink and the optional timeline sampler.
+struct Trace {
+    handle: SinkHandle,
+    chrome: Rc<RefCell<ChromeTraceSink>>,
+    timeline: Option<Rc<RefCell<TimelineSink>>>,
+}
+
+/// One simulated machine behind a stable, panic-free lifecycle API:
+/// `create → load → run/step → inspect → snapshot/restore → trace
+/// attach/detach` (see the crate docs).
+///
+/// A session holds `Rc`-based trace plumbing and is deliberately
+/// `!Send`: the serving layer shards sessions onto owning worker
+/// threads instead of migrating them.
+pub struct Session {
+    config: MachineConfig,
+    machine: Option<Machine>,
+    kernel: Option<Box<dyn Kernel>>,
+    workload: Option<&'static str>,
+    trace: Option<Trace>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("config", &self.config.name)
+            .field("workload", &self.workload)
+            .field("loaded", &self.machine.is_some())
+            .field("traced", &self.trace.is_some())
+            .finish()
+    }
+}
+
+/// FNV-1a-64 over a byte slice (the workload golden-checksum digest).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl Session {
+    /// Creates an empty session targeting `config`. Infallible: nothing
+    /// is simulated until a program is loaded.
+    pub fn create(config: MachineConfig) -> Session {
+        Session {
+            config,
+            machine: None,
+            kernel: None,
+            workload: None,
+            trace: None,
+        }
+    }
+
+    /// [`create`](Session::create) from a wire configuration name (see
+    /// [`config_named`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::UnknownConfig`] for names outside the suite.
+    pub fn create_named(name: &str) -> Result<Session, SessionError> {
+        config_named(name)
+            .map(Session::create)
+            .ok_or_else(|| SessionError::UnknownConfig(name.to_string()))
+    }
+
+    /// The session's machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The loaded registry workload's name, if any.
+    pub fn workload(&self) -> Option<&'static str> {
+        self.workload
+    }
+
+    /// Whether a program is loaded.
+    pub fn is_loaded(&self) -> bool {
+        self.machine.is_some()
+    }
+
+    /// Whether the loaded program has halted (`false` when nothing is
+    /// loaded).
+    pub fn is_halted(&self) -> bool {
+        self.machine.as_ref().is_some_and(Machine::is_halted)
+    }
+
+    /// The machine cycle counter (`None` when nothing is loaded).
+    pub fn cycle(&self) -> Option<u64> {
+        self.machine.as_ref().map(Machine::cycle)
+    }
+
+    /// The underlying machine, for embedders that need read access
+    /// beyond [`inspect`](Session::inspect) (`None` when nothing is
+    /// loaded).
+    pub fn machine(&self) -> Option<&Machine> {
+        self.machine.as_ref()
+    }
+
+    fn machine_mut(&mut self) -> Result<&mut Machine, SessionError> {
+        self.machine.as_mut().ok_or(SessionError::NoProgram)
+    }
+
+    fn machine_ref(&self) -> Result<&Machine, SessionError> {
+        self.machine.as_ref().ok_or(SessionError::NoProgram)
+    }
+
+    /// Loads a raw scheduled [`Program`] (no registry verifier
+    /// attached).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::AlreadyLoaded`] on a loaded session, or the
+    /// machine-construction [`SimError`] (encode failures).
+    pub fn load_program(&mut self, program: Program) -> Result<LoadInfo, SessionError> {
+        if self.machine.is_some() {
+            return Err(SessionError::AlreadyLoaded);
+        }
+        let machine = Machine::new(self.config.clone(), program)?;
+        let info = LoadInfo {
+            cycle_budget: u64::MAX,
+            checksum: fnv64(&machine.image().bytes),
+            instrs: machine.program().instrs.len() as u64,
+        };
+        self.machine = Some(machine);
+        Ok(info)
+    }
+
+    /// Loads a workload from the kernel registry by name: builds
+    /// (schedules) it for this session's configuration, constructs the
+    /// machine and runs the kernel's input setup. `scale` is the
+    /// registry scale factor (it only affects the experiment workloads,
+    /// not the eleven golden kernels).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::AlreadyLoaded`], [`SessionError::UnknownWorkload`],
+    /// [`SessionError::Build`], or the machine-construction
+    /// [`SimError`].
+    pub fn load_workload(&mut self, scale: u64, name: &str) -> Result<LoadInfo, SessionError> {
+        if self.machine.is_some() {
+            return Err(SessionError::AlreadyLoaded);
+        }
+        let workload = find_workload(scale, name)
+            .ok_or_else(|| SessionError::UnknownWorkload(name.to_string()))?;
+        let workload_name = workload.name();
+        let kernel = workload.into_kernel();
+        let program = kernel
+            .build(&self.config.issue)
+            .map_err(|e| SessionError::Build(e.to_string()))?;
+        let mut machine = Machine::new(self.config.clone(), program)?;
+        kernel.setup(&mut machine);
+        let info = LoadInfo {
+            cycle_budget: kernel.cycle_budget(),
+            checksum: fnv64(&machine.image().bytes),
+            instrs: machine.program().instrs.len() as u64,
+        };
+        self.machine = Some(machine);
+        self.kernel = Some(kernel);
+        self.workload = Some(workload_name);
+        Ok(info)
+    }
+
+    /// Runs for up to `budget` more cycles (relative to the current
+    /// cycle counter). Equivalent to
+    /// [`run_to`](Session::run_to)`(cycle() + budget)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_to`](Session::run_to).
+    pub fn run(&mut self, budget: u64) -> Result<RunStatus, SessionError> {
+        let cycle = self.cycle().ok_or(SessionError::NoProgram)?;
+        self.run_to(cycle.saturating_add(budget))
+    }
+
+    /// Runs until the program halts or the machine's cycle counter
+    /// reaches the absolute `target`. Reaching the target is **not** an
+    /// error at this layer — it returns [`RunStatus::Running`] and the
+    /// session resumes from exactly that point, so a run sliced into
+    /// quanta (the server's fairness scheduling) is bit-identical to an
+    /// uninterrupted [`Machine::run_with`] call with the full budget.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoProgram`] on an unloaded session, or the
+    /// run's typed [`SimError`] (never [`SimError::CycleLimit`], which
+    /// is folded into [`RunStatus::Running`]). After a simulation
+    /// error the session stays loaded for inspection or restore.
+    pub fn run_to(&mut self, target: u64) -> Result<RunStatus, SessionError> {
+        let machine = self.machine.as_mut().ok_or(SessionError::NoProgram)?;
+        let outcome = machine.run_with(RunOptions::budget(target));
+        match outcome.result {
+            Ok(stats) => Ok(RunStatus::Halted(Box::new(stats))),
+            Err(SimError::CycleLimit { .. }) => Ok(RunStatus::Running {
+                cycle: machine.cycle(),
+                instrs: machine.stats_snapshot().instrs,
+            }),
+            Err(e) => Err(SessionError::Sim(e)),
+        }
+    }
+
+    /// Executes up to `count` VLIW instructions, stopping early at
+    /// halt. Stepping a halted session is a no-op report, not an error.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoProgram`], or the step's typed [`SimError`].
+    pub fn step(&mut self, count: u64) -> Result<StepReport, SessionError> {
+        let machine = self.machine.as_mut().ok_or(SessionError::NoProgram)?;
+        let mut stepped = 0;
+        while stepped < count && !machine.is_halted() {
+            machine.step().map_err(SessionError::Sim)?;
+            stepped += 1;
+        }
+        let report = StepReport {
+            stepped,
+            pc: machine.pc() as u64,
+            cycle: machine.cycle(),
+            halted: machine.is_halted(),
+        };
+        if let Some(trace) = &self.trace {
+            trace.handle.flush();
+        }
+        Ok(report)
+    }
+
+    /// Position, liveness and accumulated statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoProgram`] on an unloaded session.
+    pub fn inspect(&self) -> Result<Inspect, SessionError> {
+        let machine = self.machine_ref()?;
+        Ok(Inspect {
+            pc: machine.pc() as u64,
+            cycle: machine.cycle(),
+            halted: machine.is_halted(),
+            reg_digest: machine.reg_digest(),
+            stats: machine.stats_snapshot(),
+        })
+    }
+
+    /// Reads one general register.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoProgram`], or [`SessionError::InvalidArg`] for
+    /// indices ≥ 128.
+    pub fn reg(&self, index: u32) -> Result<u32, SessionError> {
+        let machine = self.machine_ref()?;
+        if index >= 128 {
+            return Err(SessionError::InvalidArg(format!(
+                "register index {index} out of range (0..128)"
+            )));
+        }
+        Ok(machine.reg(Reg::new(index as u8)))
+    }
+
+    /// Reads `len` bytes of flat data memory at `addr` (addresses wrap
+    /// at the flat-memory boundary, like [`Machine::read_data`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoProgram`], or [`SessionError::InvalidArg`]
+    /// when `len` exceeds [`MAX_READ_BYTES`].
+    pub fn read_data(&self, addr: u32, len: usize) -> Result<Vec<u8>, SessionError> {
+        let machine = self.machine_ref()?;
+        if len > MAX_READ_BYTES {
+            return Err(SessionError::InvalidArg(format!(
+                "read of {len} bytes exceeds the {MAX_READ_BYTES}-byte probe limit"
+            )));
+        }
+        Ok(machine.read_data(addr, len))
+    }
+
+    /// Serializes the complete mutable machine state into a versioned
+    /// `TM3S` [`Snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoProgram`] on an unloaded session.
+    pub fn snapshot(&self) -> Result<Snapshot, SessionError> {
+        Ok(self.machine_ref()?.snapshot())
+    }
+
+    /// Restores a snapshot taken from a machine with the same
+    /// configuration and program; the session then continues
+    /// bit-identically to the snapshotted run.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoProgram`], or the typed [`SnapshotError`] when
+    /// the container is truncated, corrupt or from another version.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SessionError> {
+        self.machine_mut()?.restore(snapshot)?;
+        Ok(())
+    }
+
+    /// Checks the machine's memory against the loaded workload's golden
+    /// reference.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoProgram`], [`SessionError::NoVerifier`] when
+    /// no registry workload is loaded, or [`SessionError::Verify`] with
+    /// the first mismatch.
+    pub fn verify(&self) -> Result<(), SessionError> {
+        let machine = self.machine_ref()?;
+        let kernel = self.kernel.as_ref().ok_or(SessionError::NoVerifier)?;
+        kernel.verify(machine).map_err(SessionError::Verify)
+    }
+
+    /// Attaches a Chrome-trace sink (capped at `limit` events) and,
+    /// when `timeline_interval > 0`, a timeline sampler at that cycle
+    /// interval. Tracing only observes — cycle-level behavior is
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoProgram`], or [`SessionError::TraceActive`]
+    /// when a trace is already attached.
+    pub fn trace_attach(
+        &mut self,
+        limit: usize,
+        timeline_interval: u64,
+    ) -> Result<(), SessionError> {
+        if self.trace.is_some() {
+            return Err(SessionError::TraceActive);
+        }
+        let machine = self.machine.as_mut().ok_or(SessionError::NoProgram)?;
+        let chrome = Rc::new(RefCell::new(ChromeTraceSink::with_limit(limit)));
+        let timeline = (timeline_interval > 0)
+            .then(|| Rc::new(RefCell::new(TimelineSink::new(timeline_interval))));
+        let handle = match &timeline {
+            Some(tl) => {
+                let mut fan = FanoutSink::new();
+                fan.push(chrome.clone());
+                fan.push(tl.clone());
+                SinkHandle::from(Rc::new(RefCell::new(fan)))
+            }
+            None => SinkHandle::from(chrome.clone()),
+        };
+        machine.attach_sink(handle.clone());
+        self.trace = Some(Trace {
+            handle,
+            chrome,
+            timeline,
+        });
+        Ok(())
+    }
+
+    /// Detaches the trace and renders it as one Chrome `trace_event`
+    /// JSON document (with the timeline's counter tracks spliced in
+    /// when a sampler was attached).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoTrace`] when nothing is attached.
+    pub fn trace_detach(&mut self) -> Result<String, SessionError> {
+        let trace = self.trace.take().ok_or(SessionError::NoTrace)?;
+        trace.handle.flush();
+        if let Some(machine) = self.machine.as_mut() {
+            machine.attach_sink(SinkHandle::disabled());
+        }
+        let doc = match &trace.timeline {
+            Some(tl) => trace
+                .chrome
+                .borrow()
+                .to_json_with(&tl.borrow().chrome_rows()),
+            None => trace.chrome.borrow().to_json(),
+        };
+        Ok(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm3270_asm::ProgramBuilder;
+    use tm3270_isa::{Op, Opcode};
+
+    fn tiny_program(config: &MachineConfig) -> Program {
+        let mut b = ProgramBuilder::new(config.issue);
+        b.op(Op::imm(Reg::new(2), 21));
+        b.op(Op::imm(Reg::new(3), 2));
+        b.op(Op::rrr(Opcode::Imul, Reg::new(4), Reg::new(2), Reg::new(3)));
+        b.build().expect("schedulable")
+    }
+
+    #[test]
+    fn lifecycle_on_a_raw_program() {
+        let mut s = Session::create(MachineConfig::tm3270());
+        assert_eq!(s.run(100).unwrap_err(), SessionError::NoProgram);
+        let info = s
+            .load_program(tiny_program(&MachineConfig::tm3270()))
+            .unwrap();
+        assert!(info.instrs > 0);
+        assert_eq!(
+            s.load_program(tiny_program(&MachineConfig::tm3270()))
+                .unwrap_err(),
+            SessionError::AlreadyLoaded
+        );
+        match s.run(1_000_000).unwrap() {
+            RunStatus::Halted(stats) => assert!(stats.cycles > 0),
+            RunStatus::Running { .. } => panic!("tiny program must halt"),
+        }
+        assert_eq!(s.reg(4).unwrap(), 42);
+        assert!(s.is_halted());
+        assert_eq!(s.verify().unwrap_err(), SessionError::NoVerifier);
+    }
+
+    #[test]
+    fn sliced_run_matches_uninterrupted_run() {
+        let mut direct = Session::create_named("d").unwrap();
+        direct.load_workload(20, "memset").unwrap();
+        let direct_stats = match direct.run(200_000_000).unwrap() {
+            RunStatus::Halted(stats) => stats,
+            RunStatus::Running { .. } => panic!("memset must halt"),
+        };
+
+        let mut sliced = Session::create_named("d").unwrap();
+        sliced.load_workload(20, "memset").unwrap();
+        let mut slices = 0;
+        let sliced_stats = loop {
+            let target = sliced.cycle().unwrap() + 500;
+            match sliced.run_to(target).unwrap() {
+                RunStatus::Halted(stats) => break stats,
+                RunStatus::Running { .. } => slices += 1,
+            }
+        };
+        assert!(slices > 3, "the quantum must actually slice the run");
+        assert_eq!(direct_stats, sliced_stats);
+        assert_eq!(
+            direct.machine().unwrap().reg_digest(),
+            sliced.machine().unwrap().reg_digest()
+        );
+        sliced.verify().unwrap();
+    }
+
+    #[test]
+    fn typed_errors_for_unknown_names_and_bad_args() {
+        assert_eq!(
+            Session::create_named("z").unwrap_err(),
+            SessionError::UnknownConfig("z".into())
+        );
+        let mut s = Session::create_named("a").unwrap();
+        assert_eq!(
+            s.load_workload(20, "nope").unwrap_err(),
+            SessionError::UnknownWorkload("nope".into())
+        );
+        s.load_workload(20, "memset").unwrap();
+        assert_eq!(s.reg(200).unwrap_err().kind(), "InvalidArg");
+        assert_eq!(
+            s.read_data(0, MAX_READ_BYTES + 1).unwrap_err().kind(),
+            "InvalidArg"
+        );
+        assert_eq!(s.trace_detach().unwrap_err(), SessionError::NoTrace);
+    }
+
+    #[test]
+    fn snapshot_restores_into_a_fresh_session() {
+        let mut s = Session::create_named("d").unwrap();
+        s.load_workload(20, "memset").unwrap();
+        s.step(100).unwrap();
+        let snap = s.snapshot().unwrap();
+        let s_stats = match s.run(200_000_000).unwrap() {
+            RunStatus::Halted(stats) => stats,
+            RunStatus::Running { .. } => panic!("memset must halt"),
+        };
+
+        let mut fresh = Session::create_named("d").unwrap();
+        fresh.load_workload(20, "memset").unwrap();
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.cycle(), Some(snap_cycle(&snap, &s_stats)));
+        let fresh_stats = match fresh.run(200_000_000).unwrap() {
+            RunStatus::Halted(stats) => stats,
+            RunStatus::Running { .. } => panic!("restored memset must halt"),
+        };
+        assert_eq!(s_stats, fresh_stats);
+        fresh.verify().unwrap();
+    }
+
+    /// The restored cycle counter equals the snapshot point, not the
+    /// final stats — recover it by restoring into a scratch machine.
+    fn snap_cycle(snap: &Snapshot, _final_stats: &RunStats) -> u64 {
+        let mut scratch = Session::create_named("d").unwrap();
+        scratch.load_workload(20, "memset").unwrap();
+        scratch.restore(snap).unwrap();
+        scratch.cycle().unwrap()
+    }
+
+    #[test]
+    fn trace_attach_detach_round_trip() {
+        let mut s = Session::create_named("d").unwrap();
+        s.load_workload(20, "memset").unwrap();
+        s.trace_attach(10_000, 1_000).unwrap();
+        assert_eq!(s.trace_attach(1, 0).unwrap_err(), SessionError::TraceActive);
+        s.run(200_000_000).unwrap();
+        let doc = s.trace_detach().unwrap();
+        assert!(doc.contains("traceEvents"), "chrome document shape");
+        assert!(
+            doc.contains("\"ph\":\"C\""),
+            "timeline counter rows spliced"
+        );
+        assert_eq!(s.trace_detach().unwrap_err(), SessionError::NoTrace);
+    }
+}

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use tm3270_asm::{ProgramBuilder, RegAlloc};
-use tm3270_core::{Machine, MachineConfig};
+use tm3270_core::{Machine, MachineConfig, RunOptions};
 use tm3270_isa::{Op, Opcode, Reg};
 use tm3270_kernels::util::{counted_loop, emit_const};
 
@@ -45,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut machine = Machine::new(config, program)?;
     machine.load_data(SRC_A, &vec![100u8; 1024]);
     machine.load_data(SRC_B, &vec![50u8; 1024]);
-    let stats = machine.run(10_000_000)?;
+    let stats = machine
+        .run_with(RunOptions::budget(10_000_000))
+        .into_result()?;
 
     let out = machine.read_data(DST, 1024);
     assert!(out.iter().all(|&v| v == 75), "quadavg rounds (100+50+1)/2");

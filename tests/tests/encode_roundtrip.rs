@@ -9,7 +9,7 @@
 //! generator, so every case is reproducible from the seeds below.
 
 use tm3270_asm::ProgramBuilder;
-use tm3270_core::{Machine, MachineConfig};
+use tm3270_core::{Machine, MachineConfig, RunOptions};
 use tm3270_encode::{decode_program, decode_program_detailed, encode_program};
 use tm3270_fault::{FaultInjector, FaultSite, SmallRng};
 use tm3270_isa::{Instr, IssueModel, Op, Opcode, Program, Reg};
@@ -222,7 +222,7 @@ fn single_bit_corruption_never_panics() {
                     // errors only, no panic, no hang.
                     if let Ok(mut machine) = Machine::from_image(config.clone(), corrupt) {
                         machine.set_watchdog(10_000);
-                        let _ = machine.run(20_000);
+                        let _ = machine.run_with(RunOptions::budget(20_000)).into_result();
                     }
                 }
             }

@@ -10,7 +10,7 @@ use tm3270_asm::ProgramBuilder;
 use tm3270_bench::profile::{
     find_workload, golden_names, profile_kernel, profile_kernel_with, ProfileOptions,
 };
-use tm3270_core::{Machine, MachineConfig, SimError};
+use tm3270_core::{Machine, MachineConfig, RunOptions, SimError};
 use tm3270_fault::{FaultInjector, FaultSite};
 use tm3270_obs::{
     CounterSink, FanoutSink, ProfileSink, RingSink, SinkHandle, TimelineSink, TraceEvent,
@@ -158,7 +158,8 @@ fn watchdog_abort_conserves_cycles() {
     m.attach_sink(SinkHandle::from(counters.clone()));
     m.set_watchdog(500);
 
-    let report = m.run_reported(100_000).expect_err("livelock must abort");
+    let outcome = m.run_with(RunOptions::budget(100_000).with_report());
+    let report = outcome.report.expect("livelock must abort");
     assert!(matches!(report.error, SimError::NoProgress { .. }));
     let c = counters.borrow();
     let b = c.buckets();
@@ -191,7 +192,8 @@ fn watchdog_abort_conserves_hotspots_and_timeline() {
     m.attach_sink(SinkHandle::from(Rc::new(RefCell::new(fan))));
     m.set_watchdog(500);
 
-    let report = m.run_reported(100_000).expect_err("livelock must abort");
+    let outcome = m.run_with(RunOptions::budget(100_000).with_report());
+    let report = outcome.report.expect("livelock must abort");
     assert!(matches!(report.error, SimError::NoProgress { .. }));
 
     let ps = profile.borrow();
@@ -501,8 +503,9 @@ fn crash_ring_size_is_configurable() {
 
     config.trace_ring = 4;
     let report = build_livelock(config.clone())
-        .run_reported(100_000)
-        .expect_err("livelock");
+        .run_with(RunOptions::budget(100_000).with_report())
+        .report
+        .expect("livelock");
     assert_eq!(report.ring_size, 4);
     assert_eq!(
         report.trace.len(),
@@ -513,8 +516,9 @@ fn crash_ring_size_is_configurable() {
 
     config.trace_ring = 0;
     let report = build_livelock(config)
-        .run_reported(100_000)
-        .expect_err("livelock");
+        .run_with(RunOptions::budget(100_000).with_report())
+        .report
+        .expect("livelock");
     assert_eq!(report.ring_size, 0);
     assert!(report.trace.is_empty(), "ring disabled");
 }

@@ -12,7 +12,7 @@
 //! `tm3270-mem` execution path.
 
 use tm3270_asm::ProgramBuilder;
-use tm3270_core::{Machine, MachineConfig};
+use tm3270_core::{Machine, MachineConfig, RunOptions};
 use tm3270_fault::SmallRng;
 use tm3270_isa::{execute, FlatMemory, Op, Opcode, Reg, RegFile};
 
@@ -152,7 +152,10 @@ fn scheduled_machine_matches_sequential_interpretation() {
         }
         let program = b.build().expect("random dataflow must schedule");
         let mut machine = Machine::new(config, program).expect("encodable");
-        let stats = machine.run(10_000_000).expect("halts");
+        let stats = machine
+            .run_with(RunOptions::budget(10_000_000))
+            .into_result()
+            .expect("halts");
         assert!(stats.cycles > 0);
 
         for i in 0..128u8 {

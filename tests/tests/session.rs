@@ -1,0 +1,402 @@
+//! Session-API and serving-front-end integration tests.
+//!
+//! The contract under test is the tentpole guarantee of the
+//! simulation-as-a-service layer: a session driven through the stable
+//! lifecycle (`create → load → step → snapshot → restore into a fresh
+//! session → run to halt`) is **bit-identical** to a direct
+//! `Machine::run_with` of the same workload — same statistics, same
+//! register digest — whether the session lives in-process or behind the
+//! `tm3270d` wire protocol. On top of that: malformed wire frames
+//! degrade into typed error replies (never a panic, never a hang), N
+//! concurrent server sessions reproduce the serial suite rows byte for
+//! byte, a hot session cannot delay small-budget peers on a shared
+//! worker, and graceful shutdown checkpoints live sessions through the
+//! TM3S container.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use tm3270_core::{Machine, RunOptions, RunStats};
+use tm3270_session::wire::{self, WireError, MAX_FRAME_BYTES, WIRE_MAGIC, WIRE_VERSION};
+use tm3270_session::{
+    config_named, Client, RunStatus, Server, ServerConfig, Session, SessionError, ShutdownHandle,
+};
+
+/// The three lifecycle workloads: smallest of the Table 5 golden set.
+const LIFECYCLE_KERNELS: [&str; 3] = ["memset", "memcpy", "filter"];
+const LIFECYCLE_CONFIGS: [&str; 2] = ["a", "d"];
+const BUDGET: u64 = 200_000_000;
+const SCALE: u64 = 20;
+
+/// A direct, uninterrupted `Machine::run_with` of the named workload:
+/// the reference every session path must reproduce exactly.
+fn direct_run(config_name: &str, workload: &str) -> (RunStats, u64) {
+    let config = config_named(config_name).expect("known config");
+    let kernel = tm3270_kernels::find_workload(SCALE, workload)
+        .expect("known workload")
+        .into_kernel();
+    let program = kernel.build(&config.issue).expect("kernel builds");
+    let mut machine = Machine::new(config, program).expect("machine builds");
+    kernel.setup(&mut machine);
+    let stats = machine
+        .run_with(RunOptions::budget(BUDGET))
+        .into_result()
+        .expect("direct run halts");
+    kernel.verify(&machine).expect("direct run verifies");
+    (stats, machine.reg_digest())
+}
+
+/// Binds a server on an ephemeral port and serves it on a thread.
+fn start_server(
+    config: ServerConfig,
+) -> (
+    SocketAddr,
+    ShutdownHandle,
+    std::thread::JoinHandle<tm3270_session::ServeReport>,
+) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle, join)
+}
+
+/// The full in-process lifecycle, bit-identical to the direct run for
+/// every (kernel, config) pair: create → load → step → snapshot →
+/// restore into a *fresh* session → run to halt → verify.
+#[test]
+fn lifecycle_is_bit_identical_to_direct_run() {
+    for config in LIFECYCLE_CONFIGS {
+        for kernel in LIFECYCLE_KERNELS {
+            let (direct_stats, direct_digest) = direct_run(config, kernel);
+
+            let mut first = Session::create_named(config).expect("create");
+            first.load_workload(SCALE, kernel).expect("load");
+            first.step(64).expect("step");
+            let snap = first.snapshot().expect("snapshot");
+
+            let mut fresh = Session::create_named(config).expect("fresh create");
+            fresh.load_workload(SCALE, kernel).expect("fresh load");
+            fresh.restore(&snap).expect("restore");
+            let stats = match fresh.run(BUDGET).expect("run") {
+                RunStatus::Halted(stats) => *stats,
+                RunStatus::Running { cycle, .. } => {
+                    panic!("{kernel}/{config} still running at {cycle}")
+                }
+            };
+            fresh.verify().expect("verify");
+            let inspect = fresh.inspect().expect("inspect");
+
+            assert_eq!(
+                stats, direct_stats,
+                "{kernel}/{config}: stepped+snapshotted+restored stats must be bit-identical"
+            );
+            assert_eq!(
+                inspect.reg_digest, direct_digest,
+                "{kernel}/{config}: register digest must match the direct run"
+            );
+            assert!(inspect.halted);
+        }
+    }
+}
+
+/// Session misuse produces typed errors, never panics: operations
+/// before load, unknown names, out-of-range arguments.
+#[test]
+fn session_misuse_is_typed() {
+    let mut s = Session::create_named("d").expect("create");
+    assert!(matches!(s.run(1_000), Err(SessionError::NoProgram)));
+    assert!(matches!(s.snapshot(), Err(SessionError::NoProgram)));
+    assert!(matches!(
+        s.load_workload(SCALE, "warp_drive"),
+        Err(SessionError::UnknownWorkload(_))
+    ));
+    assert!(Session::create_named("e").is_err());
+    s.load_workload(SCALE, "memset").expect("load");
+    assert!(matches!(s.reg(128), Err(SessionError::InvalidArg(_))));
+    assert!(matches!(
+        s.load_workload(SCALE, "memset"),
+        Err(SessionError::AlreadyLoaded)
+    ));
+}
+
+/// Writes one raw frame (any header) and returns the server's reply
+/// stream for inspection.
+fn raw_frame(stream: &mut TcpStream, magic: &[u8; 4], version: u32, payload: &[u8]) {
+    let mut frame = Vec::new();
+    frame.extend_from_slice(magic);
+    frame.extend_from_slice(&version.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    stream.write_all(&frame).expect("raw frame write");
+}
+
+/// Reads the error kind out of the next reply frame.
+fn next_error_kind(stream: &mut TcpStream) -> String {
+    let payload = wire::read_frame(stream)
+        .expect("reply frame")
+        .expect("reply before EOF");
+    assert!(payload.contains("\"ok\":false"), "error reply: {payload}");
+    tm3270_obs::json::string_field(&payload, "error").expect("typed error kind")
+}
+
+/// Malformed frames against a live server produce typed error replies —
+/// never a panic, never a hang. Fatal framing errors close the
+/// connection; content errors (unknown op, bad fields) keep it open.
+#[test]
+fn malformed_wire_frames_get_typed_errors() {
+    let (addr, shutdown, join) = start_server(ServerConfig::new().workers(1));
+
+    // Unknown op: typed reply, connection survives (a ping follows).
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    raw_frame(
+        &mut stream,
+        &WIRE_MAGIC,
+        WIRE_VERSION,
+        br#"{"id":7,"op":"warp"}"#,
+    );
+    assert_eq!(next_error_kind(&mut stream), "UnknownOp");
+    raw_frame(
+        &mut stream,
+        &WIRE_MAGIC,
+        WIRE_VERSION,
+        br#"{"id":8,"op":"ping"}"#,
+    );
+    let pong = wire::read_frame(&mut stream).expect("pong").expect("open");
+    assert!(
+        pong.contains("\"pong\":true"),
+        "survived unknown op: {pong}"
+    );
+
+    // Malformed JSON payload: typed, non-fatal.
+    raw_frame(&mut stream, &WIRE_MAGIC, WIRE_VERSION, b"not json at all");
+    assert_eq!(next_error_kind(&mut stream), "Malformed");
+
+    // Bad magic: typed, fatal — the server closes after replying.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    raw_frame(&mut stream, b"NOPE", WIRE_VERSION, br#"{"op":"ping"}"#);
+    assert_eq!(next_error_kind(&mut stream), "BadMagic");
+    assert!(matches!(wire::read_frame(&mut stream), Ok(None)));
+
+    // Version mismatch: typed, fatal.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    raw_frame(&mut stream, &WIRE_MAGIC, 99, br#"{"op":"ping"}"#);
+    assert_eq!(next_error_kind(&mut stream), "VersionMismatch");
+
+    // Truncated frame: header promises more bytes than arrive.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&WIRE_MAGIC);
+    frame.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    frame.extend_from_slice(&100u32.to_le_bytes());
+    frame.extend_from_slice(b"only ten b");
+    stream.write_all(&frame).expect("truncated write");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half close");
+    assert_eq!(next_error_kind(&mut stream), "Truncated");
+
+    // Oversized length prefix: rejected before any allocation.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    raw_frame(&mut stream, &WIRE_MAGIC, WIRE_VERSION, b"");
+    let _ = wire::read_frame(&mut stream); // drain the Malformed reply for ""
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&WIRE_MAGIC);
+    frame.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    frame.extend_from_slice(&((MAX_FRAME_BYTES + 1) as u32).to_le_bytes());
+    stream.write_all(&frame).expect("oversized header");
+    assert_eq!(next_error_kind(&mut stream), "FrameTooLarge");
+
+    shutdown.shutdown();
+    join.join().expect("server thread");
+}
+
+/// The wire reader itself never panics on hostile bytes (unit-level
+/// check of the same taxonomy the server test exercises end to end).
+#[test]
+fn wire_reader_taxonomy() {
+    let mut bad = &b"XXXXAAAABBBB"[..];
+    assert!(matches!(
+        wire::read_frame(&mut bad),
+        Err(WireError::BadMagic)
+    ));
+    let mut empty = &b""[..];
+    assert!(matches!(wire::read_frame(&mut empty), Ok(None)));
+    let mut cut = &b"TM3W"[..];
+    assert!(matches!(
+        wire::read_frame(&mut cut),
+        Err(WireError::Truncated { .. })
+    ));
+}
+
+/// Four concurrent served sessions (two connections, interleaved
+/// round-robin on one worker) reproduce the direct runs byte for byte:
+/// the streamed `cell` rows equal `wire::cell_json` of the direct
+/// stats.
+#[test]
+fn concurrent_sessions_match_direct_runs_byte_for_byte() {
+    let (addr, shutdown, join) = start_server(ServerConfig::new().workers(1).quantum(5_000));
+
+    let jobs: Vec<(&str, &str)> = vec![
+        ("memset", "a"),
+        ("memset", "d"),
+        ("memcpy", "a"),
+        ("memcpy", "d"),
+    ];
+    let cells = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|conn| {
+                let jobs = &jobs;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut out = Vec::new();
+                    for (kernel, config) in jobs.iter().skip(conn).step_by(2) {
+                        let sid = client.create(config).expect("create");
+                        let load = client.load(sid, kernel).expect("load");
+                        let run = client.run(sid, load.budget).expect("run");
+                        assert!(run.halted, "{kernel}/{config} halts");
+                        client.verify(sid).expect("verify");
+                        client.close(sid).expect("close");
+                        let cell_at = run.payload.find(",\"cell\":").expect("cell row");
+                        out.push(run.payload[cell_at + 8..run.payload.len() - 1].to_string());
+                    }
+                    out
+                })
+            })
+            .collect();
+        let per_conn: Vec<Vec<String>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        // Re-interleave to job order.
+        let mut cells = vec![String::new(); jobs.len()];
+        for (conn, chunk) in per_conn.into_iter().enumerate() {
+            for (k, cell) in chunk.into_iter().enumerate() {
+                cells[conn + 2 * k] = cell;
+            }
+        }
+        cells
+    });
+
+    for ((kernel, config), served) in jobs.iter().zip(&cells) {
+        let (stats, _) = direct_run(config, kernel);
+        let config_name = config_named(config).expect("config").name;
+        let direct = wire::cell_json(kernel, config_name, &stats);
+        assert_eq!(served, &direct, "{kernel}/{config} served row diverged");
+    }
+
+    shutdown.shutdown();
+    join.join().expect("server thread");
+}
+
+/// Fairness: a deliberately hot session (mpeg2_a, ~1.9M cycles) running
+/// with a large budget on a single worker does not delay small-budget
+/// peers — three memset sessions created *after* the hot run started
+/// all complete before the hot session's final frame arrives.
+#[test]
+fn hot_session_does_not_starve_small_peers() {
+    let (addr, shutdown, join) = start_server(ServerConfig::new().workers(1).quantum(20_000));
+
+    // Start the hot run and wait for its first progress frame, which
+    // proves the run is live on the worker before the peers exist.
+    let mut hot = Client::connect(addr).expect("hot connect");
+    let hot_sid = hot.create("a").expect("hot create");
+    let load = hot.load(hot_sid, "mpeg2_a").expect("hot load");
+    hot.send_raw(&format!(
+        "{{\"id\":42,\"op\":\"run\",\"session\":{hot_sid},\"budget\":{},\"stream\":1}}",
+        load.budget
+    ))
+    .expect("hot run request");
+    let first = hot.recv_raw().expect("first hot frame");
+    assert!(
+        first.contains("\"event\":\"progress\""),
+        "hot run must still be in flight after one quantum: {first}"
+    );
+
+    // Three small peers on a second connection, created after the hot
+    // run started; each must run to completion while the hot session
+    // still holds the worker's rotation.
+    let mut peers = Client::connect(addr).expect("peer connect");
+    let mut peer_done = Vec::new();
+    for _ in 0..3 {
+        let sid = peers.create("d").expect("peer create");
+        let load = peers.load(sid, "memset").expect("peer load");
+        let run = peers.run(sid, load.budget).expect("peer run");
+        assert!(run.halted, "peer halts");
+        peers.verify(sid).expect("peer verify");
+        peer_done.push(Instant::now());
+    }
+
+    // Drain the hot stream to its final frame; it must arrive after
+    // every peer completed (an unfair scheduler would have emitted it
+    // before the peers were even created).
+    let hot_final = loop {
+        let frame = hot.recv_raw().expect("hot frame");
+        if frame.contains("\"event\":\"progress\"") {
+            continue;
+        }
+        break frame;
+    };
+    let hot_done = Instant::now();
+    assert!(
+        hot_final.contains("\"halted\":true"),
+        "hot run halts: {hot_final}"
+    );
+    let slices: u64 = tm3270_obs::json::u64_field(&hot_final, "slices").expect("slices");
+    assert!(
+        slices > 10,
+        "hot run was genuinely quantum-sliced: {slices}"
+    );
+    for (i, done) in peer_done.iter().enumerate() {
+        assert!(
+            *done <= hot_done,
+            "peer {i} finished only after the hot session"
+        );
+    }
+    hot.verify(hot_sid).expect("hot verify");
+
+    shutdown.shutdown();
+    join.join().expect("server thread");
+}
+
+/// Graceful shutdown checkpoints live sessions through the TM3S
+/// container, and the checkpoint restores into a fresh session that
+/// finishes bit-identically.
+#[test]
+fn shutdown_checkpoints_live_sessions() {
+    let dir = std::env::temp_dir().join(format!("tm3270_session_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("checkpoint dir");
+
+    let (addr, shutdown, join) = start_server(ServerConfig::new().workers(1).checkpoint_dir(&dir));
+    let mut client = Client::connect(addr).expect("connect");
+    let sid = client.create("d").expect("create");
+    client.load(sid, "memset").expect("load");
+    client
+        .request(&format!("\"op\":\"step\",\"session\":{sid},\"count\":64"))
+        .expect("step");
+
+    shutdown.shutdown();
+    let report = join.join().expect("server thread");
+    assert_eq!(report.checkpointed, 1, "one live session checkpointed");
+
+    let path = dir.join(format!("session-{sid}.tm3s"));
+    let bytes = std::fs::read(&path).expect("checkpoint file");
+    let snapshot = tm3270_core::Snapshot::from_bytes(bytes);
+
+    let (direct_stats, _) = direct_run("d", "memset");
+    let mut resumed = Session::create_named("d").expect("create");
+    resumed.load_workload(SCALE, "memset").expect("load");
+    resumed.restore(&snapshot).expect("restore checkpoint");
+    let stats = match resumed.run(BUDGET).expect("run") {
+        RunStatus::Halted(stats) => *stats,
+        RunStatus::Running { .. } => panic!("restored session must halt"),
+    };
+    assert_eq!(
+        stats, direct_stats,
+        "checkpointed session resumes bit-identically"
+    );
+    resumed.verify().expect("verify");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -142,7 +142,9 @@ fn deeper_pipeline_costs_show_in_tiny_loops() {
         b.op(Op::rri(Opcode::Igtri, r(3), r(2), 0));
         b.jump_if(r(3), top);
         let mut m = Machine::new(config, b.build().unwrap()).unwrap();
-        m.run(10_000_000).unwrap()
+        m.run_with(tm3270_core::RunOptions::budget(10_000_000))
+            .into_result()
+            .unwrap()
     };
     let a = run(MachineConfig::tm3260());
     let d = run(MachineConfig::tm3270());
