@@ -78,6 +78,29 @@ echo "$speed_json_a" | grep -q '"config":"TM3260 (config A)"' || {
   echo "FAIL: repro_simspeed TM3260 document missing"; exit 1; }
 echo "$speed_json_d" | grep -q '"sim_mips"' || {
   echo "FAIL: repro_simspeed --json missing sim_mips"; exit 1; }
+echo "$speed_json_d" | grep -q '"geomean_sim_mips"' || {
+  echo "FAIL: repro_simspeed --json missing geomean_sim_mips"; exit 1; }
+echo "$speed_json_a" | grep -q '"geomean_sim_mips"' || {
+  echo "FAIL: repro_simspeed TM3260 document missing geomean_sim_mips"; exit 1; }
+
+echo "== engine equivalence smoke (fused vs forced-fallback, two kernels) =="
+# The fused superblock engine and the cycle-accurate fallback must agree
+# on every simulated statistic; only wall-clock (and thus the throughput
+# columns) may differ. Strip the timing fields and byte-diff the rest.
+strip_timing() {
+  sed -E 's/"wall_ms":[0-9.eE+-]+/"wall_ms":_/g;
+          s/"sim_mips":[0-9.eE+-]+/"sim_mips":_/g;
+          s/"sim_mcps":[0-9.eE+-]+/"sim_mcps":_/g;
+          s/"geomean_sim_mips":[0-9.eE+-]+/"geomean_sim_mips":_/g'
+}
+cargo run --release -q -p tm3270-bench --bin repro_simspeed -- \
+  --workload memset --workload mpeg2_a --repeats 1 --json --config d \
+  | strip_timing > /tmp/tm3270_speed_fused.json
+cargo run --release -q -p tm3270-bench --bin repro_simspeed -- \
+  --workload memset --workload mpeg2_a --repeats 1 --json --config d \
+  --force-fallback | strip_timing > /tmp/tm3270_speed_fallback.json
+diff /tmp/tm3270_speed_fused.json /tmp/tm3270_speed_fallback.json || {
+  echo "FAIL: fused and forced-fallback engines disagree on simulated stats"; exit 1; }
 
 echo "== profiler smoke (memset, JSON + chrome trace) =="
 profile_json=$(cargo run --release -q -p tm3270-bench --bin repro_profile -- \

@@ -4,6 +4,7 @@
 //! ```text
 //! repro_simspeed [--workload NAME]... [--config a|b|c|d|tm3270|tm3260]
 //!                [--repeats N] [--json] [--list] [--check-golden]
+//!                [--force-fallback]
 //! ```
 //!
 //! With no `--workload` the eleven Table 5 golden kernels are measured.
@@ -23,7 +24,9 @@ use std::process::ExitCode;
 
 use tm3270_bench::cli::Spec;
 use tm3270_bench::profile::{find_workload, golden_names, workloads};
-use tm3270_bench::simspeed::{measure_kernel, speed_json, speed_report, SpeedRow};
+use tm3270_bench::simspeed::{
+    geomean_mips, measure_kernel_with, speed_json, speed_report, SpeedRow,
+};
 use tm3270_core::MachineConfig;
 
 struct Args {
@@ -32,6 +35,7 @@ struct Args {
     repeats: u32,
     json: bool,
     check_golden: bool,
+    force_fallback: bool,
 }
 
 fn spec() -> Spec {
@@ -52,6 +56,10 @@ fn spec() -> Spec {
         .switch(
             "--check-golden",
             "fail unless rows are exactly the golden registry",
+        )
+        .switch(
+            "--force-fallback",
+            "run on the cycle-accurate fallback engine, not the fused one",
         )
 }
 
@@ -80,6 +88,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         repeats: parsed.parsed("--repeats")?.unwrap_or(3),
         json: parsed.has("--json"),
         check_golden: parsed.has("--check-golden"),
+        force_fallback: parsed.has("--force-fallback"),
     }))
 }
 
@@ -105,7 +114,12 @@ fn main() -> ExitCode {
             eprintln!("repro_simspeed: unknown workload {name} (try --list)");
             return ExitCode::from(2);
         };
-        match measure_kernel(kernel.as_ref(), &args.config, args.repeats) {
+        match measure_kernel_with(
+            kernel.as_ref(),
+            &args.config,
+            args.repeats,
+            args.force_fallback,
+        ) {
             Ok(row) => rows.push(row),
             Err(e) => {
                 eprintln!("repro_simspeed: {name}: {e}");
@@ -159,6 +173,13 @@ fn check_golden(rows: &[SpeedRow]) -> Result<(), String> {
                 row.workload
             ));
         }
+    }
+    // The per-kernel geomean is the headline throughput figure
+    // (BENCH_sim_speed.json); it must exist and be finite whenever the
+    // golden registry is intact.
+    let geomean = geomean_mips(rows);
+    if !geomean.is_finite() || geomean <= 0.0 {
+        return Err(format!("degenerate geomean sim MIPS: {geomean}"));
     }
     Ok(())
 }

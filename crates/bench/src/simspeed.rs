@@ -63,6 +63,24 @@ pub fn measure_kernel(
     config: &MachineConfig,
     repeats: u32,
 ) -> Result<SpeedRow, KernelError> {
+    measure_kernel_with(kernel, config, repeats, false)
+}
+
+/// [`measure_kernel`] with an engine override: `force_fallback` routes
+/// the runs through the cycle-accurate fallback loop instead of the
+/// fused superblock engine (see [`Machine::set_force_fallback`]). The
+/// simulated instruction/cycle counts must not depend on the engine —
+/// only the wall clock may differ.
+///
+/// # Errors
+///
+/// See [`KernelError`].
+pub fn measure_kernel_with(
+    kernel: &dyn Kernel,
+    config: &MachineConfig,
+    repeats: u32,
+    force_fallback: bool,
+) -> Result<SpeedRow, KernelError> {
     let program = kernel.build(&config.issue)?;
     let mut best = f64::INFINITY;
     let mut instrs = 0u64;
@@ -70,6 +88,7 @@ pub fn measure_kernel(
     for rep in 0..repeats.max(1) {
         let start = Instant::now();
         let mut machine = Machine::new(config.clone(), program.clone())?;
+        machine.set_force_fallback(force_fallback);
         kernel.setup(&mut machine);
         let stats = machine
             .run_with(RunOptions::budget(kernel.cycle_budget()))
@@ -123,6 +142,19 @@ impl SpeedTotal {
     }
 }
 
+/// Geometric mean of the per-row sim-MIPS figures: the per-kernel
+/// throughput summary. Unlike the suite total (which weights by
+/// wall-clock and lets the long kernels dominate), every kernel counts
+/// equally — a regression on the smallest workload moves it as much as
+/// one on the largest. `0.0` for an empty row set.
+pub fn geomean_mips(rows: &[SpeedRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = rows.iter().map(|r| r.sim_mips().max(1e-12).ln()).sum();
+    (log_sum / rows.len() as f64).exp()
+}
+
 /// Renders measured rows as one JSON document (hand-rolled like the rest
 /// of the repo's JSON; no serde). Shape:
 ///
@@ -152,7 +184,7 @@ pub fn speed_json(config: &MachineConfig, rows: &[SpeedRow]) -> String {
     format!(
         "{{\"bench\":\"sim_speed\",\"config\":{},\"rows\":[{}],\
          \"total\":{{\"instrs\":{},\"cycles\":{},\"wall_ms\":{},\
-         \"sim_mips\":{},\"sim_mcps\":{}}}}}",
+         \"sim_mips\":{},\"sim_mcps\":{},\"geomean_sim_mips\":{}}}}}",
         json::string(config.name),
         body.join(","),
         total.instrs,
@@ -160,6 +192,7 @@ pub fn speed_json(config: &MachineConfig, rows: &[SpeedRow]) -> String {
         json::number(total.wall_s * 1e3),
         json::number(total.sim_mips()),
         json::number(total.sim_mcps()),
+        json::number(geomean_mips(rows)),
     )
 }
 
@@ -195,6 +228,16 @@ pub fn speed_report(config: &MachineConfig, rows: &[SpeedRow]) -> String {
         total.wall_s * 1e3,
         total.sim_mips(),
         total.sim_mcps()
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>12} {:>10} {:>10.2} {:>10}",
+        "GEOMEAN",
+        "-",
+        "-",
+        "-",
+        geomean_mips(rows),
+        "-"
     );
     out
 }
@@ -234,8 +277,30 @@ mod tests {
             "\"sim_mips\":",
             "\"sim_mcps\":",
             "\"total\":{",
+            "\"geomean_sim_mips\":",
         ] {
             assert!(doc.contains(needle), "missing {needle} in {doc}");
         }
+    }
+
+    #[test]
+    fn geomean_weights_rows_equally() {
+        let row = |mips: f64| SpeedRow {
+            workload: "w".into(),
+            instrs: 1_000_000,
+            cycles: 1_000_000,
+            wall_s: 1.0 / mips,
+        };
+        // Geomean of {4, 16} is 8 regardless of how long each row ran.
+        let rows = vec![row(4.0), row(16.0)];
+        let g = geomean_mips(&rows);
+        assert!((g - 8.0).abs() < 1e-9, "geomean {g} != 8");
+        // A single row's geomean is the row itself.
+        let one = geomean_mips(&rows[..1]);
+        assert!((one - 4.0).abs() < 1e-9, "geomean {one} != 4");
+        assert_eq!(geomean_mips(&[]), 0.0);
+        // The text table and JSON both carry it.
+        let report = speed_report(&MachineConfig::tm3270(), &rows);
+        assert!(report.contains("GEOMEAN"), "no GEOMEAN row in {report}");
     }
 }

@@ -13,10 +13,13 @@ use crate::config::MachineConfig;
 use crate::snapshot::Snapshot;
 use std::collections::VecDeque;
 use tm3270_encode::{
-    decode_program_detailed, encode_program, DecodeFault, EncodedProgram, SnapshotError,
-    SnapshotReader, SnapshotWriter,
+    decode_program_detailed, encode_program, superblocks, DecodeFault, EncodedProgram,
+    SnapshotError, SnapshotReader, SnapshotWriter,
 };
-use tm3270_isa::{execute, DataMemory, ExecError, ExecResult, Op, Program, Reg, RegFile};
+use tm3270_isa::{
+    execute, pure_fn, value::sign_extend, DataMemory, ExecError, ExecResult, Op, Opcode, Program,
+    PureFn, Reg, RegFile,
+};
 use tm3270_mem::{FullStats, MemorySystem, Region};
 use tm3270_obs::{SinkHandle, StallCause, TraceEvent};
 
@@ -368,6 +371,62 @@ struct PlannedOp {
     slot: u8,
     latency: u8,
     is_jump: bool,
+    /// Specialized register-pure evaluator
+    /// ([`pure_fn`](tm3270_isa::pure_fn)): present for single-destination
+    /// operations with no memory traffic and no control flow, letting the
+    /// fused dispatch loop skip the full opcode match and `ExecResult`
+    /// plumbing. `None` routes the op through [`execute`] unchanged.
+    pure: Option<PureFn>,
+    /// Pre-decoded shape of a simple scalar load/store, the memory-side
+    /// analogue of `pure`: the fused loop computes the address and calls
+    /// the memory system directly instead of going through the full
+    /// [`execute`] match. `None` for everything else (cache control,
+    /// prefetch MMIO, super-ops) — those take the generic path.
+    fast_mem: Option<FastMem>,
+}
+
+/// Addressing/width shape of a simple scalar memory operation; see
+/// [`PlannedOp::fast_mem`]. Covers exactly the `ld*`/`uld*`/`st*`
+/// opcodes whose semantics are "compute address, move 1/2/4 bytes,
+/// optionally sign-extend" — byte-for-byte the `execute` arms they
+/// replace.
+#[derive(Debug, Clone, Copy)]
+enum FastMem {
+    /// Scalar load. `indexed` selects register (`*r`) vs displacement
+    /// (`*d`) addressing; `sext` marks the signed variants.
+    Load {
+        bytes: u8,
+        sext: bool,
+        indexed: bool,
+    },
+    /// Scalar displacement store of 1/2/4 bytes.
+    Store { bytes: u8 },
+}
+
+/// Classifies an opcode for the fused fast-memory path.
+fn fast_mem(op: Opcode) -> Option<FastMem> {
+    use Opcode::*;
+    let f = |bytes, sext, indexed| FastMem::Load {
+        bytes,
+        sext,
+        indexed,
+    };
+    Some(match op {
+        Ld8d => f(1, true, false),
+        Uld8d => f(1, false, false),
+        Ld16d => f(2, true, false),
+        Uld16d => f(2, false, false),
+        Ld32d => f(4, false, false),
+        Ld8r => f(1, true, true),
+        Uld8r => f(1, false, true),
+        Ld16r => f(2, true, true),
+        Uld16r => f(2, false, true),
+        Ld32r => f(4, false, true),
+        St8d => FastMem::Store { bytes: 1 },
+        St16d => FastMem::Store { bytes: 2 },
+        St32d => FastMem::Store { bytes: 4 },
+        _ => return None,
+    })
 }
 
 /// Per-instruction metadata of the issue plan: the occupied-slot range
@@ -381,6 +440,13 @@ struct PlannedInstr {
     end: u32,
     first_chunk: u32,
     last_chunk: u32,
+    /// Whether any op of the instruction touches the data cache (loads,
+    /// stores, cache control, prefetch MMIO). Instructions without
+    /// memory traffic cannot produce data stalls, so the fused loop
+    /// skips the per-instruction memory-clock round trip for them
+    /// (unless a prefetch is in flight, whose completion must still be
+    /// absorbed on the exact cycle it would have been).
+    has_mem: bool,
 }
 
 /// The predecoded issue plan: the architectural [`Program`] lowered at
@@ -405,12 +471,16 @@ impl IssuePlan {
         let mut instrs = Vec::with_capacity(program.instrs.len());
         for (pc, instr) in program.instrs.iter().enumerate() {
             let start = ops.len() as u32;
+            let mut has_mem = false;
             for (slot, op) in instr.ops() {
+                has_mem |= op.opcode.is_mem();
                 ops.push(PlannedOp {
                     op: *op,
                     slot: slot as u8,
                     latency: issue.latency(op.opcode) as u8,
                     is_jump: op.opcode.is_jump(),
+                    pure: pure_fn(op.opcode),
+                    fast_mem: fast_mem(op.opcode),
                 });
             }
             let addr = image.offsets[pc];
@@ -420,10 +490,147 @@ impl IssuePlan {
                 end: ops.len() as u32,
                 first_chunk: addr & !31,
                 last_chunk: addr.wrapping_add(len - 1) & !31,
+                has_mem,
             });
         }
         IssuePlan { ops, instrs }
     }
+}
+
+/// Precomputed metadata of one superblock: a maximal straight-line run
+/// of VLIW instructions between jump-target boundaries (see
+/// [`tm3270_encode::BlockSpan`]), annotated at machine construction
+/// with everything the fused steady-state loop and the profiling tools
+/// need — per-block register read/write sets, issue-slot and latency
+/// aggregates, the fetch-chunk span and the memory-op map.
+///
+/// Control can only *enter* a block at `head` (jumps land exclusively
+/// on targets); it can leave anywhere, including by delay slots that
+/// straddle the boundary into the following block. Available via
+/// [`Machine::superblock_info`]; purely descriptive — mutating nothing,
+/// observing nothing at run time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperblockInfo {
+    /// First VLIW instruction of the block (a jump target, or 0).
+    pub head: usize,
+    /// One past the last instruction of the block.
+    pub end: usize,
+    /// Micro-ops in the block (guard-false ops included).
+    pub ops: u32,
+    /// Occupied issue slots (two-slot super-ops count both slots).
+    pub slots: u32,
+    /// Operations on the load or store units — the block's memory-op
+    /// count. Their timing depends on `mem` state, so instructions
+    /// carrying them always take the generic dispatch path.
+    pub mem_ops: u32,
+    /// Jump operations in the block.
+    pub jumps: u32,
+    /// Largest writeback latency of any op in the block: the in-flight
+    /// result window a whole-block commit has to respect.
+    pub max_latency: u8,
+    /// First 32-byte-aligned fetch chunk the block touches.
+    pub first_chunk: u32,
+    /// Last 32-byte-aligned fetch chunk the block touches.
+    pub last_chunk: u32,
+    /// 128-bit set of registers the block reads (guards and sources).
+    pub reg_reads: [u64; 2],
+    /// 128-bit set of registers the block writes (destinations).
+    pub reg_writes: [u64; 2],
+    /// VLIW instruction indices (absolute) carrying at least one
+    /// memory-unit op — the block's memory-op map.
+    pub mem_pcs: Vec<u32>,
+}
+
+impl SuperblockInfo {
+    /// Number of VLIW instructions in the block — also the block's
+    /// minimum cycle cost (one issue per cycle when nothing stalls).
+    pub fn len(&self) -> usize {
+        self.end - self.head
+    }
+
+    /// Whether the block is empty (never true for discovered blocks).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.head
+    }
+
+    /// Whether the block reads register `r` (as a source or guard).
+    pub fn reads_reg(&self, r: Reg) -> bool {
+        self.reg_reads[(r.index() >> 6) & 1] >> (r.index() & 63) & 1 == 1
+    }
+
+    /// Whether the block writes register `r`.
+    pub fn writes_reg(&self, r: Reg) -> bool {
+        self.reg_writes[(r.index() >> 6) & 1] >> (r.index() & 63) & 1 == 1
+    }
+}
+
+/// Lowers the discovered block spans into [`SuperblockInfo`] records by
+/// aggregating over the already-lowered issue plan.
+fn lower_superblocks(program: &Program, plan: &IssuePlan) -> Vec<SuperblockInfo> {
+    superblocks(program)
+        .into_iter()
+        .map(|span| {
+            let mut info = SuperblockInfo {
+                head: span.head,
+                end: span.end,
+                ops: 0,
+                slots: 0,
+                mem_ops: 0,
+                jumps: 0,
+                max_latency: 0,
+                first_chunk: plan.instrs[span.head].first_chunk,
+                last_chunk: plan.instrs[span.end - 1].last_chunk,
+                reg_reads: [0; 2],
+                reg_writes: [0; 2],
+                mem_pcs: Vec::new(),
+            };
+            let read = |info: &mut SuperblockInfo, r: Reg| {
+                info.reg_reads[(r.index() >> 6) & 1] |= 1u64 << (r.index() & 63);
+            };
+            for pc in span.head..span.end {
+                let PlannedInstr { start, end, .. } = plan.instrs[pc];
+                let mut has_mem = false;
+                for po in &plan.ops[start as usize..end as usize] {
+                    info.ops += 1;
+                    info.slots += if po.op.opcode.is_two_slot() { 2 } else { 1 };
+                    info.max_latency = info.max_latency.max(po.latency);
+                    if po.is_jump {
+                        info.jumps += 1;
+                    }
+                    if po.op.opcode.is_mem() {
+                        info.mem_ops += 1;
+                        has_mem = true;
+                    }
+                    read(&mut info, po.op.guard);
+                    for &r in po.op.sources() {
+                        read(&mut info, r);
+                    }
+                    for &r in po.op.dests() {
+                        info.reg_writes[(r.index() >> 6) & 1] |= 1u64 << (r.index() & 63);
+                    }
+                }
+                if has_mem {
+                    info.mem_pcs.push(pc as u32);
+                }
+            }
+            info
+        })
+        .collect()
+}
+
+/// Fused-engine telemetry: how many VLIW instructions ran on the fused
+/// superblock path versus the cycle-accurate fallback path (see
+/// [`Machine::engine_telemetry`]). Advisory counters — they are not part
+/// of [`RunStats`], not serialized into snapshots, and two runs that
+/// split the work differently between the paths still produce identical
+/// architectural results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineTelemetry {
+    /// Instructions executed by the fused dispatch loop.
+    pub fused_instrs: u64,
+    /// Instructions executed by `step_record` (sink attached, observer
+    /// attached, untrusted image, or explicit single-stepping).
+    pub fallback_instrs: u64,
 }
 
 /// Ring capacity of the writeback scoreboard, in landing slots. Must
@@ -494,6 +701,11 @@ pub struct Machine {
     cycle: u64,
     /// The predecoded execution cache of `program` (see [`IssuePlan`]).
     plan: IssuePlan,
+    /// Per-superblock metadata precomputed at construction (see
+    /// [`SuperblockInfo`]).
+    blocks: Vec<SuperblockInfo>,
+    /// Fused/fallback instruction counters (see [`EngineTelemetry`]).
+    telemetry: EngineTelemetry,
     /// In-flight register results, bucketed by landing instruction slot
     /// (see [`WriteRing`]).
     writes: WriteRing,
@@ -521,10 +733,15 @@ pub struct Machine {
     /// scheduler invariants (≤5 register writebacks per cycle) may be
     /// asserted, or from an arbitrary decoded image
     /// ([`Machine::from_image`]) where they may legitimately not hold.
-    /// Only read by debug-build asserts; release builds skip the
-    /// write-port accounting entirely.
-    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    /// Checked by debug-build asserts (release builds skip the
+    /// write-port accounting), and by [`run_with`](Machine::run_with) to
+    /// keep fault-injected images off the fused dispatch path.
     trusted_schedule: bool,
+    /// Diagnostic override: route every run through the cycle-accurate
+    /// fallback loop even when the fused path would be eligible. Set by
+    /// [`Machine::set_force_fallback`]; never serialized — it changes
+    /// which engine executes, not what it computes.
+    force_fallback: bool,
 }
 
 impl Machine {
@@ -568,11 +785,14 @@ impl Machine {
             "writeback ring too small for the issue model"
         );
         let plan = IssuePlan::lower(&program, &image, &config.issue);
+        let blocks = lower_superblocks(&program, &plan);
         Machine {
             config,
             program,
             image,
             plan,
+            blocks,
+            telemetry: EngineTelemetry::default(),
             regs: RegFile::new(),
             mem,
             pc: 0,
@@ -604,7 +824,18 @@ impl Machine {
             trace_ring: VecDeque::with_capacity(ring_cap),
             sink: SinkHandle::disabled(),
             trusted_schedule,
+            force_fallback: false,
         }
+    }
+
+    /// Forces every subsequent run through the cycle-accurate fallback
+    /// loop ([`step_record`](Machine::step_record)) even when the fused
+    /// superblock engine would be eligible. Both engines are
+    /// bit-identical by contract; this exists so tests and CI can
+    /// actually exercise that contract (and so regressions in either
+    /// engine can be bisected against the other).
+    pub fn set_force_fallback(&mut self, on: bool) {
+        self.force_fallback = on;
     }
 
     /// Attaches a trace sink: pipeline events (instruction issue, op
@@ -657,17 +888,7 @@ impl Machine {
     /// Addresses wrap at the flat-memory boundary, like [`read_data`]
     /// (Machine::read_data).
     pub fn read_data_into(&self, addr: u32, buf: &mut [u8]) {
-        let mem = self.mem.flat();
-        let slice = mem.as_slice();
-        let mask = slice.len() - 1;
-        let start = addr as usize & mask;
-        if start + buf.len() <= slice.len() {
-            buf.copy_from_slice(&slice[start..start + buf.len()]);
-        } else {
-            for (i, b) in buf.iter_mut().enumerate() {
-                *b = slice[(start + i) & mask];
-            }
-        }
+        self.mem.flat().read_into(addr, buf);
     }
 
     /// Configures a hardware prefetch region (the `PFn_*` registers,
@@ -684,6 +905,21 @@ impl Machine {
     /// The program this machine executes (decoded form).
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// Per-superblock metadata precomputed at construction: block spans,
+    /// register read/write sets, issue-slot/latency aggregates,
+    /// fetch-chunk spans and the memory-op map (see [`SuperblockInfo`]).
+    /// Sorted by block head; covers every instruction exactly once.
+    pub fn superblock_info(&self) -> &[SuperblockInfo] {
+        &self.blocks
+    }
+
+    /// How many instructions ran fused versus on the cycle-accurate
+    /// fallback path (see [`EngineTelemetry`]). Counts accumulate across
+    /// runs on this machine; they are advisory and never snapshotted.
+    pub fn engine_telemetry(&self) -> EngineTelemetry {
+        self.telemetry
     }
 
     /// Current program counter (VLIW instruction index).
@@ -973,6 +1209,7 @@ impl Machine {
         }
         self.cycle += 1 + dstall;
         self.stats.instrs += 1;
+        self.telemetry.fallback_instrs += 1;
 
         // Livelock watchdog: a well-formed program keeps executing
         // operations; a corrupted one can spin through jumps and
@@ -1030,11 +1267,411 @@ impl Machine {
         Ok(record)
     }
 
+    /// The fused steady-state executor: runs instructions back-to-back
+    /// with superblock-grade bookkeeping until the program halts, the
+    /// cycle budget is reached, or a typed error fires. Architecturally
+    /// and *cycle*-identical to a `step_record` loop — only overhead is
+    /// removed, never timing:
+    ///
+    /// - Register-pure ops dispatch through their precomputed
+    ///   [`PureFn`] pointer (guard check + evaluate + scoreboard push),
+    ///   skipping the full opcode match and [`ExecResult`] plumbing.
+    ///   Memory ops, jumps, two-destination super-ops and everything
+    ///   else take the generic [`execute`] path unchanged.
+    /// - The front end probes only instruction-fetch chunks *newer* than
+    ///   the previous instruction's window. During sequential flow the
+    ///   4-entry buffer provably still holds every older chunk of the
+    ///   current window (spans are ≤ 2 chunks and addresses
+    ///   non-decreasing, so at most 2 distinct other chunks enter
+    ///   between consecutive references — never enough to evict), so
+    ///   the skipped probes are guaranteed hits with zero state effect.
+    ///   After a taken branch lands (and on entry) the full window is
+    ///   probed, exactly like the fallback path.
+    /// - Run statistics accumulate in locals and flush to `self` on
+    ///   every exit path, so budget boundaries, halts and errors observe
+    ///   exact counters.
+    ///
+    /// Everything with externally visible per-instruction behaviour is
+    /// preserved verbatim: `begin_instr`/`take_stall` bracket every
+    /// instruction (prefetch absorption and data-stall timing are
+    /// `mem`-state dependent), the writeback ring commits per
+    /// instruction slot, the watchdog and delay-slot bookkeeping run per
+    /// instruction, and the crash-report trace ring is maintained
+    /// identically. Callers gate this on: no trace sink, no observer,
+    /// and a trusted (scheduler-produced) image — every other
+    /// combination takes [`step_record`](Machine::step_record).
+    fn run_fused(&mut self, budget: u64) -> Result<(), SimError> {
+        let len = self.plan.instrs.len();
+        let delay_slots = self.config.issue.jump_delay_slots;
+        let ring = self.config.trace_ring;
+
+        let mut pc = self.pc;
+        let mut cycle = self.cycle;
+        let mut pending = self.pending_branch;
+        let mut last_progress = self.last_progress_cycle;
+        let mut instrs = self.stats.instrs;
+        let mut ops = self.stats.ops;
+        let mut exec_ops = self.stats.exec_ops;
+        let mut branches = self.stats.branches;
+        let mut taken = self.stats.taken_branches;
+        let mut istall_total = self.stats.ifetch_stall_cycles;
+        let mut dstall_total = self.stats.data_stall_cycles;
+        let mut fused = 0u64;
+
+        /// Sentinel chunk floor: probe the next instruction's full
+        /// window (not 32-byte aligned, so no real chunk collides).
+        const FULL_PROBE: u32 = u32::MAX;
+        let mut probe_floor = FULL_PROBE;
+
+        // Crash-report ring, kept in a local circular buffer and folded
+        // back into `self.trace_ring` on exit: per-instruction VecDeque
+        // maintenance (length check + pop + push) is measurably more
+        // expensive than an indexed store, and only the final ring
+        // contents are observable.
+        let mut local_ring: Vec<TraceRecord> = Vec::with_capacity(ring);
+        let mut ring_head = 0usize;
+
+        // Latency-1 writeback lane: results that land at the very next
+        // instruction slot stay in this fixed array instead of taking a
+        // scoreboard-ring round trip (push + bucket drain). All entries
+        // share one landing slot (`lane_land`); the lane is applied in
+        // reverse push order ahead of the ring drain of the same slot,
+        // reproducing the bucket's collision rule (earliest-pushed
+        // wins — ring entries for the slot were pushed in earlier
+        // instructions, i.e. before every lane entry). On every exit
+        // the lane spills into the ring, so seam state — snapshots,
+        // budget boundaries, post-mortems — is bit-identical to the
+        // ring-only scheme. Capacity 10 = 5 slots x 2 destinations.
+        let mut lane = [(Reg::ZERO, 0u32); 10];
+        let mut lane_n = 0usize;
+        let mut lane_land = 0u64;
+
+        macro_rules! flush {
+            () => {
+                for k in 0..lane_n {
+                    self.writes.push(lane_land, lane[k].0, lane[k].1);
+                }
+                lane_n = 0;
+                let _ = lane_n;
+                self.pc = pc;
+                self.cycle = cycle;
+                self.pending_branch = pending;
+                self.last_progress_cycle = last_progress;
+                self.stats.instrs = instrs;
+                self.stats.ops = ops;
+                self.stats.exec_ops = exec_ops;
+                self.stats.branches = branches;
+                self.stats.taken_branches = taken;
+                self.stats.ifetch_stall_cycles = istall_total;
+                self.stats.data_stall_cycles = dstall_total;
+                self.telemetry.fused_instrs += fused;
+                if local_ring.len() == ring && ring > 0 {
+                    // A full rotation: the local buffer alone holds the
+                    // last `ring` records, oldest at `ring_head`.
+                    self.trace_ring.clear();
+                    for k in 0..ring {
+                        self.trace_ring
+                            .push_back(local_ring[(ring_head + k) % ring]);
+                    }
+                } else {
+                    // Fewer new records than the ring holds: append them
+                    // after whatever history was already there.
+                    for rec in &local_ring {
+                        if self.trace_ring.len() >= ring {
+                            self.trace_ring.pop_front();
+                        }
+                        self.trace_ring.push_back(*rec);
+                    }
+                }
+            };
+        }
+
+        loop {
+            if (pc >= len && pending.is_none()) || cycle >= budget {
+                flush!();
+                return Ok(());
+            }
+            let ipc = pc;
+            let PlannedInstr {
+                start,
+                end,
+                first_chunk,
+                last_chunk,
+                has_mem,
+            } = self.plan.instrs[ipc];
+
+            // Front end: probe only chunks newer than the previous
+            // window (see method docs for why older ones are hits).
+            let mut istall = 0u64;
+            let mut chunk = if probe_floor == FULL_PROBE || first_chunk > probe_floor {
+                first_chunk
+            } else {
+                probe_floor.wrapping_add(32)
+            };
+            while chunk <= last_chunk {
+                if !self.ibuf.contains(&chunk) {
+                    istall += self.mem.fetch_instr(cycle + istall, chunk, 32);
+                    self.ibuf[self.ibuf_next] = chunk;
+                    self.ibuf_next = (self.ibuf_next + 1) % self.ibuf.len();
+                }
+                chunk = chunk.wrapping_add(32);
+            }
+            probe_floor = last_chunk;
+            cycle += istall;
+            istall_total += istall;
+
+            // Previous instruction's latency-1 results: reverse order
+            // first, then the ring drain of the same slot (see the lane
+            // comment above for why this matches the bucket rule).
+            while lane_n > 0 {
+                lane_n -= 1;
+                let (r, v) = lane[lane_n];
+                self.regs.write(r, v);
+            }
+            self.commit_writes(instrs);
+
+            let issue_cycle = cycle;
+            // Instructions without memory ops cannot stall on data and
+            // never advance the memory clock observably — unless a
+            // prefetch is in flight, whose completion must be absorbed
+            // at exactly this cycle (fills and copy-back timing depend
+            // on it). The clock itself still tracks every instruction
+            // (`set_now`) so a snapshot taken after a pure-ALU tail is
+            // byte-identical to one from the fallback engine.
+            let mem_active = has_mem || self.mem.prefetch_in_flight();
+            if mem_active {
+                self.mem.begin_instr(issue_cycle);
+            } else {
+                self.mem.set_now(issue_cycle);
+            }
+
+            ops += u64::from(end - start);
+            let land_base = instrs;
+            lane_land = land_base + 1;
+            let mut branch_target: Option<usize> = None;
+            let mut exec_here = 0u8;
+            let mut progress = false;
+            for po in &self.plan.ops[start as usize..end as usize] {
+                if let Some(pf) = po.pure {
+                    if self.regs.guard(po.op.guard) {
+                        exec_ops += 1;
+                        exec_here += 1;
+                        progress = true;
+                        let v = pf(
+                            self.regs.read(po.op.srcs[0]),
+                            self.regs.read(po.op.srcs[1]),
+                            po.op.imm,
+                        );
+                        if po.latency == 1 {
+                            lane[lane_n] = (po.op.dsts[0], v);
+                            lane_n += 1;
+                        } else {
+                            self.writes
+                                .push(land_base + u64::from(po.latency), po.op.dsts[0], v);
+                        }
+                    }
+                } else if let Some(fm) = po.fast_mem {
+                    // Simple scalar load/store: same semantics as the
+                    // matching `execute` arm, minus the giant opcode
+                    // match and the `ExecResult` round trip.
+                    if self.regs.guard(po.op.guard) {
+                        exec_ops += 1;
+                        exec_here += 1;
+                        progress = true;
+                        let err = match fm {
+                            FastMem::Load {
+                                bytes,
+                                sext,
+                                indexed,
+                            } => {
+                                let off = if indexed {
+                                    self.regs.read(po.op.srcs[1])
+                                } else {
+                                    po.op.imm as u32
+                                };
+                                let addr = self.regs.read(po.op.srcs[0]).wrapping_add(off);
+                                match self.mem.check_access(addr, u32::from(bytes)) {
+                                    Ok(()) => {
+                                        let v = self.mem.load_le(addr, bytes as usize);
+                                        let v = if sext {
+                                            sign_extend(v, u32::from(bytes) * 8)
+                                        } else {
+                                            v
+                                        };
+                                        if po.latency == 1 {
+                                            lane[lane_n] = (po.op.dsts[0], v);
+                                            lane_n += 1;
+                                        } else {
+                                            self.writes.push(
+                                                land_base + u64::from(po.latency),
+                                                po.op.dsts[0],
+                                                v,
+                                            );
+                                        }
+                                        None
+                                    }
+                                    Err(e) => Some(e),
+                                }
+                            }
+                            FastMem::Store { bytes } => {
+                                let addr =
+                                    self.regs.read(po.op.srcs[0]).wrapping_add(po.op.imm as u32);
+                                match self.mem.check_access(addr, u32::from(bytes)) {
+                                    Ok(()) => {
+                                        let v = self.regs.read(po.op.srcs[1]);
+                                        self.mem.store_le(addr, bytes as usize, v);
+                                        None
+                                    }
+                                    Err(e) => Some(e),
+                                }
+                            }
+                        };
+                        if let Some(e) = err {
+                            flush!();
+                            return Err(match e {
+                                ExecError::MisalignedAccess { addr, size } => {
+                                    SimError::MisalignedAccess {
+                                        pc: ipc,
+                                        addr,
+                                        size,
+                                    }
+                                }
+                                ExecError::OutOfBoundsAccess { addr, size } => {
+                                    SimError::OutOfBoundsAccess {
+                                        pc: ipc,
+                                        addr,
+                                        size,
+                                    }
+                                }
+                            });
+                        }
+                    }
+                } else {
+                    let res = match execute(&po.op, &self.regs, &mut self.mem) {
+                        Ok(res) => res,
+                        Err(e) => {
+                            flush!();
+                            return Err(match e {
+                                ExecError::MisalignedAccess { addr, size } => {
+                                    SimError::MisalignedAccess {
+                                        pc: ipc,
+                                        addr,
+                                        size,
+                                    }
+                                }
+                                ExecError::OutOfBoundsAccess { addr, size } => {
+                                    SimError::OutOfBoundsAccess {
+                                        pc: ipc,
+                                        addr,
+                                        size,
+                                    }
+                                }
+                            });
+                        }
+                    };
+                    if res.executed {
+                        exec_ops += 1;
+                        exec_here += 1;
+                        if !po.is_jump {
+                            progress = true;
+                        }
+                    }
+                    if po.is_jump {
+                        branches += 1;
+                    }
+                    for (r, v) in res.write_iter() {
+                        if po.latency == 1 {
+                            lane[lane_n] = (r, v);
+                            lane_n += 1;
+                        } else {
+                            self.writes.push(land_base + u64::from(po.latency), r, v);
+                        }
+                    }
+                    if let Some(t) = res.branch_target {
+                        taken += 1;
+                        branch_target = Some(t as usize);
+                    }
+                }
+            }
+
+            let dstall = if mem_active { self.mem.take_stall() } else { 0 };
+            dstall_total += dstall;
+            cycle += 1 + dstall;
+            instrs += 1;
+            fused += 1;
+
+            if progress {
+                last_progress = cycle;
+            } else {
+                let idle = cycle - last_progress;
+                if idle >= self.watchdog_cycles {
+                    flush!();
+                    return Err(SimError::NoProgress {
+                        pc: ipc,
+                        cycles: idle,
+                    });
+                }
+            }
+
+            if let Some(target) = branch_target {
+                if pending.is_some() {
+                    flush!();
+                    return Err(SimError::BranchInDelaySlot { at: ipc });
+                }
+                pending = Some((delay_slots, target));
+                pc += 1;
+            } else {
+                match &mut pending {
+                    Some((remaining, target)) => {
+                        *remaining -= 1;
+                        if *remaining == 0 {
+                            pc = *target;
+                            pending = None;
+                            probe_floor = FULL_PROBE;
+                        } else {
+                            pc += 1;
+                        }
+                    }
+                    None => pc += 1,
+                }
+            }
+
+            if ring > 0 {
+                let rec = TraceRecord {
+                    cycle: issue_cycle,
+                    pc: ipc,
+                    ops_executed: exec_here,
+                    ifetch_stall: istall,
+                    data_stall: dstall,
+                    branch_taken: branch_target,
+                };
+                if local_ring.len() < ring {
+                    local_ring.push(rec);
+                } else {
+                    local_ring[ring_head] = rec;
+                    ring_head += 1;
+                    if ring_head == ring {
+                        ring_head = 0;
+                    }
+                }
+            }
+        }
+    }
+
     /// The unified run entry point: runs until the program halts or the
     /// budget is exhausted, honouring every option in `opts` — the
     /// watchdog override, the per-instruction observer and crash-report
     /// capture. [`Machine::run`], [`Machine::run_reported`] and
     /// [`Machine::run_traced`] are thin wrappers over this.
+    ///
+    /// Steady-state execution takes the fused superblock path
+    /// ([`run_fused`](Machine::run_fused)) whenever nothing needs
+    /// per-instruction visibility; attaching a trace sink or an
+    /// observer, or running a machine decoded from an arbitrary image
+    /// ([`Machine::from_image`], the fault-injection load path), falls
+    /// back to the cycle-accurate [`step_record`](Machine::step_record)
+    /// loop. Both paths produce bit-identical architectural state,
+    /// statistics and snapshots.
     ///
     /// Unlike the wrappers this method does not return a `Result`: both
     /// the success statistics and the typed error travel in the
@@ -1043,6 +1680,10 @@ impl Machine {
         if let Some(cycles) = opts.watchdog {
             self.set_watchdog(cycles);
         }
+        let fused_ok = !self.sink.enabled()
+            && opts.trace.is_none()
+            && self.trusted_schedule
+            && !self.force_fallback;
         let result = loop {
             if self.is_halted() {
                 // Drain in-flight results.
@@ -1053,6 +1694,14 @@ impl Machine {
             }
             if self.cycle >= opts.budget {
                 break Err(SimError::CycleLimit { limit: opts.budget });
+            }
+            if fused_ok {
+                // Returns at a halt or budget boundary (handled by the
+                // checks above on the next pass) or with a typed error.
+                match self.run_fused(opts.budget) {
+                    Ok(()) => continue,
+                    Err(e) => break Err(e),
+                }
             }
             match self.step_record() {
                 Ok(record) => {

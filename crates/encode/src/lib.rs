@@ -40,7 +40,8 @@ pub mod snapshot;
 pub use bitio::{BitReader, BitWriter};
 pub use format::{preferred_code, SlotCode};
 pub use program::{
-    decode_program, decode_program_detailed, encode_program, CodeStats, DecodeFault, EncodedProgram,
+    decode_program, decode_program_detailed, encode_program, superblocks, BlockSpan, CodeStats,
+    DecodeFault, EncodedProgram,
 };
 pub use snapshot::{
     SectionReader, SectionWriter, SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC,

@@ -93,6 +93,71 @@ impl CodeStats {
     }
 }
 
+/// One superblock: a maximal straight-line run of VLIW instructions
+/// `[head, end)` between jump-target boundaries.
+///
+/// Heads are exactly the instructions a jump can land on — index 0 plus
+/// every entry of [`Program::jump_targets`] — mirroring the encoding
+/// rule that target instructions are stored uncompressed (they carry
+/// their own template). Control can *leave* a block anywhere (a taken
+/// jump's delay slots may even straddle the boundary into the next
+/// block by fall-through), but it can only *enter* at a head, which is
+/// what makes per-block precomputation sound: every non-head
+/// instruction is always reached from its in-block predecessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpan {
+    /// Index of the first VLIW instruction of the block (a jump target,
+    /// or instruction 0).
+    pub head: usize,
+    /// One past the last instruction of the block (= the next block's
+    /// head, or the program length for the final block).
+    pub end: usize,
+}
+
+impl BlockSpan {
+    /// Number of VLIW instructions in the block.
+    pub fn len(&self) -> usize {
+        self.end - self.head
+    }
+
+    /// Whether the span is empty (never true for discovered blocks).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.head
+    }
+}
+
+/// Partitions `program` into superblocks: straight-line instruction
+/// runs cut at every jump target (see [`BlockSpan`]).
+///
+/// The returned spans are sorted, non-empty, non-overlapping and cover
+/// `0..program.instrs.len()` exactly; every jump target (and index 0)
+/// is the head of exactly one span. Out-of-range or duplicate entries
+/// in `jump_targets` are ignored, matching [`encode_program`]'s
+/// validation (which rejects out-of-range targets outright).
+pub fn superblocks(program: &tm3270_isa::Program) -> Vec<BlockSpan> {
+    let n = program.instrs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut heads: Vec<usize> = program
+        .jump_targets
+        .iter()
+        .copied()
+        .filter(|&t| t < n)
+        .chain(std::iter::once(0))
+        .collect();
+    heads.sort_unstable();
+    heads.dedup();
+    heads
+        .iter()
+        .enumerate()
+        .map(|(i, &head)| BlockSpan {
+            head,
+            end: heads.get(i + 1).copied().unwrap_or(n),
+        })
+        .collect()
+}
+
 /// Computes the per-slot compression codes for one instruction.
 fn slot_codes(instr: &Instr, uncompressed: bool) -> Result<[SlotCode; NUM_SLOTS], EncodeError> {
     let mut codes = [SlotCode::Unused; NUM_SLOTS];
@@ -466,5 +531,127 @@ mod tests {
             assert!(w[0] <= w[1]);
         }
         assert_eq!(image.offsets[0], 0);
+    }
+
+    /// Asserts the partition invariants of [`superblocks`]: sorted,
+    /// non-empty, gap-free, overlap-free cover of the whole program with
+    /// every jump target on a block head.
+    fn assert_partition(p: &Program) -> Vec<BlockSpan> {
+        let blocks = superblocks(p);
+        let n = p.instrs.len();
+        if n == 0 {
+            assert!(blocks.is_empty());
+            return blocks;
+        }
+        assert_eq!(blocks[0].head, 0, "first block starts at the entry");
+        assert_eq!(blocks.last().unwrap().end, n, "last block ends the program");
+        for b in &blocks {
+            assert!(!b.is_empty(), "empty block {b:?}");
+        }
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].end, w[1].head, "gap or overlap at {w:?}");
+        }
+        for &t in p.jump_targets.iter().filter(|&&t| t < n) {
+            assert!(
+                blocks.iter().any(|b| b.head == t),
+                "jump target {t} is not a block head"
+            );
+        }
+        assert_eq!(
+            blocks.iter().map(BlockSpan::len).sum::<usize>(),
+            n,
+            "blocks cover every instruction exactly once"
+        );
+        blocks
+    }
+
+    #[test]
+    fn superblocks_partition_the_sample_program() {
+        let p = sample_program();
+        // Targets 0 (entry) and 4: two blocks, [0,4) and [4,5).
+        let blocks = assert_partition(&p);
+        assert_eq!(
+            blocks,
+            vec![BlockSpan { head: 0, end: 4 }, BlockSpan { head: 4, end: 5 }]
+        );
+    }
+
+    #[test]
+    fn superblocks_handle_single_instruction_blocks() {
+        // Every instruction a target: all blocks have length 1.
+        let mut p = Program::new();
+        for _ in 0..4 {
+            p.instrs.push(Instr::nop());
+        }
+        p.jump_targets = vec![1, 2, 3];
+        let blocks = assert_partition(&p);
+        assert_eq!(blocks.len(), 4);
+        assert!(blocks.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn superblocks_tolerate_unsorted_duplicate_and_wild_targets() {
+        // decode_program reconstructs targets sorted, but hand-built
+        // programs can carry duplicates, unsorted entries, or indices
+        // past the end — discovery must stay a clean partition.
+        let mut p = Program::new();
+        for _ in 0..6 {
+            p.instrs.push(Instr::nop());
+        }
+        p.jump_targets = vec![4, 2, 4, 99, 2, 0];
+        let blocks = assert_partition(&p);
+        assert_eq!(
+            blocks,
+            vec![
+                BlockSpan { head: 0, end: 2 },
+                BlockSpan { head: 2, end: 4 },
+                BlockSpan { head: 4, end: 6 },
+            ]
+        );
+    }
+
+    #[test]
+    fn superblocks_fall_through_edges_share_a_boundary() {
+        // A fall-through edge (no jump between consecutive blocks) is
+        // exactly a shared head/end boundary: control rolls from one
+        // block into the next at end == head.
+        let mut p = Program::new();
+        for _ in 0..5 {
+            p.instrs.push(Instr::nop());
+        }
+        p.jump_targets = vec![3];
+        let blocks = assert_partition(&p);
+        assert_eq!(blocks[0].end, blocks[1].head);
+    }
+
+    #[test]
+    fn superblocks_of_trivial_programs() {
+        assert!(superblocks(&Program::new()).is_empty());
+        let mut one = Program::new();
+        one.instrs.push(Instr::nop());
+        assert_eq!(superblocks(&one), vec![BlockSpan { head: 0, end: 1 }]);
+        // No jump targets at all: the whole program is one block.
+        let mut straight = Program::new();
+        for _ in 0..7 {
+            straight.instrs.push(Instr::nop());
+        }
+        assert_eq!(superblocks(&straight), vec![BlockSpan { head: 0, end: 7 }]);
+    }
+
+    #[test]
+    fn superblock_heads_match_encoded_target_flags() {
+        // The encoder stores exactly the block heads uncompressed: the
+        // `targets` flags of the image and the discovered heads agree.
+        let p = sample_program();
+        let image = encode_program(&p).unwrap();
+        let heads: Vec<usize> = superblocks(&p).iter().map(|b| b.head).collect();
+        let flagged: Vec<usize> = image
+            .targets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(heads, flagged);
     }
 }

@@ -141,12 +141,29 @@ pub trait DataMemory {
     }
 }
 
+/// Segment granularity of [`FlatMemory`]: 256 KiB. Large enough that
+/// segment-crossing accesses are vanishingly rare, small enough that a
+/// kernel touching a few hundred kilobytes only ever zeroes a few
+/// hundred kilobytes.
+const SEG_BYTES: usize = 1 << 18;
+
 /// A flat byte-array memory for functional simulation and tests.
 ///
 /// Addresses wrap within the memory size (which must be a power of two).
+///
+/// The backing store is *demand-paged* in 256 KiB segments: untouched
+/// address space costs neither allocation nor zeroing, so constructing a
+/// machine with the default 16 MB space is O(touched footprint), not
+/// O(address space) — the dominant cost of short sweep runs before this
+/// layout. Reads from an absent segment return zero without allocating;
+/// the first store into a segment materializes it zero-filled.
 #[derive(Debug, Clone)]
 pub struct FlatMemory {
-    bytes: Vec<u8>,
+    segs: Vec<Option<Box<[u8]>>>,
+    /// Bytes per segment: `SEG_BYTES`, or the whole size when smaller.
+    seg_len: usize,
+    seg_shift: u32,
+    size: usize,
     mask: u32,
     strict_bounds: bool,
     strict_align: bool,
@@ -162,8 +179,12 @@ impl FlatMemory {
     /// it), not an input-dependent path: program data can never reach it.
     pub fn new(size: usize) -> FlatMemory {
         assert!(size.is_power_of_two(), "memory size must be a power of two");
+        let seg_len = size.min(SEG_BYTES);
         FlatMemory {
-            bytes: vec![0; size],
+            segs: vec![None; size / seg_len],
+            seg_len,
+            seg_shift: seg_len.trailing_zeros(),
+            size,
             mask: (size - 1) as u32,
             strict_bounds: false,
             strict_align: false,
@@ -193,46 +214,208 @@ impl FlatMemory {
 
     /// The memory size in bytes.
     pub fn len(&self) -> usize {
-        self.bytes.len()
+        self.size
     }
 
     /// Whether the memory is empty (never true for a constructed memory).
     pub fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
+        self.size == 0
     }
 
-    /// Direct view of the backing bytes.
-    pub fn as_slice(&self) -> &[u8] {
-        &self.bytes
+    /// One byte at in-range offset `a` (absent segments read zero).
+    #[inline]
+    fn get(&self, a: usize) -> u8 {
+        match &self.segs[a >> self.seg_shift] {
+            Some(s) => s[a & (self.seg_len - 1)],
+            None => 0,
+        }
     }
 
-    /// Direct mutable view of the backing bytes.
-    pub fn as_mut_slice(&mut self) -> &mut [u8] {
-        &mut self.bytes
+    /// The materialized segment containing offset `a`, zero-filled on
+    /// first touch.
+    #[inline]
+    fn seg_mut(&mut self, a: usize) -> &mut [u8] {
+        let seg_len = self.seg_len;
+        self.segs[a >> self.seg_shift].get_or_insert_with(|| vec![0u8; seg_len].into_boxed_slice())
+    }
+
+    /// Reads `buf.len()` bytes at `addr` without requiring `&mut self`
+    /// (same wrap-around semantics as the [`DataMemory`] load).
+    pub fn read_into(&self, addr: u32, buf: &mut [u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        let a = (addr & self.mask) as usize;
+        let end = a + buf.len();
+        if end <= self.size && (a >> self.seg_shift) == ((end - 1) >> self.seg_shift) {
+            let off = a & (self.seg_len - 1);
+            match &self.segs[a >> self.seg_shift] {
+                Some(s) => buf.copy_from_slice(&s[off..off + buf.len()]),
+                None => buf.fill(0),
+            }
+        } else {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = self.get(((addr.wrapping_add(i as u32)) & self.mask) as usize);
+            }
+        }
+    }
+
+    /// Writes `data` at `addr` (same wrap-around semantics as the
+    /// [`DataMemory`] store).
+    pub fn write_from(&mut self, addr: u32, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let a = (addr & self.mask) as usize;
+        let end = a + data.len();
+        if end <= self.size && (a >> self.seg_shift) == ((end - 1) >> self.seg_shift) {
+            let off = a & (self.seg_len - 1);
+            self.seg_mut(a)[off..off + data.len()].copy_from_slice(data);
+        } else {
+            let seg_mask = self.seg_len - 1;
+            for (i, &b) in data.iter().enumerate() {
+                let a = ((addr.wrapping_add(i as u32)) & self.mask) as usize;
+                self.seg_mut(a)[a & seg_mask] = b;
+            }
+        }
+    }
+
+    /// Resets the whole address space to zero, releasing every segment.
+    pub fn clear(&mut self) {
+        for s in &mut self.segs {
+            *s = None;
+        }
+    }
+
+    /// The number of bytes up to and including the last non-zero one
+    /// (0 for an all-zero memory). Snapshots store exactly this prefix.
+    pub fn trailing_nonzero_len(&self) -> usize {
+        for (si, seg) in self.segs.iter().enumerate().rev() {
+            if let Some(s) = seg {
+                if let Some(i) = s.iter().rposition(|&b| b != 0) {
+                    return si * self.seg_len + i + 1;
+                }
+            }
+        }
+        0
+    }
+
+    /// Calls `f` on consecutive chunks covering `[0, len)`, in address
+    /// order (absent segments surface as zero-filled chunks). Used by
+    /// snapshot serialization — equivalent to one pass over a contiguous
+    /// backing array.
+    pub fn for_each_chunk(&self, len: usize, mut f: impl FnMut(&[u8])) {
+        const ZEROS: [u8; 4096] = [0u8; 4096];
+        let mut at = 0usize;
+        while at < len {
+            let take = (len - at).min(self.seg_len - (at & (self.seg_len - 1)));
+            match &self.segs[at >> self.seg_shift] {
+                Some(s) => {
+                    let off = at & (self.seg_len - 1);
+                    f(&s[off..off + take]);
+                }
+                None => {
+                    let mut rest = take;
+                    while rest > 0 {
+                        let n = rest.min(ZEROS.len());
+                        f(&ZEROS[..n]);
+                        rest -= n;
+                    }
+                }
+            }
+            at += take;
+        }
+    }
+
+    /// Fixed-width read at `addr`: the compile-time length lets the
+    /// common 1/2/4-byte operation accesses compile to single moves
+    /// instead of a variable-length copy.
+    #[inline]
+    pub fn read_fixed<const N: usize>(&self, addr: u32) -> [u8; N] {
+        let a = (addr & self.mask) as usize;
+        if a + N <= self.size && (a >> self.seg_shift) == ((a + N - 1) >> self.seg_shift) {
+            let off = a & (self.seg_len - 1);
+            match &self.segs[a >> self.seg_shift] {
+                Some(s) => {
+                    let mut out = [0u8; N];
+                    out.copy_from_slice(&s[off..off + N]);
+                    out
+                }
+                None => [0u8; N],
+            }
+        } else {
+            let mut out = [0u8; N];
+            self.read_into(addr, &mut out);
+            out
+        }
+    }
+
+    /// Fixed-width write at `addr` (see [`read_fixed`]
+    /// (FlatMemory::read_fixed)).
+    #[inline]
+    pub fn write_fixed<const N: usize>(&mut self, addr: u32, data: [u8; N]) {
+        let a = (addr & self.mask) as usize;
+        if a + N <= self.size && (a >> self.seg_shift) == ((a + N - 1) >> self.seg_shift) {
+            let off = a & (self.seg_len - 1);
+            self.seg_mut(a)[off..off + N].copy_from_slice(&data);
+        } else {
+            self.write_from(addr, &data);
+        }
+    }
+
+    /// Materializes the full contents as one contiguous vector (test and
+    /// debugging helper; O(address space)).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.size];
+        for (si, seg) in self.segs.iter().enumerate() {
+            if let Some(s) = seg {
+                out[si * self.seg_len..(si + 1) * self.seg_len].copy_from_slice(s);
+            }
+        }
+        out
     }
 }
 
 impl DataMemory for FlatMemory {
     fn load_bytes(&mut self, addr: u32, buf: &mut [u8]) {
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.bytes[((addr.wrapping_add(i as u32)) & self.mask) as usize];
-        }
+        self.read_into(addr, buf);
     }
 
     fn store_bytes(&mut self, addr: u32, data: &[u8]) {
-        for (i, &b) in data.iter().enumerate() {
-            self.bytes[((addr.wrapping_add(i as u32)) & self.mask) as usize] = b;
-        }
+        self.write_from(addr, data);
     }
 
     fn check_access(&self, addr: u32, size: u32) -> Result<(), ExecError> {
-        if self.strict_bounds && u64::from(addr) + u64::from(size) > self.bytes.len() as u64 {
+        if self.strict_bounds && u64::from(addr) + u64::from(size) > self.size as u64 {
             return Err(ExecError::OutOfBoundsAccess { addr, size });
         }
         if self.strict_align {
             check_alignment(addr, size)?;
         }
         Ok(())
+    }
+
+    fn load_le(&mut self, addr: u32, bytes: usize) -> u32 {
+        match bytes {
+            1 => u32::from(self.read_fixed::<1>(addr)[0]),
+            2 => u32::from(u16::from_le_bytes(self.read_fixed::<2>(addr))),
+            4 => u32::from_le_bytes(self.read_fixed::<4>(addr)),
+            _ => {
+                let mut buf = [0u8; 4];
+                self.read_into(addr, &mut buf[..bytes]);
+                u32::from_le_bytes(buf)
+            }
+        }
+    }
+
+    fn store_le(&mut self, addr: u32, bytes: usize, value: u32) {
+        let buf = value.to_le_bytes();
+        match bytes {
+            1 => self.write_fixed::<1>(addr, [buf[0]]),
+            2 => self.write_fixed::<2>(addr, [buf[0], buf[1]]),
+            4 => self.write_fixed::<4>(addr, buf),
+            _ => self.write_from(addr, &buf[..bytes]),
+        }
     }
 }
 
@@ -317,7 +500,11 @@ fn b32(c: bool) -> u32 {
 /// [`DataMemory::check_access`] before any architectural effect; a
 /// strict memory turns wild addresses into [`ExecError`]s here instead
 /// of silently wrapping. Non-memory operations are infallible.
-pub fn execute(op: &Op, rf: &RegFile, mem: &mut dyn DataMemory) -> Result<ExecResult, ExecError> {
+pub fn execute<M: DataMemory + ?Sized>(
+    op: &Op,
+    rf: &RegFile,
+    mem: &mut M,
+) -> Result<ExecResult, ExecError> {
     use Opcode::*;
 
     let g = rf.guard(op.guard);
@@ -802,6 +989,290 @@ pub fn execute(op: &Op, rf: &RegFile, mem: &mut dyn DataMemory) -> Result<ExecRe
     })
 }
 
+/// Signature of a specialized pure operation: `(src0, src1, imm)` in,
+/// destination value out. See [`pure_fn`].
+pub type PureFn = fn(u32, u32, i32) -> u32;
+
+/// The specialized register-pure evaluator for `opcode`, if it has one.
+///
+/// An opcode qualifies when its entire architectural effect is a single
+/// destination write computed from at most two source registers and the
+/// immediate: no memory traffic, no control flow, no second destination
+/// and no guard-false side channel (which rules out `jmpf`). For those
+/// opcodes the returned function computes exactly the value [`execute`]
+/// would put in `writes[0]` for a guard-true operation — the caller owns
+/// the guard check and the write-back. A cycle-exact interpreter can
+/// dispatch these through a stored function pointer and skip the full
+/// opcode match and [`ExecResult`] plumbing; `pure_fns_match_execute`
+/// (below, in tests) pins the agreement per opcode on randomized inputs.
+pub fn pure_fn(opcode: Opcode) -> Option<PureFn> {
+    use Opcode::*;
+
+    Some(match opcode {
+        // --- constants / immediate arithmetic ---
+        Iimm => |_, _, imm| imm as u32,
+        Iaddi => |a, _, imm| a.wrapping_add(imm as u32),
+        Isubi => |a, _, imm| a.wrapping_sub(imm as u32),
+        Iori => |a, _, imm| a | (imm as u32 & 0xfff),
+
+        // --- integer ALU ---
+        Iadd => |a, b, _| a.wrapping_add(b),
+        Isub => |a, b, _| a.wrapping_sub(b),
+        Ineg => |a, _, _| (a as i32).wrapping_neg() as u32,
+        Iabs => |a, _, _| (a as i32).wrapping_abs() as u32,
+        Iand => |a, b, _| a & b,
+        Ior => |a, b, _| a | b,
+        Ixor => |a, b, _| a ^ b,
+        Bitinv => |a, _, _| !a,
+        Bitandinv => |a, b, _| a & !b,
+        Sex8 => |a, _, _| sign_extend(a, 8),
+        Sex16 => |a, _, _| sign_extend(a, 16),
+        Zex8 => |a, _, _| a & 0xff,
+        Zex16 => |a, _, _| a & 0xffff,
+        Imin => |a, b, _| (a as i32).min(b as i32) as u32,
+        Imax => |a, b, _| (a as i32).max(b as i32) as u32,
+        Umin => |a, b, _| a.min(b),
+        Umax => |a, b, _| a.max(b),
+        Ieql => |a, b, _| b32(a == b),
+        Ineq => |a, b, _| b32(a != b),
+        Igtr => |a, b, _| b32((a as i32) > (b as i32)),
+        Igeq => |a, b, _| b32((a as i32) >= (b as i32)),
+        Iles => |a, b, _| b32((a as i32) < (b as i32)),
+        Ileq => |a, b, _| b32((a as i32) <= (b as i32)),
+        Ugtr => |a, b, _| b32(a > b),
+        Ugeq => |a, b, _| b32(a >= b),
+        Ules => |a, b, _| b32(a < b),
+        Uleq => |a, b, _| b32(a <= b),
+        Ieqli => |a, _, imm| b32(a as i32 == imm),
+        Igtri => |a, _, imm| b32(a as i32 > imm),
+        Ilesi => |a, _, imm| b32((a as i32) < imm),
+        Inonzero => |a, _, _| b32(a != 0),
+        Izero => |a, _, _| b32(a == 0),
+        Pack16Lsb => |a, b, _| (a << 16) | (b & 0xffff),
+        Pack16Msb => |a, b, _| (a & 0xffff_0000) | (b >> 16),
+        PackBytes => |a, b, _| ((a & 0xff) << 8) | (b & 0xff),
+        MergeLsb => |a, b, _| {
+            let a = quad8(a);
+            let b = quad8(b);
+            pack_quad8([a[2], b[2], a[3], b[3]])
+        },
+        MergeMsb => |a, b, _| {
+            let a = quad8(a);
+            let b = quad8(b);
+            pack_quad8([a[0], b[0], a[1], b[1]])
+        },
+        Ubytesel => |a, b, _| (a >> (8 * ((b & 3) as usize))) & 0xff,
+        MergeDual16Lsb => |a, b, _| {
+            let a = quad8(a);
+            let b = quad8(b);
+            pack_quad8([a[1], a[3], b[1], b[3]])
+        },
+
+        // --- shifter ---
+        Asl => |a, b, _| a.wrapping_shl(b & 31),
+        Asr => |a, b, _| ((a as i32).wrapping_shr(b & 31)) as u32,
+        Lsr => |a, b, _| a.wrapping_shr(b & 31),
+        Rol => |a, b, _| a.rotate_left(b & 31),
+        Asli => |a, _, imm| a.wrapping_shl(imm as u32 & 31),
+        Asri => |a, _, imm| ((a as i32).wrapping_shr(imm as u32 & 31)) as u32,
+        Lsri => |a, _, imm| a.wrapping_shr(imm as u32 & 31),
+        Roli => |a, _, imm| a.rotate_left(imm as u32 & 31),
+        Funshift1 => |a, b, _| (((u64::from(a) << 32) | u64::from(b)) >> 24) as u32,
+        Funshift2 => |a, b, _| (((u64::from(a) << 32) | u64::from(b)) >> 16) as u32,
+        Funshift3 => |a, b, _| (((u64::from(a) << 32) | u64::from(b)) >> 8) as u32,
+
+        // --- saturating SIMD ALU ---
+        Dspiadd => |a, b, _| clip_to_i32(i64::from(a as i32) + i64::from(b as i32)) as u32,
+        Dspisub => |a, b, _| clip_to_i32(i64::from(a as i32) - i64::from(b as i32)) as u32,
+        Dspiabs => |a, _, _| clip_to_i32((i64::from(a as i32)).abs()) as u32,
+        Dspidualadd => |a, b, _| {
+            let (ah, al) = dual16(a);
+            let (bh, bl) = dual16(b);
+            let f = |a: u16, b: u16| clip_to_i16(i32::from(a as i16) + i32::from(b as i16)) as u16;
+            pack_dual16(f(ah, bh), f(al, bl))
+        },
+        Dspidualsub => |a, b, _| {
+            let (ah, al) = dual16(a);
+            let (bh, bl) = dual16(b);
+            let f = |a: u16, b: u16| clip_to_i16(i32::from(a as i16) - i32::from(b as i16)) as u16;
+            pack_dual16(f(ah, bh), f(al, bl))
+        },
+        Dspidualabs => |a, _, _| {
+            let (h, l) = dual16(a);
+            let f = |a: u16| clip_to_i16(i32::from(a as i16).abs()) as u16;
+            pack_dual16(f(h), f(l))
+        },
+        Quadavg => |a, b, _| {
+            let a = quad8(a);
+            let b = quad8(b);
+            let mut out = [0u8; 4];
+            for i in 0..4 {
+                out[i] = avg_u8(a[i], b[i]);
+            }
+            pack_quad8(out)
+        },
+        Quadumin => |a, b, _| {
+            let a = quad8(a);
+            let b = quad8(b);
+            let mut out = [0u8; 4];
+            for i in 0..4 {
+                out[i] = a[i].min(b[i]);
+            }
+            pack_quad8(out)
+        },
+        Quadumax => |a, b, _| {
+            let a = quad8(a);
+            let b = quad8(b);
+            let mut out = [0u8; 4];
+            for i in 0..4 {
+                out[i] = a[i].max(b[i]);
+            }
+            pack_quad8(out)
+        },
+        Dualiclipi => |a, _, imm| {
+            let (h, l) = dual16(a);
+            let n = imm.clamp(0, 15) as u32;
+            let lo = -(1i32 << n);
+            let hi = (1i32 << n) - 1;
+            let f = |a: u16| (i32::from(a as i16).clamp(lo, hi) as i16) as u16;
+            pack_dual16(f(h), f(l))
+        },
+        Iclipi => |a, _, imm| {
+            let n = imm.clamp(0, 30) as u32;
+            (a as i32).clamp(-(1i32 << n), (1i32 << n) - 1) as u32
+        },
+        Uclipi => |a, _, imm| {
+            let n = imm.clamp(0, 31) as u32;
+            (a as i32).clamp(0, ((1u32 << n) - 1) as i32) as u32
+        },
+        Ume8uu => |a, b, _| {
+            let a = quad8(a);
+            let b = quad8(b);
+            (0..4)
+                .map(|i| (i32::from(a[i]) - i32::from(b[i])).unsigned_abs())
+                .sum()
+        },
+        Ume8ii => |a, b, _| {
+            let a = quad8(a);
+            let b = quad8(b);
+            (0..4)
+                .map(|i| (i32::from(a[i] as i8) - i32::from(b[i] as i8)).unsigned_abs())
+                .sum()
+        },
+
+        // --- multiplier ---
+        Imul => |a, b, _| (a as i32).wrapping_mul(b as i32) as u32,
+        Umul => |a, b, _| a.wrapping_mul(b),
+        Imulm => |a, b, _| ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
+        Umulm => |a, b, _| ((u64::from(a) * u64::from(b)) >> 32) as u32,
+        Dspimul => |a, b, _| clip_to_i32(i64::from(a as i32) * i64::from(b as i32)) as u32,
+        Dspidualmul => |a, b, _| {
+            let (ah, al) = dual16(a);
+            let (bh, bl) = dual16(b);
+            let f = |a: u16, b: u16| {
+                clip_to_i16(i32::from(a as i16).wrapping_mul(i32::from(b as i16))) as u16
+            };
+            pack_dual16(f(ah, bh), f(al, bl))
+        },
+        Ifir16 => |a, b, _| {
+            let (ah, al) = dual16(a);
+            let (bh, bl) = dual16(b);
+            (i32::from(ah as i16).wrapping_mul(i32::from(bh as i16))
+                + i32::from(al as i16).wrapping_mul(i32::from(bl as i16))) as u32
+        },
+        Ufir16 => |a, b, _| {
+            let (ah, al) = dual16(a);
+            let (bh, bl) = dual16(b);
+            u32::from(ah)
+                .wrapping_mul(u32::from(bh))
+                .wrapping_add(u32::from(al).wrapping_mul(u32::from(bl)))
+        },
+        Ifir8ii => |a, b, _| {
+            let a = quad8(a);
+            let b = quad8(b);
+            let mut acc: i64 = 0;
+            for i in 0..4 {
+                acc += i64::from(a[i] as i8) * i64::from(b[i] as i8);
+            }
+            acc as u32
+        },
+        Ifir8ui => |a, b, _| {
+            let a = quad8(a);
+            let b = quad8(b);
+            let mut acc: i64 = 0;
+            for i in 0..4 {
+                acc += i64::from(a[i]) * i64::from(b[i] as i8);
+            }
+            acc as u32
+        },
+        Ufir8uu => |a, b, _| {
+            let a = quad8(a);
+            let b = quad8(b);
+            let mut acc: i64 = 0;
+            for i in 0..4 {
+                acc += i64::from(a[i]) * i64::from(b[i]);
+            }
+            acc as u32
+        },
+        Quadumulmsb => |a, b, _| {
+            let a = quad8(a);
+            let b = quad8(b);
+            let mut out = [0u8; 4];
+            for i in 0..4 {
+                out[i] = ((u16::from(a[i]) * u16::from(b[i])) >> 8) as u8;
+            }
+            pack_quad8(out)
+        },
+        Fmul => |a, b, _| fb(f(a) * f(b)),
+
+        // --- floating point ---
+        Fadd => |a, b, _| fb(f(a) + f(b)),
+        Fsub => |a, b, _| fb(f(a) - f(b)),
+        Fabsval => |a, _, _| fb(f(a).abs()),
+        Ifloat => |a, _, _| fb(a as i32 as f32),
+        Ufloat => |a, _, _| fb(a as f32),
+        Ifixrz => |a, _, _| {
+            let v = f(a);
+            if v.is_nan() {
+                0
+            } else {
+                v.clamp(i32::MIN as f32, i32::MAX as f32) as i32 as u32
+            }
+        },
+        Ufixrz => |a, _, _| {
+            let v = f(a);
+            if v.is_nan() {
+                0
+            } else {
+                v.clamp(0.0, u32::MAX as f32) as u32
+            }
+        },
+        Fgtr => |a, b, _| b32(f(a) > f(b)),
+        Fgeq => |a, b, _| b32(f(a) >= f(b)),
+        Feql => |a, b, _| b32(f(a) == f(b)),
+        Fneq => |a, b, _| b32(f(a) != f(b)),
+        Fleq => |a, b, _| b32(f(a) <= f(b)),
+        Fles => |a, b, _| b32(f(a) < f(b)),
+        Fsign => |a, _, _| {
+            let v = f(a);
+            fb(if v > 0.0 {
+                1.0
+            } else if v < 0.0 {
+                -1.0
+            } else {
+                0.0
+            })
+        },
+        Fdiv => |a, b, _| fb(f(a) / f(b)),
+        Fsqrt => |a, _, _| fb(f(a).sqrt()),
+
+        // Everything with memory traffic, control flow, a second
+        // destination or extra source operands stays on the full
+        // `execute` path.
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1238,6 +1709,88 @@ mod tests {
                 &[(2, 0xa1a2_a3a4), (3, 0xb1b2_b3b4)]
             ),
             0xa3a4_b3b4
+        );
+    }
+
+    #[test]
+    fn pure_fns_match_execute() {
+        // Differential check: for every opcode with a specialized pure
+        // evaluator, the function must agree with `execute` bit-for-bit
+        // on randomized source/immediate values — including float NaN
+        // payloads and saturation corners that only show up at extreme
+        // bit patterns.
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut rng = || {
+            // xorshift64*: deterministic, dependency-free.
+            seed ^= seed >> 12;
+            seed ^= seed << 25;
+            seed ^= seed >> 27;
+            seed.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let corners = [
+            0u32,
+            1,
+            0x7fff_ffff,
+            0x8000_0000,
+            0xffff_ffff,
+            0x7fff_0001,
+            0x8000_7fff,
+            f32::NAN.to_bits(),
+            f32::INFINITY.to_bits(),
+        ];
+        let mut covered = 0;
+        for &opcode in Opcode::all() {
+            let Some(pf) = pure_fn(opcode) else { continue };
+            covered += 1;
+            assert!(
+                !opcode.is_mem() && !opcode.is_jump() && !opcode.is_two_slot(),
+                "{opcode}: pure evaluator on a non-pure opcode"
+            );
+            for trial in 0..64 {
+                let (a, b) = if trial < corners.len() * corners.len() {
+                    (
+                        corners[trial % corners.len()],
+                        corners[trial / corners.len()],
+                    )
+                } else {
+                    (rng() as u32, rng() as u32)
+                };
+                let sig = opcode.signature();
+                let imm = if sig.imm {
+                    rng() as u32 as i32 % 4096
+                } else {
+                    0
+                };
+                let mut rf = RegFile::new();
+                rf.write(r(2), a);
+                rf.write(r(3), b);
+                // Sources past the opcode's arity read as r0 (zero), both
+                // here and in the machine's fused dispatch.
+                let srcs_all = [r(2), r(3)];
+                let srcs = &srcs_all[..sig.srcs as usize];
+                let (a, b) = match sig.srcs {
+                    0 => (0, 0),
+                    1 => (a, 0),
+                    _ => (a, b),
+                };
+                let op = Op::new(opcode, Reg::ONE, srcs, &[r(10)], imm);
+                let mut mem = FlatMemory::new(1 << 12);
+                let res = execute(&op, &rf, &mut mem).unwrap();
+                assert!(res.executed, "{opcode}: guard-true op must execute");
+                assert_eq!(res.branch_target, None, "{opcode}: pure op branched");
+                assert_eq!(res.writes[1], None, "{opcode}: pure op wrote twice");
+                let want = res.writes[0].expect("pure op writes its destination");
+                assert_eq!(want.0, r(10), "{opcode}: wrong destination");
+                assert_eq!(
+                    pf(a, b, imm),
+                    want.1,
+                    "{opcode}: pure fn diverges from execute on a={a:#x} b={b:#x} imm={imm}"
+                );
+            }
+        }
+        assert!(
+            covered > 90,
+            "expected ~100 specialized opcodes, got {covered}"
         );
     }
 }

@@ -54,8 +54,8 @@ mod units;
 pub mod value;
 
 pub use exec::{
-    check_alignment, execute, required_alignment, CacheOp, DataMemory, ExecError, ExecResult,
-    FlatMemory, PfParam,
+    check_alignment, execute, pure_fn, required_alignment, CacheOp, DataMemory, ExecError,
+    ExecResult, FlatMemory, PfParam, PureFn,
 };
 pub use op::{Instr, Op, Program, Slot, NUM_SLOTS};
 pub use opcode::{Opcode, Signature, Unit};

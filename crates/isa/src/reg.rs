@@ -113,7 +113,10 @@ impl RegFile {
     /// Reads a register. `r0` and `r1` read as their constants.
     #[inline]
     pub fn read(&self, r: Reg) -> u32 {
-        self.regs[r.index()]
+        // `Reg` is always < NUM_REGS (enforced at construction); the
+        // mask is a no-op that lets the optimizer drop the bounds check
+        // on this hot-path index.
+        self.regs[r.index() & (NUM_REGS - 1)]
     }
 
     /// Writes a register. Writes to `r0`/`r1` are ignored and reported by
@@ -123,7 +126,7 @@ impl RegFile {
         if r.is_constant() {
             return false;
         }
-        self.regs[r.index()] = value;
+        self.regs[r.index() & (NUM_REGS - 1)] = value;
         true
     }
 

@@ -189,7 +189,7 @@ fn guard_false_means_no_effect() {
         rf.write(Reg::new(4), b);
         rf.write(Reg::new(9), 0xfffe); // guard false (bit 0 clear)
         let mut mem = FlatMemory::new(1 << 16);
-        let before = mem.as_slice().to_vec();
+        let before = mem.to_vec();
         let srcs: Vec<Reg> = (0..sig.srcs).map(|k| Reg::new(2 + k)).collect();
         let dsts: Vec<Reg> = (0..sig.dsts).map(|k| Reg::new(20 + k)).collect();
         let imm = i32::from(sig.imm) * 4;
@@ -198,7 +198,7 @@ fn guard_false_means_no_effect() {
         assert!(!res.executed);
         assert_eq!(res.writes, [None, None]);
         assert_eq!(res.branch_target, None);
-        assert_eq!(mem.as_slice(), &before[..], "memory untouched");
+        assert_eq!(mem.to_vec(), before, "memory untouched");
     }
 }
 

@@ -264,6 +264,12 @@ pub struct CacheArray {
     /// scan. Purely a search hint — hit/miss results are
     /// order-independent because a tag resides in at most one way.
     mru_way: Vec<u8>,
+    /// Packed `(tag << 1) | valid` per line, mirroring `lines`: the way
+    /// scan walks this dense array (8 bytes per line) instead of the
+    /// ~56-byte `Line` records, so probes of scattered addresses stay
+    /// inside a few host cache lines. Kept in sync by every operation
+    /// that changes a line's tag or validity.
+    tags: Vec<u64>,
 }
 
 /// Aggregate cache statistics.
@@ -322,8 +328,15 @@ impl CacheArray {
             memo_base: NO_MEMO,
             memo_idx: 0,
             mru_way: vec![0; geometry.sets() as usize],
+            tags: vec![0; n],
             geometry,
         }
+    }
+
+    /// The packed search-array entry for a valid line with `tag`.
+    #[inline]
+    fn packed_tag(tag: u32) -> u64 {
+        (u64::from(tag) << 1) | 1
     }
 
     /// The cache geometry.
@@ -353,13 +366,12 @@ impl CacheArray {
     #[inline]
     fn probe(&self, addr: u32) -> Option<usize> {
         let base = self.line_base(addr);
-        let tag = self.tag_of(addr);
+        let want = Self::packed_tag(self.tag_of(addr));
         if self.memo_base == base {
             // The memo is only ever set to an index inside `base`'s own
             // set, so valid + tag confirms identity.
             let i = self.memo_idx as usize;
-            let l = &self.lines[i];
-            if l.valid && l.tag == tag {
+            if self.tags[i] == want {
                 return Some(i);
             }
         }
@@ -367,16 +379,14 @@ impl CacheArray {
         let ways = self.ways as usize;
         let start = set * ways;
         let mru = self.mru_way[set] as usize;
-        let l = &self.lines[start + mru];
-        if l.valid && l.tag == tag {
+        if self.tags[start + mru] == want {
             return Some(start + mru);
         }
         for w in 0..ways {
             if w == mru {
                 continue;
             }
-            let l = &self.lines[start + w];
-            if l.valid && l.tag == tag {
+            if self.tags[start + w] == want {
                 return Some(start + w);
             }
         }
@@ -458,7 +468,7 @@ impl CacheArray {
         // Prefer an invalid way; otherwise evict the LRU way.
         let slot = range
             .clone()
-            .find(|&i| !self.lines[i].valid)
+            .find(|&i| self.tags[i] & 1 == 0)
             .unwrap_or_else(|| {
                 range
                     .min_by_key(|&i| self.lines[i].lru)
@@ -499,6 +509,7 @@ impl CacheArray {
         line.valid_bytes = full;
         line.lru = self.tick;
         line.prefetched = prefetched;
+        self.tags[slot] = Self::packed_tag(tag);
         self.stats.fills += 1;
         self.remember(addr, slot);
         victim
@@ -521,6 +532,7 @@ impl CacheArray {
         line.valid_bytes = ByteMask::EMPTY;
         line.lru = self.tick;
         line.prefetched = false;
+        self.tags[slot] = Self::packed_tag(tag);
         self.stats.allocations += 1;
         self.remember(addr, slot);
         victim
@@ -552,12 +564,55 @@ impl CacheArray {
         self.lines[i].valid_bytes.set_range(off, len);
     }
 
+    /// [`lookup`](Self::lookup) immediately followed by
+    /// [`write`](Self::write) when the line is present — one tag search
+    /// instead of two. On a miss only the lookup half runs (the caller
+    /// allocates or fills the line and then calls `write`). Tick
+    /// advance, final LRU values, statistics and byte validity are
+    /// bit-identical to the two separate calls.
+    pub fn lookup_write(&mut self, addr: u32, len: u32) -> Lookup {
+        debug_assert!(len > 0, "empty lookup");
+        debug_assert!(
+            self.line_base(addr) == self.line_base(addr.wrapping_add(len - 1)),
+            "lookup crosses a line boundary"
+        );
+        self.tick += 1;
+        match self.find(addr) {
+            Some(i) => {
+                if self.lines[i].prefetched {
+                    self.lines[i].prefetched = false;
+                    self.stats.prefetch_hits += 1;
+                }
+                let off = addr & self.line_mask;
+                let result = if self.lines[i].valid_bytes.covers(off, len) {
+                    self.stats.hits += 1;
+                    Lookup::Hit
+                } else {
+                    self.stats.partial_hits += 1;
+                    Lookup::PartialHit
+                };
+                // The write half: the line's final recency is the
+                // second tick, exactly as if `write` had re-found it.
+                self.tick += 1;
+                self.lines[i].lru = self.tick;
+                self.lines[i].dirty = true;
+                self.lines[i].valid_bytes.set_range(off, len);
+                result
+            }
+            None => {
+                self.stats.misses += 1;
+                Lookup::Miss
+            }
+        }
+    }
+
     /// Invalidates the line containing `addr` without copy-back
     /// (`dinvalid`). Returns whether a line was invalidated.
     pub fn invalidate(&mut self, addr: u32) -> bool {
         if let Some(i) = self.probe(addr) {
             self.lines[i].valid = false;
             self.lines[i].dirty = false;
+            self.tags[i] = 0;
             self.forget(i);
             true
         } else {
@@ -580,6 +635,7 @@ impl CacheArray {
             }
             self.lines[i].valid = false;
             self.lines[i].dirty = false;
+            self.tags[i] = 0;
             self.forget(i);
             bytes
         } else {
@@ -627,7 +683,7 @@ impl CacheArray {
                 what: "cache line count does not match the geometry",
             });
         }
-        for l in &mut self.lines {
+        for (l, packed) in self.lines.iter_mut().zip(&mut self.tags) {
             l.tag = r.u32("cache line tag")?;
             let flags = r.u8("cache line flags")?;
             if flags & !0b111 != 0 {
@@ -642,6 +698,7 @@ impl CacheArray {
             for word in &mut l.valid_bytes.w {
                 *word = r.u64("cache line validity mask")?;
             }
+            *packed = if l.valid { Self::packed_tag(l.tag) } else { 0 };
         }
         self.memo_base = NO_MEMO;
         self.memo_idx = 0;
@@ -724,6 +781,53 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn lookup_write_matches_split_calls() {
+        // Drive two identical caches through a pseudo-random mix of
+        // loads and stores; stores go through `lookup` + `write` on one
+        // and `lookup_write` on the other. Tick, LRU, validity, stats
+        // and memo-visible behaviour must stay bit-identical, which the
+        // serialized state captures in full.
+        let mut split = small();
+        let mut fused = small();
+        let mut x = 0x2545_f491u32;
+        for _ in 0..4000 {
+            // xorshift
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            let len = 1 + (x >> 16) % 4;
+            // Keep the access inside one 64-byte line.
+            let addr = ((x % 0x800) & !63) + (x >> 8) % (64 - len + 1);
+            if x & 8 != 0 {
+                // Load path: identical calls on both.
+                for c in [&mut split, &mut fused] {
+                    if c.lookup(addr, len) != Lookup::Hit {
+                        let _ = c.fill(addr & !63, false);
+                    }
+                }
+            } else {
+                let a = split.lookup(addr, len);
+                if a == Lookup::Miss {
+                    let _ = split.allocate(addr & !63);
+                }
+                split.write(addr, len);
+                let b = fused.lookup_write(addr, len);
+                assert_eq!(a, b);
+                if b == Lookup::Miss {
+                    let _ = fused.allocate(addr & !63);
+                    fused.write(addr, len);
+                }
+            }
+        }
+        let dump = |c: &CacheArray| {
+            let mut w = tm3270_encode::SnapshotWriter::new();
+            w.section(*b"test", |s| c.save_state(s));
+            w.finish()
+        };
+        assert_eq!(dump(&split), dump(&fused));
     }
 
     #[test]

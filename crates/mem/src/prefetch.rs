@@ -101,6 +101,20 @@ impl PrefetchUnit {
         self.regions[(region as usize) % NUM_REGIONS]
     }
 
+    /// Whether any region is active — the one-compare fast path that
+    /// lets the per-load observation hook cost nothing when software
+    /// never configured a prefetch region (the common case).
+    #[inline]
+    pub fn any_region_active(&self) -> bool {
+        self.regions.iter().any(|r| r.is_active())
+    }
+
+    /// Whether any request is waiting to be issued to the channel.
+    #[inline]
+    pub fn has_queued(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
     /// Observes a demand load at `addr`; returns the prefetch candidate
     /// line base if one should be issued. `line` is the cache line size;
     /// `present` tells whether the candidate line is already in the cache.

@@ -14,6 +14,19 @@ use tm3270_encode::{SectionReader, SectionWriter, SnapshotError};
 use tm3270_isa::{CacheOp, DataMemory, FlatMemory, PfParam};
 use tm3270_obs::{CacheId, CacheOutcome, MemTxKind, SinkHandle, TraceEvent};
 
+/// `ceil` for the non-negative sub-2^53 stall values this module
+/// produces, without the libm `ceil` call the default x86-64 target
+/// emits (no SSE4.1 `roundsd`). Truncate, then bump if fractional.
+#[inline]
+fn ceil_u64(s: f64) -> u64 {
+    let t = s as u64;
+    if t as f64 == s {
+        t
+    } else {
+        t + 1
+    }
+}
+
 fn outcome_of(lookup: Lookup) -> CacheOutcome {
     match lookup {
         Lookup::Hit => CacheOutcome::Hit,
@@ -207,6 +220,28 @@ impl MemorySystem {
         self.pc = pc;
     }
 
+    /// Whether any prefetch request is in flight on the DRAM channel.
+    /// While this holds, [`begin_instr`](Self::begin_instr) must be
+    /// called every instruction so completions are absorbed on the
+    /// exact cycle they land; otherwise instructions without memory
+    /// ops may skip the call entirely.
+    #[inline]
+    pub fn prefetch_in_flight(&self) -> bool {
+        self.prefetch.has_in_flight()
+    }
+
+    /// Advances the memory clock without starting an instruction: the
+    /// cheap substitute for [`begin_instr`](Self::begin_instr) on
+    /// instructions with no memory operations (and no prefetch in
+    /// flight). Nothing reads `now` before the next `begin_instr`
+    /// overwrites it, but snapshots serialize it — an engine that
+    /// skipped the update entirely would be distinguishable by its
+    /// snapshot bytes.
+    #[inline]
+    pub fn set_now(&mut self, now: u64) {
+        self.now = now as f64;
+    }
+
     /// Starts timing a new instruction at CPU cycle `now`. Costs two
     /// stores and one empty-check when no prefetch is in flight (the
     /// common case: this runs once per executed instruction).
@@ -221,9 +256,16 @@ impl MemorySystem {
     /// Returns and clears the stall cycles accumulated since the last
     /// [`begin_instr`](Self::begin_instr).
     pub fn take_stall(&mut self) -> u64 {
-        let s = self.stall.ceil() as u64;
+        let s = self.stall;
         self.stall = 0.0;
-        s
+        // Fast path for the overwhelmingly common stall-free
+        // instruction: `f64::ceil` is a libm call on the default x86-64
+        // target (no SSE4.1 `roundsd`), and worth branching around.
+        if s == 0.0 {
+            0
+        } else {
+            ceil_u64(s)
+        }
     }
 
     fn absorb_prefetch_completions(&mut self) {
@@ -377,40 +419,105 @@ impl MemorySystem {
         });
     }
 
+    /// One line-confined segment of a demand load: lookup, optional
+    /// trace emission, demand fill on a miss.
+    #[inline]
+    fn load_segment(&mut self, a: u32, n: u32, tracing: bool, geom: CacheGeometry) {
+        let pf_before = if tracing {
+            self.dcache.stats().prefetch_hits
+        } else {
+            0
+        };
+        let lookup = self.dcache.lookup(a, n);
+        if tracing {
+            let prefetch_hit = self.dcache.stats().prefetch_hits > pf_before;
+            self.emit_cache_access(a, lookup, prefetch_hit);
+        }
+        match lookup {
+            Lookup::Hit => {}
+            Lookup::PartialHit | Lookup::Miss => {
+                self.demand_fill(geom.line_base(a), true);
+            }
+        }
+    }
+
     /// Timing for a demand load of `len` bytes at `addr`.
     fn access_load(&mut self, addr: u32, len: u32) {
         self.stats.loads += 1;
         let geom = self.config.dcache;
         let tracing = self.sink.enabled();
-        for (seg, (a, n)) in Self::segments(geom, addr, len).enumerate() {
-            if seg == 1 {
-                self.stats.line_crossers += 1;
-            }
-            let pf_before = if tracing {
-                self.dcache.stats().prefetch_hits
-            } else {
-                0
-            };
-            let lookup = self.dcache.lookup(a, n);
-            if tracing {
-                let prefetch_hit = self.dcache.stats().prefetch_hits > pf_before;
-                self.emit_cache_access(a, lookup, prefetch_hit);
-            }
-            match lookup {
-                Lookup::Hit => {}
-                Lookup::PartialHit | Lookup::Miss => {
-                    self.demand_fill(geom.line_base(a), true);
+        // Scalar accesses almost never straddle a line: peel the
+        // single-segment case past the segmentation iterator.
+        if addr & !(geom.line - 1) == addr.wrapping_add(len - 1) & !(geom.line - 1) {
+            self.load_segment(addr, len, tracing, geom);
+        } else {
+            for (seg, (a, n)) in Self::segments(geom, addr, len).enumerate() {
+                if seg == 1 {
+                    self.stats.line_crossers += 1;
                 }
+                self.load_segment(a, n, tracing, geom);
             }
         }
         // Region prefetch observation (§2.3): triggered by the load
-        // address.
-        let dcache = &self.dcache;
-        let line = geom.line;
-        let _ = self
-            .prefetch
-            .observe_load(addr, line, |base| dcache.contains(base));
-        self.issue_queued_prefetches();
+        // address. With no active region the observation can't match
+        // (and records nothing), and with an empty queue the issue loop
+        // is a no-op — skip both so kernels that never configure
+        // prefetching don't pay per load.
+        if self.prefetch.any_region_active() {
+            let dcache = &self.dcache;
+            let line = geom.line;
+            let _ = self
+                .prefetch
+                .observe_load(addr, line, |base| dcache.contains(base));
+        }
+        if self.prefetch.has_queued() {
+            self.issue_queued_prefetches();
+        }
+    }
+
+    /// One line-confined segment of a demand store.
+    ///
+    /// Untraced stores use the fused lookup+write (one tag search); the
+    /// traced path keeps the split calls so event order is unchanged. A
+    /// miss still writes explicitly after the allocate/fill below.
+    #[inline]
+    fn store_segment(&mut self, a: u32, n: u32, tracing: bool, geom: CacheGeometry) {
+        let lookup = if tracing {
+            let l = self.dcache.lookup(a, n);
+            self.emit_cache_access(a, l, false);
+            l
+        } else {
+            self.dcache.lookup_write(a, n)
+        };
+        match lookup {
+            Lookup::Hit | Lookup::PartialHit => {
+                if tracing {
+                    self.dcache.write(a, n);
+                }
+            }
+            Lookup::Miss => {
+                if self.config.allocate_on_write_miss {
+                    // Tag-only allocation: no fetch, no stall (§4.1).
+                    if let Some(victim) = self.dcache.allocate(geom.line_base(a)) {
+                        self.emit_evict(CacheId::Data, &victim);
+                        self.background_request(victim.copyback_bytes, MemTxKind::Copyback);
+                    }
+                } else {
+                    // Fetch-on-write-miss: the line is read from
+                    // memory. The write buffer lets the store retire
+                    // without waiting for the data, so the fetch is
+                    // background traffic — its cost is the DRAM
+                    // bandwidth it consumes (back-pressure when the
+                    // BIU queue fills).
+                    self.background_request(geom.line, MemTxKind::WriteFetch);
+                    if let Some(victim) = self.dcache.fill(geom.line_base(a), false) {
+                        self.emit_evict(CacheId::Data, &victim);
+                        self.background_request(victim.copyback_bytes, MemTxKind::Copyback);
+                    }
+                }
+                self.dcache.write(a, n);
+            }
+        }
     }
 
     /// Timing for a demand store of `len` bytes at `addr`.
@@ -418,39 +525,16 @@ impl MemorySystem {
         self.stats.stores += 1;
         let geom = self.config.dcache;
         let tracing = self.sink.enabled();
-        for (seg, (a, n)) in Self::segments(geom, addr, len).enumerate() {
-            if seg == 1 {
-                self.stats.line_crossers += 1;
-            }
-            let lookup = self.dcache.lookup(a, n);
-            if tracing {
-                self.emit_cache_access(a, lookup, false);
-            }
-            match lookup {
-                Lookup::Hit | Lookup::PartialHit => {}
-                Lookup::Miss => {
-                    if self.config.allocate_on_write_miss {
-                        // Tag-only allocation: no fetch, no stall (§4.1).
-                        if let Some(victim) = self.dcache.allocate(geom.line_base(a)) {
-                            self.emit_evict(CacheId::Data, &victim);
-                            self.background_request(victim.copyback_bytes, MemTxKind::Copyback);
-                        }
-                    } else {
-                        // Fetch-on-write-miss: the line is read from
-                        // memory. The write buffer lets the store retire
-                        // without waiting for the data, so the fetch is
-                        // background traffic — its cost is the DRAM
-                        // bandwidth it consumes (back-pressure when the
-                        // BIU queue fills).
-                        self.background_request(geom.line, MemTxKind::WriteFetch);
-                        if let Some(victim) = self.dcache.fill(geom.line_base(a), false) {
-                            self.emit_evict(CacheId::Data, &victim);
-                            self.background_request(victim.copyback_bytes, MemTxKind::Copyback);
-                        }
-                    }
+        // Same single-segment peel as `access_load`.
+        if addr & !(geom.line - 1) == addr.wrapping_add(len - 1) & !(geom.line - 1) {
+            self.store_segment(addr, len, tracing, geom);
+        } else {
+            for (seg, (a, n)) in Self::segments(geom, addr, len).enumerate() {
+                if seg == 1 {
+                    self.stats.line_crossers += 1;
                 }
+                self.store_segment(a, n, tracing, geom);
             }
-            self.dcache.write(a, n);
         }
         // Cache write buffer: drains up to two pending stores per cycle
         // (the 128-bit bit-write SRAM port absorbs merged stores, §4.2);
@@ -467,47 +551,70 @@ impl MemorySystem {
         self.cwb_pending += 1.0;
     }
 
+    /// One line-confined segment of an instruction fetch. Returns the
+    /// stall cycles this segment adds on top of `stall`.
+    #[inline]
+    fn fetch_segment(&mut self, now: f64, stall: f64, a: u32, n: u32, geom: CacheGeometry) -> f64 {
+        let lookup = self.icache.lookup(a, n);
+        if self.sink.enabled() {
+            self.sink.emit(TraceEvent::CacheAccess {
+                cycle: now + stall,
+                cache: CacheId::Instr,
+                addr: a,
+                outcome: outcome_of(lookup),
+                prefetch_hit: false,
+                pc: self.pc,
+            });
+        }
+        if lookup == Lookup::Hit {
+            return 0.0;
+        }
+        let t = now + stall;
+        let completion = self.dram.request(t, geom.line, Priority::Demand);
+        self.sink.emit_with(|| TraceEvent::DramTransaction {
+            cycle: t,
+            kind: MemTxKind::IFetch,
+            bytes: geom.line,
+            completion,
+        });
+        if let Some(victim) = self.icache.fill(geom.line_base(a), false) {
+            self.sink.emit_with(|| TraceEvent::CacheEvict {
+                cycle: t,
+                cache: CacheId::Instr,
+                base: victim.base,
+                copyback_bytes: victim.copyback_bytes,
+            });
+        }
+        completion - t
+    }
+
     /// Timing for an instruction fetch of `len` bytes at `addr`. Returns
     /// the stall cycles (not accumulated into the data-side stall).
     pub fn fetch_instr(&mut self, now: u64, addr: u32, len: u32) -> u64 {
         self.stats.ifetches += 1;
         let geom = self.config.icache;
+        let len = len.max(1);
         let mut stall = 0.0;
-        for (a, n) in Self::segments(geom, addr, len.max(1)) {
-            let lookup = self.icache.lookup(a, n);
-            if self.sink.enabled() {
-                self.sink.emit(TraceEvent::CacheAccess {
-                    cycle: now as f64 + stall,
-                    cache: CacheId::Instr,
-                    addr: a,
-                    outcome: outcome_of(lookup),
-                    prefetch_hit: false,
-                    pc: self.pc,
-                });
+        // Single-segment peel: the fused engine probes 32-byte chunks
+        // that never straddle a line, so nearly every fetch lands here.
+        if addr & !(geom.line - 1) == addr.wrapping_add(len - 1) & !(geom.line - 1) {
+            stall = self.fetch_segment(now as f64, 0.0, addr, len, geom);
+            if stall == 0.0 {
+                return 0;
             }
-            if lookup == Lookup::Hit {
-                continue;
-            }
-            let t = now as f64 + stall;
-            let completion = self.dram.request(t, geom.line, Priority::Demand);
-            self.sink.emit_with(|| TraceEvent::DramTransaction {
-                cycle: t,
-                kind: MemTxKind::IFetch,
-                bytes: geom.line,
-                completion,
-            });
-            stall += completion - t;
-            if let Some(victim) = self.icache.fill(geom.line_base(a), false) {
-                self.sink.emit_with(|| TraceEvent::CacheEvict {
-                    cycle: t,
-                    cache: CacheId::Instr,
-                    base: victim.base,
-                    copyback_bytes: victim.copyback_bytes,
-                });
+        } else {
+            for (a, n) in Self::segments(geom, addr, len) {
+                stall += self.fetch_segment(now as f64, stall, a, n, geom);
             }
         }
         self.stats.instr_stall_cycles += stall;
-        stall.ceil() as u64
+        // Same libm-avoiding fast path as `take_stall`: almost every
+        // fetch hits the instruction cache and stalls zero cycles.
+        if stall == 0.0 {
+            0
+        } else {
+            ceil_u64(stall)
+        }
     }
 
     /// A point-in-time snapshot of all statistics.
@@ -529,11 +636,10 @@ impl MemorySystem {
     /// the default 16 MB address space proportional to the touched
     /// footprint.
     pub fn save_state(&self, w: &mut SectionWriter<'_>) {
-        let data = self.flat.as_slice();
-        let stored = data.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
-        w.u64(data.len() as u64);
+        let stored = self.flat.trailing_nonzero_len();
+        w.u64(self.flat.len() as u64);
         w.u64(stored as u64);
-        w.bytes(&data[..stored]);
+        self.flat.for_each_chunk(stored, |chunk| w.bytes(chunk));
         w.f64(self.now);
         w.f64(self.stall);
         w.f64(self.cwb_pending);
@@ -568,9 +674,8 @@ impl MemorySystem {
         }
         let stored = stored as usize;
         let src = r.bytes(stored, "memory contents")?;
-        let dst = self.flat.as_mut_slice();
-        dst[..stored].copy_from_slice(src);
-        dst[stored..].fill(0);
+        self.flat.clear();
+        self.flat.write_from(0, src);
         self.now = r.f64("memory clock")?;
         self.stall = r.f64("memory stall")?;
         self.cwb_pending = r.f64("write buffer occupancy")?;
@@ -686,12 +791,37 @@ impl Iterator for LineSegments {
 impl DataMemory for MemorySystem {
     fn load_bytes(&mut self, addr: u32, buf: &mut [u8]) {
         self.access_load(addr, buf.len() as u32);
-        self.flat.load_bytes(addr, buf);
+        self.flat.read_into(addr, buf);
     }
 
     fn store_bytes(&mut self, addr: u32, data: &[u8]) {
         self.access_store(addr, data.len() as u32);
-        self.flat.store_bytes(addr, data);
+        self.flat.write_from(addr, data);
+    }
+
+    fn load_le(&mut self, addr: u32, bytes: usize) -> u32 {
+        self.access_load(addr, bytes as u32);
+        match bytes {
+            1 => u32::from(self.flat.read_fixed::<1>(addr)[0]),
+            2 => u32::from(u16::from_le_bytes(self.flat.read_fixed::<2>(addr))),
+            4 => u32::from_le_bytes(self.flat.read_fixed::<4>(addr)),
+            _ => {
+                let mut buf = [0u8; 4];
+                self.flat.read_into(addr, &mut buf[..bytes]);
+                u32::from_le_bytes(buf)
+            }
+        }
+    }
+
+    fn store_le(&mut self, addr: u32, bytes: usize, value: u32) {
+        self.access_store(addr, bytes as u32);
+        let buf = value.to_le_bytes();
+        match bytes {
+            1 => self.flat.write_fixed::<1>(addr, [buf[0]]),
+            2 => self.flat.write_fixed::<2>(addr, [buf[0], buf[1]]),
+            4 => self.flat.write_fixed::<4>(addr, buf),
+            _ => self.flat.write_from(addr, &buf[..bytes]),
+        }
     }
 
     fn check_access(&self, addr: u32, size: u32) -> Result<(), tm3270_isa::ExecError> {
@@ -775,6 +905,24 @@ mod tests {
         let mut cfg = MemConfig::tm3260();
         cfg.mem_size = 1 << 20;
         MemorySystem::new(cfg)
+    }
+
+    #[test]
+    fn ceil_u64_matches_f64_ceil() {
+        for s in [
+            0.0,
+            0.25,
+            0.5,
+            1.0,
+            1.0000001,
+            17.0,
+            17.999,
+            1e9,
+            1e9 + 0.5,
+            4503599627370495.5,
+        ] {
+            assert_eq!(ceil_u64(s), s.ceil() as u64, "s = {s}");
+        }
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Superblock-engine seam suite: the fused straight-line dispatch loop
+//! must be invisible at every architectural boundary.
+//!
+//! Three boundaries are attacked here:
+//!
+//! 1. **Block discovery** — [`tm3270_encode::superblocks`] must
+//!    partition every registry workload program on both issue models:
+//!    contiguous spans, no gaps, no overlaps, and every static jump
+//!    target landing exactly on a block head (a jump into the middle of
+//!    a fused block would execute instructions the branch skipped).
+//! 2. **Budget slicing** — a run chopped into budget quanta of 1, 7 and
+//!    1000 cycles re-enters the fused loop mid-block at every seam and
+//!    must still complete bit-identically to an uninterrupted run, down
+//!    to the full snapshot byte image (registers, write ring, caches,
+//!    DRAM timing, memory).
+//! 3. **Engine fallback** — a forced-fallback run and a sink-attached
+//!    (traced) run must agree with the fused engine on every simulated
+//!    statistic, and the traced run must actually route through the
+//!    per-instruction fallback path while emitting a self-consistent
+//!    event stream.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tm3270_core::{Machine, MachineConfig, RunOptions, SimError};
+use tm3270_encode::superblocks;
+use tm3270_kernels::registry;
+use tm3270_obs::{CounterSink, SinkHandle};
+
+/// Builds the machine for one (workload, config) cell with kernel setup.
+fn build_cell(workload: &tm3270_kernels::Workload, config: &MachineConfig) -> Machine {
+    let program = workload.build(&config.issue).unwrap();
+    let mut m = Machine::new(config.clone(), program).unwrap();
+    workload.kernel().setup(&mut m);
+    m
+}
+
+/// `superblocks` partitions every registry workload program on both
+/// issue models: block 0 starts at instruction 0, spans are contiguous
+/// and non-empty, the last span ends at the program length, and every
+/// static jump target is a block head.
+#[test]
+fn superblocks_partition_every_workload_program() {
+    let configs = MachineConfig::evaluation_suite();
+    let mut programs = 0usize;
+    for workload in registry(1).iter() {
+        for config in &configs {
+            let program = match workload.build(&config.issue) {
+                Ok(p) => p,
+                // Workloads gated to one issue model are covered by the
+                // model they support.
+                Err(_) => continue,
+            };
+            let cell = format!("{} on {}", workload.name(), config.name);
+            let blocks = superblocks(&program);
+            let n = program.instrs.len();
+            assert!(n > 0, "{cell}: empty program");
+            assert_eq!(blocks.first().unwrap().head, 0, "{cell}: first head");
+            assert_eq!(blocks.last().unwrap().end, n, "{cell}: last end");
+            for pair in blocks.windows(2) {
+                assert_eq!(
+                    pair[0].end, pair[1].head,
+                    "{cell}: gap or overlap between blocks"
+                );
+            }
+            for b in &blocks {
+                assert!(b.head < b.end, "{cell}: empty block at {}", b.head);
+            }
+            // Every static jump target (immediate-target jumps scanned
+            // straight out of the instruction stream, independently of
+            // the program's own jump_targets list) must be a head.
+            let heads: Vec<usize> = blocks.iter().map(|b| b.head).collect();
+            for instr in &program.instrs {
+                for (_, op) in instr.ops() {
+                    use tm3270_isa::Opcode::{Jmpf, Jmpi, Jmpt};
+                    if matches!(op.opcode, Jmpt | Jmpf | Jmpi) {
+                        let target = op.imm as usize;
+                        if target < n {
+                            assert!(
+                                heads.binary_search(&target).is_ok(),
+                                "{cell}: jump target {target} is not a block head"
+                            );
+                        }
+                    }
+                }
+            }
+            // And the program's declared jump-target list agrees.
+            for &t in &program.jump_targets {
+                if t < n {
+                    assert!(
+                        heads.binary_search(&t).is_ok(),
+                        "{cell}: declared jump target {t} is not a block head"
+                    );
+                }
+            }
+            programs += 1;
+        }
+    }
+    assert!(programs >= 44, "only {programs} programs partitioned");
+}
+
+/// Runs `m` to completion in absolute-budget slices of `quantum`
+/// cycles, returning the final stats. Every slice but the last trips
+/// the budget as a `CycleLimit`, forcing the fused loop to flush and
+/// re-enter mid-block at the seam.
+fn run_sliced(
+    m: &mut Machine,
+    quantum: u64,
+    full_budget: u64,
+    cell: &str,
+) -> tm3270_core::RunStats {
+    let mut budget = quantum.min(full_budget);
+    loop {
+        match m.run_with(RunOptions::budget(budget)).into_result() {
+            Ok(stats) => return stats,
+            Err(SimError::CycleLimit { .. }) => {
+                assert!(
+                    budget < full_budget,
+                    "{cell}: did not complete within the reference budget"
+                );
+                budget = (budget + quantum).min(full_budget);
+            }
+            Err(e) => panic!("{cell}: {e}"),
+        }
+    }
+}
+
+/// Budget slicing is bit-identical to an uninterrupted run on every
+/// golden kernel: same final statistics, register digest, and full
+/// snapshot byte image, for quanta that slice every cycle (1), at a
+/// coprime stride (7), and at a coarse stride (1000).
+#[test]
+fn budget_slices_are_bit_identical_to_uninterrupted() {
+    let config = MachineConfig::tm3270();
+    let mut cells = 0usize;
+    for workload in registry(1).iter().filter(|w| w.is_golden()) {
+        let cell = format!("{} on {}", workload.name(), config.name);
+        let mut reference = build_cell(workload, &config);
+        let ref_stats = reference
+            .run_with(RunOptions::budget(workload.cycle_budget()))
+            .into_result()
+            .unwrap_or_else(|e| panic!("{cell}: {e}"));
+        let ref_bytes = reference.snapshot().into_bytes();
+
+        // Quantum 1 re-enters the engine on every simulated cycle; it
+        // is O(cycles) run_with calls, so bound it to the short
+        // kernels. Quanta 7 and 1000 cover every golden kernel.
+        let quanta: &[u64] = if ref_stats.cycles <= 50_000 {
+            &[1, 7, 1000]
+        } else {
+            &[7, 1000]
+        };
+        for &quantum in quanta {
+            let mut sliced = build_cell(workload, &config);
+            let stats = run_sliced(&mut sliced, quantum, workload.cycle_budget(), &cell);
+            assert_eq!(stats, ref_stats, "{cell}: stats, quantum {quantum}");
+            assert_eq!(
+                sliced.reg_digest(),
+                reference.reg_digest(),
+                "{cell}: reg digest, quantum {quantum}"
+            );
+            assert_eq!(
+                sliced.snapshot().into_bytes(),
+                ref_bytes,
+                "{cell}: snapshot bytes, quantum {quantum}"
+            );
+        }
+        cells += 1;
+    }
+    assert_eq!(cells, 11, "every golden kernel was sliced");
+}
+
+/// The forced-fallback engine (per-instruction `step_record` loop)
+/// completes every golden kernel with statistics, register digest and
+/// snapshot bytes identical to the fused engine, and the telemetry
+/// proves each run used the engine it claims.
+#[test]
+fn forced_fallback_matches_fused_bit_for_bit() {
+    let config = MachineConfig::tm3270();
+    let mut cells = 0usize;
+    for workload in registry(1).iter().filter(|w| w.is_golden()) {
+        let cell = format!("{} on {}", workload.name(), config.name);
+        let mut fused = build_cell(workload, &config);
+        let fused_stats = fused
+            .run_with(RunOptions::budget(workload.cycle_budget()))
+            .into_result()
+            .unwrap_or_else(|e| panic!("{cell}: {e}"));
+        let tele = fused.engine_telemetry();
+        assert_eq!(tele.fused_instrs, fused_stats.instrs, "{cell}: fused share");
+        assert_eq!(tele.fallback_instrs, 0, "{cell}: fallback share");
+
+        let mut fallback = build_cell(workload, &config);
+        fallback.set_force_fallback(true);
+        let fb_stats = fallback
+            .run_with(RunOptions::budget(workload.cycle_budget()))
+            .into_result()
+            .unwrap_or_else(|e| panic!("{cell}: fallback: {e}"));
+        let tele = fallback.engine_telemetry();
+        assert_eq!(tele.fused_instrs, 0, "{cell}: fallback run fused share");
+        assert_eq!(
+            tele.fallback_instrs, fb_stats.instrs,
+            "{cell}: fallback share"
+        );
+
+        assert_eq!(fb_stats, fused_stats, "{cell}: stats diverged");
+        assert_eq!(
+            fallback.reg_digest(),
+            fused.reg_digest(),
+            "{cell}: reg digest"
+        );
+        assert_eq!(
+            fallback.snapshot().into_bytes(),
+            fused.snapshot().into_bytes(),
+            "{cell}: snapshot bytes"
+        );
+        fallback
+            .kernel_verify(workload)
+            .unwrap_or_else(|e| panic!("{cell}: verify failed: {e}"));
+        cells += 1;
+    }
+    assert_eq!(cells, 11, "every golden kernel ran on both engines");
+}
+
+/// Attaching an event sink routes the run through the per-instruction
+/// traced path (the fused loop must disable itself), emits a
+/// self-consistent per-cycle event stream, and still reproduces the
+/// fused engine's statistics and register digest exactly.
+#[test]
+fn sink_attached_run_traces_the_fallback_path_bit_identically() {
+    let config = MachineConfig::tm3270();
+    for workload in registry(1).iter().filter(|w| w.is_golden()).take(3) {
+        let cell = format!("{} on {}", workload.name(), config.name);
+        let mut fused = build_cell(workload, &config);
+        let fused_stats = fused
+            .run_with(RunOptions::budget(workload.cycle_budget()))
+            .into_result()
+            .unwrap_or_else(|e| panic!("{cell}: {e}"));
+
+        let mut traced = build_cell(workload, &config);
+        let counters = Rc::new(RefCell::new(CounterSink::new()));
+        traced.attach_sink(SinkHandle::from(counters.clone()));
+        let traced_stats = traced
+            .run_with(RunOptions::budget(workload.cycle_budget()))
+            .into_result()
+            .unwrap_or_else(|e| panic!("{cell}: traced: {e}"));
+        let tele = traced.engine_telemetry();
+        assert_eq!(tele.fused_instrs, 0, "{cell}: traced run must not fuse");
+        assert_eq!(
+            tele.fallback_instrs, traced_stats.instrs,
+            "{cell}: traced share"
+        );
+
+        assert_eq!(traced_stats, fused_stats, "{cell}: stats diverged");
+        assert_eq!(traced.reg_digest(), fused.reg_digest(), "{cell}: digest");
+
+        // The event stream the fused engine skipped must be complete:
+        // the cycle-bucket decomposition covers every simulated cycle,
+        // per-slot dispatch counts sum to the op totals, and the branch
+        // counters match the run statistics.
+        let c = counters.borrow();
+        assert!(c.events > 0, "{cell}: no events emitted");
+        assert_eq!(
+            c.buckets().total(),
+            traced_stats.cycles,
+            "{cell}: stall buckets must decompose every cycle"
+        );
+        let ops: u64 = c.ops_per_slot.iter().sum();
+        let exec: u64 = c.executed_per_slot.iter().sum();
+        assert_eq!(ops, traced_stats.ops, "{cell}: per-slot op counts");
+        assert_eq!(exec, traced_stats.exec_ops, "{cell}: per-slot exec counts");
+        assert_eq!(
+            c.branches_resolved, traced_stats.branches,
+            "{cell}: branches"
+        );
+        assert_eq!(
+            c.branches_taken, traced_stats.taken_branches,
+            "{cell}: taken branches"
+        );
+    }
+}
+
+/// Gives tests a verify entry point without re-importing the kernel
+/// trait everywhere.
+trait KernelVerify {
+    fn kernel_verify(&self, workload: &tm3270_kernels::Workload) -> Result<(), String>;
+}
+
+impl KernelVerify for Machine {
+    fn kernel_verify(&self, workload: &tm3270_kernels::Workload) -> Result<(), String> {
+        workload.kernel().verify(self).map_err(|e| e.to_string())
+    }
+}
