@@ -4,7 +4,7 @@
 //! ```text
 //! repro_simspeed [--workload NAME]... [--config a|b|c|d|tm3270|tm3260]
 //!                [--repeats N] [--json] [--list] [--check-golden]
-//!                [--force-fallback]
+//!                [--min-geomean MIPS] [--force-fallback]
 //! ```
 //!
 //! With no `--workload` the eleven Table 5 golden kernels are measured.
@@ -18,7 +18,14 @@
 //! golden workload registry (all eleven Table 5 kernel names, in
 //! registry order, each with positive throughput) — so a workload
 //! silently dropped from the registry fails CI instead of shrinking the
-//! benchmark.
+//! benchmark. When the measured configuration is one of the four pinned
+//! evaluation machines, every row's simulated instruction and cycle
+//! counts are additionally asserted against
+//! `tm3270_kernels::pinned_counts` — a throughput optimisation that
+//! perturbs the simulation itself cannot pass. `--min-geomean` bounds
+//! the headline figure from below: useful as a crude regression tripwire
+//! on hosts whose baseline comfortably clears the bar, which is why CI
+//! applies it with a generous margin rather than a tight one.
 
 use std::process::ExitCode;
 
@@ -35,6 +42,7 @@ struct Args {
     repeats: u32,
     json: bool,
     check_golden: bool,
+    min_geomean: Option<f64>,
     force_fallback: bool,
 }
 
@@ -56,6 +64,11 @@ fn spec() -> Spec {
         .switch(
             "--check-golden",
             "fail unless rows are exactly the golden registry",
+        )
+        .option(
+            "--min-geomean",
+            "MIPS",
+            "fail if geomean sim MIPS falls below this bound",
         )
         .switch(
             "--force-fallback",
@@ -88,6 +101,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         repeats: parsed.parsed("--repeats")?.unwrap_or(3),
         json: parsed.has("--json"),
         check_golden: parsed.has("--check-golden"),
+        min_geomean: parsed.parsed("--min-geomean")?,
         force_fallback: parsed.has("--force-fallback"),
     }))
 }
@@ -135,7 +149,7 @@ fn main() -> ExitCode {
     }
 
     if args.check_golden {
-        if let Err(e) = check_golden(&rows) {
+        if let Err(e) = check_golden(&args.config, &rows) {
             eprintln!("repro_simspeed: golden-registry check failed: {e}");
             return ExitCode::from(1);
         }
@@ -145,13 +159,29 @@ fn main() -> ExitCode {
             args.config.name
         );
     }
+    if let Some(floor) = args.min_geomean {
+        let geomean = geomean_mips(&rows);
+        // A NaN geomean (empty row set) must fail the floor, not pass it.
+        if geomean.is_nan() || geomean < floor {
+            eprintln!(
+                "repro_simspeed: geomean {geomean:.2} sim MIPS below the \
+                 --min-geomean floor of {floor:.2}"
+            );
+            return ExitCode::from(1);
+        }
+        eprintln!("repro_simspeed: geomean {geomean:.2} sim MIPS >= floor {floor:.2}");
+    }
     ExitCode::SUCCESS
 }
 
 /// Validates measured rows against the golden workload registry:
 /// exactly the eleven Table 5 kernel names in registry order, each with
-/// positive instruction/cycle counts and throughput.
-fn check_golden(rows: &[SpeedRow]) -> Result<(), String> {
+/// positive instruction/cycle counts and throughput. On a pinned
+/// evaluation configuration, each row's simulated instruction and cycle
+/// counts must also equal the `tm3270_kernels::pinned_counts` entry —
+/// the throughput path is only allowed to be fast, never to change what
+/// is simulated.
+fn check_golden(config: &MachineConfig, rows: &[SpeedRow]) -> Result<(), String> {
     let expected = golden_names();
     if rows.len() != expected.len() {
         return Err(format!(
@@ -172,6 +202,15 @@ fn check_golden(rows: &[SpeedRow]) -> Result<(), String> {
                 "non-positive measurement for {:?}: {row:?}",
                 row.workload
             ));
+        }
+        if let Some((instrs, cycles)) = tm3270_kernels::pinned_counts(config.name, &row.workload) {
+            if (row.instrs, row.cycles) != (instrs, cycles) {
+                return Err(format!(
+                    "{} on {}: measured {} instrs / {} cycles, pinned golden is \
+                     {instrs} / {cycles}",
+                    row.workload, config.name, row.instrs, row.cycles
+                ));
+            }
         }
     }
     // The per-kernel geomean is the headline throughput figure

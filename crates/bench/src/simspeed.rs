@@ -35,6 +35,17 @@ pub struct SpeedRow {
     /// verification excluded; machine construction and data setup
     /// included, as a sweep pays them per run too).
     pub wall_s: f64,
+    /// Full `MemorySystem` calls the fused engine made (per run):
+    /// demand accesses and cache-control ops that missed or bypassed
+    /// the line-resident window. `mem_calls / instrs` is the
+    /// calls-per-instruction cost metric of EXPERIMENTS.md §Simulator
+    /// throughput. Zero on `--force-fallback` runs (the fallback engine
+    /// does not count).
+    pub mem_calls: u64,
+    /// Loads/stores serviced raw inside a line-resident window.
+    pub window_hits: u64,
+    /// Line-resident windows committed back at a seam.
+    pub window_revocations: u64,
 }
 
 impl SpeedRow {
@@ -85,6 +96,7 @@ pub fn measure_kernel_with(
     let mut best = f64::INFINITY;
     let mut instrs = 0u64;
     let mut cycles = 0u64;
+    let mut telemetry = tm3270_core::EngineTelemetry::default();
     for rep in 0..repeats.max(1) {
         let start = Instant::now();
         let mut machine = Machine::new(config.clone(), program.clone())?;
@@ -100,12 +112,16 @@ pub fn measure_kernel_with(
         best = best.min(wall);
         instrs = stats.instrs;
         cycles = stats.cycles;
+        telemetry = machine.engine_telemetry();
     }
     Ok(SpeedRow {
         workload: kernel.name().to_string(),
         instrs,
         cycles,
         wall_s: best,
+        mem_calls: telemetry.mem_calls,
+        window_hits: telemetry.window_hits,
+        window_revocations: telemetry.window_revocations,
     })
 }
 
@@ -170,13 +186,18 @@ pub fn speed_json(config: &MachineConfig, rows: &[SpeedRow]) -> String {
         .map(|r| {
             format!(
                 "{{\"workload\":{},\"instrs\":{},\"cycles\":{},\
-                 \"wall_ms\":{},\"sim_mips\":{},\"sim_mcps\":{}}}",
+                 \"wall_ms\":{},\"sim_mips\":{},\"sim_mcps\":{},\
+                 \"mem_calls\":{},\"window_hits\":{},\
+                 \"window_revocations\":{}}}",
                 json::string(&r.workload),
                 r.instrs,
                 r.cycles,
                 json::number(r.wall_s * 1e3),
                 json::number(r.sim_mips()),
                 json::number(r.sim_mcps()),
+                r.mem_calls,
+                r.window_hits,
+                r.window_revocations,
             )
         })
         .collect();
@@ -203,40 +224,61 @@ pub fn speed_report(config: &MachineConfig, rows: &[SpeedRow]) -> String {
     let _ = writeln!(out, "Simulator throughput on {}", config.name);
     let _ = writeln!(
         out,
-        "{:<16} {:>12} {:>12} {:>10} {:>10} {:>10}",
-        "workload", "instrs", "cycles", "wall ms", "sim MIPS", "sim MCPS"
+        "{:<16} {:>12} {:>12} {:>10} {:>10} {:>10} {:>8} {:>10} {:>8}",
+        "workload",
+        "instrs",
+        "cycles",
+        "wall ms",
+        "sim MIPS",
+        "sim MCPS",
+        "mem/i",
+        "win hits",
+        "revocs"
     );
     for r in rows {
+        let mem_per_instr = r.mem_calls as f64 / (r.instrs.max(1)) as f64;
         let _ = writeln!(
             out,
-            "{:<16} {:>12} {:>12} {:>10.2} {:>10.2} {:>10.2}",
+            "{:<16} {:>12} {:>12} {:>10.2} {:>10.2} {:>10.2} {:>8.3} {:>10} {:>8}",
             r.workload,
             r.instrs,
             r.cycles,
             r.wall_s * 1e3,
             r.sim_mips(),
-            r.sim_mcps()
+            r.sim_mcps(),
+            mem_per_instr,
+            r.window_hits,
+            r.window_revocations
         );
     }
     let total = SpeedTotal::of(rows);
+    let mem_calls: u64 = rows.iter().map(|r| r.mem_calls).sum();
+    let window_hits: u64 = rows.iter().map(|r| r.window_hits).sum();
+    let revocations: u64 = rows.iter().map(|r| r.window_revocations).sum();
     let _ = writeln!(
         out,
-        "{:<16} {:>12} {:>12} {:>10.2} {:>10.2} {:>10.2}",
+        "{:<16} {:>12} {:>12} {:>10.2} {:>10.2} {:>10.2} {:>8.3} {:>10} {:>8}",
         "TOTAL",
         total.instrs,
         total.cycles,
         total.wall_s * 1e3,
         total.sim_mips(),
-        total.sim_mcps()
+        total.sim_mcps(),
+        mem_calls as f64 / (total.instrs.max(1)) as f64,
+        window_hits,
+        revocations
     );
     let _ = writeln!(
         out,
-        "{:<16} {:>12} {:>12} {:>10} {:>10.2} {:>10}",
+        "{:<16} {:>12} {:>12} {:>10} {:>10.2} {:>10} {:>8} {:>10} {:>8}",
         "GEOMEAN",
         "-",
         "-",
         "-",
         geomean_mips(rows),
+        "-",
+        "-",
+        "-",
         "-"
     );
     out
@@ -265,6 +307,9 @@ mod tests {
             instrs: 100,
             cycles: 150,
             wall_s: 0.002,
+            mem_calls: 40,
+            window_hits: 30,
+            window_revocations: 5,
         }];
         let doc = speed_json(&MachineConfig::tm3270(), &rows);
         for needle in [
@@ -276,6 +321,9 @@ mod tests {
             "\"wall_ms\":2",
             "\"sim_mips\":",
             "\"sim_mcps\":",
+            "\"mem_calls\":40",
+            "\"window_hits\":30",
+            "\"window_revocations\":5",
             "\"total\":{",
             "\"geomean_sim_mips\":",
         ] {
@@ -290,6 +338,9 @@ mod tests {
             instrs: 1_000_000,
             cycles: 1_000_000,
             wall_s: 1.0 / mips,
+            mem_calls: 0,
+            window_hits: 0,
+            window_revocations: 0,
         };
         // Geomean of {4, 16} is 8 regardless of how long each row ran.
         let rows = vec![row(4.0), row(16.0)];

@@ -49,8 +49,8 @@ mod snapshot;
 
 pub use config::MachineConfig;
 pub use pipeline::{
-    Machine, RunOptions, RunOutcome, RunStats, SimError, TraceRecord, DEFAULT_WATCHDOG_CYCLES,
-    TRACE_RING,
+    EngineTelemetry, Machine, RunOptions, RunOutcome, RunStats, SimError, TraceRecord,
+    DEFAULT_WATCHDOG_CYCLES, TRACE_RING,
 };
 pub use report::CrashReport;
 pub use snapshot::{Snapshot, SnapshotError};

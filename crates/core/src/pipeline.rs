@@ -17,8 +17,8 @@ use tm3270_encode::{
     SnapshotError, SnapshotReader, SnapshotWriter,
 };
 use tm3270_isa::{
-    execute, pure_fn, value::sign_extend, DataMemory, ExecError, ExecResult, Op, Opcode, Program,
-    PureFn, Reg, RegFile,
+    execute, ld_frac8_value, pure_fn, super_ld32_words, value::sign_extend, DataMemory, ExecError,
+    ExecResult, Op, Opcode, Program, PureFn, Reg, RegFile,
 };
 use tm3270_mem::{FullStats, MemorySystem, Region};
 use tm3270_obs::{SinkHandle, StallCause, TraceEvent};
@@ -377,19 +377,27 @@ struct PlannedOp {
     /// fused dispatch loop skip the full opcode match and `ExecResult`
     /// plumbing. `None` routes the op through [`execute`] unchanged.
     pure: Option<PureFn>,
-    /// Pre-decoded shape of a simple scalar load/store, the memory-side
+    /// Pre-decoded shape of a simple load/store, the memory-side
     /// analogue of `pure`: the fused loop computes the address and calls
     /// the memory system directly instead of going through the full
     /// [`execute`] match. `None` for everything else (cache control,
-    /// prefetch MMIO, super-ops) — those take the generic path.
+    /// prefetch MMIO) — those take the generic path.
     fast_mem: Option<FastMem>,
+    /// Whether the op touches the memory unit at all
+    /// ([`Opcode::is_mem`]): the fused loop must close any open
+    /// line-resident window and start full memory-system timing before
+    /// dispatching a guard-true memory op through the generic path.
+    mem: bool,
 }
 
-/// Addressing/width shape of a simple scalar memory operation; see
-/// [`PlannedOp::fast_mem`]. Covers exactly the `ld*`/`uld*`/`st*`
-/// opcodes whose semantics are "compute address, move 1/2/4 bytes,
-/// optionally sign-extend" — byte-for-byte the `execute` arms they
-/// replace.
+/// Addressing/width shape of a directly dispatched memory operation;
+/// see [`PlannedOp::fast_mem`]. Covers the `ld*`/`uld*`/`st*` scalar
+/// opcodes plus the two multi-byte load super-ops (`super_ld32r`,
+/// `ld_frac8`) whose semantics are "compute address, move a fixed byte
+/// count, derive the destination value(s)" — byte-for-byte the
+/// `execute` arms they replace (the value derivations are the shared
+/// [`ld_frac8_value`]/[`super_ld32_words`] helpers). Everything else
+/// (cache control, prefetch MMIO) takes the generic path.
 #[derive(Debug, Clone, Copy)]
 enum FastMem {
     /// Scalar load. `indexed` selects register (`*r`) vs displacement
@@ -401,6 +409,12 @@ enum FastMem {
     },
     /// Scalar displacement store of 1/2/4 bytes.
     Store { bytes: u8 },
+    /// `super_ld32r`: an 8-byte indexed load feeding two destination
+    /// words with big-endian byte placement (Table 2).
+    SuperLoad,
+    /// `ld_frac8`: the 5-byte collapsed load with fractional
+    /// interpolation (§2.2.2).
+    FracLoad,
 }
 
 /// Classifies an opcode for the fused fast-memory path.
@@ -425,6 +439,8 @@ fn fast_mem(op: Opcode) -> Option<FastMem> {
         St8d => FastMem::Store { bytes: 1 },
         St16d => FastMem::Store { bytes: 2 },
         St32d => FastMem::Store { bytes: 4 },
+        SuperLd32r => FastMem::SuperLoad,
+        LdFrac8 => FastMem::FracLoad,
         _ => return None,
     })
 }
@@ -481,6 +497,7 @@ impl IssuePlan {
                     is_jump: op.opcode.is_jump(),
                     pure: pure_fn(op.opcode),
                     fast_mem: fast_mem(op.opcode),
+                    mem: op.opcode.is_mem(),
                 });
             }
             let addr = image.offsets[pc];
@@ -631,6 +648,20 @@ pub struct EngineTelemetry {
     /// Instructions executed by `step_record` (sink attached, observer
     /// attached, untrusted image, or explicit single-stepping).
     pub fallback_instrs: u64,
+    /// Demand accesses and cache-control operations the fused loop
+    /// routed through the full `MemorySystem` model (one per guarded
+    /// memory-unit op taking the `load_le`/`store_le`/`execute` path).
+    /// Divided by `fused_instrs` this is the "calls per instruction"
+    /// cost metric of EXPERIMENTS.md §Simulator throughput.
+    pub mem_calls: u64,
+    /// Loads and stores serviced raw inside a line-resident access
+    /// window (`MemorySystem::try_open_window`) — accesses that skipped
+    /// the full memory model entirely.
+    pub window_hits: u64,
+    /// Line-resident windows closed (committed back to the memory
+    /// system): every revocation cause — window-missing access, generic
+    /// memory op, seam flush — lands here.
+    pub window_revocations: u64,
 }
 
 /// Ring capacity of the writeback scoreboard, in landing slots. Must
@@ -1323,6 +1354,92 @@ impl Machine {
         const FULL_PROBE: u32 = u32::MAX;
         let mut probe_floor = FULL_PROBE;
 
+        // Line-resident window set (`MemorySystem::try_open_window`):
+        // up to `NWIN` cache lines whose same-line loads and stores
+        // bypass the full memory-model call — data moves raw against
+        // flat memory, and the hit's architectural effects (recency
+        // tick, hit statistics, line LRU/dirty, write-buffer drain)
+        // are applied *immediately* through the indexed shortcuts
+        // `window_hit_load`/`window_hit_store`. Nothing is deferred:
+        // the model is bit-identical to the full path after every
+        // single access, and a window hit is strictly cheaper than the
+        // access it replaces (no probe, no byte-coverage check, no
+        // segmentation, no prefetch observation). Media kernels
+        // interleave a couple of load streams with a store stream;
+        // tracking one line per stream is what lets windows survive
+        // the interleave instead of thrashing open/closed on every
+        // alternation.
+        //
+        // `WIN_NONE` doubles as the "empty slot" sentinel *and* a value
+        // the containment compare below can never match: line bases are
+        // multiples of the (≥64-byte) line size, and `addr & !win_mask`
+        // only produces such multiples.
+        const WIN_NONE: u32 = 1;
+        const NWIN: usize = 4;
+        let win_line = self.mem.config().dcache.line;
+        let win_mask = win_line - 1;
+        let mut wbase = [WIN_NONE; NWIN];
+        // Cache-array slot of each window line, captured at open and
+        // refreshed on every epoch-change re-validation: window hits
+        // address the line directly instead of probing for it.
+        let mut widx = [0u32; NWIN];
+        let mut nwin = 0usize;
+        let mut wnext = 0usize;
+        // Data-cache shape epoch at the last window maintenance: while
+        // it stands still (and the prefetch unit stays quiescent), no
+        // full-model activity can have disturbed a window line, so
+        // re-validation is one counter compare instead of per-slot
+        // checks.
+        let mut win_epoch = self.mem.dcache_epoch();
+        // Single-entry negative cache: the last line that refused a
+        // window open (typically a write-allocated, partially valid
+        // line). Skips the open probe the streaming-store pattern would
+        // otherwise repeat for every store; cleared whenever the shape
+        // epoch moves, since only a structural mutation (e.g. a refill
+        // merge) can make a refused line eligible.
+        let mut no_open: u32 = WIN_NONE;
+        // Adaptive churn gate. Windows only pay when a line takes many
+        // hits between structural disturbances; a working set that
+        // thrashes the cache (mpeg2-style motion compensation) revokes
+        // windows almost as fast as it opens them, and the open/
+        // re-validate traffic becomes pure overhead. Once enough
+        // revocations have accumulated to judge the run, a poor
+        // hit-per-revocation ratio switches opening off for the rest of
+        // the engine run — architectural effects are unchanged (every
+        // access simply takes the full path), only throughput policy.
+        let mut wins_enabled = true;
+        // Open-attempt latch, written by full-path single-line accesses
+        // and consumed (then reset) by end-of-instruction maintenance —
+        // hoisted out of the per-instruction scope so instructions that
+        // never latch don't pay the re-initialisation. Two entries
+        // because media loops commonly issue two streams' loads in one
+        // VLIW instruction (e.g. bi-directional prediction fetches) — a
+        // single latch would let one stream's window starve the
+        // other's.
+        let mut reopen: [u32; 2] = [WIN_NONE; 2];
+        let mut mem_calls = 0u64;
+        let mut window_hits = 0u64;
+        let mut window_revs = 0u64;
+
+        // Drops every window slot (counted as revocations). Nothing to
+        // sync — window effects are applied as they happen — so this is
+        // pure bookkeeping for seams whose continuation cannot trust
+        // the captured line indices (snapshot restore, engine exit).
+        macro_rules! close_windows {
+            () => {
+                if nwin > 0 {
+                    for k in 0..NWIN {
+                        if wbase[k] != WIN_NONE {
+                            wbase[k] = WIN_NONE;
+                            window_revs += 1;
+                        }
+                    }
+                    nwin = 0;
+                    let _ = nwin;
+                }
+            };
+        }
+
         // Crash-report ring, kept in a local circular buffer and folded
         // back into `self.trace_ring` on exit: per-instruction VecDeque
         // maintenance (length check + pop + push) is measurably more
@@ -1348,6 +1465,7 @@ impl Machine {
 
         macro_rules! flush {
             () => {
+                close_windows!();
                 for k in 0..lane_n {
                     self.writes.push(lane_land, lane[k].0, lane[k].1);
                 }
@@ -1365,6 +1483,9 @@ impl Machine {
                 self.stats.ifetch_stall_cycles = istall_total;
                 self.stats.data_stall_cycles = dstall_total;
                 self.telemetry.fused_instrs += fused;
+                self.telemetry.mem_calls += mem_calls;
+                self.telemetry.window_hits += window_hits;
+                self.telemetry.window_revocations += window_revs;
                 if local_ring.len() == ring && ring > 0 {
                     // A full rotation: the local buffer alone holds the
                     // last `ring` records, oldest at `ring_head`.
@@ -1438,11 +1559,142 @@ impl Machine {
             // on it). The clock itself still tracks every instruction
             // (`set_now`) so a snapshot taken after a pure-ALU tail is
             // byte-identical to one from the fallback engine.
-            let mem_active = has_mem || self.mem.prefetch_in_flight();
+            //
+            // With windows open the memory-op case also degenerates to
+            // `set_now`: window quiescence guarantees no prefetch is in
+            // flight and `stall` is zero at instruction boundaries, so
+            // `begin_instr` would be byte-identical anyway. Should an
+            // access then escape the set, the `start_mem!` upgrade
+            // below starts full timing before the escaping access
+            // touches the model.
+            let win_open = nwin > 0;
+            let mem_active = (has_mem && !win_open) || self.mem.prefetch_in_flight();
             if mem_active {
                 self.mem.begin_instr(issue_cycle);
             } else {
                 self.mem.set_now(issue_cycle);
+            }
+            let mut mem_started = mem_active;
+            // Set once full-model activity ran while windows were open:
+            // it may have evicted or invalidated a window line or armed
+            // the prefetch unit, so window service demands an explicit
+            // proof (`win_ok!`) for the rest of the instruction and
+            // every slot is re-validated at the instruction's end.
+            let mut wins_suspect = false;
+            // Memoised post-upgrade proof (see `win_ok!`):
+            // 0 = not yet evaluated since the last full-model access,
+            // 1 = set proven undisturbed, 2 = disturbed. Re-armed to 0
+            // by every `start_mem!` so each full access forces a fresh
+            // proof before further accesses bypass the model.
+            let mut suspect_ok: u8 = 0;
+            // Window-side data stalls of this instruction (write-buffer
+            // back-pressure charged by `window_hit_store` before full
+            // timing started): integral by construction, so splitting
+            // them out of `take_stall`'s ceiling keeps the total exact.
+            // Exactly one of `wstall` and the model's own accumulator
+            // is live — the `start_mem!` upgrade transfers and zeroes
+            // `wstall`, and post-upgrade back-pressure goes straight to
+            // `add_stall`.
+            let mut wstall = 0.0f64;
+
+            // Full-model access prelude: upgrades the instruction to
+            // full memory-system timing on its first full access,
+            // bracketing it exactly as the non-window path would have
+            // (`begin_instr` at the issue cycle) and transferring any
+            // already charged window-side stalls into the model's
+            // accumulator so the trailing `take_stall` sees the
+            // complete figure. Window state needs no synchronisation —
+            // window hits commit their effects immediately — but the
+            // memoised `win_ok!` proof is re-armed: the access about to
+            // run may disturb the set.
+            macro_rules! start_mem {
+                () => {
+                    suspect_ok = 0;
+                    if !mem_started {
+                        wins_suspect = true;
+                        self.mem.begin_instr(issue_cycle);
+                        if wstall > 0.0 {
+                            self.mem.add_stall(wstall);
+                            wstall = 0.0;
+                            let _ = wstall;
+                        }
+                        mem_started = true;
+                    }
+                };
+            }
+
+            // Window scan: the slot index holding the line of a
+            // single-line access, or `NWIN` for a miss. `addr & !mask`
+            // is a line-size multiple, so the slot compare can never
+            // match the `WIN_NONE` sentinel — empty slots fail the
+            // scan without a separate occupancy check. `$eligible` is
+            // evaluated after the cheap containment test.
+            macro_rules! scan_win {
+                ($addr:expr, $alen:expr, $eligible:expr) => {{
+                    let mut h = NWIN;
+                    if win_open && ($addr & win_mask) + $alen <= win_line && $eligible {
+                        let wline = $addr & !win_mask;
+                        for k in 0..NWIN {
+                            if wbase[k] == wline {
+                                h = k;
+                                break;
+                            }
+                        }
+                    }
+                    h
+                }};
+            }
+
+            // Full-path follow-up: a single-line access is the window
+            // candidate shape — latch its line for an open attempt at
+            // the end of the instruction, once its timing has settled.
+            macro_rules! latch_open {
+                ($addr:expr, $alen:expr) => {
+                    if wins_enabled && ($addr ^ $addr.wrapping_add($alen - 1)) & !win_mask == 0 {
+                        let l = $addr & !win_mask;
+                        // The negative cache is consulted at latch time
+                        // (not just at open time) so a streaming store
+                        // run over a refused line — the allocate-on-
+                        // write pattern writes a line far faster than
+                        // it completes it — doesn't re-enter
+                        // maintenance on every single store.
+                        if l != no_open {
+                            if reopen[0] == WIN_NONE {
+                                reopen[0] = l;
+                            } else if reopen[0] != l {
+                                reopen[1] = l;
+                            }
+                        }
+                    }
+                };
+            }
+
+            // Post-upgrade eligibility. After a full-model access ran
+            // this instruction (`wins_suspect`), accesses may still be
+            // window serviced if an inline check proves the set
+            // undisturbed: shape epoch unmoved and prefetch still
+            // quiescent. VLIW media loops routinely bundle a streaming
+            // (full-path) access with a window-resident one in a single
+            // instruction — without the inline check the full access
+            // would drag its bundle-mates off the fast path. The proof
+            // is memoised in `suspect_ok`: the set cannot be disturbed
+            // between full accesses, so one evaluation covers the
+            // whole run until `start_mem!` fires again.
+            macro_rules! win_ok {
+                () => {
+                    !wins_suspect || {
+                        if suspect_ok == 0 {
+                            suspect_ok = if self.mem.dcache_epoch() == win_epoch
+                                && self.mem.prefetch_quiescent()
+                            {
+                                1
+                            } else {
+                                2
+                            };
+                        }
+                        suspect_ok == 1
+                    }
+                };
             }
 
             ops += u64::from(end - start);
@@ -1471,9 +1723,13 @@ impl Machine {
                         }
                     }
                 } else if let Some(fm) = po.fast_mem {
-                    // Simple scalar load/store: same semantics as the
-                    // matching `execute` arm, minus the giant opcode
-                    // match and the `ExecResult` round trip.
+                    // Directly dispatched load/store: same semantics as
+                    // the matching `execute` arm, minus the giant opcode
+                    // match and the `ExecResult` round trip. Accesses
+                    // confined to the open line-resident window are
+                    // serviced raw; everything else takes the full
+                    // memory model (upgrading the instruction via
+                    // `start_mem!` first).
                     if self.regs.guard(po.op.guard) {
                         exec_ops += 1;
                         exec_here += 1;
@@ -1492,7 +1748,17 @@ impl Machine {
                                 let addr = self.regs.read(po.op.srcs[0]).wrapping_add(off);
                                 match self.mem.check_access(addr, u32::from(bytes)) {
                                     Ok(()) => {
-                                        let v = self.mem.load_le(addr, bytes as usize);
+                                        let h = scan_win!(addr, u32::from(bytes), win_ok!());
+                                        let v = if h < NWIN {
+                                            window_hits += 1;
+                                            self.mem.window_hit_load(widx[h]);
+                                            self.mem.window_load_le(addr, bytes as usize)
+                                        } else {
+                                            start_mem!();
+                                            mem_calls += 1;
+                                            latch_open!(addr, u32::from(bytes));
+                                            self.mem.load_le(addr, bytes as usize)
+                                        };
                                         let v = if sext {
                                             sign_extend(v, u32::from(bytes) * 8)
                                         } else {
@@ -1519,7 +1785,93 @@ impl Machine {
                                 match self.mem.check_access(addr, u32::from(bytes)) {
                                     Ok(()) => {
                                         let v = self.regs.read(po.op.srcs[1]);
-                                        self.mem.store_le(addr, bytes as usize, v);
+                                        let h = scan_win!(addr, u32::from(bytes), win_ok!());
+                                        if h < NWIN {
+                                            window_hits += 1;
+                                            self.mem.window_store_le(addr, bytes as usize, v);
+                                            // Write-buffer back-pressure
+                                            // lands wherever the stall
+                                            // accumulator currently
+                                            // lives (see `wstall`).
+                                            if self.mem.window_hit_store(widx[h], wstall) {
+                                                if mem_started {
+                                                    self.mem.add_stall(1.0);
+                                                } else {
+                                                    wstall += 1.0;
+                                                }
+                                            }
+                                        } else {
+                                            start_mem!();
+                                            mem_calls += 1;
+                                            latch_open!(addr, u32::from(bytes));
+                                            self.mem.store_le(addr, bytes as usize, v);
+                                        }
+                                        None
+                                    }
+                                    Err(e) => Some(e),
+                                }
+                            }
+                            FastMem::SuperLoad => {
+                                let addr = self
+                                    .regs
+                                    .read(po.op.srcs[0])
+                                    .wrapping_add(self.regs.read(po.op.srcs[1]));
+                                match self.mem.check_access(addr, 8) {
+                                    Ok(()) => {
+                                        let mut buf = [0u8; 8];
+                                        let h = scan_win!(addr, 8, win_ok!());
+                                        if h < NWIN {
+                                            window_hits += 1;
+                                            self.mem.window_hit_load(widx[h]);
+                                            self.mem.window_load_bytes(addr, &mut buf);
+                                        } else {
+                                            start_mem!();
+                                            mem_calls += 1;
+                                            latch_open!(addr, 8u32);
+                                            self.mem.load_bytes(addr, &mut buf);
+                                        }
+                                        let (w1, w2) = super_ld32_words(buf);
+                                        if po.latency == 1 {
+                                            lane[lane_n] = (po.op.dsts[0], w1);
+                                            lane[lane_n + 1] = (po.op.dsts[1], w2);
+                                            lane_n += 2;
+                                        } else {
+                                            let land = land_base + u64::from(po.latency);
+                                            self.writes.push(land, po.op.dsts[0], w1);
+                                            self.writes.push(land, po.op.dsts[1], w2);
+                                        }
+                                        None
+                                    }
+                                    Err(e) => Some(e),
+                                }
+                            }
+                            FastMem::FracLoad => {
+                                let addr = self.regs.read(po.op.srcs[0]);
+                                match self.mem.check_access(addr, 5) {
+                                    Ok(()) => {
+                                        let mut data = [0u8; 5];
+                                        let h = scan_win!(addr, 5, win_ok!());
+                                        if h < NWIN {
+                                            window_hits += 1;
+                                            self.mem.window_hit_load(widx[h]);
+                                            self.mem.window_load_bytes(addr, &mut data);
+                                        } else {
+                                            start_mem!();
+                                            mem_calls += 1;
+                                            latch_open!(addr, 5u32);
+                                            self.mem.load_bytes(addr, &mut data);
+                                        }
+                                        let v = ld_frac8_value(data, self.regs.read(po.op.srcs[1]));
+                                        if po.latency == 1 {
+                                            lane[lane_n] = (po.op.dsts[0], v);
+                                            lane_n += 1;
+                                        } else {
+                                            self.writes.push(
+                                                land_base + u64::from(po.latency),
+                                                po.op.dsts[0],
+                                                v,
+                                            );
+                                        }
                                         None
                                     }
                                     Err(e) => Some(e),
@@ -1527,6 +1879,14 @@ impl Machine {
                             }
                         };
                         if let Some(e) = err {
+                            // A fault while windows are open must leave
+                            // the machine exactly as the full path
+                            // would: stalls already charged this
+                            // instruction land in the model's
+                            // accumulator before the seam flush.
+                            if !mem_started && wstall > 0.0 {
+                                self.mem.add_stall(wstall);
+                            }
                             flush!();
                             return Err(match e {
                                 ExecError::MisalignedAccess { addr, size } => {
@@ -1547,6 +1907,15 @@ impl Machine {
                         }
                     }
                 } else {
+                    // Guard-true memory-unit ops (cache control,
+                    // prefetch MMIO, super-stores) mutate state the
+                    // window defers — commit it and start full timing
+                    // before `execute` touches the model. Guard-false
+                    // ops have no memory effect on either engine.
+                    if po.mem && self.regs.guard(po.op.guard) {
+                        start_mem!();
+                        mem_calls += 1;
+                    }
                     let res = match execute(&po.op, &self.regs, &mut self.mem) {
                         Ok(res) => res,
                         Err(e) => {
@@ -1594,11 +1963,119 @@ impl Machine {
                 }
             }
 
-            let dstall = if mem_active { self.mem.take_stall() } else { 0 };
+            let dstall = if mem_started {
+                self.mem.take_stall()
+            } else if wstall > 0.0 {
+                // Window-only instruction: every stall was integral CWB
+                // back-pressure counted locally, so the cast is exact.
+                wstall as u64
+            } else {
+                0
+            };
             dstall_total += dstall;
             cycle += 1 + dstall;
             instrs += 1;
             fused += 1;
+
+            // Window-set maintenance, only on instructions that ran
+            // full-model activity and after their timing has fully
+            // settled (so the probes see the state the next instruction
+            // will). Maintenance is epoch-gated: if the data cache's
+            // shape epoch and prefetch quiescence are unchanged, no
+            // window line can have been disturbed and the per-slot
+            // probes are skipped entirely. The outer gate keeps the
+            // whole block off the path of full-model instructions with
+            // nothing to do — no windows open and no open attempts
+            // latched (the post-gate steady state).
+            if mem_started && (nwin > 0 || reopen[0] != WIN_NONE) {
+                let epoch = self.mem.dcache_epoch();
+                if wins_suspect && nwin > 0 {
+                    if !self.mem.prefetch_quiescent() {
+                        // A prefetch MMIO op armed the unit: quiescence
+                        // is gone, drop the whole set. Window hits on
+                        // this instruction already refused on the
+                        // inline quiescence check, so nothing else to
+                        // unwind.
+                        for b in wbase.iter_mut() {
+                            if *b != WIN_NONE {
+                                *b = WIN_NONE;
+                                window_revs += 1;
+                            }
+                        }
+                        nwin = 0;
+                    } else if epoch != win_epoch {
+                        // Structural mutation: re-validate every slot
+                        // in place. Lines never migrate between array
+                        // slots without another shape bump, so if the
+                        // captured index still holds the tag (valid,
+                        // not prefetched, fully resident) it is the
+                        // same line and the index stays good.
+                        for k in 0..NWIN {
+                            if wbase[k] != WIN_NONE
+                                && !self.mem.window_revalidate(widx[k], wbase[k])
+                            {
+                                wbase[k] = WIN_NONE;
+                                nwin -= 1;
+                                window_revs += 1;
+                            }
+                        }
+                    }
+                }
+                if epoch != win_epoch {
+                    no_open = WIN_NONE;
+                    win_epoch = epoch;
+                }
+                // Open attempts, latched from single-line full-path
+                // accesses above. A latched line can already be tracked
+                // (its slot scan was suspended when the access ran) —
+                // never open it twice.
+                for r in reopen {
+                    if r != WIN_NONE && r != no_open && !wbase.contains(&r) {
+                        if let Some(w) = self.mem.try_open_window(r) {
+                            debug_assert!(w.base == r && w.len == win_line);
+                            debug_assert_eq!(w.hit_stall_cycles, 0, "hit latency folds into +1");
+                            let slot = wbase.iter().position(|&b| b == WIN_NONE).unwrap_or(wnext);
+                            if wbase[slot] == WIN_NONE {
+                                nwin += 1;
+                            } else {
+                                // Round-robin replacement of a live
+                                // window. Hits applied their effects
+                                // immediately, so the victim slot
+                                // carries no state to unwind.
+                                window_revs += 1;
+                                wnext = (slot + 1) % NWIN;
+                            }
+                            wbase[slot] = r;
+                            widx[slot] = w.line_index;
+                        } else {
+                            no_open = r;
+                        }
+                    }
+                }
+                reopen = [WIN_NONE; 2];
+                // Churn gate: enough revocations to judge the run, and
+                // fewer than `HITS_PER_REV` hits bought per revocation
+                // — the open/re-validate traffic is costing more than
+                // the serviced hits save. Stop opening windows; the
+                // remaining accesses take the full path (identical
+                // effects, no window overhead).
+                const REV_JUDGE: u64 = 1024;
+                const HITS_PER_REV: u64 = 8;
+                // Engagement gate: enough full-path traffic to judge,
+                // and fewer than `HITS_PER_CALL` window hits bought per
+                // full-model call — the working set is not line-reuse
+                // shaped, so the scan/latch/maintenance tax on the
+                // dominant full path outweighs the serviced hits.
+                const CALL_JUDGE: u64 = 8192;
+                const HITS_PER_CALL: u64 = 2;
+                if wins_enabled
+                    && ((window_revs >= REV_JUDGE && window_hits < HITS_PER_REV * window_revs)
+                        || (mem_calls >= CALL_JUDGE && window_hits < HITS_PER_CALL * mem_calls))
+                {
+                    wins_enabled = false;
+                    close_windows!();
+                }
+            }
 
             if progress {
                 last_progress = cycle;

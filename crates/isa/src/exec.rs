@@ -487,6 +487,32 @@ fn b32(c: bool) -> u32 {
     u32::from(c)
 }
 
+/// The destination value of `LD_FRAC8` given its five loaded bytes and
+/// the fraction operand: four overlapping [`interp_frac16`]
+/// interpolations packed little-endian ([`pack_quad8`]). Shared between
+/// [`execute`] and the fused engine's direct-dispatch path so the
+/// collapsed-load semantics (§2.2.2) have exactly one definition.
+#[inline]
+pub fn ld_frac8_value(data: [u8; 5], frac: u32) -> u32 {
+    pack_quad8([
+        interp_frac16(data[0], data[1], frac),
+        interp_frac16(data[1], data[2], frac),
+        interp_frac16(data[2], data[3], frac),
+        interp_frac16(data[3], data[4], frac),
+    ])
+}
+
+/// The two destination words of `SUPER_LD32R` given its eight loaded
+/// bytes: big-endian byte placement per Table 2. Shared between
+/// [`execute`] and the fused engine's direct-dispatch path.
+#[inline]
+pub fn super_ld32_words(buf: [u8; 8]) -> (u32, u32) {
+    (
+        u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]),
+        u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+    )
+}
+
 /// Executes one operation against the register file and data memory.
 ///
 /// The guard is evaluated first: a false guard suppresses all effects
@@ -915,14 +941,7 @@ pub fn execute<M: DataMemory + ?Sized>(
             let mut data = [0u8; 5];
             mem.check_access(s(0), 5)?;
             mem.load_bytes(s(0), &mut data);
-            let frac = s(1);
-            let out = [
-                interp_frac16(data[0], data[1], frac),
-                interp_frac16(data[1], data[2], frac),
-                interp_frac16(data[2], data[3], frac),
-                interp_frac16(data[3], data[4], frac),
-            ];
-            ExecResult::one(d(0), pack_quad8(out))
+            ExecResult::one(d(0), ld_frac8_value(data, s(1)))
         }
 
         // --- two-slot operations (Table 2) ---
@@ -939,8 +958,7 @@ pub fn execute<M: DataMemory + ?Sized>(
             mem.check_access(addr, 8)?;
             let mut buf = [0u8; 8];
             mem.load_bytes(addr, &mut buf);
-            let w1 = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
-            let w2 = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+            let (w1, w2) = super_ld32_words(buf);
             ExecResult::two(d(0), w1, d(1), w2)
         }
         SuperCabacCtx => {

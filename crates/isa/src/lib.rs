@@ -54,8 +54,8 @@ mod units;
 pub mod value;
 
 pub use exec::{
-    check_alignment, execute, pure_fn, required_alignment, CacheOp, DataMemory, ExecError,
-    ExecResult, FlatMemory, PfParam, PureFn,
+    check_alignment, execute, ld_frac8_value, pure_fn, required_alignment, super_ld32_words,
+    CacheOp, DataMemory, ExecError, ExecResult, FlatMemory, PfParam, PureFn,
 };
 pub use op::{Instr, Op, Program, Slot, NUM_SLOTS};
 pub use opcode::{Opcode, Signature, Unit};

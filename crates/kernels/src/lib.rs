@@ -32,12 +32,15 @@ pub mod filter;
 pub mod golden;
 pub mod memops;
 pub mod motion;
+pub mod pinned;
 pub mod pixels;
 pub mod synth;
 pub mod tv;
 pub mod upconv;
 pub mod util;
 pub mod video;
+
+pub use pinned::pinned_counts;
 
 use tm3270_asm::BuildError;
 use tm3270_core::{Machine, MachineConfig, RunOptions, RunStats, SimError};

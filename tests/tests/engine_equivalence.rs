@@ -800,6 +800,26 @@ fn predecoded_engine_matches_pinned_goldens() {
     assert_eq!(cells, GOLDENS.len(), "every pinned golden was exercised");
 }
 
+/// The two independently maintained golden tables — this file's
+/// `GOLDENS` and `tm3270_kernels::pinned_counts` (which
+/// `repro_simspeed --check-golden` enforces in CI) — must agree on
+/// every pinned (instrs, cycles) cell, so a regeneration of one that
+/// silently drifts from the other cannot land.
+#[test]
+fn goldens_agree_with_the_pinned_counts_table() {
+    for g in GOLDENS {
+        let (instrs, cycles) = tm3270_kernels::pinned_counts(g.config, g.kernel)
+            .unwrap_or_else(|| panic!("{} on {} missing from pinned_counts", g.kernel, g.config));
+        assert_eq!(
+            (g.instrs, g.cycles),
+            (instrs, cycles),
+            "{} on {}: GOLDENS vs pinned_counts",
+            g.kernel,
+            g.config
+        );
+    }
+}
+
 /// The watchdog fault path fires on the same cycle with the same crash
 /// report as the pre-predecode engine.
 #[test]

@@ -1,0 +1,656 @@
+//! Line-resident window differential suite: the `MemorySystem` window
+//! API must be indistinguishable from the full access path.
+//!
+//! The fused engine's fast path rests on one claim: a load or store
+//! serviced raw inside an open [`LineWindow`] — flat-memory bytes plus
+//! the indexed `window_hit_load` / `window_hit_store` shortcuts — has
+//! *bit-identical* architectural effect to routing the same access
+//! through `begin_instr` / `load_le` / `store_le` / `take_stall`. This
+//! suite attacks that claim from below the engine:
+//!
+//! 1. **Seeded differential** — two `MemorySystem` instances consume
+//!    the same 10 000-op random stream; one takes the full path for
+//!    every access, the other services same-line hits through windows
+//!    with the fused engine's open/revalidate/latch discipline. Loaded
+//!    values, per-instruction stalls, the shape epoch, every statistics
+//!    counter and the final memory image must agree at every step —
+//!    through cache-control ops, line-crossing accesses, eviction
+//!    pressure and a prefetch-armed phase in the middle of the stream.
+//! 2. **Revocation edges** — each window-killing event in isolation:
+//!    flush, invalidate, eviction, prefetch arming, and the
+//!    allocate-on-write-miss partial line that must refuse to open.
+//! 3. **Engine engagement** — on the fastest evaluation machine the
+//!    fused engine's windows actually engage (telemetry `window_hits`),
+//!    the churn gate actually trips on mpeg2, and both remain
+//!    bit-identical to the forced-fallback engine across budget seams.
+
+use tm3270_core::{Machine, MachineConfig, RunOptions, SimError};
+use tm3270_fault::SmallRng;
+use tm3270_isa::{CacheOp, DataMemory};
+use tm3270_kernels::registry;
+use tm3270_mem::{LineWindow, MemConfig, MemorySystem, Region};
+
+/// Window-set capacity, mirroring the fused engine's.
+const NWIN: usize = 4;
+/// "No window" sentinel: line bases are line-aligned, 1 never is.
+const NO_LINE: u32 = 1;
+
+/// A `MemorySystem` driven through the window API with the fused
+/// engine's discipline: open only under proof, re-validate after any
+/// epoch movement or loss of prefetch quiescence, service same-line
+/// hits raw, and route everything else through the full path.
+struct Windowed {
+    mem: MemorySystem,
+    line: u32,
+    wbase: [u32; NWIN],
+    widx: [u32; NWIN],
+    wnext: usize,
+    epoch: u64,
+    /// Accesses serviced inside a window (vacuity guard).
+    hits: u64,
+    /// Windows dropped for any reason (vacuity guard).
+    revoked: u64,
+}
+
+impl Windowed {
+    fn new(config: MemConfig) -> Windowed {
+        let mem = MemorySystem::new(config);
+        let line = mem.config().dcache.line;
+        let epoch = mem.dcache_epoch();
+        Windowed {
+            mem,
+            line,
+            wbase: [NO_LINE; NWIN],
+            widx: [0; NWIN],
+            wnext: 0,
+            epoch,
+            hits: 0,
+            revoked: 0,
+        }
+    }
+
+    /// Whether an access is confined to a single cache line — the
+    /// shape precondition for window service.
+    fn line_resident(&self, addr: u32, len: u32) -> bool {
+        (addr & (self.line - 1)) + len <= self.line
+    }
+
+    /// Re-proves every open window, exactly as the fused engine does
+    /// before trusting one after full-model activity: losing prefetch
+    /// quiescence drops the whole set; a shape-epoch move re-validates
+    /// each window by indexed tag compare and drops the failures.
+    fn revalidate(&mut self) {
+        if !self.mem.prefetch_quiescent() {
+            for k in 0..NWIN {
+                if self.wbase[k] != NO_LINE {
+                    self.wbase[k] = NO_LINE;
+                    self.revoked += 1;
+                }
+            }
+            return;
+        }
+        let epoch = self.mem.dcache_epoch();
+        if epoch != self.epoch {
+            for k in 0..NWIN {
+                if self.wbase[k] != NO_LINE
+                    && !self.mem.window_revalidate(self.widx[k], self.wbase[k])
+                {
+                    self.wbase[k] = NO_LINE;
+                    self.revoked += 1;
+                }
+            }
+            self.epoch = epoch;
+        }
+    }
+
+    fn scan(&self, addr: u32, len: u32) -> Option<usize> {
+        if !self.line_resident(addr, len) {
+            return None;
+        }
+        let base = addr & !(self.line - 1);
+        (0..NWIN).find(|&k| self.wbase[k] == base)
+    }
+
+    /// Tries to open a window over the line just touched by a
+    /// full-path access (the fused engine's latch). Must be called
+    /// with windows freshly re-validated so the tracked epoch is
+    /// current before the open is recorded against it.
+    fn latch(&mut self, addr: u32, len: u32) {
+        if !self.line_resident(addr, len) {
+            return;
+        }
+        let base = addr & !(self.line - 1);
+        if self.wbase.contains(&base) {
+            return;
+        }
+        if let Some(w) = self.mem.try_open_window(base) {
+            let LineWindow {
+                base: wb,
+                len: wl,
+                line_index,
+                hit_stall_cycles,
+                dirty: _,
+            } = w;
+            assert_eq!((wb, wl), (base, self.line), "window shape");
+            assert_eq!(hit_stall_cycles, 0, "hits are fully pipelined");
+            let slot = (0..NWIN)
+                .find(|&k| self.wbase[k] == NO_LINE)
+                .unwrap_or_else(|| {
+                    let s = self.wnext;
+                    self.wnext = (s + 1) % NWIN;
+                    self.revoked += 1;
+                    s
+                });
+            self.wbase[slot] = base;
+            self.widx[slot] = line_index;
+            self.epoch = self.mem.dcache_epoch();
+        }
+    }
+
+    fn load(&mut self, now: u64, addr: u32, len: u32) -> (u32, u64) {
+        self.revalidate();
+        if let Some(k) = self.scan(addr, len) {
+            self.mem.set_now(now);
+            self.mem.window_hit_load(self.widx[k]);
+            self.hits += 1;
+            return (self.mem.window_load_le(addr, len as usize), 0);
+        }
+        self.mem.begin_instr(now);
+        let value = self.mem.load_le(addr, len as usize);
+        let stall = self.mem.take_stall();
+        self.latch(addr, len);
+        (value, stall)
+    }
+
+    fn store(&mut self, now: u64, addr: u32, len: u32, value: u32) -> u64 {
+        self.revalidate();
+        if let Some(k) = self.scan(addr, len) {
+            self.mem.set_now(now);
+            self.mem.window_store_le(addr, len as usize, value);
+            self.hits += 1;
+            return u64::from(self.mem.window_hit_store(self.widx[k], 0.0));
+        }
+        self.mem.begin_instr(now);
+        self.mem.store_le(addr, len as usize, value);
+        let stall = self.mem.take_stall();
+        self.latch(addr, len);
+        stall
+    }
+
+    fn cache_op(&mut self, now: u64, op: CacheOp, addr: u32) -> u64 {
+        self.revalidate();
+        self.mem.begin_instr(now);
+        self.mem.cache_op(op, addr);
+        self.mem.take_stall()
+    }
+}
+
+/// Full-path reference step: every access through
+/// `begin_instr` / trait access / `take_stall`.
+fn ref_load(mem: &mut MemorySystem, now: u64, addr: u32, len: u32) -> (u32, u64) {
+    mem.begin_instr(now);
+    let value = mem.load_le(addr, len as usize);
+    (value, mem.take_stall())
+}
+
+fn ref_store(mem: &mut MemorySystem, now: u64, addr: u32, len: u32, value: u32) -> u64 {
+    mem.begin_instr(now);
+    mem.store_le(addr, len as usize, value);
+    mem.take_stall()
+}
+
+fn ref_cache_op(mem: &mut MemorySystem, now: u64, op: CacheOp, addr: u32) -> u64 {
+    mem.begin_instr(now);
+    mem.cache_op(op, addr);
+    mem.take_stall()
+}
+
+/// Base of the working arena. Line-aligned, far from address zero.
+const ARENA: u32 = 0x8000;
+/// Arena span: 32 KiB — one line per data-cache set on the TM3270
+/// geometry, so set-conflict pressure comes only from the aliases.
+const ARENA_LEN: u32 = 0x8000;
+/// Same-set aliases of the arena (128 KiB apart on both geometries):
+/// enough to overflow 4-way associativity and force evictions.
+const ALIAS_STRIDE: u32 = 0x20000;
+
+fn differential(config: MemConfig, seed: u64, steps: u64) {
+    let label = format!("{} seed {seed}", config_label(&config));
+    let mut rng = SmallRng::new(seed);
+    let mut reference = MemorySystem::new(config.clone());
+    let mut windowed = Windowed::new(config);
+    let line = windowed.line;
+    let arm_at = steps / 3;
+    let disarm_at = 2 * steps / 3;
+    let mut hits_at_disarm = 0;
+    let mut now = 0u64;
+
+    for step in 0..steps {
+        // A prefetch-armed phase in the middle of the stream: windows
+        // must refuse to open and the set must drop, while the two
+        // models keep consuming the identical op stream.
+        if step == arm_at {
+            let r = Region {
+                start: ARENA,
+                end: ARENA + ARENA_LEN,
+                stride: line,
+            };
+            reference.set_prefetch_region(0, r);
+            windowed.mem.set_prefetch_region(0, r);
+        }
+        if step == disarm_at {
+            let off = Region {
+                start: 0,
+                end: 0,
+                stride: 0,
+            };
+            reference.set_prefetch_region(0, off);
+            windowed.mem.set_prefetch_region(0, off);
+            hits_at_disarm = windowed.hits;
+        }
+        if step > arm_at && step < disarm_at {
+            assert!(
+                windowed.mem.try_open_window(ARENA).is_none(),
+                "{label}: window opened while the prefetch unit was armed"
+            );
+        }
+
+        let len = [1u32, 2, 4][rng.below(3) as usize];
+        let hot = ARENA + (rng.below(6) as u32) * line + (rng.below(u64::from(line - 4)) as u32);
+        let (r_stall, w_stall) = match rng.below(100) {
+            // Hot-line traffic: six lines, so the four-slot window set
+            // keeps replacing and the bulk of accesses hit.
+            0..=44 => {
+                let (rv, rs) = ref_load(&mut reference, now, hot, len);
+                let (wv, ws) = windowed.load(now, hot, len);
+                assert_eq!(rv, wv, "{label} step {step}: load value at {hot:#x}");
+                (rs, ws)
+            }
+            45..=74 => {
+                let v = rng.next_u32();
+                (
+                    ref_store(&mut reference, now, hot, len, v),
+                    windowed.store(now, hot, len, v),
+                )
+            }
+            // Line-crossing loads: never window-eligible, always full
+            // path on both models.
+            75..=81 => {
+                let addr =
+                    ARENA + (rng.below(u64::from(ARENA_LEN / line) - 1) as u32) * line + (line - 2);
+                let (rv, rs) = ref_load(&mut reference, now, addr, 4);
+                let (wv, ws) = windowed.load(now, addr, 4);
+                assert_eq!(rv, wv, "{label} step {step}: crossing load at {addr:#x}");
+                (rs, ws)
+            }
+            // Same-set aliases: eviction pressure, shape-epoch churn,
+            // revocation of windows whose lines get victimised.
+            82..=87 => {
+                let addr =
+                    ARENA + (1 + rng.below(8) as u32) * ALIAS_STRIDE + (rng.below(6) as u32) * line;
+                let (rv, rs) = ref_load(&mut reference, now, addr, 4);
+                let (wv, ws) = windowed.load(now, addr, 4);
+                assert_eq!(rv, wv, "{label} step {step}: alias load at {addr:#x}");
+                (rs, ws)
+            }
+            // Cache-control ops over the hot lines: flush and
+            // invalidate revoke, allocate and software prefetch churn
+            // the shape and the prefetch queue.
+            88..=91 => {
+                let op = [
+                    CacheOp::Flush,
+                    CacheOp::Invalidate,
+                    CacheOp::Allocate,
+                    CacheOp::Prefetch,
+                ][rng.below(4) as usize];
+                let addr = ARENA + (rng.below(6) as u32) * line;
+                (
+                    ref_cache_op(&mut reference, now, op, addr),
+                    windowed.cache_op(now, op, addr),
+                )
+            }
+            // Cold wandering loads over the whole arena.
+            _ => {
+                let addr = ARENA + (rng.below(u64::from(ARENA_LEN - 4)) as u32);
+                let (rv, rs) = ref_load(&mut reference, now, addr, len);
+                let (wv, ws) = windowed.load(now, addr, len);
+                assert_eq!(rv, wv, "{label} step {step}: arena load at {addr:#x}");
+                (rs, ws)
+            }
+        };
+        assert_eq!(r_stall, w_stall, "{label} step {step}: stall cycles");
+        assert_eq!(
+            reference.dcache_epoch(),
+            windowed.mem.dcache_epoch(),
+            "{label} step {step}: shape epoch"
+        );
+        if step % 509 == 0 {
+            assert_eq!(
+                reference.stats(),
+                windowed.mem.stats(),
+                "{label} step {step}: statistics"
+            );
+        }
+        now += 1 + r_stall;
+    }
+
+    // Final state: every statistic and the full arena memory image.
+    assert_eq!(
+        reference.stats(),
+        windowed.mem.stats(),
+        "{label}: final stats"
+    );
+    let mut ref_img = vec![0u8; ARENA_LEN as usize];
+    let mut win_img = vec![0u8; ARENA_LEN as usize];
+    reference.flat().read_into(ARENA, &mut ref_img);
+    windowed.mem.flat().read_into(ARENA, &mut win_img);
+    assert_eq!(ref_img, win_img, "{label}: final memory image");
+
+    // Vacuity guards: the stream must actually have exercised window
+    // service, revocation, and re-engagement after the prefetch phase.
+    assert!(
+        windowed.hits > steps / 10,
+        "{label}: only {} window hits in {steps} ops — windows never engaged",
+        windowed.hits
+    );
+    assert!(windowed.revoked > 0, "{label}: no window was ever revoked");
+    assert!(
+        windowed.hits > hits_at_disarm,
+        "{label}: windows never re-engaged after the prefetch phase"
+    );
+}
+
+fn config_label(config: &MemConfig) -> &'static str {
+    if config.allocate_on_write_miss {
+        "tm3270"
+    } else {
+        "tm3260"
+    }
+}
+
+/// 10 000 random ops per (geometry, seed) cell: loads, stores,
+/// line-crossers, same-set eviction pressure, cache-control ops and a
+/// prefetch-armed middle phase — window service must be bit-identical
+/// to the full path throughout.
+#[test]
+fn seeded_stream_is_bit_identical_to_full_path() {
+    for seed in 1..=3 {
+        differential(MemConfig::tm3270(), seed, 10_000);
+        differential(MemConfig::tm3260(), seed, 10_000);
+    }
+}
+
+/// Opens a window over `addr`'s line by demand-loading it through the
+/// full path first.
+fn open_over(mem: &mut MemorySystem, now: u64, addr: u32) -> LineWindow {
+    ref_load(mem, now, addr, 4);
+    mem.try_open_window(addr)
+        .expect("line is resident and fully valid after a demand load")
+}
+
+/// Flush and invalidate both bump the shape epoch and fail the
+/// window's indexed re-validation; an unrelated line fill bumps the
+/// epoch but the window survives re-validation.
+#[test]
+fn flush_and_invalidate_revoke_windows() {
+    let mut mem = MemorySystem::new(MemConfig::tm3270());
+    let line = mem.config().dcache.line;
+
+    let w = open_over(&mut mem, 0, ARENA);
+    let epoch = mem.dcache_epoch();
+
+    // A fill elsewhere moves the epoch; the window must re-validate.
+    ref_load(&mut mem, 1, ARENA + 64 * line, 4);
+    assert_ne!(mem.dcache_epoch(), epoch, "fill did not move the epoch");
+    assert!(
+        mem.window_revalidate(w.line_index, w.base),
+        "window failed re-validation across an unrelated fill"
+    );
+
+    // Flush removes the line: re-validation must fail.
+    let epoch = mem.dcache_epoch();
+    mem.begin_instr(2);
+    mem.cache_op(CacheOp::Flush, ARENA);
+    mem.take_stall();
+    assert_ne!(mem.dcache_epoch(), epoch, "flush did not move the epoch");
+    assert!(
+        !mem.window_revalidate(w.line_index, w.base),
+        "window survived a flush of its line"
+    );
+    assert!(
+        mem.try_open_window(ARENA).is_none(),
+        "reopened over a flushed line"
+    );
+
+    // Same story for invalidate on a fresh line.
+    let w = open_over(&mut mem, 3, ARENA + line);
+    mem.begin_instr(4);
+    mem.cache_op(CacheOp::Invalidate, ARENA + line);
+    mem.take_stall();
+    assert!(
+        !mem.window_revalidate(w.line_index, w.base),
+        "window survived an invalidate of its line"
+    );
+}
+
+/// Overflowing the set with same-set aliases evicts the windowed line;
+/// the stale index must fail re-validation even though the slot now
+/// holds a different (fully valid) line.
+#[test]
+fn eviction_revokes_the_windows_line() {
+    let mut mem = MemorySystem::new(MemConfig::tm3270());
+    let ways = mem.config().dcache.ways;
+    let w = open_over(&mut mem, 0, ARENA);
+    for k in 1..=ways {
+        ref_load(&mut mem, u64::from(k), ARENA + k * ALIAS_STRIDE, 4);
+    }
+    assert!(
+        !mem.window_revalidate(w.line_index, w.base),
+        "window survived eviction of its line"
+    );
+}
+
+/// Arming a prefetch region ends quiescence: no window opens while the
+/// unit is armed or still draining, and service resumes only once it
+/// is provably quiescent again.
+#[test]
+fn prefetch_arming_refuses_windows_until_quiescent() {
+    let mut mem = MemorySystem::new(MemConfig::tm3270());
+    let line = mem.config().dcache.line;
+    assert!(open_over(&mut mem, 0, ARENA).base == ARENA);
+
+    mem.set_prefetch_region(
+        0,
+        Region {
+            start: ARENA,
+            end: ARENA + ARENA_LEN,
+            stride: line,
+        },
+    );
+    assert!(
+        !mem.prefetch_quiescent(),
+        "armed region left the unit quiescent"
+    );
+    assert!(
+        mem.try_open_window(ARENA).is_none(),
+        "window opened while the prefetch unit was armed"
+    );
+
+    // Trigger observations, then disarm and drain: quiescence — and
+    // with it window service — must come back.
+    let mut now = 1u64;
+    for k in 0..8u32 {
+        let (_, stall) = ref_load(&mut mem, now, ARENA + k * line, 4);
+        now += 1 + stall;
+    }
+    mem.set_prefetch_region(
+        0,
+        Region {
+            start: 0,
+            end: 0,
+            stride: 0,
+        },
+    );
+    for _ in 0..10_000 {
+        if mem.prefetch_quiescent() {
+            break;
+        }
+        mem.begin_instr(now);
+        mem.take_stall();
+        now += 1;
+    }
+    assert!(mem.prefetch_quiescent(), "prefetch unit never drained");
+    // The prefetched bit keeps untouched prefetched lines closed; a
+    // demand-touched line opens again.
+    ref_load(&mut mem, now, ARENA, 4);
+    assert!(
+        mem.try_open_window(ARENA).is_some(),
+        "window refused after quiescence returned"
+    );
+}
+
+/// On the TM3270 (allocate-on-write-miss) a store miss leaves the line
+/// partially valid: no window may open until a demand load fills the
+/// remaining bytes.
+#[test]
+fn partially_valid_allocation_refuses_a_window() {
+    let mut mem = MemorySystem::new(MemConfig::tm3270());
+    let mut now = 0u64;
+    let stall = ref_store(&mut mem, now, ARENA, 4, 0xdead_beef);
+    now += 1 + stall;
+    assert!(
+        mem.try_open_window(ARENA).is_none(),
+        "window opened over a partially valid allocate-on-write line"
+    );
+    // A load of the written bytes hits without filling the rest.
+    let (v, stall) = ref_load(&mut mem, now, ARENA, 4);
+    now += 1 + stall;
+    assert_eq!(v, 0xdead_beef);
+    assert!(
+        mem.try_open_window(ARENA).is_none(),
+        "window opened while invalid bytes remained"
+    );
+    // A load of the unwritten bytes forces the fill: now fully valid.
+    ref_load(&mut mem, now, ARENA + 64, 4);
+    assert!(
+        mem.try_open_window(ARENA).is_some(),
+        "window refused after the line filled"
+    );
+}
+
+/// Builds the machine for one (workload, config) cell with kernel setup.
+fn build_cell(workload: &tm3270_kernels::Workload, config: &MachineConfig) -> Machine {
+    let program = workload.build(&config.issue).unwrap();
+    let mut m = Machine::new(config.clone(), program).unwrap();
+    workload.kernel().setup(&mut m);
+    m
+}
+
+fn config_d() -> MachineConfig {
+    tm3270_session::config_named("d").expect("config d exists")
+}
+
+/// On the fastest evaluation machine the windows actually engage
+/// (filter holds a long-lived window set; mpeg2 trips the churn gate
+/// with real revocations) and the fused run stays bit-identical to the
+/// forced-fallback engine — stats, register digest and snapshot bytes.
+#[test]
+fn engaged_windows_stay_bit_identical_to_fallback() {
+    let config = config_d();
+    for (name, expect_hits) in [("filter", true), ("mpeg2_a", false)] {
+        let registry = registry(1);
+        let workload = registry
+            .iter()
+            .find(|w| w.name() == name)
+            .unwrap_or_else(|| panic!("{name} missing from registry"));
+        let cell = format!("{name} on {}", config.name);
+
+        let mut fused = build_cell(workload, &config);
+        let fused_stats = fused
+            .run_with(RunOptions::budget(workload.cycle_budget()))
+            .into_result()
+            .unwrap_or_else(|e| panic!("{cell}: {e}"));
+        let tele = fused.engine_telemetry();
+        assert!(tele.mem_calls > 0, "{cell}: no full-path memory calls");
+        if expect_hits {
+            assert!(tele.window_hits > 0, "{cell}: windows never engaged");
+        }
+        assert!(tele.window_revocations > 0, "{cell}: windows never closed");
+
+        let mut fallback = build_cell(workload, &config);
+        fallback.set_force_fallback(true);
+        let fb_stats = fallback
+            .run_with(RunOptions::budget(workload.cycle_budget()))
+            .into_result()
+            .unwrap_or_else(|e| panic!("{cell}: fallback: {e}"));
+        assert_eq!(
+            fallback.engine_telemetry().window_hits,
+            0,
+            "{cell}: fallback hit"
+        );
+
+        assert_eq!(fb_stats, fused_stats, "{cell}: stats diverged");
+        assert_eq!(fallback.reg_digest(), fused.reg_digest(), "{cell}: digest");
+        assert_eq!(
+            fallback.snapshot().into_bytes(),
+            fused.snapshot().into_bytes(),
+            "{cell}: snapshot bytes"
+        );
+        workload
+            .kernel()
+            .verify(&fused)
+            .unwrap_or_else(|e| panic!("{cell}: verify failed: {e}"));
+    }
+}
+
+/// Budget seams flush the window set mid-run (seam revocation): a
+/// window-engaging kernel sliced at a coprime quantum must complete
+/// bit-identically to an uninterrupted run on the same config.
+#[test]
+fn budget_seams_through_engaged_windows_are_bit_identical() {
+    let config = config_d();
+    let registry = registry(1);
+    let workload = registry
+        .iter()
+        .find(|w| w.name() == "filter")
+        .expect("filter in registry");
+    let cell = format!("filter on {}", config.name);
+
+    let mut reference = build_cell(workload, &config);
+    let ref_stats = reference
+        .run_with(RunOptions::budget(workload.cycle_budget()))
+        .into_result()
+        .unwrap_or_else(|e| panic!("{cell}: {e}"));
+    assert!(
+        reference.engine_telemetry().window_hits > 0,
+        "{cell}: windows never engaged"
+    );
+
+    let mut sliced = build_cell(workload, &config);
+    let quantum = 997u64;
+    let mut budget = quantum;
+    let stats = loop {
+        match sliced.run_with(RunOptions::budget(budget)).into_result() {
+            Ok(stats) => break stats,
+            Err(SimError::CycleLimit { .. }) => {
+                assert!(
+                    budget < workload.cycle_budget(),
+                    "{cell}: exceeded the kernel cycle budget"
+                );
+                budget = (budget + quantum).min(workload.cycle_budget());
+            }
+            Err(e) => panic!("{cell}: {e}"),
+        }
+    };
+    assert_eq!(stats, ref_stats, "{cell}: stats, quantum {quantum}");
+    assert_eq!(
+        sliced.reg_digest(),
+        reference.reg_digest(),
+        "{cell}: digest"
+    );
+    assert_eq!(
+        sliced.snapshot().into_bytes(),
+        reference.snapshot().into_bytes(),
+        "{cell}: snapshot bytes"
+    );
+}
